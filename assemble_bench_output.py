@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Assembles bench_output.txt: the full-suite log with the re-run
+(fixed) bench sections spliced in."""
+import re
+
+def sections(path):
+    out, name, buf = {}, None, []
+    for line in open(path):
+        if line.startswith('##### '):
+            if name: out[name] = ''.join(buf)
+            name, buf = line.split()[1], [line]
+        else:
+            buf.append(line)
+    if name: out[name] = ''.join(buf)
+    return out
+
+import os
+full = sections('results/bench_full.txt')
+for extra in ('results/bench_fixed.txt', 'results/bench_tables.txt'):
+    if not os.path.exists(extra):
+        continue
+    for k, v in sections(extra).items():
+        v = v.replace('FIXED_DONE\n', '').replace('TABLES_DONE\n', '')
+        if '===' in v or 'Benchmark' in v:  # only splice sections with real content
+            full[k] = v
+
+order = sorted(full)
+with open('bench_output.txt', 'w') as f:
+    for k in order:
+        body = full[k].replace('ALL_BENCHES_COMPLETE\n', '')
+        f.write(body)
+        if not body.endswith('\n\n'):
+            f.write('\n')
+print('wrote bench_output.txt with', len(order), 'bench sections')

@@ -1,0 +1,34 @@
+// Ablation: parallel A2C workers (Section IV-A). Same total EDA budget
+// split across 1/2/4 threads; expected: more workers reach a similar
+// best cost in less wall-clock time (the synthesis calls overlap).
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "rl/a2c.hpp"
+
+int main() {
+  using namespace rlmul;
+  const bench::Config cfg = bench::config();
+  const ppg::MultiplierSpec spec{8, ppg::PpgKind::kAnd, false};
+  bench::print_header("Ablation: A2C thread count, " +
+                      bench::spec_name(spec));
+
+  for (int threads : {1, 2, 4}) {
+    synth::DesignEvaluator ev(spec);
+    rl::A2cOptions opts;
+    opts.steps = std::max(1, cfg.rl_steps / threads);
+    opts.num_threads = threads;
+    opts.seed = 606;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto res = rl::train_a2c(ev, opts);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::printf("  threads=%d steps/thread=%-4d best_cost=%.4f "
+                "eda_calls=%-5zu wall=%.2fs\n",
+                threads, opts.steps, res.best_cost, res.eda_calls, secs);
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation: the Pareto-driven multi-constraint reward (Section III-E)
+// vs a single-constraint reward. With only one synthesis target the
+// agent over-fits one point of the trade-off; the multi-constraint
+// reward should produce a frontier with larger hypervolume.
+
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "rl/a2c.hpp"
+
+int main() {
+  using namespace rlmul;
+  const bench::Config cfg = bench::config();
+  const ppg::MultiplierSpec spec{8, ppg::PpgKind::kAnd, false};
+  bench::print_header("Ablation: multi-constraint reward, " +
+                      bench::spec_name(spec));
+
+  const auto sweep = bench::delay_sweep(spec, cfg.sweep_points);
+  const auto all_targets = synth::default_targets(spec, 4);
+
+  struct Variant {
+    const char* name;
+    std::vector<double> targets;
+  };
+  const Variant variants[] = {
+      {"single-tight", {all_targets.front()}},
+      {"single-loose", {all_targets.back()}},
+      {"multi(4)", all_targets},
+  };
+
+  std::vector<bench::MethodFrontier> fronts;
+  for (const Variant& v : variants) {
+    synth::DesignEvaluator ev(spec, v.targets);
+    rl::A2cOptions opts;
+    opts.steps = std::max(1, cfg.rl_steps / 2);
+    opts.num_threads = cfg.threads;
+    opts.seed = 404;
+    const auto res = rl::train_a2c(ev, opts);
+
+    // Final judging is identical for all variants: synthesize each
+    // variant's best designs across the same sweep.
+    std::vector<ct::CompressorTree> trees{res.best_tree};
+    for (const auto& p : ev.frontier().sorted()) {
+      const auto tree = ev.design(p.payload);
+      bool dup = false;
+      for (const auto& t : trees) dup |= (t == tree);
+      if (!dup && trees.size() < 8) trees.push_back(tree);
+    }
+    bench::MethodFrontier mf;
+    mf.name = v.name;
+    mf.front = bench::design_frontier(spec, trees, sweep);
+    fronts.push_back(std::move(mf));
+  }
+
+  const auto hv = bench::hypervolumes(fronts);
+  for (std::size_t i = 0; i < fronts.size(); ++i) {
+    std::printf("  %-13s HV=%.4g\n", fronts[i].name.c_str(), hv[i]);
+    bench::print_frontier(fronts[i].name, fronts[i].front);
+  }
+  std::printf("reading: the multi-constraint reward should cover the "
+              "trade-off at least as well as the single-constraint runs "
+              "(at matched small budgets the gap is noisy; the paper's "
+              "claim is about coverage, not a fixed margin)\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig 7 reproduction: correlation between area and power over random
+// compressor-tree designs (8-bit and 16-bit AND-based multipliers).
+// Prints box statistics of power per area quintile, plus the Pearson
+// coefficient — the paper's justification for dropping power from the
+// reward (Section IV-B).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "synth/synth.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace rlmul;
+  const bench::Config cfg = bench::config();
+
+  for (int bits : {8, 16}) {
+    const ppg::MultiplierSpec spec{bits, ppg::PpgKind::kAnd, false};
+    bench::print_header("Fig 7: area-power correlation, " +
+                        bench::spec_name(spec));
+
+    const auto trees =
+        bench::random_trees(spec, cfg.samples, 3 * bits, 7000 + bits);
+    const double target = bench::delay_sweep(spec, 3)[1];  // mid target
+
+    std::vector<std::pair<double, double>> pts;  // (area, power)
+    for (const auto& tree : trees) {
+      const auto res = synth::synthesize_design(spec, tree, target);
+      pts.emplace_back(res.area_um2, res.power_mw);
+    }
+    std::sort(pts.begin(), pts.end());
+
+    const int bins = 5;
+    std::printf("%-22s %-8s %-8s %-8s %-8s %-8s\n", "area bin (um2)", "min",
+                "q1", "median", "q3", "max");
+    for (int b = 0; b < bins; ++b) {
+      const std::size_t lo = pts.size() * b / bins;
+      const std::size_t hi = pts.size() * (b + 1) / bins;
+      if (lo >= hi) continue;
+      std::vector<double> powers;
+      for (std::size_t i = lo; i < hi; ++i) powers.push_back(pts[i].second);
+      const auto box = util::box_stats(powers);
+      char label[64];
+      std::snprintf(label, sizeof(label), "[%.0f, %.0f]", pts[lo].first,
+                    pts[hi - 1].first);
+      std::printf("%-22s %-8.3f %-8.3f %-8.3f %-8.3f %-8.3f\n", label,
+                  box.min, box.q1, box.median, box.q3, box.max);
+    }
+    std::vector<double> areas;
+    std::vector<double> powers;
+    for (const auto& [a, p] : pts) {
+      areas.push_back(a);
+      powers.push_back(p);
+    }
+    std::printf("Pearson(area, power) = %.3f  (paper: strong positive "
+                "correlation)\n",
+                util::pearson(areas, powers));
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fig 8 reproduction: correlation between compressor-tree stage count
+// and synthesized area/delay for 8-bit AND-based multipliers — the
+// motivation for the stage-count action pruning (Section IV-C).
+
+#include <cstdio>
+#include <map>
+
+#include "bench/harness.hpp"
+#include "ct/compressor_tree.hpp"
+#include "synth/synth.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace rlmul;
+  const bench::Config cfg = bench::config();
+  const ppg::MultiplierSpec spec{8, ppg::PpgKind::kAnd, false};
+  bench::print_header("Fig 8: stage count vs area/delay, " +
+                      bench::spec_name(spec));
+
+  const auto trees = bench::random_trees(spec, 2 * cfg.samples, 60, 8008);
+  // Each structural property at its natural operating point: minimum
+  // area from fully relaxed synthesis, achievable delay from maximally
+  // tight synthesis (deep trees cannot be rescued by drive strength,
+  // which is exactly the penalty the paper's Fig 8 shows).
+  const double relaxed = 1e9;
+  const double tight = bench::delay_sweep(spec, 3).front();
+
+  std::map<int, std::vector<double>> area_by_stage;
+  std::map<int, std::vector<double>> delay_by_stage;
+  std::vector<double> stages;
+  std::vector<double> areas;
+  std::vector<double> delays;
+  for (const auto& tree : trees) {
+    const int st = ct::stage_count(tree);
+    const auto res_area = synth::synthesize_design(spec, tree, relaxed);
+    const auto res_delay = synth::synthesize_design(spec, tree, tight);
+    area_by_stage[st].push_back(res_area.area_um2);
+    delay_by_stage[st].push_back(res_delay.delay_ns);
+    stages.push_back(st);
+    areas.push_back(res_area.area_um2);
+    delays.push_back(res_delay.delay_ns);
+  }
+
+  std::printf("%-7s %-5s %-22s %-22s\n", "stages", "n", "area q1/med/q3",
+              "delay q1/med/q3");
+  for (const auto& [st, a] : area_by_stage) {
+    const auto ab = util::box_stats(a);
+    const auto db = util::box_stats(delay_by_stage[st]);
+    std::printf("%-7d %-5zu %6.0f/%6.0f/%6.0f %7.3f/%7.3f/%7.3f\n", st,
+                a.size(), ab.q1, ab.median, ab.q3, db.q1, db.median, db.q3);
+  }
+  std::printf("Pearson(stages, area)  = %.3f\n",
+              util::pearson(stages, areas));
+  std::printf("Pearson(stages, delay) = %.3f  (paper: both positive)\n",
+              util::pearson(stages, delays));
+  return 0;
+}

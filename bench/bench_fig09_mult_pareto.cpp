@@ -1,0 +1,40 @@
+// Fig 9 reproduction: Pareto frontiers of synthesized multipliers for
+// all five methods across the four configurations (8/16-bit x AND/MBE).
+// The series to check against the paper: RL-MUL(-E) frontiers dominate
+// Wallace/GOMIL/SA, with RL-MUL-E at least matching RL-MUL.
+
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+int main() {
+  using namespace rlmul;
+  const bench::Config cfg = bench::config();
+
+  for (int bits : {8, 16}) {
+    for (const auto ppg_kind : {ppg::PpgKind::kAnd, ppg::PpgKind::kBooth}) {
+      const ppg::MultiplierSpec spec{bits, ppg_kind, false};
+      bench::print_header("Fig 9: multiplier Pareto frontier, " +
+                          bench::spec_name(spec));
+      const auto methods = bench::run_all_methods(spec, cfg);
+      for (const auto& mf : methods) {
+        bench::print_frontier(mf.name, mf.front);
+      }
+      bench::plot_frontiers(methods);
+      bench::dump_frontiers_csv("fig09_" + bench::spec_slug(spec) + ".csv",
+                                methods);
+      // Dominance summary: does the RL-MUL-E front cover the baselines?
+      const auto& rle = methods.back().front;
+      for (std::size_t m = 0; m + 1 < methods.size(); ++m) {
+        int covered = 0;
+        const auto pts = methods[m].front.sorted();
+        for (const auto& p : pts) {
+          if (rle.covered(p)) ++covered;
+        }
+        std::printf("RL-MUL-E covers %d/%zu of %s frontier\n", covered,
+                    pts.size(), methods[m].name.c_str());
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fig 10 reproduction: Pareto frontiers of 16x16 PE arrays implemented
+// with each method's multipliers (8/16-bit x AND/MBE). The shape to
+// check: the per-multiplier gains of Fig 9 carry over to the macro.
+
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+int main() {
+  using namespace rlmul;
+  const bench::Config cfg = bench::config();
+
+  for (int bits : {8, 16}) {
+    for (const auto ppg_kind : {ppg::PpgKind::kAnd, ppg::PpgKind::kBooth}) {
+      const ppg::MultiplierSpec spec{bits, ppg_kind, false};
+      bench::print_header("Fig 10: PE-array (multiplier) frontier, " +
+                          bench::spec_name(spec));
+      const auto methods = bench::run_all_methods(spec, cfg);
+      // PE clock sweep: scale the multiplier sweep by the register
+      // overhead; pe_frontier re-synthesizes at each clock target.
+      auto sweep = bench::delay_sweep(spec, cfg.sweep_points);
+      for (double& t : sweep) t *= 1.4;
+      const auto pe_methods = bench::to_pe_frontiers(spec, methods, sweep);
+      for (const auto& mf : pe_methods) {
+        bench::print_frontier(mf.name, mf.front);
+      }
+      bench::plot_frontiers(pe_methods);
+      bench::dump_frontiers_csv(
+          "fig10_pe_" + bench::spec_slug(spec) + ".csv", pe_methods);
+    }
+  }
+  return 0;
+}

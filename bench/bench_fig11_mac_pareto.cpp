@@ -1,0 +1,36 @@
+// Fig 11 reproduction: Pareto frontiers for merged MACs (8/16-bit) and
+// for PE arrays implemented with those MACs.
+
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+int main() {
+  using namespace rlmul;
+  const bench::Config cfg = bench::config();
+
+  for (int bits : {8, 16}) {
+    const ppg::MultiplierSpec spec{bits, ppg::PpgKind::kAnd, true};
+    bench::print_header("Fig 11: MAC frontier, " + bench::spec_name(spec));
+    const auto methods = bench::run_all_methods(spec, cfg);
+    for (const auto& mf : methods) {
+      bench::print_frontier(mf.name, mf.front);
+    }
+    bench::plot_frontiers(methods);
+    bench::dump_frontiers_csv("fig11_" + bench::spec_slug(spec) + ".csv",
+                              methods);
+
+    bench::print_header("Fig 11: PE-array (MAC) frontier, " +
+                        bench::spec_name(spec));
+    auto sweep = bench::delay_sweep(spec, cfg.sweep_points);
+    for (double& t : sweep) t *= 1.4;
+    const auto pe_methods = bench::to_pe_frontiers(spec, methods, sweep);
+    for (const auto& mf : pe_methods) {
+      bench::print_frontier(mf.name, mf.front);
+    }
+    bench::plot_frontiers(pe_methods);
+    bench::dump_frontiers_csv(
+        "fig11_pe_" + bench::spec_slug(spec) + ".csv", pe_methods);
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Fig 12 reproduction: optimization trajectories (mean +- std over
+// seeds) of the current-state PPA cost for SA, RL-MUL (DQN) and
+// RL-MUL-E (A2C), on three workload groups: AND multiplier, MBE
+// multiplier, merged MAC. Paper shape: the RL methods sit below SA,
+// and RL-MUL-E is the most stable.
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/sa.hpp"
+#include "bench/harness.hpp"
+#include "rl/a2c.hpp"
+#include "rl/dqn.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using rlmul::bench::Config;
+using rlmul::ppg::MultiplierSpec;
+
+struct Series {
+  std::string name;
+  std::vector<std::vector<double>> runs;  ///< per-seed cost trajectories
+};
+
+void print_series(const Series& s, int points) {
+  std::size_t len = 0;
+  for (const auto& r : s.runs) len = std::max(len, r.size());
+  if (len == 0) return;
+  std::printf("%-9s:", s.name.c_str());
+  for (int p = 0; p < points; ++p) {
+    const std::size_t idx =
+        std::min(len - 1, len * static_cast<std::size_t>(p + 1) /
+                              static_cast<std::size_t>(points));
+    std::vector<double> vals;
+    for (const auto& r : s.runs) {
+      vals.push_back(r[std::min(idx, r.size() - 1)]);
+    }
+    std::printf(" %.3f+-%.3f", rlmul::util::mean(vals),
+                rlmul::util::stddev(vals));
+  }
+  std::printf("\n");
+}
+
+void run_group(const MultiplierSpec& spec, const Config& cfg) {
+  rlmul::bench::print_header("Fig 12: trajectories, " +
+                             rlmul::bench::spec_name(spec));
+  Series sa{"SA", {}};
+  Series dqn{"RL-MUL", {}};
+  Series a2c{"RL-MUL-E", {}};
+  Series sa_cur{"SA", {}};
+  Series dqn_cur{"RL-MUL", {}};
+  Series a2c_cur{"RL-MUL-E", {}};
+  for (int seed = 0; seed < cfg.seeds; ++seed) {
+    {
+      rlmul::synth::DesignEvaluator ev(spec);
+      rlmul::baselines::SaOptions opts;
+      opts.steps = cfg.rl_steps;
+      opts.seed = 1000 + static_cast<std::uint64_t>(seed);
+      const auto res = rlmul::baselines::simulated_annealing(ev, opts);
+      sa.runs.push_back(res.best_trajectory);
+      sa_cur.runs.push_back(res.trajectory);
+    }
+    {
+      rlmul::synth::DesignEvaluator ev(spec);
+      rlmul::rl::DqnOptions opts;
+      opts.steps = cfg.rl_steps;
+      opts.warmup = std::max(8, cfg.rl_steps / 8);
+      opts.seed = 2000 + static_cast<std::uint64_t>(seed);
+      const auto res = rlmul::rl::train_dqn(ev, opts);
+      dqn.runs.push_back(res.best_trajectory);
+      dqn_cur.runs.push_back(res.trajectory);
+    }
+    {
+      rlmul::synth::DesignEvaluator ev(spec);
+      rlmul::rl::A2cOptions opts;
+      // Equal wall time: same per-thread step count as the others.
+      opts.steps = cfg.rl_steps;
+      opts.num_threads = cfg.threads;
+      opts.seed = 3000 + static_cast<std::uint64_t>(seed);
+      const auto res = rlmul::rl::train_a2c(ev, opts);
+      a2c.runs.push_back(res.best_trajectory);
+      a2c_cur.runs.push_back(res.trajectory);
+    }
+  }
+  std::printf("best-so-far cost (mean +- std across %d seeds) at 8 "
+              "checkpoints; initial Wallace cost = 2.000\n",
+              cfg.seeds);
+  print_series(sa, 8);
+  print_series(dqn, 8);
+  print_series(a2c, 8);
+  std::printf("current-state cost (the exploration signature; RL agents "
+              "keep sampling, SA anneals toward exploitation):\n");
+  print_series(sa_cur, 8);
+  print_series(dqn_cur, 8);
+  print_series(a2c_cur, 8);
+
+  // Machine-readable copy: one row per (method, seed, step).
+  rlmul::util::CsvWriter csv(rlmul::util::output_dir() + "fig12_" +
+                             rlmul::bench::spec_slug(spec) + ".csv");
+  csv.row({"method", "seed", "step", "cost"});
+  for (const Series* s : {&sa, &dqn, &a2c}) {
+    for (std::size_t seed = 0; seed < s->runs.size(); ++seed) {
+      for (std::size_t step = 0; step < s->runs[seed].size(); ++step) {
+        csv.begin_row()
+            .add(s->name)
+            .add(static_cast<int>(seed))
+            .add(static_cast<int>(step))
+            .add(s->runs[seed][step]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace rlmul;
+  const bench::Config cfg = bench::config();
+  run_group({8, ppg::PpgKind::kAnd, false}, cfg);
+  run_group({8, ppg::PpgKind::kBooth, false}, cfg);
+  run_group({8, ppg::PpgKind::kAnd, true}, cfg);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Fig 14 reproduction: hypervolume comparison of the per-method Pareto
+// frontiers for (a) multipliers, (b) multiplier-implemented PE arrays,
+// (c) MACs and MAC-implemented PE arrays. Paper shape: RL-MUL >> GOMIL
+// (tens of percent), RL-MUL-E >= RL-MUL by a few percent.
+
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+namespace {
+
+void print_hv(const std::vector<rlmul::bench::MethodFrontier>& methods) {
+  const auto hv = rlmul::bench::hypervolumes(methods);
+  double gomil_hv = 1.0;
+  double rl_hv = 1.0;
+  for (std::size_t i = 0; i < methods.size(); ++i) {
+    if (methods[i].name == "GOMIL") gomil_hv = hv[i];
+    if (methods[i].name == "RL-MUL") rl_hv = hv[i];
+  }
+  for (std::size_t i = 0; i < methods.size(); ++i) {
+    std::printf("  %-9s HV=%-12.4g vsGOMIL=%+6.1f%% vsRL-MUL=%+6.1f%%\n",
+                methods[i].name.c_str(), hv[i],
+                100.0 * (hv[i] / gomil_hv - 1.0),
+                100.0 * (hv[i] / rl_hv - 1.0));
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace rlmul;
+  const bench::Config cfg = bench::config();
+
+  // (a) multipliers + (b) PE arrays (multiplier).
+  for (int bits : {8, 16}) {
+    const ppg::MultiplierSpec spec{bits, ppg::PpgKind::kAnd, false};
+    bench::print_header("Fig 14(a): multiplier hypervolume, " +
+                        bench::spec_name(spec));
+    const auto methods = bench::run_all_methods(spec, cfg);
+    print_hv(methods);
+
+    bench::print_header("Fig 14(b): PE-array hypervolume, " +
+                        bench::spec_name(spec));
+    auto sweep = bench::delay_sweep(spec, cfg.sweep_points);
+    for (double& t : sweep) t *= 1.4;
+    print_hv(bench::to_pe_frontiers(spec, methods, sweep));
+  }
+
+  // (c) MACs + PE arrays (MAC).
+  for (int bits : {8, 16}) {
+    const ppg::MultiplierSpec spec{bits, ppg::PpgKind::kAnd, true};
+    bench::print_header("Fig 14(c): MAC hypervolume, " +
+                        bench::spec_name(spec));
+    const auto methods = bench::run_all_methods(spec, cfg);
+    print_hv(methods);
+
+    bench::print_header("Fig 14(c): PE-array (MAC) hypervolume, " +
+                        bench::spec_name(spec));
+    auto sweep = bench::delay_sweep(spec, cfg.sweep_points);
+    for (double& t : sweep) t *= 1.4;
+    print_hv(bench::to_pe_frontiers(spec, methods, sweep));
+  }
+  return 0;
+}

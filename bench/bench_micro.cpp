@@ -1,0 +1,112 @@
+// Micro-benchmarks (google-benchmark) for the substrate hot paths: the
+// synthesis loop that the RL reward calls thousands of times, the STA
+// sweep, the logic simulator, and the agent network forward/backward.
+
+#include <benchmark/benchmark.h>
+
+#include "netlist/cell_library.hpp"
+#include "nn/optim.hpp"
+#include "nn/resnet.hpp"
+#include "ppg/ppg.hpp"
+#include "rl/env.hpp"
+#include "sim/simulator.hpp"
+#include "sta/sta.hpp"
+#include "synth/synth.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rlmul;
+
+void BM_BuildMultiplier(benchmark::State& state) {
+  const ppg::MultiplierSpec spec{static_cast<int>(state.range(0)),
+                                 ppg::PpgKind::kAnd, false};
+  const auto tree = ppg::initial_tree(spec);
+  for (auto _ : state) {
+    auto nl = ppg::build_multiplier(spec, tree,
+                                    netlist::CpaKind::kRippleCarry);
+    benchmark::DoNotOptimize(nl.num_gates());
+  }
+}
+BENCHMARK(BM_BuildMultiplier)->Arg(8)->Arg(16);
+
+void BM_Sta(benchmark::State& state) {
+  const ppg::MultiplierSpec spec{static_cast<int>(state.range(0)),
+                                 ppg::PpgKind::kAnd, false};
+  const auto nl = ppg::build_multiplier(spec, ppg::initial_tree(spec),
+                                        netlist::CpaKind::kRippleCarry);
+  const auto& lib = netlist::CellLibrary::nangate45();
+  for (auto _ : state) {
+    const auto rep = sta::analyze(nl, lib);
+    benchmark::DoNotOptimize(rep.critical_ps);
+  }
+}
+BENCHMARK(BM_Sta)->Arg(8)->Arg(16);
+
+void BM_SynthesizeDesign(benchmark::State& state) {
+  const ppg::MultiplierSpec spec{static_cast<int>(state.range(0)),
+                                 ppg::PpgKind::kAnd, false};
+  const auto tree = ppg::initial_tree(spec);
+  for (auto _ : state) {
+    const auto res = synth::synthesize_design(spec, tree, 0.8);
+    benchmark::DoNotOptimize(res.area_um2);
+  }
+}
+BENCHMARK(BM_SynthesizeDesign)->Arg(8)->Arg(16);
+
+void BM_Simulate64Vectors(benchmark::State& state) {
+  const ppg::MultiplierSpec spec{static_cast<int>(state.range(0)),
+                                 ppg::PpgKind::kAnd, false};
+  const auto nl = ppg::build_multiplier(spec, ppg::initial_tree(spec),
+                                        netlist::CpaKind::kRippleCarry);
+  sim::Simulator simulator(nl);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    for (int i = 0; i < simulator.num_inputs(); ++i) {
+      simulator.set_input(i, rng.next());
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(simulator.output(0));
+  }
+}
+BENCHMARK(BM_Simulate64Vectors)->Arg(8)->Arg(16);
+
+void BM_EncodeState(benchmark::State& state) {
+  const ppg::MultiplierSpec spec{16, ppg::PpgKind::kAnd, false};
+  const auto tree = ppg::initial_tree(spec);
+  for (auto _ : state) {
+    const auto t = rl::encode_tree(tree, 8);
+    benchmark::DoNotOptimize(t.numel());
+  }
+}
+BENCHMARK(BM_EncodeState);
+
+void BM_TinyNetForwardBackward(benchmark::State& state) {
+  util::Rng rng(1);
+  nn::ResNet net(nn::resnet_tiny_config(2, 64), rng);
+  net.set_training(true);
+  const nt::Tensor x = nt::Tensor::randn({8, 2, 16, 8}, rng, 1.0f);
+  for (auto _ : state) {
+    net.zero_grad();
+    const nt::Tensor y = net.forward(x);
+    nt::Tensor grad(y.shape());
+    grad.fill(1.0f / static_cast<float>(y.numel()));
+    benchmark::DoNotOptimize(net.backward(grad).numel());
+  }
+}
+BENCHMARK(BM_TinyNetForwardBackward);
+
+void BM_Resnet18Forward(benchmark::State& state) {
+  util::Rng rng(1);
+  nn::ResNet net(nn::resnet18_config(2, 64), rng);
+  net.set_training(false);
+  const nt::Tensor x = nt::Tensor::randn({1, 2, 16, 16}, rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.forward(x).numel());
+  }
+}
+BENCHMARK(BM_Resnet18Forward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// Table I reproduction: multiplier area/timing under three preferences
+// (min-area, min-delay, balanced trade-off) for all five methods and
+// the four configurations (8/16-bit x AND/MBE). Bold-equivalent check:
+// the RL rows should dominate or match the baselines per column.
+
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+int main() {
+  using namespace rlmul;
+  const bench::Config cfg = bench::config();
+
+  for (int bits : {8, 16}) {
+    for (const auto ppg_kind : {ppg::PpgKind::kAnd, ppg::PpgKind::kBooth}) {
+      const ppg::MultiplierSpec spec{bits, ppg_kind, false};
+      bench::print_header("Table I: " + bench::spec_name(spec));
+      const auto methods = bench::run_all_methods(spec, cfg);
+
+      std::printf("%-11s %-9s %-11s %-10s\n", "Preference", "Method",
+                  "Area(um2)", "Delay(ns)");
+      struct Pref {
+        const char* name;
+        bench::Selection (*pick)(const pareto::Front&);
+      };
+      const Pref prefs[] = {
+          {"Area", bench::min_area_point},
+          {"Timing", bench::min_delay_point},
+          {"Trade-off", bench::tradeoff_point},
+      };
+      for (const Pref& pref : prefs) {
+        for (const auto& mf : methods) {
+          const auto sel = pref.pick(mf.front);
+          std::printf("%-11s %-9s %-11.1f %-10.4f\n", pref.name,
+                      mf.name.c_str(), sel.area, sel.delay);
+        }
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table II reproduction: 16x16 PE-array (multiplier-implemented)
+// area/timing under the three preferences for all methods and the four
+// multiplier configurations.
+
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+int main() {
+  using namespace rlmul;
+  const bench::Config cfg = bench::config();
+
+  for (int bits : {8, 16}) {
+    for (const auto ppg_kind : {ppg::PpgKind::kAnd, ppg::PpgKind::kBooth}) {
+      const ppg::MultiplierSpec spec{bits, ppg_kind, false};
+      bench::print_header("Table II: PE array with " +
+                          bench::spec_name(spec));
+      const auto methods = bench::run_all_methods(spec, cfg);
+      auto sweep = bench::delay_sweep(spec, cfg.sweep_points);
+      for (double& t : sweep) t *= 1.4;
+      const auto pe_methods = bench::to_pe_frontiers(spec, methods, sweep);
+
+      std::printf("%-11s %-9s %-12s %-10s\n", "Preference", "Method",
+                  "Area(um2)", "Delay(ns)");
+      struct Pref {
+        const char* name;
+        bench::Selection (*pick)(const pareto::Front&);
+      };
+      const Pref prefs[] = {
+          {"Area", bench::min_area_point},
+          {"Timing", bench::min_delay_point},
+          {"Trade-off", bench::tradeoff_point},
+      };
+      for (const Pref& pref : prefs) {
+        for (const auto& mf : pe_methods) {
+          const auto sel = pref.pick(mf.front);
+          std::printf("%-11s %-9s %-12.0f %-10.4f\n", pref.name,
+                      mf.name.c_str(), sel.area, sel.delay);
+        }
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table III reproduction: merged-MAC and MAC-implemented PE-array
+// area/timing under the three preferences (8/16-bit).
+
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+int main() {
+  using namespace rlmul;
+  const bench::Config cfg = bench::config();
+
+  struct Pref {
+    const char* name;
+    bench::Selection (*pick)(const pareto::Front&);
+  };
+  const Pref prefs[] = {
+      {"Area", bench::min_area_point},
+      {"Timing", bench::min_delay_point},
+      {"Trade-off", bench::tradeoff_point},
+  };
+
+  for (int bits : {8, 16}) {
+    const ppg::MultiplierSpec spec{bits, ppg::PpgKind::kAnd, true};
+    bench::print_header("Table III: " + bench::spec_name(spec) +
+                        " and its PE array");
+    const auto methods = bench::run_all_methods(spec, cfg);
+    auto sweep = bench::delay_sweep(spec, cfg.sweep_points);
+    for (double& t : sweep) t *= 1.4;
+    const auto pe_methods = bench::to_pe_frontiers(spec, methods, sweep);
+
+    std::printf("%-11s %-9s %-11s %-10s %-12s %-10s\n", "Preference",
+                "Method", "MAC area", "MAC delay", "PE area", "PE delay");
+    for (const Pref& pref : prefs) {
+      for (std::size_t m = 0; m < methods.size(); ++m) {
+        const auto mac_sel = pref.pick(methods[m].front);
+        const auto pe_sel = pref.pick(pe_methods[m].front);
+        std::printf("%-11s %-9s %-11.1f %-10.4f %-12.0f %-10.4f\n",
+                    pref.name, methods[m].name.c_str(), mac_sel.area,
+                    mac_sel.delay, pe_sel.area, pe_sel.delay);
+      }
+    }
+  }
+  return 0;
+}

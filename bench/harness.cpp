@@ -1,0 +1,345 @@
+#include "bench/harness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "baselines/gomil.hpp"
+#include "baselines/sa.hpp"
+#include "rl/a2c.hpp"
+#include "rl/dqn.hpp"
+#include "synth/synth.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/config.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+namespace rlmul::bench {
+
+Config config() {
+  Config cfg;
+  cfg.rl_steps = static_cast<int>(
+      util::env_long("RLMUL_STEPS", util::scaled(180)));
+  cfg.threads = static_cast<int>(util::env_long("RLMUL_THREADS", 4));
+  cfg.seeds = static_cast<int>(
+      util::env_long("RLMUL_SEEDS", util::quick_mode() ? 2 : 3));
+  cfg.sweep_points = static_cast<int>(
+      util::env_long("RLMUL_SWEEP", util::quick_mode() ? 4 : 6));
+  cfg.samples = static_cast<int>(
+      util::env_long("RLMUL_SAMPLES", util::scaled(60)));
+  return cfg;
+}
+
+std::vector<double> delay_sweep(const ppg::MultiplierSpec& spec, int n) {
+  const ct::CompressorTree wallace = ppg::initial_tree(spec);
+  const auto tight = synth::synthesize_design(spec, wallace, 0.01);
+  const auto loose = synth::synthesize_design(spec, wallace, 1e9);
+  const double lo = tight.delay_ns * 0.9;
+  const double hi = loose.delay_ns * 1.1;
+  std::vector<double> sweep;
+  for (int i = 0; i < n; ++i) {
+    const double f = n == 1 ? 0.5 : static_cast<double>(i) / (n - 1);
+    sweep.push_back(lo + f * (hi - lo));
+  }
+  return sweep;
+}
+
+pareto::Front design_frontier(const ppg::MultiplierSpec& spec,
+                              const std::vector<ct::CompressorTree>& trees,
+                              const std::vector<double>& sweep) {
+  pareto::Front front;
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    for (double target : sweep) {
+      const auto res = synth::synthesize_design(spec, trees[i], target);
+      front.insert({res.area_um2, res.delay_ns, i});
+    }
+  }
+  return front;
+}
+
+pareto::Front pe_frontier(const ppg::MultiplierSpec& spec,
+                          const std::vector<ct::CompressorTree>& trees,
+                          const std::vector<double>& sweep,
+                          const pe::PeArrayOptions& opts) {
+  pareto::Front front;
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    for (double target : sweep) {
+      const auto res = pe::synthesize_pe_array(spec, trees[i], target, opts);
+      front.insert({res.area_um2, res.delay_ns, i});
+    }
+  }
+  return front;
+}
+
+namespace {
+
+/// Keeps the evaluator-frontier designs plus the best tree, deduped and
+/// capped so downstream sweeps stay affordable.
+std::vector<ct::CompressorTree> collect_candidates(
+    const synth::DesignEvaluator& evaluator,
+    const ct::CompressorTree& best, std::size_t cap = 8) {
+  std::vector<ct::CompressorTree> out{best};
+  for (const auto& p : evaluator.frontier().sorted()) {
+    const ct::CompressorTree tree = evaluator.design(p.payload);
+    bool dup = false;
+    for (const auto& existing : out) {
+      if (existing == tree) dup = true;
+    }
+    if (!dup) out.push_back(tree);
+    if (out.size() >= cap) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ct::CompressorTree> wallace_candidates(
+    const ppg::MultiplierSpec& spec) {
+  return {ppg::initial_tree(spec)};
+}
+
+std::vector<ct::CompressorTree> gomil_candidates(
+    const ppg::MultiplierSpec& spec) {
+  return {baselines::gomil_tree(spec)};
+}
+
+namespace {
+
+/// The paper trains under several (w_a, w_d) preferences ("the weights
+/// range from 0 to 1, resulting in different optimization preferences
+/// towards area or delay"); each search method splits its EDA budget
+/// across these configurations.
+struct WeightConfig {
+  double area;
+  double delay;
+};
+constexpr WeightConfig kWeightSweep[] = {{1.0, 1.0}, {1.0, 0.25},
+                                         {0.25, 1.0}};
+constexpr int kNumWeightConfigs =
+    static_cast<int>(sizeof(kWeightSweep) / sizeof(kWeightSweep[0]));
+
+void merge_candidates(std::vector<ct::CompressorTree>& into,
+                      const std::vector<ct::CompressorTree>& more) {
+  for (const auto& tree : more) {
+    bool dup = false;
+    for (const auto& existing : into) dup |= (existing == tree);
+    if (!dup) into.push_back(tree);
+  }
+}
+
+}  // namespace
+
+std::vector<ct::CompressorTree> sa_candidates(const ppg::MultiplierSpec& spec,
+                                              int steps,
+                                              std::uint64_t seed) {
+  std::vector<ct::CompressorTree> out;
+  for (int w = 0; w < kNumWeightConfigs; ++w) {
+    synth::DesignEvaluator evaluator(spec);
+    baselines::SaOptions opts;
+    opts.steps = std::max(1, steps / kNumWeightConfigs);
+    opts.w_area = kWeightSweep[w].area;
+    opts.w_delay = kWeightSweep[w].delay;
+    opts.seed = seed + static_cast<std::uint64_t>(w);
+    const auto res = baselines::simulated_annealing(evaluator, opts);
+    merge_candidates(out, collect_candidates(evaluator, res.best_tree, 4));
+  }
+  return out;
+}
+
+std::vector<ct::CompressorTree> dqn_candidates(const ppg::MultiplierSpec& spec,
+                                               int steps,
+                                               std::uint64_t seed) {
+  std::vector<ct::CompressorTree> out;
+  for (int w = 0; w < kNumWeightConfigs; ++w) {
+    synth::DesignEvaluator evaluator(spec);
+    rl::DqnOptions opts;
+    opts.steps = std::max(1, steps / kNumWeightConfigs);
+    opts.warmup = std::max(4, opts.steps / 8);
+    opts.w_area = kWeightSweep[w].area;
+    opts.w_delay = kWeightSweep[w].delay;
+    opts.seed = seed + static_cast<std::uint64_t>(w);
+    const auto res = rl::train_dqn(evaluator, opts);
+    merge_candidates(out, collect_candidates(evaluator, res.best_tree, 4));
+  }
+  return out;
+}
+
+std::vector<ct::CompressorTree> a2c_candidates(const ppg::MultiplierSpec& spec,
+                                               int steps, int threads,
+                                               std::uint64_t seed) {
+  std::vector<ct::CompressorTree> out;
+  for (int w = 0; w < kNumWeightConfigs; ++w) {
+    synth::DesignEvaluator evaluator(spec);
+    rl::A2cOptions opts;
+    // The paper budgets equal *wall time*, so the parallel workers run
+    // the same number of per-thread steps as the sequential methods and
+    // collect ~threads-times more EDA feedback (Section IV-A).
+    opts.steps = std::max(1, steps / kNumWeightConfigs);
+    opts.num_threads = threads;
+    opts.w_area = kWeightSweep[w].area;
+    opts.w_delay = kWeightSweep[w].delay;
+    opts.seed = seed + static_cast<std::uint64_t>(w);
+    const auto res = rl::train_a2c(evaluator, opts);
+    merge_candidates(out, collect_candidates(evaluator, res.best_tree, 4));
+  }
+  return out;
+}
+
+std::vector<MethodFrontier> run_all_methods(const ppg::MultiplierSpec& spec,
+                                            const Config& cfg) {
+  const auto sweep = delay_sweep(spec, cfg.sweep_points);
+  std::vector<MethodFrontier> out;
+  auto add = [&](std::string name, std::vector<ct::CompressorTree> trees) {
+    MethodFrontier mf;
+    mf.name = std::move(name);
+    mf.front = design_frontier(spec, trees, sweep);
+    mf.candidates = std::move(trees);
+    out.push_back(std::move(mf));
+  };
+  add("Wallace", wallace_candidates(spec));
+  add("GOMIL", gomil_candidates(spec));
+  add("SA", sa_candidates(spec, cfg.rl_steps, 101));
+  add("RL-MUL", dqn_candidates(spec, cfg.rl_steps, 202));
+  add("RL-MUL-E", a2c_candidates(spec, cfg.rl_steps, cfg.threads, 303));
+  return out;
+}
+
+std::vector<MethodFrontier> to_pe_frontiers(
+    const ppg::MultiplierSpec& spec, const std::vector<MethodFrontier>& in,
+    const std::vector<double>& sweep, const pe::PeArrayOptions& opts) {
+  std::vector<MethodFrontier> out;
+  for (const auto& mf : in) {
+    MethodFrontier pe_mf;
+    pe_mf.name = mf.name;
+    pe_mf.candidates = mf.candidates;
+    pe_mf.front = pe_frontier(spec, mf.candidates, sweep, opts);
+    out.push_back(std::move(pe_mf));
+  }
+  return out;
+}
+
+Selection min_area_point(const pareto::Front& front) {
+  Selection best{std::numeric_limits<double>::infinity(),
+                 std::numeric_limits<double>::infinity()};
+  for (const auto& p : front.points()) {
+    if (p.x < best.area) best = {p.x, p.y};
+  }
+  return best;
+}
+
+Selection min_delay_point(const pareto::Front& front) {
+  Selection best{std::numeric_limits<double>::infinity(),
+                 std::numeric_limits<double>::infinity()};
+  for (const auto& p : front.points()) {
+    if (p.y < best.delay) best = {p.x, p.y};
+  }
+  return best;
+}
+
+Selection tradeoff_point(const pareto::Front& front) {
+  Selection best;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const auto& p : front.points()) {
+    const double score = p.x * p.y;
+    if (score < best_score) {
+      best_score = score;
+      best = {p.x, p.y};
+    }
+  }
+  return best;
+}
+
+std::vector<double> hypervolumes(const std::vector<MethodFrontier>& fronts) {
+  double ref_x = 0.0;
+  double ref_y = 0.0;
+  for (const auto& mf : fronts) {
+    for (const auto& p : mf.front.points()) {
+      ref_x = std::max(ref_x, p.x);
+      ref_y = std::max(ref_y, p.y);
+    }
+  }
+  ref_x *= 1.1;
+  ref_y *= 1.1;
+  std::vector<double> out;
+  for (const auto& mf : fronts) {
+    out.push_back(pareto::hypervolume(mf.front.points(), ref_x, ref_y));
+  }
+  return out;
+}
+
+std::vector<ct::CompressorTree> random_trees(const ppg::MultiplierSpec& spec,
+                                             int count, int walk_length,
+                                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<ct::CompressorTree> out;
+  for (int c = 0; c < count; ++c) {
+    ct::CompressorTree tree = ppg::initial_tree(spec);
+    const int steps =
+        1 + static_cast<int>(rng.next_below(
+                static_cast<std::uint64_t>(walk_length)));
+    for (int s = 0; s < steps; ++s) {
+      const auto mask = ct::legal_action_mask(tree);
+      std::vector<double> w(mask.size());
+      for (std::size_t i = 0; i < mask.size(); ++i) w[i] = mask[i];
+      const auto pick = rng.sample_discrete(w);
+      if (pick >= mask.size()) break;
+      tree = ct::apply_action(tree,
+                              ct::action_from_index(static_cast<int>(pick)));
+    }
+    out.push_back(std::move(tree));
+  }
+  return out;
+}
+
+void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void print_frontier(const std::string& name, const pareto::Front& front) {
+  std::printf("%-9s:", name.c_str());
+  for (const auto& p : front.sorted()) {
+    std::printf(" (%.0f, %.4f)", p.x, p.y);
+  }
+  std::printf("\n");
+}
+
+void plot_frontiers(const std::vector<MethodFrontier>& methods) {
+  std::vector<util::PlotSeries> series;
+  for (const auto& mf : methods) {
+    util::PlotSeries s;
+    s.name = mf.name;
+    for (const auto& p : mf.front.sorted()) s.points.emplace_back(p.x, p.y);
+    series.push_back(std::move(s));
+  }
+  util::PlotOptions opts;
+  opts.x_label = "area um2";
+  opts.y_label = "delay ns";
+  std::printf("%s", util::ascii_scatter(series, opts).c_str());
+}
+
+void dump_frontiers_csv(const std::string& filename,
+                        const std::vector<MethodFrontier>& methods) {
+  util::CsvWriter csv(util::output_dir() + filename);
+  csv.row({"method", "area_um2", "delay_ns"});
+  for (const auto& mf : methods) {
+    for (const auto& p : mf.front.sorted()) {
+      csv.begin_row().add(mf.name).add(p.x).add(p.y);
+    }
+  }
+}
+
+std::string spec_name(const ppg::MultiplierSpec& spec) {
+  std::string s = std::to_string(spec.bits) + "-bit " +
+                  ppg::ppg_kind_name(spec.ppg);
+  s += spec.mac ? " MAC" : " multiplier";
+  return s;
+}
+
+std::string spec_slug(const ppg::MultiplierSpec& spec) {
+  std::string s = std::to_string(spec.bits) + "b_";
+  s += ppg::ppg_kind_name(spec.ppg);
+  s += spec.mac ? "_mac" : "_mul";
+  return s;
+}
+
+}  // namespace rlmul::bench

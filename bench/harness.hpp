@@ -1,0 +1,122 @@
+#pragma once
+// Shared experiment harness for the paper-reproduction benches. Every
+// bench binary regenerates one table or figure of the paper; this
+// header provides the method runners (Wallace / GOMIL / SA / RL-MUL /
+// RL-MUL-E), the target-delay sweeps, frontier construction for bare
+// designs and PE arrays, and the row selections used by Tables I-III.
+//
+// Workload scaling knobs (environment):
+//   RLMUL_STEPS   search budget per method        (default 100)
+//   RLMUL_THREADS A2C workers                     (default 4)
+//   RLMUL_SEEDS   seeds for trajectory statistics (default 3)
+//   RLMUL_SWEEP   target delays in final sweeps   (default 6)
+//   RLMUL_SAMPLES random designs for Fig 7/8      (default 60)
+//   RLMUL_QUICK   1 = CI-size (everything / 8)
+
+#include <string>
+#include <vector>
+
+#include "ct/compressor_tree.hpp"
+#include "pareto/pareto.hpp"
+#include "pe/pe_array.hpp"
+#include "ppg/ppg.hpp"
+#include "synth/evaluator.hpp"
+
+namespace rlmul::bench {
+
+struct Config {
+  int rl_steps = 100;
+  int threads = 4;
+  int seeds = 3;
+  int sweep_points = 6;
+  int samples = 60;
+};
+
+/// Reads the RLMUL_* environment knobs.
+Config config();
+
+/// Target delays spanning the spec's achievable range (tight KS to
+/// relaxed ripple), mimicking the paper's 0.05-1.2 ns synthesis sweep.
+std::vector<double> delay_sweep(const ppg::MultiplierSpec& spec, int n);
+
+/// Synthesizes every candidate tree at every sweep target; returns the
+/// non-dominated (area, delay) set. Payload = candidate index.
+pareto::Front design_frontier(const ppg::MultiplierSpec& spec,
+                              const std::vector<ct::CompressorTree>& trees,
+                              const std::vector<double>& sweep);
+
+/// Same, through the PE-array model (area/delay of the full array).
+pareto::Front pe_frontier(const ppg::MultiplierSpec& spec,
+                          const std::vector<ct::CompressorTree>& trees,
+                          const std::vector<double>& sweep,
+                          const pe::PeArrayOptions& opts = {});
+
+// -- method runners ---------------------------------------------------------
+// Each returns the candidate trees the method proposes (capped to the
+// non-dominated visits for the search methods).
+
+std::vector<ct::CompressorTree> wallace_candidates(
+    const ppg::MultiplierSpec& spec);
+std::vector<ct::CompressorTree> gomil_candidates(
+    const ppg::MultiplierSpec& spec);
+std::vector<ct::CompressorTree> sa_candidates(const ppg::MultiplierSpec& spec,
+                                              int steps, std::uint64_t seed);
+std::vector<ct::CompressorTree> dqn_candidates(
+    const ppg::MultiplierSpec& spec, int steps, std::uint64_t seed);
+std::vector<ct::CompressorTree> a2c_candidates(
+    const ppg::MultiplierSpec& spec, int steps, int threads,
+    std::uint64_t seed);
+
+struct MethodFrontier {
+  std::string name;
+  std::vector<ct::CompressorTree> candidates;
+  pareto::Front front;
+};
+
+/// Runs all five methods of the paper on a spec and synthesizes each
+/// method's candidates across the sweep.
+std::vector<MethodFrontier> run_all_methods(const ppg::MultiplierSpec& spec,
+                                            const Config& cfg);
+
+/// Rebuilds the per-method fronts through the PE-array model.
+std::vector<MethodFrontier> to_pe_frontiers(
+    const ppg::MultiplierSpec& spec, const std::vector<MethodFrontier>& in,
+    const std::vector<double>& sweep, const pe::PeArrayOptions& opts = {});
+
+// -- table selections --------------------------------------------------------
+
+struct Selection {
+  double area = 0.0;
+  double delay = 0.0;
+};
+
+Selection min_area_point(const pareto::Front& front);
+Selection min_delay_point(const pareto::Front& front);
+/// Balanced preference: minimizes the area*delay product on the front.
+Selection tradeoff_point(const pareto::Front& front);
+
+/// Hypervolume with the reference at 1.1x the worst corner across all
+/// fronts (so every front scores under the same reference).
+std::vector<double> hypervolumes(const std::vector<MethodFrontier>& fronts);
+
+// -- random design sampling (Figs 7/8) ---------------------------------------
+
+/// Random legal trees reached by masked random walks from Wallace.
+std::vector<ct::CompressorTree> random_trees(const ppg::MultiplierSpec& spec,
+                                             int count, int walk_length,
+                                             std::uint64_t seed);
+
+// -- printing -----------------------------------------------------------------
+
+void print_header(const std::string& title);
+void print_frontier(const std::string& name, const pareto::Front& front);
+/// ASCII chart of all method frontiers (area on x, delay on y).
+void plot_frontiers(const std::vector<MethodFrontier>& methods);
+/// CSV side output (method, area, delay rows) under util::output_dir().
+void dump_frontiers_csv(const std::string& filename,
+                        const std::vector<MethodFrontier>& methods);
+std::string spec_name(const ppg::MultiplierSpec& spec);
+/// spec_name with underscores, for filenames.
+std::string spec_slug(const ppg::MultiplierSpec& spec);
+
+}  // namespace rlmul::bench

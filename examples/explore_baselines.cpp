@@ -1,0 +1,50 @@
+// Survey the classic compressor-tree constructions (Wallace, Dadda,
+// GOMIL-optimal) across operand widths and PPG kinds: compressor
+// budgets, stage depth, and synthesized PPA at a relaxed and a tight
+// delay target. A good way to explore the substrate without running
+// any learning.
+//
+//   ./examples/explore_baselines
+
+#include <cstdio>
+
+#include "baselines/gomil.hpp"
+#include "ct/compressor_tree.hpp"
+#include "ppg/ppg.hpp"
+#include "synth/synth.hpp"
+
+int main() {
+  using namespace rlmul;
+
+  std::printf("%-6s %-5s %-8s %-4s %-4s %-3s %-12s %-12s\n", "bits", "ppg",
+              "tree", "FA", "HA", "st", "relaxed", "tight");
+  std::printf("%-6s %-5s %-8s %-4s %-4s %-3s %-12s %-12s\n", "", "", "", "",
+              "", "", "area/delay", "area/delay");
+
+  for (int bits : {8, 16}) {
+    for (const auto ppg_kind : {ppg::PpgKind::kAnd, ppg::PpgKind::kBooth}) {
+      const ppg::MultiplierSpec spec{bits, ppg_kind, false};
+      const auto heights = ppg::pp_heights(spec);
+
+      struct Entry {
+        const char* name;
+        ct::CompressorTree tree;
+      };
+      const Entry entries[] = {
+          {"wallace", ct::wallace_tree(heights)},
+          {"dadda", ct::dadda_tree(heights)},
+          {"gomil", baselines::gomil_tree(spec)},
+      };
+      for (const Entry& e : entries) {
+        const auto relaxed = synth::synthesize_design(spec, e.tree, 1e9);
+        const auto tight = synth::synthesize_design(spec, e.tree, 0.01);
+        std::printf(
+            "%-6d %-5s %-8s %-4d %-4d %-3d %6.0f/%-6.3f %6.0f/%-6.3f\n",
+            bits, ppg::ppg_kind_name(ppg_kind), e.name, e.tree.total_c32(),
+            e.tree.total_c22(), ct::stage_count(e.tree), relaxed.area_um2,
+            relaxed.delay_ns, tight.area_um2, tight.delay_ns);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: build an 8-bit multiplier from a Wallace compressor tree,
+// verify it against the golden model (the ABC-cec stand-in), synthesize
+// it under a few delay constraints and print the PPA trade-off.
+//
+//   ./examples/quickstart
+
+#include <cstdio>
+
+#include "ct/compressor_tree.hpp"
+#include "ppg/ppg.hpp"
+#include "sim/simulator.hpp"
+#include "synth/synth.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace rlmul;
+
+  // 1. Pick a design point: 8-bit, AND-based partial products.
+  const ppg::MultiplierSpec spec{8, ppg::PpgKind::kAnd, false};
+
+  // 2. Start from the classic Wallace tree (the paper's initial state).
+  const ct::CompressorTree tree = ppg::initial_tree(spec);
+  std::printf("Wallace tree for %d-bit %s multiplier:\n%s\n", spec.bits,
+              ppg::ppg_kind_name(spec.ppg), ct::to_string(tree).c_str());
+
+  // 3. Emit the gate-level netlist (PPG + CT + ripple CPA).
+  const auto nl = ppg::build_multiplier(spec, tree,
+                                        netlist::CpaKind::kRippleCarry);
+  std::printf("netlist: %d gates, %d nets\n", nl.num_gates(), nl.num_nets());
+
+  // 4. Check functional equivalence against a*b (exhaustively).
+  util::Rng rng(1);
+  const auto cec = sim::check_equivalence(nl, spec, rng);
+  std::printf("equivalence: %s (%llu vectors)\n",
+              cec.equivalent ? "PASS" : "FAIL",
+              static_cast<unsigned long long>(cec.vectors_checked));
+  if (!cec.equivalent) return 1;
+
+  // 5. Synthesize under a few delay targets and watch area trade
+  //    against delay (the paper's reward signal).
+  std::printf("\n%-12s %-10s %-10s %-10s %-6s\n", "target(ns)", "area(um2)",
+              "delay(ns)", "power(mW)", "CPA");
+  for (double target : {0.4, 0.6, 0.8, 1.2, 2.0}) {
+    const auto res = synth::synthesize_design(spec, tree, target);
+    std::printf("%-12.2f %-10.1f %-10.4f %-10.3f %-6s\n", target,
+                res.area_um2, res.delay_ns, res.power_mw,
+                res.cpa == netlist::CpaKind::kKoggeStone ? "KS" : "RCA");
+  }
+  return 0;
+}

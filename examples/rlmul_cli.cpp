@@ -1,0 +1,222 @@
+// Command-line front end over the public API — the workflow a
+// downstream user runs without writing C++:
+//
+//   rlmul_cli generate --bits 8 --ppg and --tree dadda --cpa ks -o mult.v
+//   rlmul_cli optimize --bits 8 --ppg mbe --method a2c --steps 200 -o opt.v
+//   rlmul_cli check    --bits 8 --ppg and --tree gomil
+//   rlmul_cli report   --bits 16 --ppg and --tree wallace
+//
+// `generate` emits structural Verilog for a classic tree, `optimize`
+// searches with SA / RL-MUL / RL-MUL-E and emits the best design,
+// `check` runs the equivalence gate, `report` prints the synthesis
+// trade-off table.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "baselines/gomil.hpp"
+#include "baselines/sa.hpp"
+#include "ct/compressor_tree.hpp"
+#include "netlist/verilog.hpp"
+#include "ppg/ppg.hpp"
+#include "rl/a2c.hpp"
+#include "rl/dqn.hpp"
+#include "sim/simulator.hpp"
+#include "synth/evaluator.hpp"
+#include "synth/synth.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rlmul;
+
+struct Args {
+  std::string command;
+  int bits = 8;
+  ppg::PpgKind ppg = ppg::PpgKind::kAnd;
+  bool mac = false;
+  std::string tree = "wallace";
+  std::string cpa = "rca";
+  std::string method = "a2c";
+  int steps = 150;
+  std::uint64_t seed = 1;
+  std::string output;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: rlmul_cli <generate|optimize|check|report> [options]\n"
+      "  --bits N        operand width (2..32, default 8)\n"
+      "  --ppg KIND      and | mbe | bw (default and)\n"
+      "  --mac           merged multiply-accumulate\n"
+      "  --tree NAME     wallace | dadda | gomil (default wallace)\n"
+      "  --cpa KIND      rca | ks (default rca)\n"
+      "  --method NAME   sa | dqn | a2c (optimize; default a2c)\n"
+      "  --steps N       search budget (default 150)\n"
+      "  --seed N        RNG seed (default 1)\n"
+      "  -o FILE         write Verilog to FILE\n");
+  return 2;
+}
+
+bool parse(int argc, char** argv, Args& args) {
+  if (argc < 2) return false;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--bits") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.bits = std::atoi(v);
+    } else if (flag == "--ppg") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "and") == 0) args.ppg = ppg::PpgKind::kAnd;
+      else if (std::strcmp(v, "mbe") == 0) args.ppg = ppg::PpgKind::kBooth;
+      else if (std::strcmp(v, "bw") == 0) args.ppg = ppg::PpgKind::kBaughWooley;
+      else return false;
+    } else if (flag == "--mac") {
+      args.mac = true;
+    } else if (flag == "--tree") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.tree = v;
+    } else if (flag == "--cpa") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.cpa = v;
+    } else if (flag == "--method") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.method = v;
+    } else if (flag == "--steps") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.steps = std::atoi(v);
+    } else if (flag == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (flag == "-o") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.output = v;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+ct::CompressorTree named_tree(const ppg::MultiplierSpec& spec,
+                              const std::string& name) {
+  const auto heights = ppg::pp_heights(spec);
+  if (name == "wallace") return ct::wallace_tree(heights);
+  if (name == "dadda") return ct::dadda_tree(heights);
+  if (name == "gomil") return baselines::gomil_tree(spec);
+  throw std::runtime_error("unknown tree: " + name);
+}
+
+netlist::CpaKind cpa_of(const std::string& name) {
+  if (name == "rca") return netlist::CpaKind::kRippleCarry;
+  if (name == "ks") return netlist::CpaKind::kKoggeStone;
+  throw std::runtime_error("unknown cpa: " + name);
+}
+
+void emit(const Args& args, const ppg::MultiplierSpec& spec,
+          const ct::CompressorTree& tree) {
+  if (args.output.empty()) return;
+  const auto nl = ppg::build_multiplier(spec, tree, cpa_of(args.cpa));
+  netlist::VerilogOptions vopts;
+  vopts.module_name = "rlmul_" + std::to_string(spec.bits) + "b";
+  std::ofstream os(args.output);
+  os << netlist::to_verilog(nl, vopts);
+  std::printf("wrote %s (%d cells)\n", args.output.c_str(), nl.num_gates());
+}
+
+int cmd_generate(const Args& args, const ppg::MultiplierSpec& spec) {
+  const auto tree = named_tree(spec, args.tree);
+  std::printf("%s\n", ct::to_string(tree).c_str());
+  emit(args, spec, tree);
+  return 0;
+}
+
+int cmd_check(const Args& args, const ppg::MultiplierSpec& spec) {
+  const auto tree = named_tree(spec, args.tree);
+  const auto nl = ppg::build_multiplier(spec, tree, cpa_of(args.cpa));
+  util::Rng rng(args.seed);
+  const auto rep = sim::check_equivalence(nl, spec, rng);
+  std::printf("equivalence: %s (%llu vectors)\n",
+              rep.equivalent ? "PASS" : "FAIL",
+              static_cast<unsigned long long>(rep.vectors_checked));
+  return rep.equivalent ? 0 : 1;
+}
+
+int cmd_report(const Args& args, const ppg::MultiplierSpec& spec) {
+  const auto tree = named_tree(spec, args.tree);
+  std::printf("%-12s %-10s %-10s %-10s %-5s\n", "target(ns)", "area(um2)",
+              "delay(ns)", "power(mW)", "CPA");
+  for (double target : synth::default_targets(spec, 6)) {
+    const auto res = synth::synthesize_design(spec, tree, target);
+    std::printf("%-12.3f %-10.1f %-10.4f %-10.3f %-5s\n", target,
+                res.area_um2, res.delay_ns, res.power_mw,
+                res.cpa == netlist::CpaKind::kKoggeStone ? "KS" : "RCA");
+  }
+  return 0;
+}
+
+int cmd_optimize(const Args& args, const ppg::MultiplierSpec& spec) {
+  synth::DesignEvaluator evaluator(spec);
+  ct::CompressorTree best;
+  if (args.method == "sa") {
+    baselines::SaOptions opts;
+    opts.steps = args.steps;
+    opts.seed = args.seed;
+    best = baselines::simulated_annealing(evaluator, opts).best_tree;
+  } else if (args.method == "dqn") {
+    rl::DqnOptions opts;
+    opts.steps = args.steps;
+    opts.seed = args.seed;
+    best = rl::train_dqn(evaluator, opts).best_tree;
+  } else if (args.method == "a2c") {
+    rl::A2cOptions opts;
+    opts.steps = std::max(1, args.steps / opts.num_threads);
+    opts.seed = args.seed;
+    best = rl::train_a2c(evaluator, opts).best_tree;
+  } else {
+    throw std::runtime_error("unknown method: " + args.method);
+  }
+  const auto wallace_eval = evaluator.evaluate(ppg::initial_tree(spec));
+  const auto best_eval = evaluator.evaluate(best);
+  std::printf("wallace: cost=%.4f  optimized: cost=%.4f  (%zu EDA calls)\n",
+              evaluator.cost(wallace_eval, 1.0, 1.0),
+              evaluator.cost(best_eval, 1.0, 1.0),
+              evaluator.num_unique_evaluations());
+  std::printf("%s\n", ct::to_string(best).c_str());
+  emit(args, spec, best);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args)) return usage();
+  if (args.bits < 2 || args.bits > 32) return usage();
+  const ppg::MultiplierSpec spec{args.bits, args.ppg, args.mac};
+  try {
+    if (args.command == "generate") return cmd_generate(args, spec);
+    if (args.command == "check") return cmd_check(args, spec);
+    if (args.command == "report") return cmd_report(args, spec);
+    if (args.command == "optimize") return cmd_optimize(args, spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

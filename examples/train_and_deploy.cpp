@@ -1,0 +1,52 @@
+// Train once, deploy everywhere: trains a DQN agent on an 8-bit
+// multiplier, checkpoints the Q-network to disk, reloads it into a
+// fresh process-like state, and replays a greedy (no-exploration)
+// rollout — the workflow for reusing a trained agent across runs.
+//
+//   RLMUL_STEPS=150 ./examples/train_and_deploy
+
+#include <cstdio>
+
+#include "nn/serialize.hpp"
+#include "ppg/ppg.hpp"
+#include "rl/dqn.hpp"
+#include "synth/evaluator.hpp"
+#include "util/config.hpp"
+
+int main() {
+  using namespace rlmul;
+  const ppg::MultiplierSpec spec{8, ppg::PpgKind::kAnd, false};
+  const int steps = static_cast<int>(util::env_long("RLMUL_STEPS", 120));
+  const std::string ckpt = "/tmp/rlmul_agent.ckpt";
+
+  // -- training session ------------------------------------------------------
+  synth::DesignEvaluator train_eval(spec);
+  rl::DqnOptions opts;
+  opts.steps = steps;
+  opts.warmup = std::max(8, steps / 8);
+  opts.target_sync = 8;
+  opts.double_dqn = true;
+  opts.seed = 23;
+  std::printf("training DQN (double, target-synced) for %d steps...\n",
+              steps);
+  const auto trained = rl::train_dqn(train_eval, opts);
+  std::printf("training best cost: %.4f (%zu EDA calls)\n",
+              trained.best_cost, trained.eda_calls);
+
+  // Persist the trained Q-network.
+  nn::save_params_file(*trained.network, ckpt);
+  std::printf("checkpoint written: %s\n", ckpt.c_str());
+  const int num_actions = 2 * spec.bits * ct::kActionsPerColumn;
+
+  // -- deployment session ----------------------------------------------------
+  util::Rng rng2(99);  // a different init, then restored from disk
+  auto deployed = rl::make_agent_net(rl::AgentNet::kTiny, num_actions, rng2);
+  nn::load_params_file(*deployed, ckpt);
+
+  synth::DesignEvaluator deploy_eval(spec);
+  const auto rollout = rl::greedy_rollout(deploy_eval, *deployed, 20);
+  std::printf("greedy rollout: best cost %.4f after %zu steps, tree:\n%s\n",
+              rollout.best_cost, rollout.trajectory.size(),
+              ct::to_string(rollout.best_tree).c_str());
+  return 0;
+}

@@ -1,0 +1,13 @@
+#!/bin/bash
+# Runs every bench binary, echoing a banner per bench.
+out="${1:-/root/repo/results/bench_full.txt}"
+{
+  for b in /root/repo/build/bench/*; do
+    if [ -x "$b" ] && [ -f "$b" ]; then
+      echo "##### $(basename "$b")"
+      timeout 5400 "$b"
+      echo
+    fi
+  done
+  echo "ALL_BENCHES_COMPLETE"
+} > "$out" 2>&1

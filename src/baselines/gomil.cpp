@@ -1,0 +1,203 @@
+#include "baselines/gomil.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "ilp/ilp.hpp"
+
+namespace rlmul::baselines {
+
+using ct::ColumnHeights;
+using ct::CompressorTree;
+
+namespace {
+
+/// Builds a zero row of the given width with one helper.
+std::vector<double> zeros(int n) {
+  return std::vector<double>(static_cast<std::size_t>(n), 0.0);
+}
+
+}  // namespace
+
+GomilResult gomil_ilp(const ColumnHeights& pp, const GomilWeights& w) {
+  const int cols = static_cast<int>(pp.size());
+  // Variable layout: x32_j = 2j, x22_j = 2j+1, then one binary
+  // "column-stays-empty" indicator per pp==0 column.
+  std::vector<int> z_index(static_cast<std::size_t>(cols), -1);
+  int num_vars = 2 * cols;
+  for (int j = 0; j < cols; ++j) {
+    if (pp[static_cast<std::size_t>(j)] == 0) z_index[static_cast<std::size_t>(j)] = num_vars++;
+  }
+
+  ilp::LinearProgram lp;
+  lp.num_vars = num_vars;
+  lp.objective = zeros(num_vars);
+  for (int j = 0; j < cols; ++j) {
+    lp.objective[static_cast<std::size_t>(2 * j)] = w.fa;
+    lp.objective[static_cast<std::size_t>(2 * j + 1)] = w.ha;
+  }
+
+  const double big = 4.0 * cols + 16.0;
+  auto x32 = [&](int j) { return 2 * j; };
+  auto x22 = [&](int j) { return 2 * j + 1; };
+
+  for (int j = 0; j < cols; ++j) {
+    // f_j = pp_j + x32_{j-1} + x22_{j-1} - 2 x32_j - x22_j
+    auto f_row = [&](double scale) {
+      std::vector<double> row = zeros(num_vars);
+      if (j > 0) {
+        row[static_cast<std::size_t>(x32(j - 1))] += scale;
+        row[static_cast<std::size_t>(x22(j - 1))] += scale;
+      }
+      row[static_cast<std::size_t>(x32(j))] -= 2.0 * scale;
+      row[static_cast<std::size_t>(x22(j))] -= scale;
+      return row;
+    };
+    const double ppj = pp[static_cast<std::size_t>(j)];
+
+    // f_j <= 2 for every column.
+    lp.constraints.push_back(
+        {f_row(1.0), ilp::Relation::kLessEqual, 2.0 - ppj});
+
+    if (z_index[static_cast<std::size_t>(j)] < 0) {
+      // Occupied column: f_j >= 1.
+      lp.constraints.push_back(
+          {f_row(1.0), ilp::Relation::kGreaterEqual, 1.0 - ppj});
+    } else {
+      const int z = z_index[static_cast<std::size_t>(j)];
+      // f_j >= 1 - big * z  (z=1 relaxes the lower bound to f_j >= 0).
+      auto row = f_row(1.0);
+      row[static_cast<std::size_t>(z)] = big;
+      lp.constraints.push_back(
+          {std::move(row), ilp::Relation::kGreaterEqual, 1.0 - ppj});
+      lp.constraints.push_back(
+          {f_row(1.0), ilp::Relation::kGreaterEqual, -ppj});  // f_j >= 0
+      // z=1 forces zero carry-in and zero compressors in the column.
+      if (j > 0) {
+        auto cin = zeros(num_vars);
+        cin[static_cast<std::size_t>(x32(j - 1))] = 1.0;
+        cin[static_cast<std::size_t>(x22(j - 1))] = 1.0;
+        cin[static_cast<std::size_t>(z)] = big;
+        lp.constraints.push_back(
+            {std::move(cin), ilp::Relation::kLessEqual, big});
+      }
+      auto own = zeros(num_vars);
+      own[static_cast<std::size_t>(x32(j))] = 1.0;
+      own[static_cast<std::size_t>(x22(j))] = 1.0;
+      own[static_cast<std::size_t>(z)] = big;
+      lp.constraints.push_back(
+          {std::move(own), ilp::Relation::kLessEqual, big});
+      // 0 <= z <= 1 (lower bound implicit).
+      auto zb = zeros(num_vars);
+      zb[static_cast<std::size_t>(z)] = 1.0;
+      lp.constraints.push_back({std::move(zb), ilp::Relation::kLessEqual, 1.0});
+    }
+  }
+
+  std::vector<bool> is_int(static_cast<std::size_t>(num_vars), true);
+  const ilp::Solution sol = ilp::solve_milp(lp, is_int);
+
+  GomilResult out;
+  out.tree = CompressorTree{pp};
+  if (sol.status != ilp::Status::kOptimal) return out;
+  for (int j = 0; j < cols; ++j) {
+    out.tree.c32[j] =
+        static_cast<int>(std::lround(sol.x[static_cast<std::size_t>(x32(j))]));
+    out.tree.c22[j] =
+        static_cast<int>(std::lround(sol.x[static_cast<std::size_t>(x22(j))]));
+  }
+  out.objective = w.fa * out.tree.total_c32() + w.ha * out.tree.total_c22();
+  out.optimal = out.tree.legal();
+  return out;
+}
+
+GomilResult gomil_dp(const ColumnHeights& pp, const GomilWeights& w) {
+  const int cols = static_cast<int>(pp.size());
+  const int max_h =
+      cols == 0 ? 0 : *std::max_element(pp.begin(), pp.end());
+  const int max_carry = 2 * max_h + 4;  // safe carry-state bound
+  const double inf = std::numeric_limits<double>::infinity();
+
+  // cost[cin] after processing columns < j; choice[j][cin] remembers the
+  // (c32, c22) transition for reconstruction.
+  std::vector<double> cost(static_cast<std::size_t>(max_carry) + 1, inf);
+  cost[0] = 0.0;
+  std::vector<std::vector<std::pair<int, int>>> choice(
+      static_cast<std::size_t>(cols),
+      std::vector<std::pair<int, int>>(static_cast<std::size_t>(max_carry) + 1,
+                                       {-1, -1}));
+  std::vector<std::vector<int>> parent(
+      static_cast<std::size_t>(cols),
+      std::vector<int>(static_cast<std::size_t>(max_carry) + 1, -1));
+
+  for (int j = 0; j < cols; ++j) {
+    std::vector<double> next(static_cast<std::size_t>(max_carry) + 1, inf);
+    for (int cin = 0; cin <= max_carry; ++cin) {
+      if (cost[static_cast<std::size_t>(cin)] == inf) continue;
+      const int bits = pp[static_cast<std::size_t>(j)] + cin;
+      for (int c32 = 0; 2 * c32 <= bits; ++c32) {
+        for (int c22 = 0; 2 * c32 + c22 <= bits; ++c22) {
+          const int f = bits - 2 * c32 - c22;
+          const bool ok = (bits == 0) ? (f == 0 && c32 == 0 && c22 == 0)
+                                      : (f == 1 || f == 2);
+          if (!ok) continue;
+          const int cout = c32 + c22;
+          if (cout > max_carry) continue;
+          const double cand = cost[static_cast<std::size_t>(cin)] +
+                              w.fa * c32 + w.ha * c22;
+          if (cand < next[static_cast<std::size_t>(cout)]) {
+            next[static_cast<std::size_t>(cout)] = cand;
+            choice[static_cast<std::size_t>(j)]
+                  [static_cast<std::size_t>(cout)] = {c32, c22};
+            parent[static_cast<std::size_t>(j)]
+                  [static_cast<std::size_t>(cout)] = cin;
+          }
+        }
+      }
+    }
+    cost = std::move(next);
+  }
+
+  GomilResult out;
+  out.tree = CompressorTree{pp};
+  // Carries out of the top column are dropped, so any end state is
+  // acceptable; pick the cheapest.
+  int best_end = -1;
+  double best_cost = inf;
+  for (int c = 0; c <= max_carry; ++c) {
+    if (cost[static_cast<std::size_t>(c)] < best_cost) {
+      best_cost = cost[static_cast<std::size_t>(c)];
+      best_end = c;
+    }
+  }
+  if (best_end < 0) return out;
+  int state = best_end;
+  for (int j = cols - 1; j >= 0; --j) {
+    const auto [c32, c22] =
+        choice[static_cast<std::size_t>(j)][static_cast<std::size_t>(state)];
+    out.tree.c32[j] = c32;
+    out.tree.c22[j] = c22;
+    state = parent[static_cast<std::size_t>(j)][static_cast<std::size_t>(state)];
+  }
+  out.objective = best_cost;
+  out.optimal = out.tree.legal();
+  return out;
+}
+
+ct::CompressorTree gomil_tree(const ppg::MultiplierSpec& spec) {
+  const ColumnHeights pp = ppg::pp_heights(spec);
+  // The DP is exact and fast at any width; the branch-and-bound ILP is
+  // the faithful GOMIL encoding and is cross-checked against the DP in
+  // the tests, but its node count grows with the column count, so the
+  // production path prefers the DP.
+  GomilResult res = gomil_dp(pp);
+  if (!res.optimal) res = gomil_ilp(pp);
+  if (!res.optimal) {
+    throw std::runtime_error("gomil_tree: no legal optimum found");
+  }
+  return res.tree;
+}
+
+}  // namespace rlmul::baselines

@@ -1,0 +1,38 @@
+#pragma once
+// GOMIL baseline (Xiao et al., DATE'21): global optimization of the
+// compressor tree by integer linear programming. Variables are the
+// per-column 3:2 / 2:2 compressor counts; constraints force every
+// column with content to compress to one or two rows; the objective
+// minimizes total compressor area. The same problem is also solved by
+// an exact carry-state dynamic program, which serves as an independent
+// cross-check of the ILP encoding (they must agree on cost).
+
+#include "ct/compressor_tree.hpp"
+#include "ppg/ppg.hpp"
+
+namespace rlmul::baselines {
+
+struct GomilResult {
+  ct::CompressorTree tree;
+  double objective = 0.0;  ///< compressor-area objective value
+  bool optimal = false;
+};
+
+/// Area cost coefficients for the objective (defaults: NanGate FA/HA X1
+/// areas, the same cells synthesis maps compressors to).
+struct GomilWeights {
+  double fa = 4.256;
+  double ha = 2.660;
+};
+
+/// Solves the GOMIL formulation with the branch-and-bound MILP solver.
+GomilResult gomil_ilp(const ct::ColumnHeights& pp,
+                      const GomilWeights& w = {});
+
+/// Exact dynamic program over (column, carry-in) states; same optimum.
+GomilResult gomil_dp(const ct::ColumnHeights& pp, const GomilWeights& w = {});
+
+/// Convenience: GOMIL tree for a multiplier spec (ILP path).
+ct::CompressorTree gomil_tree(const ppg::MultiplierSpec& spec);
+
+}  // namespace rlmul::baselines

@@ -1,0 +1,58 @@
+#include "baselines/sa.hpp"
+
+#include <cmath>
+
+#include "ppg/ppg.hpp"
+
+namespace rlmul::baselines {
+
+SaResult simulated_annealing(synth::DesignEvaluator& evaluator,
+                             const SaOptions& opts) {
+  util::Rng rng(opts.seed);
+  ct::CompressorTree current = ppg::initial_tree(evaluator.spec());
+  double current_cost = evaluator.cost(evaluator.evaluate(current),
+                                       opts.w_area, opts.w_delay);
+
+  SaResult result;
+  result.best_tree = current;
+  result.best_cost = current_cost;
+
+  const double decay =
+      opts.steps > 1
+          ? std::pow(opts.t_end / opts.t_start,
+                     1.0 / static_cast<double>(opts.steps - 1))
+          : 1.0;
+  double temp = opts.t_start;
+
+  for (int step = 0; step < opts.steps; ++step) {
+    const auto mask =
+        ct::legal_action_mask(current, opts.max_stages, opts.enable_42);
+    std::vector<double> weights(mask.size());
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      weights[i] = mask[i] != 0 ? 1.0 : 0.0;
+    }
+    const std::size_t pick = rng.sample_discrete(weights);
+    if (pick >= mask.size()) break;  // no legal move at all
+
+    const ct::CompressorTree candidate =
+        ct::apply_action(current, ct::action_from_index(static_cast<int>(pick)));
+    const double cand_cost = evaluator.cost(
+        evaluator.evaluate(candidate), opts.w_area, opts.w_delay);
+
+    const double delta = cand_cost - current_cost;
+    if (delta <= 0.0 || rng.next_double() < std::exp(-delta / temp)) {
+      current = candidate;
+      current_cost = cand_cost;
+    }
+    if (current_cost < result.best_cost) {
+      result.best_cost = current_cost;
+      result.best_tree = current;
+    }
+    result.trajectory.push_back(current_cost);
+    result.best_trajectory.push_back(result.best_cost);
+    temp *= decay;
+  }
+  return result;
+}
+
+}  // namespace rlmul::baselines

@@ -1,0 +1,39 @@
+#pragma once
+// Simulated-annealing baseline of the paper's experiments. Explores the
+// same action space (add/remove/replace compressors + legalization) and
+// the same multi-constraint synthesis cost as the RL agents, so the
+// comparison isolates the search strategy.
+
+#include <cstdint>
+#include <vector>
+
+#include "ct/compressor_tree.hpp"
+#include "synth/evaluator.hpp"
+#include "util/rng.hpp"
+
+namespace rlmul::baselines {
+
+struct SaOptions {
+  int steps = 400;          ///< cost evaluations (EDA-tool calls)
+  double t_start = 0.08;    ///< initial temperature (in cost units)
+  double t_end = 0.002;
+  double w_area = 1.0;
+  double w_delay = 1.0;
+  int max_stages = -1;      ///< action pruning bound; -1 = off
+  bool enable_42 = false;   ///< 4:2 compressor extension actions
+  std::uint64_t seed = 1;
+};
+
+struct SaResult {
+  ct::CompressorTree best_tree;
+  double best_cost = 0.0;
+  /// Cost of the *current* state after each step (Fig 12 trajectories).
+  std::vector<double> trajectory;
+  /// Best-so-far cost after each step.
+  std::vector<double> best_trajectory;
+};
+
+SaResult simulated_annealing(synth::DesignEvaluator& evaluator,
+                             const SaOptions& opts);
+
+}  // namespace rlmul::baselines

@@ -1,0 +1,418 @@
+#include "ct/compressor_tree.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace rlmul::ct {
+
+CompressorTree::CompressorTree(ColumnHeights heights)
+    : pp(std::move(heights)),
+      c32(pp.size(), 0),
+      c22(pp.size(), 0),
+      c42(pp.size(), 0) {}
+
+int CompressorTree::total_c32() const {
+  return std::accumulate(c32.begin(), c32.end(), 0);
+}
+
+int CompressorTree::total_c22() const {
+  return std::accumulate(c22.begin(), c22.end(), 0);
+}
+
+int CompressorTree::total_c42() const {
+  return std::accumulate(c42.begin(), c42.end(), 0);
+}
+
+int CompressorTree::carries_into(int j) const {
+  if (j <= 0 || j > columns()) return 0;
+  return c32[j - 1] + c22[j - 1] + 2 * c42[j - 1];
+}
+
+int CompressorTree::final_height(int j) const {
+  return pp[j] + carries_into(j) - 2 * c32[j] - c22[j] - 3 * c42[j];
+}
+
+std::vector<int> CompressorTree::final_heights() const {
+  std::vector<int> out(pp.size());
+  for (int j = 0; j < columns(); ++j) out[j] = final_height(j);
+  return out;
+}
+
+bool CompressorTree::legal() const {
+  if (c32.size() != pp.size() || c22.size() != pp.size() ||
+      c42.size() != pp.size()) {
+    return false;
+  }
+  for (int j = 0; j < columns(); ++j) {
+    if (c32[j] < 0 || c22[j] < 0 || c42[j] < 0) return false;
+    const int incoming = pp[j] + carries_into(j);
+    const int res = final_height(j);
+    if (incoming == 0) {
+      if (c32[j] != 0 || c22[j] != 0 || c42[j] != 0) return false;
+    } else if (res < 1 || res > 2) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string CompressorTree::key() const {
+  std::ostringstream os;
+  for (int j = 0; j < columns(); ++j) {
+    os << c32[j] << ',' << c22[j] << ',' << c42[j] << ';';
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+
+int action_index(const Action& a) {
+  return a.column * kActionsPerColumn + static_cast<int>(a.kind);
+}
+
+Action action_from_index(int index) {
+  Action a;
+  a.column = index / kActionsPerColumn;
+  a.kind = static_cast<ActionKind>(index % kActionsPerColumn);
+  return a;
+}
+
+namespace {
+
+/// res_j delta and compressor-count deltas for an action on its column.
+struct ActionEffect {
+  int d32 = 0;
+  int d22 = 0;
+  int d42 = 0;
+};
+
+ActionEffect effect_of(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kAdd22:
+      return {0, +1, 0};
+    case ActionKind::kRemove22:
+      return {0, -1, 0};
+    case ActionKind::kReplace32With22:
+      return {-1, +1, 0};
+    case ActionKind::kReplace22With32:
+      return {+1, -1, 0};
+    case ActionKind::kFuse32And22To42:
+      return {-1, -1, +1};
+    case ActionKind::kSplit42To32And22:
+      return {+1, +1, -1};
+  }
+  return {};
+}
+
+}  // namespace
+
+bool action_applicable(const CompressorTree& tree, const Action& a) {
+  const int j = a.column;
+  if (j < 0 || j >= tree.columns()) return false;
+  const ActionEffect e = effect_of(a.kind);
+  const int new32 = tree.c32[j] + e.d32;
+  const int new22 = tree.c22[j] + e.d22;
+  const int new42 = tree.c42[j] + e.d42;
+  if (new32 < 0 || new22 < 0 || new42 < 0) return false;
+  const int res = tree.pp[j] + tree.carries_into(j) - 2 * new32 - new22 -
+                  3 * new42;
+  return res == 1 || res == 2;
+}
+
+void legalize(CompressorTree& tree, int from_column) {
+  // Algorithm 2, generalized with small loops so the procedure is safe
+  // for arbitrarily perturbed inputs (the paper's single action changes
+  // residuals by at most one, but the property tests push harder).
+  for (int j = std::max(from_column, 0); j < tree.columns(); ++j) {
+    int res = tree.final_height(j);
+    const int incoming = tree.pp[j] + tree.carries_into(j);
+    if (incoming == 0 && tree.c32[j] == 0 && tree.c22[j] == 0 &&
+        tree.c42[j] == 0) {
+      return;  // genuinely empty column: carry-out is zero, nothing moved
+    }
+    if (res == 1 || res == 2) return;  // legalization done (early exit)
+    // Fix over- and under-compression with 3:2/2:2 moves (the paper's
+    // repertoire); a 4:2 is only removed as a last resort, which can
+    // overshoot into over-compression — hence the outer loop.
+    int guard = 0;
+    while ((res < 1 || res > 2) && guard++ < 4 * tree.columns() + 64) {
+      if (res > 2) {
+        if (res == 3 && tree.c22[j] > 0) {
+          // Replace a 2:2 with a 3:2: consumes one extra bit.
+          --tree.c22[j];
+          ++tree.c32[j];
+          res -= 1;
+        } else {
+          // Add a 3:2 compressor: consumes two extra bits, emits a carry.
+          ++tree.c32[j];
+          res -= 2;
+        }
+      } else {
+        if (tree.c22[j] > 0) {
+          --tree.c22[j];
+          res += 1;
+        } else if (tree.c32[j] > 0) {
+          --tree.c32[j];
+          res += 2;
+        } else if (tree.c42[j] > 0) {
+          --tree.c42[j];
+          res += 3;
+        } else {
+          break;  // column is empty of compressors; nothing left to remove
+        }
+      }
+    }
+  }
+}
+
+CompressorTree apply_action(CompressorTree tree, const Action& a) {
+  const ActionEffect e = effect_of(a.kind);
+  tree.c32[a.column] += e.d32;
+  tree.c22[a.column] += e.d22;
+  tree.c42[a.column] += e.d42;
+  legalize(tree, a.column + 1);
+  return tree;
+}
+
+std::vector<std::uint8_t> legal_action_mask(const CompressorTree& tree,
+                                            int max_stages, bool allow_42) {
+  std::vector<std::uint8_t> mask(
+      static_cast<std::size_t>(tree.columns()) * kActionsPerColumn, 0);
+  for (int j = 0; j < tree.columns(); ++j) {
+    for (int k = 0; k < kActionsPerColumn; ++k) {
+      const auto kind = static_cast<ActionKind>(k);
+      if (!allow_42 && (kind == ActionKind::kFuse32And22To42 ||
+                        kind == ActionKind::kSplit42To32And22)) {
+        continue;
+      }
+      const Action a{j, kind};
+      if (!action_applicable(tree, a)) continue;
+      if (max_stages >= 0) {
+        const CompressorTree next = apply_action(tree, a);
+        if (stage_count(next) > max_stages) continue;
+      }
+      mask[static_cast<std::size_t>(action_index(a))] = 1;
+    }
+  }
+  return mask;
+}
+
+// ---------------------------------------------------------------------------
+
+StageAssignment assign_stages(const CompressorTree& tree) {
+  const int cols = tree.columns();
+  StageAssignment out;
+  // carry_arrivals[j][s]: carries landing in column j at stage s.
+  std::vector<std::vector<int>> carry_arrivals(
+      static_cast<std::size_t>(cols) + 1);
+  auto arrivals_at = [&](int j, int s) -> int {
+    const auto& v = carry_arrivals[static_cast<std::size_t>(j)];
+    return s < static_cast<int>(v.size()) ? v[static_cast<std::size_t>(s)]
+                                          : 0;
+  };
+  auto add_arrival = [&](int j, int s, int count) {
+    if (j > cols) return;
+    auto& v = carry_arrivals[static_cast<std::size_t>(j)];
+    if (s >= static_cast<int>(v.size())) v.resize(static_cast<std::size_t>(s) + 1, 0);
+    v[static_cast<std::size_t>(s)] += count;
+  };
+
+  auto ensure_stage = [&](int s) {
+    while (static_cast<int>(out.t32.size()) <= s) {
+      out.t32.emplace_back(cols, 0);
+      out.t22.emplace_back(cols, 0);
+      out.t42.emplace_back(cols, 0);
+    }
+  };
+
+  for (int j = 0; j < cols; ++j) {
+    int remaining42 = tree.c42[j];
+    int remaining32 = tree.c32[j];
+    int remaining22 = tree.c22[j];
+    int avail = tree.pp[j];
+    int stage = 0;
+    // Hard bound: a legal tree always terminates (once all carries have
+    // arrived a remaining compressor can fire); the bound only guards
+    // against illegal inputs.
+    const int stage_limit = 4 * cols + 64;
+    while (remaining32 > 0 || remaining22 > 0 || remaining42 > 0) {
+      if (stage > stage_limit) {
+        throw std::invalid_argument(
+            "assign_stages: compressor counts are not schedulable "
+            "(tree is illegal)");
+      }
+      avail += arrivals_at(j, stage);
+      // Widest compressors first (Algorithm 1 prioritizes 3:2 over 2:2;
+      // the 4:2 extension naturally slots in front).
+      const int n42 = std::min(remaining42, avail / 4);
+      int left = avail - 4 * n42;
+      const int n32 = std::min(remaining32, left / 3);
+      left -= 3 * n32;
+      const int n22 = std::min(remaining22, left / 2);
+      left -= 2 * n22;
+      if (n32 > 0 || n22 > 0 || n42 > 0) {
+        ensure_stage(stage);
+        out.t32[static_cast<std::size_t>(stage)][static_cast<std::size_t>(j)] =
+            n32;
+        out.t22[static_cast<std::size_t>(stage)][static_cast<std::size_t>(j)] =
+            n22;
+        out.t42[static_cast<std::size_t>(stage)][static_cast<std::size_t>(j)] =
+            n42;
+        add_arrival(j + 1, stage + 1, n32 + n22 + 2 * n42);
+      }
+      remaining42 -= n42;
+      remaining32 -= n32;
+      remaining22 -= n22;
+      // Bits surviving to the next stage: passthroughs plus sums.
+      avail = left + n32 + n22 + n42;
+      ++stage;
+    }
+    // Drain any carries that arrive after this column finished its own
+    // compressors; they simply join the final rows, but we must walk the
+    // arrival schedule so `avail` bookkeeping stays consistent for debug
+    // asserts. (No state to record: arrivals into later columns only
+    // come from compressors, which are all placed by now.)
+  }
+
+  out.stages = static_cast<int>(out.t32.size());
+  if (out.stages == 0) {
+    out.t32.emplace_back(cols, 0);
+    out.t22.emplace_back(cols, 0);
+    out.t42.emplace_back(cols, 0);
+  }
+  return out;
+}
+
+int stage_count(const CompressorTree& tree) {
+  return assign_stages(tree).stages;
+}
+
+// ---------------------------------------------------------------------------
+
+CompressorTree wallace_tree(const ColumnHeights& pp) {
+  const int cols = static_cast<int>(pp.size());
+  CompressorTree tree{pp};
+  // Rows are materialized as per-column occupancy vectors; the initial
+  // ragged parallelogram is row r occupying the columns where it has a
+  // bit. We only need counts, so a row is a vector<int> of 0/1 bits.
+  const int max_h = cols == 0 ? 0 : *std::max_element(pp.begin(), pp.end());
+  std::vector<std::vector<int>> rows;
+  for (int r = 0; r < max_h; ++r) {
+    std::vector<int> row(static_cast<std::size_t>(cols), 0);
+    for (int j = 0; j < cols; ++j) {
+      if (pp[j] > r) row[static_cast<std::size_t>(j)] = 1;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  while (rows.size() > 2) {
+    std::vector<std::vector<int>> next;
+    std::size_t r = 0;
+    for (; r + 3 <= rows.size(); r += 3) {
+      std::vector<int> sum(static_cast<std::size_t>(cols), 0);
+      std::vector<int> carry(static_cast<std::size_t>(cols), 0);
+      for (int j = 0; j < cols; ++j) {
+        const int bits = rows[r][static_cast<std::size_t>(j)] +
+                         rows[r + 1][static_cast<std::size_t>(j)] +
+                         rows[r + 2][static_cast<std::size_t>(j)];
+        if (bits == 3) {
+          ++tree.c32[j];
+          sum[static_cast<std::size_t>(j)] += 1;
+          if (j + 1 < cols) carry[static_cast<std::size_t>(j) + 1] += 1;
+        } else if (bits == 2) {
+          ++tree.c22[j];
+          sum[static_cast<std::size_t>(j)] += 1;
+          if (j + 1 < cols) carry[static_cast<std::size_t>(j) + 1] += 1;
+        } else if (bits == 1) {
+          sum[static_cast<std::size_t>(j)] += 1;
+        }
+      }
+      next.push_back(std::move(sum));
+      next.push_back(std::move(carry));
+    }
+    for (; r < rows.size(); ++r) next.push_back(std::move(rows[r]));
+    // Re-normalize: a "row" may now hold counts > 1 in a column if the
+    // leftover rows were ragged; spread them back into 0/1 rows.
+    std::vector<int> heights(static_cast<std::size_t>(cols), 0);
+    for (const auto& row : next) {
+      for (int j = 0; j < cols; ++j) {
+        heights[static_cast<std::size_t>(j)] +=
+            row[static_cast<std::size_t>(j)];
+      }
+    }
+    const int h =
+        cols == 0 ? 0 : *std::max_element(heights.begin(), heights.end());
+    rows.clear();
+    for (int rr = 0; rr < h; ++rr) {
+      std::vector<int> row(static_cast<std::size_t>(cols), 0);
+      for (int j = 0; j < cols; ++j) {
+        if (heights[static_cast<std::size_t>(j)] > rr) {
+          row[static_cast<std::size_t>(j)] = 1;
+        }
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  legalize(tree, 0);  // fix rare res==0 columns produced by ragged edges
+  return tree;
+}
+
+CompressorTree dadda_tree(const ColumnHeights& pp) {
+  const int cols = static_cast<int>(pp.size());
+  CompressorTree tree{pp};
+  std::vector<int> h = pp;
+  const int max_h = cols == 0 ? 0 : *std::max_element(h.begin(), h.end());
+
+  // Dadda target sequence d_1 = 2, d_{k+1} = floor(1.5 d_k).
+  std::vector<int> targets{2};
+  while (targets.back() < max_h) {
+    targets.push_back(targets.back() * 3 / 2);
+  }
+
+  for (auto it = targets.rbegin(); it != targets.rend(); ++it) {
+    const int d = *it;
+    std::vector<int> carry_in(static_cast<std::size_t>(cols) + 1, 0);
+    for (int j = 0; j < cols; ++j) {
+      int hh = h[static_cast<std::size_t>(j)] +
+               carry_in[static_cast<std::size_t>(j)];
+      while (hh > d) {
+        if (hh == d + 1) {
+          ++tree.c22[j];  // half adder: removes one bit, emits a carry
+          hh -= 1;
+        } else {
+          ++tree.c32[j];  // full adder: removes two bits, emits a carry
+          hh -= 2;
+        }
+        carry_in[static_cast<std::size_t>(j) + 1] += 1;
+      }
+      h[static_cast<std::size_t>(j)] = hh;
+    }
+    // Fold the carries that landed beyond this pass into the heights.
+    // (Already included: hh consumed carry_in[j]; nothing else to do.)
+  }
+  legalize(tree, 0);
+  return tree;
+}
+
+std::string to_string(const CompressorTree& tree) {
+  std::ostringstream os;
+  os << "columns: " << tree.columns() << "\n";
+  os << "pp : ";
+  for (int v : tree.pp) os << v << ' ';
+  os << "\nc32: ";
+  for (int v : tree.c32) os << v << ' ';
+  os << "\nc22: ";
+  for (int v : tree.c22) os << v << ' ';
+  if (tree.total_c42() > 0) {
+    os << "\nc42: ";
+    for (int v : tree.c42) os << v << ' ';
+  }
+  os << "\nres: ";
+  for (int v : tree.final_heights()) os << v << ' ';
+  os << "\nstages: " << stage_count(tree) << "\n";
+  return os.str();
+}
+
+}  // namespace rlmul::ct

@@ -1,0 +1,154 @@
+#pragma once
+// Core compressor-tree (CT) model of RL-MUL (Section III of the paper).
+//
+// A multiplier's partial products form columns of bits; the CT reduces
+// every column to at most two rows using 3:2 compressors (full adders)
+// and 2:2 compressors (half adders). The paper's *matrix representation*
+// M in R^{2 x 2N} stores, per column, the total number of 3:2 and 2:2
+// compressors; that is exactly `CompressorTree::{c32, c22}` here plus
+// the initial partial-product heights.
+//
+// Column convention: column 0 is the LSB. A compressor in column j
+// consumes bits of column j and emits its sum into column j and its
+// carry into column j+1. Carries out of the top column are discarded,
+// i.e. the tree computes the result modulo 2^W (W = number of columns),
+// which matches both multiplier (exact) and merged-MAC (wrap-around
+// accumulate) semantics.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rlmul::ct {
+
+/// Initial partial-product bit count per column (before compression).
+using ColumnHeights = std::vector<int>;
+
+/// The paper's matrix representation M plus the PPG column heights it
+/// compresses. Invariant-free aggregate: legality is queried, not
+/// enforced, because the RL action machinery deliberately walks through
+/// intermediate illegal states before legalization.
+struct CompressorTree {
+  ColumnHeights pp;       ///< initial heights, size = number of columns
+  std::vector<int> c32;   ///< 3:2 compressors per column
+  std::vector<int> c22;   ///< 2:2 compressors per column
+  /// 4:2 compressors per column — the paper's "more compressor
+  /// variants" extension (K = 3). A 4:2 consumes four bits of its
+  /// column, keeps one sum and sends TWO carries to column j+1.
+  std::vector<int> c42;
+
+  CompressorTree() = default;
+  explicit CompressorTree(ColumnHeights heights);
+
+  int columns() const { return static_cast<int>(pp.size()); }
+  int total_c32() const;
+  int total_c22() const;
+  int total_c42() const;
+
+  /// Number of carries entering column j (from column j-1's compressors).
+  int carries_into(int j) const;
+
+  /// res_j of the paper: bits left in column j after all compression,
+  /// including incoming carries.
+  int final_height(int j) const;
+  std::vector<int> final_heights() const;
+
+  /// A tree is legal when every column with content compresses to one or
+  /// two rows, empty columns carry no compressors, and no count is
+  /// negative.
+  bool legal() const;
+
+  bool operator==(const CompressorTree& other) const = default;
+
+  /// Canonical key for hashing / dedup across the search.
+  std::string key() const;
+};
+
+// ---------------------------------------------------------------------------
+// Action space (Section III-D). Four actions per column.
+
+enum class ActionKind : std::uint8_t {
+  kAdd22 = 0,            ///< add a 2:2 compressor          (res_j -= 1)
+  kRemove22 = 1,         ///< remove a 2:2 compressor       (res_j += 1)
+  kReplace32With22 = 2,  ///< 3:2 -> 2:2                    (res_j += 1)
+  kReplace22With32 = 3,  ///< 2:2 -> 3:2                    (res_j -= 1)
+  // Extension actions (disabled unless the caller opts in): a 4:2 is
+  // arithmetically identical to a {3:2 + 2:2} pair at the column level
+  // (same net consumption, same carry count), so fusing/splitting
+  // changes only the hardware mapping, never the residuals.
+  kFuse32And22To42 = 4,  ///< {3:2, 2:2} -> 4:2             (res_j += 0)
+  kSplit42To32And22 = 5, ///< 4:2 -> {3:2, 2:2}             (res_j += 0)
+};
+
+constexpr int kActionsPerColumn = 6;
+
+struct Action {
+  int column = 0;
+  ActionKind kind = ActionKind::kAdd22;
+
+  bool operator==(const Action&) const = default;
+};
+
+/// Flat index into the 8N-long action vector of Equation (5).
+int action_index(const Action& a);
+Action action_from_index(int index);
+
+/// True when the action can be applied to column `a.column` and leaves
+/// that column's residual height in {1, 2}. Downstream columns may still
+/// need legalization afterwards.
+bool action_applicable(const CompressorTree& tree, const Action& a);
+
+/// Algorithm 2: sweep from `from_column` to the MSB, restoring
+/// res_j in {1, 2} everywhere; early-exits once a column is already
+/// legal (its carry-out was not modified, so nothing downstream moved).
+void legalize(CompressorTree& tree, int from_column);
+
+/// Apply an action (must be applicable) and legalize. Returns the
+/// successor state s_{t+1}.
+CompressorTree apply_action(CompressorTree tree, const Action& a);
+
+/// Legality mask of Equation (6): one byte per action, 1 = selectable.
+/// When `max_stages` >= 0, actions whose legalized successor exceeds
+/// that stage count are masked off (search-space pruning, Section IV-C).
+/// `allow_42` unmasks the 4:2 fuse/split extension actions.
+std::vector<std::uint8_t> legal_action_mask(const CompressorTree& tree,
+                                            int max_stages = -1,
+                                            bool allow_42 = false);
+
+// ---------------------------------------------------------------------------
+// Stage assignment (Algorithm 1) and the tensor representation.
+
+/// The paper's tensor representation T in R^{2 x 2N x ST}: a unique,
+/// deterministic placement of M's compressors into stages.
+struct StageAssignment {
+  int stages = 0;  ///< ST: number of compression stages actually used
+  /// t32[s][j] / t22[s][j] / t42[s][j]: compressors of each kind at
+  /// stage s, column j.
+  std::vector<std::vector<int>> t32;
+  std::vector<std::vector<int>> t22;
+  std::vector<std::vector<int>> t42;
+};
+
+/// Algorithm 1: assign compressors LSB->MSB, 3:2 before 2:2, earliest
+/// stage with enough available bits. Requires a legal tree.
+StageAssignment assign_stages(const CompressorTree& tree);
+
+/// Number of stages the deterministic assignment uses.
+int stage_count(const CompressorTree& tree);
+
+// ---------------------------------------------------------------------------
+// Legacy constructors (baselines of Section V).
+
+/// Classic row-based Wallace reduction: rows are grouped in threes each
+/// stage; within a group a column with 3 bits gets a full adder and a
+/// column with 2 bits gets a half adder.
+CompressorTree wallace_tree(const ColumnHeights& pp);
+
+/// Dadda reduction: per-stage column targets 2, 3, 4, 6, 9, 13, ...;
+/// uses the minimal number of compressors to reach each target.
+CompressorTree dadda_tree(const ColumnHeights& pp);
+
+/// Human-readable dump (for examples and debugging).
+std::string to_string(const CompressorTree& tree);
+
+}  // namespace rlmul::ct

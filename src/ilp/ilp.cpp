@@ -1,0 +1,322 @@
+#include "ilp/ilp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rlmul::ilp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense simplex tableau. Rows: one per constraint plus the objective
+/// row at the end. Columns: structural + slack/surplus + artificial +
+/// RHS.
+class Tableau {
+ public:
+  Tableau(const LinearProgram& lp) {
+    n_ = lp.num_vars;
+    m_ = static_cast<int>(lp.constraints.size());
+
+    // Count extra columns.
+    int slacks = 0;
+    int artificials = 0;
+    for (const auto& c : lp.constraints) {
+      const bool flip = c.rhs < 0.0;
+      const Relation rel = flip ? flipped(c.rel) : c.rel;
+      if (rel != Relation::kEqual) ++slacks;
+      if (rel != Relation::kLessEqual) ++artificials;
+    }
+    cols_ = n_ + slacks + artificials + 1;  // +1 for RHS
+    art_begin_ = n_ + slacks;
+    a_.assign(static_cast<std::size_t>(m_ + 1) *
+                  static_cast<std::size_t>(cols_),
+              0.0);
+    basis_.assign(static_cast<std::size_t>(m_), -1);
+
+    int next_slack = n_;
+    int next_art = art_begin_;
+    for (int r = 0; r < m_; ++r) {
+      const auto& c = lp.constraints[static_cast<std::size_t>(r)];
+      const bool flip = c.rhs < 0.0;
+      const double sign = flip ? -1.0 : 1.0;
+      const Relation rel = flip ? flipped(c.rel) : c.rel;
+      for (int j = 0; j < n_; ++j) {
+        at(r, j) = sign * c.coeffs[static_cast<std::size_t>(j)];
+      }
+      rhs(r) = sign * c.rhs;
+      switch (rel) {
+        case Relation::kLessEqual:
+          at(r, next_slack) = 1.0;
+          basis_[static_cast<std::size_t>(r)] = next_slack++;
+          break;
+        case Relation::kGreaterEqual:
+          at(r, next_slack++) = -1.0;
+          at(r, next_art) = 1.0;
+          basis_[static_cast<std::size_t>(r)] = next_art++;
+          break;
+        case Relation::kEqual:
+          at(r, next_art) = 1.0;
+          basis_[static_cast<std::size_t>(r)] = next_art++;
+          break;
+      }
+    }
+  }
+
+  /// Phase 1: drive artificials out. Returns false when infeasible.
+  bool phase1(int max_iters) {
+    if (art_begin_ == cols_ - 1) return true;  // no artificials
+    // Objective: minimize sum of artificial variables.
+    for (int j = 0; j < cols_; ++j) obj(j) = 0.0;
+    for (int j = art_begin_; j < cols_ - 1; ++j) obj(j) = 1.0;
+    price_out();
+    if (!iterate(max_iters, art_begin_)) return false;
+    if (obj_value() > 1e-7) return false;  // artificials stuck > 0
+    // Pivot any artificial still (degenerately) basic out of the basis.
+    for (int r = 0; r < m_; ++r) {
+      if (basis_[static_cast<std::size_t>(r)] >= art_begin_) {
+        int enter = -1;
+        for (int j = 0; j < art_begin_; ++j) {
+          if (std::abs(at(r, j)) > kEps) {
+            enter = j;
+            break;
+          }
+        }
+        if (enter >= 0) pivot(r, enter);
+        // else: redundant row; harmless.
+      }
+    }
+    return true;
+  }
+
+  enum class P2 { kOptimal, kUnbounded, kIterLimit };
+
+  P2 phase2(const std::vector<double>& objective, int max_iters) {
+    for (int j = 0; j < cols_; ++j) obj(j) = 0.0;
+    for (int j = 0; j < n_; ++j) {
+      obj(j) = objective[static_cast<std::size_t>(j)];
+    }
+    price_out();
+    // Artificial columns are forbidden in phase 2.
+    if (!iterate(max_iters, art_begin_, &unbounded_)) {
+      return unbounded_ ? P2::kUnbounded : P2::kIterLimit;
+    }
+    return P2::kOptimal;
+  }
+
+  double obj_value() const { return -at_c(m_, cols_ - 1); }
+
+  std::vector<double> extract(int n) const {
+    std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+    for (int r = 0; r < m_; ++r) {
+      const int b = basis_[static_cast<std::size_t>(r)];
+      if (b >= 0 && b < n) {
+        x[static_cast<std::size_t>(b)] = at_c(r, cols_ - 1);
+      }
+    }
+    return x;
+  }
+
+ private:
+  static Relation flipped(Relation r) {
+    switch (r) {
+      case Relation::kLessEqual: return Relation::kGreaterEqual;
+      case Relation::kGreaterEqual: return Relation::kLessEqual;
+      case Relation::kEqual: return Relation::kEqual;
+    }
+    return r;
+  }
+
+  double& at(int r, int c) {
+    return a_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+              static_cast<std::size_t>(c)];
+  }
+  double at_c(int r, int c) const {
+    return a_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+              static_cast<std::size_t>(c)];
+  }
+  double& rhs(int r) { return at(r, cols_ - 1); }
+  double& obj(int c) { return at(m_, c); }
+
+  /// Makes the objective row consistent with the current basis (zero
+  /// reduced cost on basic columns).
+  void price_out() {
+    for (int r = 0; r < m_; ++r) {
+      const int b = basis_[static_cast<std::size_t>(r)];
+      const double coef = at(m_, b);
+      if (std::abs(coef) > kEps) {
+        for (int j = 0; j < cols_; ++j) at(m_, j) -= coef * at(r, j);
+      }
+    }
+  }
+
+  void pivot(int row, int col) {
+    const double p = at(row, col);
+    for (int j = 0; j < cols_; ++j) at(row, j) /= p;
+    for (int r = 0; r <= m_; ++r) {
+      if (r == row) continue;
+      const double f = at(r, col);
+      if (std::abs(f) > kEps) {
+        for (int j = 0; j < cols_; ++j) at(r, j) -= f * at(row, j);
+      }
+    }
+    basis_[static_cast<std::size_t>(row)] = col;
+  }
+
+  /// Simplex iterations with Bland's rule. Columns >= col_limit are
+  /// excluded from entering. Returns false on unboundedness/iteration
+  /// limit (sets *unbounded accordingly when provided).
+  bool iterate(int max_iters, int col_limit, bool* unbounded = nullptr) {
+    for (int it = 0; it < max_iters; ++it) {
+      int enter = -1;
+      for (int j = 0; j < col_limit; ++j) {  // Bland: smallest index
+        if (at(m_, j) < -kEps) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter < 0) return true;  // optimal
+      int leave = -1;
+      double best = std::numeric_limits<double>::infinity();
+      for (int r = 0; r < m_; ++r) {
+        if (at(r, enter) > kEps) {
+          const double ratio = at(r, cols_ - 1) / at(r, enter);
+          if (ratio < best - kEps ||
+              (ratio < best + kEps &&
+               (leave < 0 || basis_[static_cast<std::size_t>(r)] <
+                                 basis_[static_cast<std::size_t>(leave)]))) {
+            best = ratio;
+            leave = r;
+          }
+        }
+      }
+      if (leave < 0) {
+        if (unbounded != nullptr) *unbounded = true;
+        return false;
+      }
+      pivot(leave, enter);
+    }
+    return false;  // iteration limit
+  }
+
+  int n_ = 0;
+  int m_ = 0;
+  int cols_ = 0;
+  int art_begin_ = 0;
+  std::vector<double> a_;
+  std::vector<int> basis_;
+  bool unbounded_ = false;
+};
+
+}  // namespace
+
+Solution solve_lp(const LinearProgram& lp, int max_iters) {
+  if (static_cast<int>(lp.objective.size()) != lp.num_vars) {
+    throw std::invalid_argument("solve_lp: objective size mismatch");
+  }
+  for (const auto& c : lp.constraints) {
+    if (static_cast<int>(c.coeffs.size()) != lp.num_vars) {
+      throw std::invalid_argument("solve_lp: constraint size mismatch");
+    }
+  }
+  Tableau t(lp);
+  Solution sol;
+  if (!t.phase1(max_iters)) {
+    sol.status = Status::kInfeasible;
+    return sol;
+  }
+  switch (t.phase2(lp.objective, max_iters)) {
+    case Tableau::P2::kOptimal: sol.status = Status::kOptimal; break;
+    case Tableau::P2::kUnbounded: sol.status = Status::kUnbounded; return sol;
+    case Tableau::P2::kIterLimit: sol.status = Status::kIterLimit; return sol;
+  }
+  sol.x = t.extract(lp.num_vars);
+  sol.objective = 0.0;
+  for (int j = 0; j < lp.num_vars; ++j) {
+    sol.objective += lp.objective[static_cast<std::size_t>(j)] *
+                     sol.x[static_cast<std::size_t>(j)];
+  }
+  return sol;
+}
+
+Solution solve_milp(const LinearProgram& lp,
+                    const std::vector<bool>& is_integer,
+                    const MilpOptions& opts) {
+  Solution best;
+  best.status = Status::kInfeasible;
+  double incumbent = std::numeric_limits<double>::infinity();
+  int nodes = 0;
+  bool hit_node_limit = false;
+
+  struct Node {
+    std::vector<Constraint> extra;
+  };
+  std::vector<Node> stack{Node{}};
+
+  while (!stack.empty()) {
+    if (++nodes > opts.max_nodes) {
+      hit_node_limit = true;
+      break;
+    }
+    Node node = std::move(stack.back());
+    stack.pop_back();
+
+    LinearProgram sub = lp;
+    for (const auto& c : node.extra) sub.constraints.push_back(c);
+    const Solution relax = solve_lp(sub);
+    if (relax.status != Status::kOptimal) continue;
+    if (relax.objective >= incumbent - 1e-9) continue;  // bound
+
+    // Most fractional variable.
+    int branch_var = -1;
+    double worst_frac = opts.int_tol;
+    for (int j = 0; j < lp.num_vars; ++j) {
+      if (!is_integer[static_cast<std::size_t>(j)]) continue;
+      const double v = relax.x[static_cast<std::size_t>(j)];
+      const double frac = std::abs(v - std::round(v));
+      if (frac > worst_frac) {
+        worst_frac = frac;
+        branch_var = j;
+      }
+    }
+    if (branch_var < 0) {
+      // Integral: new incumbent.
+      incumbent = relax.objective;
+      best = relax;
+      best.status = Status::kOptimal;
+      for (int j = 0; j < lp.num_vars; ++j) {
+        if (is_integer[static_cast<std::size_t>(j)]) {
+          best.x[static_cast<std::size_t>(j)] =
+              std::round(best.x[static_cast<std::size_t>(j)]);
+        }
+      }
+      continue;
+    }
+
+    const double v = relax.x[static_cast<std::size_t>(branch_var)];
+    Constraint le;
+    le.coeffs.assign(static_cast<std::size_t>(lp.num_vars), 0.0);
+    le.coeffs[static_cast<std::size_t>(branch_var)] = 1.0;
+    le.rel = Relation::kLessEqual;
+    le.rhs = std::floor(v);
+    Constraint ge = le;
+    ge.rel = Relation::kGreaterEqual;
+    ge.rhs = std::ceil(v);
+
+    Node down = node;
+    down.extra.push_back(le);
+    Node up = std::move(node);
+    up.extra.push_back(ge);
+    stack.push_back(std::move(down));
+    stack.push_back(std::move(up));
+  }
+
+  if (hit_node_limit && best.status != Status::kOptimal) {
+    best.status = Status::kNodeLimit;
+  }
+  return best;
+}
+
+}  // namespace rlmul::ilp

@@ -1,0 +1,53 @@
+#pragma once
+// Small dense linear-programming and mixed-integer solver. This is the
+// substrate behind the GOMIL baseline (Xiao et al., "GOMIL: global
+// optimization of multiplier by integer linear programming"): the paper
+// compares RL-MUL against an ILP formulation, so the repo carries its
+// own exact solver rather than assuming CPLEX/Gurobi.
+//
+// Scope: two-phase dense simplex with Bland's rule, plus depth-first
+// branch-and-bound on fractional variables. Problem sizes in this repo
+// are tiny (tens of variables), so a dense tableau is the right tool.
+
+#include <vector>
+
+namespace rlmul::ilp {
+
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+struct Constraint {
+  std::vector<double> coeffs;  ///< dense, size = num_vars
+  Relation rel = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// minimize objective . x  subject to constraints and x >= 0.
+/// (Shift variables yourself if you need other lower bounds.)
+struct LinearProgram {
+  int num_vars = 0;
+  std::vector<double> objective;
+  std::vector<Constraint> constraints;
+};
+
+enum class Status { kOptimal, kInfeasible, kUnbounded, kIterLimit,
+                    kNodeLimit };
+
+struct Solution {
+  Status status = Status::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+Solution solve_lp(const LinearProgram& lp, int max_iters = 20000);
+
+struct MilpOptions {
+  double int_tol = 1e-6;
+  int max_nodes = 200000;
+};
+
+/// Branch-and-bound MILP. `is_integer[i]` marks integral variables.
+Solution solve_milp(const LinearProgram& lp,
+                    const std::vector<bool>& is_integer,
+                    const MilpOptions& opts = {});
+
+}  // namespace rlmul::ilp

@@ -1,0 +1,171 @@
+#include "netlist/cell_library.hpp"
+
+#include <stdexcept>
+
+namespace rlmul::netlist {
+
+namespace {
+
+/// Build the drive-strength ladder for a cell from its X1 figures.
+/// Area and input cap grow with drive; resistance shrinks. The ratios
+/// loosely track NanGate45's X1/X2/X4 rows.
+std::vector<DriveVariant> ladder(double area, double cap, double res,
+                                 double leak, int steps = 3) {
+  std::vector<DriveVariant> out;
+  double a = area;
+  double c = cap;
+  double r = res;
+  double l = leak;
+  for (int i = 0; i < steps; ++i) {
+    out.push_back(DriveVariant{a, c, r, l});
+    a *= 1.6;
+    c *= 1.9;
+    r *= 0.52;
+    l *= 1.8;
+  }
+  return out;
+}
+
+CellSpec make(CellKind kind, double area, double cap, double res,
+              double leak, std::vector<std::vector<double>> intrinsic,
+              double energy, int steps = 3) {
+  CellSpec s;
+  s.kind = kind;
+  s.intrinsic = std::move(intrinsic);
+  s.variants = ladder(area, cap, res, leak, steps);
+  s.internal_energy_fj = energy;
+  return s;
+}
+
+/// intrinsic matrix where all inputs share the same arc delay.
+std::vector<std::vector<double>> uniform(int nin, double d) {
+  return std::vector<std::vector<double>>(
+      static_cast<std::size_t>(nin), std::vector<double>{d});
+}
+
+}  // namespace
+
+CellLibrary::CellLibrary() {
+  specs_.resize(static_cast<std::size_t>(num_cell_kinds()));
+  auto put = [&](CellSpec s) {
+    specs_[static_cast<std::size_t>(s.kind)] = std::move(s);
+  };
+
+  // kind, area um^2 (NanGate45 X1), cap fF, res ps/fF, leak nW,
+  // intrinsic ps, toggle energy fJ
+  put(make(CellKind::kInv, 0.532, 1.0, 6.0, 1.2, uniform(1, 6.0), 0.35));
+  put(make(CellKind::kBuf, 0.798, 1.0, 4.5, 1.4, uniform(1, 14.0), 0.55));
+  put(make(CellKind::kNand2, 0.798, 1.1, 7.0, 1.6, uniform(2, 8.0), 0.55));
+  put(make(CellKind::kNor2, 0.798, 1.2, 8.5, 1.9, uniform(2, 10.0), 0.60));
+  put(make(CellKind::kAnd2, 1.064, 1.1, 5.5, 2.0, uniform(2, 16.0), 0.70));
+  put(make(CellKind::kOr2, 1.064, 1.2, 5.5, 2.1, uniform(2, 17.0), 0.72));
+  put(make(CellKind::kAnd3, 1.330, 1.1, 5.8, 2.6, uniform(3, 19.0), 0.85));
+  put(make(CellKind::kOr3, 1.330, 1.2, 5.8, 2.7, uniform(3, 20.0), 0.88));
+  put(make(CellKind::kXor2, 1.596, 1.8, 7.5, 2.8, uniform(2, 26.0), 1.30));
+  put(make(CellKind::kXnor2, 1.596, 1.8, 7.5, 2.8, uniform(2, 26.0), 1.30));
+  put(make(CellKind::kAoi21, 1.064, 1.3, 8.0, 2.0, uniform(3, 11.0), 0.70));
+  put(make(CellKind::kOai21, 1.064, 1.3, 8.0, 2.0, uniform(3, 11.0), 0.70));
+  put(make(CellKind::kMux2, 1.862, 1.4, 7.0, 2.9, uniform(3, 22.0), 1.00));
+
+  // Full adder: distinct arcs per (input, output). Pin order A, B, CI;
+  // output order [sum, carry]. Carry arcs are faster than sum arcs,
+  // which is what makes carry-chain structures attractive and is the
+  // main timing asymmetry the compressor-tree optimization plays with.
+  CellSpec fa;
+  fa.kind = CellKind::kFa;
+  fa.intrinsic = {
+      {52.0, 38.0},  // A -> S, A -> CO
+      {52.0, 38.0},  // B -> S, B -> CO
+      {34.0, 24.0},  // CI -> S, CI -> CO
+  };
+  fa.variants = ladder(4.256, 1.7, 8.5, 6.5);
+  fa.internal_energy_fj = 3.1;
+  put(std::move(fa));
+
+  CellSpec ha;
+  ha.kind = CellKind::kHa;
+  ha.intrinsic = {
+      {30.0, 18.0},  // A -> S, A -> CO
+      {30.0, 18.0},  // B -> S, B -> CO
+  };
+  ha.variants = ladder(2.660, 1.5, 8.0, 4.0);
+  ha.internal_energy_fj = 1.8;
+  put(std::move(ha));
+
+  // Dedicated 4:2 compressor cell: cheaper and shallower than the
+  // FA+HA pair it replaces (the transmission-gate designs the paper's
+  // related work cites), which is what makes the fuse action
+  // worthwhile. Pin order A, B, C, D; outputs [sum, co1, co2].
+  CellSpec c42;
+  c42.kind = CellKind::kC42;
+  c42.intrinsic = {
+      {62.0, 40.0, 46.0},  // A -> S / CO1 / CO2
+      {62.0, 40.0, 46.0},  // B
+      {62.0, 40.0, 46.0},  // C
+      {40.0, 40.0, 26.0},  // D (late input: skips the first XOR level)
+  };
+  c42.variants = ladder(5.852, 1.7, 8.5, 9.0);
+  c42.internal_energy_fj = 4.2;
+  put(std::move(c42));
+
+  CellSpec dff;
+  dff.kind = CellKind::kDff;
+  dff.intrinsic = uniform(1, 42.0);  // clock-to-Q
+  dff.variants = ladder(4.522, 1.2, 7.0, 9.0);
+  dff.setup_ps = 28.0;
+  dff.internal_energy_fj = 2.4;
+  put(std::move(dff));
+
+  put(make(CellKind::kTieLo, 0.266, 0.0, 1.0, 0.4, {}, 0.0, 1));
+  put(make(CellKind::kTieHi, 0.266, 0.0, 1.0, 0.4, {}, 0.0, 1));
+}
+
+const CellLibrary& CellLibrary::nangate45() {
+  static const CellLibrary lib;
+  return lib;
+}
+
+const CellSpec& CellLibrary::spec(CellKind kind) const {
+  return specs_[static_cast<std::size_t>(kind)];
+}
+
+int CellLibrary::num_variants(CellKind kind) const {
+  return static_cast<int>(spec(kind).variants.size());
+}
+
+double CellLibrary::area(CellKind kind, int variant) const {
+  return spec(kind).variants[static_cast<std::size_t>(variant)].area_um2;
+}
+
+double CellLibrary::input_cap(CellKind kind, int variant) const {
+  return spec(kind).variants[static_cast<std::size_t>(variant)].input_cap_ff;
+}
+
+double CellLibrary::drive_res(CellKind kind, int variant) const {
+  return spec(kind).variants[static_cast<std::size_t>(variant)].res_ps_per_ff;
+}
+
+double CellLibrary::leakage(CellKind kind, int variant) const {
+  return spec(kind).variants[static_cast<std::size_t>(variant)].leakage_nw;
+}
+
+double CellLibrary::intrinsic(CellKind kind, int in_pin, int out_pin) const {
+  const auto& m = spec(kind).intrinsic;
+  if (in_pin < 0 || in_pin >= static_cast<int>(m.size())) {
+    throw std::out_of_range("intrinsic: bad input pin");
+  }
+  const auto& row = m[static_cast<std::size_t>(in_pin)];
+  // Single-column rows serve every output (only FA/HA have two columns).
+  const int col = out_pin < static_cast<int>(row.size()) ? out_pin : 0;
+  return row[static_cast<std::size_t>(col)];
+}
+
+double netlist_area(const Netlist& nl, const CellLibrary& lib) {
+  double total = 0.0;
+  for (const auto& g : nl.gates()) {
+    total += lib.area(g.kind, g.variant);
+  }
+  return total;
+}
+
+}  // namespace rlmul::netlist

@@ -1,0 +1,72 @@
+#pragma once
+// NanGate-45nm-flavoured standard-cell library. Areas follow the open
+// NanGate 45 nm Open Cell Library (0.532 um^2 per INV_X1 site and
+// multiples thereof); timing uses a logical-effort style linear model:
+//
+//   arc delay [ps] = intrinsic(arc) + drive_resistance * load_cap
+//
+// where drive_resistance shrinks with the drive-strength variant and
+// input capacitance grows with it. This is the knob the synthesis
+// engine turns when it sizes gates against a target delay, exactly the
+// role OpenROAD/NanGate play in the paper's reward loop.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rlmul::netlist {
+
+/// One drive strength of a cell (X1, X2, X4, ...).
+struct DriveVariant {
+  double area_um2 = 0.0;    ///< placed area
+  double input_cap_ff = 0.0;  ///< per input pin
+  double res_ps_per_ff = 0.0;  ///< output drive resistance
+  double leakage_nw = 0.0;   ///< static leakage
+};
+
+/// Timing/power description of one cell function.
+struct CellSpec {
+  CellKind kind = CellKind::kInv;
+  /// intrinsic[in][out]: fixed arc delay in ps (X1 variant).
+  std::vector<std::vector<double>> intrinsic;
+  std::vector<DriveVariant> variants;
+  /// For DFFs only: clock-to-Q intrinsic is intrinsic[0][0]; setup time:
+  double setup_ps = 0.0;
+  /// Average output switching activity factor relative to input activity
+  /// (used by the probabilistic power model).
+  double internal_energy_fj = 0.0;  ///< energy per output toggle
+};
+
+/// Immutable library shared across the process.
+class CellLibrary {
+ public:
+  static const CellLibrary& nangate45();
+
+  const CellSpec& spec(CellKind kind) const;
+  int num_variants(CellKind kind) const;
+
+  double area(CellKind kind, int variant) const;
+  double input_cap(CellKind kind, int variant) const;
+  double drive_res(CellKind kind, int variant) const;
+  double leakage(CellKind kind, int variant) const;
+  double intrinsic(CellKind kind, int in_pin, int out_pin) const;
+  double setup(CellKind kind) const { return spec(kind).setup_ps; }
+  double internal_energy(CellKind kind) const {
+    return spec(kind).internal_energy_fj;
+  }
+
+  /// Wire parasitics: added load per fanout pin plus a fixed stub.
+  double wire_cap_per_fanout_ff() const { return 0.5; }
+  double wire_cap_fixed_ff() const { return 0.3; }
+  /// Load assumed on primary outputs.
+  double output_load_ff() const { return 3.0; }
+
+ private:
+  CellLibrary();
+  std::vector<CellSpec> specs_;
+};
+
+/// Total placed area of a netlist in um^2 (sum over gates).
+double netlist_area(const Netlist& nl, const CellLibrary& lib);
+
+}  // namespace rlmul::netlist

@@ -1,0 +1,166 @@
+#include "netlist/ct_builder.hpp"
+
+#include <stdexcept>
+
+namespace rlmul::netlist {
+
+namespace {
+
+std::vector<Signal> build_ripple(LogicBuilder& lb, const ColumnSignals& rows) {
+  std::vector<Signal> out(rows.size(), Signal::lo());
+  Signal carry = Signal::lo();
+  bool have_carry = false;
+  for (std::size_t j = 0; j < rows.size(); ++j) {
+    std::vector<Signal> bits = rows[j];
+    if (have_carry) bits.push_back(carry);
+    have_carry = false;
+    switch (bits.size()) {
+      case 0:
+        out[j] = Signal::lo();
+        break;
+      case 1:
+        out[j] = bits[0];
+        break;
+      case 2: {
+        const auto ha = lb.half_add(bits[0], bits[1]);
+        out[j] = ha.sum;
+        carry = ha.carry;
+        have_carry = !carry.is_lo() && (j + 1 < rows.size());
+        break;
+      }
+      case 3: {
+        const auto fa = lb.full_add(bits[0], bits[1], bits[2]);
+        out[j] = fa.sum;
+        carry = fa.carry;
+        have_carry = !carry.is_lo() && (j + 1 < rows.size());
+        break;
+      }
+      default:
+        throw std::invalid_argument("build_cpa: column with >2 result rows");
+    }
+  }
+  return out;
+}
+
+/// Shared parallel-prefix machinery: level-0 (p, g), a per-architecture
+/// prefix network computing group generates [0..j], then the sum XOR.
+std::vector<Signal> build_prefix(LogicBuilder& lb, const ColumnSignals& rows,
+                                 CpaKind kind) {
+  const int w = static_cast<int>(rows.size());
+  std::vector<Signal> a(static_cast<std::size_t>(w), Signal::lo());
+  std::vector<Signal> b(static_cast<std::size_t>(w), Signal::lo());
+  for (int j = 0; j < w; ++j) {
+    const auto& col = rows[static_cast<std::size_t>(j)];
+    if (col.size() > 2) {
+      throw std::invalid_argument("build_cpa: column with >2 result rows");
+    }
+    if (!col.empty()) a[static_cast<std::size_t>(j)] = col[0];
+    if (col.size() > 1) b[static_cast<std::size_t>(j)] = col[1];
+  }
+
+  // Level-0 propagate/generate; constants fold where b is absent.
+  std::vector<Signal> p0(static_cast<std::size_t>(w));
+  std::vector<Signal> g(static_cast<std::size_t>(w));
+  std::vector<Signal> p(static_cast<std::size_t>(w));
+  for (int j = 0; j < w; ++j) {
+    p0[static_cast<std::size_t>(j)] =
+        lb.xor2(a[static_cast<std::size_t>(j)], b[static_cast<std::size_t>(j)]);
+    g[static_cast<std::size_t>(j)] =
+        lb.and2(a[static_cast<std::size_t>(j)], b[static_cast<std::size_t>(j)]);
+    p[static_cast<std::size_t>(j)] = p0[static_cast<std::size_t>(j)];
+  }
+
+  // (g, p)[j] <- (g, p)[j] o (g, p)[m]   — the prefix operator.
+  auto combine = [&](int j, int m) {
+    g[static_cast<std::size_t>(j)] =
+        lb.or2(g[static_cast<std::size_t>(j)],
+               lb.and2(p[static_cast<std::size_t>(j)],
+                       g[static_cast<std::size_t>(m)]));
+    p[static_cast<std::size_t>(j)] =
+        lb.and2(p[static_cast<std::size_t>(j)],
+                p[static_cast<std::size_t>(m)]);
+  };
+
+  switch (kind) {
+    case CpaKind::kKoggeStone: {
+      // All nodes advance together: double-buffer each level.
+      for (int d = 1; d < w; d *= 2) {
+        std::vector<Signal> ng = g;
+        std::vector<Signal> np = p;
+        for (int j = w - 1; j >= d; --j) {
+          ng[static_cast<std::size_t>(j)] =
+              lb.or2(g[static_cast<std::size_t>(j)],
+                     lb.and2(p[static_cast<std::size_t>(j)],
+                             g[static_cast<std::size_t>(j - d)]));
+          np[static_cast<std::size_t>(j)] =
+              lb.and2(p[static_cast<std::size_t>(j)],
+                      p[static_cast<std::size_t>(j - d)]);
+        }
+        g = std::move(ng);
+        p = std::move(np);
+      }
+      break;
+    }
+    case CpaKind::kSklansky: {
+      // Level k merges each right half-block with the left block's last
+      // node; partners have bit k clear so in-place updates are safe.
+      for (int d = 1; d < w; d *= 2) {
+        for (int j = 0; j < w; ++j) {
+          if ((j & d) != 0) combine(j, (j / d) * d - 1);
+        }
+      }
+      break;
+    }
+    case CpaKind::kBrentKung: {
+      // Up-sweep then down-sweep; partners at each step are finished
+      // spans, so in-place updates are safe.
+      int top = 1;
+      while (top < w) top *= 2;
+      for (int d = 1; d < w; d *= 2) {
+        for (int j = 2 * d - 1; j < w; j += 2 * d) combine(j, j - d);
+      }
+      for (int d = top / 2; d > 1; d /= 2) {
+        for (int j = d + d / 2 - 1; j < w; j += d) combine(j, j - d / 2);
+      }
+      break;
+    }
+    case CpaKind::kRippleCarry:
+      throw std::logic_error("build_prefix: ripple is not a prefix CPA");
+  }
+
+  std::vector<Signal> out(static_cast<std::size_t>(w));
+  out[0] = p0[0];
+  for (int j = 1; j < w; ++j) {
+    out[static_cast<std::size_t>(j)] =
+        lb.xor2(p0[static_cast<std::size_t>(j)],
+                g[static_cast<std::size_t>(j - 1)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* cpa_kind_name(CpaKind kind) {
+  switch (kind) {
+    case CpaKind::kRippleCarry: return "RCA";
+    case CpaKind::kKoggeStone: return "KS";
+    case CpaKind::kBrentKung: return "BK";
+    case CpaKind::kSklansky: return "SK";
+  }
+  return "?";
+}
+
+std::vector<Signal> build_cpa(LogicBuilder& lb, CpaKind kind,
+                              const ColumnSignals& rows) {
+  switch (kind) {
+    case CpaKind::kRippleCarry:
+      return build_ripple(lb, rows);
+    case CpaKind::kKoggeStone:
+    case CpaKind::kBrentKung:
+    case CpaKind::kSklansky:
+      return build_prefix(lb, rows, kind);
+  }
+  throw std::invalid_argument("build_cpa: unknown kind");
+}
+
+}  // namespace rlmul::netlist

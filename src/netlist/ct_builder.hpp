@@ -1,0 +1,56 @@
+#pragma once
+// Emits the compressor tree and the final carry-propagation adder into a
+// netlist. The CT follows the deterministic stage assignment of
+// Algorithm 1, so the emitted structure is exactly the paper's tensor
+// representation made of FA/HA cells. Carries leaving the top column
+// are discarded (mod-2^W arithmetic); compressors there degrade to
+// sum-only XOR trees, as a synthesizer would trim them.
+
+#include <vector>
+
+#include "ct/compressor_tree.hpp"
+#include "netlist/logic_builder.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rlmul::netlist {
+
+/// Per-column partial-product bits, LSB column first.
+using ColumnSignals = std::vector<std::vector<Signal>>;
+
+struct CtBuildOptions {
+  /// Three-Dimensional-Method-style signal ordering (Oklobdzija et
+  /// al.): within each stage, compressors consume the earliest-arriving
+  /// bits and route the latest of them to the fast carry-in pin, so
+  /// slow signals ride the short arcs. Off = plain FIFO order (the
+  /// deterministic baseline the tensor representation documents).
+  bool tdm_ordering = false;
+};
+
+/// Compresses `columns` with the tree's compressors. Returns the final
+/// rows: per column a list of 1 or 2 signals (0 for empty columns).
+/// The number of initial bits per column must match `tree.pp`.
+ColumnSignals build_compressor_tree(LogicBuilder& lb,
+                                    const ct::CompressorTree& tree,
+                                    ColumnSignals columns,
+                                    const CtBuildOptions& opts = {});
+
+enum class CpaKind {
+  kRippleCarry,  ///< minimum area, linear delay
+  kKoggeStone,   ///< parallel-prefix, log delay, max wiring/area
+  kBrentKung,    ///< parallel-prefix, ~2log depth, minimal prefix nodes
+  kSklansky,     ///< parallel-prefix, log depth, high-fanout nodes
+};
+
+const char* cpa_kind_name(CpaKind kind);
+
+/// All CPA architectures, in area order (for synthesis sweeps).
+inline constexpr CpaKind kAllCpaKinds[] = {
+    CpaKind::kRippleCarry, CpaKind::kBrentKung, CpaKind::kSklansky,
+    CpaKind::kKoggeStone};
+
+/// Adds the (<=2)-row result into one output bit per column. The carry
+/// out of the top column is discarded.
+std::vector<Signal> build_cpa(LogicBuilder& lb, CpaKind kind,
+                              const ColumnSignals& rows);
+
+}  // namespace rlmul::netlist

@@ -1,0 +1,169 @@
+// build_compressor_tree lives in its own TU: it carries the signal-
+// ordering policy (FIFO vs TDM) and the per-bit arrival bookkeeping.
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "netlist/ct_builder.hpp"
+
+namespace rlmul::netlist {
+
+namespace {
+
+/// A partial-product bit with its estimated arrival time (ps; coarse
+/// constants, good enough to order signals the way TDM wants).
+struct Bit {
+  Signal sig;
+  double t = 0.0;
+};
+
+constexpr double kFaSumA = 52.0, kFaSumC = 34.0;
+constexpr double kFaCarryA = 38.0, kFaCarryC = 24.0;
+constexpr double kHaSum = 30.0, kHaCarry = 18.0;
+constexpr double kXor = 26.0;
+
+/// Removes and returns `n` bits: FIFO order, or the n earliest arrivals
+/// under TDM (ties keep insertion order, so the build is deterministic).
+std::vector<Bit> take(std::vector<Bit>& bits, std::size_t n, bool tdm) {
+  std::vector<Bit> out;
+  out.reserve(n);
+  if (!tdm) {
+    out.assign(bits.begin(), bits.begin() + static_cast<std::ptrdiff_t>(n));
+    bits.erase(bits.begin(), bits.begin() + static_cast<std::ptrdiff_t>(n));
+    return out;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < bits.size(); ++i) {
+      if (bits[i].t < bits[best].t) best = i;
+    }
+    out.push_back(bits[best]);
+    bits.erase(bits.begin() + static_cast<std::ptrdiff_t>(best));
+  }
+  // Latest-arriving of the selected bits goes last (the fast pin).
+  std::sort(out.begin(), out.end(),
+            [](const Bit& a, const Bit& b) { return a.t < b.t; });
+  return out;
+}
+
+}  // namespace
+
+ColumnSignals build_compressor_tree(LogicBuilder& lb,
+                                    const ct::CompressorTree& tree,
+                                    ColumnSignals columns,
+                                    const CtBuildOptions& opts) {
+  const int cols = tree.columns();
+  if (static_cast<int>(columns.size()) != cols) {
+    throw std::invalid_argument("build_compressor_tree: column count");
+  }
+  for (int j = 0; j < cols; ++j) {
+    if (static_cast<int>(columns[static_cast<std::size_t>(j)].size()) !=
+        tree.pp[static_cast<std::size_t>(j)]) {
+      throw std::invalid_argument(
+          "build_compressor_tree: column height mismatch with tree.pp");
+    }
+  }
+
+  const ct::StageAssignment plan = ct::assign_stages(tree);
+
+  // avail[j]: bits usable at the current stage; pending[j]: bits that
+  // become available at the next stage (sums and incoming carries).
+  std::vector<std::vector<Bit>> avail(static_cast<std::size_t>(cols));
+  std::vector<std::vector<Bit>> pending(static_cast<std::size_t>(cols));
+  for (int j = 0; j < cols; ++j) {
+    for (const Signal& s : columns[static_cast<std::size_t>(j)]) {
+      avail[static_cast<std::size_t>(j)].push_back({s, 0.0});
+    }
+  }
+
+  auto starved = []() -> std::logic_error {
+    return std::logic_error("CT build: stage plan starved a column");
+  };
+
+  for (int s = 0; s < plan.stages; ++s) {
+    for (int j = 0; j < cols; ++j) {
+      auto& bits = avail[static_cast<std::size_t>(j)];
+      auto& here = pending[static_cast<std::size_t>(j)];
+      const bool top = (j + 1 == cols);
+      auto& left =
+          top ? here : pending[static_cast<std::size_t>(j) + 1];
+      const int n32 =
+          plan.t32[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)];
+      const int n22 =
+          plan.t22[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)];
+      const int n42 =
+          plan.t42[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)];
+
+      for (int k = 0; k < n42; ++k) {
+        if (bits.size() < 4) throw starved();
+        const auto in = take(bits, 4, opts.tdm_ordering);
+        if (top) {
+          here.push_back({lb.xor2(lb.xor3(in[0].sig, in[1].sig, in[2].sig),
+                                  in[3].sig),
+                          std::max({in[0].t, in[1].t, in[2].t}) + 2 * kXor});
+        } else {
+          const auto c42 =
+              lb.compress42(in[0].sig, in[1].sig, in[2].sig, in[3].sig);
+          const double base = std::max({in[0].t, in[1].t, in[2].t});
+          here.push_back({c42.sum, std::max(base + kFaSumA + kHaSum,
+                                            in[3].t + kHaSum)});
+          left.push_back({c42.carry1, base + kFaCarryA});
+          left.push_back({c42.carry2, std::max(base + kFaSumA, in[3].t) +
+                                          kHaCarry});
+        }
+      }
+      for (int k = 0; k < n32; ++k) {
+        if (bits.size() < 3) throw starved();
+        const auto in = take(bits, 3, opts.tdm_ordering);
+        if (top) {
+          here.push_back({lb.xor3(in[0].sig, in[1].sig, in[2].sig),
+                          std::max({in[0].t, in[1].t, in[2].t}) + 2 * kXor});
+        } else {
+          // Latest arrival rides the fast CI arcs.
+          const auto fa = lb.full_add(in[0].sig, in[1].sig, in[2].sig);
+          const double ab = std::max(in[0].t, in[1].t);
+          here.push_back(
+              {fa.sum, std::max(ab + kFaSumA, in[2].t + kFaSumC)});
+          left.push_back(
+              {fa.carry, std::max(ab + kFaCarryA, in[2].t + kFaCarryC)});
+        }
+      }
+      for (int k = 0; k < n22; ++k) {
+        if (bits.size() < 2) throw starved();
+        const auto in = take(bits, 2, opts.tdm_ordering);
+        if (top) {
+          here.push_back({lb.xor2(in[0].sig, in[1].sig),
+                          std::max(in[0].t, in[1].t) + kXor});
+        } else {
+          const auto ha = lb.half_add(in[0].sig, in[1].sig);
+          const double ab = std::max(in[0].t, in[1].t);
+          here.push_back({ha.sum, ab + kHaSum});
+          left.push_back({ha.carry, ab + kHaCarry});
+        }
+      }
+    }
+    // Stage boundary: pending bits become available.
+    for (int j = 0; j < cols; ++j) {
+      auto& p = pending[static_cast<std::size_t>(j)];
+      auto& a = avail[static_cast<std::size_t>(j)];
+      a.insert(a.end(), p.begin(), p.end());
+      p.clear();
+    }
+  }
+
+  ColumnSignals out(static_cast<std::size_t>(cols));
+  for (int j = 0; j < cols; ++j) {
+    auto& bits = avail[static_cast<std::size_t>(j)];
+    if (static_cast<int>(bits.size()) !=
+        std::max(tree.final_height(j), 0)) {
+      throw std::logic_error("CT build: final height mismatch");
+    }
+    for (const Bit& b : bits) {
+      out[static_cast<std::size_t>(j)].push_back(b.sig);
+    }
+  }
+  return out;
+}
+
+}  // namespace rlmul::netlist

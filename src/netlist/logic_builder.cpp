@@ -1,0 +1,111 @@
+#include "netlist/logic_builder.hpp"
+
+namespace rlmul::netlist {
+
+namespace {
+Signal out_of(Netlist& nl, GateId g, int pin = 0) {
+  return Signal::of(nl.gates()[static_cast<std::size_t>(g)]
+                        .outputs[static_cast<std::size_t>(pin)]);
+}
+}  // namespace
+
+Signal LogicBuilder::inv(Signal a) {
+  if (a.is_const()) return a.is_lo() ? Signal::hi() : Signal::lo();
+  return out_of(nl_, nl_.add_gate(CellKind::kInv, {a.net}));
+}
+
+Signal LogicBuilder::and2(Signal a, Signal b) {
+  if (a.is_lo() || b.is_lo()) return Signal::lo();
+  if (a.is_hi()) return b;
+  if (b.is_hi()) return a;
+  if (a == b) return a;
+  return out_of(nl_, nl_.add_gate(CellKind::kAnd2, {a.net, b.net}));
+}
+
+Signal LogicBuilder::or2(Signal a, Signal b) {
+  if (a.is_hi() || b.is_hi()) return Signal::hi();
+  if (a.is_lo()) return b;
+  if (b.is_lo()) return a;
+  if (a == b) return a;
+  return out_of(nl_, nl_.add_gate(CellKind::kOr2, {a.net, b.net}));
+}
+
+Signal LogicBuilder::xor2(Signal a, Signal b) {
+  if (a.is_const() && b.is_const()) {
+    return a == b ? Signal::lo() : Signal::hi();
+  }
+  if (a.is_lo()) return b;
+  if (b.is_lo()) return a;
+  if (a.is_hi()) return inv(b);
+  if (b.is_hi()) return inv(a);
+  if (a == b) return Signal::lo();
+  return out_of(nl_, nl_.add_gate(CellKind::kXor2, {a.net, b.net}));
+}
+
+Signal LogicBuilder::xnor2(Signal a, Signal b) { return inv(xor2(a, b)); }
+
+Signal LogicBuilder::mux2(Signal a, Signal b, Signal sel) {
+  if (sel.is_lo()) return a;
+  if (sel.is_hi()) return b;
+  if (a == b) return a;
+  if (a.is_const() && b.is_const()) {
+    // a=0,b=1 -> sel ; a=1,b=0 -> !sel
+    return a.is_lo() ? sel : inv(sel);
+  }
+  if (a.is_lo()) return and2(sel, b);
+  if (b.is_lo()) return and2(inv(sel), a);
+  if (a.is_hi()) return or2(inv(sel), b);
+  if (b.is_hi()) return or2(sel, a);
+  return out_of(nl_,
+                nl_.add_gate(CellKind::kMux2, {a.net, b.net, sel.net}));
+}
+
+LogicBuilder::AddOut LogicBuilder::half_add(Signal a, Signal b) {
+  if (a.is_const() || b.is_const()) {
+    if (a.is_const() && !b.is_const()) std::swap(a, b);
+    // b is the constant (or both are).
+    if (b.is_lo()) return {a, Signal::lo()};
+    // b == 1: sum = !a, carry = a
+    return {inv(a), a};
+  }
+  const GateId g = nl_.add_gate(CellKind::kHa, {a.net, b.net});
+  return {out_of(nl_, g, 0), out_of(nl_, g, 1)};
+}
+
+LogicBuilder::AddOut LogicBuilder::full_add(Signal a, Signal b, Signal c) {
+  // Sort constants to the back.
+  if (a.is_const() && !c.is_const()) std::swap(a, c);
+  if (b.is_const() && !c.is_const()) std::swap(b, c);
+  if (c.is_const()) {
+    if (c.is_lo()) return half_add(a, b);
+    // c == 1: sum = xnor(a,b), carry = or(a,b)
+    const AddOut ha = half_add(a, b);
+    return {inv(ha.sum), or2(a, b)};
+  }
+  const GateId g = nl_.add_gate(CellKind::kFa, {a.net, b.net, c.net});
+  return {out_of(nl_, g, 0), out_of(nl_, g, 1)};
+}
+
+Signal LogicBuilder::xor3(Signal a, Signal b, Signal c) {
+  return xor2(xor2(a, b), c);
+}
+
+LogicBuilder::C42Out LogicBuilder::compress42(Signal a, Signal b, Signal c,
+                                              Signal d) {
+  if (a.is_const() || b.is_const() || c.is_const() || d.is_const()) {
+    // Fold through the adder composition FA(a,b,c) + HA(s1,d).
+    const AddOut fa = full_add(a, b, c);
+    const AddOut ha = half_add(fa.sum, d);
+    return {ha.sum, fa.carry, ha.carry};
+  }
+  const GateId g =
+      nl_.add_gate(CellKind::kC42, {a.net, b.net, c.net, d.net});
+  return {out_of(nl_, g, 0), out_of(nl_, g, 1), out_of(nl_, g, 2)};
+}
+
+NetId LogicBuilder::materialize(Signal s) {
+  if (!s.is_const()) return s.net;
+  return s.is_lo() ? nl_.tie_lo() : nl_.tie_hi();
+}
+
+}  // namespace rlmul::netlist

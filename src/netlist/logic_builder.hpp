@@ -1,0 +1,71 @@
+#pragma once
+// Constant-folding construction helpers. Builders describe logic in
+// terms of `Signal`s, which are either real nets or the constants 0/1;
+// gates touching constants are folded away instead of instantiated, the
+// way a logic synthesizer would trim them. Only signals that must leave
+// the block are materialized as tie cells.
+
+#include "netlist/netlist.hpp"
+
+namespace rlmul::netlist {
+
+/// A net handle or a compile-time constant.
+struct Signal {
+  NetId net = kNoNet;
+  // -1: real net; 0/1: constant
+  int constant = -1;
+
+  static Signal of(NetId n) { return Signal{n, -1}; }
+  static Signal lo() { return Signal{kNoNet, 0}; }
+  static Signal hi() { return Signal{kNoNet, 1}; }
+  bool is_const() const { return constant >= 0; }
+  bool is_lo() const { return constant == 0; }
+  bool is_hi() const { return constant == 1; }
+  bool operator==(const Signal&) const = default;
+};
+
+class LogicBuilder {
+ public:
+  explicit LogicBuilder(Netlist& nl) : nl_(nl) {}
+
+  Signal inv(Signal a);
+  Signal and2(Signal a, Signal b);
+  Signal or2(Signal a, Signal b);
+  Signal xor2(Signal a, Signal b);
+  Signal xnor2(Signal a, Signal b);
+  Signal mux2(Signal a, Signal b, Signal sel);  ///< sel ? b : a
+
+  /// Full/half adder on signals; constants select the cheaper cell
+  /// (e.g. an FA with a constant-0 carry-in degrades to an HA).
+  struct AddOut {
+    Signal sum;
+    Signal carry;
+  };
+  AddOut full_add(Signal a, Signal b, Signal c);
+  AddOut half_add(Signal a, Signal b);
+
+  /// Sum-only compressors for the top column where carries are
+  /// discarded (mod-2^W arithmetic).
+  Signal xor3(Signal a, Signal b, Signal c);
+
+  /// 4:2 compressor: a+b+c+d == sum + 2*(carry1 + carry2). Emits the
+  /// dedicated C42 cell when all inputs are live; degrades to the
+  /// FA/HA composition when constants allow folding.
+  struct C42Out {
+    Signal sum;
+    Signal carry1;
+    Signal carry2;
+  };
+  C42Out compress42(Signal a, Signal b, Signal c, Signal d);
+
+  /// Returns a real net for the signal, instantiating a tie cell if it
+  /// is constant.
+  NetId materialize(Signal s);
+
+  Netlist& netlist() { return nl_; }
+
+ private:
+  Netlist& nl_;
+};
+
+}  // namespace rlmul::netlist

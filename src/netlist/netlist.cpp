@@ -1,0 +1,212 @@
+#include "netlist/netlist.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace rlmul::netlist {
+
+int num_inputs(CellKind kind) {
+  switch (kind) {
+    case CellKind::kInv:
+    case CellKind::kBuf:
+    case CellKind::kDff:
+      return 1;
+    case CellKind::kNand2:
+    case CellKind::kNor2:
+    case CellKind::kAnd2:
+    case CellKind::kOr2:
+    case CellKind::kXor2:
+    case CellKind::kXnor2:
+    case CellKind::kHa:
+      return 2;
+    case CellKind::kAnd3:
+    case CellKind::kOr3:
+    case CellKind::kAoi21:
+    case CellKind::kOai21:
+    case CellKind::kMux2:
+    case CellKind::kFa:
+      return 3;
+    case CellKind::kC42:
+      return 4;
+    case CellKind::kTieLo:
+    case CellKind::kTieHi:
+      return 0;
+  }
+  return 0;
+}
+
+int num_outputs(CellKind kind) {
+  switch (kind) {
+    case CellKind::kFa:
+    case CellKind::kHa:
+      return 2;
+    case CellKind::kC42:
+      return 3;
+    default:
+      return 1;
+  }
+}
+
+const char* cell_kind_name(CellKind kind) {
+  switch (kind) {
+    case CellKind::kInv: return "INV";
+    case CellKind::kBuf: return "BUF";
+    case CellKind::kNand2: return "NAND2";
+    case CellKind::kNor2: return "NOR2";
+    case CellKind::kAnd2: return "AND2";
+    case CellKind::kOr2: return "OR2";
+    case CellKind::kAnd3: return "AND3";
+    case CellKind::kOr3: return "OR3";
+    case CellKind::kXor2: return "XOR2";
+    case CellKind::kXnor2: return "XNOR2";
+    case CellKind::kAoi21: return "AOI21";
+    case CellKind::kOai21: return "OAI21";
+    case CellKind::kMux2: return "MUX2";
+    case CellKind::kFa: return "FA";
+    case CellKind::kHa: return "HA";
+    case CellKind::kC42: return "C42";
+    case CellKind::kDff: return "DFF";
+    case CellKind::kTieLo: return "TIELO";
+    case CellKind::kTieHi: return "TIEHI";
+  }
+  return "?";
+}
+
+int num_cell_kinds() { return static_cast<int>(CellKind::kTieHi) + 1; }
+
+NetId Netlist::new_net() { return next_net_++; }
+
+std::vector<NetId> Netlist::new_nets(int n) {
+  std::vector<NetId> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(new_net());
+  return out;
+}
+
+GateId Netlist::add_gate(CellKind kind, std::vector<NetId> inputs) {
+  std::vector<NetId> outs;
+  for (int i = 0; i < num_outputs(kind); ++i) outs.push_back(new_net());
+  return add_gate_onto(kind, std::move(inputs), std::move(outs));
+}
+
+GateId Netlist::add_gate_onto(CellKind kind, std::vector<NetId> inputs,
+                              std::vector<NetId> outputs) {
+  if (static_cast<int>(inputs.size()) != num_inputs(kind) ||
+      static_cast<int>(outputs.size()) != num_outputs(kind)) {
+    throw std::invalid_argument("add_gate: wrong pin count for cell kind");
+  }
+  for (NetId n : inputs) {
+    if (n < 0 || n >= next_net_) {
+      throw std::invalid_argument("add_gate: invalid input net");
+    }
+  }
+  Gate g;
+  g.kind = kind;
+  g.inputs = std::move(inputs);
+  g.outputs = std::move(outputs);
+  gates_.push_back(std::move(g));
+  return static_cast<GateId>(gates_.size()) - 1;
+}
+
+NetId Netlist::add_input(const std::string& name) {
+  const NetId n = new_net();
+  inputs_.push_back(n);
+  input_names_.push_back(name);
+  return n;
+}
+
+void Netlist::mark_output(NetId net, const std::string& name) {
+  outputs_.push_back(net);
+  output_names_.push_back(name);
+}
+
+NetId Netlist::tie_lo() {
+  if (tie_lo_ == kNoNet) {
+    const GateId g = add_gate(CellKind::kTieLo, {});
+    tie_lo_ = gates_[static_cast<std::size_t>(g)].outputs[0];
+  }
+  return tie_lo_;
+}
+
+NetId Netlist::tie_hi() {
+  if (tie_hi_ == kNoNet) {
+    const GateId g = add_gate(CellKind::kTieHi, {});
+    tie_hi_ = gates_[static_cast<std::size_t>(g)].outputs[0];
+  }
+  return tie_hi_;
+}
+
+std::vector<GateId> Netlist::driver_gate() const {
+  std::vector<GateId> drv(static_cast<std::size_t>(next_net_), -1);
+  for (GateId g = 0; g < num_gates(); ++g) {
+    for (NetId n : gates_[static_cast<std::size_t>(g)].outputs) {
+      drv[static_cast<std::size_t>(n)] = g;
+    }
+  }
+  return drv;
+}
+
+std::vector<std::vector<std::pair<GateId, int>>> Netlist::fanout() const {
+  std::vector<std::vector<std::pair<GateId, int>>> fo(
+      static_cast<std::size_t>(next_net_));
+  for (GateId g = 0; g < num_gates(); ++g) {
+    const auto& ins = gates_[static_cast<std::size_t>(g)].inputs;
+    for (int pin = 0; pin < static_cast<int>(ins.size()); ++pin) {
+      fo[static_cast<std::size_t>(ins[static_cast<std::size_t>(pin)])]
+          .emplace_back(g, pin);
+    }
+  }
+  return fo;
+}
+
+std::vector<GateId> Netlist::topo_order() const {
+  // Kahn's algorithm over gates. DFF data inputs do not create
+  // combinational dependencies for the DFF's *output* (the Q net is a
+  // timing source), so DFFs start with indegree 0.
+  std::vector<int> indeg(gates_.size(), 0);
+  const auto drv = driver_gate();
+  for (GateId g = 0; g < num_gates(); ++g) {
+    const auto& gate = gates_[static_cast<std::size_t>(g)];
+    if (gate.kind == CellKind::kDff) continue;
+    for (NetId n : gate.inputs) {
+      if (drv[static_cast<std::size_t>(n)] >= 0) {
+        ++indeg[static_cast<std::size_t>(g)];
+      }
+    }
+  }
+  std::queue<GateId> ready;
+  for (GateId g = 0; g < num_gates(); ++g) {
+    if (indeg[static_cast<std::size_t>(g)] == 0) ready.push(g);
+  }
+  const auto fo = fanout();
+  std::vector<GateId> order;
+  order.reserve(gates_.size());
+  while (!ready.empty()) {
+    const GateId g = ready.front();
+    ready.pop();
+    order.push_back(g);
+    for (NetId n : gates_[static_cast<std::size_t>(g)].outputs) {
+      for (const auto& [sink, pin] : fo[static_cast<std::size_t>(n)]) {
+        (void)pin;
+        if (gates_[static_cast<std::size_t>(sink)].kind == CellKind::kDff) {
+          continue;  // never enqueued via inputs
+        }
+        if (--indeg[static_cast<std::size_t>(sink)] == 0) ready.push(sink);
+      }
+    }
+  }
+  if (order.size() != gates_.size()) {
+    throw std::runtime_error("topo_order: combinational cycle detected");
+  }
+  return order;
+}
+
+std::vector<int> Netlist::kind_histogram() const {
+  std::vector<int> hist(static_cast<std::size_t>(num_cell_kinds()), 0);
+  for (const auto& g : gates_) {
+    ++hist[static_cast<std::size_t>(g.kind)];
+  }
+  return hist;
+}
+
+}  // namespace rlmul::netlist

@@ -1,0 +1,115 @@
+#pragma once
+// Gate-level netlist. This is the substrate that replaces EasyMAC's RTL
+// output in the paper's flow: the compressor tree, the partial-product
+// generators and the final carry-propagation adder are all emitted as a
+// flat netlist of standard cells, which the synthesis, STA, power and
+// simulation engines then consume.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rlmul::netlist {
+
+using NetId = std::int32_t;
+using GateId = std::int32_t;
+
+constexpr NetId kNoNet = -1;
+
+/// Standard-cell functions available in the library. Multi-output cells
+/// (FA, HA) list their outputs in a fixed order documented per kind.
+enum class CellKind : std::uint8_t {
+  kInv,
+  kBuf,
+  kNand2,
+  kNor2,
+  kAnd2,
+  kOr2,
+  kAnd3,
+  kOr3,
+  kXor2,
+  kXnor2,
+  kAoi21,  ///< !((a & b) | c)
+  kOai21,  ///< !((a | b) & c)
+  kMux2,   ///< s ? b : a   (inputs: a, b, s)
+  kFa,     ///< full adder; outputs: [sum, carry]
+  kHa,     ///< half adder; outputs: [sum, carry]
+  kC42,    ///< 4:2 compressor; inputs [a,b,c,d]; outputs [sum, co1, co2]
+  kDff,    ///< D flip-flop; inputs: [d]; output: [q] (clock implicit)
+  kTieLo,  ///< constant 0 source, no inputs
+  kTieHi,  ///< constant 1 source, no inputs
+};
+
+int num_inputs(CellKind kind);
+int num_outputs(CellKind kind);
+const char* cell_kind_name(CellKind kind);
+int num_cell_kinds();
+
+struct Gate {
+  CellKind kind = CellKind::kInv;
+  int variant = 0;  ///< drive-strength index into the library (0 = X1)
+  std::vector<NetId> inputs;
+  std::vector<NetId> outputs;
+};
+
+/// Flat netlist with primary inputs/outputs. Nets are integer handles;
+/// every net has at most one driver (a gate output or a primary input).
+class Netlist {
+ public:
+  NetId new_net();
+  /// Convenience: allocate `n` fresh nets.
+  std::vector<NetId> new_nets(int n);
+
+  /// Adds a gate; output nets are freshly allocated and returned via the
+  /// gate record. Checks pin counts.
+  GateId add_gate(CellKind kind, std::vector<NetId> inputs);
+
+  /// Adds a gate driving pre-allocated output nets.
+  GateId add_gate_onto(CellKind kind, std::vector<NetId> inputs,
+                       std::vector<NetId> outputs);
+
+  NetId add_input(const std::string& name);
+  void mark_output(NetId net, const std::string& name);
+
+  /// Constant sources, created lazily (one tie cell each).
+  NetId tie_lo();
+  NetId tie_hi();
+
+  int num_nets() const { return next_net_; }
+  int num_gates() const { return static_cast<int>(gates_.size()); }
+  const std::vector<Gate>& gates() const { return gates_; }
+  std::vector<Gate>& gates() { return gates_; }
+
+  const std::vector<NetId>& primary_inputs() const { return inputs_; }
+  const std::vector<NetId>& primary_outputs() const { return outputs_; }
+  const std::vector<std::string>& input_names() const { return input_names_; }
+  const std::vector<std::string>& output_names() const {
+    return output_names_;
+  }
+
+  /// driver_gate()[net] = gate driving the net, or -1 for primary
+  /// inputs / floating nets. Recomputed on demand.
+  std::vector<GateId> driver_gate() const;
+
+  /// fanout()[net] = list of (gate, input-pin) pairs reading the net.
+  std::vector<std::vector<std::pair<GateId, int>>> fanout() const;
+
+  /// Topological order of gates (inputs before consumers). Throws on
+  /// combinational cycles (DFF outputs count as sources).
+  std::vector<GateId> topo_order() const;
+
+  /// Number of cells of each kind (histogram indexed by CellKind).
+  std::vector<int> kind_histogram() const;
+
+ private:
+  int next_net_ = 0;
+  std::vector<Gate> gates_;
+  std::vector<NetId> inputs_;
+  std::vector<std::string> input_names_;
+  std::vector<NetId> outputs_;
+  std::vector<std::string> output_names_;
+  NetId tie_lo_ = kNoNet;
+  NetId tie_hi_ = kNoNet;
+};
+
+}  // namespace rlmul::netlist

@@ -1,0 +1,322 @@
+#include "netlist/opt.hpp"
+
+#include <stdexcept>
+
+#include "netlist/cell_library.hpp"
+#include "netlist/logic_builder.hpp"
+
+namespace rlmul::netlist {
+
+namespace {
+
+/// Rebuilds the netlist through the folding LogicBuilder, mapping every
+/// old net to a Signal (constant or new net).
+Netlist rebuild_folded(const Netlist& nl, int* folded) {
+  Netlist out;
+  LogicBuilder lb(out);
+  std::vector<Signal> map(static_cast<std::size_t>(nl.num_nets()),
+                          Signal::lo());
+
+  const auto& in_names = nl.input_names();
+  const auto& ins = nl.primary_inputs();
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    map[static_cast<std::size_t>(ins[i])] =
+        Signal::of(out.add_input(in_names[i]));
+  }
+
+  // DFF Q nets need their handles before the topological walk (a DFF
+  // output can feed logic that precedes the DFF in gate order).
+  std::vector<NetId> dff_q(nl.gates().size(), kNoNet);
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gates()[static_cast<std::size_t>(g)];
+    if (gate.kind == CellKind::kDff) {
+      const NetId q = out.new_net();
+      dff_q[static_cast<std::size_t>(g)] = q;
+      map[static_cast<std::size_t>(gate.outputs[0])] = Signal::of(q);
+    }
+  }
+
+  int fold_count = 0;
+  for (GateId g : nl.topo_order()) {
+    const Gate& gate = nl.gates()[static_cast<std::size_t>(g)];
+    auto in = [&](int i) {
+      return map[static_cast<std::size_t>(
+          gate.inputs[static_cast<std::size_t>(i)])];
+    };
+    auto set = [&](int o, Signal s) {
+      map[static_cast<std::size_t>(
+          gate.outputs[static_cast<std::size_t>(o)])] = s;
+      if (s.is_const()) ++fold_count;
+    };
+    switch (gate.kind) {
+      case CellKind::kInv: set(0, lb.inv(in(0))); break;
+      case CellKind::kBuf: set(0, in(0)); break;
+      case CellKind::kNand2: set(0, lb.inv(lb.and2(in(0), in(1)))); break;
+      case CellKind::kNor2: set(0, lb.inv(lb.or2(in(0), in(1)))); break;
+      case CellKind::kAnd2: set(0, lb.and2(in(0), in(1))); break;
+      case CellKind::kOr2: set(0, lb.or2(in(0), in(1))); break;
+      case CellKind::kAnd3:
+        set(0, lb.and2(lb.and2(in(0), in(1)), in(2)));
+        break;
+      case CellKind::kOr3:
+        set(0, lb.or2(lb.or2(in(0), in(1)), in(2)));
+        break;
+      case CellKind::kXor2: set(0, lb.xor2(in(0), in(1))); break;
+      case CellKind::kXnor2: set(0, lb.xnor2(in(0), in(1))); break;
+      case CellKind::kAoi21:
+        set(0, lb.inv(lb.or2(lb.and2(in(0), in(1)), in(2))));
+        break;
+      case CellKind::kOai21:
+        set(0, lb.inv(lb.and2(lb.or2(in(0), in(1)), in(2))));
+        break;
+      case CellKind::kMux2: set(0, lb.mux2(in(0), in(1), in(2))); break;
+      case CellKind::kFa: {
+        const auto r = lb.full_add(in(0), in(1), in(2));
+        set(0, r.sum);
+        set(1, r.carry);
+        break;
+      }
+      case CellKind::kHa: {
+        const auto r = lb.half_add(in(0), in(1));
+        set(0, r.sum);
+        set(1, r.carry);
+        break;
+      }
+      case CellKind::kC42: {
+        const auto r = lb.compress42(in(0), in(1), in(2), in(3));
+        set(0, r.sum);
+        set(1, r.carry1);
+        set(2, r.carry2);
+        break;
+      }
+      case CellKind::kDff:
+        out.add_gate_onto(CellKind::kDff, {lb.materialize(in(0))},
+                          {dff_q[static_cast<std::size_t>(g)]});
+        break;
+      case CellKind::kTieLo:
+        map[static_cast<std::size_t>(gate.outputs[0])] = Signal::lo();
+        break;
+      case CellKind::kTieHi:
+        map[static_cast<std::size_t>(gate.outputs[0])] = Signal::hi();
+        break;
+    }
+  }
+
+  const auto& out_names = nl.output_names();
+  const auto& outs = nl.primary_outputs();
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    out.mark_output(lb.materialize(map[static_cast<std::size_t>(outs[i])]),
+                    out_names[i]);
+  }
+  if (folded != nullptr) *folded = fold_count;
+  return out;
+}
+
+/// Copies only gates whose outputs (transitively) reach a primary
+/// output. DFFs stay only if their Q is live; their D cones follow.
+Netlist sweep_dead(const Netlist& nl) {
+  std::vector<bool> net_live(static_cast<std::size_t>(nl.num_nets()), false);
+  std::vector<bool> gate_live(nl.gates().size(), false);
+  const auto drv = nl.driver_gate();
+
+  std::vector<NetId> work(nl.primary_outputs());
+  while (!work.empty()) {
+    const NetId n = work.back();
+    work.pop_back();
+    if (net_live[static_cast<std::size_t>(n)]) continue;
+    net_live[static_cast<std::size_t>(n)] = true;
+    const GateId g = drv[static_cast<std::size_t>(n)];
+    if (g < 0 || gate_live[static_cast<std::size_t>(g)]) continue;
+    gate_live[static_cast<std::size_t>(g)] = true;
+    for (NetId in : nl.gates()[static_cast<std::size_t>(g)].inputs) {
+      work.push_back(in);
+    }
+  }
+
+  Netlist out;
+  std::vector<NetId> map(static_cast<std::size_t>(nl.num_nets()), kNoNet);
+  const auto& in_names = nl.input_names();
+  const auto& ins = nl.primary_inputs();
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    map[static_cast<std::size_t>(ins[i])] = out.add_input(in_names[i]);
+  }
+  auto mapped = [&](NetId n) {
+    NetId& m = map[static_cast<std::size_t>(n)];
+    if (m == kNoNet) m = out.new_net();
+    return m;
+  };
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    if (!gate_live[static_cast<std::size_t>(g)]) continue;
+    const Gate& gate = nl.gates()[static_cast<std::size_t>(g)];
+    std::vector<NetId> new_in;
+    std::vector<NetId> new_out;
+    for (NetId n : gate.inputs) new_in.push_back(mapped(n));
+    for (NetId n : gate.outputs) new_out.push_back(mapped(n));
+    const GateId ng =
+        out.add_gate_onto(gate.kind, std::move(new_in), std::move(new_out));
+    out.gates()[static_cast<std::size_t>(ng)].variant = gate.variant;
+  }
+  const auto& out_names = nl.output_names();
+  const auto& outs = nl.primary_outputs();
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    out.mark_output(mapped(outs[i]), out_names[i]);
+  }
+  return out;
+}
+
+/// Splits nets with more than max_fanout sinks behind a buffer tree so
+/// that every net (including the root, whose buffers count as sinks)
+/// drives at most max_fanout pins.
+int buffer_fanout(Netlist& nl, int max_fanout) {
+  int inserted = 0;
+  using SinkRef = std::pair<GateId, int>;
+
+  // Recursive splitter: points every sink at `net`, inserting buffer
+  // levels while the group is too large.
+  auto assign = [&](NetId net, std::vector<SinkRef> sinks,
+                    auto&& self) -> void {
+    if (static_cast<int>(sinks.size()) <= max_fanout) {
+      for (const auto& [g, pin] : sinks) {
+        nl.gates()[static_cast<std::size_t>(g)]
+            .inputs[static_cast<std::size_t>(pin)] = net;
+      }
+      return;
+    }
+    std::vector<SinkRef> buffer_pins;
+    std::size_t idx = 0;
+    while (idx < sinks.size()) {
+      const GateId buf = nl.add_gate(CellKind::kBuf, {net});
+      ++inserted;
+      const NetId bn = nl.gates()[static_cast<std::size_t>(buf)].outputs[0];
+      for (int k = 0; k < max_fanout && idx < sinks.size(); ++k, ++idx) {
+        const auto [g, pin] = sinks[idx];
+        nl.gates()[static_cast<std::size_t>(g)]
+            .inputs[static_cast<std::size_t>(pin)] = bn;
+      }
+      buffer_pins.emplace_back(buf, 0);
+    }
+    self(net, std::move(buffer_pins), self);
+  };
+
+  const auto fo = nl.fanout();
+  for (NetId n = 0; n < static_cast<NetId>(fo.size()); ++n) {
+    const auto& sinks = fo[static_cast<std::size_t>(n)];
+    if (static_cast<int>(sinks.size()) <= max_fanout) continue;
+    assign(n, sinks, assign);
+  }
+  return inserted;
+}
+
+}  // namespace
+
+Netlist remap_area(const Netlist& nl, int* fused) {
+  // Pair each INV whose driver is a single-fanout simple gate with a
+  // cheaper complex cell. One sweep; chains settle after the rebuild.
+  const auto drv = nl.driver_gate();
+  const auto fo = nl.fanout();
+
+  auto fused_kind = [](CellKind k) -> CellKind {
+    switch (k) {
+      case CellKind::kAnd2: return CellKind::kNand2;
+      case CellKind::kOr2: return CellKind::kNor2;
+      case CellKind::kXor2: return CellKind::kXnor2;
+      case CellKind::kNand2: return CellKind::kAnd2;
+      case CellKind::kNor2: return CellKind::kOr2;
+      case CellKind::kXnor2: return CellKind::kXor2;
+      default: return CellKind::kDff;  // sentinel: not fusable
+    }
+  };
+  const auto& lib = CellLibrary::nangate45();
+
+  std::vector<bool> consumed(nl.gates().size(), false);
+  // replacement[inv_gate] = (new kind, inputs taken from the driver)
+  struct Rewrite {
+    CellKind kind;
+    std::vector<NetId> inputs;
+  };
+  std::vector<Rewrite> rewrite(nl.gates().size(), Rewrite{CellKind::kDff, {}});
+  std::vector<bool> has_rewrite(nl.gates().size(), false);
+  int count = 0;
+
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& inv = nl.gates()[static_cast<std::size_t>(g)];
+    if (inv.kind != CellKind::kInv) continue;
+    const GateId d = drv[static_cast<std::size_t>(inv.inputs[0])];
+    if (d < 0 || consumed[static_cast<std::size_t>(d)]) continue;
+    const Gate& driver = nl.gates()[static_cast<std::size_t>(d)];
+    const CellKind merged = fused_kind(driver.kind);
+    if (merged == CellKind::kDff) continue;
+    // Driver's output must feed only this inverter and no primary output.
+    if (fo[static_cast<std::size_t>(driver.outputs[0])].size() != 1) continue;
+    bool is_po = false;
+    for (NetId po : nl.primary_outputs()) {
+      if (po == driver.outputs[0]) is_po = true;
+    }
+    if (is_po) continue;
+    // Only fuse when the complex cell is actually cheaper.
+    if (lib.area(merged, 0) >=
+        lib.area(driver.kind, 0) + lib.area(CellKind::kInv, 0)) {
+      continue;
+    }
+    consumed[static_cast<std::size_t>(d)] = true;
+    rewrite[static_cast<std::size_t>(g)] = {merged, driver.inputs};
+    has_rewrite[static_cast<std::size_t>(g)] = true;
+    ++count;
+  }
+
+  Netlist out;
+  std::vector<NetId> map(static_cast<std::size_t>(nl.num_nets()), kNoNet);
+  const auto& in_names = nl.input_names();
+  const auto& ins = nl.primary_inputs();
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    map[static_cast<std::size_t>(ins[i])] = out.add_input(in_names[i]);
+  }
+  auto mapped = [&](NetId n) {
+    NetId& m = map[static_cast<std::size_t>(n)];
+    if (m == kNoNet) m = out.new_net();
+    return m;
+  };
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    if (consumed[static_cast<std::size_t>(g)]) continue;  // merged away
+    const Gate& gate = nl.gates()[static_cast<std::size_t>(g)];
+    CellKind kind = gate.kind;
+    std::vector<NetId> inputs = gate.inputs;
+    if (has_rewrite[static_cast<std::size_t>(g)]) {
+      kind = rewrite[static_cast<std::size_t>(g)].kind;
+      inputs = rewrite[static_cast<std::size_t>(g)].inputs;
+    }
+    std::vector<NetId> new_in;
+    std::vector<NetId> new_out;
+    for (NetId n : inputs) new_in.push_back(mapped(n));
+    for (NetId n : gate.outputs) new_out.push_back(mapped(n));
+    const GateId ng =
+        out.add_gate_onto(kind, std::move(new_in), std::move(new_out));
+    out.gates()[static_cast<std::size_t>(ng)].variant = gate.variant;
+  }
+  const auto& out_names = nl.output_names();
+  const auto& outs = nl.primary_outputs();
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    out.mark_output(mapped(outs[i]), out_names[i]);
+  }
+  if (fused != nullptr) *fused = count;
+  return out;
+}
+
+Netlist optimize(const Netlist& nl, const OptOptions& opts, OptStats* stats) {
+  OptStats st;
+  st.gates_before = nl.num_gates();
+
+  Netlist cur = opts.propagate_constants
+                    ? rebuild_folded(nl, &st.constants_folded)
+                    : nl;
+  if (opts.sweep_dead) cur = sweep_dead(cur);
+  if (opts.remap) cur = remap_area(cur, &st.pairs_remapped);
+  if (opts.max_fanout > 0) {
+    st.buffers_inserted = buffer_fanout(cur, opts.max_fanout);
+  }
+  st.gates_after = cur.num_gates();
+  if (stats != nullptr) *stats = st;
+  return cur;
+}
+
+}  // namespace rlmul::netlist

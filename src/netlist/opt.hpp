@@ -1,0 +1,44 @@
+#pragma once
+// Netlist cleanup passes, the light-weight stand-ins for the logic
+// optimization a synthesis tool runs before mapping:
+//
+//  * constant propagation — gates fed by tie cells fold away (the
+//    LogicBuilder already folds at construction time; this pass covers
+//    netlists assembled by hand or mutated after construction);
+//  * dead-logic sweep — gates whose outputs reach no primary output or
+//    register are removed;
+//  * fanout buffering — nets driving more than `max_fanout` sinks get a
+//    buffer tree, trading area for delay on heavily loaded nets.
+
+#include "netlist/netlist.hpp"
+
+namespace rlmul::netlist {
+
+struct OptStats {
+  int gates_before = 0;
+  int gates_after = 0;
+  int constants_folded = 0;
+  int buffers_inserted = 0;
+  int pairs_remapped = 0;
+};
+
+struct OptOptions {
+  bool propagate_constants = true;
+  bool sweep_dead = true;
+  /// Fuse single-fanout gate+INV pairs into complex cells
+  /// (AND2+INV -> NAND2, OR2+INV -> NOR2, XOR2+INV -> XNOR2, and the
+  /// inverse unwrappings) — classic area-recovery technology remapping.
+  bool remap = false;
+  int max_fanout = 0;  ///< 0 = no buffering
+};
+
+/// Returns an optimized copy; primary I/O names and order are
+/// preserved, internal nets are renumbered.
+Netlist optimize(const Netlist& nl, const OptOptions& opts,
+                 OptStats* stats = nullptr);
+
+/// Standalone remap pass (also reachable through OptOptions::remap).
+/// Returns the rewritten netlist and the number of fused pairs.
+Netlist remap_area(const Netlist& nl, int* fused = nullptr);
+
+}  // namespace rlmul::netlist

@@ -1,0 +1,30 @@
+#pragma once
+// Structural-Verilog export. The paper's flow hands EasyMAC RTL to
+// Yosys/OpenROAD; this writer closes the loop in the other direction —
+// any netlist built here (multipliers, MACs, PE cells) can be dumped as
+// a gate-level Verilog module mapped onto NanGate-style cell names, so
+// downstream users can feed the optimized designs to a real flow.
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace rlmul::netlist {
+
+struct VerilogOptions {
+  std::string module_name = "rlmul_top";
+  /// Emit `// area/delay` banner comments with gate statistics.
+  bool banner = true;
+};
+
+/// Renders the netlist as a synthesizable structural Verilog module.
+/// Cell names follow the NanGate convention (INV_X1, FA_X2, ...);
+/// multi-output cells use named port connections. DFFs get a `clk`
+/// port on the module automatically.
+std::string to_verilog(const Netlist& nl, const VerilogOptions& opts = {});
+
+/// Graphviz dot rendering: gates as boxes (FA/HA/C42 highlighted),
+/// primary I/O as ellipses — handy for eyeballing small designs.
+std::string to_dot(const Netlist& nl, const std::string& name = "rlmul");
+
+}  // namespace rlmul::netlist

@@ -1,0 +1,451 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rlmul::nn {
+
+using nt::Tensor;
+
+// -- Conv2d -----------------------------------------------------------------
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
+               int padding, util::Rng& rng, bool bias)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      has_bias_(bias) {
+  const float fan_in =
+      static_cast<float>(in_channels) * static_cast<float>(kernel * kernel);
+  const float stddev = std::sqrt(2.0f / fan_in);  // He init
+  weight_ = Param(Tensor::randn({out_channels, in_channels, kernel, kernel},
+                                rng, stddev));
+  if (has_bias_) bias_ = Param(Tensor({out_channels}));
+}
+
+std::vector<float> Conv2d::im2col(const Tensor& x, int ho, int wo) const {
+  const int n = x.dim(0);
+  const int h = x.dim(2);
+  const int w = x.dim(3);
+  const std::size_t patches = static_cast<std::size_t>(n) * ho * wo;
+  const std::size_t depth =
+      static_cast<std::size_t>(in_ch_) * kernel_ * kernel_;
+  std::vector<float> cols(patches * depth, 0.0f);
+  std::size_t p = 0;
+  for (int b = 0; b < n; ++b) {
+    for (int i = 0; i < ho; ++i) {
+      for (int j = 0; j < wo; ++j, ++p) {
+        float* row = cols.data() + p * depth;
+        std::size_t d = 0;
+        for (int ci = 0; ci < in_ch_; ++ci) {
+          for (int ki = 0; ki < kernel_; ++ki) {
+            const int ii = i * stride_ - padding_ + ki;
+            for (int kj = 0; kj < kernel_; ++kj, ++d) {
+              const int jj = j * stride_ - padding_ + kj;
+              if (ii >= 0 && ii < h && jj >= 0 && jj < w) {
+                row[d] = x.at(b, ci, ii, jj);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  if (x.ndim() != 4 || x.dim(1) != in_ch_) {
+    throw std::invalid_argument("Conv2d: bad input shape");
+  }
+  input_ = x;
+  const int n = x.dim(0);
+  const int ho = out_size(x.dim(2));
+  const int wo = out_size(x.dim(3));
+  const std::size_t depth =
+      static_cast<std::size_t>(in_ch_) * kernel_ * kernel_;
+  const std::vector<float> cols = im2col(x, ho, wo);
+
+  // y[p, co] = patches[p, :] . weight[co, :]  (+ bias)
+  Tensor y({n, out_ch_, ho, wo});
+  const float* wmat = weight_.value.data();  // [out_ch, depth] row-major
+  const std::size_t plane = static_cast<std::size_t>(ho) * wo;
+  std::size_t p = 0;
+  for (int b = 0; b < n; ++b) {
+    for (std::size_t pix = 0; pix < plane; ++pix, ++p) {
+      const float* row = cols.data() + p * depth;
+      for (int co = 0; co < out_ch_; ++co) {
+        const float* wrow = wmat + static_cast<std::size_t>(co) * depth;
+        float acc =
+            has_bias_ ? bias_.value[static_cast<std::size_t>(co)] : 0.0f;
+        for (std::size_t d = 0; d < depth; ++d) acc += row[d] * wrow[d];
+        y[(static_cast<std::size_t>(b) * out_ch_ + co) * plane + pix] = acc;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const Tensor& x = input_;
+  const int n = x.dim(0);
+  const int h = x.dim(2);
+  const int w = x.dim(3);
+  const int ho = grad_out.dim(2);
+  const int wo = grad_out.dim(3);
+  const std::size_t depth =
+      static_cast<std::size_t>(in_ch_) * kernel_ * kernel_;
+  const std::size_t plane = static_cast<std::size_t>(ho) * wo;
+  const std::vector<float> cols = im2col(x, ho, wo);
+
+  // Per-patch: dW[co, :] += g * patch;  gpatch[:] += g * W[co, :].
+  std::vector<float> gcols(cols.size(), 0.0f);
+  const float* wmat = weight_.value.data();
+  float* gw = weight_.grad.data();
+  std::size_t p = 0;
+  for (int b = 0; b < n; ++b) {
+    for (std::size_t pix = 0; pix < plane; ++pix, ++p) {
+      const float* row = cols.data() + p * depth;
+      float* grow = gcols.data() + p * depth;
+      for (int co = 0; co < out_ch_; ++co) {
+        const float g =
+            grad_out[(static_cast<std::size_t>(b) * out_ch_ + co) * plane +
+                     pix];
+        if (g == 0.0f) continue;
+        if (has_bias_) bias_.grad[static_cast<std::size_t>(co)] += g;
+        const float* wrow = wmat + static_cast<std::size_t>(co) * depth;
+        float* gwrow = gw + static_cast<std::size_t>(co) * depth;
+        for (std::size_t d = 0; d < depth; ++d) {
+          gwrow[d] += g * row[d];
+          grow[d] += g * wrow[d];
+        }
+      }
+    }
+  }
+
+  // col2im: scatter patch gradients back onto the input.
+  Tensor grad_in(x.shape());
+  p = 0;
+  for (int b = 0; b < n; ++b) {
+    for (int i = 0; i < ho; ++i) {
+      for (int j = 0; j < wo; ++j, ++p) {
+        const float* grow = gcols.data() + p * depth;
+        std::size_t d = 0;
+        for (int ci = 0; ci < in_ch_; ++ci) {
+          for (int ki = 0; ki < kernel_; ++ki) {
+            const int ii = i * stride_ - padding_ + ki;
+            for (int kj = 0; kj < kernel_; ++kj, ++d) {
+              const int jj = j * stride_ - padding_ + kj;
+              if (ii >= 0 && ii < h && jj >= 0 && jj < w) {
+                grad_in.at(b, ci, ii, jj) += grow[d];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param*> Conv2d::params() {
+  std::vector<Param*> out{&weight_};
+  if (has_bias_) out.push_back(&bias_);
+  return out;
+}
+
+// -- BatchNorm2d --------------------------------------------------------------
+
+BatchNorm2d::BatchNorm2d(int channels, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(Param(Tensor::full({channels}, 1.0f))),
+      beta_(Param(Tensor({channels}))),
+      running_mean_({channels}),
+      running_var_(Tensor::full({channels}, 1.0f)) {}
+
+Tensor BatchNorm2d::forward(const Tensor& x) {
+  const int n = x.dim(0);
+  const int c = x.dim(1);
+  const int h = x.dim(2);
+  const int w = x.dim(3);
+  if (c != channels_) throw std::invalid_argument("BatchNorm2d: channels");
+  const double per_ch = static_cast<double>(n) * h * w;
+
+  batch_mean_.assign(static_cast<std::size_t>(c), 0.0f);
+  batch_inv_std_.assign(static_cast<std::size_t>(c), 0.0f);
+  Tensor y(x.shape());
+  x_hat_ = Tensor(x.shape());
+
+  for (int ch = 0; ch < c; ++ch) {
+    double mean = 0.0;
+    double var = 0.0;
+    if (training_) {
+      for (int b = 0; b < n; ++b) {
+        for (int i = 0; i < h; ++i) {
+          for (int j = 0; j < w; ++j) mean += x.at(b, ch, i, j);
+        }
+      }
+      mean /= per_ch;
+      for (int b = 0; b < n; ++b) {
+        for (int i = 0; i < h; ++i) {
+          for (int j = 0; j < w; ++j) {
+            const double d = x.at(b, ch, i, j) - mean;
+            var += d * d;
+          }
+        }
+      }
+      var /= per_ch;
+      running_mean_[static_cast<std::size_t>(ch)] =
+          (1.0f - momentum_) * running_mean_[static_cast<std::size_t>(ch)] +
+          momentum_ * static_cast<float>(mean);
+      running_var_[static_cast<std::size_t>(ch)] =
+          (1.0f - momentum_) * running_var_[static_cast<std::size_t>(ch)] +
+          momentum_ * static_cast<float>(var);
+    } else {
+      mean = running_mean_[static_cast<std::size_t>(ch)];
+      var = running_var_[static_cast<std::size_t>(ch)];
+    }
+    const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+    batch_mean_[static_cast<std::size_t>(ch)] = static_cast<float>(mean);
+    batch_inv_std_[static_cast<std::size_t>(ch)] = inv_std;
+    const float g = gamma_.value[static_cast<std::size_t>(ch)];
+    const float bt = beta_.value[static_cast<std::size_t>(ch)];
+    for (int b = 0; b < n; ++b) {
+      for (int i = 0; i < h; ++i) {
+        for (int j = 0; j < w; ++j) {
+          const float xh =
+              (x.at(b, ch, i, j) - static_cast<float>(mean)) * inv_std;
+          x_hat_.at(b, ch, i, j) = xh;
+          y.at(b, ch, i, j) = g * xh + bt;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  const int n = grad_out.dim(0);
+  const int c = grad_out.dim(1);
+  const int h = grad_out.dim(2);
+  const int w = grad_out.dim(3);
+  const float per_ch = static_cast<float>(n) * h * w;
+  Tensor grad_in(grad_out.shape());
+
+  for (int ch = 0; ch < c; ++ch) {
+    float sum_g = 0.0f;
+    float sum_gx = 0.0f;
+    for (int b = 0; b < n; ++b) {
+      for (int i = 0; i < h; ++i) {
+        for (int j = 0; j < w; ++j) {
+          const float g = grad_out.at(b, ch, i, j);
+          sum_g += g;
+          sum_gx += g * x_hat_.at(b, ch, i, j);
+        }
+      }
+    }
+    gamma_.grad[static_cast<std::size_t>(ch)] += sum_gx;
+    beta_.grad[static_cast<std::size_t>(ch)] += sum_g;
+
+    const float gma = gamma_.value[static_cast<std::size_t>(ch)];
+    const float inv_std = batch_inv_std_[static_cast<std::size_t>(ch)];
+    for (int b = 0; b < n; ++b) {
+      for (int i = 0; i < h; ++i) {
+        for (int j = 0; j < w; ++j) {
+          const float g = grad_out.at(b, ch, i, j);
+          const float xh = x_hat_.at(b, ch, i, j);
+          float gi;
+          if (training_) {
+            gi = gma * inv_std *
+                 (g - sum_g / per_ch - xh * sum_gx / per_ch);
+          } else {
+            gi = gma * inv_std * g;  // running stats are constants
+          }
+          grad_in.at(b, ch, i, j) = gi;
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param*> BatchNorm2d::params() { return {&gamma_, &beta_}; }
+
+// -- ReLU ---------------------------------------------------------------------
+
+Tensor ReLU::forward(const Tensor& x) {
+  mask_ = Tensor(x.shape());
+  Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    const bool pos = x[i] > 0.0f;
+    mask_[i] = pos ? 1.0f : 0.0f;
+    y[i] = pos ? x[i] : 0.0f;
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor grad_in(grad_out.shape());
+  for (std::size_t i = 0; i < grad_out.numel(); ++i) {
+    grad_in[i] = grad_out[i] * mask_[i];
+  }
+  return grad_in;
+}
+
+// -- MaxPool2d ------------------------------------------------------------------
+
+MaxPool2d::MaxPool2d(int kernel, int stride, int padding)
+    : kernel_(kernel), stride_(stride), padding_(padding) {}
+
+Tensor MaxPool2d::forward(const Tensor& x) {
+  const int n = x.dim(0);
+  const int c = x.dim(1);
+  const int h = x.dim(2);
+  const int w = x.dim(3);
+  const int ho = (h + 2 * padding_ - kernel_) / stride_ + 1;
+  const int wo = (w + 2 * padding_ - kernel_) / stride_ + 1;
+  in_shape_ = x.shape();
+  Tensor y({n, c, ho, wo});
+  argmax_.assign(y.numel(), -1);
+  std::size_t out_idx = 0;
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int i = 0; i < ho; ++i) {
+        for (int j = 0; j < wo; ++j, ++out_idx) {
+          float best = -std::numeric_limits<float>::infinity();
+          int best_idx = -1;
+          for (int ki = 0; ki < kernel_; ++ki) {
+            const int ii = i * stride_ - padding_ + ki;
+            if (ii < 0 || ii >= h) continue;
+            for (int kj = 0; kj < kernel_; ++kj) {
+              const int jj = j * stride_ - padding_ + kj;
+              if (jj < 0 || jj >= w) continue;
+              const float v = x.at(b, ch, ii, jj);
+              if (v > best) {
+                best = v;
+                best_idx = ((b * c + ch) * h + ii) * w + jj;
+              }
+            }
+          }
+          y[out_idx] = best_idx >= 0 ? best : 0.0f;
+          argmax_[out_idx] = best_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  Tensor grad_in(in_shape_);
+  for (std::size_t i = 0; i < grad_out.numel(); ++i) {
+    const int src = argmax_[i];
+    if (src >= 0) grad_in[static_cast<std::size_t>(src)] += grad_out[i];
+  }
+  return grad_in;
+}
+
+// -- GlobalAvgPool -------------------------------------------------------------
+
+Tensor GlobalAvgPool::forward(const Tensor& x) {
+  const int n = x.dim(0);
+  const int c = x.dim(1);
+  const int h = x.dim(2);
+  const int w = x.dim(3);
+  in_shape_ = x.shape();
+  Tensor y({n, c, 1, 1});
+  const float scale = 1.0f / (static_cast<float>(h) * w);
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      float acc = 0.0f;
+      for (int i = 0; i < h; ++i) {
+        for (int j = 0; j < w; ++j) acc += x.at(b, ch, i, j);
+      }
+      y.at(b, ch, 0, 0) = acc * scale;
+    }
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  const int h = in_shape_[2];
+  const int w = in_shape_[3];
+  Tensor grad_in(in_shape_);
+  const float scale = 1.0f / (static_cast<float>(h) * w);
+  for (int b = 0; b < in_shape_[0]; ++b) {
+    for (int ch = 0; ch < in_shape_[1]; ++ch) {
+      const float g = grad_out.at(b, ch, 0, 0) * scale;
+      for (int i = 0; i < h; ++i) {
+        for (int j = 0; j < w; ++j) grad_in.at(b, ch, i, j) = g;
+      }
+    }
+  }
+  return grad_in;
+}
+
+// -- Flatten ---------------------------------------------------------------------
+
+Tensor Flatten::forward(const Tensor& x) {
+  in_shape_ = x.shape();
+  const int n = x.dim(0);
+  const int rest = static_cast<int>(x.numel()) / std::max(n, 1);
+  return x.reshaped({n, rest});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(in_shape_);
+}
+
+// -- Linear ----------------------------------------------------------------------
+
+Linear::Linear(int in_features, int out_features, util::Rng& rng)
+    : in_(in_features), out_(out_features) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(in_features));
+  weight_ = Param(Tensor::randn({out_features, in_features}, rng, stddev));
+  bias_ = Param(Tensor({out_features}));
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  if (x.ndim() != 2 || x.dim(1) != in_) {
+    throw std::invalid_argument("Linear: bad input shape");
+  }
+  input_ = x;
+  const int n = x.dim(0);
+  Tensor y({n, out_});
+  for (int b = 0; b < n; ++b) {
+    for (int o = 0; o < out_; ++o) {
+      float acc = bias_.value[static_cast<std::size_t>(o)];
+      for (int i = 0; i < in_; ++i) {
+        acc += weight_.value.at(o, i) * x.at(b, i);
+      }
+      y.at(b, o) = acc;
+    }
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  const int n = input_.dim(0);
+  Tensor grad_in({n, in_});
+  for (int b = 0; b < n; ++b) {
+    for (int o = 0; o < out_; ++o) {
+      const float g = grad_out.at(b, o);
+      if (g == 0.0f) continue;
+      bias_.grad[static_cast<std::size_t>(o)] += g;
+      for (int i = 0; i < in_; ++i) {
+        weight_.grad.at(o, i) += g * input_.at(b, i);
+        grad_in.at(b, i) += g * weight_.value.at(o, i);
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param*> Linear::params() { return {&weight_, &bias_}; }
+
+}  // namespace rlmul::nn

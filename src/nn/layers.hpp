@@ -1,0 +1,116 @@
+#pragma once
+// Concrete layers: Conv2d, BatchNorm2d, ReLU, MaxPool2d, global average
+// pooling, Flatten and Linear — everything ResNet-18 needs. All image
+// tensors are NCHW.
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "util/rng.hpp"
+
+namespace rlmul::nn {
+
+class Conv2d : public Module {
+ public:
+  /// He-initialized convolution. Square kernel, symmetric padding.
+  Conv2d(int in_channels, int out_channels, int kernel, int stride,
+         int padding, util::Rng& rng, bool bias = true);
+
+  nt::Tensor forward(const nt::Tensor& x) override;
+  nt::Tensor backward(const nt::Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+
+  int out_size(int in_size) const {
+    return (in_size + 2 * padding_ - kernel_) / stride_ + 1;
+  }
+
+ private:
+  /// Unfolds the cached input into patch rows [P x D], P = n*ho*wo,
+  /// D = in_ch*k*k (im2col); forward/backward are then plain GEMMs.
+  std::vector<float> im2col(const nt::Tensor& x, int ho, int wo) const;
+
+  int in_ch_, out_ch_, kernel_, stride_, padding_;
+  bool has_bias_;
+  Param weight_;  ///< [out_ch, in_ch, k, k]
+  Param bias_;    ///< [out_ch]
+  nt::Tensor input_;  ///< cached for backward
+};
+
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(int channels, float momentum = 0.1f,
+                       float eps = 1e-5f);
+
+  nt::Tensor forward(const nt::Tensor& x) override;
+  nt::Tensor backward(const nt::Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+
+ private:
+  int channels_;
+  float momentum_, eps_;
+  Param gamma_, beta_;
+  nt::Tensor running_mean_, running_var_;
+  // Backward caches:
+  nt::Tensor x_hat_;
+  std::vector<float> batch_mean_, batch_inv_std_;
+};
+
+class ReLU : public Module {
+ public:
+  nt::Tensor forward(const nt::Tensor& x) override;
+  nt::Tensor backward(const nt::Tensor& grad_out) override;
+
+ private:
+  nt::Tensor mask_;
+};
+
+class MaxPool2d : public Module {
+ public:
+  MaxPool2d(int kernel, int stride, int padding = 0);
+
+  nt::Tensor forward(const nt::Tensor& x) override;
+  nt::Tensor backward(const nt::Tensor& grad_out) override;
+
+ private:
+  int kernel_, stride_, padding_;
+  std::vector<int> argmax_;  ///< flat input index per output element
+  std::vector<int> in_shape_;
+};
+
+/// Global average pool: NCHW -> NC11.
+class GlobalAvgPool : public Module {
+ public:
+  nt::Tensor forward(const nt::Tensor& x) override;
+  nt::Tensor backward(const nt::Tensor& grad_out) override;
+
+ private:
+  std::vector<int> in_shape_;
+};
+
+/// NCHW (or any) -> N x rest.
+class Flatten : public Module {
+ public:
+  nt::Tensor forward(const nt::Tensor& x) override;
+  nt::Tensor backward(const nt::Tensor& grad_out) override;
+
+ private:
+  std::vector<int> in_shape_;
+};
+
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, util::Rng& rng);
+
+  nt::Tensor forward(const nt::Tensor& x) override;
+  nt::Tensor backward(const nt::Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+
+ private:
+  int in_, out_;
+  Param weight_;  ///< [out, in]
+  Param bias_;    ///< [out]
+  nt::Tensor input_;
+};
+
+}  // namespace rlmul::nn

@@ -1,0 +1,36 @@
+#include "nn/module.hpp"
+
+namespace rlmul::nn {
+
+void Module::zero_grad() {
+  for (Param* p : params()) p->grad.zero();
+}
+
+nt::Tensor Sequential::forward(const nt::Tensor& x) {
+  nt::Tensor cur = x;
+  for (auto& child : children_) cur = child->forward(cur);
+  return cur;
+}
+
+nt::Tensor Sequential::backward(const nt::Tensor& grad_out) {
+  nt::Tensor cur = grad_out;
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+    cur = (*it)->backward(cur);
+  }
+  return cur;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> out;
+  for (auto& child : children_) {
+    for (Param* p : child->params()) out.push_back(p);
+  }
+  return out;
+}
+
+void Sequential::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& child : children_) child->set_training(training);
+}
+
+}  // namespace rlmul::nn

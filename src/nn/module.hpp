@@ -1,0 +1,66 @@
+#pragma once
+// Layer abstraction for the from-scratch neural-network library that
+// stands in for PyTorch in the paper's agent (ResNet-18 backbone,
+// Section III-F). Each Module implements an explicit forward and
+// backward pass; backward consumes dL/d(output), accumulates parameter
+// gradients, and returns dL/d(input). Training is plain
+// define-by-layer — no autograd tape is needed for these
+// architectures.
+
+#include <memory>
+#include <vector>
+
+#include "nt/tensor.hpp"
+
+namespace rlmul::nn {
+
+struct Param {
+  nt::Tensor value;
+  nt::Tensor grad;
+
+  explicit Param(nt::Tensor v)
+      : value(std::move(v)), grad(nt::Tensor(value.shape())) {}
+  Param() = default;
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  virtual nt::Tensor forward(const nt::Tensor& x) = 0;
+  /// dL/d(output) -> dL/d(input); parameter grads are accumulated.
+  virtual nt::Tensor backward(const nt::Tensor& grad_out) = 0;
+
+  virtual std::vector<Param*> params() { return {}; }
+  virtual void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  void zero_grad();
+
+ protected:
+  bool training_ = true;
+};
+
+/// Runs children in order; backward in reverse.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  Sequential& add(std::unique_ptr<Module> m) {
+    children_.push_back(std::move(m));
+    return *this;
+  }
+
+  nt::Tensor forward(const nt::Tensor& x) override;
+  nt::Tensor backward(const nt::Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  void set_training(bool training) override;
+
+  std::size_t size() const { return children_.size(); }
+  Module& child(std::size_t i) { return *children_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Module>> children_;
+};
+
+}  // namespace rlmul::nn

@@ -1,0 +1,95 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+namespace rlmul::nn {
+
+void Optimizer::zero_grad() {
+  for (Param* p : params_) p->grad.zero();
+}
+
+double Optimizer::clip_grad_norm(double max_norm) {
+  double sq = 0.0;
+  for (Param* p : params_) {
+    for (std::size_t i = 0; i < p->grad.numel(); ++i) {
+      sq += static_cast<double>(p->grad[i]) * p->grad[i];
+    }
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (Param* p : params_) p->grad.scale(scale);
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Param*> params, double lr, double momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  for (Param* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::step() {
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Param* p = params_[k];
+    nt::Tensor& v = velocity_[k];
+    for (std::size_t i = 0; i < p->value.numel(); ++i) {
+      v[i] = static_cast<float>(momentum_) * v[i] + p->grad[i];
+      p->value[i] -= static_cast<float>(lr_) * v[i];
+    }
+  }
+}
+
+RmsProp::RmsProp(std::vector<Param*> params, double lr, double decay,
+                 double eps)
+    : Optimizer(std::move(params)), lr_(lr), decay_(decay), eps_(eps) {
+  for (Param* p : params_) mean_square_.emplace_back(p->value.shape());
+}
+
+void RmsProp::step() {
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Param* p = params_[k];
+    nt::Tensor& ms = mean_square_[k];
+    for (std::size_t i = 0; i < p->value.numel(); ++i) {
+      const float g = p->grad[i];
+      ms[i] = static_cast<float>(decay_) * ms[i] +
+              static_cast<float>(1.0 - decay_) * g * g;
+      p->value[i] -= static_cast<float>(lr_) * g /
+                     (std::sqrt(ms[i]) + static_cast<float>(eps_));
+    }
+  }
+}
+
+Adam::Adam(std::vector<Param*> params, double lr, double beta1, double beta2,
+           double eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, t_);
+  const double bc2 = 1.0 - std::pow(beta2_, t_);
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Param* p = params_[k];
+    for (std::size_t i = 0; i < p->value.numel(); ++i) {
+      const float g = p->grad[i];
+      m_[k][i] = static_cast<float>(beta1_) * m_[k][i] +
+                 static_cast<float>(1.0 - beta1_) * g;
+      v_[k][i] = static_cast<float>(beta2_) * v_[k][i] +
+                 static_cast<float>(1.0 - beta2_) * g * g;
+      const double mh = m_[k][i] / bc1;
+      const double vh = v_[k][i] / bc2;
+      p->value[i] -=
+          static_cast<float>(lr_ * mh / (std::sqrt(vh) + eps_));
+    }
+  }
+}
+
+}  // namespace rlmul::nn

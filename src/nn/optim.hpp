@@ -1,0 +1,60 @@
+#pragma once
+// Optimizers. The paper trains the DQN with RMSProp (ref [41]); SGD and
+// Adam are provided for the ablations and tests.
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace rlmul::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+  void zero_grad();
+
+  /// Global-norm gradient clipping; returns the pre-clip norm.
+  double clip_grad_norm(double max_norm);
+
+ protected:
+  std::vector<Param*> params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Param*> params, double lr, double momentum = 0.0);
+  void step() override;
+
+ private:
+  double lr_, momentum_;
+  std::vector<nt::Tensor> velocity_;
+};
+
+class RmsProp : public Optimizer {
+ public:
+  RmsProp(std::vector<Param*> params, double lr, double decay = 0.99,
+          double eps = 1e-8);
+  void step() override;
+
+ private:
+  double lr_, decay_, eps_;
+  std::vector<nt::Tensor> mean_square_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+  void step() override;
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  int t_ = 0;
+  std::vector<nt::Tensor> m_, v_;
+};
+
+}  // namespace rlmul::nn

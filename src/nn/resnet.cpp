@@ -1,0 +1,146 @@
+#include "nn/resnet.hpp"
+
+#include <stdexcept>
+
+namespace rlmul::nn {
+
+using nt::Tensor;
+
+BasicBlock::BasicBlock(int in_channels, int out_channels, int stride,
+                       util::Rng& rng) {
+  main_.add(std::make_unique<Conv2d>(in_channels, out_channels, 3, stride, 1,
+                                     rng, /*bias=*/false));
+  main_.add(std::make_unique<BatchNorm2d>(out_channels));
+  main_.add(std::make_unique<ReLU>());
+  main_.add(std::make_unique<Conv2d>(out_channels, out_channels, 3, 1, 1, rng,
+                                     /*bias=*/false));
+  main_.add(std::make_unique<BatchNorm2d>(out_channels));
+  if (stride != 1 || in_channels != out_channels) {
+    projection_ = std::make_unique<Sequential>();
+    projection_->add(std::make_unique<Conv2d>(in_channels, out_channels, 1,
+                                              stride, 0, rng,
+                                              /*bias=*/false));
+    projection_->add(std::make_unique<BatchNorm2d>(out_channels));
+  }
+}
+
+Tensor BasicBlock::forward(const Tensor& x) {
+  skip_input_ = x;
+  Tensor main_out = main_.forward(x);
+  const Tensor skip = projection_ ? projection_->forward(x) : x;
+  if (!nt::same_shape(main_out, skip)) {
+    throw std::logic_error("BasicBlock: skip/main shape mismatch");
+  }
+  for (std::size_t i = 0; i < main_out.numel(); ++i) main_out[i] += skip[i];
+  return out_relu_.forward(main_out);
+}
+
+Tensor BasicBlock::backward(const Tensor& grad_out) {
+  const Tensor grad_sum = out_relu_.backward(grad_out);
+  Tensor grad_in = main_.backward(grad_sum);
+  if (projection_) {
+    const Tensor grad_skip = projection_->backward(grad_sum);
+    for (std::size_t i = 0; i < grad_in.numel(); ++i) {
+      grad_in[i] += grad_skip[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < grad_in.numel(); ++i) {
+      grad_in[i] += grad_sum[i];
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param*> BasicBlock::params() {
+  std::vector<Param*> out = main_.params();
+  if (projection_) {
+    for (Param* p : projection_->params()) out.push_back(p);
+  }
+  return out;
+}
+
+void BasicBlock::set_training(bool training) {
+  Module::set_training(training);
+  main_.set_training(training);
+  if (projection_) projection_->set_training(training);
+  out_relu_.set_training(training);
+}
+
+// ---------------------------------------------------------------------------
+
+ResNet::ResNet(const ResNetConfig& cfg, util::Rng& rng) {
+  if (cfg.stage_blocks.size() != cfg.stage_channels.size() ||
+      cfg.stage_blocks.empty()) {
+    throw std::invalid_argument("ResNet: stage config mismatch");
+  }
+  const int stem_channels = cfg.stage_channels.front();
+  trunk_.add(std::make_unique<Conv2d>(cfg.in_channels, stem_channels,
+                                      cfg.stem_kernel, cfg.stem_stride,
+                                      cfg.stem_kernel / 2, rng,
+                                      /*bias=*/false));
+  trunk_.add(std::make_unique<BatchNorm2d>(stem_channels));
+  trunk_.add(std::make_unique<ReLU>());
+  if (cfg.stem_maxpool) {
+    trunk_.add(std::make_unique<MaxPool2d>(3, 2, 1));
+  }
+  int in_ch = stem_channels;
+  for (std::size_t stage = 0; stage < cfg.stage_blocks.size(); ++stage) {
+    const int out_ch = cfg.stage_channels[stage];
+    for (int block = 0; block < cfg.stage_blocks[stage]; ++block) {
+      const int stride = (block == 0 && stage > 0) ? 2 : 1;
+      trunk_.add(std::make_unique<BasicBlock>(in_ch, out_ch, stride, rng));
+      in_ch = out_ch;
+    }
+  }
+  trunk_.add(std::make_unique<GlobalAvgPool>());
+  trunk_.add(std::make_unique<Flatten>());
+  feature_dim_ = in_ch;
+  head_ = std::make_unique<Linear>(feature_dim_, cfg.num_outputs, rng);
+}
+
+Tensor ResNet::forward(const Tensor& x) {
+  return head_->forward(trunk_.forward(x));
+}
+
+Tensor ResNet::backward(const Tensor& grad_out) {
+  return trunk_.backward(head_->backward(grad_out));
+}
+
+Tensor ResNet::forward_features(const Tensor& x) { return trunk_.forward(x); }
+
+Tensor ResNet::backward_features(const Tensor& grad_features) {
+  return trunk_.backward(grad_features);
+}
+
+std::vector<Param*> ResNet::params() {
+  std::vector<Param*> out = trunk_.params();
+  for (Param* p : head_->params()) out.push_back(p);
+  return out;
+}
+
+void ResNet::set_training(bool training) {
+  Module::set_training(training);
+  trunk_.set_training(training);
+  head_->set_training(training);
+}
+
+ResNetConfig resnet18_config(int in_channels, int num_outputs) {
+  ResNetConfig cfg;
+  cfg.in_channels = in_channels;
+  cfg.num_outputs = num_outputs;
+  return cfg;  // defaults are the 18-layer layout
+}
+
+ResNetConfig resnet_tiny_config(int in_channels, int num_outputs) {
+  ResNetConfig cfg;
+  cfg.in_channels = in_channels;
+  cfg.num_outputs = num_outputs;
+  cfg.stage_blocks = {1, 1};
+  cfg.stage_channels = {16, 32};
+  cfg.stem_kernel = 3;
+  cfg.stem_stride = 1;
+  cfg.stem_maxpool = false;
+  return cfg;
+}
+
+}  // namespace rlmul::nn

@@ -1,0 +1,74 @@
+#pragma once
+// ResNet backbone (He et al., CVPR'16) used as the agent network in
+// RL-MUL (Section III-F). Besides the standard resnet18() builder there
+// is a scaled-down resnet_tiny() with the same topology but fewer
+// channels/blocks, which is what the CPU benches default to — the paper
+// trains the full 18-layer network on a GPU, a substitution recorded in
+// DESIGN.md.
+
+#include <memory>
+
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+
+namespace rlmul::nn {
+
+/// Standard residual basic block: conv3x3-BN-ReLU-conv3x3-BN + skip
+/// (1x1 conv + BN projection when the shape changes), then ReLU.
+class BasicBlock : public Module {
+ public:
+  BasicBlock(int in_channels, int out_channels, int stride, util::Rng& rng);
+
+  nt::Tensor forward(const nt::Tensor& x) override;
+  nt::Tensor backward(const nt::Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  void set_training(bool training) override;
+
+ private:
+  Sequential main_;
+  std::unique_ptr<Sequential> projection_;  // null = identity skip
+  ReLU out_relu_;
+  nt::Tensor skip_input_;
+};
+
+struct ResNetConfig {
+  int in_channels = 2;          ///< K of the tensor representation
+  std::vector<int> stage_blocks{2, 2, 2, 2};  ///< resnet18 layout
+  std::vector<int> stage_channels{64, 128, 256, 512};
+  int stem_kernel = 7;
+  int stem_stride = 2;
+  bool stem_maxpool = true;
+  int num_outputs = 10;
+};
+
+/// The full agent network: ResNet trunk + linear head. For the A2C
+/// variant, build the trunk once and attach two heads (see rl/a2c).
+class ResNet : public Module {
+ public:
+  ResNet(const ResNetConfig& cfg, util::Rng& rng);
+
+  nt::Tensor forward(const nt::Tensor& x) override;
+  nt::Tensor backward(const nt::Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  void set_training(bool training) override;
+
+  /// Features before the head: [N, C] after global pooling.
+  nt::Tensor forward_features(const nt::Tensor& x);
+  nt::Tensor backward_features(const nt::Tensor& grad_features);
+  int feature_dim() const { return feature_dim_; }
+  Linear& head() { return *head_; }
+
+ private:
+  Sequential trunk_;
+  int feature_dim_ = 0;
+  std::unique_ptr<Linear> head_;
+};
+
+/// Paper configuration: ResNet-18 over the K x 2N x ST tensor encoding.
+ResNetConfig resnet18_config(int in_channels, int num_outputs);
+
+/// CPU-sized variant: two stages of one block each, 16/32 channels,
+/// 3x3 stem without max-pooling. Same code path, ~100x fewer FLOPs.
+ResNetConfig resnet_tiny_config(int in_channels, int num_outputs);
+
+}  // namespace rlmul::nn

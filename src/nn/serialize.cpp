@@ -1,0 +1,112 @@
+#include "nn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace rlmul::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x524C4D31;  // "RLM1"
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& in,
+                      std::size_t& pos) {
+  if (pos + 4 > in.size()) throw std::runtime_error("checkpoint truncated");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(in[pos + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos += 4;
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> save_params(Module& module) {
+  const auto params = module.params();
+  std::vector<std::uint8_t> out;
+  put_u32(out, kMagic);
+  put_u32(out, static_cast<std::uint32_t>(params.size()));
+  for (Param* p : params) {
+    put_u32(out, static_cast<std::uint32_t>(p->value.ndim()));
+    for (int d = 0; d < p->value.ndim(); ++d) {
+      put_u32(out, static_cast<std::uint32_t>(p->value.dim(d)));
+    }
+    const std::size_t bytes = p->value.numel() * sizeof(float);
+    const std::size_t base = out.size();
+    out.resize(base + bytes);
+    std::memcpy(out.data() + base, p->value.data(), bytes);
+  }
+  return out;
+}
+
+void load_params(Module& module, const std::vector<std::uint8_t>& blob) {
+  const auto params = module.params();
+  std::size_t pos = 0;
+  if (get_u32(blob, pos) != kMagic) {
+    throw std::runtime_error("checkpoint: bad magic");
+  }
+  if (get_u32(blob, pos) != params.size()) {
+    throw std::runtime_error("checkpoint: parameter count mismatch");
+  }
+  for (Param* p : params) {
+    const auto ndim = get_u32(blob, pos);
+    if (static_cast<int>(ndim) != p->value.ndim()) {
+      throw std::runtime_error("checkpoint: rank mismatch");
+    }
+    for (int d = 0; d < p->value.ndim(); ++d) {
+      if (static_cast<int>(get_u32(blob, pos)) != p->value.dim(d)) {
+        throw std::runtime_error("checkpoint: shape mismatch");
+      }
+    }
+    const std::size_t bytes = p->value.numel() * sizeof(float);
+    if (pos + bytes > blob.size()) {
+      throw std::runtime_error("checkpoint truncated");
+    }
+    std::memcpy(p->value.data(), blob.data() + pos, bytes);
+    pos += bytes;
+  }
+  if (pos != blob.size()) {
+    throw std::runtime_error("checkpoint: trailing bytes");
+  }
+}
+
+void save_params_file(Module& module, const std::string& path) {
+  const auto blob = save_params(module);
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open " + path);
+  os.write(reinterpret_cast<const char*>(blob.data()),
+           static_cast<std::streamsize>(blob.size()));
+}
+
+void load_params_file(Module& module, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  std::vector<std::uint8_t> blob(
+      (std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+  load_params(module, blob);
+}
+
+void copy_params(Module& from, Module& to) {
+  const auto src = from.params();
+  const auto dst = to.params();
+  if (src.size() != dst.size()) {
+    throw std::runtime_error("copy_params: structure mismatch");
+  }
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (!nt::same_shape(src[i]->value, dst[i]->value)) {
+      throw std::runtime_error("copy_params: shape mismatch");
+    }
+    dst[i]->value = src[i]->value;
+  }
+}
+
+}  // namespace rlmul::nn

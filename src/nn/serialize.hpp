@@ -1,0 +1,29 @@
+#pragma once
+// Checkpointing: save/load the parameters of any Module to a simple
+// binary format (magic, tensor count, then per-tensor shape + float32
+// data). Used to persist trained agents across runs and to clone
+// networks (e.g. DQN target-network sync through a buffer).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace rlmul::nn {
+
+/// Serializes all parameters (values only, not gradients).
+std::vector<std::uint8_t> save_params(Module& module);
+
+/// Restores parameters saved by save_params. Throws std::runtime_error
+/// on format or shape mismatch.
+void load_params(Module& module, const std::vector<std::uint8_t>& blob);
+
+/// File helpers.
+void save_params_file(Module& module, const std::string& path);
+void load_params_file(Module& module, const std::string& path);
+
+/// Copies parameter values between two structurally identical modules.
+void copy_params(Module& from, Module& to);
+
+}  // namespace rlmul::nn

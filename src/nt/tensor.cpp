@@ -1,0 +1,112 @@
+#include "nt/tensor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rlmul::nt {
+
+namespace {
+std::size_t count(const std::vector<int>& shape) {
+  std::size_t n = 1;
+  for (int d : shape) {
+    if (d < 0) throw std::invalid_argument("Tensor: negative dimension");
+    n *= static_cast<std::size_t>(d);
+  }
+  return shape.empty() ? 0 : n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), data_(count(shape_), 0.0f) {}
+
+Tensor Tensor::full(std::vector<int> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<int> shape, util::Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.next_gaussian()) * stddev;
+  }
+  return t;
+}
+
+float& Tensor::at(int i, int j) {
+  return data_[static_cast<std::size_t>(i) *
+                   static_cast<std::size_t>(shape_[1]) +
+               static_cast<std::size_t>(j)];
+}
+float Tensor::at(int i, int j) const {
+  return const_cast<Tensor*>(this)->at(i, j);
+}
+
+float& Tensor::at(int i, int j, int k) {
+  return data_[(static_cast<std::size_t>(i) *
+                    static_cast<std::size_t>(shape_[1]) +
+                static_cast<std::size_t>(j)) *
+                   static_cast<std::size_t>(shape_[2]) +
+               static_cast<std::size_t>(k)];
+}
+float Tensor::at(int i, int j, int k) const {
+  return const_cast<Tensor*>(this)->at(i, j, k);
+}
+
+float& Tensor::at(int i, int j, int k, int l) {
+  return data_[((static_cast<std::size_t>(i) *
+                     static_cast<std::size_t>(shape_[1]) +
+                 static_cast<std::size_t>(j)) *
+                    static_cast<std::size_t>(shape_[2]) +
+                static_cast<std::size_t>(k)) *
+                   static_cast<std::size_t>(shape_[3]) +
+               static_cast<std::size_t>(l)];
+}
+float Tensor::at(int i, int j, int k, int l) const {
+  return const_cast<Tensor*>(this)->at(i, j, k, l);
+}
+
+Tensor Tensor::reshaped(std::vector<int> shape) const {
+  if (count(shape) != numel()) {
+    throw std::invalid_argument("reshaped: element count mismatch");
+  }
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float value) {
+  for (float& v : data_) v = value;
+}
+
+void Tensor::add_scaled(const Tensor& other, float scale) {
+  if (other.numel() != numel()) {
+    throw std::invalid_argument("add_scaled: size mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * other.data_[i];
+  }
+}
+
+void Tensor::scale(float factor) {
+  for (float& v : data_) v *= factor;
+}
+
+double Tensor::sum() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return s;
+}
+
+double Tensor::abs_max() const {
+  double m = 0.0;
+  for (float v : data_) m = std::max(m, static_cast<double>(std::fabs(v)));
+  return m;
+}
+
+bool same_shape(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape();
+}
+
+}  // namespace rlmul::nt

@@ -1,0 +1,64 @@
+#pragma once
+// Minimal dense float tensor used by the neural-network library: a
+// contiguous row-major buffer plus a shape (up to 4 dimensions, NCHW
+// for images). Value semantics; all layers own their activations.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rlmul::nt {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape);
+
+  static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<int> shape, float value);
+  /// Gaussian init with the given standard deviation.
+  static Tensor randn(std::vector<int> shape, util::Rng& rng, float stddev);
+
+  const std::vector<int>& shape() const { return shape_; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int dim(int i) const { return shape_[static_cast<std::size_t>(i)]; }
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// 2-D / 3-D / 4-D accessors (row-major).
+  float& at(int i, int j);
+  float at(int i, int j) const;
+  float& at(int i, int j, int k);
+  float at(int i, int j, int k) const;
+  float& at(int i, int j, int k, int l);
+  float at(int i, int j, int k, int l) const;
+
+  /// Same data, new shape (numel must match).
+  Tensor reshaped(std::vector<int> shape) const;
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  /// Elementwise in-place helpers used by the optimizers.
+  void add_scaled(const Tensor& other, float scale);
+  void scale(float factor);
+
+  double sum() const;
+  double abs_max() const;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// shape equality helper for assertions.
+bool same_shape(const Tensor& a, const Tensor& b);
+
+}  // namespace rlmul::nt

@@ -1,0 +1,57 @@
+#include "pareto/pareto.hpp"
+
+#include <algorithm>
+
+namespace rlmul::pareto {
+
+bool dominates(const Point& p, const Point& q) {
+  return p.x <= q.x && p.y <= q.y && (p.x < q.x || p.y < q.y);
+}
+
+bool Front::insert(Point p) {
+  for (const Point& q : points_) {
+    if (dominates(q, p) || (q.x == p.x && q.y == p.y)) return false;
+  }
+  std::erase_if(points_, [&](const Point& q) { return dominates(p, q); });
+  points_.push_back(p);
+  return true;
+}
+
+std::vector<Point> Front::sorted() const {
+  std::vector<Point> out = points_;
+  std::sort(out.begin(), out.end(), [](const Point& a, const Point& b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  return out;
+}
+
+bool Front::covered(const Point& p) const {
+  for (const Point& q : points_) {
+    if (dominates(q, p) || (q.x == p.x && q.y == p.y)) return true;
+  }
+  return false;
+}
+
+std::vector<Point> pareto_filter(const std::vector<Point>& pts) {
+  Front f;
+  for (const Point& p : pts) f.insert(p);
+  return f.sorted();
+}
+
+double hypervolume(const std::vector<Point>& front, double ref_x,
+                   double ref_y) {
+  std::vector<Point> pts;
+  for (const Point& p : front) {
+    if (p.x <= ref_x && p.y <= ref_y) pts.push_back(p);
+  }
+  pts = pareto_filter(pts);  // sorted by x ascending, y strictly descending
+  double hv = 0.0;
+  double prev_y = ref_y;
+  for (const Point& p : pts) {
+    hv += (ref_x - p.x) * (prev_y - p.y);
+    prev_y = p.y;
+  }
+  return hv;
+}
+
+}  // namespace rlmul::pareto

@@ -1,0 +1,53 @@
+#pragma once
+// Pareto-frontier bookkeeping and the hypervolume indicator used for
+// Figs 9-11, 13 and 14. Two objectives, both minimized (area, delay).
+
+#include <cstddef>
+#include <vector>
+
+namespace rlmul::pareto {
+
+struct Point {
+  double x = 0.0;  ///< first objective (area)
+  double y = 0.0;  ///< second objective (delay)
+  std::size_t payload = 0;  ///< caller-defined handle (design id, ...)
+
+  bool operator==(const Point&) const = default;
+};
+
+/// p dominates q when it is no worse in both objectives and strictly
+/// better in at least one.
+bool dominates(const Point& p, const Point& q);
+
+/// Maintains the set of non-dominated points under minimization.
+class Front {
+ public:
+  /// Inserts a candidate. Returns true when the point enters the front
+  /// (dominated points are evicted); false when it is dominated.
+  bool insert(Point p);
+
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+
+  /// Points sorted by x ascending (hence y descending).
+  std::vector<Point> sorted() const;
+
+  const std::vector<Point>& points() const { return points_; }
+
+  /// True when any member dominates p or equals it in both objectives.
+  bool covered(const Point& p) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Extracts the non-dominated subset of arbitrary points.
+std::vector<Point> pareto_filter(const std::vector<Point>& pts);
+
+/// 2-D hypervolume: area of the region dominated by the front and
+/// bounded by the reference point (ref must be weakly worse than every
+/// point; points outside are clipped out).
+double hypervolume(const std::vector<Point>& front, double ref_x,
+                   double ref_y);
+
+}  // namespace rlmul::pareto

@@ -1,0 +1,202 @@
+#include "pe/pe_array.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "netlist/cell_library.hpp"
+#include "sta/sta.hpp"
+#include "synth/synth.hpp"
+
+namespace rlmul::pe {
+
+using netlist::CellKind;
+using netlist::CpaKind;
+using netlist::GateId;
+using netlist::LogicBuilder;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::Signal;
+
+namespace {
+
+/// Registers a vector of signals; returns the Q nets as signals.
+std::vector<Signal> register_bits(Netlist& nl,
+                                  const std::vector<Signal>& bits,
+                                  LogicBuilder& lb) {
+  std::vector<Signal> out;
+  out.reserve(bits.size());
+  for (const Signal& s : bits) {
+    const GateId g = nl.add_gate(CellKind::kDff, {lb.materialize(s)});
+    out.push_back(
+        Signal::of(nl.gates()[static_cast<std::size_t>(g)].outputs[0]));
+  }
+  return out;
+}
+
+struct PeCell {
+  std::vector<Signal> a_out;  ///< registered operand, to the right PE
+  std::vector<Signal> b_out;  ///< registered operand, to the PE below
+};
+
+/// Emits one PE into the netlist. Accumulator registers are created
+/// with explicit Q nets so the MAC result can be looped back.
+PeCell emit_pe(Netlist& nl, LogicBuilder& lb,
+               const ppg::MultiplierSpec& spec,
+               const ct::CompressorTree& tree, CpaKind cpa,
+               const std::vector<Signal>& a_in,
+               const std::vector<Signal>& b_in) {
+  PeCell cell;
+  cell.a_out = register_bits(nl, a_in, lb);
+  cell.b_out = register_bits(nl, b_in, lb);
+
+  const int w = spec.columns();
+  // Accumulator register file: allocate Q nets up front.
+  std::vector<NetId> acc_q = nl.new_nets(w);
+  std::vector<Signal> acc_sig;
+  acc_sig.reserve(static_cast<std::size_t>(w));
+  for (NetId q : acc_q) acc_sig.push_back(Signal::of(q));
+
+  ppg::CoreInputs inputs;
+  inputs.a = cell.a_out;
+  inputs.b = cell.b_out;
+
+  std::vector<Signal> next_acc;
+  if (spec.mac) {
+    // Merged MAC: the accumulator enters the compressor tree.
+    inputs.c = acc_sig;
+    next_acc = ppg::build_core(lb, spec, tree, cpa, inputs);
+  } else {
+    // Multiplier PE: product then a dedicated accumulate adder.
+    const std::vector<Signal> product =
+        ppg::build_core(lb, spec, tree, cpa, inputs);
+    netlist::ColumnSignals addend_rows(static_cast<std::size_t>(w));
+    for (int j = 0; j < w; ++j) {
+      addend_rows[static_cast<std::size_t>(j)] = {
+          product[static_cast<std::size_t>(j)],
+          acc_sig[static_cast<std::size_t>(j)]};
+    }
+    next_acc = netlist::build_cpa(lb, cpa, addend_rows);
+  }
+
+  // Close the accumulator loop through DFFs driving the preallocated Qs.
+  for (int j = 0; j < w; ++j) {
+    nl.add_gate_onto(CellKind::kDff,
+                     {lb.materialize(next_acc[static_cast<std::size_t>(j)])},
+                     {acc_q[static_cast<std::size_t>(j)]});
+  }
+  return cell;
+}
+
+}  // namespace
+
+Netlist build_pe_netlist(const ppg::MultiplierSpec& spec,
+                         const ct::CompressorTree& tree, CpaKind cpa) {
+  Netlist nl;
+  LogicBuilder lb(nl);
+  std::vector<Signal> a_in;
+  std::vector<Signal> b_in;
+  for (int i = 0; i < spec.bits; ++i) {
+    a_in.push_back(Signal::of(nl.add_input("a" + std::to_string(i))));
+  }
+  for (int i = 0; i < spec.bits; ++i) {
+    b_in.push_back(Signal::of(nl.add_input("b" + std::to_string(i))));
+  }
+  const PeCell cell = emit_pe(nl, lb, spec, tree, cpa, a_in, b_in);
+  for (int i = 0; i < spec.bits; ++i) {
+    nl.mark_output(lb.materialize(cell.a_out[static_cast<std::size_t>(i)]),
+                   "a_out" + std::to_string(i));
+    nl.mark_output(lb.materialize(cell.b_out[static_cast<std::size_t>(i)]),
+                   "b_out" + std::to_string(i));
+  }
+  return nl;
+}
+
+Netlist build_pe_array_netlist(const ppg::MultiplierSpec& spec,
+                               const ct::CompressorTree& tree, CpaKind cpa,
+                               int rows, int cols) {
+  if (rows < 1 || cols < 1) {
+    throw std::invalid_argument("build_pe_array_netlist: bad shape");
+  }
+  Netlist nl;
+  LogicBuilder lb(nl);
+  // Edge operand inputs.
+  std::vector<std::vector<Signal>> a_feed(static_cast<std::size_t>(rows));
+  std::vector<std::vector<Signal>> b_feed(static_cast<std::size_t>(cols));
+  for (int r = 0; r < rows; ++r) {
+    for (int i = 0; i < spec.bits; ++i) {
+      a_feed[static_cast<std::size_t>(r)].push_back(Signal::of(nl.add_input(
+          "a_r" + std::to_string(r) + "_" + std::to_string(i))));
+    }
+  }
+  for (int c = 0; c < cols; ++c) {
+    for (int i = 0; i < spec.bits; ++i) {
+      b_feed[static_cast<std::size_t>(c)].push_back(Signal::of(nl.add_input(
+          "b_c" + std::to_string(c) + "_" + std::to_string(i))));
+    }
+  }
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const PeCell cell =
+          emit_pe(nl, lb, spec, tree, cpa, a_feed[static_cast<std::size_t>(r)],
+                  b_feed[static_cast<std::size_t>(c)]);
+      a_feed[static_cast<std::size_t>(r)] = cell.a_out;   // flow right
+      b_feed[static_cast<std::size_t>(c)] = cell.b_out;   // flow down
+    }
+  }
+  // Edge outputs (operands leaving the fabric).
+  for (int r = 0; r < rows; ++r) {
+    for (int i = 0; i < spec.bits; ++i) {
+      nl.mark_output(
+          lb.materialize(a_feed[static_cast<std::size_t>(r)]
+                                [static_cast<std::size_t>(i)]),
+          "a_out_r" + std::to_string(r) + "_" + std::to_string(i));
+    }
+  }
+  for (int c = 0; c < cols; ++c) {
+    for (int i = 0; i < spec.bits; ++i) {
+      nl.mark_output(
+          lb.materialize(b_feed[static_cast<std::size_t>(c)]
+                                [static_cast<std::size_t>(i)]),
+          "b_out_c" + std::to_string(c) + "_" + std::to_string(i));
+    }
+  }
+  return nl;
+}
+
+PeArrayResult synthesize_pe_array(const ppg::MultiplierSpec& spec,
+                                  const ct::CompressorTree& tree,
+                                  double target_clock_ns,
+                                  const PeArrayOptions& opts) {
+  const auto& lib = netlist::CellLibrary::nangate45();
+  synth::SynthesisOptions sopts;
+  sopts.target_delay_ns = target_clock_ns;
+
+  PeArrayResult best;
+  bool have = false;
+  for (CpaKind cpa : netlist::kAllCpaKinds) {
+    Netlist pe = build_pe_netlist(spec, tree, cpa);
+    const synth::SynthesisResult res =
+        synth::synthesize_netlist(pe, lib, sopts);
+    const double cells = static_cast<double>(opts.rows) * opts.cols;
+    PeArrayResult cand;
+    cand.area_um2 = res.area_um2 * cells * (1.0 + opts.wiring_overhead);
+    cand.delay_ns = res.delay_ns;
+    cand.power_mw = res.power_mw * cells * (1.0 + opts.wiring_overhead);
+    cand.met_target = res.met_target;
+    cand.cpa = cpa;
+    const bool better =
+        !have ||
+        (cand.met_target && !best.met_target) ||
+        (cand.met_target == best.met_target &&
+         (cand.met_target ? cand.area_um2 < best.area_um2
+                          : cand.delay_ns < best.delay_ns));
+    if (better) {
+      best = cand;
+      have = true;
+    }
+    if (cand.met_target) break;  // kinds are in area order
+  }
+  return best;
+}
+
+}  // namespace rlmul::pe

@@ -1,0 +1,64 @@
+#pragma once
+// Systolic processing-element array (the paper's Section V macro
+// benchmark): operands stream through per-PE input registers while a
+// local accumulator register integrates products, exactly the
+// weight-stationary systolic cell of DNN accelerators.
+//
+// Two PE flavours, matching Figs 10 and 11:
+//  * multiplier-implemented PE: registered a/b operands -> multiplier
+//    core -> accumulate CPA -> accumulator register;
+//  * MAC-implemented PE: the merged-MAC core folds the accumulator into
+//    its partial products (Section III-C), removing the extra adder.
+//
+// Because the array is locally connected and all PEs are identical, the
+// array's minimum clock period equals the PE's register-to-register
+// critical path, and array area/power scale as P^2 cells plus a wiring
+// overhead. synthesize_pe_array() exploits this; a real composed array
+// netlist builder is provided as well and is cross-checked against the
+// scaling model in the tests.
+
+#include "ct/compressor_tree.hpp"
+#include "netlist/ct_builder.hpp"
+#include "netlist/netlist.hpp"
+#include "ppg/ppg.hpp"
+
+namespace rlmul::pe {
+
+/// One processing element with its pipeline registers, as a standalone
+/// netlist (a/b inputs and pass-through outputs are primary I/O).
+netlist::Netlist build_pe_netlist(const ppg::MultiplierSpec& spec,
+                                  const ct::CompressorTree& tree,
+                                  netlist::CpaKind cpa);
+
+/// A real rows x cols composed array (operands enter at the top/left
+/// edges). Intended for small sanity sizes; the benches use the
+/// analytic scaling below.
+netlist::Netlist build_pe_array_netlist(const ppg::MultiplierSpec& spec,
+                                        const ct::CompressorTree& tree,
+                                        netlist::CpaKind cpa, int rows,
+                                        int cols);
+
+struct PeArrayOptions {
+  int rows = 16;
+  int cols = 16;
+  /// Fractional area/power added for the operand/result distribution
+  /// fabric that a placed array would need.
+  double wiring_overhead = 0.12;
+};
+
+struct PeArrayResult {
+  double area_um2 = 0.0;
+  double delay_ns = 0.0;  ///< minimum clock period of the array
+  double power_mw = 0.0;
+  bool met_target = false;
+  netlist::CpaKind cpa = netlist::CpaKind::kRippleCarry;
+};
+
+/// Synthesizes one PE against the target clock period (trying both CPA
+/// architectures) and scales to the array.
+PeArrayResult synthesize_pe_array(const ppg::MultiplierSpec& spec,
+                                  const ct::CompressorTree& tree,
+                                  double target_clock_ns,
+                                  const PeArrayOptions& opts = {});
+
+}  // namespace rlmul::pe

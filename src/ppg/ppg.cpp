@@ -1,0 +1,232 @@
+#include "ppg/ppg.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace rlmul::ppg {
+
+using netlist::ColumnSignals;
+using netlist::LogicBuilder;
+using netlist::Netlist;
+using netlist::Signal;
+
+const char* ppg_kind_name(PpgKind kind) {
+  switch (kind) {
+    case PpgKind::kAnd: return "AND";
+    case PpgKind::kBooth: return "MBE";
+    case PpgKind::kBaughWooley: return "BW";
+  }
+  return "?";
+}
+
+namespace {
+
+using PpgInputs = CoreInputs;
+
+PpgInputs make_inputs(Netlist& nl, const MultiplierSpec& spec) {
+  PpgInputs in;
+  for (int i = 0; i < spec.bits; ++i) {
+    in.a.push_back(Signal::of(nl.add_input("a" + std::to_string(i))));
+  }
+  for (int i = 0; i < spec.bits; ++i) {
+    in.b.push_back(Signal::of(nl.add_input("b" + std::to_string(i))));
+  }
+  if (spec.mac) {
+    for (int i = 0; i < spec.columns(); ++i) {
+      in.c.push_back(Signal::of(nl.add_input("c" + std::to_string(i))));
+    }
+  }
+  return in;
+}
+
+/// Pushes a bit into its column; drops constant zeros (a synthesizer
+/// would) and anything beyond the product width (mod-2^{2N} semantics).
+void push_bit(ColumnSignals& cols, int column, Signal s) {
+  if (s.is_lo()) return;
+  if (column < 0 || column >= static_cast<int>(cols.size())) return;
+  cols[static_cast<std::size_t>(column)].push_back(s);
+}
+
+void emit_and_ppg(LogicBuilder& lb, const MultiplierSpec& spec,
+                  const PpgInputs& in, ColumnSignals& cols) {
+  for (int i = 0; i < spec.bits; ++i) {
+    for (int k = 0; k < spec.bits; ++k) {
+      push_bit(cols, i + k,
+               lb.and2(in.a[static_cast<std::size_t>(k)],
+                       in.b[static_cast<std::size_t>(i)]));
+    }
+  }
+}
+
+void emit_booth_ppg(LogicBuilder& lb, const MultiplierSpec& spec,
+                    const PpgInputs& in, ColumnSignals& cols) {
+  const int n = spec.bits;
+  const int w = spec.columns();
+  const int digits = n / 2 + 1;
+
+  auto b_bit = [&](int idx) -> Signal {
+    if (idx < 0 || idx >= n) return Signal::lo();
+    return in.b[static_cast<std::size_t>(idx)];
+  };
+  auto a_bit = [&](int idx) -> Signal {
+    if (idx < 0 || idx >= n) return Signal::lo();
+    return in.a[static_cast<std::size_t>(idx)];
+  };
+
+  std::uint64_t const_block = 0;  // accumulated -2^{w_i} corrections
+
+  for (int i = 0; i < digits; ++i) {
+    const Signal bm1 = b_bit(2 * i - 1);
+    const Signal b0 = b_bit(2 * i);
+    const Signal bp1 = b_bit(2 * i + 1);
+
+    // Booth digit d = bm1 + b0 - 2*bp1 in {-2,-1,0,1,2}.
+    const Signal single = lb.xor2(bm1, b0);  // |d| == 1
+    const Signal dbl = lb.or2(
+        lb.and2(bp1, lb.and2(lb.inv(b0), lb.inv(bm1))),   // d == -2
+        lb.and2(lb.inv(bp1), lb.and2(b0, bm1)));          // d == +2
+    const Signal neg = bp1;  // also 1 for d==0 at 111; the identity
+                             // below still cancels exactly.
+
+    // Row magnitude in one's complement: (single?A : dbl?2A : 0) ^ neg,
+    // N+1 bits, placed at columns 2i .. 2i+N.
+    for (int k = 0; k <= n; ++k) {
+      const Signal mag = lb.or2(lb.and2(single, a_bit(k)),
+                                lb.and2(dbl, a_bit(k - 1)));
+      push_bit(cols, 2 * i + k, lb.xor2(mag, neg));
+    }
+    // Two's-complement +1 correction at the row's LSB column.
+    push_bit(cols, 2 * i, neg);
+    // Sign handling: -neg * 2^{2i+N+1} == (1-neg)*2^{wi} - 2^{wi}.
+    const int wi = 2 * i + n + 1;
+    if (wi < w && !neg.is_const()) {
+      push_bit(cols, wi, lb.inv(neg));
+      const_block -= (1ULL << wi);
+    } else if (wi < w && neg.is_hi()) {
+      const_block -= (1ULL << wi);  // constant row: fold fully
+    }
+  }
+
+  // Fold the accumulated constant, modulo 2^w, into constant-one bits.
+  const std::uint64_t mask =
+      w >= 64 ? ~0ULL : ((1ULL << w) - 1ULL);
+  const std::uint64_t k_bits = const_block & mask;
+  for (int j = 0; j < w; ++j) {
+    if ((k_bits >> j) & 1ULL) push_bit(cols, j, Signal::hi());
+  }
+}
+
+// Modified Baugh-Wooley (two's-complement operands): the sign-weighted
+// partial products -a_{N-1}b_j and -a_ib_{N-1} become inverted AND
+// terms via -x*2^w = (1-x)*2^w - 2^w, and the accumulated -2^w
+// corrections fold into two constant one-bits at columns N and 2N-1
+// (mod 2^{2N}).
+void emit_bw_ppg(LogicBuilder& lb, const MultiplierSpec& spec,
+                 const PpgInputs& in, ColumnSignals& cols) {
+  const int n = spec.bits;
+  for (int i = 0; i <= n - 2; ++i) {
+    for (int k = 0; k <= n - 2; ++k) {
+      push_bit(cols, i + k,
+               lb.and2(in.a[static_cast<std::size_t>(k)],
+                       in.b[static_cast<std::size_t>(i)]));
+    }
+  }
+  for (int j = 0; j <= n - 2; ++j) {
+    push_bit(cols, j + n - 1,
+             lb.inv(lb.and2(in.a[static_cast<std::size_t>(n - 1)],
+                            in.b[static_cast<std::size_t>(j)])));
+    push_bit(cols, j + n - 1,
+             lb.inv(lb.and2(in.a[static_cast<std::size_t>(j)],
+                            in.b[static_cast<std::size_t>(n - 1)])));
+  }
+  push_bit(cols, 2 * n - 2,
+           lb.and2(in.a[static_cast<std::size_t>(n - 1)],
+                   in.b[static_cast<std::size_t>(n - 1)]));
+  push_bit(cols, n, Signal::hi());
+  push_bit(cols, 2 * n - 1, Signal::hi());
+}
+
+ColumnSignals emit_ppg(LogicBuilder& lb, const MultiplierSpec& spec,
+                       const PpgInputs& in) {
+  ColumnSignals cols(static_cast<std::size_t>(spec.columns()));
+  switch (spec.ppg) {
+    case PpgKind::kAnd:
+      emit_and_ppg(lb, spec, in, cols);
+      break;
+    case PpgKind::kBooth:
+      emit_booth_ppg(lb, spec, in, cols);
+      break;
+    case PpgKind::kBaughWooley:
+      emit_bw_ppg(lb, spec, in, cols);
+      break;
+  }
+  if (spec.mac) {
+    for (int j = 0; j < spec.columns(); ++j) {
+      push_bit(cols, j, in.c[static_cast<std::size_t>(j)]);
+    }
+  }
+  return cols;
+}
+
+}  // namespace
+
+ct::ColumnHeights pp_heights(const MultiplierSpec& spec) {
+  // Dry-run the emitter so constant folding decisions can never diverge
+  // between the heights the CT is built against and the actual bits.
+  Netlist scratch;
+  LogicBuilder lb(scratch);
+  const ColumnSignals cols = emit_ppg(lb, spec, make_inputs(scratch, spec));
+  ct::ColumnHeights heights(cols.size());
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    heights[j] = static_cast<int>(cols[j].size());
+  }
+  return heights;
+}
+
+ColumnSignals build_ppg(LogicBuilder& lb, const MultiplierSpec& spec) {
+  return emit_ppg(lb, spec, make_inputs(lb.netlist(), spec));
+}
+
+std::vector<Signal> build_core(LogicBuilder& lb, const MultiplierSpec& spec,
+                               const ct::CompressorTree& tree,
+                               netlist::CpaKind cpa,
+                               const CoreInputs& inputs,
+                               const netlist::CtBuildOptions& ct_opts) {
+  if (static_cast<int>(inputs.a.size()) != spec.bits ||
+      static_cast<int>(inputs.b.size()) != spec.bits ||
+      (spec.mac &&
+       static_cast<int>(inputs.c.size()) != spec.columns())) {
+    throw std::invalid_argument("build_core: operand width mismatch");
+  }
+  const ColumnSignals pps = emit_ppg(lb, spec, inputs);
+  const ColumnSignals rows =
+      netlist::build_compressor_tree(lb, tree, pps, ct_opts);
+  return netlist::build_cpa(lb, cpa, rows);
+}
+
+Netlist build_multiplier(const MultiplierSpec& spec,
+                         const ct::CompressorTree& tree,
+                         netlist::CpaKind cpa,
+                         const netlist::CtBuildOptions& ct_opts) {
+  if (spec.bits < 2 || spec.bits > 32) {
+    throw std::invalid_argument("build_multiplier: bits must be in [2, 32]");
+  }
+  Netlist nl;
+  LogicBuilder lb(nl);
+  const ColumnSignals pps = build_ppg(lb, spec);
+  const ColumnSignals rows =
+      netlist::build_compressor_tree(lb, tree, pps, ct_opts);
+  const std::vector<Signal> product = netlist::build_cpa(lb, cpa, rows);
+  for (int j = 0; j < spec.columns(); ++j) {
+    nl.mark_output(lb.materialize(product[static_cast<std::size_t>(j)]),
+                   "p" + std::to_string(j));
+  }
+  return nl;
+}
+
+ct::CompressorTree initial_tree(const MultiplierSpec& spec) {
+  return ct::wallace_tree(pp_heights(spec));
+}
+
+}  // namespace rlmul::ppg

@@ -1,0 +1,88 @@
+#pragma once
+// Partial-product generation (the PPG block of Fig 2) and the top-level
+// multiplier/MAC netlist builder. Two PPG families are supported, as in
+// the paper's experiments:
+//
+//  * AND-based: N^2 AND gates, column heights min(j+1, N, 2N-1-j).
+//  * Radix-4 Modified Booth Encoding (MBE): floor(N/2)+1 signed-digit
+//    rows; each row is a one's-complement selected multiple of A with a
+//    `neg` correction bit, an inverted-sign bit at the row's top, and a
+//    precomputed constant block folded from the sign-extension identity
+//    -s*2^w  =  (1-s)*2^w - 2^w   (mod 2^{2N}).
+//
+// The merged-MAC variants (Section III-C) inject a 2N-bit addend row
+// directly into the partial products, so accumulation happens inside
+// the compressor tree ("multiplication time" MAC of Stelling &
+// Oklobdzija).
+//
+// All arithmetic is modulo 2^{2N} (product register width), matching
+// the golden models in sim/.
+
+#include <cstdint>
+#include <vector>
+
+#include "ct/compressor_tree.hpp"
+#include "netlist/ct_builder.hpp"
+#include "netlist/logic_builder.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rlmul::ppg {
+
+enum class PpgKind : std::uint8_t {
+  kAnd,
+  kBooth,        ///< radix-4 modified Booth (unsigned operands)
+  kBaughWooley,  ///< modified Baugh-Wooley (two's-complement operands)
+};
+
+const char* ppg_kind_name(PpgKind kind);
+
+/// Full design point: what the RL state's compressor tree compresses.
+struct MultiplierSpec {
+  int bits = 8;               ///< operand width N
+  PpgKind ppg = PpgKind::kAnd;
+  bool mac = false;           ///< merged multiply-accumulate
+
+  int columns() const { return 2 * bits; }
+  bool operator==(const MultiplierSpec&) const = default;
+};
+
+/// Initial column heights the PPG produces; this is the `pp` vector a
+/// CompressorTree for this spec must be built against.
+ct::ColumnHeights pp_heights(const MultiplierSpec& spec);
+
+/// Emits the PPG into the netlist. Operand inputs are created as
+/// primary inputs a[0..N), b[0..N) and, for MACs, c[0..2N).
+/// Returns per-column partial-product signals whose heights match
+/// pp_heights(spec).
+netlist::ColumnSignals build_ppg(netlist::LogicBuilder& lb,
+                                 const MultiplierSpec& spec);
+
+/// Operand signals for embedding a multiplier/MAC core inside a larger
+/// design (e.g. a registered processing element): a and b are N wide,
+/// c is 2N wide for MAC specs (ignored otherwise).
+struct CoreInputs {
+  std::vector<netlist::Signal> a;
+  std::vector<netlist::Signal> b;
+  std::vector<netlist::Signal> c;
+};
+
+/// Builds PPG + compressor tree + CPA on the given operand signals and
+/// returns the 2N product signals, without touching primary I/O.
+std::vector<netlist::Signal> build_core(
+    netlist::LogicBuilder& lb, const MultiplierSpec& spec,
+    const ct::CompressorTree& tree, netlist::CpaKind cpa,
+    const CoreInputs& inputs, const netlist::CtBuildOptions& ct_opts = {});
+
+/// Builds the complete design: PPG + compressor tree + CPA, with
+/// product outputs p[0..2N) marked as primary outputs.
+/// `tree.pp` must equal pp_heights(spec).
+netlist::Netlist build_multiplier(const MultiplierSpec& spec,
+                                  const ct::CompressorTree& tree,
+                                  netlist::CpaKind cpa,
+                                  const netlist::CtBuildOptions& ct_opts = {});
+
+/// Convenience: Wallace-initialized tree for a spec (the RL episodes
+/// and the baselines all start here).
+ct::CompressorTree initial_tree(const MultiplierSpec& spec);
+
+}  // namespace rlmul::ppg

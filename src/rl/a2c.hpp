@@ -1,0 +1,43 @@
+#pragma once
+// RL-MUL-E: synchronous advantage actor-critic with parallel
+// environment threads (Section IV-A, Algorithm 4). The policy and value
+// heads share the ResNet trunk; actions are sampled from the masked
+// policy (Equations 13-15); updates use n-step returns (five-step in
+// the paper) with the TD targets of Equations (16)-(19).
+
+#include <cstdint>
+
+#include "rl/dqn.hpp"  // AgentNet, TrainResult
+#include "synth/evaluator.hpp"
+
+namespace rlmul::rl {
+
+struct A2cOptions {
+  int steps = 300;          ///< environment steps per thread
+  int num_threads = 4;      ///< paper: four synchronous workers
+  int n_step = 5;           ///< paper: five-step return
+  double gamma = 0.8;
+  double lr = 1e-3;
+  double value_coef = 0.5;
+  double entropy_coef = 0.01;
+  double grad_clip = 5.0;
+  AgentNet net = AgentNet::kTiny;
+  double w_area = 1.0;
+  double w_delay = 1.0;
+  int max_stages = -1;
+  bool enable_42 = false;   ///< 4:2 compressor extension actions
+  int episode_length = 0;   ///< reset each worker every k steps; 0 = never
+  bool verbose = false;     ///< print per-rollout progress to stderr
+  std::uint64_t seed = 1;
+};
+
+TrainResult train_a2c(synth::DesignEvaluator& evaluator,
+                      const A2cOptions& opts);
+
+/// Masked softmax shared with the tests: illegal entries get zero
+/// probability; legal entries are a softmax over their logits.
+/// Returns all-zeros when no action is legal.
+std::vector<double> masked_softmax(const float* logits,
+                                   const std::vector<std::uint8_t>& mask);
+
+}  // namespace rlmul::rl

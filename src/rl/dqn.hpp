@@ -1,0 +1,99 @@
+#pragma once
+// Native RL-MUL: deep Q-learning over the tensor encoding (Algorithm 3).
+// A ResNet maps the state to 8N Q-values; an epsilon-greedy policy over
+// the masked Q-vector (Equations 5-8) drives the environment; the
+// network is trained from a replay buffer with the one-step target of
+// Equation (11) using RMSProp.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ct/compressor_tree.hpp"
+#include "nn/resnet.hpp"
+#include "rl/env.hpp"
+#include "synth/evaluator.hpp"
+
+namespace rlmul::rl {
+
+enum class AgentNet {
+  kTiny,      ///< CPU-sized ResNet (default in the benches)
+  kResNet18,  ///< the paper's backbone
+};
+
+struct DqnOptions {
+  int steps = 300;          ///< total environment steps (EDA calls)
+  int warmup = 32;          ///< random-policy steps before learning
+  int batch_size = 16;
+  int buffer_capacity = 4096;
+  double gamma = 0.8;       ///< paper setting
+  double eps_start = 0.95;  ///< paper setting
+  double eps_end = 0.05;
+  double lr = 1e-3;
+  double grad_clip = 5.0;
+  int target_sync = 0;      ///< copy weights every k updates; 0 = none
+                            ///< (Equation 11 bootstraps from the same net)
+  bool double_dqn = false;  ///< action from the online net, value from the
+                            ///< target net (requires target_sync > 0)
+  int episode_length = 0;   ///< reset the env every k steps; 0 = never
+  AgentNet net = AgentNet::kTiny;
+  double w_area = 1.0;
+  double w_delay = 1.0;
+  int max_stages = -1;
+  bool enable_42 = false;  ///< 4:2 compressor extension actions
+  std::uint64_t seed = 1;
+};
+
+struct TrainResult {
+  ct::CompressorTree best_tree;
+  double best_cost = 0.0;
+  /// Cost of the current state after each step (Fig 12); for parallel
+  /// agents this is the mean across workers.
+  std::vector<double> trajectory;
+  std::vector<double> best_trajectory;
+  std::size_t eda_calls = 0;  ///< unique synthesis evaluations consumed
+  /// The trained network: the Q-network for DQN, the shared trunk for
+  /// A2C. Checkpoint with nn::save_params_file, deploy with
+  /// greedy_rollout.
+  std::shared_ptr<nn::ResNet> network;
+};
+
+TrainResult train_dqn(synth::DesignEvaluator& evaluator,
+                      const DqnOptions& opts);
+
+/// Replay buffer shared by the tests; stores trees (compact) and
+/// re-encodes on sampling.
+struct Transition {
+  ct::CompressorTree state;
+  int action = 0;
+  double reward = 0.0;
+  ct::CompressorTree next_state;
+  std::vector<std::uint8_t> next_mask;
+};
+
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+  void push(Transition t);
+  std::size_t size() const { return data_.size(); }
+  const Transition& sample(util::Rng& rng) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::vector<Transition> data_;
+};
+
+/// Builds the agent network for a spec (8N outputs).
+std::unique_ptr<nn::ResNet> make_agent_net(AgentNet kind, int num_actions,
+                                           util::Rng& rng);
+
+/// Deploys a trained Q-network: greedy masked-argmax rollout from the
+/// initial state for `steps` actions (no exploration, no learning).
+/// Returns the best design encountered.
+TrainResult greedy_rollout(synth::DesignEvaluator& evaluator,
+                           nn::ResNet& net, int steps,
+                           const EnvConfig& cfg = {});
+
+}  // namespace rlmul::rl

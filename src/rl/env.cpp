@@ -1,0 +1,110 @@
+#include "rl/env.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ppg/ppg.hpp"
+
+namespace rlmul::rl {
+
+nt::Tensor encode_tree(const ct::CompressorTree& tree, int stage_pad) {
+  const ct::StageAssignment sa = ct::assign_stages(tree);
+  const int cols = tree.columns();
+  nt::Tensor out({1, kStateChannels, cols, stage_pad});
+  const int stages = std::min(sa.stages, stage_pad);
+  for (int s = 0; s < stages; ++s) {
+    for (int j = 0; j < cols; ++j) {
+      out.at(0, 0, j, s) = static_cast<float>(
+          sa.t32[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)]);
+      out.at(0, 1, j, s) = static_cast<float>(
+          sa.t22[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)]);
+      out.at(0, 2, j, s) = static_cast<float>(
+          sa.t42[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)]);
+    }
+  }
+  // Stages beyond the pad (possible only when pruning is off) are
+  // folded into the last encoded stage so no compressor goes unseen.
+  for (int s = stage_pad; s < sa.stages; ++s) {
+    for (int j = 0; j < cols; ++j) {
+      out.at(0, 0, j, stage_pad - 1) += static_cast<float>(
+          sa.t32[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)]);
+      out.at(0, 1, j, stage_pad - 1) += static_cast<float>(
+          sa.t22[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)]);
+      out.at(0, 2, j, stage_pad - 1) += static_cast<float>(
+          sa.t42[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)]);
+    }
+  }
+  return out;
+}
+
+nt::Tensor encode_batch(const std::vector<ct::CompressorTree>& trees,
+                        int stage_pad) {
+  if (trees.empty()) throw std::invalid_argument("encode_batch: empty");
+  const int cols = trees.front().columns();
+  nt::Tensor out(
+      {static_cast<int>(trees.size()), kStateChannels, cols, stage_pad});
+  for (std::size_t b = 0; b < trees.size(); ++b) {
+    const nt::Tensor one = encode_tree(trees[b], stage_pad);
+    const std::size_t plane = one.numel();
+    for (std::size_t i = 0; i < plane; ++i) {
+      out[b * plane + i] = one[i];
+    }
+  }
+  return out;
+}
+
+MultiplierEnv::MultiplierEnv(synth::DesignEvaluator& evaluator,
+                             const EnvConfig& cfg)
+    : evaluator_(evaluator), cfg_(cfg) {
+  const ct::CompressorTree initial = ppg::initial_tree(evaluator_.spec());
+  max_stages_ =
+      cfg_.max_stages >= 0 ? cfg_.max_stages : ct::stage_count(initial) + 2;
+  // Observation depth: enough stages to see the pruning envelope, but
+  // never an unbounded tensor when pruning is off (deep stages fold
+  // into the last plane, see encode_tree).
+  stage_pad_ = cfg_.stage_pad >= 0
+                   ? cfg_.stage_pad
+                   : std::min(max_stages_, ct::stage_count(initial) + 4);
+  if (stage_pad_ < 1) stage_pad_ = 1;
+  reset();
+}
+
+void MultiplierEnv::reset() {
+  tree_ = ppg::initial_tree(evaluator_.spec());
+  cost_ = cost_of(tree_);
+  best_tree_ = tree_;
+  best_cost_ = cost_;
+}
+
+int MultiplierEnv::num_actions() const {
+  return tree_.columns() * ct::kActionsPerColumn;
+}
+
+std::vector<std::uint8_t> MultiplierEnv::mask() const {
+  return ct::legal_action_mask(tree_, max_stages_, cfg_.enable_42);
+}
+
+MultiplierEnv::StepResult MultiplierEnv::step(int action_index) {
+  const ct::Action action = ct::action_from_index(action_index);
+  if (!ct::action_applicable(tree_, action)) {
+    throw std::invalid_argument("MultiplierEnv::step: illegal action");
+  }
+  tree_ = ct::apply_action(tree_, action);
+  const double new_cost = cost_of(tree_);
+  StepResult out;
+  out.reward = cost_ - new_cost;  // Equation (10)
+  out.cost = new_cost;
+  cost_ = new_cost;
+  if (new_cost < best_cost_) {
+    best_cost_ = new_cost;
+    best_tree_ = tree_;
+  }
+  return out;
+}
+
+double MultiplierEnv::cost_of(const ct::CompressorTree& tree) {
+  return evaluator_.cost(evaluator_.evaluate(tree), cfg_.w_area,
+                         cfg_.w_delay);
+}
+
+}  // namespace rlmul::rl

@@ -1,0 +1,82 @@
+#pragma once
+// The RL environment of Fig 3: states are compressor trees, actions are
+// the 8N column modifications of Section III-D, the reward is the
+// multi-constraint synthesis cost improvement of Section III-E, and the
+// observation is the K x 2N x ST tensor encoding of Section III-B.
+
+#include <cstdint>
+#include <vector>
+
+#include "ct/compressor_tree.hpp"
+#include "nt/tensor.hpp"
+#include "synth/evaluator.hpp"
+
+namespace rlmul::rl {
+
+/// Channels of the tensor encoding: K = 3 compressor kinds
+/// (3:2, 2:2, 4:2 — the third is all-zero unless the 4:2 extension is
+/// enabled, keeping one network shape for both modes).
+constexpr int kStateChannels = 3;
+
+/// Encodes a tree as the paper's tensor representation, padded/clipped
+/// to `stage_pad` stages: channel 0 = 3:2 counts, channel 1 = 2:2
+/// counts, channel 2 = 4:2 counts; laid out [1, K, columns, stage_pad].
+nt::Tensor encode_tree(const ct::CompressorTree& tree, int stage_pad);
+
+/// Stacks per-tree encodings into one batch tensor.
+nt::Tensor encode_batch(const std::vector<ct::CompressorTree>& trees,
+                        int stage_pad);
+
+struct EnvConfig {
+  double w_area = 1.0;
+  double w_delay = 1.0;
+  /// Stage-count pruning bound (Section IV-C); <0 derives
+  /// wallace_stages + 2 from the initial design.
+  int max_stages = -1;
+  /// Stage depth of the observation tensor; <0 matches max_stages.
+  int stage_pad = -1;
+  /// Unmask the 4:2 fuse/split extension actions.
+  bool enable_42 = false;
+};
+
+class MultiplierEnv {
+ public:
+  MultiplierEnv(synth::DesignEvaluator& evaluator, const EnvConfig& cfg);
+
+  void reset();
+
+  const ct::CompressorTree& tree() const { return tree_; }
+  double current_cost() const { return cost_; }
+  int num_actions() const;
+  int max_stages() const { return max_stages_; }
+  int stage_pad() const { return stage_pad_; }
+
+  /// Legality mask (stage pruning applied).
+  std::vector<std::uint8_t> mask() const;
+
+  nt::Tensor observe() const { return encode_tree(tree_, stage_pad_); }
+
+  struct StepResult {
+    double reward = 0.0;  ///< cost_t - cost_{t+1} (Equation 10)
+    double cost = 0.0;    ///< cost of the new state
+  };
+  StepResult step(int action_index);
+
+  /// Best design visited by this environment instance.
+  const ct::CompressorTree& best_tree() const { return best_tree_; }
+  double best_cost() const { return best_cost_; }
+
+ private:
+  double cost_of(const ct::CompressorTree& tree);
+
+  synth::DesignEvaluator& evaluator_;
+  EnvConfig cfg_;
+  int max_stages_ = 0;
+  int stage_pad_ = 0;
+  ct::CompressorTree tree_;
+  double cost_ = 0.0;
+  ct::CompressorTree best_tree_;
+  double best_cost_ = 0.0;
+};
+
+}  // namespace rlmul::rl

@@ -1,0 +1,276 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace rlmul::sim {
+
+using netlist::CellKind;
+using netlist::Gate;
+using netlist::GateId;
+using netlist::NetId;
+using netlist::Netlist;
+
+Simulator::Simulator(const Netlist& nl)
+    : nl_(nl),
+      order_(nl.topo_order()),
+      values_(static_cast<std::size_t>(nl.num_nets()), 0),
+      dff_state_(static_cast<std::size_t>(nl.num_gates()), 0),
+      input_nets_(nl.primary_inputs()),
+      output_nets_(nl.primary_outputs()) {}
+
+int Simulator::input_index(const std::string& name) const {
+  const auto& names = nl_.input_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Simulator::set_input(int index, std::uint64_t word) {
+  values_[static_cast<std::size_t>(
+      input_nets_[static_cast<std::size_t>(index)])] = word;
+}
+
+void Simulator::set_all_inputs(std::uint64_t word) {
+  for (NetId n : input_nets_) values_[static_cast<std::size_t>(n)] = word;
+}
+
+void Simulator::run() {
+  for (GateId g : order_) {
+    const Gate& gate = nl_.gates()[static_cast<std::size_t>(g)];
+    auto in = [&](int i) {
+      return values_[static_cast<std::size_t>(
+          gate.inputs[static_cast<std::size_t>(i)])];
+    };
+    auto set = [&](int i, std::uint64_t v) {
+      values_[static_cast<std::size_t>(
+          gate.outputs[static_cast<std::size_t>(i)])] = v;
+    };
+    switch (gate.kind) {
+      case CellKind::kInv: set(0, ~in(0)); break;
+      case CellKind::kBuf: set(0, in(0)); break;
+      case CellKind::kNand2: set(0, ~(in(0) & in(1))); break;
+      case CellKind::kNor2: set(0, ~(in(0) | in(1))); break;
+      case CellKind::kAnd2: set(0, in(0) & in(1)); break;
+      case CellKind::kOr2: set(0, in(0) | in(1)); break;
+      case CellKind::kAnd3: set(0, in(0) & in(1) & in(2)); break;
+      case CellKind::kOr3: set(0, in(0) | in(1) | in(2)); break;
+      case CellKind::kXor2: set(0, in(0) ^ in(1)); break;
+      case CellKind::kXnor2: set(0, ~(in(0) ^ in(1))); break;
+      case CellKind::kAoi21: set(0, ~((in(0) & in(1)) | in(2))); break;
+      case CellKind::kOai21: set(0, ~((in(0) | in(1)) & in(2))); break;
+      case CellKind::kMux2: set(0, (in(2) & in(1)) | (~in(2) & in(0))); break;
+      case CellKind::kFa: {
+        const std::uint64_t a = in(0), b = in(1), c = in(2);
+        set(0, a ^ b ^ c);
+        set(1, (a & b) | (a & c) | (b & c));
+        break;
+      }
+      case CellKind::kHa: {
+        const std::uint64_t a = in(0), b = in(1);
+        set(0, a ^ b);
+        set(1, a & b);
+        break;
+      }
+      case CellKind::kC42: {
+        // Two stacked adders: FA(a,b,c) -> (s1, co1); HA(s1,d) -> (sum,
+        // co2). a+b+c+d == sum + 2*(co1 + co2).
+        const std::uint64_t a = in(0), b = in(1), c = in(2), d = in(3);
+        const std::uint64_t s1 = a ^ b ^ c;
+        set(0, s1 ^ d);
+        set(1, (a & b) | (a & c) | (b & c));
+        set(2, s1 & d);
+        break;
+      }
+      case CellKind::kDff:
+        set(0, dff_state_[static_cast<std::size_t>(g)]);
+        break;
+      case CellKind::kTieLo: set(0, 0); break;
+      case CellKind::kTieHi: set(0, ~std::uint64_t{0}); break;
+    }
+  }
+}
+
+std::uint64_t Simulator::output(int index) const {
+  return values_[static_cast<std::size_t>(
+      output_nets_[static_cast<std::size_t>(index)])];
+}
+
+std::uint64_t Simulator::net_value(NetId net) const {
+  return values_[static_cast<std::size_t>(net)];
+}
+
+void Simulator::clock_edge() {
+  for (GateId g = 0; g < nl_.num_gates(); ++g) {
+    const Gate& gate = nl_.gates()[static_cast<std::size_t>(g)];
+    if (gate.kind == CellKind::kDff) {
+      dff_state_[static_cast<std::size_t>(g)] =
+          values_[static_cast<std::size_t>(gate.inputs[0])];
+    }
+  }
+}
+
+void Simulator::reset_state() {
+  std::fill(dff_state_.begin(), dff_state_.end(), 0);
+}
+
+// ---------------------------------------------------------------------------
+
+std::uint64_t golden_product(std::uint64_t a, std::uint64_t b, int bits) {
+  const int w = 2 * bits;
+  const std::uint64_t in_mask = bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+  const std::uint64_t out_mask = w >= 64 ? ~0ULL : ((1ULL << w) - 1);
+  return ((a & in_mask) * (b & in_mask)) & out_mask;
+}
+
+std::uint64_t golden_mac(std::uint64_t a, std::uint64_t b, std::uint64_t acc,
+                         int bits) {
+  const int w = 2 * bits;
+  const std::uint64_t out_mask = w >= 64 ? ~0ULL : ((1ULL << w) - 1);
+  return (golden_product(a, b, bits) + (acc & out_mask)) & out_mask;
+}
+
+std::uint64_t golden_signed_product(std::uint64_t a, std::uint64_t b,
+                                    int bits) {
+  const std::uint64_t in_mask = bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+  const std::uint64_t sign = 1ULL << (bits - 1);
+  auto sext = [&](std::uint64_t v) -> std::int64_t {
+    v &= in_mask;
+    return static_cast<std::int64_t>((v ^ sign) - sign);
+  };
+  const int w = 2 * bits;
+  const std::uint64_t out_mask = w >= 64 ? ~0ULL : ((1ULL << w) - 1);
+  return static_cast<std::uint64_t>(sext(a) * sext(b)) & out_mask;
+}
+
+std::uint64_t golden_for_spec(const ppg::MultiplierSpec& spec,
+                              std::uint64_t a, std::uint64_t b,
+                              std::uint64_t acc) {
+  const int w = spec.columns();
+  const std::uint64_t out_mask = w >= 64 ? ~0ULL : ((1ULL << w) - 1);
+  const std::uint64_t prod =
+      spec.ppg == ppg::PpgKind::kBaughWooley
+          ? golden_signed_product(a, b, spec.bits)
+          : golden_product(a, b, spec.bits);
+  return spec.mac ? (prod + (acc & out_mask)) & out_mask : prod;
+}
+
+namespace {
+
+/// One batch of up to 64 (a, b, acc) vectors pushed through the netlist.
+bool run_batch(Simulator& sim, const ppg::MultiplierSpec& spec,
+               const std::vector<std::uint64_t>& as,
+               const std::vector<std::uint64_t>& bs,
+               const std::vector<std::uint64_t>& accs,
+               EquivalenceReport& report) {
+  const int n = spec.bits;
+  const int w = spec.columns();
+  const int count = static_cast<int>(as.size());
+
+  auto pack_bit = [&](const std::vector<std::uint64_t>& vals, int bit) {
+    std::uint64_t word = 0;
+    for (int v = 0; v < count; ++v) {
+      word |= ((vals[static_cast<std::size_t>(v)] >> bit) & 1ULL)
+              << v;
+    }
+    return word;
+  };
+
+  for (int i = 0; i < n; ++i) sim.set_input(i, pack_bit(as, i));
+  for (int i = 0; i < n; ++i) sim.set_input(n + i, pack_bit(bs, i));
+  if (spec.mac) {
+    for (int i = 0; i < w; ++i) sim.set_input(2 * n + i, pack_bit(accs, i));
+  }
+  sim.run();
+
+  for (int v = 0; v < count; ++v) {
+    std::uint64_t got = 0;
+    for (int j = 0; j < w; ++j) {
+      got |= ((sim.output(j) >> v) & 1ULL) << j;
+    }
+    const std::uint64_t expect =
+        golden_for_spec(spec, as[static_cast<std::size_t>(v)],
+                        bs[static_cast<std::size_t>(v)],
+                        accs[static_cast<std::size_t>(v)]);
+    ++report.vectors_checked;
+    if (got != expect) {
+      report.equivalent = false;
+      report.a = as[static_cast<std::size_t>(v)];
+      report.b = bs[static_cast<std::size_t>(v)];
+      report.acc = accs[static_cast<std::size_t>(v)];
+      report.got = got;
+      report.expect = expect;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+EquivalenceReport check_equivalence(const netlist::Netlist& nl,
+                                    const ppg::MultiplierSpec& spec,
+                                    util::Rng& rng,
+                                    std::uint64_t exhaustive_limit,
+                                    std::uint64_t random_vectors) {
+  Simulator sim(nl);
+  EquivalenceReport report;
+  const int n = spec.bits;
+  const int w = spec.columns();
+  const int space_bits = spec.mac ? 2 * n + w : 2 * n;
+  const std::uint64_t in_mask = (n >= 64) ? ~0ULL : ((1ULL << n) - 1);
+  const std::uint64_t acc_mask = (w >= 64) ? ~0ULL : ((1ULL << w) - 1);
+
+  std::vector<std::uint64_t> as, bs, accs;
+  auto flush = [&]() {
+    if (as.empty()) return true;
+    const bool ok = run_batch(sim, spec, as, bs, accs, report);
+    as.clear();
+    bs.clear();
+    accs.clear();
+    return ok;
+  };
+  auto add = [&](std::uint64_t a, std::uint64_t b, std::uint64_t acc) {
+    as.push_back(a & in_mask);
+    bs.push_back(b & in_mask);
+    accs.push_back(acc & acc_mask);
+    if (as.size() == 64) return flush();
+    return true;
+  };
+
+  if (space_bits <= 62 &&
+      (1ULL << space_bits) <= exhaustive_limit) {
+    const std::uint64_t total = 1ULL << space_bits;
+    for (std::uint64_t v = 0; v < total; ++v) {
+      const std::uint64_t a = v & in_mask;
+      const std::uint64_t b = (v >> n) & in_mask;
+      const std::uint64_t acc = spec.mac ? ((v >> (2 * n)) & acc_mask) : 0;
+      if (!add(a, b, acc)) return report;
+    }
+    flush();
+    return report;
+  }
+
+  // Corner cases first.
+  const std::uint64_t corners[] = {0ULL, 1ULL, in_mask, in_mask >> 1,
+                                   in_mask ^ (in_mask >> 1)};
+  for (std::uint64_t a : corners) {
+    for (std::uint64_t b : corners) {
+      if (!add(a, b, 0) || !add(a, b, acc_mask)) return report;
+    }
+  }
+  // Single-bit walks.
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < n; ++k) {
+      if (!add(1ULL << i, 1ULL << k, 0)) return report;
+    }
+  }
+  // Random fill.
+  for (std::uint64_t v = 0; v < random_vectors; ++v) {
+    if (!add(rng.next(), rng.next(), rng.next())) return report;
+  }
+  flush();
+  return report;
+}
+
+}  // namespace rlmul::sim

@@ -1,0 +1,155 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace rlmul::sta {
+
+using netlist::CellKind;
+using netlist::CellLibrary;
+using netlist::Gate;
+using netlist::GateId;
+using netlist::NetId;
+using netlist::Netlist;
+
+std::vector<double> compute_loads(const Netlist& nl, const CellLibrary& lib) {
+  std::vector<double> load(static_cast<std::size_t>(nl.num_nets()), 0.0);
+  for (const Gate& g : nl.gates()) {
+    for (NetId n : g.inputs) {
+      load[static_cast<std::size_t>(n)] += lib.input_cap(g.kind, g.variant);
+    }
+  }
+  // Wire model: fixed stub plus a per-fanout increment.
+  std::vector<int> fanout_count(static_cast<std::size_t>(nl.num_nets()), 0);
+  for (const Gate& g : nl.gates()) {
+    for (NetId n : g.inputs) ++fanout_count[static_cast<std::size_t>(n)];
+  }
+  for (std::size_t n = 0; n < load.size(); ++n) {
+    if (fanout_count[n] > 0) {
+      load[n] += lib.wire_cap_fixed_ff() +
+                 lib.wire_cap_per_fanout_ff() * fanout_count[n];
+    }
+  }
+  for (NetId n : nl.primary_outputs()) {
+    load[static_cast<std::size_t>(n)] += lib.output_load_ff();
+  }
+  return load;
+}
+
+TimingReport analyze(const Netlist& nl, const CellLibrary& lib) {
+  TimingReport rep;
+  rep.load_ff = compute_loads(nl, lib);
+  rep.arrival_ps.assign(static_cast<std::size_t>(nl.num_nets()), 0.0);
+
+  // prev[net] = gate whose output set the max arrival on the net.
+  std::vector<GateId> prev(static_cast<std::size_t>(nl.num_nets()), -1);
+  // prev_in[gate] = input net on the gate's worst arc.
+  std::vector<NetId> prev_in(static_cast<std::size_t>(nl.num_gates()),
+                             netlist::kNoNet);
+
+  const auto order = nl.topo_order();
+  bool has_dff = false;
+
+  for (GateId g : order) {
+    const Gate& gate = nl.gates()[static_cast<std::size_t>(g)];
+    if (gate.kind == CellKind::kDff) {
+      has_dff = true;
+      const NetId q = gate.outputs[0];
+      rep.arrival_ps[static_cast<std::size_t>(q)] =
+          lib.intrinsic(CellKind::kDff, 0, 0) +
+          lib.drive_res(CellKind::kDff, gate.variant) *
+              rep.load_ff[static_cast<std::size_t>(q)];
+      prev[static_cast<std::size_t>(q)] = g;
+      continue;
+    }
+    if (gate.kind == CellKind::kTieLo || gate.kind == CellKind::kTieHi) {
+      continue;  // constants arrive at time 0
+    }
+    for (int o = 0; o < static_cast<int>(gate.outputs.size()); ++o) {
+      const NetId out = gate.outputs[static_cast<std::size_t>(o)];
+      const double rl = lib.drive_res(gate.kind, gate.variant) *
+                        rep.load_ff[static_cast<std::size_t>(out)];
+      double worst = 0.0;
+      NetId worst_in = netlist::kNoNet;
+      for (int i = 0; i < static_cast<int>(gate.inputs.size()); ++i) {
+        const NetId in = gate.inputs[static_cast<std::size_t>(i)];
+        const double t = rep.arrival_ps[static_cast<std::size_t>(in)] +
+                         lib.intrinsic(gate.kind, i, o) + rl;
+        if (t > worst) {
+          worst = t;
+          worst_in = in;
+        }
+      }
+      if (worst > rep.arrival_ps[static_cast<std::size_t>(out)]) {
+        rep.arrival_ps[static_cast<std::size_t>(out)] = worst;
+        prev[static_cast<std::size_t>(out)] = g;
+        prev_in[static_cast<std::size_t>(g)] = worst_in;
+      }
+    }
+  }
+
+  NetId worst_endpoint = netlist::kNoNet;
+  for (NetId n : nl.primary_outputs()) {
+    const double t = rep.arrival_ps[static_cast<std::size_t>(n)];
+    if (t > rep.max_po_arrival_ps) {
+      rep.max_po_arrival_ps = t;
+      worst_endpoint = n;
+    }
+  }
+  if (has_dff) {
+    for (const Gate& gate : nl.gates()) {
+      if (gate.kind != CellKind::kDff) continue;
+      const NetId d = gate.inputs[0];
+      const double t = rep.arrival_ps[static_cast<std::size_t>(d)] +
+                       lib.setup(CellKind::kDff);
+      if (t > rep.min_clock_period_ps) {
+        rep.min_clock_period_ps = t;
+        if (t >= rep.max_po_arrival_ps) worst_endpoint = d;
+      }
+    }
+  }
+  rep.critical_ps = std::max(rep.max_po_arrival_ps, rep.min_clock_period_ps);
+
+  // Trace the critical path back through worst-arc predecessors.
+  NetId cursor = worst_endpoint;
+  while (cursor != netlist::kNoNet &&
+         prev[static_cast<std::size_t>(cursor)] >= 0) {
+    const GateId g = prev[static_cast<std::size_t>(cursor)];
+    rep.critical_path.push_back(g);
+    if (nl.gates()[static_cast<std::size_t>(g)].kind == CellKind::kDff) break;
+    cursor = prev_in[static_cast<std::size_t>(g)];
+  }
+  std::reverse(rep.critical_path.begin(), rep.critical_path.end());
+  return rep;
+}
+
+std::string report_timing(const Netlist& nl, const CellLibrary& lib) {
+  const TimingReport rep = analyze(nl, lib);
+  std::ostringstream os;
+  os << "Startpoint-to-endpoint worst path (" << rep.critical_ps
+     << " ps critical";
+  if (rep.min_clock_period_ps > 0.0) {
+    os << ", min clock period " << rep.min_clock_period_ps << " ps";
+  }
+  os << ")\n";
+  os << "  incr(ps)  total(ps)  cell\n";
+  double prev = 0.0;
+  for (GateId g : rep.critical_path) {
+    const Gate& gate = nl.gates()[static_cast<std::size_t>(g)];
+    // Report the worst arrival over the gate's outputs.
+    double arrive = 0.0;
+    for (NetId out : gate.outputs) {
+      arrive = std::max(arrive, rep.arrival_ps[static_cast<std::size_t>(out)]);
+    }
+    char line[96];
+    std::snprintf(line, sizeof(line), "  %8.1f  %9.1f  %s_X%d g%d\n",
+                  arrive - prev, arrive, cell_kind_name(gate.kind),
+                  1 << gate.variant, g);
+    os << line;
+    prev = arrive;
+  }
+  return os.str();
+}
+
+}  // namespace rlmul::sta

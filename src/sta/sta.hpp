@@ -1,0 +1,49 @@
+#pragma once
+// Static timing analysis over the gate-level netlist (the OpenSTA stand-
+// in of the flow). Linear delay model per timing arc:
+//
+//   delay(arc, load) = intrinsic(cell, in_pin, out_pin)
+//                    + drive_res(cell, variant) * load(out_net)
+//
+// where load is the sum of fanout input-pin capacitances plus a wire
+// estimate. Combinational paths end at primary outputs; sequential
+// paths end at DFF D pins (plus setup), and DFF Q pins launch with the
+// clock-to-Q arc.
+
+#include <vector>
+
+#include "netlist/cell_library.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rlmul::sta {
+
+struct TimingReport {
+  /// Latest arrival at any primary output (ps). 0 for empty designs.
+  double max_po_arrival_ps = 0.0;
+  /// Minimum clock period for registered designs:
+  /// max over DFF D pins of (arrival + setup), and clk-to-q launched
+  /// paths are included in arrivals. 0 when the design has no DFFs.
+  double min_clock_period_ps = 0.0;
+  /// max of the two: the design's critical delay.
+  double critical_ps = 0.0;
+  /// Per-net arrival times (ps).
+  std::vector<double> arrival_ps;
+  /// Per-net total load (fF), including wire estimate.
+  std::vector<double> load_ff;
+  /// Gates on the critical path, source to endpoint.
+  std::vector<netlist::GateId> critical_path;
+};
+
+/// Per-net capacitive load from fanout pins + wire model.
+std::vector<double> compute_loads(const netlist::Netlist& nl,
+                                  const netlist::CellLibrary& lib);
+
+TimingReport analyze(const netlist::Netlist& nl,
+                     const netlist::CellLibrary& lib);
+
+/// OpenSTA-style textual path report: one line per gate on the
+/// critical path with incremental and cumulative arrival times.
+std::string report_timing(const netlist::Netlist& nl,
+                          const netlist::CellLibrary& lib);
+
+}  // namespace rlmul::sta

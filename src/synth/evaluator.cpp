@@ -1,0 +1,115 @@
+#include "synth/evaluator.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/simulator.hpp"
+
+namespace rlmul::synth {
+
+std::vector<double> default_targets(const ppg::MultiplierSpec& spec, int n) {
+  const ct::CompressorTree wallace = ppg::initial_tree(spec);
+  // Fastest achievable: synthesize maximally tight; slowest useful:
+  // fully relaxed minimum-area synthesis.
+  const SynthesisResult tight = synthesize_design(spec, wallace, 0.01);
+  const SynthesisResult loose = synthesize_design(spec, wallace, 1e9);
+  const double lo = tight.delay_ns * 0.95;
+  const double hi = loose.delay_ns * 1.05;
+  std::vector<double> targets;
+  for (int i = 0; i < n; ++i) {
+    const double f = n == 1 ? 0.5 : static_cast<double>(i) / (n - 1);
+    targets.push_back(lo + f * (hi - lo));
+  }
+  return targets;
+}
+
+DesignEvaluator::DesignEvaluator(ppg::MultiplierSpec spec,
+                                 std::vector<double> targets,
+                                 const EvaluatorOptions& opts)
+    : spec_(spec), targets_(std::move(targets)), opts_(opts) {
+  if (targets_.empty()) targets_ = default_targets(spec_);
+  const DesignEval ref = evaluate(ppg::initial_tree(spec_));
+  ref_area_ = ref.sum_area > 0.0 ? ref.sum_area : 1.0;
+  ref_delay_ = ref.sum_delay > 0.0 ? ref.sum_delay : 1.0;
+}
+
+DesignEval DesignEvaluator::evaluate(const ct::CompressorTree& tree) {
+  const std::string key = tree.key();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) return evals_[it->second];
+  }
+
+  if (opts_.verify_functionality) {
+    // The equivalence gate the paper runs through ABC `cec`: a design
+    // that fails here is a generator bug, never a scoring matter.
+    auto nl = ppg::build_multiplier(spec_, tree,
+                                    netlist::CpaKind::kRippleCarry);
+    util::Rng rng(0x5EC5EC ^ std::hash<std::string>{}(key));
+    const auto rep = sim::check_equivalence(nl, spec_, rng, 1 << 16,
+                                            opts_.verify_vectors);
+    if (!rep.equivalent) {
+      std::ostringstream msg;
+      msg << "DesignEvaluator: functional mismatch (a=" << rep.a
+          << ", b=" << rep.b << ", acc=" << rep.acc << ", got=" << rep.got
+          << ", expect=" << rep.expect << ")";
+      throw std::runtime_error(msg.str());
+    }
+  }
+
+  // Synthesize outside the lock so parallel workers overlap; a rare
+  // duplicate computation is benign (second insert is dropped).
+  DesignEval eval;
+  for (double target : targets_) {
+    const SynthesisResult res = synthesize_design(spec_, tree, target);
+    eval.sum_area += res.area_um2;
+    eval.sum_delay += res.delay_ns;
+    eval.sum_power += res.power_mw;
+    eval.per_target.push_back(res);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = index_.emplace(key, designs_.size());
+  if (!inserted) return evals_[it->second];
+  designs_.push_back(tree);
+  evals_.push_back(eval);
+  for (const SynthesisResult& res : eval.per_target) {
+    frontier_.insert(
+        pareto::Point{res.area_um2, res.delay_ns, designs_.size() - 1});
+  }
+  return eval;
+}
+
+double DesignEvaluator::cost(const DesignEval& eval, double w_area,
+                             double w_delay) const {
+  return w_area * eval.sum_area / ref_area_ +
+         w_delay * eval.sum_delay / ref_delay_;
+}
+
+std::size_t DesignEvaluator::num_unique_evaluations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return designs_.size();
+}
+
+pareto::Front DesignEvaluator::frontier() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frontier_;
+}
+
+ct::CompressorTree DesignEvaluator::design(std::size_t index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return designs_.at(index);
+}
+
+std::size_t DesignEvaluator::num_designs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return designs_.size();
+}
+
+DesignEval DesignEvaluator::eval_of(std::size_t index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evals_.at(index);
+}
+
+}  // namespace rlmul::synth

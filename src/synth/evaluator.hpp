@@ -1,0 +1,98 @@
+#pragma once
+// The reward oracle of the framework (Section III-E): evaluates a
+// design point under n delay constraints and aggregates the results
+// into the Pareto-driven cost
+//
+//   cost = w_a * sum_i area_i + w_d * sum_i delay_i
+//
+// (power is dropped from the objective per Section IV-B; it is still
+// reported for the Fig 7 correlation study). Evaluations are cached by
+// the tree's canonical key and every synthesized (area, delay) point
+// feeds a global Pareto archive, which is what the paper plots in
+// Figs 9-11. Thread-safe: the parallel A2C workers of RL-MUL-E share
+// one evaluator.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ct/compressor_tree.hpp"
+#include "pareto/pareto.hpp"
+#include "ppg/ppg.hpp"
+#include "synth/synth.hpp"
+
+namespace rlmul::synth {
+
+/// Picks n target delays spanning the spec's achievable range
+/// (tight prefix-adder synthesis to relaxed ripple synthesis of the
+/// Wallace-initialized design).
+std::vector<double> default_targets(const ppg::MultiplierSpec& spec,
+                                    int n = 4);
+
+struct DesignEval {
+  std::vector<SynthesisResult> per_target;
+  double sum_area = 0.0;
+  double sum_delay = 0.0;
+  double sum_power = 0.0;
+};
+
+struct EvaluatorOptions {
+  /// Run the equivalence gate (the paper's Yosys+ABC `cec` step) on
+  /// every new design before scoring it; throws std::runtime_error on
+  /// a functional mismatch. Costs one randomized simulation per unique
+  /// design.
+  bool verify_functionality = false;
+  std::uint64_t verify_vectors = 2048;
+};
+
+class DesignEvaluator {
+ public:
+  /// Empty `targets` selects default_targets(spec).
+  explicit DesignEvaluator(ppg::MultiplierSpec spec,
+                           std::vector<double> targets = {},
+                           const EvaluatorOptions& opts = {});
+
+  const ppg::MultiplierSpec& spec() const { return spec_; }
+  const std::vector<double>& targets() const { return targets_; }
+
+  /// Synthesizes (or returns the cached result for) a tree.
+  DesignEval evaluate(const ct::CompressorTree& tree);
+
+  /// Weighted, normalized cost: the Wallace-initial design costs
+  /// exactly w_area + w_delay, so weights compose across specs.
+  double cost(const DesignEval& eval, double w_area, double w_delay) const;
+
+  /// Unique designs synthesized so far (the paper's search budget is
+  /// counted in EDA-tool calls).
+  std::size_t num_unique_evaluations() const;
+
+  /// Non-dominated (area, delay) points across every design and target
+  /// synthesized through this evaluator. Payload = design index.
+  pareto::Front frontier() const;
+
+  /// Design for a frontier payload. (By value: the store may be
+  /// appended to concurrently by other workers.)
+  ct::CompressorTree design(std::size_t index) const;
+  std::size_t num_designs() const;
+
+  /// Per-design results (for table-style reporting).
+  DesignEval eval_of(std::size_t index) const;
+
+ private:
+  ppg::MultiplierSpec spec_;
+  std::vector<double> targets_;
+  EvaluatorOptions opts_;
+  double ref_area_ = 1.0;
+  double ref_delay_ = 1.0;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::vector<ct::CompressorTree> designs_;
+  std::vector<DesignEval> evals_;
+  pareto::Front frontier_;
+};
+
+}  // namespace rlmul::synth

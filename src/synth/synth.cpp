@@ -1,0 +1,318 @@
+#include "synth/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/simulator.hpp"
+#include "sta/sta.hpp"
+#include "util/rng.hpp"
+
+namespace rlmul::synth {
+
+using netlist::CellKind;
+using netlist::CellLibrary;
+using netlist::CpaKind;
+using netlist::Gate;
+using netlist::GateId;
+using netlist::NetId;
+using netlist::Netlist;
+
+namespace {
+
+constexpr double kVdd = 1.1;  // volts
+
+/// Signal probability (P[net == 1]) propagation, independence assumed.
+std::vector<double> signal_probabilities(const Netlist& nl) {
+  std::vector<double> p(static_cast<std::size_t>(nl.num_nets()), 0.5);
+  for (GateId g : nl.topo_order()) {
+    const Gate& gate = nl.gates()[static_cast<std::size_t>(g)];
+    auto in = [&](int i) {
+      return p[static_cast<std::size_t>(
+          gate.inputs[static_cast<std::size_t>(i)])];
+    };
+    auto set = [&](int i, double v) {
+      p[static_cast<std::size_t>(
+          gate.outputs[static_cast<std::size_t>(i)])] = v;
+    };
+    auto p_or = [](double a, double b) { return a + b - a * b; };
+    auto p_xor = [](double a, double b) { return a + b - 2.0 * a * b; };
+    switch (gate.kind) {
+      case CellKind::kInv: set(0, 1.0 - in(0)); break;
+      case CellKind::kBuf: set(0, in(0)); break;
+      case CellKind::kNand2: set(0, 1.0 - in(0) * in(1)); break;
+      case CellKind::kNor2: set(0, 1.0 - p_or(in(0), in(1))); break;
+      case CellKind::kAnd2: set(0, in(0) * in(1)); break;
+      case CellKind::kOr2: set(0, p_or(in(0), in(1))); break;
+      case CellKind::kAnd3: set(0, in(0) * in(1) * in(2)); break;
+      case CellKind::kOr3: set(0, p_or(p_or(in(0), in(1)), in(2))); break;
+      case CellKind::kXor2: set(0, p_xor(in(0), in(1))); break;
+      case CellKind::kXnor2: set(0, 1.0 - p_xor(in(0), in(1))); break;
+      case CellKind::kAoi21: set(0, 1.0 - p_or(in(0) * in(1), in(2))); break;
+      case CellKind::kOai21:
+        set(0, 1.0 - p_or(in(0), in(1)) * in(2));
+        break;
+      case CellKind::kMux2:
+        set(0, (1.0 - in(2)) * in(0) + in(2) * in(1));
+        break;
+      case CellKind::kFa: {
+        const double a = in(0), b = in(1), c = in(2);
+        set(0, p_xor(p_xor(a, b), c));
+        set(1, a * b + a * c + b * c - 2.0 * a * b * c);
+        break;
+      }
+      case CellKind::kHa:
+        set(0, p_xor(in(0), in(1)));
+        set(1, in(0) * in(1));
+        break;
+      case CellKind::kC42: {
+        const double a = in(0), b = in(1), c = in(2), d = in(3);
+        const double s1 = p_xor(p_xor(a, b), c);
+        set(0, p_xor(s1, d));
+        set(1, a * b + a * c + b * c - 2.0 * a * b * c);
+        set(2, s1 * d);
+        break;
+      }
+      case CellKind::kDff: set(0, 0.5); break;
+      case CellKind::kTieLo: set(0, 0.0); break;
+      case CellKind::kTieHi: set(0, 1.0); break;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+PowerReport estimate_power(const Netlist& nl, const CellLibrary& lib,
+                           double clock_ns) {
+  PowerReport rep;
+  if (clock_ns <= 0.0) return rep;
+  const auto p = signal_probabilities(nl);
+  const auto load = sta::compute_loads(nl, lib);
+  const double freq_ghz = 1.0 / clock_ns;  // cycles per ns
+
+  double switching_fj = 0.0;  // per cycle
+  double internal_fj = 0.0;
+  double leakage_nw = 0.0;
+  for (const Gate& g : nl.gates()) {
+    leakage_nw += lib.leakage(g.kind, g.variant);
+    for (NetId out : g.outputs) {
+      const double prob = p[static_cast<std::size_t>(out)];
+      const double activity = 2.0 * prob * (1.0 - prob);
+      switching_fj += 0.5 * activity * load[static_cast<std::size_t>(out)] *
+                      kVdd * kVdd;
+      internal_fj += activity * lib.internal_energy(g.kind);
+    }
+  }
+  // fJ per ns == uW; report mW.
+  rep.dynamic_mw = (switching_fj + internal_fj) * freq_ghz * 1e-3;
+  rep.leakage_mw = leakage_nw * 1e-6;
+  return rep;
+}
+
+PowerReport simulate_power(const Netlist& nl, const CellLibrary& lib,
+                           double clock_ns, int num_vectors,
+                           std::uint64_t seed) {
+  PowerReport rep;
+  if (clock_ns <= 0.0 || num_vectors <= 0) return rep;
+  sim::Simulator simulator(nl);
+  util::Rng rng(seed);
+  const auto load = sta::compute_loads(nl, lib);
+  const double freq_ghz = 1.0 / clock_ns;
+
+  // Count toggles per net across consecutive random vectors; the
+  // 64-way simulator gives 64 samples per run, and adjacent bit lanes
+  // within a word are adjacent "cycles".
+  std::vector<std::uint64_t> prev(static_cast<std::size_t>(nl.num_nets()), 0);
+  double toggles_per_cycle_weighted_cap = 0.0;  // fF toggled per cycle
+  double toggles_internal_fj = 0.0;
+  const auto& gates = nl.gates();
+  long cycles = 0;
+  const int runs = (num_vectors + 63) / 64;
+  for (int r = 0; r < runs; ++r) {
+    for (int i = 0; i < simulator.num_inputs(); ++i) {
+      simulator.set_input(i, rng.next());
+    }
+    simulator.run();
+    for (const auto& g : gates) {
+      for (netlist::NetId out : g.outputs) {
+        const std::uint64_t v = simulator.net_value(out);
+        // Transitions between adjacent lanes plus the seam to the
+        // previous word's last lane.
+        std::uint64_t trans = v ^ (v << 1);
+        if (r > 0) {
+          trans = (trans & ~1ULL) |
+                  (((prev[static_cast<std::size_t>(out)] >> 63) ^ v) & 1ULL);
+        } else {
+          trans &= ~1ULL;
+        }
+        const int count = static_cast<int>(__builtin_popcountll(trans));
+        toggles_per_cycle_weighted_cap +=
+            count * load[static_cast<std::size_t>(out)];
+        toggles_internal_fj += count * lib.internal_energy(g.kind);
+        prev[static_cast<std::size_t>(out)] = v;
+      }
+    }
+    cycles += (r == 0) ? 63 : 64;
+  }
+  if (cycles == 0) return rep;
+
+  double leakage_nw = 0.0;
+  for (const auto& g : gates) leakage_nw += lib.leakage(g.kind, g.variant);
+
+  const double avg_cap_per_cycle =
+      toggles_per_cycle_weighted_cap / static_cast<double>(cycles);
+  const double avg_internal_per_cycle =
+      toggles_internal_fj / static_cast<double>(cycles);
+  rep.dynamic_mw = (0.5 * avg_cap_per_cycle * kVdd * kVdd +
+                    avg_internal_per_cycle) *
+                   freq_ghz * 1e-3;
+  rep.leakage_mw = leakage_nw * 1e-6;
+  return rep;
+}
+
+std::vector<double> net_slacks(const Netlist& nl, const CellLibrary& lib,
+                               double target_ps) {
+  const auto rep = sta::analyze(nl, lib);
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> required(static_cast<std::size_t>(nl.num_nets()), inf);
+  for (NetId n : nl.primary_outputs()) {
+    required[static_cast<std::size_t>(n)] =
+        std::min(required[static_cast<std::size_t>(n)], target_ps);
+  }
+  const auto order = nl.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const Gate& gate = nl.gates()[static_cast<std::size_t>(*it)];
+    if (gate.kind == CellKind::kDff) {
+      const NetId d = gate.inputs[0];
+      required[static_cast<std::size_t>(d)] =
+          std::min(required[static_cast<std::size_t>(d)],
+                   target_ps - lib.setup(CellKind::kDff));
+      continue;
+    }
+    for (int o = 0; o < static_cast<int>(gate.outputs.size()); ++o) {
+      const NetId out = gate.outputs[static_cast<std::size_t>(o)];
+      const double req_out = required[static_cast<std::size_t>(out)];
+      if (req_out == inf) continue;
+      const double rl = lib.drive_res(gate.kind, gate.variant) *
+                        rep.load_ff[static_cast<std::size_t>(out)];
+      for (int i = 0; i < static_cast<int>(gate.inputs.size()); ++i) {
+        const NetId in = gate.inputs[static_cast<std::size_t>(i)];
+        const double req_in = req_out - lib.intrinsic(gate.kind, i, o) - rl;
+        required[static_cast<std::size_t>(in)] =
+            std::min(required[static_cast<std::size_t>(in)], req_in);
+      }
+    }
+  }
+  std::vector<double> slack(static_cast<std::size_t>(nl.num_nets()), inf);
+  for (std::size_t n = 0; n < slack.size(); ++n) {
+    if (required[n] != inf) slack[n] = required[n] - rep.arrival_ps[n];
+  }
+  return slack;
+}
+
+void size_for_target(Netlist& nl, const CellLibrary& lib,
+                     const SynthesisOptions& opts) {
+  const double target_ps = opts.target_delay_ns * 1000.0;
+  for (Gate& g : nl.gates()) g.variant = 0;
+
+  for (int pass = 0; pass < opts.max_upsize_passes; ++pass) {
+    const auto rep = sta::analyze(nl, lib);
+    if (rep.critical_ps <= target_ps) break;
+    bool changed = false;
+    for (GateId g : rep.critical_path) {
+      Gate& gate = nl.gates()[static_cast<std::size_t>(g)];
+      if (gate.variant + 1 < lib.num_variants(gate.kind)) {
+        ++gate.variant;
+        changed = true;
+      }
+    }
+    if (!changed) break;  // every critical gate is already maxed out
+  }
+
+  if (opts.area_recovery) {
+    // Downsize gates whose output slack comfortably covers the own-delay
+    // penalty of the smaller drive. Verify once and revert on failure.
+    const auto rep_before = sta::analyze(nl, lib);
+    const double achieved = rep_before.critical_ps;
+    const double budget = std::max(target_ps, achieved);
+    const auto slack = net_slacks(nl, lib, budget);
+    std::vector<int> saved(nl.gates().size());
+    for (std::size_t i = 0; i < nl.gates().size(); ++i) {
+      saved[i] = nl.gates()[i].variant;
+    }
+    bool changed = false;
+    for (Gate& g : nl.gates()) {
+      if (g.variant == 0 || g.outputs.empty()) continue;
+      const NetId out = g.outputs[0];
+      const double penalty =
+          (lib.drive_res(g.kind, g.variant - 1) -
+           lib.drive_res(g.kind, g.variant)) *
+          rep_before.load_ff[static_cast<std::size_t>(out)];
+      double out_slack = slack[static_cast<std::size_t>(out)];
+      for (std::size_t o = 1; o < g.outputs.size(); ++o) {
+        out_slack = std::min(
+            out_slack, slack[static_cast<std::size_t>(g.outputs[o])]);
+      }
+      if (out_slack > 2.0 * penalty + 5.0) {
+        --g.variant;
+        changed = true;
+      }
+    }
+    if (changed) {
+      const auto rep_after = sta::analyze(nl, lib);
+      if (rep_after.critical_ps > budget + 0.5) {
+        for (std::size_t i = 0; i < nl.gates().size(); ++i) {
+          nl.gates()[i].variant = saved[i];
+        }
+      }
+    }
+  }
+}
+
+SynthesisResult synthesize_netlist(Netlist& nl, const CellLibrary& lib,
+                                   const SynthesisOptions& opts) {
+  size_for_target(nl, lib, opts);
+  const auto rep = sta::analyze(nl, lib);
+  SynthesisResult res;
+  res.area_um2 = netlist::netlist_area(nl, lib);
+  res.delay_ns = rep.critical_ps / 1000.0;
+  res.met_target = res.delay_ns <= opts.target_delay_ns + 1e-9;
+  const double clock_ns = std::max(opts.target_delay_ns, res.delay_ns);
+  res.power_mw = estimate_power(nl, lib, clock_ns).total_mw();
+  res.num_gates = nl.num_gates();
+  return res;
+}
+
+SynthesisResult synthesize_design(const ppg::MultiplierSpec& spec,
+                                  const ct::CompressorTree& tree,
+                                  double target_delay_ns) {
+  const CellLibrary& lib = CellLibrary::nangate45();
+  SynthesisOptions opts;
+  opts.target_delay_ns = target_delay_ns;
+
+  // kAllCpaKinds is ordered by area, so the first architecture that
+  // meets the target is (to first order) the min-area choice; stop
+  // there. When nothing meets timing, report the fastest.
+  SynthesisResult best;
+  bool have = false;
+  for (CpaKind cpa : netlist::kAllCpaKinds) {
+    Netlist nl = ppg::build_multiplier(spec, tree, cpa);
+    SynthesisResult res = synthesize_netlist(nl, lib, opts);
+    res.cpa = cpa;
+    const bool better =
+        !have ||
+        (res.met_target && !best.met_target) ||
+        (res.met_target == best.met_target &&
+         (res.met_target ? res.area_um2 < best.area_um2
+                         : res.delay_ns < best.delay_ns));
+    if (better) {
+      best = res;
+      have = true;
+    }
+    if (res.met_target) break;
+  }
+  return best;
+}
+
+}  // namespace rlmul::synth

@@ -1,0 +1,86 @@
+#pragma once
+// Synthesis flow: the OpenROAD/NanGate stand-in that turns a design
+// point (PPG kind + compressor tree + CPA) into PPA numbers under a
+// target delay constraint. Mirrors what the paper's reward loop asks of
+// the EDA tools:
+//
+//   1. map the design onto library cells (netlist builder),
+//   2. size gates against the target delay (greedy critical-path
+//      upsizing + slack-driven area recovery),
+//   3. pick the cheaper CPA architecture that still meets timing,
+//   4. report area / achieved delay / power.
+//
+// Tight constraints therefore cost area (bigger drives, prefix adder)
+// and loose constraints recover it, which produces the area-delay
+// trade-off curves of Figs 9-11.
+
+#include <cstdint>
+#include <vector>
+
+#include "ct/compressor_tree.hpp"
+#include "netlist/cell_library.hpp"
+#include "netlist/netlist.hpp"
+#include "ppg/ppg.hpp"
+
+namespace rlmul::synth {
+
+struct PowerReport {
+  double dynamic_mw = 0.0;
+  double leakage_mw = 0.0;
+  double total_mw() const { return dynamic_mw + leakage_mw; }
+};
+
+/// Probabilistic power estimate: signal probabilities are propagated
+/// under an independence assumption, per-net toggle activity is
+/// 2*p*(1-p) per cycle, and switching + internal energies are summed at
+/// the given clock period.
+PowerReport estimate_power(const netlist::Netlist& nl,
+                           const netlist::CellLibrary& lib,
+                           double clock_ns);
+
+/// Monte-Carlo power estimate: simulates random input vectors and
+/// counts the actual per-net toggles (zero-delay model). Slower but
+/// free of the independence assumption; the tests cross-validate the
+/// two estimators against each other.
+PowerReport simulate_power(const netlist::Netlist& nl,
+                           const netlist::CellLibrary& lib, double clock_ns,
+                           int num_vectors, std::uint64_t seed = 1);
+
+struct SynthesisOptions {
+  double target_delay_ns = 1.0;
+  int max_upsize_passes = 24;
+  bool area_recovery = true;
+};
+
+struct SynthesisResult {
+  double area_um2 = 0.0;
+  double delay_ns = 0.0;  ///< achieved critical delay after sizing
+  double power_mw = 0.0;
+  bool met_target = false;
+  netlist::CpaKind cpa = netlist::CpaKind::kRippleCarry;
+  int num_gates = 0;
+};
+
+/// Sizes the netlist in place against the option's target delay.
+void size_for_target(netlist::Netlist& nl, const netlist::CellLibrary& lib,
+                     const SynthesisOptions& opts);
+
+/// Runs sizing + reporting on an already-built netlist.
+SynthesisResult synthesize_netlist(netlist::Netlist& nl,
+                                   const netlist::CellLibrary& lib,
+                                   const SynthesisOptions& opts);
+
+/// Full design-point synthesis: builds one netlist per CPA
+/// architecture, sizes each, returns the best (met-timing designs by
+/// area, otherwise fastest).
+SynthesisResult synthesize_design(const ppg::MultiplierSpec& spec,
+                                  const ct::CompressorTree& tree,
+                                  double target_delay_ns);
+
+/// Per-net slacks against a target (backward required-time pass);
+/// used by sizing and exposed for tests.
+std::vector<double> net_slacks(const netlist::Netlist& nl,
+                               const netlist::CellLibrary& lib,
+                               double target_ps);
+
+}  // namespace rlmul::synth

@@ -1,0 +1,84 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+namespace rlmul::util {
+
+std::string ascii_scatter(const std::vector<PlotSeries>& series,
+                          const PlotOptions& opts) {
+  static const char kGlyphs[] = {'W', 'G', 'S', 'o', '*', '+', 'x', '#'};
+
+  double min_x = std::numeric_limits<double>::infinity();
+  double max_x = -min_x;
+  double min_y = min_x;
+  double max_y = -min_x;
+  bool any = false;
+  for (const auto& s : series) {
+    for (const auto& [x, y] : s.points) {
+      min_x = std::min(min_x, x);
+      max_x = std::max(max_x, x);
+      min_y = std::min(min_y, y);
+      max_y = std::max(max_y, y);
+      any = true;
+    }
+  }
+  if (!any) return "(no points)\n";
+  if (max_x <= min_x) max_x = min_x + 1.0;
+  if (max_y <= min_y) max_y = min_y + 1.0;
+  // A little margin so extreme points don't sit on the frame.
+  const double mx = 0.02 * (max_x - min_x);
+  const double my = 0.05 * (max_y - min_y);
+  min_x -= mx;
+  max_x += mx;
+  min_y -= my;
+  max_y += my;
+
+  const int w = std::max(opts.width, 16);
+  const int h = std::max(opts.height, 6);
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    for (const auto& [x, y] : series[si].points) {
+      const int col = static_cast<int>(
+          std::lround((x - min_x) / (max_x - min_x) * (w - 1)));
+      const int row = static_cast<int>(
+          std::lround((y - min_y) / (max_y - min_y) * (h - 1)));
+      // Row 0 at the top = max y.
+      grid[static_cast<std::size_t>(h - 1 - row)]
+          [static_cast<std::size_t>(col)] = glyph;
+    }
+  }
+
+  std::ostringstream os;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%10.4g +", max_y);
+  os << buf << std::string(static_cast<std::size_t>(w), '-') << "+\n";
+  for (int r = 0; r < h; ++r) {
+    os << std::string(11, ' ') << '|' << grid[static_cast<std::size_t>(r)]
+       << "|\n";
+  }
+  std::snprintf(buf, sizeof(buf), "%10.4g +", min_y);
+  os << buf << std::string(static_cast<std::size_t>(w), '-') << "+\n";
+  std::snprintf(buf, sizeof(buf), "%.4g", min_x);
+  os << std::string(12, ' ') << buf;
+  std::snprintf(buf, sizeof(buf), "%.4g", max_x);
+  const std::string right = std::string(opts.x_label) + "  " + buf;
+  const int pad = w - static_cast<int>(right.size()) -
+                  static_cast<int>(std::strlen(buf));
+  os << std::string(static_cast<std::size_t>(std::max(pad, 1)), ' ')
+     << right << "\n";
+  os << "  y: " << opts.y_label << "   legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << ' ' << kGlyphs[si % sizeof(kGlyphs)] << '=' << series[si].name;
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace rlmul::util

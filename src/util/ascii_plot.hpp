@@ -1,0 +1,31 @@
+#pragma once
+// Terminal scatter plots for the bench harness: the Pareto-frontier
+// figures (Figs 9-11 of the paper) render as ASCII charts next to the
+// numeric series, so a bench run is visually checkable without any
+// plotting stack.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rlmul::util {
+
+struct PlotSeries {
+  std::string name;
+  std::vector<std::pair<double, double>> points;  ///< (x, y)
+};
+
+struct PlotOptions {
+  int width = 64;   ///< plot area columns
+  int height = 16;  ///< plot area rows
+  std::string x_label = "x";
+  std::string y_label = "y";
+};
+
+/// Renders all series into one chart. Each series gets a distinct
+/// glyph (shown in the legend); later series draw over earlier ones
+/// when points collide. Returns a multi-line string.
+std::string ascii_scatter(const std::vector<PlotSeries>& series,
+                          const PlotOptions& opts = {});
+
+}  // namespace rlmul::util

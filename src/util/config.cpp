@@ -1,0 +1,33 @@
+#include "util/config.hpp"
+
+#include <cstdlib>
+
+namespace rlmul::util {
+
+long env_long(const std::string& name, long def) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return def;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw) return def;
+  return value;
+}
+
+double env_double(const std::string& name, double def) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return def;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw) return def;
+  return value;
+}
+
+bool quick_mode() { return env_long("RLMUL_QUICK", 0) != 0; }
+
+long scaled(long def) {
+  if (!quick_mode()) return def;
+  const long reduced = def / 8;
+  return reduced > 0 ? reduced : 1;
+}
+
+}  // namespace rlmul::util

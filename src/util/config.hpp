@@ -1,0 +1,22 @@
+#pragma once
+// Environment-variable configuration knobs shared by benches and
+// examples. Reproduction runs can be scaled up (`RLMUL_STEPS=5000`) or
+// shrunk to CI size (`RLMUL_QUICK=1`) without recompiling.
+
+#include <string>
+
+namespace rlmul::util {
+
+/// Integer env var with a default; malformed values fall back to `def`.
+long env_long(const std::string& name, long def);
+
+/// Double env var with a default; malformed values fall back to `def`.
+double env_double(const std::string& name, double def);
+
+/// True when RLMUL_QUICK is set to a non-zero value.
+bool quick_mode();
+
+/// Scales a default workload size: quick mode divides by 8 (min 1).
+long scaled(long def);
+
+}  // namespace rlmul::util

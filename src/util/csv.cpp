@@ -1,0 +1,40 @@
+#include "util/csv.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+
+namespace rlmul::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    const std::string& f = fields[i];
+    if (f.find_first_of(",\"\n") != std::string::npos) {
+      out_ << '"';
+      for (char c : f) {
+        if (c == '"') out_ << '"';
+        out_ << c;
+      }
+      out_ << '"';
+    } else {
+      out_ << f;
+    }
+  }
+  out_ << '\n';
+}
+
+std::string output_dir() {
+  const char* env = std::getenv("RLMUL_OUT");
+  std::string dir = env != nullptr && *env != '\0' ? env : "results";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (dir.back() != '/') dir += '/';
+  return dir;
+}
+
+}  // namespace rlmul::util

@@ -1,0 +1,56 @@
+#pragma once
+// Tiny CSV writer used by the benches to dump machine-readable copies
+// of every regenerated table/figure (the text output stays the primary
+// artifact; the CSVs feed whatever plotting stack the user has).
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rlmul::util {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file; throws on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row; fields are quoted when they contain separators.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience for mixed string/number rows.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(CsvWriter& w) : writer_(w) {}
+    RowBuilder& add(const std::string& s) {
+      fields_.push_back(s);
+      return *this;
+    }
+    RowBuilder& add(double v) {
+      std::ostringstream os;
+      os << v;
+      fields_.push_back(os.str());
+      return *this;
+    }
+    RowBuilder& add(int v) {
+      fields_.push_back(std::to_string(v));
+      return *this;
+    }
+    ~RowBuilder() { writer_.row(fields_); }
+
+   private:
+    CsvWriter& writer_;
+    std::vector<std::string> fields_;
+  };
+
+  RowBuilder begin_row() { return RowBuilder(*this); }
+
+ private:
+  std::ofstream out_;
+};
+
+/// Directory for bench side outputs (env RLMUL_OUT, default "results");
+/// created if missing. Returns the path with a trailing slash.
+std::string output_dir();
+
+}  // namespace rlmul::util

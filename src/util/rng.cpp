@@ -1,0 +1,105 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace rlmul::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  have_gaussian_ = false;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t n) {
+  // Lemire's nearly-divisionless bounded sampling with rejection.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_gaussian() {
+  if (have_gaussian_) {
+    have_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 1e-300);
+  const double u2 = next_double();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  const double two_pi = 6.283185307179586;
+  spare_gaussian_ = mag * std::sin(two_pi * u2);
+  have_gaussian_ = true;
+  return mag * std::cos(two_pi * u2);
+}
+
+std::size_t Rng::sample_discrete(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return weights.size();
+  double pick = next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    pick -= weights[i];
+    if (pick < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::split() {
+  Rng child;
+  child.s_ = {next(), next(), next(), next()};
+  // Guard against the all-zero state, which xoshiro cannot escape.
+  if ((child.s_[0] | child.s_[1] | child.s_[2] | child.s_[3]) == 0) {
+    child.reseed(0xDEADBEEFCAFEF00DULL);
+  }
+  return child;
+}
+
+}  // namespace rlmul::util

@@ -1,0 +1,59 @@
+#pragma once
+// Deterministic, fast pseudo-random number generation for the whole
+// framework. We use xoshiro256** (Blackman & Vigna) rather than
+// std::mt19937 so that results are reproducible across standard-library
+// implementations and fast enough for the inner loops of the logic
+// simulator and the RL agents.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace rlmul::util {
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Re-seed via splitmix64 so that nearby seeds give unrelated streams.
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Standard normal via Box–Muller.
+  double next_gaussian();
+
+  /// Bernoulli trial with probability p.
+  bool next_bool(double p = 0.5) { return next_double() < p; }
+
+  /// Sample an index from a discrete (unnormalized, non-negative)
+  /// weight vector. Returns weights.size() if the total mass is zero.
+  std::size_t sample_discrete(const std::vector<double>& weights);
+
+  /// Produce an independent child stream (for per-thread RNGs).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool have_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace rlmul::util

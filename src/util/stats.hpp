@@ -1,0 +1,31 @@
+#pragma once
+// Small descriptive-statistics helpers used by the benchmark harnesses
+// (box plots in Fig 7/8, trajectory bands in Fig 12).
+
+#include <cstddef>
+#include <vector>
+
+namespace rlmul::util {
+
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);  ///< population variance
+double stddev(const std::vector<double>& xs);
+
+/// Linear-interpolated quantile, q in [0, 1]. Requires non-empty input.
+double quantile(std::vector<double> xs, double q);
+
+/// Five-number summary for box plots.
+struct BoxStats {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+};
+
+BoxStats box_stats(const std::vector<double>& xs);
+
+/// Pearson correlation coefficient. Returns 0 for degenerate inputs.
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace rlmul::util

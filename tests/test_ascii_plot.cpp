@@ -1,0 +1,75 @@
+// ASCII scatter-plot renderer tests.
+
+#include "util/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rlmul::util {
+namespace {
+
+TEST(AsciiPlot, EmptyInput) {
+  EXPECT_EQ(ascii_scatter({}), "(no points)\n");
+}
+
+TEST(AsciiPlot, RendersGlyphsAndLegend) {
+  PlotSeries a{"alpha", {{0.0, 0.0}, {1.0, 1.0}}};
+  PlotSeries b{"beta", {{0.5, 0.5}}};
+  const std::string out = ascii_scatter({a, b});
+  EXPECT_NE(out.find('W'), std::string::npos);  // first series glyph
+  EXPECT_NE(out.find('G'), std::string::npos);  // second series glyph
+  EXPECT_NE(out.find("W=alpha"), std::string::npos);
+  EXPECT_NE(out.find("G=beta"), std::string::npos);
+}
+
+TEST(AsciiPlot, AxisBoundsAppear) {
+  PlotSeries s{"s", {{10.0, 2.0}, {20.0, 4.0}}};
+  PlotOptions opts;
+  opts.x_label = "area";
+  opts.y_label = "delay";
+  const std::string out = ascii_scatter({s}, opts);
+  EXPECT_NE(out.find("area"), std::string::npos);
+  EXPECT_NE(out.find("delay"), std::string::npos);
+}
+
+TEST(AsciiPlot, ExtremePointsLandOnOppositeCorners) {
+  PlotSeries s{"s", {{0.0, 0.0}, {100.0, 100.0}}};
+  PlotOptions opts;
+  opts.width = 20;
+  opts.height = 8;
+  const std::string out = ascii_scatter({s}, opts);
+  // Split into lines; the min-y point is near the bottom-left of the
+  // plot area, the max-y point near the top-right.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t nl = out.find('\n', pos);
+    lines.push_back(out.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  // First plot row (after the frame line) should contain the high point
+  // in its right half.
+  const std::string& top_row = lines[1];
+  const std::string& bottom_row = lines[lines.size() - 4];
+  EXPECT_NE(top_row.find('W'), std::string::npos);
+  EXPECT_GT(top_row.find('W'), top_row.size() / 2);
+  EXPECT_NE(bottom_row.find('W'), std::string::npos);
+}
+
+TEST(AsciiPlot, DegenerateSinglePoint) {
+  PlotSeries s{"s", {{5.0, 5.0}}};
+  const std::string out = ascii_scatter({s});
+  EXPECT_NE(out.find('W'), std::string::npos);
+}
+
+TEST(AsciiPlot, ManySeriesCycleGlyphs) {
+  std::vector<PlotSeries> many;
+  for (int i = 0; i < 10; ++i) {
+    many.push_back({"s" + std::to_string(i),
+                    {{static_cast<double>(i), static_cast<double>(i)}}});
+  }
+  const std::string out = ascii_scatter(many);
+  EXPECT_NE(out.find("s9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rlmul::util

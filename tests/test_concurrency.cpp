@@ -1,0 +1,147 @@
+// Concurrency and algebraic-property tests: the DesignEvaluator is the
+// one shared mutable object during RL-MUL-E training, so it gets
+// hammered from many threads here; plus inverse-action identities on
+// the compressor-tree algebra.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "ct/compressor_tree.hpp"
+#include "ppg/ppg.hpp"
+#include "synth/evaluator.hpp"
+#include "util/rng.hpp"
+
+namespace rlmul {
+namespace {
+
+using ppg::MultiplierSpec;
+using ppg::PpgKind;
+
+TEST(EvaluatorConcurrency, ParallelEvaluationsAgreeWithSerial) {
+  const MultiplierSpec spec{4, PpgKind::kAnd, false};
+  synth::DesignEvaluator ev(spec);
+
+  // A pool of designs reached by random walks.
+  util::Rng rng(41);
+  std::vector<ct::CompressorTree> designs;
+  ct::CompressorTree tree = ppg::initial_tree(spec);
+  designs.push_back(tree);
+  for (int i = 0; i < 11; ++i) {
+    const auto mask = ct::legal_action_mask(tree);
+    std::vector<double> w(mask.size());
+    for (std::size_t k = 0; k < mask.size(); ++k) w[k] = mask[k];
+    const auto pick = rng.sample_discrete(w);
+    ASSERT_LT(pick, mask.size());
+    tree = ct::apply_action(tree, ct::action_from_index(static_cast<int>(pick)));
+    designs.push_back(tree);
+  }
+
+  // Serial ground truth from an independent evaluator.
+  synth::DesignEvaluator serial(spec);
+  std::vector<double> expected;
+  for (const auto& d : designs) {
+    expected.push_back(serial.evaluate(d).sum_area);
+  }
+
+  // 8 threads evaluating overlapping subsets concurrently.
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&, t]() {
+      for (std::size_t i = t % 3; i < designs.size(); ++i) {
+        const auto eval = ev.evaluate(designs[i]);
+        if (std::abs(eval.sum_area - expected[i]) > 1e-9) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // Cache holds exactly the unique designs, no duplicates.
+  EXPECT_LE(ev.num_unique_evaluations(), designs.size());
+  EXPECT_GE(ev.num_unique_evaluations(), 2u);
+}
+
+TEST(EvaluatorConcurrency, FrontierConsistentAfterParallelInsert) {
+  const MultiplierSpec spec{4, PpgKind::kAnd, false};
+  synth::DesignEvaluator ev(spec);
+  const auto wallace = ppg::initial_tree(spec);
+  const auto dadda = ct::dadda_tree(ppg::pp_heights(spec));
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 6; ++t) {
+    workers.emplace_back([&, t]() {
+      ev.evaluate(t % 2 == 0 ? wallace : dadda);
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto front = ev.frontier().sorted();
+  ASSERT_FALSE(front.empty());
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GT(front[i].x, front[i - 1].x);
+    EXPECT_LT(front[i].y, front[i - 1].y);
+  }
+}
+
+// -- action algebra -----------------------------------------------------------
+
+TEST(ActionAlgebra, AddThenRemoveIsIdentityWhenBothLegal) {
+  util::Rng rng(71);
+  const MultiplierSpec spec{8, PpgKind::kAnd, false};
+  ct::CompressorTree tree = ppg::initial_tree(spec);
+  int verified = 0;
+  for (int j = 0; j < tree.columns(); ++j) {
+    const ct::Action add{j, ct::ActionKind::kAdd22};
+    if (!ct::action_applicable(tree, add)) continue;
+    const auto added = ct::apply_action(tree, add);
+    const ct::Action remove{j, ct::ActionKind::kRemove22};
+    if (!ct::action_applicable(added, remove)) continue;
+    const auto back = ct::apply_action(added, remove);
+    // The round trip is NOT an exact identity: legalization may settle
+    // downstream columns into a different (equally legal) shape. The
+    // contract is legality plus unchanged columns left of the action.
+    EXPECT_TRUE(back.legal()) << "column " << j;
+    for (int k = 0; k < j; ++k) {
+      EXPECT_EQ(back.c32[k], tree.c32[k]) << j << "/" << k;
+      EXPECT_EQ(back.c22[k], tree.c22[k]) << j << "/" << k;
+    }
+    ++verified;
+  }
+  EXPECT_GT(verified, 0);
+}
+
+TEST(ActionAlgebra, ReplacePairsAreMutualInverses) {
+  const MultiplierSpec spec{8, PpgKind::kAnd, false};
+  const ct::CompressorTree tree = ppg::initial_tree(spec);
+  for (int j = 0; j < tree.columns(); ++j) {
+    const ct::Action fwd{j, ct::ActionKind::kReplace32With22};
+    if (!ct::action_applicable(tree, fwd)) continue;
+    const auto mid = ct::apply_action(tree, fwd);
+    const ct::Action bwd{j, ct::ActionKind::kReplace22With32};
+    ASSERT_TRUE(ct::action_applicable(mid, bwd)) << "column " << j;
+    EXPECT_EQ(ct::apply_action(mid, bwd), tree) << "column " << j;
+  }
+}
+
+TEST(ActionAlgebra, ReplacementsNeverTouchOtherColumns) {
+  const MultiplierSpec spec{8, PpgKind::kBooth, false};
+  const ct::CompressorTree tree = ppg::initial_tree(spec);
+  for (int j = 0; j < tree.columns(); ++j) {
+    for (const auto kind : {ct::ActionKind::kReplace32With22,
+                            ct::ActionKind::kReplace22With32}) {
+      const ct::Action a{j, kind};
+      if (!ct::action_applicable(tree, a)) continue;
+      const auto next = ct::apply_action(tree, a);
+      for (int k = 0; k < tree.columns(); ++k) {
+        if (k == j) continue;
+        EXPECT_EQ(next.c32[k], tree.c32[k]);
+        EXPECT_EQ(next.c22[k], tree.c22[k]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rlmul

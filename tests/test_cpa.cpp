@@ -1,0 +1,131 @@
+// Carry-propagation adder architecture tests: all four CPAs must be
+// functionally identical, with the classic area/depth ordering
+// (ripple smallest+slowest, Kogge-Stone fastest+largest, Brent-Kung
+// and Sklansky in between).
+
+#include <gtest/gtest.h>
+
+#include "netlist/cell_library.hpp"
+#include "netlist/ct_builder.hpp"
+#include "ppg/ppg.hpp"
+#include "sim/simulator.hpp"
+#include "sta/sta.hpp"
+#include "util/rng.hpp"
+
+namespace rlmul::netlist {
+namespace {
+
+using ppg::MultiplierSpec;
+using ppg::PpgKind;
+
+/// Standalone adder: two W-bit operand rows into the CPA builder.
+Netlist build_adder(int width, CpaKind kind) {
+  Netlist nl;
+  LogicBuilder lb(nl);
+  ColumnSignals rows(static_cast<std::size_t>(width));
+  for (int j = 0; j < width; ++j) {
+    rows[static_cast<std::size_t>(j)] = {
+        Signal::of(nl.add_input("x" + std::to_string(j))),
+        Signal::of(nl.add_input("y" + std::to_string(j)))};
+  }
+  const auto sum = build_cpa(lb, kind, rows);
+  for (int j = 0; j < width; ++j) {
+    nl.mark_output(lb.materialize(sum[static_cast<std::size_t>(j)]),
+                   "s" + std::to_string(j));
+  }
+  return nl;
+}
+
+class CpaKindTest : public ::testing::TestWithParam<CpaKind> {};
+
+TEST_P(CpaKindTest, AdderIsExactMod2W) {
+  for (int width : {1, 2, 3, 5, 8, 13, 16}) {
+    const Netlist nl = build_adder(width, GetParam());
+    sim::Simulator simulator(nl);
+    util::Rng rng(width);
+    const std::uint64_t mask =
+        width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    for (int trial = 0; trial < 64; ++trial) {
+      const std::uint64_t x = rng.next() & mask;
+      const std::uint64_t y = rng.next() & mask;
+      for (int j = 0; j < width; ++j) {
+        // Inputs were created interleaved per column; look up by name.
+        simulator.set_input(simulator.input_index("x" + std::to_string(j)),
+                            ((x >> j) & 1) ? ~0ULL : 0);
+        simulator.set_input(simulator.input_index("y" + std::to_string(j)),
+                            ((y >> j) & 1) ? ~0ULL : 0);
+      }
+      simulator.run();
+      std::uint64_t s = 0;
+      for (int j = 0; j < width; ++j) {
+        s |= (simulator.output(j) & 1ULL) << j;
+      }
+      ASSERT_EQ(s, (x + y) & mask)
+          << cpa_kind_name(GetParam()) << " width " << width << " x=" << x
+          << " y=" << y;
+    }
+  }
+}
+
+TEST_P(CpaKindTest, MultiplierStaysEquivalent) {
+  const MultiplierSpec spec{6, PpgKind::kAnd, false};
+  const auto nl =
+      ppg::build_multiplier(spec, ppg::initial_tree(spec), GetParam());
+  util::Rng rng(3);
+  EXPECT_TRUE(sim::check_equivalence(nl, spec, rng).equivalent)
+      << cpa_kind_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, CpaKindTest,
+                         ::testing::Values(CpaKind::kRippleCarry,
+                                           CpaKind::kBrentKung,
+                                           CpaKind::kSklansky,
+                                           CpaKind::kKoggeStone),
+                         [](const auto& info) {
+                           return std::string(cpa_kind_name(info.param));
+                         });
+
+TEST(CpaOrdering, AreaAndDelayFollowTheClassicRanking) {
+  const auto& lib = CellLibrary::nangate45();
+  const int width = 32;
+  double area[4];
+  double delay[4];
+  int idx = 0;
+  for (CpaKind kind : kAllCpaKinds) {
+    const Netlist nl = build_adder(width, kind);
+    area[idx] = netlist_area(nl, lib);
+    delay[idx] = sta::analyze(nl, lib).max_po_arrival_ps;
+    ++idx;
+  }
+  // kAllCpaKinds = {RCA, BK, SK, KS}.
+  EXPECT_LT(area[0], area[1]);   // ripple smallest
+  EXPECT_LE(area[1], area[3]);   // BK <= KS (KS has the most nodes)
+  EXPECT_LE(area[2], area[3]);   // SK <= KS
+  EXPECT_GT(delay[0], delay[1]);  // ripple slowest
+  EXPECT_GT(delay[0], delay[2]);
+  EXPECT_GT(delay[0], delay[3]);
+}
+
+TEST(CpaOrdering, PrefixDepthIsLogarithmic) {
+  // Critical path length (in gates) of the prefix adders should grow
+  // like log2(width), not linearly.
+  const auto& lib = CellLibrary::nangate45();
+  auto path_gates = [&](int width, CpaKind kind) {
+    const Netlist nl = build_adder(width, kind);
+    return sta::analyze(nl, lib).critical_path.size();
+  };
+  EXPECT_LE(path_gates(32, CpaKind::kKoggeStone), 14u);
+  EXPECT_LE(path_gates(32, CpaKind::kSklansky), 16u);
+  EXPECT_LE(path_gates(32, CpaKind::kBrentKung), 22u);
+  EXPECT_GE(path_gates(32, CpaKind::kRippleCarry), 30u);
+}
+
+TEST(CpaNames, AllDistinct) {
+  EXPECT_STRNE(cpa_kind_name(CpaKind::kRippleCarry),
+               cpa_kind_name(CpaKind::kKoggeStone));
+  EXPECT_STRNE(cpa_kind_name(CpaKind::kBrentKung),
+               cpa_kind_name(CpaKind::kSklansky));
+}
+
+}  // namespace
+}  // namespace rlmul::netlist

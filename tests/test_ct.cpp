@@ -1,0 +1,203 @@
+// Unit and property tests for the compressor-tree core: matrix
+// representation, legality, Wallace/Dadda constructors and the
+// deterministic stage assignment (Algorithm 1).
+
+#include "ct/compressor_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ppg/ppg.hpp"
+#include "util/rng.hpp"
+
+namespace rlmul::ct {
+namespace {
+
+ColumnHeights and_heights(int bits) {
+  return ppg::pp_heights({bits, ppg::PpgKind::kAnd, false});
+}
+
+TEST(Heights, AndPpgShape) {
+  const ColumnHeights h = and_heights(4);
+  // 4-bit AND multiplier: heights 1,2,3,4,3,2,1,0 over 8 columns.
+  const ColumnHeights expect{1, 2, 3, 4, 3, 2, 1, 0};
+  EXPECT_EQ(h, expect);
+}
+
+TEST(Heights, TotalBitsIsNSquared) {
+  for (int bits : {2, 3, 4, 8, 16}) {
+    const ColumnHeights h = and_heights(bits);
+    EXPECT_EQ(std::accumulate(h.begin(), h.end(), 0), bits * bits);
+  }
+}
+
+TEST(CompressorTree, EmptyTreeOfHeightsOneIsLegal) {
+  CompressorTree t{ColumnHeights{1, 1, 1}};
+  EXPECT_TRUE(t.legal());
+  EXPECT_EQ(t.final_heights(), (std::vector<int>{1, 1, 1}));
+}
+
+TEST(CompressorTree, UncompressedTallColumnIsIllegal) {
+  CompressorTree t{ColumnHeights{3, 1}};
+  EXPECT_FALSE(t.legal());
+  t.c32[0] = 1;  // compress 3 -> 1, carry into column 1 (now 2)
+  EXPECT_TRUE(t.legal());
+  EXPECT_EQ(t.final_height(0), 1);
+  EXPECT_EQ(t.final_height(1), 2);
+}
+
+TEST(CompressorTree, NegativeCountsIllegal) {
+  CompressorTree t{ColumnHeights{2, 2}};
+  t.c22[0] = -1;
+  EXPECT_FALSE(t.legal());
+}
+
+TEST(CompressorTree, EmptyColumnWithCompressorIllegal) {
+  CompressorTree t{ColumnHeights{1, 0}};
+  t.c22[1] = 1;
+  EXPECT_FALSE(t.legal());
+}
+
+TEST(CompressorTree, CarriesIntoEdgeColumns) {
+  CompressorTree t{ColumnHeights{3, 3}};
+  t.c32 = {1, 1};
+  EXPECT_EQ(t.carries_into(0), 0);
+  EXPECT_EQ(t.carries_into(1), 1);
+  EXPECT_EQ(t.final_height(1), 3 + 1 - 2);
+}
+
+TEST(CompressorTree, KeyDistinguishesStructures) {
+  CompressorTree a{ColumnHeights{3, 3, 2, 1}};
+  a.c32 = {1, 0, 0, 0};
+  CompressorTree b = a;
+  EXPECT_EQ(a.key(), b.key());
+  b.c22[1] = 1;
+  EXPECT_NE(a.key(), b.key());
+}
+
+// -- Wallace / Dadda -------------------------------------------------------
+
+class LegacyTreeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LegacyTreeTest, WallaceIsLegal) {
+  const ColumnHeights h = and_heights(GetParam());
+  const CompressorTree t = wallace_tree(h);
+  EXPECT_TRUE(t.legal()) << to_string(t);
+}
+
+TEST_P(LegacyTreeTest, DaddaIsLegal) {
+  const ColumnHeights h = and_heights(GetParam());
+  const CompressorTree t = dadda_tree(h);
+  EXPECT_TRUE(t.legal()) << to_string(t);
+}
+
+TEST_P(LegacyTreeTest, DaddaUsesNoMoreCompressorsThanWallace) {
+  const ColumnHeights h = and_heights(GetParam());
+  const CompressorTree w = wallace_tree(h);
+  const CompressorTree d = dadda_tree(h);
+  const double wallace_area = 4.256 * w.total_c32() + 2.66 * w.total_c22();
+  const double dadda_area = 4.256 * d.total_c32() + 2.66 * d.total_c22();
+  EXPECT_LE(dadda_area, wallace_area + 1e-9);
+}
+
+TEST_P(LegacyTreeTest, BoothHeightsProduceLegalWallace) {
+  const ppg::MultiplierSpec spec{GetParam(), ppg::PpgKind::kBooth, false};
+  const CompressorTree t = wallace_tree(ppg::pp_heights(spec));
+  EXPECT_TRUE(t.legal()) << to_string(t);
+}
+
+TEST_P(LegacyTreeTest, MacHeightsProduceLegalWallace) {
+  const ppg::MultiplierSpec spec{GetParam(), ppg::PpgKind::kAnd, true};
+  const CompressorTree t = wallace_tree(ppg::pp_heights(spec));
+  EXPECT_TRUE(t.legal()) << to_string(t);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LegacyTreeTest,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 12, 16, 24,
+                                           32));
+
+TEST(Wallace, KnownFullAdderCountFor4Bit) {
+  // A 4-bit Wallace tree needs a small, fixed budget; sanity bounds.
+  const CompressorTree t = wallace_tree(and_heights(4));
+  EXPECT_GE(t.total_c32(), 4);
+  EXPECT_LE(t.total_c32() + t.total_c22(), 16);
+}
+
+// -- Stage assignment (Algorithm 1) ---------------------------------------
+
+TEST(Assignment, SumsMatchMatrix) {
+  for (int bits : {4, 8, 16}) {
+    const CompressorTree t = wallace_tree(and_heights(bits));
+    const StageAssignment sa = assign_stages(t);
+    for (int j = 0; j < t.columns(); ++j) {
+      int s32 = 0;
+      int s22 = 0;
+      for (int s = 0; s < sa.stages; ++s) {
+        s32 += sa.t32[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)];
+        s22 += sa.t22[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)];
+      }
+      EXPECT_EQ(s32, t.c32[j]) << "column " << j;
+      EXPECT_EQ(s22, t.c22[j]) << "column " << j;
+    }
+  }
+}
+
+TEST(Assignment, Deterministic) {
+  const CompressorTree t = wallace_tree(and_heights(8));
+  const StageAssignment a = assign_stages(t);
+  const StageAssignment b = assign_stages(t);
+  EXPECT_EQ(a.stages, b.stages);
+  EXPECT_EQ(a.t32, b.t32);
+  EXPECT_EQ(a.t22, b.t22);
+}
+
+TEST(Assignment, StageBitBalanceInvariant) {
+  // Simulate per-stage availability; no stage may consume more bits
+  // than it has (the assignment must be schedulable).
+  const CompressorTree t = dadda_tree(and_heights(8));
+  const StageAssignment sa = assign_stages(t);
+  const int cols = t.columns();
+  std::vector<int> avail(t.pp.begin(), t.pp.end());
+  for (int s = 0; s < sa.stages; ++s) {
+    std::vector<int> next(static_cast<std::size_t>(cols), 0);
+    for (int j = 0; j < cols; ++j) {
+      const int n32 = sa.t32[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)];
+      const int n22 = sa.t22[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)];
+      const int used = 3 * n32 + 2 * n22;
+      ASSERT_LE(used, avail[static_cast<std::size_t>(j)])
+          << "stage " << s << " column " << j;
+      next[static_cast<std::size_t>(j)] +=
+          avail[static_cast<std::size_t>(j)] - used + n32 + n22;
+      if (j + 1 < cols) next[static_cast<std::size_t>(j) + 1] += n32 + n22;
+    }
+    avail = std::move(next);
+  }
+  for (int j = 0; j < cols; ++j) {
+    EXPECT_EQ(avail[static_cast<std::size_t>(j)],
+              std::max(t.final_height(j), 0));
+  }
+}
+
+TEST(Assignment, WallaceStageCountIsLogarithmic) {
+  // Wallace depth for height-N reduction is O(log_{1.5} N).
+  EXPECT_LE(stage_count(wallace_tree(and_heights(8))), 5);
+  EXPECT_LE(stage_count(wallace_tree(and_heights(16))), 7);
+}
+
+TEST(Assignment, ThrowsOnIllegalTree) {
+  CompressorTree t{ColumnHeights{2, 1}};
+  t.c32[0] = 1;  // would need 3 bits forever
+  t.c22[0] = 1;  // over-consumes: f < 0
+  EXPECT_THROW(assign_stages(t), std::invalid_argument);
+}
+
+TEST(Assignment, EmptyTreeHasOnePaddedStage) {
+  CompressorTree t{ColumnHeights{1, 1}};
+  const StageAssignment sa = assign_stages(t);
+  EXPECT_EQ(sa.stages, 0);
+  ASSERT_EQ(sa.t32.size(), 1u);  // padded for encoder convenience
+}
+
+}  // namespace
+}  // namespace rlmul::ct

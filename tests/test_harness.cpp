@@ -1,0 +1,119 @@
+// Tests for the bench harness utilities (the experiment plumbing every
+// table/figure regeneration relies on) and the evaluator verification
+// gate.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "bench/harness.hpp"
+#include "synth/evaluator.hpp"
+
+namespace rlmul::bench {
+namespace {
+
+using ppg::MultiplierSpec;
+using ppg::PpgKind;
+
+TEST(Config, ReadsEnvironmentKnobs) {
+  setenv("RLMUL_STEPS", "42", 1);
+  setenv("RLMUL_THREADS", "2", 1);
+  const Config cfg = config();
+  EXPECT_EQ(cfg.rl_steps, 42);
+  EXPECT_EQ(cfg.threads, 2);
+  unsetenv("RLMUL_STEPS");
+  unsetenv("RLMUL_THREADS");
+}
+
+TEST(DelaySweep, OrderedAndSpansTheRange) {
+  const MultiplierSpec spec{8, PpgKind::kAnd, false};
+  const auto sweep = delay_sweep(spec, 5);
+  ASSERT_EQ(sweep.size(), 5u);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GT(sweep[i], sweep[i - 1]);
+  }
+  EXPECT_GT(sweep.front(), 0.0);
+  EXPECT_LT(sweep.back(), 10.0);
+}
+
+TEST(DesignFrontier, SingleTreeSweepIsMonotone) {
+  const MultiplierSpec spec{8, PpgKind::kAnd, false};
+  const auto sweep = delay_sweep(spec, 4);
+  const auto front =
+      design_frontier(spec, {ppg::initial_tree(spec)}, sweep);
+  ASSERT_GE(front.size(), 2u);
+  const auto pts = front.sorted();
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GT(pts[i].x, pts[i - 1].x);
+    EXPECT_LT(pts[i].y, pts[i - 1].y);
+  }
+}
+
+TEST(Candidates, BaselinesReturnLegalTrees) {
+  const MultiplierSpec spec{8, PpgKind::kAnd, false};
+  for (const auto& tree : wallace_candidates(spec)) {
+    EXPECT_TRUE(tree.legal());
+  }
+  for (const auto& tree : gomil_candidates(spec)) {
+    EXPECT_TRUE(tree.legal());
+  }
+}
+
+TEST(Candidates, SearchMethodsDedupAndCap) {
+  const MultiplierSpec spec{4, PpgKind::kAnd, false};
+  const auto trees = sa_candidates(spec, 15, 3);
+  EXPECT_FALSE(trees.empty());
+  EXPECT_LE(trees.size(), 16u);
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    EXPECT_TRUE(trees[i].legal());
+    for (std::size_t j = i + 1; j < trees.size(); ++j) {
+      EXPECT_FALSE(trees[i] == trees[j]) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(Selections, PickExtremesAndTradeoff) {
+  pareto::Front front;
+  front.insert({100, 2.0, 0});
+  front.insert({200, 1.0, 0});
+  front.insert({140, 1.3, 0});
+  EXPECT_EQ(min_area_point(front).area, 100);
+  EXPECT_EQ(min_delay_point(front).delay, 1.0);
+  const auto tr = tradeoff_point(front);
+  EXPECT_EQ(tr.area, 140);  // 182 < 200 = both extremes' products
+}
+
+TEST(Hypervolumes, SharedReferenceAcrossMethods) {
+  MethodFrontier a;
+  a.name = "A";
+  a.front.insert({1, 1, 0});
+  MethodFrontier b;
+  b.name = "B";
+  b.front.insert({2, 2, 0});
+  const auto hv = hypervolumes({a, b});
+  ASSERT_EQ(hv.size(), 2u);
+  EXPECT_GT(hv[0], hv[1]);  // A dominates B under the common reference
+}
+
+TEST(RandomTrees, AllLegalAndDiverse) {
+  const MultiplierSpec spec{8, PpgKind::kAnd, false};
+  const auto trees = random_trees(spec, 20, 12, 9);
+  ASSERT_EQ(trees.size(), 20u);
+  int distinct = 0;
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    EXPECT_TRUE(trees[i].legal()) << i;
+    if (i > 0 && !(trees[i] == trees[0])) ++distinct;
+  }
+  EXPECT_GT(distinct, 5);
+}
+
+TEST(VerificationGate, PassesForHonestGenerators) {
+  synth::EvaluatorOptions opts;
+  opts.verify_functionality = true;
+  opts.verify_vectors = 512;
+  synth::DesignEvaluator ev({4, PpgKind::kAnd, false}, {}, opts);
+  EXPECT_NO_THROW(ev.evaluate(ppg::initial_tree({4, PpgKind::kAnd, false})));
+}
+
+}  // namespace
+}  // namespace rlmul::bench

@@ -1,0 +1,171 @@
+// LP / MILP solver tests: known optima, infeasibility, unboundedness,
+// integrality, and randomized cross-checks against brute force.
+
+#include "ilp/ilp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace rlmul::ilp {
+namespace {
+
+Constraint row(std::vector<double> c, Relation r, double b) {
+  return Constraint{std::move(c), r, b};
+}
+
+TEST(Lp, SimpleMaximizationAsMinimization) {
+  // max x + y s.t. x + 2y <= 4, 3x + y <= 6  => min -(x+y).
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {-1.0, -1.0};
+  lp.constraints.push_back(row({1, 2}, Relation::kLessEqual, 4));
+  lp.constraints.push_back(row({3, 1}, Relation::kLessEqual, 6));
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  // Optimum at intersection: x = 8/5, y = 6/5, obj = -14/5.
+  EXPECT_NEAR(sol.objective, -2.8, 1e-6);
+  EXPECT_NEAR(sol.x[0], 1.6, 1e-6);
+  EXPECT_NEAR(sol.x[1], 1.2, 1e-6);
+}
+
+TEST(Lp, GreaterEqualAndEquality) {
+  // min 2x + 3y s.t. x + y = 10, x >= 4.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {2.0, 3.0};
+  lp.constraints.push_back(row({1, 1}, Relation::kEqual, 10));
+  lp.constraints.push_back(row({1, 0}, Relation::kGreaterEqual, 4));
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  EXPECT_NEAR(sol.x[0], 10.0, 1e-6);  // x as large as possible
+  EXPECT_NEAR(sol.x[1], 0.0, 1e-6);
+  EXPECT_NEAR(sol.objective, 20.0, 1e-6);
+}
+
+TEST(Lp, Infeasible) {
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.constraints.push_back(row({1}, Relation::kGreaterEqual, 5));
+  lp.constraints.push_back(row({1}, Relation::kLessEqual, 3));
+  EXPECT_EQ(solve_lp(lp).status, Status::kInfeasible);
+}
+
+TEST(Lp, Unbounded) {
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {-1.0};  // min -x, x >= 0, no upper bound
+  const auto sol = solve_lp(lp);
+  EXPECT_EQ(sol.status, Status::kUnbounded);
+}
+
+TEST(Lp, NegativeRhsNormalization) {
+  // x - y <= -2  (i.e. y >= x + 2), min y => y = 2 at x = 0.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {0.0, 1.0};
+  lp.constraints.push_back(row({1, -1}, Relation::kLessEqual, -2));
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-6);
+}
+
+TEST(Milp, KnapsackStyle) {
+  // max 5a + 4b + 3c s.t. 2a + 3b + c <= 5, binaries.
+  LinearProgram lp;
+  lp.num_vars = 3;
+  lp.objective = {-5.0, -4.0, -3.0};
+  lp.constraints.push_back(row({2, 3, 1}, Relation::kLessEqual, 5));
+  for (int j = 0; j < 3; ++j) {
+    std::vector<double> ub(3, 0.0);
+    ub[static_cast<std::size_t>(j)] = 1.0;
+    lp.constraints.push_back(row(std::move(ub), Relation::kLessEqual, 1));
+  }
+  const auto sol = solve_milp(lp, {true, true, true});
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  // Best: a=1, b=1 (weight 5, value 9).
+  EXPECT_NEAR(sol.objective, -9.0, 1e-6);
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-6);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-6);
+  EXPECT_NEAR(sol.x[2], 0.0, 1e-6);
+}
+
+TEST(Milp, IntegerRounding) {
+  // min x s.t. x >= 2.3, integer => 3.
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.constraints.push_back(row({1}, Relation::kGreaterEqual, 2.3));
+  const auto sol = solve_milp(lp, {true});
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-6);
+}
+
+TEST(Milp, MixedIntegerKeepsContinuousFree) {
+  // min x + y, x >= 1.5 (int), y >= 1.5 (cont).
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 1.0};
+  lp.constraints.push_back(row({1, 0}, Relation::kGreaterEqual, 1.5));
+  lp.constraints.push_back(row({0, 1}, Relation::kGreaterEqual, 1.5));
+  const auto sol = solve_milp(lp, {true, false});
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-6);
+  EXPECT_NEAR(sol.x[1], 1.5, 1e-6);
+}
+
+TEST(Milp, RandomizedAgainstBruteForce) {
+  util::Rng rng(777);
+  for (int trial = 0; trial < 30; ++trial) {
+    // min c.x over x in {0..3}^3 with two random <= constraints.
+    LinearProgram lp;
+    lp.num_vars = 3;
+    for (int j = 0; j < 3; ++j) {
+      lp.objective.push_back(rng.next_int(-5, 5));
+    }
+    for (int r = 0; r < 2; ++r) {
+      std::vector<double> coeffs;
+      for (int j = 0; j < 3; ++j) coeffs.push_back(rng.next_int(-3, 3));
+      lp.constraints.push_back(
+          row(std::move(coeffs), Relation::kLessEqual,
+              static_cast<double>(rng.next_int(0, 8))));
+    }
+    for (int j = 0; j < 3; ++j) {  // x_j <= 3 to bound the problem
+      std::vector<double> ub(3, 0.0);
+      ub[static_cast<std::size_t>(j)] = 1.0;
+      lp.constraints.push_back(row(std::move(ub), Relation::kLessEqual, 3));
+    }
+
+    double brute = std::numeric_limits<double>::infinity();
+    for (int x = 0; x <= 3; ++x) {
+      for (int y = 0; y <= 3; ++y) {
+        for (int z = 0; z <= 3; ++z) {
+          bool ok = true;
+          for (int r = 0; r < 2; ++r) {
+            const auto& c = lp.constraints[static_cast<std::size_t>(r)];
+            if (c.coeffs[0] * x + c.coeffs[1] * y + c.coeffs[2] * z >
+                c.rhs + 1e-9) {
+              ok = false;
+            }
+          }
+          if (ok) {
+            brute = std::min(brute, lp.objective[0] * x +
+                                        lp.objective[1] * y +
+                                        lp.objective[2] * z);
+          }
+        }
+      }
+    }
+
+    const auto sol = solve_milp(lp, {true, true, true});
+    ASSERT_EQ(sol.status, Status::kOptimal) << "trial " << trial;
+    EXPECT_NEAR(sol.objective, brute, 1e-6) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace rlmul::ilp

@@ -1,0 +1,194 @@
+// Netlist container, cell library, logic-builder folding and
+// CT-builder structural tests.
+
+#include <gtest/gtest.h>
+
+#include "ct/compressor_tree.hpp"
+#include "netlist/cell_library.hpp"
+#include "netlist/ct_builder.hpp"
+#include "netlist/logic_builder.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rlmul::netlist {
+namespace {
+
+TEST(Netlist, AddGateAllocatesOutputs) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const GateId g = nl.add_gate(CellKind::kAnd2, {a, b});
+  EXPECT_EQ(nl.num_gates(), 1);
+  EXPECT_EQ(nl.gates()[static_cast<std::size_t>(g)].outputs.size(), 1u);
+  EXPECT_EQ(nl.num_nets(), 3);
+}
+
+TEST(Netlist, PinCountChecked) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_gate(CellKind::kAnd2, {a}), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(CellKind::kInv, {a, a}), std::invalid_argument);
+}
+
+TEST(Netlist, TieCellsAreSingletons) {
+  Netlist nl;
+  const NetId lo1 = nl.tie_lo();
+  const NetId lo2 = nl.tie_lo();
+  const NetId hi = nl.tie_hi();
+  EXPECT_EQ(lo1, lo2);
+  EXPECT_NE(lo1, hi);
+  EXPECT_EQ(nl.num_gates(), 2);
+}
+
+TEST(Netlist, TopoOrderRespectsDependencies) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const GateId g1 = nl.add_gate(CellKind::kAnd2, {a, b});
+  const NetId n1 = nl.gates()[static_cast<std::size_t>(g1)].outputs[0];
+  const GateId g2 = nl.add_gate(CellKind::kInv, {n1});
+  const auto order = nl.topo_order();
+  ASSERT_EQ(order.size(), 2u);
+  const auto pos = [&](GateId g) {
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == g) return i;
+    }
+    return order.size();
+  };
+  EXPECT_LT(pos(g1), pos(g2));
+}
+
+TEST(Netlist, DffBreaksCycles) {
+  Netlist nl;
+  // q = DFF(d), d = INV(q): a registered loop must topo-sort fine.
+  Netlist nl2;
+  const NetId q = nl2.new_net();
+  const GateId inv = nl2.add_gate(CellKind::kInv, {q});
+  const NetId d = nl2.gates()[static_cast<std::size_t>(inv)].outputs[0];
+  nl2.add_gate_onto(CellKind::kDff, {d}, {q});
+  EXPECT_NO_THROW(nl2.topo_order());
+}
+
+TEST(Netlist, CombinationalCycleThrows) {
+  Netlist nl;
+  const NetId x = nl.new_net();
+  const GateId inv = nl.add_gate_onto(CellKind::kInv, {x}, {x});
+  (void)inv;
+  EXPECT_THROW(nl.topo_order(), std::runtime_error);
+}
+
+TEST(CellLibrary, AreasArePositiveAndMonotoneInDrive) {
+  const CellLibrary& lib = CellLibrary::nangate45();
+  for (int k = 0; k < num_cell_kinds(); ++k) {
+    const auto kind = static_cast<CellKind>(k);
+    for (int v = 0; v < lib.num_variants(kind); ++v) {
+      EXPECT_GT(lib.area(kind, v), 0.0) << cell_kind_name(kind);
+      if (v > 0) {
+        EXPECT_GT(lib.area(kind, v), lib.area(kind, v - 1));
+        EXPECT_LT(lib.drive_res(kind, v), lib.drive_res(kind, v - 1));
+      }
+    }
+  }
+}
+
+TEST(CellLibrary, FaCarryArcFasterThanSumArc) {
+  const CellLibrary& lib = CellLibrary::nangate45();
+  EXPECT_LT(lib.intrinsic(CellKind::kFa, 0, 1),
+            lib.intrinsic(CellKind::kFa, 0, 0));
+  EXPECT_LT(lib.intrinsic(CellKind::kFa, 2, 0),
+            lib.intrinsic(CellKind::kFa, 0, 0));  // CI->S beats A->S
+}
+
+TEST(LogicBuilder, ConstantFolding) {
+  Netlist nl;
+  LogicBuilder lb(nl);
+  const Signal a = Signal::of(nl.add_input("a"));
+  EXPECT_TRUE(lb.and2(a, Signal::lo()).is_lo());
+  EXPECT_EQ(lb.and2(a, Signal::hi()), a);
+  EXPECT_EQ(lb.or2(a, Signal::lo()), a);
+  EXPECT_TRUE(lb.or2(a, Signal::hi()).is_hi());
+  EXPECT_EQ(lb.xor2(a, Signal::lo()), a);
+  EXPECT_TRUE(lb.xor2(a, a).is_lo());
+  EXPECT_EQ(nl.num_gates(), 0);  // nothing above instantiated a gate
+  const Signal na = lb.xor2(a, Signal::hi());
+  EXPECT_FALSE(na.is_const());
+  EXPECT_EQ(nl.num_gates(), 1);  // one INV
+}
+
+TEST(LogicBuilder, HalfAddWithConstantOne) {
+  Netlist nl;
+  LogicBuilder lb(nl);
+  const Signal a = Signal::of(nl.add_input("a"));
+  const auto out = lb.half_add(a, Signal::hi());
+  EXPECT_FALSE(out.sum.is_const());  // !a
+  EXPECT_EQ(out.carry, a);
+  EXPECT_EQ(nl.num_gates(), 1);  // single INV, no HA cell
+}
+
+TEST(LogicBuilder, FullAddDegradesWithConstants) {
+  Netlist nl;
+  LogicBuilder lb(nl);
+  const Signal a = Signal::of(nl.add_input("a"));
+  const Signal b = Signal::of(nl.add_input("b"));
+  const auto ha = lb.full_add(a, b, Signal::lo());
+  EXPECT_EQ(nl.kind_histogram()[static_cast<int>(CellKind::kHa)], 1);
+  EXPECT_EQ(nl.kind_histogram()[static_cast<int>(CellKind::kFa)], 0);
+  (void)ha;
+}
+
+TEST(CtBuilder, RejectsHeightMismatch) {
+  ct::CompressorTree tree{ct::ColumnHeights{2, 1}};
+  tree.c22 = {1, 0};
+  Netlist nl;
+  LogicBuilder lb(nl);
+  ColumnSignals cols(2);
+  cols[0] = {Signal::of(nl.add_input("x"))};  // height 1, tree expects 2
+  cols[1] = {Signal::of(nl.add_input("y"))};
+  EXPECT_THROW(build_compressor_tree(lb, tree, cols),
+               std::invalid_argument);
+}
+
+TEST(CtBuilder, EmitsExpectedCellCounts) {
+  // Tree with one FA and one HA on real nets (no constants) emits
+  // exactly one FA cell and one HA cell.
+  ct::CompressorTree tree{ct::ColumnHeights{3, 2, 1}};
+  tree.c32 = {1, 0, 0};
+  tree.c22 = {0, 1, 0};
+  ASSERT_TRUE(tree.legal());
+  Netlist nl;
+  LogicBuilder lb(nl);
+  ColumnSignals cols(3);
+  for (int j = 0; j < 3; ++j) {
+    for (int k = 0; k < tree.pp[j]; ++k) {
+      cols[static_cast<std::size_t>(j)].push_back(
+          Signal::of(nl.add_input("i")));
+    }
+  }
+  const auto rows = build_compressor_tree(lb, tree, cols);
+  const auto hist = nl.kind_histogram();
+  EXPECT_EQ(hist[static_cast<int>(CellKind::kFa)], 1);
+  EXPECT_EQ(hist[static_cast<int>(CellKind::kHa)], 1);
+  EXPECT_EQ(rows[0].size(), 1u);
+  EXPECT_EQ(rows[1].size(), 2u);  // 2 + FA carry - HA compression
+  EXPECT_EQ(rows[2].size(), 2u);  // 1 + HA carry
+}
+
+TEST(CtBuilder, TopColumnUsesSumOnlyLogic) {
+  // Compressors in the top column must not emit FA/HA cells (their
+  // carries would fall off the product); XOR trees instead.
+  ct::CompressorTree tree{ct::ColumnHeights{1, 3}};
+  tree.c32 = {0, 1};
+  ASSERT_TRUE(tree.legal());
+  Netlist nl;
+  LogicBuilder lb(nl);
+  ColumnSignals cols(2);
+  cols[0] = {Signal::of(nl.add_input("x"))};
+  cols[1] = {Signal::of(nl.add_input("y")), Signal::of(nl.add_input("z")),
+             Signal::of(nl.add_input("w"))};
+  build_compressor_tree(lb, tree, cols);
+  const auto hist = nl.kind_histogram();
+  EXPECT_EQ(hist[static_cast<int>(CellKind::kFa)], 0);
+  EXPECT_EQ(hist[static_cast<int>(CellKind::kXor2)], 2);
+}
+
+}  // namespace
+}  // namespace rlmul::netlist

@@ -1,0 +1,285 @@
+// Neural-network library tests: shape plumbing, finite-difference
+// gradient checks for every layer, optimizer behaviour, and a small
+// end-to-end regression fit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/layers.hpp"
+#include "nn/optim.hpp"
+#include "nn/resnet.hpp"
+#include "nt/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace rlmul::nn {
+namespace {
+
+using nt::Tensor;
+
+/// Scalar loss L = sum(w_i * y_i) with fixed random weights, so that
+/// dL/dy is known exactly and gradients can be finite-differenced.
+struct LossProbe {
+  std::vector<float> w;
+
+  explicit LossProbe(std::size_t n, util::Rng& rng) {
+    for (std::size_t i = 0; i < n; ++i) {
+      w.push_back(static_cast<float>(rng.next_gaussian()));
+    }
+  }
+  double value(const Tensor& y) const {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < y.numel(); ++i) acc += w[i] * y[i];
+    return acc;
+  }
+  Tensor grad(const Tensor& y) const {
+    Tensor g(y.shape());
+    for (std::size_t i = 0; i < y.numel(); ++i) g[i] = w[i];
+    return g;
+  }
+};
+
+/// Checks dL/dx and dL/dparams of a module by central differences.
+void check_gradients(Module& m, const Tensor& x, double tol = 2e-2) {
+  util::Rng rng(1234);
+  Tensor input = x;
+  Tensor y = m.forward(input);
+  const LossProbe probe(y.numel(), rng);
+  m.zero_grad();
+  const Tensor grad_in = m.backward(probe.grad(y));
+
+  const float h = 1e-2f;
+  // Input gradient.
+  for (std::size_t i = 0; i < input.numel();
+       i += std::max<std::size_t>(1, input.numel() / 17)) {
+    Tensor xp = input;
+    Tensor xm = input;
+    xp[i] += h;
+    xm[i] -= h;
+    const double fp = probe.value(m.forward(xp));
+    const double fm = probe.value(m.forward(xm));
+    const double fd = (fp - fm) / (2.0 * h);
+    EXPECT_NEAR(grad_in[i], fd, tol * std::max(1.0, std::fabs(fd)))
+        << "input grad index " << i;
+  }
+  // Parameter gradients. Restore the exact cached state first.
+  (void)m.forward(input);
+  m.zero_grad();
+  m.backward(probe.grad(m.forward(input)));
+  for (Param* p : m.params()) {
+    for (std::size_t i = 0; i < p->value.numel();
+         i += std::max<std::size_t>(1, p->value.numel() / 11)) {
+      const float saved = p->value[i];
+      p->value[i] = saved + h;
+      const double fp = probe.value(m.forward(input));
+      p->value[i] = saved - h;
+      const double fm = probe.value(m.forward(input));
+      p->value[i] = saved;
+      const double fd = (fp - fm) / (2.0 * h);
+      EXPECT_NEAR(p->grad[i], fd, tol * std::max(1.0, std::fabs(fd)))
+          << "param grad index " << i;
+    }
+  }
+}
+
+TEST(Tensor, ShapeAndAccessors) {
+  Tensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.numel(), 120u);
+  t.at(1, 2, 3, 4) = 7.0f;
+  EXPECT_EQ(t[119], 7.0f);
+  Tensor r = t.reshaped({6, 20});
+  EXPECT_EQ(r.at(5, 19), 7.0f);
+  EXPECT_THROW(t.reshaped({7}), std::invalid_argument);
+}
+
+TEST(Tensor, AddScaledAndSum) {
+  Tensor a = Tensor::full({4}, 2.0f);
+  Tensor b = Tensor::full({4}, 3.0f);
+  a.add_scaled(b, 0.5f);
+  EXPECT_DOUBLE_EQ(a.sum(), 4 * 3.5);
+  a.scale(2.0f);
+  EXPECT_DOUBLE_EQ(a.abs_max(), 7.0);
+}
+
+TEST(Gradients, Linear) {
+  util::Rng rng(1);
+  Linear lin(6, 4, rng);
+  const Tensor x = Tensor::randn({3, 6}, rng, 1.0f);
+  check_gradients(lin, x);
+}
+
+TEST(Gradients, Conv2dStride1) {
+  util::Rng rng(2);
+  Conv2d conv(2, 3, 3, 1, 1, rng);
+  const Tensor x = Tensor::randn({2, 2, 5, 5}, rng, 1.0f);
+  check_gradients(conv, x);
+}
+
+TEST(Gradients, Conv2dStride2NoBias) {
+  util::Rng rng(3);
+  Conv2d conv(3, 2, 3, 2, 1, rng, /*bias=*/false);
+  const Tensor x = Tensor::randn({1, 3, 6, 6}, rng, 1.0f);
+  check_gradients(conv, x);
+}
+
+TEST(Gradients, BatchNormTraining) {
+  util::Rng rng(4);
+  BatchNorm2d bn(3);
+  bn.set_training(true);
+  const Tensor x = Tensor::randn({4, 3, 3, 3}, rng, 1.0f);
+  check_gradients(bn, x, 5e-2);
+}
+
+TEST(Gradients, ReLU) {
+  util::Rng rng(5);
+  ReLU relu;
+  // Keep samples away from the kink at 0 so the central difference is
+  // well-defined.
+  Tensor x = Tensor::randn({2, 3, 4, 4}, rng, 1.0f);
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    if (std::fabs(x[i]) < 0.05f) x[i] = x[i] < 0.0f ? -0.1f : 0.1f;
+  }
+  check_gradients(relu, x);
+}
+
+TEST(Gradients, GlobalAvgPool) {
+  util::Rng rng(6);
+  GlobalAvgPool pool;
+  const Tensor x = Tensor::randn({2, 3, 4, 4}, rng, 1.0f);
+  check_gradients(pool, x);
+}
+
+TEST(Gradients, MaxPool) {
+  util::Rng rng(7);
+  MaxPool2d pool(2, 2);
+  // Well-separated values so the argmax is stable under +-h.
+  Tensor x({1, 1, 4, 4});
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(i % 7) * 3.0f;
+  }
+  check_gradients(pool, x);
+}
+
+TEST(Gradients, BasicBlockWithProjection) {
+  util::Rng rng(8);
+  BasicBlock block(2, 4, 2, rng);
+  block.set_training(true);
+  const Tensor x = Tensor::randn({2, 2, 6, 6}, rng, 1.0f);
+  check_gradients(block, x, 5e-2);
+}
+
+TEST(ResNet, TinyForwardShape) {
+  util::Rng rng(9);
+  ResNet net(resnet_tiny_config(2, 32), rng);
+  const Tensor x = Tensor::randn({3, 2, 16, 8}, rng, 1.0f);
+  const Tensor y = net.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int>{3, 32}));
+}
+
+TEST(ResNet, Resnet18ForwardShape) {
+  util::Rng rng(10);
+  ResNet net(resnet18_config(2, 64), rng);
+  const Tensor x = Tensor::randn({1, 2, 16, 16}, rng, 1.0f);
+  const Tensor y = net.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int>{1, 64}));
+  // 18 layers worth of parameters: conv stem + 8 blocks + fc.
+  std::size_t count = 0;
+  ResNet net2(resnet18_config(2, 64), rng);
+  for (Param* p : net2.params()) count += p->value.numel();
+  EXPECT_GT(count, 10'000'000u);  // ~11M, like torchvision resnet18
+}
+
+TEST(ResNet, FeatureInterfaceMatchesHead) {
+  util::Rng rng(11);
+  ResNet net(resnet_tiny_config(2, 8), rng);
+  net.set_training(false);
+  const Tensor x = Tensor::randn({2, 2, 8, 8}, rng, 1.0f);
+  const Tensor feats = net.forward_features(x);
+  EXPECT_EQ(feats.dim(1), net.feature_dim());
+  const Tensor y = net.head().forward(feats);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 8}));
+}
+
+TEST(Optim, SgdConvergesOnQuadratic) {
+  // min (w - 3)^2 via explicit gradient.
+  Param w(Tensor::full({1}, 0.0f));
+  Sgd sgd({&w}, 0.1);
+  for (int i = 0; i < 100; ++i) {
+    w.grad[0] = 2.0f * (w.value[0] - 3.0f);
+    sgd.step();
+  }
+  EXPECT_NEAR(w.value[0], 3.0f, 1e-3);
+}
+
+TEST(Optim, RmsPropAndAdamConverge) {
+  for (int which = 0; which < 2; ++which) {
+    Param w(Tensor::full({1}, 10.0f));
+    std::unique_ptr<Optimizer> opt;
+    if (which == 0) {
+      opt = std::make_unique<RmsProp>(std::vector<Param*>{&w}, 0.05);
+    } else {
+      opt = std::make_unique<Adam>(std::vector<Param*>{&w}, 0.1);
+    }
+    for (int i = 0; i < 500; ++i) {
+      w.grad[0] = 2.0f * (w.value[0] + 2.0f);
+      opt->step();
+    }
+    EXPECT_NEAR(w.value[0], -2.0f, 0.05) << "optimizer " << which;
+  }
+}
+
+TEST(Optim, ClipGradNorm) {
+  Param w(Tensor::full({4}, 0.0f));
+  w.grad.fill(3.0f);  // norm 6
+  Sgd sgd({&w}, 0.1);
+  const double norm = sgd.clip_grad_norm(3.0);
+  EXPECT_NEAR(norm, 6.0, 1e-6);
+  double clipped_sq = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) clipped_sq += w.grad[i] * w.grad[i];
+  EXPECT_NEAR(std::sqrt(clipped_sq), 3.0, 1e-5);
+}
+
+TEST(EndToEnd, TinyNetFitsLinearMap) {
+  // A tiny conv net should be able to regress the total count of ones
+  // in a 2-channel binary image.
+  util::Rng rng(21);
+  ResNet net(resnet_tiny_config(2, 1), rng);
+  net.set_training(true);
+  Adam opt(net.params(), 3e-3);
+
+  double final_loss = 1e9;
+  for (int iter = 0; iter < 150; ++iter) {
+    Tensor x({8, 2, 6, 6});
+    Tensor target({8, 1});
+    for (int b = 0; b < 8; ++b) {
+      float total = 0.0f;
+      for (int c = 0; c < 2; ++c) {
+        for (int i = 0; i < 6; ++i) {
+          for (int j = 0; j < 6; ++j) {
+            const float v = rng.next_bool() ? 1.0f : 0.0f;
+            x.at(b, c, i, j) = v;
+            total += v;
+          }
+        }
+      }
+      target.at(b, 0) = total / 36.0f;  // keep the scale tame
+    }
+    net.zero_grad();
+    const Tensor y = net.forward(x);
+    Tensor grad(y.shape());
+    double loss = 0.0;
+    for (int b = 0; b < 8; ++b) {
+      const float d = y.at(b, 0) - target.at(b, 0);
+      loss += 0.5 * d * d / 8.0;
+      grad.at(b, 0) = d / 8.0f;
+    }
+    net.backward(grad);
+    opt.step();
+    final_loss = loss;
+  }
+  EXPECT_LT(final_loss, 0.05);
+}
+
+}  // namespace
+}  // namespace rlmul::nn

@@ -1,0 +1,90 @@
+// Pareto-front and hypervolume tests (Figs 13/14 machinery).
+
+#include "pareto/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace rlmul::pareto {
+namespace {
+
+TEST(Dominates, StrictAndWeak) {
+  EXPECT_TRUE(dominates({1, 1}, {2, 2}));
+  EXPECT_TRUE(dominates({1, 2}, {2, 2}));
+  EXPECT_FALSE(dominates({2, 2}, {2, 2}));  // equal: no strict improvement
+  EXPECT_FALSE(dominates({1, 3}, {2, 2}));  // trade-off
+}
+
+TEST(Front, InsertEvictsDominated) {
+  Front f;
+  EXPECT_TRUE(f.insert({5, 5}));
+  EXPECT_TRUE(f.insert({3, 7}));
+  EXPECT_TRUE(f.insert({2, 2}));  // dominates both
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_FALSE(f.insert({2, 2}));  // duplicate
+  EXPECT_FALSE(f.insert({3, 3}));  // dominated
+}
+
+TEST(Front, SortedIsMonotone) {
+  Front f;
+  util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    f.insert({rng.next_double() * 100, rng.next_double() * 100});
+  }
+  const auto pts = f.sorted();
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GT(pts[i].x, pts[i - 1].x);
+    EXPECT_LT(pts[i].y, pts[i - 1].y);
+  }
+}
+
+TEST(Front, CoveredQueries) {
+  Front f;
+  f.insert({2, 2});
+  EXPECT_TRUE(f.covered({3, 3}));
+  EXPECT_TRUE(f.covered({2, 2}));
+  EXPECT_FALSE(f.covered({1, 3}));
+}
+
+TEST(ParetoFilter, KeepsOnlyNonDominated) {
+  const auto out =
+      pareto_filter({{1, 5}, {2, 4}, {3, 3}, {2, 6}, {4, 4}, {0.5, 7}});
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].x, 0.5);
+  EXPECT_EQ(out[3].x, 3.0);
+}
+
+TEST(Hypervolume, SinglePointRectangle) {
+  EXPECT_DOUBLE_EQ(hypervolume({{2, 3}}, 10, 10), 8.0 * 7.0);
+}
+
+TEST(Hypervolume, TwoPointStaircase) {
+  // (2,6) and (4,3) vs ref (10,10): 8*4 + 6*3 = 50.
+  EXPECT_DOUBLE_EQ(hypervolume({{2, 6}, {4, 3}}, 10, 10), 50.0);
+}
+
+TEST(Hypervolume, DominatedPointsDoNotChangeVolume) {
+  const double base = hypervolume({{2, 6}, {4, 3}}, 10, 10);
+  EXPECT_DOUBLE_EQ(hypervolume({{2, 6}, {4, 3}, {5, 7}}, 10, 10), base);
+}
+
+TEST(Hypervolume, PointsBeyondReferenceAreClipped) {
+  EXPECT_DOUBLE_EQ(hypervolume({{12, 1}, {2, 3}}, 10, 10), 8.0 * 7.0);
+}
+
+TEST(Hypervolume, MonotoneUnderImprovement) {
+  const double worse = hypervolume({{3, 3}}, 10, 10);
+  const double better = hypervolume({{2, 2}}, 10, 10);
+  EXPECT_GT(better, worse);
+  // Adding any new non-dominated point can only grow the volume.
+  const double extended = hypervolume({{2, 2}, {1, 5}}, 10, 10);
+  EXPECT_GE(extended, better);
+}
+
+TEST(Hypervolume, EmptyFrontIsZero) {
+  EXPECT_DOUBLE_EQ(hypervolume({}, 10, 10), 0.0);
+}
+
+}  // namespace
+}  // namespace rlmul::pareto

@@ -1,0 +1,155 @@
+// Structural properties of the partial-product generators: row/height
+// formulas, Booth digit counts, Baugh-Wooley constant placement, MAC
+// height bumps — the static facts the CT machinery builds on.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ct/compressor_tree.hpp"
+#include "ppg/ppg.hpp"
+
+namespace rlmul::ppg {
+namespace {
+
+int total_bits(const ct::ColumnHeights& h) {
+  return std::accumulate(h.begin(), h.end(), 0);
+}
+
+TEST(AndPpg, HeightsAreTheParallelogram) {
+  for (int n : {2, 4, 8, 16, 24, 32}) {
+    const auto h = pp_heights({n, PpgKind::kAnd, false});
+    ASSERT_EQ(static_cast<int>(h.size()), 2 * n);
+    for (int j = 0; j < 2 * n; ++j) {
+      EXPECT_EQ(h[static_cast<std::size_t>(j)],
+                std::max(0, std::min({j + 1, n, 2 * n - 1 - j})))
+          << "n=" << n << " column " << j;
+    }
+  }
+}
+
+TEST(BoothPpg, RowCountIsHalved) {
+  // Radix-4 Booth: the tallest column holds ~N/2+1 rows of magnitude
+  // bits (plus at most a neg and a sign bit), versus N for AND-based.
+  for (int n : {8, 16, 32}) {
+    const auto booth = pp_heights({n, PpgKind::kBooth, false});
+    const auto plain = pp_heights({n, PpgKind::kAnd, false});
+    const int max_booth = *std::max_element(booth.begin(), booth.end());
+    const int max_and = *std::max_element(plain.begin(), plain.end());
+    EXPECT_LE(max_booth, n / 2 + 3) << "n=" << n;
+    EXPECT_LT(max_booth, max_and) << "n=" << n;
+  }
+}
+
+TEST(BoothPpg, TotalBitsBeatAndAtWidth) {
+  // Fewer rows means fewer bits to compress from 16 bits up.
+  for (int n : {16, 32}) {
+    EXPECT_LT(total_bits(pp_heights({n, PpgKind::kBooth, false})),
+              total_bits(pp_heights({n, PpgKind::kAnd, false})))
+        << "n=" << n;
+  }
+}
+
+TEST(BaughWooley, BitBudget) {
+  // (N-1)^2 positive products + 2(N-1) inverted terms + 1 sign product
+  // + 2 constant ones.
+  for (int n : {4, 8, 16}) {
+    const auto h = pp_heights({n, PpgKind::kBaughWooley, false});
+    EXPECT_EQ(total_bits(h), (n - 1) * (n - 1) + 2 * (n - 1) + 1 + 2)
+        << "n=" << n;
+  }
+}
+
+TEST(MacVariant, AddsExactlyOneBitPerColumn) {
+  for (const auto kind :
+       {PpgKind::kAnd, PpgKind::kBooth, PpgKind::kBaughWooley}) {
+    const auto plain = pp_heights({8, kind, false});
+    const auto mac = pp_heights({8, kind, true});
+    ASSERT_EQ(plain.size(), mac.size());
+    for (std::size_t j = 0; j < plain.size(); ++j) {
+      EXPECT_EQ(mac[j], plain[j] + 1)
+          << ppg_kind_name(kind) << " column " << j;
+    }
+  }
+}
+
+TEST(Heights, MatchEmittedSignalsForEverySpec) {
+  // pp_heights dry-runs the emitter, so this can only fail if the two
+  // code paths diverge — the invariant the builders rely on.
+  for (int bits : {3, 5, 8}) {
+    for (const auto kind :
+         {PpgKind::kAnd, PpgKind::kBooth, PpgKind::kBaughWooley}) {
+      for (const bool mac : {false, true}) {
+        const MultiplierSpec spec{bits, kind, mac};
+        netlist::Netlist nl;
+        netlist::LogicBuilder lb(nl);
+        const auto cols = build_ppg(lb, spec);
+        const auto heights = pp_heights(spec);
+        ASSERT_EQ(cols.size(), heights.size());
+        for (std::size_t j = 0; j < cols.size(); ++j) {
+          EXPECT_EQ(static_cast<int>(cols[j].size()), heights[j])
+              << bits << "b " << ppg_kind_name(kind) << " mac=" << mac
+              << " col " << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(InitialTree, AlwaysLegalForEverySpec) {
+  for (int bits : {2, 3, 4, 7, 8, 12, 16}) {
+    for (const auto kind :
+         {PpgKind::kAnd, PpgKind::kBooth, PpgKind::kBaughWooley}) {
+      for (const bool mac : {false, true}) {
+        const MultiplierSpec spec{bits, kind, mac};
+        EXPECT_TRUE(initial_tree(spec).legal())
+            << bits << "b " << ppg_kind_name(kind) << " mac=" << mac;
+      }
+    }
+  }
+}
+
+// -- Legacy tree count formulas ----------------------------------------------
+
+TEST(Dadda, KnownCompressorCountsForAndMultipliers) {
+  // Classic result: an NxN Dadda tree uses N^2 - 4N + 3 full adders and
+  // N - 1 half adders.
+  for (int n : {4, 6, 8, 12, 16}) {
+    const auto tree =
+        ct::dadda_tree(pp_heights({n, PpgKind::kAnd, false}));
+    EXPECT_EQ(tree.total_c32(), n * n - 4 * n + 3) << "n=" << n;
+    EXPECT_EQ(tree.total_c22(), n - 1) << "n=" << n;
+  }
+}
+
+TEST(Wallace, UsesAtLeastDaddasBudget) {
+  for (int n : {4, 8, 16}) {
+    const auto h = pp_heights({n, PpgKind::kAnd, false});
+    const auto wallace = ct::wallace_tree(h);
+    const auto dadda = ct::dadda_tree(h);
+    // Wallace compresses eagerly: at least as many compressors overall,
+    // and notably more half adders.
+    EXPECT_GE(wallace.total_c32() + wallace.total_c22(),
+              dadda.total_c32() + dadda.total_c22())
+        << "n=" << n;
+    EXPECT_GT(wallace.total_c22(), dadda.total_c22()) << "n=" << n;
+  }
+}
+
+TEST(LegacyTrees, StageCountsAreLogarithmic) {
+  // Reduction depth grows like log_{3/2}(height).
+  const struct {
+    int n;
+    int max_stages;
+  } expected[] = {{4, 3}, {8, 5}, {16, 7}, {32, 9}};
+  for (const auto& e : expected) {
+    const auto h = pp_heights({e.n, PpgKind::kAnd, false});
+    EXPECT_LE(ct::stage_count(ct::dadda_tree(h)), e.max_stages)
+        << "n=" << e.n;
+    EXPECT_LE(ct::stage_count(ct::wallace_tree(h)), e.max_stages)
+        << "n=" << e.n;
+  }
+}
+
+}  // namespace
+}  // namespace rlmul::ppg

@@ -1,0 +1,294 @@
+// RL stack tests: tensor encoding, environment semantics (reward =
+// cost improvement, masks, Pareto archive), replay buffer, masked
+// softmax, and smoke training runs for both agents.
+
+#include <gtest/gtest.h>
+
+#include "ppg/ppg.hpp"
+#include "rl/a2c.hpp"
+#include "rl/dqn.hpp"
+#include "rl/env.hpp"
+
+namespace rlmul::rl {
+namespace {
+
+using ppg::MultiplierSpec;
+using ppg::PpgKind;
+
+MultiplierSpec small_spec() { return {4, PpgKind::kAnd, false}; }
+
+TEST(Encode, ShapeAndContents) {
+  const auto tree = ppg::initial_tree(small_spec());
+  const auto sa = ct::assign_stages(tree);
+  const nt::Tensor t = encode_tree(tree, 6);
+  EXPECT_EQ(t.shape(), (std::vector<int>{1, kStateChannels, 8, 6}));
+  // Channel sums must reproduce the matrix representation M.
+  for (int j = 0; j < tree.columns(); ++j) {
+    float s32 = 0.0f;
+    float s22 = 0.0f;
+    for (int s = 0; s < 6; ++s) {
+      s32 += t.at(0, 0, j, s);
+      s22 += t.at(0, 1, j, s);
+    }
+    EXPECT_EQ(static_cast<int>(s32), tree.c32[j]);
+    EXPECT_EQ(static_cast<int>(s22), tree.c22[j]);
+  }
+  EXPECT_LE(sa.stages, 6);
+}
+
+TEST(Encode, ClippedStagesFoldIntoLastPlane) {
+  const auto tree = ppg::initial_tree({8, PpgKind::kAnd, false});
+  const nt::Tensor narrow = encode_tree(tree, 2);
+  // Total compressor mass is preserved even when clipping.
+  double total = 0.0;
+  for (std::size_t i = 0; i < narrow.numel(); ++i) total += narrow[i];
+  EXPECT_EQ(static_cast<int>(total),
+            tree.total_c32() + tree.total_c22());
+}
+
+TEST(Encode, BatchStacksIndividualEncodings) {
+  const auto t1 = ppg::initial_tree(small_spec());
+  const auto t2 = ct::dadda_tree(ppg::pp_heights(small_spec()));
+  const nt::Tensor batch = encode_batch({t1, t2}, 5);
+  EXPECT_EQ(batch.dim(0), 2);
+  const nt::Tensor single = encode_tree(t2, 5);
+  for (std::size_t i = 0; i < single.numel(); ++i) {
+    EXPECT_EQ(batch[single.numel() + i], single[i]);
+  }
+}
+
+TEST(Env, ResetRestoresInitialState) {
+  synth::DesignEvaluator ev(small_spec());
+  MultiplierEnv env(ev, EnvConfig{});
+  const auto initial = env.tree();
+  const double initial_cost = env.current_cost();
+  const auto mask = env.mask();
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i] != 0) {
+      env.step(static_cast<int>(i));
+      break;
+    }
+  }
+  EXPECT_NE(env.tree(), initial);
+  env.reset();
+  EXPECT_EQ(env.tree(), initial);
+  EXPECT_DOUBLE_EQ(env.current_cost(), initial_cost);
+}
+
+TEST(Env, RewardIsCostDelta) {
+  synth::DesignEvaluator ev(small_spec());
+  MultiplierEnv env(ev, EnvConfig{});
+  const double before = env.current_cost();
+  const auto mask = env.mask();
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i] != 0) {
+      const auto sr = env.step(static_cast<int>(i));
+      EXPECT_NEAR(sr.reward, before - sr.cost, 1e-12);
+      EXPECT_NEAR(env.current_cost(), sr.cost, 1e-12);
+      return;
+    }
+  }
+  FAIL() << "no legal action";
+}
+
+TEST(Env, IllegalActionThrows) {
+  synth::DesignEvaluator ev(small_spec());
+  MultiplierEnv env(ev, EnvConfig{});
+  const auto mask = env.mask();
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i] == 0) {
+      EXPECT_THROW(env.step(static_cast<int>(i)), std::invalid_argument);
+      return;
+    }
+  }
+}
+
+TEST(Env, TracksBestDesign) {
+  synth::DesignEvaluator ev(small_spec());
+  MultiplierEnv env(ev, EnvConfig{});
+  util::Rng rng(3);
+  double best = env.best_cost();
+  for (int step = 0; step < 10; ++step) {
+    const auto mask = env.mask();
+    std::vector<double> w(mask.size());
+    for (std::size_t i = 0; i < mask.size(); ++i) w[i] = mask[i];
+    const auto pick = rng.sample_discrete(w);
+    if (pick >= mask.size()) break;
+    env.step(static_cast<int>(pick));
+    best = std::min(best, env.current_cost());
+  }
+  EXPECT_NEAR(env.best_cost(), best, 1e-12);
+  EXPECT_TRUE(env.best_tree().legal());
+}
+
+TEST(Env, ObservationDepthStaysBoundedWithoutPruning) {
+  // Regression: max_stages = huge (pruning off) must not blow up the
+  // observation tensor; deep stages fold into the last plane instead.
+  synth::DesignEvaluator ev(small_spec());
+  EnvConfig cfg;
+  cfg.max_stages = 1000;
+  MultiplierEnv env(ev, cfg);
+  EXPECT_LE(env.stage_pad(), 16);
+  EXPECT_EQ(env.observe().dim(3), env.stage_pad());
+}
+
+TEST(Env, StagePruningBoundsVisitedStates) {
+  synth::DesignEvaluator ev(small_spec());
+  EnvConfig cfg;
+  cfg.max_stages = ct::stage_count(ppg::initial_tree(small_spec()));
+  MultiplierEnv env(ev, cfg);
+  util::Rng rng(4);
+  for (int step = 0; step < 10; ++step) {
+    const auto mask = env.mask();
+    std::vector<double> w(mask.size());
+    for (std::size_t i = 0; i < mask.size(); ++i) w[i] = mask[i];
+    const auto pick = rng.sample_discrete(w);
+    if (pick >= mask.size()) break;
+    env.step(static_cast<int>(pick));
+    EXPECT_LE(ct::stage_count(env.tree()), cfg.max_stages);
+  }
+}
+
+TEST(ReplayBuffer, WrapsAtCapacity) {
+  ReplayBuffer buf(3);
+  for (int i = 0; i < 5; ++i) {
+    Transition t;
+    t.action = i;
+    buf.push(std::move(t));
+  }
+  EXPECT_EQ(buf.size(), 3u);
+  util::Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_GE(buf.sample(rng).action, 2);  // 0 and 1 were evicted
+  }
+}
+
+TEST(MaskedSoftmax, NormalizesOverLegalSupport) {
+  const float logits[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+  const auto p = masked_softmax(logits, {1, 0, 1, 0});
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+  EXPECT_DOUBLE_EQ(p[3], 0.0);
+  EXPECT_NEAR(p[0] + p[2], 1.0, 1e-12);
+  EXPECT_GT(p[2], p[0]);
+}
+
+TEST(MaskedSoftmax, AllMaskedGivesZeros) {
+  const float logits[2] = {1.0f, 2.0f};
+  const auto p = masked_softmax(logits, {0, 0});
+  EXPECT_DOUBLE_EQ(p[0] + p[1], 0.0);
+}
+
+TEST(MaskedSoftmax, NumericallyStableForLargeLogits) {
+  const float logits[2] = {1000.0f, 1001.0f};
+  const auto p = masked_softmax(logits, {1, 1});
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-9);
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(Dqn, SmokeRunFindsNoWorseThanInitial) {
+  synth::DesignEvaluator ev(small_spec());
+  DqnOptions opts;
+  opts.steps = 25;
+  opts.warmup = 8;
+  opts.batch_size = 4;
+  opts.seed = 7;
+  const TrainResult res = train_dqn(ev, opts);
+  const double initial =
+      ev.cost(ev.evaluate(ppg::initial_tree(small_spec())), 1.0, 1.0);
+  EXPECT_LE(res.best_cost, initial + 1e-9);
+  EXPECT_TRUE(res.best_tree.legal());
+  EXPECT_EQ(res.trajectory.size(), 25u);
+  EXPECT_GT(res.eda_calls, 0u);
+}
+
+TEST(Dqn, TargetNetworkVariantRuns) {
+  synth::DesignEvaluator ev(small_spec());
+  DqnOptions opts;
+  opts.steps = 15;
+  opts.warmup = 4;
+  opts.batch_size = 4;
+  opts.target_sync = 5;
+  const TrainResult res = train_dqn(ev, opts);
+  EXPECT_TRUE(res.best_tree.legal());
+}
+
+TEST(Dqn, DoubleDqnVariantRuns) {
+  synth::DesignEvaluator ev(small_spec());
+  DqnOptions opts;
+  opts.steps = 15;
+  opts.warmup = 4;
+  opts.batch_size = 4;
+  opts.target_sync = 5;
+  opts.double_dqn = true;
+  const TrainResult res = train_dqn(ev, opts);
+  EXPECT_TRUE(res.best_tree.legal());
+  const double initial =
+      ev.cost(ev.evaluate(ppg::initial_tree(small_spec())), 1.0, 1.0);
+  EXPECT_LE(res.best_cost, initial + 1e-9);
+}
+
+TEST(A2c, SmokeRunWithParallelEnvs) {
+  synth::DesignEvaluator ev(small_spec());
+  A2cOptions opts;
+  opts.steps = 12;
+  opts.num_threads = 3;
+  opts.n_step = 4;
+  opts.seed = 11;
+  const TrainResult res = train_a2c(ev, opts);
+  const double initial =
+      ev.cost(ev.evaluate(ppg::initial_tree(small_spec())), 1.0, 1.0);
+  EXPECT_LE(res.best_cost, initial + 1e-9);
+  EXPECT_TRUE(res.best_tree.legal());
+  EXPECT_EQ(res.trajectory.size(), 12u);
+}
+
+TEST(A2c, SingleThreadDegenerate) {
+  synth::DesignEvaluator ev(small_spec());
+  A2cOptions opts;
+  opts.steps = 6;
+  opts.num_threads = 1;
+  opts.n_step = 3;
+  const TrainResult res = train_a2c(ev, opts);
+  EXPECT_EQ(res.trajectory.size(), 6u);
+}
+
+TEST(A2c, EpisodeResetsAndExtensionActionsRun) {
+  synth::DesignEvaluator ev(small_spec());
+  A2cOptions opts;
+  opts.steps = 12;
+  opts.num_threads = 2;
+  opts.n_step = 3;
+  opts.episode_length = 6;
+  opts.enable_42 = true;
+  const TrainResult res = train_a2c(ev, opts);
+  EXPECT_TRUE(res.best_tree.legal());
+  EXPECT_EQ(res.trajectory.size(), 12u);
+  ASSERT_NE(res.network, nullptr);
+}
+
+TEST(TrainResult, ExposesTrainedNetworkForDeployment) {
+  synth::DesignEvaluator ev(small_spec());
+  DqnOptions opts;
+  opts.steps = 10;
+  opts.warmup = 4;
+  opts.batch_size = 4;
+  const TrainResult res = train_dqn(ev, opts);
+  ASSERT_NE(res.network, nullptr);
+  const TrainResult rollout = greedy_rollout(ev, *res.network, 5);
+  EXPECT_TRUE(rollout.best_tree.legal());
+}
+
+TEST(Search, EvaluatorFrontierGrowsDuringTraining) {
+  synth::DesignEvaluator ev(small_spec());
+  const std::size_t before = ev.num_unique_evaluations();
+  DqnOptions opts;
+  opts.steps = 12;
+  opts.warmup = 4;
+  opts.batch_size = 4;
+  train_dqn(ev, opts);
+  EXPECT_GT(ev.num_unique_evaluations(), before);
+  EXPECT_GE(ev.frontier().size(), 1u);
+}
+
+}  // namespace
+}  // namespace rlmul::rl

@@ -1,0 +1,114 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace rlmul::util {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (std::uint64_t n : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(n), n);
+    }
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, SampleDiscreteRespectsWeights) {
+  Rng rng(19);
+  std::vector<double> w{0.0, 3.0, 1.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) {
+    const auto idx = rng.sample_discrete(w);
+    ASSERT_LT(idx, 3u);
+    ++counts[idx];
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[2], 3.0, 0.4);
+}
+
+TEST(Rng, SampleDiscreteZeroMass) {
+  Rng rng(23);
+  std::vector<double> w{0.0, 0.0};
+  EXPECT_EQ(rng.sample_discrete(w), w.size());
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng parent(29);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next() == child.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace rlmul::util

@@ -1,0 +1,88 @@
+// Simulated-annealing baseline tests.
+
+#include "baselines/sa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppg/ppg.hpp"
+
+namespace rlmul::baselines {
+namespace {
+
+using ppg::MultiplierSpec;
+using ppg::PpgKind;
+
+TEST(Sa, ImprovesOrMatchesInitialCost) {
+  const MultiplierSpec spec{8, PpgKind::kAnd, false};
+  synth::DesignEvaluator ev(spec);
+  const double initial =
+      ev.cost(ev.evaluate(ppg::initial_tree(spec)), 1.0, 1.0);
+  SaOptions opts;
+  opts.steps = 40;
+  opts.seed = 3;
+  const SaResult res = simulated_annealing(ev, opts);
+  EXPECT_LE(res.best_cost, initial + 1e-9);
+  EXPECT_TRUE(res.best_tree.legal());
+}
+
+TEST(Sa, TrajectoriesHaveRequestedLength) {
+  const MultiplierSpec spec{4, PpgKind::kAnd, false};
+  synth::DesignEvaluator ev(spec);
+  SaOptions opts;
+  opts.steps = 25;
+  const SaResult res = simulated_annealing(ev, opts);
+  EXPECT_EQ(res.trajectory.size(), 25u);
+  EXPECT_EQ(res.best_trajectory.size(), 25u);
+  // Best-so-far is monotone non-increasing.
+  for (std::size_t i = 1; i < res.best_trajectory.size(); ++i) {
+    EXPECT_LE(res.best_trajectory[i], res.best_trajectory[i - 1] + 1e-12);
+  }
+}
+
+TEST(Sa, DeterministicForFixedSeed) {
+  const MultiplierSpec spec{4, PpgKind::kAnd, false};
+  SaOptions opts;
+  opts.steps = 15;
+  opts.seed = 9;
+  synth::DesignEvaluator ev1(spec);
+  synth::DesignEvaluator ev2(spec);
+  const SaResult a = simulated_annealing(ev1, opts);
+  const SaResult b = simulated_annealing(ev2, opts);
+  EXPECT_EQ(a.trajectory, b.trajectory);
+  EXPECT_EQ(a.best_tree, b.best_tree);
+}
+
+TEST(Sa, RespectsStagePruning) {
+  const MultiplierSpec spec{8, PpgKind::kAnd, false};
+  synth::DesignEvaluator ev(spec);
+  const int bound = ct::stage_count(ppg::initial_tree(spec)) + 1;
+  SaOptions opts;
+  opts.steps = 30;
+  opts.max_stages = bound;
+  const SaResult res = simulated_annealing(ev, opts);
+  EXPECT_LE(ct::stage_count(res.best_tree), bound);
+}
+
+TEST(Sa, WeightsChangeTheOutcomePreference) {
+  const MultiplierSpec spec{8, PpgKind::kAnd, false};
+  synth::DesignEvaluator ev(spec);
+  SaOptions area_opts;
+  area_opts.steps = 60;
+  area_opts.w_area = 1.0;
+  area_opts.w_delay = 0.05;
+  area_opts.seed = 21;
+  SaOptions delay_opts = area_opts;
+  delay_opts.w_area = 0.05;
+  delay_opts.w_delay = 1.0;
+  const SaResult area_run = simulated_annealing(ev, area_opts);
+  const SaResult delay_run = simulated_annealing(ev, delay_opts);
+  const auto ea = ev.evaluate(area_run.best_tree);
+  const auto ed = ev.evaluate(delay_run.best_tree);
+  // The area-weighted run should not end with strictly more area AND
+  // the delay-weighted run should not end with strictly more delay.
+  EXPECT_LE(ea.sum_area, ed.sum_area * 1.10);
+  EXPECT_LE(ed.sum_delay, ea.sum_delay * 1.10);
+}
+
+}  // namespace
+}  // namespace rlmul::baselines

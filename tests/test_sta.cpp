@@ -1,0 +1,157 @@
+// Static-timing tests: arrivals, loads, critical paths, sequential
+// analysis, and monotonicity properties the sizing engine relies on.
+
+#include "sta/sta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/cell_library.hpp"
+#include "ppg/ppg.hpp"
+
+namespace rlmul::sta {
+namespace {
+
+using netlist::CellKind;
+using netlist::CellLibrary;
+using netlist::GateId;
+using netlist::NetId;
+using netlist::Netlist;
+
+TEST(Sta, SingleInverterDelay) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const GateId g = nl.add_gate(CellKind::kInv, {a});
+  const NetId out = nl.gates()[static_cast<std::size_t>(g)].outputs[0];
+  nl.mark_output(out, "y");
+  const CellLibrary& lib = CellLibrary::nangate45();
+  const auto rep = analyze(nl, lib);
+  const double expected = lib.intrinsic(CellKind::kInv, 0, 0) +
+                          lib.drive_res(CellKind::kInv, 0) *
+                              lib.output_load_ff();
+  EXPECT_NEAR(rep.max_po_arrival_ps, expected, 1e-9);
+  ASSERT_EQ(rep.critical_path.size(), 1u);
+  EXPECT_EQ(rep.critical_path[0], g);
+}
+
+TEST(Sta, ChainDelayAccumulates) {
+  Netlist nl;
+  NetId cur = nl.add_input("a");
+  for (int i = 0; i < 5; ++i) {
+    const GateId g = nl.add_gate(CellKind::kInv, {cur});
+    cur = nl.gates()[static_cast<std::size_t>(g)].outputs[0];
+  }
+  nl.mark_output(cur, "y");
+  const auto rep = analyze(nl, CellLibrary::nangate45());
+  EXPECT_EQ(rep.critical_path.size(), 5u);
+  EXPECT_GT(rep.max_po_arrival_ps, 5 * 6.0);  // 5 intrinsic delays min
+}
+
+TEST(Sta, FanoutIncreasesLoadAndDelay) {
+  const CellLibrary& lib = CellLibrary::nangate45();
+  auto delay_with_fanout = [&](int fanout) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const GateId g = nl.add_gate(CellKind::kInv, {a});
+    const NetId mid = nl.gates()[static_cast<std::size_t>(g)].outputs[0];
+    for (int i = 0; i < fanout; ++i) {
+      const GateId s = nl.add_gate(CellKind::kBuf, {mid});
+      nl.mark_output(nl.gates()[static_cast<std::size_t>(s)].outputs[0],
+                     "y" + std::to_string(i));
+    }
+    return analyze(nl, lib).max_po_arrival_ps;
+  };
+  EXPECT_LT(delay_with_fanout(1), delay_with_fanout(4));
+  EXPECT_LT(delay_with_fanout(4), delay_with_fanout(16));
+}
+
+TEST(Sta, UpsizingDriverReducesItsStageDelay) {
+  const CellLibrary& lib = CellLibrary::nangate45();
+  auto delay_with_variant = [&](int variant) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const GateId g = nl.add_gate(CellKind::kInv, {a});
+    nl.gates()[static_cast<std::size_t>(g)].variant = variant;
+    const NetId mid = nl.gates()[static_cast<std::size_t>(g)].outputs[0];
+    // Heavy load: many sinks.
+    for (int i = 0; i < 12; ++i) {
+      const GateId s = nl.add_gate(CellKind::kBuf, {mid});
+      nl.mark_output(nl.gates()[static_cast<std::size_t>(s)].outputs[0],
+                     "y" + std::to_string(i));
+    }
+    return analyze(nl, lib).max_po_arrival_ps;
+  };
+  EXPECT_GT(delay_with_variant(0), delay_with_variant(2));
+}
+
+TEST(Sta, SequentialMinPeriod) {
+  Netlist nl;
+  const CellLibrary& lib = CellLibrary::nangate45();
+  // in -> DFF -> INV -> DFF: min period = clk2q + inv + setup.
+  const NetId d0 = nl.add_input("d");
+  const GateId ff0 = nl.add_gate(CellKind::kDff, {d0});
+  const NetId q0 = nl.gates()[static_cast<std::size_t>(ff0)].outputs[0];
+  const GateId inv = nl.add_gate(CellKind::kInv, {q0});
+  const NetId n1 = nl.gates()[static_cast<std::size_t>(inv)].outputs[0];
+  const GateId ff1 = nl.add_gate(CellKind::kDff, {n1});
+  nl.mark_output(nl.gates()[static_cast<std::size_t>(ff1)].outputs[0], "q");
+  const auto rep = analyze(nl, lib);
+  EXPECT_GT(rep.min_clock_period_ps,
+            lib.intrinsic(CellKind::kDff, 0, 0) + lib.setup(CellKind::kDff));
+  EXPECT_EQ(rep.critical_ps,
+            std::max(rep.max_po_arrival_ps, rep.min_clock_period_ps));
+}
+
+TEST(Sta, MultiplierDelayGrowsWithWidth) {
+  using ppg::MultiplierSpec;
+  auto delay_of = [&](int bits) {
+    const MultiplierSpec spec{bits, ppg::PpgKind::kAnd, false};
+    auto nl = ppg::build_multiplier(spec, ppg::initial_tree(spec),
+                                    netlist::CpaKind::kRippleCarry);
+    return analyze(nl, CellLibrary::nangate45()).max_po_arrival_ps;
+  };
+  const double d4 = delay_of(4);
+  const double d8 = delay_of(8);
+  const double d16 = delay_of(16);
+  EXPECT_LT(d4, d8);
+  EXPECT_LT(d8, d16);
+}
+
+TEST(Sta, KoggeStoneFasterThanRippleAt16Bits) {
+  using ppg::MultiplierSpec;
+  const MultiplierSpec spec{16, ppg::PpgKind::kAnd, false};
+  const auto tree = ppg::initial_tree(spec);
+  auto ripple = ppg::build_multiplier(spec, tree,
+                                      netlist::CpaKind::kRippleCarry);
+  auto ks = ppg::build_multiplier(spec, tree, netlist::CpaKind::kKoggeStone);
+  const CellLibrary& lib = CellLibrary::nangate45();
+  EXPECT_LT(analyze(ks, lib).max_po_arrival_ps,
+            analyze(ripple, lib).max_po_arrival_ps);
+  // ... at an area premium:
+  EXPECT_GT(netlist::netlist_area(ks, lib),
+            netlist::netlist_area(ripple, lib));
+}
+
+TEST(Sta, CriticalPathIsConnected) {
+  using ppg::MultiplierSpec;
+  const MultiplierSpec spec{8, ppg::PpgKind::kAnd, false};
+  auto nl = ppg::build_multiplier(spec, ppg::initial_tree(spec),
+                                  netlist::CpaKind::kRippleCarry);
+  const auto rep = analyze(nl, CellLibrary::nangate45());
+  ASSERT_GE(rep.critical_path.size(), 3u);
+  // Consecutive gates on the path must be connected by a net.
+  for (std::size_t i = 0; i + 1 < rep.critical_path.size(); ++i) {
+    const auto& g1 = nl.gates()[static_cast<std::size_t>(rep.critical_path[i])];
+    const auto& g2 =
+        nl.gates()[static_cast<std::size_t>(rep.critical_path[i + 1])];
+    bool connected = false;
+    for (NetId out : g1.outputs) {
+      for (NetId in : g2.inputs) {
+        if (out == in) connected = true;
+      }
+    }
+    EXPECT_TRUE(connected) << "path hop " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rlmul::sta

@@ -1,0 +1,59 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rlmul::util {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+  EXPECT_NEAR(stddev(xs), 1.1180339887, 1e-9);
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(variance({}), 0.0);
+  EXPECT_EQ(pearson({}, {}), 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 17.5);
+}
+
+TEST(Stats, QuantileSingleElement) {
+  EXPECT_DOUBLE_EQ(quantile({5.0}, 0.7), 5.0);
+}
+
+TEST(Stats, BoxStatsOrdering) {
+  std::vector<double> xs{5, 1, 4, 2, 3, 9, 0};
+  const BoxStats b = box_stats(xs);
+  EXPECT_DOUBLE_EQ(b.min, 0.0);
+  EXPECT_DOUBLE_EQ(b.max, 9.0);
+  EXPECT_LE(b.q1, b.median);
+  EXPECT_LE(b.median, b.q3);
+  EXPECT_DOUBLE_EQ(b.median, 3.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  std::vector<double> xs{1, 2, 3, 4};
+  std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerate) {
+  std::vector<double> xs{1, 1, 1};
+  std::vector<double> ys{2, 3, 4};
+  EXPECT_EQ(pearson(xs, ys), 0.0);
+  EXPECT_EQ(pearson(xs, {1.0}), 0.0);  // size mismatch
+}
+
+}  // namespace
+}  // namespace rlmul::util

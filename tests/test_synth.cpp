@@ -1,0 +1,197 @@
+// Synthesis-flow tests: sizing against target delays, CPA selection,
+// the area<->delay trade-off shape the reward depends on, the power
+// model, and the multi-constraint design evaluator.
+
+#include "synth/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppg/ppg.hpp"
+#include "sta/sta.hpp"
+#include "synth/evaluator.hpp"
+
+namespace rlmul::synth {
+namespace {
+
+using netlist::CellLibrary;
+using netlist::CpaKind;
+using ppg::MultiplierSpec;
+using ppg::PpgKind;
+
+TEST(Synth, TighterTargetCostsArea) {
+  const MultiplierSpec spec{8, PpgKind::kAnd, false};
+  const auto tree = ppg::initial_tree(spec);
+  const auto loose = synthesize_design(spec, tree, 2.0);
+  const auto tight = synthesize_design(spec, tree, loose.delay_ns * 0.55);
+  EXPECT_LE(tight.delay_ns, loose.delay_ns);
+  EXPECT_GE(tight.area_um2, loose.area_um2);
+}
+
+TEST(Synth, LooseTargetIsMet) {
+  const MultiplierSpec spec{8, PpgKind::kAnd, false};
+  const auto res = synthesize_design(spec, ppg::initial_tree(spec), 5.0);
+  EXPECT_TRUE(res.met_target);
+  EXPECT_EQ(res.cpa, CpaKind::kRippleCarry);  // min-area CPA when relaxed
+}
+
+TEST(Synth, ImpossibleTargetReportsBestEffort) {
+  const MultiplierSpec spec{8, PpgKind::kAnd, false};
+  const auto res = synthesize_design(spec, ppg::initial_tree(spec), 0.01);
+  EXPECT_FALSE(res.met_target);
+  EXPECT_GT(res.delay_ns, 0.01);
+  EXPECT_GT(res.area_um2, 0.0);
+}
+
+TEST(Synth, TightTargetPrefersPrefixAdder) {
+  const MultiplierSpec spec{16, PpgKind::kAnd, false};
+  const auto tree = ppg::initial_tree(spec);
+  const auto tight = synthesize_design(spec, tree, 0.01);
+  EXPECT_NE(tight.cpa, CpaKind::kRippleCarry);  // some parallel prefix
+}
+
+TEST(Synth, AreaScalesWithBitWidth) {
+  auto area_of = [](int bits) {
+    const MultiplierSpec spec{bits, PpgKind::kAnd, false};
+    return synthesize_design(spec, ppg::initial_tree(spec), 10.0).area_um2;
+  };
+  const double a8 = area_of(8);
+  const double a16 = area_of(16);
+  EXPECT_GT(a16, 2.5 * a8);  // roughly quadratic growth
+}
+
+TEST(Synth, MacCostsMoreThanMultiplier) {
+  const MultiplierSpec mul{8, PpgKind::kAnd, false};
+  const MultiplierSpec mac{8, PpgKind::kAnd, true};
+  const auto rm = synthesize_design(mul, ppg::initial_tree(mul), 10.0);
+  const auto rc = synthesize_design(mac, ppg::initial_tree(mac), 10.0);
+  EXPECT_GT(rc.area_um2, rm.area_um2);
+}
+
+TEST(Synth, BoothCostsMoreThanAndAtSmallWidth) {
+  // Matches the paper's Table I trend at 8 bits.
+  const MultiplierSpec a{8, PpgKind::kAnd, false};
+  const MultiplierSpec m{8, PpgKind::kBooth, false};
+  const auto ra = synthesize_design(a, ppg::initial_tree(a), 10.0);
+  const auto rm = synthesize_design(m, ppg::initial_tree(m), 10.0);
+  EXPECT_GT(rm.area_um2, ra.area_um2);
+}
+
+TEST(Power, PositiveAndScalesWithFrequency) {
+  const MultiplierSpec spec{8, PpgKind::kAnd, false};
+  auto nl = ppg::build_multiplier(spec, ppg::initial_tree(spec),
+                                  CpaKind::kRippleCarry);
+  const CellLibrary& lib = CellLibrary::nangate45();
+  const auto slow = estimate_power(nl, lib, 2.0);
+  const auto fast = estimate_power(nl, lib, 1.0);
+  EXPECT_GT(slow.dynamic_mw, 0.0);
+  EXPECT_NEAR(fast.dynamic_mw, 2.0 * slow.dynamic_mw, 1e-9);
+  EXPECT_NEAR(fast.leakage_mw, slow.leakage_mw, 1e-12);  // freq-free
+}
+
+TEST(Power, MonteCarloCrossValidatesProbabilisticModel) {
+  // The independence-assumption estimate and the toggle-counting
+  // simulation must agree to within a modest factor on random-input
+  // multipliers (reconvergent fanout causes the residual gap).
+  for (const auto ppg_kind : {PpgKind::kAnd, PpgKind::kBooth}) {
+    const MultiplierSpec spec{8, ppg_kind, false};
+    auto nl = ppg::build_multiplier(spec, ppg::initial_tree(spec),
+                                    CpaKind::kRippleCarry);
+    const CellLibrary& lib = CellLibrary::nangate45();
+    const auto model = estimate_power(nl, lib, 1.0);
+    const auto mc = simulate_power(nl, lib, 1.0, 4096, 7);
+    EXPECT_GT(mc.dynamic_mw, 0.0);
+    EXPECT_LT(model.dynamic_mw, 1.6 * mc.dynamic_mw)
+        << ppg::ppg_kind_name(ppg_kind);
+    EXPECT_GT(model.dynamic_mw, 0.55 * mc.dynamic_mw)
+        << ppg::ppg_kind_name(ppg_kind);
+    EXPECT_NEAR(model.leakage_mw, mc.leakage_mw, 1e-12);
+  }
+}
+
+TEST(Power, MonteCarloIsStableAcrossSeeds) {
+  const MultiplierSpec spec{4, PpgKind::kAnd, false};
+  auto nl = ppg::build_multiplier(spec, ppg::initial_tree(spec),
+                                  CpaKind::kRippleCarry);
+  const CellLibrary& lib = CellLibrary::nangate45();
+  const auto a = simulate_power(nl, lib, 1.0, 8192, 1);
+  const auto b = simulate_power(nl, lib, 1.0, 8192, 2);
+  EXPECT_NEAR(a.dynamic_mw, b.dynamic_mw, 0.05 * a.dynamic_mw);
+}
+
+TEST(Power, CorrelatesWithArea) {
+  // The Section IV-B observation: bigger designs burn more power.
+  const MultiplierSpec s8{8, PpgKind::kAnd, false};
+  const MultiplierSpec s16{16, PpgKind::kAnd, false};
+  const auto r8 = synthesize_design(s8, ppg::initial_tree(s8), 10.0);
+  const auto r16 = synthesize_design(s16, ppg::initial_tree(s16), 10.0);
+  EXPECT_GT(r16.power_mw, r8.power_mw);
+}
+
+TEST(Slacks, NonNegativeWhenTargetIsAchieved) {
+  const MultiplierSpec spec{4, PpgKind::kAnd, false};
+  auto nl = ppg::build_multiplier(spec, ppg::initial_tree(spec),
+                                  CpaKind::kRippleCarry);
+  const CellLibrary& lib = CellLibrary::nangate45();
+  const auto rep = sta::analyze(nl, lib);
+  const auto slack = net_slacks(nl, lib, rep.critical_ps + 1.0);
+  for (netlist::NetId n : nl.primary_outputs()) {
+    EXPECT_GE(slack[static_cast<std::size_t>(n)], 0.9);
+  }
+}
+
+// -- DesignEvaluator -------------------------------------------------------
+
+TEST(Evaluator, DefaultTargetsAreOrderedAndSpanTheRange) {
+  const MultiplierSpec spec{8, PpgKind::kAnd, false};
+  const auto targets = default_targets(spec, 4);
+  ASSERT_EQ(targets.size(), 4u);
+  for (std::size_t i = 1; i < targets.size(); ++i) {
+    EXPECT_GT(targets[i], targets[i - 1]);
+  }
+  EXPECT_GT(targets.front(), 0.0);
+  EXPECT_LT(targets.back(), 10.0);
+}
+
+TEST(Evaluator, WallaceCostIsNormalizedToWeights) {
+  const MultiplierSpec spec{8, PpgKind::kAnd, false};
+  DesignEvaluator ev(spec);
+  const auto eval = ev.evaluate(ppg::initial_tree(spec));
+  EXPECT_NEAR(ev.cost(eval, 1.0, 1.0), 2.0, 1e-9);
+  EXPECT_NEAR(ev.cost(eval, 0.25, 0.75), 1.0, 1e-9);
+}
+
+TEST(Evaluator, CachesRepeatEvaluations) {
+  const MultiplierSpec spec{8, PpgKind::kAnd, false};
+  DesignEvaluator ev(spec);
+  const auto tree = ppg::initial_tree(spec);
+  ev.evaluate(tree);
+  const auto before = ev.num_unique_evaluations();
+  ev.evaluate(tree);
+  EXPECT_EQ(ev.num_unique_evaluations(), before);
+}
+
+TEST(Evaluator, FrontierCollectsNonDominatedPoints) {
+  const MultiplierSpec spec{8, PpgKind::kAnd, false};
+  DesignEvaluator ev(spec);
+  ev.evaluate(ppg::initial_tree(spec));
+  const auto front = ev.frontier().sorted();
+  ASSERT_GE(front.size(), 2u);  // several targets -> several trade-offs
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GT(front[i].x, front[i - 1].x);
+    EXPECT_LT(front[i].y, front[i - 1].y);
+  }
+}
+
+TEST(Evaluator, PerTargetResultsMatchTargetCount) {
+  const MultiplierSpec spec{4, PpgKind::kAnd, false};
+  DesignEvaluator ev(spec, {0.4, 0.8, 1.6});
+  const auto eval = ev.evaluate(ppg::initial_tree(spec));
+  EXPECT_EQ(eval.per_target.size(), 3u);
+  EXPECT_NEAR(eval.sum_area,
+              eval.per_target[0].area_um2 + eval.per_target[1].area_um2 +
+                  eval.per_target[2].area_um2,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace rlmul::synth
