@@ -1,8 +1,20 @@
 // Micro-benchmarks (google-benchmark) for the substrate hot paths: the
 // synthesis loop that the RL reward calls thousands of times, the STA
 // sweep, the logic simulator, and the agent network forward/backward.
+//
+// Exits by printing one `RLMUL_COUNTERS key=value ...` line (where the
+// synthesis calls went: netlist reuse, incremental vs full STA, cache
+// hits) — the contract tests/smoke_bench_micro.sh checks in CI.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
 
 #include "netlist/cell_library.hpp"
 #include "nn/optim.hpp"
@@ -11,7 +23,9 @@
 #include "rl/env.hpp"
 #include "sim/simulator.hpp"
 #include "sta/sta.hpp"
+#include "synth/evaluator.hpp"
 #include "synth/synth.hpp"
+#include "util/perf_counters.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -71,6 +85,54 @@ void BM_Simulate64Vectors(benchmark::State& state) {
 }
 BENCHMARK(BM_Simulate64Vectors)->Arg(8)->Arg(16);
 
+// The reward-oracle hot loop: evaluating a never-seen-before design
+// under the full multi-constraint target set. Arg0 = operand bits,
+// Arg1 = 1 for the prepared/incremental fast path, 0 for the legacy
+// rebuild-everything pipeline (the A/B the ISSUE's 3x target is
+// measured on).
+void BM_EvaluateUniqueDesign(benchmark::State& state) {
+  const ppg::MultiplierSpec spec{static_cast<int>(state.range(0)),
+                                 ppg::PpgKind::kAnd, false};
+  synth::EvaluatorOptions eopts;
+  eopts.fast_path = state.range(1) != 0;
+  // Fixed targets so both modes do identical work and no time is
+  // spent probing the delay range inside the measurement.
+  const std::vector<double> targets = synth::default_targets(spec);
+  // Pool of unique random-walk trees (deduped by canonical key); the
+  // evaluator is rebuilt — outside the timing — when the pool wraps so
+  // every timed evaluate() is a cache miss on a unique design.
+  auto pool = bench::random_trees(spec, 48, 6, 42);
+  {
+    std::set<std::string> seen{ppg::initial_tree(spec).key()};
+    std::vector<ct::CompressorTree> unique;
+    for (auto& t : pool) {
+      if (seen.insert(t.key()).second) unique.push_back(std::move(t));
+    }
+    pool = std::move(unique);
+  }
+  auto evaluator =
+      std::make_unique<synth::DesignEvaluator>(spec, targets, eopts);
+  std::size_t next = 0;
+  for (auto _ : state) {
+    if (next == pool.size()) {
+      state.PauseTiming();
+      evaluator =
+          std::make_unique<synth::DesignEvaluator>(spec, targets, eopts);
+      next = 0;
+      state.ResumeTiming();
+    }
+    const auto eval = evaluator->evaluate(pool[next++]);
+    benchmark::DoNotOptimize(eval.sum_area);
+  }
+}
+BENCHMARK(BM_EvaluateUniqueDesign)
+    ->ArgNames({"bits", "fast"})
+    ->Args({8, 1})
+    ->Args({8, 0})
+    ->Args({16, 1})
+    ->Args({16, 0})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_EncodeState(benchmark::State& state) {
   const ppg::MultiplierSpec spec{16, ppg::PpgKind::kAnd, false};
   const auto tree = ppg::initial_tree(spec);
@@ -109,4 +171,14 @@ BENCHMARK(BM_Resnet18Forward);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // Machine-readable throughput counters; the CI smoke test parses
+  // this line, so keep the `RLMUL_COUNTERS ` prefix stable.
+  std::printf("RLMUL_COUNTERS %s\n",
+              rlmul::util::format_perf_counters().c_str());
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include "util/ascii_plot.hpp"
 #include "util/config.hpp"
 #include "util/csv.hpp"
+#include "util/perf_counters.hpp"
 #include "util/rng.hpp"
 
 namespace rlmul::bench {
@@ -32,8 +33,9 @@ Config config() {
 
 std::vector<double> delay_sweep(const ppg::MultiplierSpec& spec, int n) {
   const ct::CompressorTree wallace = ppg::initial_tree(spec);
-  const auto tight = synth::synthesize_design(spec, wallace, 0.01);
-  const auto loose = synth::synthesize_design(spec, wallace, 1e9);
+  const synth::PreparedDesign prep(spec, wallace);
+  const auto tight = prep.synthesize(0.01);
+  const auto loose = prep.synthesize(1e9);
   const double lo = tight.delay_ns * 0.9;
   const double hi = loose.delay_ns * 1.1;
   std::vector<double> sweep;
@@ -49,8 +51,11 @@ pareto::Front design_frontier(const ppg::MultiplierSpec& spec,
                               const std::vector<double>& sweep) {
   pareto::Front front;
   for (std::size_t i = 0; i < trees.size(); ++i) {
+    // One prepared design per tree: the PPG + compressor-tree prefix
+    // and the per-CPA timing graphs are shared across the whole sweep.
+    const synth::PreparedDesign prep(spec, trees[i]);
     for (double target : sweep) {
-      const auto res = synth::synthesize_design(spec, trees[i], target);
+      const auto res = prep.synthesize(target);
       front.insert({res.area_um2, res.delay_ns, i});
     }
   }
@@ -201,7 +206,12 @@ std::vector<MethodFrontier> run_all_methods(const ppg::MultiplierSpec& spec,
   add("SA", sa_candidates(spec, cfg.rl_steps, 101));
   add("RL-MUL", dqn_candidates(spec, cfg.rl_steps, 202));
   add("RL-MUL-E", a2c_candidates(spec, cfg.rl_steps, cfg.threads, 303));
+  print_perf_counters();
   return out;
+}
+
+void print_perf_counters() {
+  std::printf("RLMUL_COUNTERS %s\n", util::format_perf_counters().c_str());
 }
 
 std::vector<MethodFrontier> to_pe_frontiers(

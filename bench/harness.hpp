@@ -109,6 +109,10 @@ std::vector<ct::CompressorTree> random_trees(const ppg::MultiplierSpec& spec,
 // -- printing -----------------------------------------------------------------
 
 void print_header(const std::string& title);
+/// One `RLMUL_COUNTERS key=value ...` line with the process-wide
+/// throughput counters (where the EDA budget went); also emitted at the
+/// end of run_all_methods.
+void print_perf_counters();
 void print_frontier(const std::string& name, const pareto::Front& front);
 /// ASCII chart of all method frontiers (area on x, delay on y).
 void plot_frontiers(const std::vector<MethodFrontier>& methods);

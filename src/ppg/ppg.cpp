@@ -205,24 +205,36 @@ std::vector<Signal> build_core(LogicBuilder& lb, const MultiplierSpec& spec,
   return netlist::build_cpa(lb, cpa, rows);
 }
 
-Netlist build_multiplier(const MultiplierSpec& spec,
-                         const ct::CompressorTree& tree,
-                         netlist::CpaKind cpa,
-                         const netlist::CtBuildOptions& ct_opts) {
+MultiplierPrefix build_multiplier_prefix(const MultiplierSpec& spec,
+                                         const ct::CompressorTree& tree,
+                                         const netlist::CtBuildOptions& ct_opts) {
   if (spec.bits < 2 || spec.bits > 32) {
     throw std::invalid_argument("build_multiplier: bits must be in [2, 32]");
   }
-  Netlist nl;
-  LogicBuilder lb(nl);
+  MultiplierPrefix prefix;
+  LogicBuilder lb(prefix.netlist);
   const ColumnSignals pps = build_ppg(lb, spec);
-  const ColumnSignals rows =
-      netlist::build_compressor_tree(lb, tree, pps, ct_opts);
-  const std::vector<Signal> product = netlist::build_cpa(lb, cpa, rows);
+  prefix.rows = netlist::build_compressor_tree(lb, tree, pps, ct_opts);
+  return prefix;
+}
+
+Netlist attach_cpa(const MultiplierPrefix& prefix, const MultiplierSpec& spec,
+                   netlist::CpaKind cpa) {
+  Netlist nl = prefix.netlist;
+  LogicBuilder lb(nl);
+  const std::vector<Signal> product = netlist::build_cpa(lb, cpa, prefix.rows);
   for (int j = 0; j < spec.columns(); ++j) {
     nl.mark_output(lb.materialize(product[static_cast<std::size_t>(j)]),
                    "p" + std::to_string(j));
   }
   return nl;
+}
+
+Netlist build_multiplier(const MultiplierSpec& spec,
+                         const ct::CompressorTree& tree,
+                         netlist::CpaKind cpa,
+                         const netlist::CtBuildOptions& ct_opts) {
+  return attach_cpa(build_multiplier_prefix(spec, tree, ct_opts), spec, cpa);
 }
 
 ct::CompressorTree initial_tree(const MultiplierSpec& spec) {

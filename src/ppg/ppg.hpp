@@ -81,6 +81,29 @@ netlist::Netlist build_multiplier(const MultiplierSpec& spec,
                                   netlist::CpaKind cpa,
                                   const netlist::CtBuildOptions& ct_opts = {});
 
+/// The CPA-independent prefix of build_multiplier: PPG + compressor
+/// tree, plus the final (<=2)-row column signals a CPA consumes. The
+/// rows reference nets of `netlist`, and stay valid in any copy of it —
+/// which is what lets the synthesis fast path build the prefix once per
+/// design and append each CPA variant onto a copy instead of rebuilding
+/// the whole multiplier per (CPA, target) pair.
+struct MultiplierPrefix {
+  netlist::Netlist netlist;
+  netlist::ColumnSignals rows;
+};
+
+MultiplierPrefix build_multiplier_prefix(
+    const MultiplierSpec& spec, const ct::CompressorTree& tree,
+    const netlist::CtBuildOptions& ct_opts = {});
+
+/// Completes a copy of the prefix with the given CPA and primary
+/// outputs. `build_multiplier(spec, tree, cpa)` is gate-for-gate
+/// identical to `attach_cpa(build_multiplier_prefix(spec, tree), spec,
+/// cpa)`.
+netlist::Netlist attach_cpa(const MultiplierPrefix& prefix,
+                            const MultiplierSpec& spec,
+                            netlist::CpaKind cpa);
+
 /// Convenience: Wallace-initialized tree for a spec (the RL episodes
 /// and the baselines all start here).
 ct::CompressorTree initial_tree(const MultiplierSpec& spec);

@@ -7,18 +7,27 @@
 
 namespace rlmul::rl {
 
-nt::Tensor encode_tree(const ct::CompressorTree& tree, int stage_pad) {
+namespace {
+
+/// Encodes one tree into a row-major [kStateChannels, cols, stage_pad]
+/// slab at `dst` (assumed zeroed). Shared by the single-tree and batch
+/// encoders so batching writes each state in place instead of staging
+/// it through a per-tree temporary tensor.
+void encode_tree_into(const ct::CompressorTree& tree, int stage_pad,
+                      float* dst) {
   const ct::StageAssignment sa = ct::assign_stages(tree);
   const int cols = tree.columns();
-  nt::Tensor out({1, kStateChannels, cols, stage_pad});
+  auto at = [&](int c, int j, int s) -> float& {
+    return dst[(static_cast<std::size_t>(c) * cols + j) * stage_pad + s];
+  };
   const int stages = std::min(sa.stages, stage_pad);
   for (int s = 0; s < stages; ++s) {
     for (int j = 0; j < cols; ++j) {
-      out.at(0, 0, j, s) = static_cast<float>(
+      at(0, j, s) = static_cast<float>(
           sa.t32[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)]);
-      out.at(0, 1, j, s) = static_cast<float>(
+      at(1, j, s) = static_cast<float>(
           sa.t22[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)]);
-      out.at(0, 2, j, s) = static_cast<float>(
+      at(2, j, s) = static_cast<float>(
           sa.t42[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)]);
     }
   }
@@ -26,14 +35,21 @@ nt::Tensor encode_tree(const ct::CompressorTree& tree, int stage_pad) {
   // folded into the last encoded stage so no compressor goes unseen.
   for (int s = stage_pad; s < sa.stages; ++s) {
     for (int j = 0; j < cols; ++j) {
-      out.at(0, 0, j, stage_pad - 1) += static_cast<float>(
+      at(0, j, stage_pad - 1) += static_cast<float>(
           sa.t32[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)]);
-      out.at(0, 1, j, stage_pad - 1) += static_cast<float>(
+      at(1, j, stage_pad - 1) += static_cast<float>(
           sa.t22[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)]);
-      out.at(0, 2, j, stage_pad - 1) += static_cast<float>(
+      at(2, j, stage_pad - 1) += static_cast<float>(
           sa.t42[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)]);
     }
   }
+}
+
+}  // namespace
+
+nt::Tensor encode_tree(const ct::CompressorTree& tree, int stage_pad) {
+  nt::Tensor out({1, kStateChannels, tree.columns(), stage_pad});
+  encode_tree_into(tree, stage_pad, out.data());
   return out;
 }
 
@@ -43,12 +59,10 @@ nt::Tensor encode_batch(const std::vector<ct::CompressorTree>& trees,
   const int cols = trees.front().columns();
   nt::Tensor out(
       {static_cast<int>(trees.size()), kStateChannels, cols, stage_pad});
+  const std::size_t plane = static_cast<std::size_t>(kStateChannels) * cols *
+                            static_cast<std::size_t>(stage_pad);
   for (std::size_t b = 0; b < trees.size(); ++b) {
-    const nt::Tensor one = encode_tree(trees[b], stage_pad);
-    const std::size_t plane = one.numel();
-    for (std::size_t i = 0; i < plane; ++i) {
-      out[b * plane + i] = one[i];
-    }
+    encode_tree_into(trees[b], stage_pad, out.data() + b * plane);
   }
   return out;
 }

@@ -1,0 +1,238 @@
+#include <algorithm>
+#include <queue>
+
+#include "sta/sta.hpp"
+#include "util/perf_counters.hpp"
+
+namespace rlmul::sta {
+
+using netlist::CellKind;
+using netlist::CellLibrary;
+using netlist::Gate;
+using netlist::GateId;
+using netlist::NetId;
+using netlist::Netlist;
+
+std::shared_ptr<const TimingGraph> TimingGraph::build(const Netlist& nl,
+                                                      const CellLibrary& lib) {
+  auto g = std::make_shared<TimingGraph>();
+  g->topo = nl.topo_order();
+  g->topo_pos.assign(nl.gates().size(), 0);
+  for (std::size_t i = 0; i < g->topo.size(); ++i) {
+    g->topo_pos[static_cast<std::size_t>(g->topo[i])] = static_cast<int>(i);
+  }
+  g->driver = nl.driver_gate();
+  g->fanout = nl.fanout();
+  g->wire_ff.assign(static_cast<std::size_t>(nl.num_nets()), 0.0);
+  for (std::size_t n = 0; n < g->wire_ff.size(); ++n) {
+    const std::size_t count = g->fanout[n].size();
+    if (count > 0) {
+      g->wire_ff[n] = lib.wire_cap_fixed_ff() +
+                      lib.wire_cap_per_fanout_ff() * static_cast<int>(count);
+    }
+  }
+  g->po_count.assign(static_cast<std::size_t>(nl.num_nets()), 0);
+  for (NetId n : nl.primary_outputs()) {
+    ++g->po_count[static_cast<std::size_t>(n)];
+  }
+  for (GateId gate = 0; gate < nl.num_gates(); ++gate) {
+    if (nl.gates()[static_cast<std::size_t>(gate)].kind == CellKind::kDff) {
+      g->dffs.push_back(gate);
+    }
+  }
+  return g;
+}
+
+IncrementalTimer::IncrementalTimer(const Netlist& nl, const CellLibrary& lib,
+                                   std::shared_ptr<const TimingGraph> graph)
+    : nl_(nl), lib_(lib), graph_(std::move(graph)) {
+  if (!graph_) graph_ = TimingGraph::build(nl_, lib_);
+  full_update();
+}
+
+double IncrementalTimer::recompute_load(NetId n) const {
+  // Mirrors compute_loads exactly, including summation order: fanout
+  // pin caps in ascending gate order, then the wire term as one add,
+  // then one add per primary-output occurrence.
+  const std::size_t idx = static_cast<std::size_t>(n);
+  double load = 0.0;
+  for (const auto& [g, pin] : graph_->fanout[idx]) {
+    (void)pin;
+    const Gate& gate = nl_.gates()[static_cast<std::size_t>(g)];
+    load += lib_.input_cap(gate.kind, gate.variant);
+  }
+  if (!graph_->fanout[idx].empty()) load += graph_->wire_ff[idx];
+  for (int i = 0; i < graph_->po_count[idx]; ++i) {
+    load += lib_.output_load_ff();
+  }
+  return load;
+}
+
+bool IncrementalTimer::retime_gate(GateId g,
+                                   std::vector<NetId>* changed) {
+  const Gate& gate = nl_.gates()[static_cast<std::size_t>(g)];
+  if (gate.kind == CellKind::kTieLo || gate.kind == CellKind::kTieHi) {
+    return false;  // constants arrive at time 0
+  }
+  bool any = false;
+  if (gate.kind == CellKind::kDff) {
+    const NetId q = gate.outputs[0];
+    const double t = lib_.intrinsic(CellKind::kDff, 0, 0) +
+                     lib_.drive_res(CellKind::kDff, gate.variant) *
+                         load_ff_[static_cast<std::size_t>(q)];
+    prev_[static_cast<std::size_t>(q)] = g;
+    if (t != arrival_ps_[static_cast<std::size_t>(q)]) {
+      arrival_ps_[static_cast<std::size_t>(q)] = t;
+      if (changed) changed->push_back(q);
+      any = true;
+    }
+    return any;
+  }
+  for (int o = 0; o < static_cast<int>(gate.outputs.size()); ++o) {
+    const NetId out = gate.outputs[static_cast<std::size_t>(o)];
+    const double rl = lib_.drive_res(gate.kind, gate.variant) *
+                      load_ff_[static_cast<std::size_t>(out)];
+    double worst = 0.0;
+    NetId worst_in = netlist::kNoNet;
+    for (int i = 0; i < static_cast<int>(gate.inputs.size()); ++i) {
+      const NetId in = gate.inputs[static_cast<std::size_t>(i)];
+      const double t = arrival_ps_[static_cast<std::size_t>(in)] +
+                       lib_.intrinsic(gate.kind, i, o) + rl;
+      if (t > worst) {
+        worst = t;
+        worst_in = in;
+      }
+    }
+    // Replicates the full pass's `worst > 0` guard semantics: nets are
+    // single-driver, so the only competitor is the initial 0.
+    if (worst > 0.0) {
+      prev_[static_cast<std::size_t>(out)] = g;
+      prev_in_[static_cast<std::size_t>(g)] = worst_in;
+    } else {
+      prev_[static_cast<std::size_t>(out)] = -1;
+    }
+    if (worst != arrival_ps_[static_cast<std::size_t>(out)]) {
+      arrival_ps_[static_cast<std::size_t>(out)] = worst;
+      if (changed) changed->push_back(out);
+      any = true;
+    }
+  }
+  return any;
+}
+
+void IncrementalTimer::refresh_endpoints() {
+  max_po_arrival_ps_ = 0.0;
+  worst_endpoint_ = netlist::kNoNet;
+  for (NetId n : nl_.primary_outputs()) {
+    const double t = arrival_ps_[static_cast<std::size_t>(n)];
+    if (t > max_po_arrival_ps_) {
+      max_po_arrival_ps_ = t;
+      worst_endpoint_ = n;
+    }
+  }
+  min_clock_period_ps_ = 0.0;
+  for (GateId g : graph_->dffs) {
+    const NetId d = nl_.gates()[static_cast<std::size_t>(g)].inputs[0];
+    const double t = arrival_ps_[static_cast<std::size_t>(d)] +
+                     lib_.setup(CellKind::kDff);
+    if (t > min_clock_period_ps_) {
+      min_clock_period_ps_ = t;
+      if (t >= max_po_arrival_ps_) worst_endpoint_ = d;
+    }
+  }
+  critical_ps_ = std::max(max_po_arrival_ps_, min_clock_period_ps_);
+}
+
+void IncrementalTimer::full_update() {
+  util::perf_counters().sta_full_updates.fetch_add(
+      1, std::memory_order_relaxed);
+  const std::size_t nets = static_cast<std::size_t>(nl_.num_nets());
+  load_ff_.assign(nets, 0.0);
+  for (std::size_t n = 0; n < nets; ++n) {
+    load_ff_[n] = recompute_load(static_cast<NetId>(n));
+  }
+  arrival_ps_.assign(nets, 0.0);
+  prev_.assign(nets, -1);
+  prev_in_.assign(nl_.gates().size(), netlist::kNoNet);
+  for (GateId g : graph_->topo) retime_gate(g, nullptr);
+  refresh_endpoints();
+}
+
+void IncrementalTimer::update(const std::vector<GateId>& resized) {
+  auto& counters = util::perf_counters();
+  counters.sta_incremental_updates.fetch_add(1, std::memory_order_relaxed);
+
+  // Min-heap over topological position: every gate is popped after all
+  // of this round's changes to its inputs have been applied, so each
+  // affected gate is retimed exactly once.
+  std::priority_queue<std::pair<int, GateId>,
+                      std::vector<std::pair<int, GateId>>, std::greater<>>
+      heap;
+  std::vector<char> in_heap(nl_.gates().size(), 0);
+  auto push = [&](GateId g) {
+    if (in_heap[static_cast<std::size_t>(g)]) return;
+    in_heap[static_cast<std::size_t>(g)] = 1;
+    heap.emplace(graph_->topo_pos[static_cast<std::size_t>(g)], g);
+  };
+
+  for (GateId g : resized) {
+    // The gate's input-pin capacitance changed with the variant, so its
+    // fanin nets carry a different load — which changes the arc delays
+    // of the gates driving them.
+    for (NetId n : nl_.gates()[static_cast<std::size_t>(g)].inputs) {
+      const double load = recompute_load(n);
+      if (load != load_ff_[static_cast<std::size_t>(n)]) {
+        load_ff_[static_cast<std::size_t>(n)] = load;
+        const GateId drv = graph_->driver[static_cast<std::size_t>(n)];
+        if (drv >= 0) push(drv);
+      }
+    }
+    push(g);  // its own drive resistance changed
+  }
+
+  std::vector<NetId> changed_nets;
+  std::uint64_t retimed = 0;
+  while (!heap.empty()) {
+    const GateId g = heap.top().second;
+    heap.pop();
+    in_heap[static_cast<std::size_t>(g)] = 0;
+    ++retimed;
+    changed_nets.clear();
+    retime_gate(g, &changed_nets);
+    for (NetId n : changed_nets) {
+      for (const auto& [sink, pin] : graph_->fanout[static_cast<std::size_t>(n)]) {
+        (void)pin;
+        push(sink);
+      }
+    }
+  }
+  counters.sta_gates_retimed.fetch_add(retimed, std::memory_order_relaxed);
+  refresh_endpoints();
+}
+
+std::vector<GateId> IncrementalTimer::critical_path() const {
+  std::vector<GateId> path;
+  NetId cursor = worst_endpoint_;
+  while (cursor != netlist::kNoNet &&
+         prev_[static_cast<std::size_t>(cursor)] >= 0) {
+    const GateId g = prev_[static_cast<std::size_t>(cursor)];
+    path.push_back(g);
+    if (nl_.gates()[static_cast<std::size_t>(g)].kind == CellKind::kDff) break;
+    cursor = prev_in_[static_cast<std::size_t>(g)];
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+TimingReport IncrementalTimer::report() const {
+  TimingReport rep;
+  rep.max_po_arrival_ps = max_po_arrival_ps_;
+  rep.min_clock_period_ps = min_clock_period_ps_;
+  rep.critical_ps = critical_ps_;
+  rep.arrival_ps = arrival_ps_;
+  rep.load_ff = load_ff_;
+  rep.critical_path = critical_path();
+  return rep;
+}
+
+}  // namespace rlmul::sta

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "util/perf_counters.hpp"
+
 namespace rlmul::sta {
 
 using netlist::CellKind;
@@ -38,6 +40,8 @@ std::vector<double> compute_loads(const Netlist& nl, const CellLibrary& lib) {
 }
 
 TimingReport analyze(const Netlist& nl, const CellLibrary& lib) {
+  util::perf_counters().sta_full_updates.fetch_add(
+      1, std::memory_order_relaxed);
   TimingReport rep;
   rep.load_ff = compute_loads(nl, lib);
   rep.arrival_ps.assign(static_cast<std::size_t>(nl.num_nets()), 0.0);

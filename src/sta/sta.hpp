@@ -10,6 +10,8 @@
 // paths end at DFF D pins (plus setup), and DFF Q pins launch with the
 // clock-to-Q arc.
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "netlist/cell_library.hpp"
@@ -45,5 +47,91 @@ TimingReport analyze(const netlist::Netlist& nl,
 /// critical path with incremental and cumulative arrival times.
 std::string report_timing(const netlist::Netlist& nl,
                           const netlist::CellLibrary& lib);
+
+/// Variant-independent timing structure of a netlist: topological
+/// order, per-net fanout pins, drivers, and the static (wire + primary
+/// output) part of every net's load. Valid for — and shareable across —
+/// any netlist with identical connectivity, which is what lets the
+/// synthesis fast path size per-target copies of one prepared netlist
+/// without re-deriving any of this.
+struct TimingGraph {
+  std::vector<netlist::GateId> topo;  ///< topological gate order
+  std::vector<int> topo_pos;          ///< per gate: index into `topo`
+  std::vector<netlist::GateId> driver;  ///< per net; -1 = PI/floating
+  /// Per net: (gate, pin) pairs reading it, in ascending gate order
+  /// (the summation order compute_loads uses, so incremental load
+  /// recomputation is bit-identical to the full pass).
+  std::vector<std::vector<std::pair<netlist::GateId, int>>> fanout;
+  /// Per net: wire-model load term (0 for nets with no fanout).
+  std::vector<double> wire_ff;
+  /// Per net: number of times the net appears as a primary output.
+  std::vector<int> po_count;
+  std::vector<netlist::GateId> dffs;  ///< all DFF gates
+
+  static std::shared_ptr<const TimingGraph> build(
+      const netlist::Netlist& nl, const netlist::CellLibrary& lib);
+};
+
+/// Worklist-based incremental timing over a netlist whose gate
+/// *variants* change (the only mutation gate sizing performs). After
+/// `update({changed gates})`, arrival times, loads, the critical delay
+/// and the critical path are bit-identical to what a full `analyze` of
+/// the current netlist would report — `analyze` stays the verification
+/// reference, enforced by the incremental-STA property tests.
+class IncrementalTimer {
+ public:
+  /// `graph` may be null (derived from `nl`) or a structure shared
+  /// across connectivity-identical netlists. The constructor runs a
+  /// full update.
+  IncrementalTimer(const netlist::Netlist& nl,
+                   const netlist::CellLibrary& lib,
+                   std::shared_ptr<const TimingGraph> graph = nullptr);
+
+  /// Recomputes every load and arrival from scratch (counts as a full
+  /// STA update). Required after bulk variant edits, e.g. the reset to
+  /// variant 0 at the start of sizing.
+  void full_update();
+
+  /// Re-propagates timing after the given gates changed variant:
+  /// recomputes the loads of their fanin nets and walks arrivals only
+  /// through the affected downstream cone.
+  void update(const std::vector<netlist::GateId>& resized);
+
+  double critical_ps() const { return critical_ps_; }
+  double max_po_arrival_ps() const { return max_po_arrival_ps_; }
+  double min_clock_period_ps() const { return min_clock_period_ps_; }
+  const std::vector<double>& arrival_ps() const { return arrival_ps_; }
+  const std::vector<double>& load_ff() const { return load_ff_; }
+  const TimingGraph& graph() const { return *graph_; }
+
+  /// Gates on the critical path, source to endpoint (traced on demand).
+  std::vector<netlist::GateId> critical_path() const;
+
+  /// Full TimingReport snapshot, interchangeable with analyze().
+  TimingReport report() const;
+
+ private:
+  double recompute_load(netlist::NetId n) const;
+  /// Recomputes all output arrivals of a gate; returns true if any
+  /// changed.
+  bool retime_gate(netlist::GateId g, std::vector<netlist::NetId>* changed);
+  void refresh_endpoints();
+
+  const netlist::Netlist& nl_;
+  const netlist::CellLibrary& lib_;
+  std::shared_ptr<const TimingGraph> graph_;
+
+  std::vector<double> load_ff_;
+  std::vector<double> arrival_ps_;
+  /// prev_[net] = gate whose output set the arrival (-1 = source).
+  std::vector<netlist::GateId> prev_;
+  /// prev_in_[gate] = input net on the gate's worst arc.
+  std::vector<netlist::NetId> prev_in_;
+
+  double max_po_arrival_ps_ = 0.0;
+  double min_clock_period_ps_ = 0.0;
+  double critical_ps_ = 0.0;
+  netlist::NetId worst_endpoint_ = netlist::kNoNet;
+};
 
 }  // namespace rlmul::sta

@@ -1,18 +1,24 @@
 #include "synth/evaluator.hpp"
 
+#include <future>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "sim/simulator.hpp"
+#include "util/config.hpp"
+#include "util/perf_counters.hpp"
 
 namespace rlmul::synth {
 
 std::vector<double> default_targets(const ppg::MultiplierSpec& spec, int n) {
   const ct::CompressorTree wallace = ppg::initial_tree(spec);
   // Fastest achievable: synthesize maximally tight; slowest useful:
-  // fully relaxed minimum-area synthesis.
-  const SynthesisResult tight = synthesize_design(spec, wallace, 0.01);
-  const SynthesisResult loose = synthesize_design(spec, wallace, 1e9);
+  // fully relaxed minimum-area synthesis. One prepared design serves
+  // both probes (same numbers as two synthesize_design calls).
+  const PreparedDesign prep(spec, wallace);
+  const SynthesisResult tight = prep.synthesize(0.01);
+  const SynthesisResult loose = prep.synthesize(1e9);
   const double lo = tight.delay_ns * 0.95;
   const double hi = loose.delay_ns * 1.05;
   std::vector<double> targets;
@@ -27,58 +33,138 @@ DesignEvaluator::DesignEvaluator(ppg::MultiplierSpec spec,
                                  std::vector<double> targets,
                                  const EvaluatorOptions& opts)
     : spec_(spec), targets_(std::move(targets)), opts_(opts) {
+  fast_path_ = opts_.fast_path && util::env_long("RLMUL_FASTPATH", 1) != 0;
+  if (opts_.synth_threads > 0) {
+    owned_pool_ = std::make_unique<util::ThreadPool>(opts_.synth_threads);
+    pool_ = owned_pool_.get();
+  } else {
+    pool_ = &util::ThreadPool::shared();
+  }
   if (targets_.empty()) targets_ = default_targets(spec_);
   const DesignEval ref = evaluate(ppg::initial_tree(spec_));
   ref_area_ = ref.sum_area > 0.0 ? ref.sum_area : 1.0;
   ref_delay_ = ref.sum_delay > 0.0 ? ref.sum_delay : 1.0;
 }
 
-DesignEval DesignEvaluator::evaluate(const ct::CompressorTree& tree) {
-  const std::string key = tree.key();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = index_.find(key);
-    if (it != index_.end()) return evals_[it->second];
-  }
+DesignEval DesignEvaluator::compute(const ct::CompressorTree& tree,
+                                    const std::string& key) const {
+  DesignEval eval;
+  std::vector<SynthesisResult> results;
 
-  if (opts_.verify_functionality) {
-    // The equivalence gate the paper runs through ABC `cec`: a design
-    // that fails here is a generator bug, never a scoring matter.
-    auto nl = ppg::build_multiplier(spec_, tree,
-                                    netlist::CpaKind::kRippleCarry);
-    util::Rng rng(0x5EC5EC ^ std::hash<std::string>{}(key));
-    const auto rep = sim::check_equivalence(nl, spec_, rng, 1 << 16,
-                                            opts_.verify_vectors);
-    if (!rep.equivalent) {
-      std::ostringstream msg;
-      msg << "DesignEvaluator: functional mismatch (a=" << rep.a
-          << ", b=" << rep.b << ", acc=" << rep.acc << ", got=" << rep.got
-          << ", expect=" << rep.expect << ")";
-      throw std::runtime_error(msg.str());
+  if (fast_path_) {
+    const PreparedDesign prep(spec_, tree);
+    if (opts_.verify_functionality) {
+      // The equivalence gate the paper runs through ABC `cec`: a design
+      // that fails here is a generator bug, never a scoring matter.
+      // Gate on the prepared ripple netlist instead of a fresh build.
+      const auto& nl = prep.netlist(netlist::CpaKind::kRippleCarry);
+      util::Rng rng(0x5EC5EC ^ std::hash<std::string>{}(key));
+      const auto rep = sim::check_equivalence(nl, spec_, rng, 1 << 16,
+                                              opts_.verify_vectors);
+      if (!rep.equivalent) {
+        std::ostringstream msg;
+        msg << "DesignEvaluator: functional mismatch (a=" << rep.a
+            << ", b=" << rep.b << ", acc=" << rep.acc << ", got=" << rep.got
+            << ", expect=" << rep.expect << ")";
+        throw std::runtime_error(msg.str());
+      }
+    }
+    if (opts_.parallel_targets && targets_.size() > 1) {
+      // One pool task per delay constraint; all of them size private
+      // copies of the shared prepared netlists. Futures are gathered in
+      // target order, so the aggregate sums are bit-identical to a
+      // serial evaluation regardless of completion order.
+      std::vector<std::future<SynthesisResult>> futs;
+      futs.reserve(targets_.size());
+      for (double target : targets_) {
+        futs.push_back(
+            pool_->submit([&prep, target] { return prep.synthesize(target); }));
+      }
+      // Wait for every task before the first get(): a throwing target
+      // must not unwind while siblings still reference `prep`.
+      for (auto& f : futs) f.wait();
+      for (auto& f : futs) results.push_back(f.get());
+    } else {
+      for (double target : targets_) results.push_back(prep.synthesize(target));
+    }
+  } else {
+    if (opts_.verify_functionality) {
+      auto nl = ppg::build_multiplier(spec_, tree,
+                                      netlist::CpaKind::kRippleCarry);
+      util::Rng rng(0x5EC5EC ^ std::hash<std::string>{}(key));
+      const auto rep = sim::check_equivalence(nl, spec_, rng, 1 << 16,
+                                              opts_.verify_vectors);
+      if (!rep.equivalent) {
+        std::ostringstream msg;
+        msg << "DesignEvaluator: functional mismatch (a=" << rep.a
+            << ", b=" << rep.b << ", acc=" << rep.acc << ", got=" << rep.got
+            << ", expect=" << rep.expect << ")";
+        throw std::runtime_error(msg.str());
+      }
+    }
+    for (double target : targets_) {
+      results.push_back(synthesize_design_legacy(spec_, tree, target));
     }
   }
 
-  // Synthesize outside the lock so parallel workers overlap; a rare
-  // duplicate computation is benign (second insert is dropped).
-  DesignEval eval;
-  for (double target : targets_) {
-    const SynthesisResult res = synthesize_design(spec_, tree, target);
+  for (const SynthesisResult& res : results) {
     eval.sum_area += res.area_um2;
     eval.sum_delay += res.delay_ns;
     eval.sum_power += res.power_mw;
     eval.per_target.push_back(res);
   }
+  return eval;
+}
+
+DesignEval DesignEvaluator::evaluate(const ct::CompressorTree& tree) {
+  const std::string key = tree.key();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      auto it = index_.find(key);
+      if (it != index_.end()) {
+        ++cache_hits_;
+        util::perf_counters().cache_hits.fetch_add(1,
+                                                   std::memory_order_relaxed);
+        return evals_[it->second];
+      }
+      if (in_flight_.find(key) == in_flight_.end()) break;
+      // Another worker is synthesizing this exact tree right now: wait
+      // for its result instead of duplicating hours of tool time.
+      ++inflight_waits_;
+      util::perf_counters().inflight_waits.fetch_add(
+          1, std::memory_order_relaxed);
+      cv_.wait(lock);
+    }
+    in_flight_.insert(key);
+  }
+
+  // Synthesize outside the lock so workers on *different* trees overlap.
+  DesignEval eval;
+  try {
+    eval = compute(tree, key);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    in_flight_.erase(key);
+    cv_.notify_all();
+    throw;
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
+  in_flight_.erase(key);
   auto [it, inserted] = index_.emplace(key, designs_.size());
-  if (!inserted) return evals_[it->second];
-  designs_.push_back(tree);
-  evals_.push_back(eval);
-  for (const SynthesisResult& res : eval.per_target) {
-    frontier_.insert(
-        pareto::Point{res.area_um2, res.delay_ns, designs_.size() - 1});
+  if (inserted) {
+    util::perf_counters().unique_evals.fetch_add(1,
+                                                 std::memory_order_relaxed);
+    designs_.push_back(tree);
+    evals_.push_back(eval);
+    for (const SynthesisResult& res : eval.per_target) {
+      frontier_.insert(
+          pareto::Point{res.area_um2, res.delay_ns, designs_.size() - 1});
+    }
   }
-  return eval;
+  cv_.notify_all();
+  return evals_[it->second];
 }
 
 double DesignEvaluator::cost(const DesignEval& eval, double w_area,
@@ -110,6 +196,15 @@ std::size_t DesignEvaluator::num_designs() const {
 DesignEval DesignEvaluator::eval_of(std::size_t index) const {
   std::lock_guard<std::mutex> lock(mu_);
   return evals_.at(index);
+}
+
+DesignEvaluator::Stats DesignEvaluator::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.unique_evals = designs_.size();
+  s.cache_hits = cache_hits_;
+  s.inflight_waits = inflight_waits_;
+  return s;
 }
 
 }  // namespace rlmul::synth

@@ -10,19 +10,29 @@
 // the tree's canonical key and every synthesized (area, delay) point
 // feeds a global Pareto archive, which is what the paper plots in
 // Figs 9-11. Thread-safe: the parallel A2C workers of RL-MUL-E share
-// one evaluator.
+// one evaluator, and concurrent requests for the same tree are
+// deduplicated — one worker synthesizes, the rest wait on the result.
+//
+// The fast path prepares each design once (PPG + compressor-tree
+// prefix shared across CPA variants), sizes with incremental STA, and
+// fans the per-target synthesis out to a thread pool. Results are
+// bit-identical to the serial legacy pipeline (RLMUL_FASTPATH=0).
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "ct/compressor_tree.hpp"
 #include "pareto/pareto.hpp"
 #include "ppg/ppg.hpp"
 #include "synth/synth.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rlmul::synth {
 
@@ -46,6 +56,17 @@ struct EvaluatorOptions {
   /// design.
   bool verify_functionality = false;
   std::uint64_t verify_vectors = 2048;
+  /// Prepared-design synthesis with incremental STA. The environment
+  /// variable RLMUL_FASTPATH=0 forces the legacy pipeline regardless
+  /// (the A/B switch the benches compare against).
+  bool fast_path = true;
+  /// Evaluate the per-target constraints concurrently on the pool.
+  /// Results are gathered in target order, so they are bit-identical
+  /// to a serial evaluation.
+  bool parallel_targets = true;
+  /// >0: this evaluator owns a private pool of that many workers.
+  /// 0: use the process-wide shared pool (RLMUL_SYNTH_THREADS).
+  int synth_threads = 0;
 };
 
 class DesignEvaluator {
@@ -81,14 +102,34 @@ class DesignEvaluator {
   /// Per-design results (for table-style reporting).
   DesignEval eval_of(std::size_t index) const;
 
+  /// Per-evaluator throughput counters (process-wide totals live in
+  /// util::perf_counters()).
+  struct Stats {
+    std::size_t unique_evals = 0;    ///< designs synthesized
+    std::size_t cache_hits = 0;      ///< served from the cache
+    std::size_t inflight_waits = 0;  ///< duplicate work deduplicated
+  };
+  Stats stats() const;
+
  private:
+  DesignEval compute(const ct::CompressorTree& tree,
+                     const std::string& key) const;
+
   ppg::MultiplierSpec spec_;
   std::vector<double> targets_;
   EvaluatorOptions opts_;
+  bool fast_path_ = true;  ///< opts_.fast_path, after RLMUL_FASTPATH
   double ref_area_ = 1.0;
   double ref_delay_ = 1.0;
 
+  std::unique_ptr<util::ThreadPool> owned_pool_;
+  util::ThreadPool* pool_ = nullptr;
+
   mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_set<std::string> in_flight_;
+  std::size_t cache_hits_ = 0;
+  std::size_t inflight_waits_ = 0;
   std::unordered_map<std::string, std::size_t> index_;
   std::vector<ct::CompressorTree> designs_;
   std::vector<DesignEval> evals_;

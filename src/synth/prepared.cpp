@@ -1,0 +1,85 @@
+#include <algorithm>
+#include <utility>
+
+#include "synth/synth.hpp"
+#include "util/perf_counters.hpp"
+
+namespace rlmul::synth {
+
+using netlist::CellLibrary;
+using netlist::CpaKind;
+using netlist::Netlist;
+
+namespace {
+
+std::size_t cpa_index(CpaKind cpa) {
+  for (std::size_t i = 0; i < std::size(netlist::kAllCpaKinds); ++i) {
+    if (netlist::kAllCpaKinds[i] == cpa) return i;
+  }
+  return 0;  // unreachable: kAllCpaKinds enumerates every kind
+}
+
+}  // namespace
+
+PreparedDesign::PreparedDesign(const ppg::MultiplierSpec& spec,
+                               const ct::CompressorTree& tree)
+    : spec_(spec), prefix_(ppg::build_multiplier_prefix(spec, tree)) {
+  util::perf_counters().netlists_built.fetch_add(1, std::memory_order_relaxed);
+}
+
+const PreparedDesign::CpaEntry& PreparedDesign::entry(std::size_t idx) const {
+  CpaEntry& e = entries_[idx];
+  std::call_once(e.once, [&] {
+    e.netlist = ppg::attach_cpa(prefix_, spec_, netlist::kAllCpaKinds[idx]);
+    e.graph = sta::TimingGraph::build(e.netlist, CellLibrary::nangate45());
+    util::perf_counters().cpa_variants_built.fetch_add(
+        1, std::memory_order_relaxed);
+  });
+  return e;
+}
+
+const Netlist& PreparedDesign::netlist(CpaKind cpa) const {
+  return entry(cpa_index(cpa)).netlist;
+}
+
+SynthesisResult PreparedDesign::synthesize(double target_delay_ns) const {
+  const CellLibrary& lib = CellLibrary::nangate45();
+  SynthesisOptions opts;
+  opts.target_delay_ns = target_delay_ns;
+
+  // Same selection rule as the legacy per-CPA loop: kAllCpaKinds is
+  // ordered by area, so stop at the first architecture that meets the
+  // target; otherwise keep the fastest. Power is deferred to the one
+  // CPA that wins (it never enters the selection), which skips three
+  // estimates per call on the common early-exit path.
+  SynthesisResult best;
+  Netlist best_nl;
+  bool have = false;
+  for (std::size_t i = 0; i < kNumCpa; ++i) {
+    const CpaEntry& e = entry(i);
+    Netlist nl = e.netlist;  // variants all 0; timing graph still valid
+    util::perf_counters().netlists_reused.fetch_add(1,
+                                                    std::memory_order_relaxed);
+    sta::IncrementalTimer timer(nl, lib, e.graph);
+    SynthesisResult res =
+        synthesize_with_timer(nl, lib, opts, timer, /*compute_power=*/false);
+    res.cpa = netlist::kAllCpaKinds[i];
+    const bool better =
+        !have ||
+        (res.met_target && !best.met_target) ||
+        (res.met_target == best.met_target &&
+         (res.met_target ? res.area_um2 < best.area_um2
+                         : res.delay_ns < best.delay_ns));
+    if (better) {
+      best = res;
+      best_nl = std::move(nl);
+      have = true;
+    }
+    if (res.met_target) break;
+  }
+  const double clock_ns = std::max(target_delay_ns, best.delay_ns);
+  best.power_mw = estimate_power(best_nl, lib, clock_ns).total_mw();
+  return best;
+}
+
+}  // namespace rlmul::synth

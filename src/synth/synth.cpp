@@ -6,6 +6,7 @@
 
 #include "sim/simulator.hpp"
 #include "sta/sta.hpp"
+#include "util/perf_counters.hpp"
 #include "util/rng.hpp"
 
 namespace rlmul::synth {
@@ -171,16 +172,20 @@ PowerReport simulate_power(const Netlist& nl, const CellLibrary& lib,
   return rep;
 }
 
-std::vector<double> net_slacks(const Netlist& nl, const CellLibrary& lib,
-                               double target_ps) {
-  const auto rep = sta::analyze(nl, lib);
+namespace {
+
+/// Backward required-time pass over precomputed arrivals/loads.
+std::vector<double> net_slacks_core(const Netlist& nl, const CellLibrary& lib,
+                                    double target_ps,
+                                    const std::vector<double>& arrival_ps,
+                                    const std::vector<double>& load_ff,
+                                    const std::vector<GateId>& order) {
   const double inf = std::numeric_limits<double>::infinity();
   std::vector<double> required(static_cast<std::size_t>(nl.num_nets()), inf);
   for (NetId n : nl.primary_outputs()) {
     required[static_cast<std::size_t>(n)] =
         std::min(required[static_cast<std::size_t>(n)], target_ps);
   }
-  const auto order = nl.topo_order();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const Gate& gate = nl.gates()[static_cast<std::size_t>(*it)];
     if (gate.kind == CellKind::kDff) {
@@ -195,7 +200,7 @@ std::vector<double> net_slacks(const Netlist& nl, const CellLibrary& lib,
       const double req_out = required[static_cast<std::size_t>(out)];
       if (req_out == inf) continue;
       const double rl = lib.drive_res(gate.kind, gate.variant) *
-                        rep.load_ff[static_cast<std::size_t>(out)];
+                        load_ff[static_cast<std::size_t>(out)];
       for (int i = 0; i < static_cast<int>(gate.inputs.size()); ++i) {
         const NetId in = gate.inputs[static_cast<std::size_t>(i)];
         const double req_in = req_out - lib.intrinsic(gate.kind, i, o) - rl;
@@ -206,16 +211,80 @@ std::vector<double> net_slacks(const Netlist& nl, const CellLibrary& lib,
   }
   std::vector<double> slack(static_cast<std::size_t>(nl.num_nets()), inf);
   for (std::size_t n = 0; n < slack.size(); ++n) {
-    if (required[n] != inf) slack[n] = required[n] - rep.arrival_ps[n];
+    if (required[n] != inf) slack[n] = required[n] - arrival_ps[n];
   }
   return slack;
 }
 
-void size_for_target(Netlist& nl, const CellLibrary& lib,
-                     const SynthesisOptions& opts) {
-  const double target_ps = opts.target_delay_ns * 1000.0;
-  for (Gate& g : nl.gates()) g.variant = 0;
+/// Slack-driven downsizing shared by both sizing modes. `arrival`,
+/// `load` and `critical_ps` must describe the current netlist; returns
+/// the gates whose variant was decremented.
+std::vector<GateId> pick_downsizes(Netlist& nl, const CellLibrary& lib,
+                                   const std::vector<double>& slack,
+                                   const std::vector<double>& load_ff) {
+  std::vector<GateId> changed;
+  for (GateId gi = 0; gi < nl.num_gates(); ++gi) {
+    Gate& g = nl.gates()[static_cast<std::size_t>(gi)];
+    if (g.variant == 0 || g.outputs.empty()) continue;
+    const NetId out = g.outputs[0];
+    const double penalty =
+        (lib.drive_res(g.kind, g.variant - 1) -
+         lib.drive_res(g.kind, g.variant)) *
+        load_ff[static_cast<std::size_t>(out)];
+    double out_slack = slack[static_cast<std::size_t>(out)];
+    for (std::size_t o = 1; o < g.outputs.size(); ++o) {
+      out_slack = std::min(
+          out_slack, slack[static_cast<std::size_t>(g.outputs[o])]);
+    }
+    if (out_slack > 2.0 * penalty + 5.0) {
+      --g.variant;
+      changed.push_back(gi);
+    }
+  }
+  return changed;
+}
 
+/// Incremental-STA sizing loop; decision-for-decision identical to the
+/// legacy full-analyze loop below. The timer must be in sync with `nl`.
+void size_with_timer(Netlist& nl, const CellLibrary& lib,
+                     const SynthesisOptions& opts,
+                     sta::IncrementalTimer& timer) {
+  const double target_ps = opts.target_delay_ns * 1000.0;
+  std::vector<GateId> changed;
+  for (int pass = 0; pass < opts.max_upsize_passes; ++pass) {
+    if (timer.critical_ps() <= target_ps) break;
+    changed.clear();
+    for (GateId g : timer.critical_path()) {
+      Gate& gate = nl.gates()[static_cast<std::size_t>(g)];
+      if (gate.variant + 1 < lib.num_variants(gate.kind)) {
+        ++gate.variant;
+        changed.push_back(g);
+      }
+    }
+    if (changed.empty()) break;  // every critical gate is already maxed out
+    timer.update(changed);
+  }
+
+  if (opts.area_recovery) {
+    const double budget = std::max(target_ps, timer.critical_ps());
+    const auto slack = net_slacks_core(nl, lib, budget, timer.arrival_ps(),
+                                       timer.load_ff(), timer.graph().topo);
+    const auto downsized = pick_downsizes(nl, lib, slack, timer.load_ff());
+    if (!downsized.empty()) {
+      timer.update(downsized);
+      if (timer.critical_ps() > budget + 0.5) {
+        for (GateId g : downsized) {
+          ++nl.gates()[static_cast<std::size_t>(g)].variant;
+        }
+        timer.update(downsized);
+      }
+    }
+  }
+}
+
+void size_for_target_legacy(Netlist& nl, const CellLibrary& lib,
+                            const SynthesisOptions& opts) {
+  const double target_ps = opts.target_delay_ns * 1000.0;
   for (int pass = 0; pass < opts.max_upsize_passes; ++pass) {
     const auto rep = sta::analyze(nl, lib);
     if (rep.critical_ps <= target_ps) break;
@@ -237,41 +306,71 @@ void size_for_target(Netlist& nl, const CellLibrary& lib,
     const double achieved = rep_before.critical_ps;
     const double budget = std::max(target_ps, achieved);
     const auto slack = net_slacks(nl, lib, budget);
-    std::vector<int> saved(nl.gates().size());
-    for (std::size_t i = 0; i < nl.gates().size(); ++i) {
-      saved[i] = nl.gates()[i].variant;
-    }
-    bool changed = false;
-    for (Gate& g : nl.gates()) {
-      if (g.variant == 0 || g.outputs.empty()) continue;
-      const NetId out = g.outputs[0];
-      const double penalty =
-          (lib.drive_res(g.kind, g.variant - 1) -
-           lib.drive_res(g.kind, g.variant)) *
-          rep_before.load_ff[static_cast<std::size_t>(out)];
-      double out_slack = slack[static_cast<std::size_t>(out)];
-      for (std::size_t o = 1; o < g.outputs.size(); ++o) {
-        out_slack = std::min(
-            out_slack, slack[static_cast<std::size_t>(g.outputs[o])]);
-      }
-      if (out_slack > 2.0 * penalty + 5.0) {
-        --g.variant;
-        changed = true;
-      }
-    }
-    if (changed) {
+    const auto downsized = pick_downsizes(nl, lib, slack, rep_before.load_ff);
+    if (!downsized.empty()) {
       const auto rep_after = sta::analyze(nl, lib);
       if (rep_after.critical_ps > budget + 0.5) {
-        for (std::size_t i = 0; i < nl.gates().size(); ++i) {
-          nl.gates()[i].variant = saved[i];
+        for (GateId g : downsized) {
+          ++nl.gates()[static_cast<std::size_t>(g)].variant;
         }
       }
     }
   }
 }
 
+}  // namespace
+
+std::vector<double> net_slacks(const Netlist& nl, const CellLibrary& lib,
+                               double target_ps) {
+  const auto rep = sta::analyze(nl, lib);
+  return net_slacks_core(nl, lib, target_ps, rep.arrival_ps, rep.load_ff,
+                         nl.topo_order());
+}
+
+std::vector<double> net_slacks(const Netlist& nl, const CellLibrary& lib,
+                               double target_ps,
+                               const sta::TimingReport& rep) {
+  return net_slacks_core(nl, lib, target_ps, rep.arrival_ps, rep.load_ff,
+                         nl.topo_order());
+}
+
+void size_for_target(Netlist& nl, const CellLibrary& lib,
+                     const SynthesisOptions& opts) {
+  for (Gate& g : nl.gates()) g.variant = 0;
+  if (!opts.incremental_sta) {
+    size_for_target_legacy(nl, lib, opts);
+    return;
+  }
+  sta::IncrementalTimer timer(nl, lib);
+  size_with_timer(nl, lib, opts, timer);
+}
+
+SynthesisResult synthesize_with_timer(Netlist& nl, const CellLibrary& lib,
+                                      const SynthesisOptions& opts,
+                                      sta::IncrementalTimer& timer,
+                                      bool compute_power) {
+  util::perf_counters().synth_calls.fetch_add(1, std::memory_order_relaxed);
+  size_with_timer(nl, lib, opts, timer);
+  SynthesisResult res;
+  res.area_um2 = netlist::netlist_area(nl, lib);
+  res.delay_ns = timer.critical_ps() / 1000.0;
+  res.met_target = res.delay_ns <= opts.target_delay_ns + 1e-9;
+  res.num_gates = nl.num_gates();
+  if (compute_power) {
+    const double clock_ns = std::max(opts.target_delay_ns, res.delay_ns);
+    res.power_mw = estimate_power(nl, lib, clock_ns).total_mw();
+  }
+  return res;
+}
+
 SynthesisResult synthesize_netlist(Netlist& nl, const CellLibrary& lib,
                                    const SynthesisOptions& opts) {
+  if (opts.incremental_sta) {
+    for (Gate& g : nl.gates()) g.variant = 0;
+    sta::IncrementalTimer timer(nl, lib);
+    return synthesize_with_timer(nl, lib, opts, timer, true);
+  }
+  util::perf_counters().synth_calls.fetch_add(1, std::memory_order_relaxed);
   size_for_target(nl, lib, opts);
   const auto rep = sta::analyze(nl, lib);
   SynthesisResult res;
@@ -287,9 +386,17 @@ SynthesisResult synthesize_netlist(Netlist& nl, const CellLibrary& lib,
 SynthesisResult synthesize_design(const ppg::MultiplierSpec& spec,
                                   const ct::CompressorTree& tree,
                                   double target_delay_ns) {
+  const PreparedDesign prep(spec, tree);
+  return prep.synthesize(target_delay_ns);
+}
+
+SynthesisResult synthesize_design_legacy(const ppg::MultiplierSpec& spec,
+                                         const ct::CompressorTree& tree,
+                                         double target_delay_ns) {
   const CellLibrary& lib = CellLibrary::nangate45();
   SynthesisOptions opts;
   opts.target_delay_ns = target_delay_ns;
+  opts.incremental_sta = false;
 
   // kAllCpaKinds is ordered by area, so the first architecture that
   // meets the target is (to first order) the min-area choice; stop
@@ -297,6 +404,8 @@ SynthesisResult synthesize_design(const ppg::MultiplierSpec& spec,
   SynthesisResult best;
   bool have = false;
   for (CpaKind cpa : netlist::kAllCpaKinds) {
+    util::perf_counters().netlists_built.fetch_add(1,
+                                                   std::memory_order_relaxed);
     Netlist nl = ppg::build_multiplier(spec, tree, cpa);
     SynthesisResult res = synthesize_netlist(nl, lib, opts);
     res.cpa = cpa;

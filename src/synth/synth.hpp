@@ -14,13 +14,17 @@
 // and loose constraints recover it, which produces the area-delay
 // trade-off curves of Figs 9-11.
 
+#include <array>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "ct/compressor_tree.hpp"
 #include "netlist/cell_library.hpp"
 #include "netlist/netlist.hpp"
 #include "ppg/ppg.hpp"
+#include "sta/sta.hpp"
 
 namespace rlmul::synth {
 
@@ -50,6 +54,11 @@ struct SynthesisOptions {
   double target_delay_ns = 1.0;
   int max_upsize_passes = 24;
   bool area_recovery = true;
+  /// Worklist-based incremental STA during sizing: each pass
+  /// re-propagates arrival times only downstream of the gates whose
+  /// drive changed. Off = one full sta::analyze per pass (the
+  /// verification reference; results are identical either way).
+  bool incremental_sta = true;
 };
 
 struct SynthesisResult {
@@ -70,17 +79,83 @@ SynthesisResult synthesize_netlist(netlist::Netlist& nl,
                                    const netlist::CellLibrary& lib,
                                    const SynthesisOptions& opts);
 
+/// Sizing + reporting against an existing incremental timer. The timer
+/// must have been constructed over `nl` and be in sync with it (all
+/// variants at 0 for a freshly prepared netlist). Power estimation is
+/// skipped when `compute_power` is false — the fast path defers it to
+/// the one CPA architecture that wins.
+SynthesisResult synthesize_with_timer(netlist::Netlist& nl,
+                                      const netlist::CellLibrary& lib,
+                                      const SynthesisOptions& opts,
+                                      sta::IncrementalTimer& timer,
+                                      bool compute_power = true);
+
 /// Full design-point synthesis: builds one netlist per CPA
 /// architecture, sizes each, returns the best (met-timing designs by
-/// area, otherwise fastest).
+/// area, otherwise fastest). Routed through a PreparedDesign, so the
+/// PPG + compressor-tree prefix is built once and shared by every CPA
+/// variant tried.
 SynthesisResult synthesize_design(const ppg::MultiplierSpec& spec,
                                   const ct::CompressorTree& tree,
                                   double target_delay_ns);
+
+/// Reference implementation of synthesize_design: rebuilds the full
+/// netlist per CPA and runs one full sta::analyze per sizing pass.
+/// Kept as the slow cross-check the fast-path tests compare against
+/// (and the RLMUL_FASTPATH=0 A/B baseline).
+SynthesisResult synthesize_design_legacy(const ppg::MultiplierSpec& spec,
+                                         const ct::CompressorTree& tree,
+                                         double target_delay_ns);
+
+/// A design point prepared for repeated synthesis: the PPG +
+/// compressor-tree prefix is built once, each CPA variant is appended
+/// onto a copy on first use (concurrently safe), and the per-CPA
+/// timing structure (topo order, fanout, static loads) is shared by
+/// every target synthesized through it. `synthesize` is `const` and
+/// thread-safe: concurrent targets size private copies of the prepared
+/// netlists, so the multi-constraint evaluation can fan out.
+class PreparedDesign {
+ public:
+  PreparedDesign(const ppg::MultiplierSpec& spec,
+                 const ct::CompressorTree& tree);
+
+  PreparedDesign(const PreparedDesign&) = delete;
+  PreparedDesign& operator=(const PreparedDesign&) = delete;
+
+  const ppg::MultiplierSpec& spec() const { return spec_; }
+
+  /// Same contract (and bit-identical result) as synthesize_design.
+  SynthesisResult synthesize(double target_delay_ns) const;
+
+  /// The prepared netlist for one CPA kind (variants at 0); built on
+  /// first use. The evaluator runs its equivalence gate on this.
+  const netlist::Netlist& netlist(netlist::CpaKind cpa) const;
+
+ private:
+  static constexpr std::size_t kNumCpa = std::size(netlist::kAllCpaKinds);
+  struct CpaEntry {
+    std::once_flag once;
+    netlist::Netlist netlist;
+    std::shared_ptr<const sta::TimingGraph> graph;
+  };
+  const CpaEntry& entry(std::size_t idx) const;
+
+  ppg::MultiplierSpec spec_;
+  ppg::MultiplierPrefix prefix_;
+  mutable std::array<CpaEntry, kNumCpa> entries_;
+};
 
 /// Per-net slacks against a target (backward required-time pass);
 /// used by sizing and exposed for tests.
 std::vector<double> net_slacks(const netlist::Netlist& nl,
                                const netlist::CellLibrary& lib,
                                double target_ps);
+
+/// Same backward pass over precomputed timing state (no internal
+/// sta::analyze); `rep` must describe the current netlist.
+std::vector<double> net_slacks(const netlist::Netlist& nl,
+                               const netlist::CellLibrary& lib,
+                               double target_ps,
+                               const sta::TimingReport& rep);
 
 }  // namespace rlmul::synth

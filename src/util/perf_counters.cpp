@@ -1,0 +1,41 @@
+#include "util/perf_counters.hpp"
+
+#include <sstream>
+
+namespace rlmul::util {
+
+void PerfCounters::reset() {
+  unique_evals = 0;
+  cache_hits = 0;
+  inflight_waits = 0;
+  synth_calls = 0;
+  netlists_built = 0;
+  cpa_variants_built = 0;
+  netlists_reused = 0;
+  sta_full_updates = 0;
+  sta_incremental_updates = 0;
+  sta_gates_retimed = 0;
+}
+
+PerfCounters& perf_counters() {
+  static PerfCounters counters;
+  return counters;
+}
+
+std::string format_perf_counters() {
+  const PerfCounters& c = perf_counters();
+  std::ostringstream os;
+  os << "unique_evals=" << c.unique_evals.load()
+     << " cache_hits=" << c.cache_hits.load()
+     << " inflight_waits=" << c.inflight_waits.load()
+     << " synth_calls=" << c.synth_calls.load()
+     << " netlists_built=" << c.netlists_built.load()
+     << " cpa_variants_built=" << c.cpa_variants_built.load()
+     << " netlists_reused=" << c.netlists_reused.load()
+     << " sta_full_updates=" << c.sta_full_updates.load()
+     << " sta_incremental_updates=" << c.sta_incremental_updates.load()
+     << " sta_gates_retimed=" << c.sta_gates_retimed.load();
+  return os.str();
+}
+
+}  // namespace rlmul::util

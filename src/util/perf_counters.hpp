@@ -1,0 +1,38 @@
+#pragma once
+// Process-wide throughput counters for the reward-oracle fast path.
+// The paper counts its search budget in EDA-tool calls, so the benches
+// report exactly where those calls go: unique evaluations vs cache
+// hits, netlists built from scratch vs reused from a prepared design,
+// and full vs incremental STA updates. All fields are relaxed atomics —
+// they are statistics, not synchronization.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace rlmul::util {
+
+struct PerfCounters {
+  std::atomic<std::uint64_t> unique_evals{0};   ///< designs synthesized
+  std::atomic<std::uint64_t> cache_hits{0};     ///< evaluator cache hits
+  std::atomic<std::uint64_t> inflight_waits{0}; ///< dedup'd duplicate work
+  std::atomic<std::uint64_t> synth_calls{0};    ///< netlist sizings (CPA x target)
+  std::atomic<std::uint64_t> netlists_built{0};    ///< full from-scratch builds
+  std::atomic<std::uint64_t> cpa_variants_built{0};///< CPA appended to a prefix
+  std::atomic<std::uint64_t> netlists_reused{0};   ///< sized from a cached copy
+  std::atomic<std::uint64_t> sta_full_updates{0};
+  std::atomic<std::uint64_t> sta_incremental_updates{0};
+  std::atomic<std::uint64_t> sta_gates_retimed{0}; ///< gate recomputes, incremental mode
+
+  void reset();
+};
+
+/// The process-wide instance.
+PerfCounters& perf_counters();
+
+/// One-line `key=value` rendering, stable key order, suitable for CI
+/// parsing (`RLMUL_COUNTERS <this>` is the contract the smoke test
+/// checks).
+std::string format_perf_counters();
+
+}  // namespace rlmul::util

@@ -1,0 +1,45 @@
+#include "util/thread_pool.hpp"
+
+#include "util/config.hpp"
+
+namespace rlmul::util {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) num_threads = 1;
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(static_cast<int>(env_long(
+      "RLMUL_SYNTH_THREADS",
+      static_cast<long>(std::thread::hardware_concurrency()))));
+  return pool;
+}
+
+}  // namespace rlmul::util

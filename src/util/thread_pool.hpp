@@ -1,0 +1,60 @@
+#pragma once
+// Small fixed-size thread pool shared by the synthesis fast path: the
+// evaluator fans the per-target sizings (and the independent CPA
+// builds behind them) out to these workers. Tasks must never block on
+// other pool tasks — the pool is used strictly one level deep, so a
+// single worker (the 1-CPU CI case) still drains every queue.
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace rlmul::util {
+
+class ThreadPool {
+ public:
+  /// `num_threads <= 0` falls back to one worker.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task; the future resolves when a worker has run it.
+  template <class F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Process-wide pool, sized by RLMUL_SYNTH_THREADS (default: hardware
+  /// concurrency). Constructed on first use, joined at exit.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace rlmul::util

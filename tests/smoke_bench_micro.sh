@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# CI smoke for the reward-oracle fast path: runs the evaluate-path
+# micro-benchmark (tiny budget) and checks the machine-readable
+# RLMUL_COUNTERS line the bench prints on exit. Fails on a crash, a
+# missing/malformed counters line, or counters that show the fast path
+# never engaged. Usage: smoke_bench_micro.sh <path-to-bench_micro>
+set -u
+
+bench="${1:?usage: smoke_bench_micro.sh <bench_micro>}"
+
+out="$("$bench" --benchmark_filter='BM_EvaluateUniqueDesign/bits:8/fast:1' \
+        --benchmark_min_time=0.01 2>&1)"
+status=$?
+if [ "$status" -ne 0 ]; then
+  echo "$out"
+  echo "FAIL: bench_micro exited with status $status"
+  exit 1
+fi
+
+line="$(printf '%s\n' "$out" | grep '^RLMUL_COUNTERS ' | tail -n 1)"
+if [ -z "$line" ]; then
+  echo "$out"
+  echo "FAIL: no RLMUL_COUNTERS line in bench_micro output"
+  exit 1
+fi
+echo "$line"
+
+# Every token after the prefix must be key=value with a decimal value.
+for tok in ${line#RLMUL_COUNTERS }; do
+  case "$tok" in
+    *=*) ;;
+    *) echo "FAIL: malformed counter token '$tok'"; exit 1 ;;
+  esac
+  key="${tok%%=*}"
+  val="${tok#*=}"
+  if ! printf '%s' "$key" | grep -Eq '^[a-z_]+$'; then
+    echo "FAIL: malformed counter key '$key'"
+    exit 1
+  fi
+  if ! printf '%s' "$val" | grep -Eq '^[0-9]+$'; then
+    echo "FAIL: malformed counter value '$tok'"
+    exit 1
+  fi
+done
+
+get() {
+  printf '%s\n' "$line" | tr ' ' '\n' | grep "^$1=" | head -n 1 | cut -d= -f2
+}
+
+unique="$(get unique_evals)"
+incr="$(get sta_incremental_updates)"
+reused="$(get netlists_reused)"
+if [ -z "$unique" ] || [ "$unique" -lt 1 ]; then
+  echo "FAIL: expected unique_evals >= 1, got '${unique:-missing}'"
+  exit 1
+fi
+if [ -z "$incr" ] || [ "$incr" -lt 1 ]; then
+  echo "FAIL: expected sta_incremental_updates >= 1, got '${incr:-missing}'"
+  exit 1
+fi
+if [ -z "$reused" ] || [ "$reused" -lt 1 ]; then
+  echo "FAIL: expected netlists_reused >= 1, got '${reused:-missing}'"
+  exit 1
+fi
+echo "PASS: bench_micro smoke (unique_evals=$unique," \
+     "sta_incremental_updates=$incr, netlists_reused=$reused)"
