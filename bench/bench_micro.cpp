@@ -12,6 +12,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/harness.hpp"
@@ -21,6 +22,7 @@
 #include "nn/resnet.hpp"
 #include "ppg/ppg.hpp"
 #include "rl/env.hpp"
+#include "rl/env_pool.hpp"
 #include "sim/simulator.hpp"
 #include "sta/sta.hpp"
 #include "synth/evaluator.hpp"
@@ -132,6 +134,59 @@ BENCHMARK(BM_EvaluateUniqueDesign)
     ->Args({16, 1})
     ->Args({16, 0})
     ->Unit(benchmark::kMillisecond);
+
+// One parallel environment step dispatched through the persistent
+// rl::EnvPool workers (pool=1) versus the per-step std::thread
+// spawn/join the A2C trainer historically paid on every rollout step
+// (pool=0). The envs alternate a cached step with a reset, so after
+// the first lap synthesis is free and the measurement isolates the
+// dispatch overhead the pool removes.
+void BM_ParallelEnvStep(benchmark::State& state) {
+  const ppg::MultiplierSpec spec{8, ppg::PpgKind::kAnd, false};
+  const int workers = static_cast<int>(state.range(0));
+  const bool pooled = state.range(1) != 0;
+  synth::DesignEvaluator evaluator(spec);
+  rl::EnvPool pool(evaluator, rl::EnvConfig{}, workers);
+  // Every env always steps the same legal action from the initial
+  // state, so each evaluate() is a cache hit after the first lap.
+  std::vector<int> actions(static_cast<std::size_t>(workers));
+  {
+    const auto mask = pool.env(0).mask();
+    int first = 0;
+    while (mask[static_cast<std::size_t>(first)] == 0) ++first;
+    for (auto& a : actions) a = first;
+  }
+  const std::vector<int> resets(static_cast<std::size_t>(workers), -1);
+  bool do_reset = false;
+  for (auto _ : state) {
+    const auto& acts = do_reset ? resets : actions;
+    if (pooled) {
+      benchmark::DoNotOptimize(pool.step_all(acts).size());
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(workers));
+      for (int i = 0; i < workers; ++i) {
+        threads.emplace_back([&acts, &pool, i] {
+          const int a = acts[static_cast<std::size_t>(i)];
+          if (a < 0) {
+            pool.env(i).reset();
+          } else {
+            pool.env(i).step(a);
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+    }
+    do_reset = !do_reset;
+  }
+}
+BENCHMARK(BM_ParallelEnvStep)
+    ->ArgNames({"envs", "pool"})
+    ->Args({4, 1})
+    ->Args({4, 0})
+    ->Args({8, 1})
+    ->Args({8, 0})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_EncodeState(benchmark::State& state) {
   const ppg::MultiplierSpec spec{16, ppg::PpgKind::kAnd, false};

@@ -5,9 +5,8 @@
 #include <limits>
 
 #include "baselines/gomil.hpp"
-#include "baselines/sa.hpp"
-#include "rl/a2c.hpp"
-#include "rl/dqn.hpp"
+#include "search/driver.hpp"
+#include "search/registry.hpp"
 #include "synth/synth.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/config.hpp"
@@ -28,6 +27,8 @@ Config config() {
       util::env_long("RLMUL_SWEEP", util::quick_mode() ? 4 : 6));
   cfg.samples = static_cast<int>(
       util::env_long("RLMUL_SAMPLES", util::scaled(60)));
+  cfg.eda_budget = static_cast<std::size_t>(
+      util::env_long("RLMUL_EDA_BUDGET", 0));
   return cfg;
 }
 
@@ -134,78 +135,80 @@ void merge_candidates(std::vector<ct::CompressorTree>& into,
 
 }  // namespace
 
-std::vector<ct::CompressorTree> sa_candidates(const ppg::MultiplierSpec& spec,
-                                              int steps,
-                                              std::uint64_t seed) {
+std::vector<ct::CompressorTree> method_candidates(
+    const ppg::MultiplierSpec& spec, const std::string& method, int steps,
+    int threads, std::uint64_t seed, std::size_t eda_budget) {
+  // The one-shot baselines propose exactly their closed-form design —
+  // no weight sweep, no frontier collection (the frontier would only
+  // re-add the Wallace starting point to every candidate set).
+  if (method == "wallace") return wallace_candidates(spec);
+  if (method == "gomil") return gomil_candidates(spec);
+
   std::vector<ct::CompressorTree> out;
   for (int w = 0; w < kNumWeightConfigs; ++w) {
     synth::DesignEvaluator evaluator(spec);
-    baselines::SaOptions opts;
-    opts.steps = std::max(1, steps / kNumWeightConfigs);
-    opts.w_area = kWeightSweep[w].area;
-    opts.w_delay = kWeightSweep[w].delay;
-    opts.seed = seed + static_cast<std::uint64_t>(w);
-    const auto res = baselines::simulated_annealing(evaluator, opts);
+    search::MethodConfig cfg;
+    cfg.steps = std::max(1, steps / kNumWeightConfigs);
+    // DQN explores randomly for the first eighth of its budget; A2C
+    // runs the same number of per-thread steps as the sequential
+    // methods (the paper budgets equal *wall time*, Section IV-A), so
+    // the parallel workers collect ~threads-times more EDA feedback.
+    if (method == "dqn") cfg.warmup = std::max(4, cfg.steps / 8);
+    cfg.threads = threads;
+    cfg.w_area = kWeightSweep[w].area;
+    cfg.w_delay = kWeightSweep[w].delay;
+    cfg.seed = seed + static_cast<std::uint64_t>(w);
+    auto m = search::make_method(method, cfg);
+    search::Driver driver(evaluator, {eda_budget, 0});
+    const auto res = driver.run(*m);
     merge_candidates(out, collect_candidates(evaluator, res.best_tree, 4));
   }
   return out;
+}
+
+std::vector<ct::CompressorTree> sa_candidates(const ppg::MultiplierSpec& spec,
+                                              int steps,
+                                              std::uint64_t seed) {
+  return method_candidates(spec, "sa", steps, 1, seed, 0);
 }
 
 std::vector<ct::CompressorTree> dqn_candidates(const ppg::MultiplierSpec& spec,
                                                int steps,
                                                std::uint64_t seed) {
-  std::vector<ct::CompressorTree> out;
-  for (int w = 0; w < kNumWeightConfigs; ++w) {
-    synth::DesignEvaluator evaluator(spec);
-    rl::DqnOptions opts;
-    opts.steps = std::max(1, steps / kNumWeightConfigs);
-    opts.warmup = std::max(4, opts.steps / 8);
-    opts.w_area = kWeightSweep[w].area;
-    opts.w_delay = kWeightSweep[w].delay;
-    opts.seed = seed + static_cast<std::uint64_t>(w);
-    const auto res = rl::train_dqn(evaluator, opts);
-    merge_candidates(out, collect_candidates(evaluator, res.best_tree, 4));
-  }
-  return out;
+  return method_candidates(spec, "dqn", steps, 1, seed, 0);
 }
 
 std::vector<ct::CompressorTree> a2c_candidates(const ppg::MultiplierSpec& spec,
                                                int steps, int threads,
                                                std::uint64_t seed) {
-  std::vector<ct::CompressorTree> out;
-  for (int w = 0; w < kNumWeightConfigs; ++w) {
-    synth::DesignEvaluator evaluator(spec);
-    rl::A2cOptions opts;
-    // The paper budgets equal *wall time*, so the parallel workers run
-    // the same number of per-thread steps as the sequential methods and
-    // collect ~threads-times more EDA feedback (Section IV-A).
-    opts.steps = std::max(1, steps / kNumWeightConfigs);
-    opts.num_threads = threads;
-    opts.w_area = kWeightSweep[w].area;
-    opts.w_delay = kWeightSweep[w].delay;
-    opts.seed = seed + static_cast<std::uint64_t>(w);
-    const auto res = rl::train_a2c(evaluator, opts);
-    merge_candidates(out, collect_candidates(evaluator, res.best_tree, 4));
-  }
-  return out;
+  return method_candidates(spec, "a2c", steps, threads, seed, 0);
 }
 
 std::vector<MethodFrontier> run_all_methods(const ppg::MultiplierSpec& spec,
                                             const Config& cfg) {
   const auto sweep = delay_sweep(spec, cfg.sweep_points);
   std::vector<MethodFrontier> out;
-  auto add = [&](std::string name, std::vector<ct::CompressorTree> trees) {
-    MethodFrontier mf;
-    mf.name = std::move(name);
-    mf.front = design_frontier(spec, trees, sweep);
-    mf.candidates = std::move(trees);
-    out.push_back(std::move(mf));
+  // Display name, registry name, base seed — dispatched by string
+  // through the search registry.
+  struct Entry {
+    const char* display;
+    const char* method;
+    std::uint64_t seed;
   };
-  add("Wallace", wallace_candidates(spec));
-  add("GOMIL", gomil_candidates(spec));
-  add("SA", sa_candidates(spec, cfg.rl_steps, 101));
-  add("RL-MUL", dqn_candidates(spec, cfg.rl_steps, 202));
-  add("RL-MUL-E", a2c_candidates(spec, cfg.rl_steps, cfg.threads, 303));
+  constexpr Entry kEntries[] = {{"Wallace", "wallace", 0},
+                                {"GOMIL", "gomil", 0},
+                                {"SA", "sa", 101},
+                                {"RL-MUL", "dqn", 202},
+                                {"RL-MUL-E", "a2c", 303}};
+  for (const Entry& entry : kEntries) {
+    MethodFrontier mf;
+    mf.name = entry.display;
+    mf.candidates = method_candidates(spec, entry.method, cfg.rl_steps,
+                                      cfg.threads, entry.seed,
+                                      cfg.eda_budget);
+    mf.front = design_frontier(spec, mf.candidates, sweep);
+    out.push_back(std::move(mf));
+  }
   print_perf_counters();
   return out;
 }

@@ -7,12 +7,20 @@
 //
 // Workload scaling knobs (environment):
 //   RLMUL_STEPS   search budget per method        (default 100)
+//                 counts search *steps*; the number of EDA calls per
+//                 step varies by method (A2C consumes one per worker)
+//   RLMUL_EDA_BUDGET  cap on *unique synthesis evaluations* per
+//                 weight-config run (default 0 = unlimited). Unlike
+//                 RLMUL_STEPS this bounds actual EDA-tool work: cached
+//                 re-evaluations are free, and the driver stops a
+//                 method before the step that could overrun the cap.
 //   RLMUL_THREADS A2C workers                     (default 4)
 //   RLMUL_SEEDS   seeds for trajectory statistics (default 3)
 //   RLMUL_SWEEP   target delays in final sweeps   (default 6)
 //   RLMUL_SAMPLES random designs for Fig 7/8      (default 60)
 //   RLMUL_QUICK   1 = CI-size (everything / 8)
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -30,6 +38,8 @@ struct Config {
   int seeds = 3;
   int sweep_points = 6;
   int samples = 60;
+  /// Unique-synthesis-evaluation cap per weight-config run; 0 = off.
+  std::size_t eda_budget = 0;
 };
 
 /// Reads the RLMUL_* environment knobs.
@@ -59,6 +69,15 @@ std::vector<ct::CompressorTree> wallace_candidates(
     const ppg::MultiplierSpec& spec);
 std::vector<ct::CompressorTree> gomil_candidates(
     const ppg::MultiplierSpec& spec);
+/// Generic runner: dispatches any registered search method by name
+/// through search::Driver, sweeping the paper's three weight configs
+/// and collecting the non-dominated visited designs. `eda_budget`
+/// bounds unique synthesis evaluations per weight-config run (0 = off).
+/// The one-shot baselines ("wallace", "gomil") return their single
+/// closed-form tree.
+std::vector<ct::CompressorTree> method_candidates(
+    const ppg::MultiplierSpec& spec, const std::string& method, int steps,
+    int threads, std::uint64_t seed, std::size_t eda_budget);
 std::vector<ct::CompressorTree> sa_candidates(const ppg::MultiplierSpec& spec,
                                               int steps, std::uint64_t seed);
 std::vector<ct::CompressorTree> dqn_candidates(

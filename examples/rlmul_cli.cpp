@@ -7,22 +7,25 @@
 //   rlmul_cli report   --bits 16 --ppg and --tree wallace
 //
 // `generate` emits structural Verilog for a classic tree, `optimize`
-// searches with SA / RL-MUL / RL-MUL-E and emits the best design,
-// `check` runs the equivalence gate, `report` prints the synthesis
-// trade-off table.
+// dispatches any method registered in the search layer (sa / dqn / a2c
+// / gomil / wallace) and emits the best design, `check` runs the
+// equivalence gate, `report` prints the synthesis trade-off table.
+// Long searches can be capped (--budget), checkpointed (--checkpoint)
+// and continued later (--resume) without losing trajectory fidelity.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 
 #include "baselines/gomil.hpp"
-#include "baselines/sa.hpp"
 #include "ct/compressor_tree.hpp"
 #include "netlist/verilog.hpp"
 #include "ppg/ppg.hpp"
-#include "rl/a2c.hpp"
-#include "rl/dqn.hpp"
+#include "search/checkpoint.hpp"
+#include "search/driver.hpp"
+#include "search/registry.hpp"
 #include "sim/simulator.hpp"
 #include "synth/evaluator.hpp"
 #include "synth/synth.hpp"
@@ -42,6 +45,9 @@ struct Args {
   std::string method = "a2c";
   int steps = 150;
   std::uint64_t seed = 1;
+  std::size_t budget = 0;
+  std::string checkpoint;
+  std::string resume;
   std::string output;
 };
 
@@ -54,8 +60,13 @@ int usage() {
       "  --mac           merged multiply-accumulate\n"
       "  --tree NAME     wallace | dadda | gomil (default wallace)\n"
       "  --cpa KIND      rca | ks (default rca)\n"
-      "  --method NAME   sa | dqn | a2c (optimize; default a2c)\n"
-      "  --steps N       search budget (default 150)\n"
+      "  --method NAME   sa | dqn | a2c | gomil | wallace\n"
+      "                  (optimize; default a2c)\n"
+      "  --steps N       search budget in steps (default 150)\n"
+      "  --budget N      cap unique synthesis evaluations (default 0 = off)\n"
+      "  --checkpoint F  save search state to F after the run\n"
+      "  --resume F      continue the search saved in F (method comes\n"
+      "                  from the checkpoint; --method is ignored)\n"
       "  --seed N        RNG seed (default 1)\n"
       "  -o FILE         write Verilog to FILE\n");
   return 2;
@@ -98,6 +109,18 @@ bool parse(int argc, char** argv, Args& args) {
       const char* v = next();
       if (v == nullptr) return false;
       args.steps = std::atoi(v);
+    } else if (flag == "--budget") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.budget = static_cast<std::size_t>(std::atoll(v));
+    } else if (flag == "--checkpoint") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.checkpoint = v;
+    } else if (flag == "--resume") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.resume = v;
     } else if (flag == "--seed") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -172,33 +195,43 @@ int cmd_report(const Args& args, const ppg::MultiplierSpec& spec) {
 
 int cmd_optimize(const Args& args, const ppg::MultiplierSpec& spec) {
   synth::DesignEvaluator evaluator(spec);
-  ct::CompressorTree best;
-  if (args.method == "sa") {
-    baselines::SaOptions opts;
-    opts.steps = args.steps;
-    opts.seed = args.seed;
-    best = baselines::simulated_annealing(evaluator, opts).best_tree;
-  } else if (args.method == "dqn") {
-    rl::DqnOptions opts;
-    opts.steps = args.steps;
-    opts.seed = args.seed;
-    best = rl::train_dqn(evaluator, opts).best_tree;
-  } else if (args.method == "a2c") {
-    rl::A2cOptions opts;
-    opts.steps = std::max(1, args.steps / opts.num_threads);
-    opts.seed = args.seed;
-    best = rl::train_a2c(evaluator, opts).best_tree;
-  } else {
-    throw std::runtime_error("unknown method: " + args.method);
+  search::Driver driver(evaluator, {args.budget, 0});
+
+  std::string method_name = args.method;
+  search::Checkpoint ckpt;
+  const bool resuming = !args.resume.empty();
+  if (resuming) {
+    ckpt = search::Checkpoint::load_file(args.resume);
+    method_name = ckpt.method;
   }
+
+  search::MethodConfig cfg;
+  cfg.steps = args.steps;
+  cfg.seed = args.seed;
+  // The A2C workers advance in lockstep, so give each worker
+  // steps/threads environment steps: every method then consumes a
+  // comparable wall-time budget for the same --steps value.
+  if (method_name == "a2c") cfg.steps = std::max(1, args.steps / cfg.threads);
+  auto method = search::make_method(method_name, cfg);
+
+  const auto res = resuming ? driver.resume(*method, ckpt)
+                            : driver.run(*method);
+  if (!args.checkpoint.empty()) {
+    driver.make_checkpoint(*method).save_file(args.checkpoint);
+    std::printf("checkpoint: %s (%llu steps done, %s)\n",
+                args.checkpoint.c_str(),
+                static_cast<unsigned long long>(res.steps_done),
+                res.completed ? "search complete" : "resumable");
+  }
+
   const auto wallace_eval = evaluator.evaluate(ppg::initial_tree(spec));
-  const auto best_eval = evaluator.evaluate(best);
+  const auto best_eval = evaluator.evaluate(res.best_tree);
   std::printf("wallace: cost=%.4f  optimized: cost=%.4f  (%zu EDA calls)\n",
               evaluator.cost(wallace_eval, 1.0, 1.0),
               evaluator.cost(best_eval, 1.0, 1.0),
               evaluator.num_unique_evaluations());
-  std::printf("%s\n", ct::to_string(best).c_str());
-  emit(args, spec, best);
+  std::printf("%s\n", ct::to_string(res.best_tree).c_str());
+  emit(args, spec, res.best_tree);
   return 0;
 }
 

@@ -33,6 +33,9 @@ struct SaResult {
   std::vector<double> best_trajectory;
 };
 
+/// Runs SA to completion. Thin wrapper (defined in src/search) over
+/// search::SaMethod + search::Driver; produces the same trajectory the
+/// historical hand-rolled loop did at a fixed seed.
 SaResult simulated_annealing(synth::DesignEvaluator& evaluator,
                              const SaOptions& opts);
 

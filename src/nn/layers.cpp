@@ -276,6 +276,10 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
 
 std::vector<Param*> BatchNorm2d::params() { return {&gamma_, &beta_}; }
 
+std::vector<nt::Tensor*> BatchNorm2d::state_buffers() {
+  return {&running_mean_, &running_var_};
+}
+
 // -- ReLU ---------------------------------------------------------------------
 
 Tensor ReLU::forward(const Tensor& x) {

@@ -45,11 +45,14 @@ class BatchNorm2d : public Module {
   nt::Tensor forward(const nt::Tensor& x) override;
   nt::Tensor backward(const nt::Tensor& grad_out) override;
   std::vector<Param*> params() override;
+  std::vector<nt::Tensor*> state_buffers() override;
 
  private:
   int channels_;
   float momentum_, eps_;
   Param gamma_, beta_;
+  /// Exposed via state_buffers(): updated in training mode, read in
+  /// eval mode, so resuming a checkpointed training run needs them.
   nt::Tensor running_mean_, running_var_;
   // Backward caches:
   nt::Tensor x_hat_;

@@ -28,6 +28,14 @@ std::vector<Param*> Sequential::params() {
   return out;
 }
 
+std::vector<nt::Tensor*> Sequential::state_buffers() {
+  std::vector<nt::Tensor*> out;
+  for (auto& child : children_) {
+    for (nt::Tensor* t : child->state_buffers()) out.push_back(t);
+  }
+  return out;
+}
+
 void Sequential::set_training(bool training) {
   Module::set_training(training);
   for (auto& child : children_) child->set_training(training);

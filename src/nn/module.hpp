@@ -32,6 +32,12 @@ class Module {
   virtual nt::Tensor backward(const nt::Tensor& grad_out) = 0;
 
   virtual std::vector<Param*> params() { return {}; }
+  /// Non-trainable state that evolves during training (e.g. batch-norm
+  /// running statistics). Not part of params()/save_params — the
+  /// parameter blob format and target-network sync copy trainable
+  /// values only — but required to checkpoint/resume a training run
+  /// bit-for-bit (src/search serializes these alongside the params).
+  virtual std::vector<nt::Tensor*> state_buffers() { return {}; }
   virtual void set_training(bool training) { training_ = training; }
   bool training() const { return training_; }
 
@@ -54,6 +60,7 @@ class Sequential : public Module {
   nt::Tensor forward(const nt::Tensor& x) override;
   nt::Tensor backward(const nt::Tensor& grad_out) override;
   std::vector<Param*> params() override;
+  std::vector<nt::Tensor*> state_buffers() override;
   void set_training(bool training) override;
 
   std::size_t size() const { return children_.size(); }

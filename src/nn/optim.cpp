@@ -39,6 +39,12 @@ void Sgd::step() {
   }
 }
 
+std::vector<nt::Tensor*> Sgd::state_tensors() {
+  std::vector<nt::Tensor*> out;
+  for (nt::Tensor& t : velocity_) out.push_back(&t);
+  return out;
+}
+
 RmsProp::RmsProp(std::vector<Param*> params, double lr, double decay,
                  double eps)
     : Optimizer(std::move(params)), lr_(lr), decay_(decay), eps_(eps) {
@@ -57,6 +63,12 @@ void RmsProp::step() {
                      (std::sqrt(ms[i]) + static_cast<float>(eps_));
     }
   }
+}
+
+std::vector<nt::Tensor*> RmsProp::state_tensors() {
+  std::vector<nt::Tensor*> out;
+  for (nt::Tensor& t : mean_square_) out.push_back(&t);
+  return out;
 }
 
 Adam::Adam(std::vector<Param*> params, double lr, double beta1, double beta2,
@@ -90,6 +102,21 @@ void Adam::step() {
           static_cast<float>(lr_ * mh / (std::sqrt(vh) + eps_));
     }
   }
+}
+
+std::vector<nt::Tensor*> Adam::state_tensors() {
+  std::vector<nt::Tensor*> out;
+  for (nt::Tensor& t : m_) out.push_back(&t);
+  for (nt::Tensor& t : v_) out.push_back(&t);
+  return out;
+}
+
+std::vector<double> Adam::state_scalars() const {
+  return {static_cast<double>(t_)};
+}
+
+void Adam::set_state_scalars(const std::vector<double>& scalars) {
+  if (!scalars.empty()) t_ = static_cast<int>(scalars.front());
 }
 
 }  // namespace rlmul::nn

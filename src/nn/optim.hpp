@@ -20,6 +20,16 @@ class Optimizer {
   /// Global-norm gradient clipping; returns the pre-clip norm.
   double clip_grad_norm(double max_norm);
 
+  /// Internal per-parameter state tensors (momentum / mean-square
+  /// accumulators) in a stable order, exposed so search checkpoints can
+  /// round-trip an optimizer bit-for-bit.
+  virtual std::vector<nt::Tensor*> state_tensors() { return {}; }
+  /// Scalar state (e.g. Adam's step counter).
+  virtual std::vector<double> state_scalars() const { return {}; }
+  virtual void set_state_scalars(const std::vector<double>& scalars) {
+    (void)scalars;
+  }
+
  protected:
   std::vector<Param*> params_;
 };
@@ -28,6 +38,7 @@ class Sgd : public Optimizer {
  public:
   Sgd(std::vector<Param*> params, double lr, double momentum = 0.0);
   void step() override;
+  std::vector<nt::Tensor*> state_tensors() override;
 
  private:
   double lr_, momentum_;
@@ -39,6 +50,7 @@ class RmsProp : public Optimizer {
   RmsProp(std::vector<Param*> params, double lr, double decay = 0.99,
           double eps = 1e-8);
   void step() override;
+  std::vector<nt::Tensor*> state_tensors() override;
 
  private:
   double lr_, decay_, eps_;
@@ -50,6 +62,9 @@ class Adam : public Optimizer {
   Adam(std::vector<Param*> params, double lr, double beta1 = 0.9,
        double beta2 = 0.999, double eps = 1e-8);
   void step() override;
+  std::vector<nt::Tensor*> state_tensors() override;
+  std::vector<double> state_scalars() const override;
+  void set_state_scalars(const std::vector<double>& scalars) override;
 
  private:
   double lr_, beta1_, beta2_, eps_;

@@ -59,6 +59,14 @@ std::vector<Param*> BasicBlock::params() {
   return out;
 }
 
+std::vector<nt::Tensor*> BasicBlock::state_buffers() {
+  std::vector<nt::Tensor*> out = main_.state_buffers();
+  if (projection_) {
+    for (nt::Tensor* t : projection_->state_buffers()) out.push_back(t);
+  }
+  return out;
+}
+
 void BasicBlock::set_training(bool training) {
   Module::set_training(training);
   main_.set_training(training);
@@ -116,6 +124,10 @@ std::vector<Param*> ResNet::params() {
   std::vector<Param*> out = trunk_.params();
   for (Param* p : head_->params()) out.push_back(p);
   return out;
+}
+
+std::vector<nt::Tensor*> ResNet::state_buffers() {
+  return trunk_.state_buffers();  // the linear head has none
 }
 
 void ResNet::set_training(bool training) {

@@ -22,6 +22,7 @@ class BasicBlock : public Module {
   nt::Tensor forward(const nt::Tensor& x) override;
   nt::Tensor backward(const nt::Tensor& grad_out) override;
   std::vector<Param*> params() override;
+  std::vector<nt::Tensor*> state_buffers() override;
   void set_training(bool training) override;
 
  private:
@@ -50,6 +51,7 @@ class ResNet : public Module {
   nt::Tensor forward(const nt::Tensor& x) override;
   nt::Tensor backward(const nt::Tensor& grad_out) override;
   std::vector<Param*> params() override;
+  std::vector<nt::Tensor*> state_buffers() override;
   void set_training(bool training) override;
 
   /// Features before the head: [N, C] after global pooling.

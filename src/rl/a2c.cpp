@@ -2,13 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <limits>
-#include <memory>
-#include <thread>
-
-#include "nn/optim.hpp"
-#include "util/stats.hpp"
 
 namespace rlmul::rl {
 
@@ -31,217 +25,19 @@ std::vector<double> masked_softmax(const float* logits,
       total += probs[i];
     }
   }
+  if (!(total > 0.0)) {
+    // Degenerate logits (e.g. all -inf, where exp(-inf - -inf) is NaN):
+    // fall back to a uniform distribution over the legal actions rather
+    // than dividing by zero and emitting NaNs into action sampling.
+    double legal = 0.0;
+    for (std::uint8_t m : mask) legal += m != 0 ? 1.0 : 0.0;
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      probs[i] = mask[i] != 0 ? 1.0 / legal : 0.0;
+    }
+    return probs;
+  }
   for (double& p : probs) p /= total;
   return probs;
-}
-
-namespace {
-
-struct Sample {
-  ct::CompressorTree state;
-  std::vector<std::uint8_t> mask;
-  int action = -1;  ///< -1 = skip (env was reset on a dead end)
-  double reward = 0.0;
-  int env = 0;
-};
-
-}  // namespace
-
-TrainResult train_a2c(synth::DesignEvaluator& evaluator,
-                      const A2cOptions& opts) {
-  util::Rng rng(opts.seed);
-  EnvConfig env_cfg;
-  env_cfg.w_area = opts.w_area;
-  env_cfg.w_delay = opts.w_delay;
-  env_cfg.max_stages = opts.max_stages;
-  env_cfg.enable_42 = opts.enable_42;
-
-  std::vector<std::unique_ptr<MultiplierEnv>> envs;
-  for (int i = 0; i < opts.num_threads; ++i) {
-    envs.push_back(std::make_unique<MultiplierEnv>(evaluator, env_cfg));
-  }
-  const int num_actions = envs.front()->num_actions();
-  const int stage_pad = envs.front()->stage_pad();
-
-  std::shared_ptr<nn::ResNet> trunk =
-      make_agent_net(opts.net, num_actions, rng);
-  nn::Linear policy_head(trunk->feature_dim(), num_actions, rng);
-  nn::Linear value_head(trunk->feature_dim(), 1, rng);
-
-  std::vector<nn::Param*> params = trunk->params();
-  for (nn::Param* p : policy_head.params()) params.push_back(p);
-  for (nn::Param* p : value_head.params()) params.push_back(p);
-  nn::RmsProp optim(params, opts.lr);
-
-  TrainResult result;
-  result.best_tree = envs.front()->best_tree();
-  result.best_cost = envs.front()->best_cost();
-
-  auto record = [&](double mean_cost) {
-    result.trajectory.push_back(mean_cost);
-    for (const auto& env : envs) {
-      if (env->best_cost() < result.best_cost) {
-        result.best_cost = env->best_cost();
-        result.best_tree = env->best_tree();
-      }
-    }
-    result.best_trajectory.push_back(result.best_cost);
-  };
-
-  int t = 0;
-  while (t < opts.steps) {
-    // Episode boundaries land on rollout boundaries (t advances in
-    // n_step chunks), so a plain modulus check suffices.
-    if (opts.episode_length > 0 && t > 0 && t % opts.episode_length == 0) {
-      for (auto& env : envs) env->reset();
-    }
-    const int rollout = std::min(opts.n_step, opts.steps - t);
-    std::vector<Sample> samples;
-    samples.reserve(static_cast<std::size_t>(rollout) * envs.size());
-
-    for (int k = 0; k < rollout; ++k, ++t) {
-      // Batched policy evaluation for all workers.
-      std::vector<ct::CompressorTree> trees;
-      for (const auto& env : envs) trees.push_back(env->tree());
-      trunk->set_training(false);
-      policy_head.set_training(false);
-      const nt::Tensor feats =
-          trunk->forward_features(encode_batch(trees, stage_pad));
-      const nt::Tensor logits = policy_head.forward(feats);
-
-      std::vector<int> actions(envs.size(), -1);
-      std::vector<Sample> step_samples(envs.size());
-      for (std::size_t e = 0; e < envs.size(); ++e) {
-        step_samples[e].state = envs[e]->tree();
-        step_samples[e].mask = envs[e]->mask();
-        step_samples[e].env = static_cast<int>(e);
-        const auto probs = masked_softmax(
-            logits.data() + e * static_cast<std::size_t>(num_actions),
-            step_samples[e].mask);
-        const std::size_t pick = rng.sample_discrete(probs);
-        if (pick < probs.size()) {
-          actions[e] = static_cast<int>(pick);
-        }
-      }
-
-      // Parallel environment stepping: the synthesis calls dominate and
-      // overlap across threads (the point of RL-MUL-E).
-      std::vector<double> costs(envs.size(), 0.0);
-      std::vector<std::thread> workers;
-      for (std::size_t e = 0; e < envs.size(); ++e) {
-        workers.emplace_back([&, e]() {
-          if (actions[e] >= 0) {
-            const auto sr = envs[e]->step(actions[e]);
-            step_samples[e].action = actions[e];
-            step_samples[e].reward = sr.reward;
-            costs[e] = sr.cost;
-          } else {
-            envs[e]->reset();  // dead end under pruning
-            costs[e] = envs[e]->current_cost();
-          }
-        });
-      }
-      for (auto& w : workers) w.join();
-
-      record(util::mean(costs));
-      for (auto& s : step_samples) samples.push_back(std::move(s));
-    }
-
-    // Bootstrap values v(s_{t+n}) per worker.
-    std::vector<ct::CompressorTree> boot_trees;
-    for (const auto& env : envs) boot_trees.push_back(env->tree());
-    trunk->set_training(false);
-    value_head.set_training(false);
-    const nt::Tensor boot_feats =
-        trunk->forward_features(encode_batch(boot_trees, stage_pad));
-    const nt::Tensor boot_values = value_head.forward(boot_feats);
-
-    // n-step returns, walking each worker's chain backwards.
-    std::vector<double> returns(samples.size(), 0.0);
-    for (std::size_t e = 0; e < envs.size(); ++e) {
-      double ret = boot_values.at(static_cast<int>(e), 0);
-      for (int k = rollout - 1; k >= 0; --k) {
-        const std::size_t idx =
-            static_cast<std::size_t>(k) * envs.size() + e;
-        if (samples[idx].action < 0) {
-          ret = 0.0;  // episode boundary (reset): no bootstrap through it
-        } else {
-          ret = samples[idx].reward + opts.gamma * ret;
-        }
-        returns[idx] = ret;
-      }
-    }
-
-    // -- gradient step ------------------------------------------------------
-    std::vector<ct::CompressorTree> batch_trees;
-    for (const auto& s : samples) batch_trees.push_back(s.state);
-    trunk->set_training(true);
-    policy_head.set_training(true);
-    value_head.set_training(true);
-    trunk->zero_grad();
-    policy_head.zero_grad();
-    value_head.zero_grad();
-
-    const nt::Tensor feats =
-        trunk->forward_features(encode_batch(batch_trees, stage_pad));
-    const nt::Tensor logits = policy_head.forward(feats);
-    const nt::Tensor values = value_head.forward(feats);
-
-    const double inv_n = 1.0 / static_cast<double>(samples.size());
-    nt::Tensor grad_logits(logits.shape());
-    nt::Tensor grad_values(values.shape());
-    for (std::size_t s = 0; s < samples.size(); ++s) {
-      if (samples[s].action < 0) continue;
-      const auto probs = masked_softmax(
-          logits.data() + s * static_cast<std::size_t>(num_actions),
-          samples[s].mask);
-      const double v = values.at(static_cast<int>(s), 0);
-      const double advantage = returns[s] - v;  // Equation (4)
-
-      // Policy gradient (Equation 16): d(-log pi(a) * A)/dlogit_i
-      // = A * (pi_i - 1{i == a}) over the masked support, plus the
-      // entropy-bonus term.
-      double entropy = 0.0;
-      for (double p : probs) {
-        if (p > 0.0) entropy -= p * std::log(p);
-      }
-      for (int i = 0; i < num_actions; ++i) {
-        const double p = probs[static_cast<std::size_t>(i)];
-        if (samples[s].mask[static_cast<std::size_t>(i)] == 0) continue;
-        double g = advantage * (p - (i == samples[s].action ? 1.0 : 0.0));
-        if (p > 0.0) {
-          g += opts.entropy_coef * p * (std::log(p) + entropy);
-        }
-        grad_logits[s * static_cast<std::size_t>(num_actions) +
-                    static_cast<std::size_t>(i)] =
-            static_cast<float>(g * inv_n);
-      }
-      // Value gradient (Equations 18-19): d(delta^2/2)/dv = v - y.
-      grad_values.at(static_cast<int>(s), 0) =
-          static_cast<float>(opts.value_coef * (v - returns[s]) * inv_n);
-    }
-
-    nt::Tensor grad_feats = policy_head.backward(grad_logits);
-    const nt::Tensor grad_feats_v = value_head.backward(grad_values);
-    for (std::size_t i = 0; i < grad_feats.numel(); ++i) {
-      grad_feats[i] += grad_feats_v[i];
-    }
-    trunk->backward_features(grad_feats);
-    optim.clip_grad_norm(opts.grad_clip);
-    optim.step();
-
-    if (opts.verbose) {
-      std::fprintf(stderr,
-                   "[a2c] t=%-5d cost=%.4f best=%.4f eda=%zu\n", t,
-                   result.trajectory.empty() ? 0.0
-                                             : result.trajectory.back(),
-                   result.best_cost, evaluator.num_unique_evaluations());
-    }
-  }
-
-  result.eda_calls = evaluator.num_unique_evaluations();
-  result.network = trunk;
-  return result;
 }
 
 }  // namespace rlmul::rl

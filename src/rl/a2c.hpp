@@ -31,12 +31,17 @@ struct A2cOptions {
   std::uint64_t seed = 1;
 };
 
+/// Runs the A2C search to completion. Thin wrapper (defined in
+/// src/search) over search::A2cMethod + search::Driver; produces the
+/// same trajectory the historical hand-rolled loop did at a fixed seed.
 TrainResult train_a2c(synth::DesignEvaluator& evaluator,
                       const A2cOptions& opts);
 
 /// Masked softmax shared with the tests: illegal entries get zero
 /// probability; legal entries are a softmax over their logits.
-/// Returns all-zeros when no action is legal.
+/// Returns all-zeros when no action is legal; degenerates to uniform
+/// over the legal actions when the exponentials sum to zero or NaN
+/// (extreme logits), never dividing by zero.
 std::vector<double> masked_softmax(const float* logits,
                                    const std::vector<std::uint8_t>& mask);
 

@@ -1,10 +1,8 @@
 #include "rl/dqn.hpp"
 
-#include <algorithm>
 #include <limits>
 
-#include "nn/optim.hpp"
-#include "nn/serialize.hpp"
+#include "rl/env_pool.hpp"
 
 namespace rlmul::rl {
 
@@ -21,6 +19,11 @@ const Transition& ReplayBuffer::sample(util::Rng& rng) const {
   return data_[rng.next_below(data_.size())];
 }
 
+void ReplayBuffer::restore(std::vector<Transition> data, std::size_t next) {
+  data_ = std::move(data);
+  next_ = next;
+}
+
 std::unique_ptr<nn::ResNet> make_agent_net(AgentNet kind, int num_actions,
                                            util::Rng& rng) {
   const nn::ResNetConfig cfg =
@@ -30,9 +33,6 @@ std::unique_ptr<nn::ResNet> make_agent_net(AgentNet kind, int num_actions,
   return std::make_unique<nn::ResNet>(cfg, rng);
 }
 
-namespace {
-
-/// argmax over legal entries; returns -1 when nothing is legal.
 int masked_argmax(const float* q, const std::vector<std::uint8_t>& mask) {
   int best = -1;
   float best_q = -std::numeric_limits<float>::infinity();
@@ -45,171 +45,24 @@ int masked_argmax(const float* q, const std::vector<std::uint8_t>& mask) {
   return best;
 }
 
-int random_legal(const std::vector<std::uint8_t>& mask, util::Rng& rng) {
-  std::vector<double> w(mask.size());
-  for (std::size_t i = 0; i < mask.size(); ++i) w[i] = mask[i];
-  const std::size_t pick = rng.sample_discrete(w);
-  return pick < mask.size() ? static_cast<int>(pick) : -1;
-}
-
-}  // namespace
-
-TrainResult train_dqn(synth::DesignEvaluator& evaluator,
-                      const DqnOptions& opts) {
-  util::Rng rng(opts.seed);
-  EnvConfig env_cfg;
-  env_cfg.w_area = opts.w_area;
-  env_cfg.w_delay = opts.w_delay;
-  env_cfg.max_stages = opts.max_stages;
-  env_cfg.enable_42 = opts.enable_42;
-  MultiplierEnv env(evaluator, env_cfg);
-
-  const int num_actions = env.num_actions();
-  std::shared_ptr<nn::ResNet> net =
-      make_agent_net(opts.net, num_actions, rng);
-  std::unique_ptr<nn::ResNet> target;
-  if (opts.target_sync > 0) {
-    target = make_agent_net(opts.net, num_actions, rng);
-  }
-  nn::RmsProp optim(net->params(), opts.lr);
-
-  ReplayBuffer buffer(static_cast<std::size_t>(opts.buffer_capacity));
-  TrainResult result;
-  result.best_tree = env.best_tree();
-  result.best_cost = env.best_cost();
-
-  auto sync_target = [&]() {
-    if (target) nn::copy_params(*net, *target);
-  };
-  sync_target();
-
-  int updates = 0;
-  for (int t = 0; t < opts.steps; ++t) {
-    if (opts.episode_length > 0 && t > 0 && t % opts.episode_length == 0) {
-      env.reset();
-    }
-    const auto mask = env.mask();
-    int action = -1;
-    const double frac =
-        opts.steps > 1 ? static_cast<double>(t) / (opts.steps - 1) : 1.0;
-    const double eps =
-        opts.eps_start + (opts.eps_end - opts.eps_start) * frac;
-    if (t < opts.warmup || rng.next_double() < eps) {
-      action = random_legal(mask, rng);
-    } else {
-      net->set_training(false);
-      const nt::Tensor q = net->forward(env.observe());
-      action = masked_argmax(q.data(), mask);
-    }
-    if (action < 0) {
-      env.reset();  // dead end (can happen with very tight pruning)
-      continue;
-    }
-
-    const ct::CompressorTree state = env.tree();
-    const auto step = env.step(action);
-    Transition tr;
-    tr.state = state;
-    tr.action = action;
-    tr.reward = step.reward;
-    tr.next_state = env.tree();
-    tr.next_mask = env.mask();
-    buffer.push(std::move(tr));
-
-    result.trajectory.push_back(step.cost);
-    if (env.best_cost() < result.best_cost) {
-      result.best_cost = env.best_cost();
-      result.best_tree = env.best_tree();
-    }
-    result.best_trajectory.push_back(result.best_cost);
-
-    if (t < opts.warmup ||
-        buffer.size() < static_cast<std::size_t>(opts.batch_size)) {
-      continue;
-    }
-
-    // -- learning step -----------------------------------------------------
-    std::vector<const Transition*> batch;
-    batch.reserve(static_cast<std::size_t>(opts.batch_size));
-    for (int b = 0; b < opts.batch_size; ++b) {
-      batch.push_back(&buffer.sample(rng));
-    }
-
-    // Bootstrap targets: y = r + gamma * max_legal Q(s', .). With
-    // double DQN the arg-max comes from the online net and the value
-    // from the target net, decoupling selection from evaluation.
-    std::vector<ct::CompressorTree> next_states;
-    for (const Transition* tr_ptr : batch) next_states.push_back(tr_ptr->next_state);
-    const nt::Tensor next_batch = encode_batch(next_states, env.stage_pad());
-    nn::ResNet& boot_net = target ? *target : *net;
-    boot_net.set_training(false);
-    const nt::Tensor q_next = boot_net.forward(next_batch);
-    nt::Tensor q_next_online;
-    const bool use_double = opts.double_dqn && target != nullptr;
-    if (use_double) {
-      net->set_training(false);
-      q_next_online = net->forward(next_batch);
-    }
-    std::vector<double> targets;
-    for (int b = 0; b < opts.batch_size; ++b) {
-      const Transition* tr_ptr = batch[static_cast<std::size_t>(b)];
-      const float* selector =
-          (use_double ? q_next_online.data() : q_next.data()) +
-          static_cast<std::size_t>(b) * num_actions;
-      const int best = masked_argmax(selector, tr_ptr->next_mask);
-      const double boot =
-          best >= 0
-              ? q_next[static_cast<std::size_t>(b) * num_actions + best]
-              : 0.0;
-      targets.push_back(tr_ptr->reward + opts.gamma * boot);
-    }
-
-    std::vector<ct::CompressorTree> states;
-    for (const Transition* tr_ptr : batch) states.push_back(tr_ptr->state);
-    net->set_training(true);
-    net->zero_grad();
-    const nt::Tensor q = net->forward(encode_batch(states, env.stage_pad()));
-    nt::Tensor grad(q.shape());
-    for (int b = 0; b < opts.batch_size; ++b) {
-      const Transition* tr_ptr = batch[static_cast<std::size_t>(b)];
-      const std::size_t idx =
-          static_cast<std::size_t>(b) * num_actions + tr_ptr->action;
-      grad[idx] = static_cast<float>(
-          2.0 * (q[idx] - targets[static_cast<std::size_t>(b)]) /
-          opts.batch_size);
-    }
-    net->backward(grad);
-    optim.clip_grad_norm(opts.grad_clip);
-    optim.step();
-    ++updates;
-    if (target && opts.target_sync > 0 && updates % opts.target_sync == 0) {
-      sync_target();
-    }
-  }
-
-  result.eda_calls = evaluator.num_unique_evaluations();
-  result.network = net;
-  return result;
-}
-
 TrainResult greedy_rollout(synth::DesignEvaluator& evaluator,
                            nn::ResNet& net, int steps,
                            const EnvConfig& cfg) {
-  MultiplierEnv env(evaluator, cfg);
+  EnvPool pool(evaluator, cfg, 1);
   net.set_training(false);
   TrainResult result;
-  result.best_tree = env.best_tree();
-  result.best_cost = env.best_cost();
+  result.best_tree = pool.env(0).best_tree();
+  result.best_cost = pool.env(0).best_cost();
   for (int t = 0; t < steps; ++t) {
-    const auto mask = env.mask();
-    const nt::Tensor q = net.forward(env.observe());
+    const auto mask = pool.env(0).mask();
+    const nt::Tensor q = net.forward(pool.observe_batch());
     const int action = masked_argmax(q.data(), mask);
     if (action < 0) break;
-    const auto step = env.step(action);
-    result.trajectory.push_back(step.cost);
-    if (env.best_cost() < result.best_cost) {
-      result.best_cost = env.best_cost();
-      result.best_tree = env.best_tree();
+    const auto out = pool.step_all({action});
+    result.trajectory.push_back(out[0].cost);
+    if (pool.env(0).best_cost() < result.best_cost) {
+      result.best_cost = pool.env(0).best_cost();
+      result.best_tree = pool.env(0).best_tree();
     }
     result.best_trajectory.push_back(result.best_cost);
   }

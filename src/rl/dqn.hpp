@@ -58,8 +58,14 @@ struct TrainResult {
   std::shared_ptr<nn::ResNet> network;
 };
 
+/// Runs the DQN search to completion. Thin wrapper (defined in
+/// src/search) over search::DqnMethod + search::Driver; produces the
+/// same trajectory the historical hand-rolled loop did at a fixed seed.
 TrainResult train_dqn(synth::DesignEvaluator& evaluator,
                       const DqnOptions& opts);
+
+/// argmax over legal entries; returns -1 when nothing is legal.
+int masked_argmax(const float* q, const std::vector<std::uint8_t>& mask);
 
 /// Replay buffer shared by the tests; stores trees (compact) and
 /// re-encodes on sampling.
@@ -78,6 +84,12 @@ class ReplayBuffer {
   void push(Transition t);
   std::size_t size() const { return data_.size(); }
   const Transition& sample(util::Rng& rng) const;
+
+  /// Checkpoint access: stored transitions in insertion/ring order and
+  /// the ring cursor, restorable as a pair.
+  const std::vector<Transition>& contents() const { return data_; }
+  std::size_t next_index() const { return next_; }
+  void restore(std::vector<Transition> data, std::size_t next);
 
  private:
   std::size_t capacity_;

@@ -57,6 +57,14 @@ nt::Tensor encode_batch(const std::vector<ct::CompressorTree>& trees,
                         int stage_pad) {
   if (trees.empty()) throw std::invalid_argument("encode_batch: empty");
   const int cols = trees.front().columns();
+  for (std::size_t b = 1; b < trees.size(); ++b) {
+    if (trees[b].columns() != cols) {
+      throw std::invalid_argument(
+          "encode_batch: mixed column widths (" + std::to_string(cols) +
+          " vs " + std::to_string(trees[b].columns()) + " at index " +
+          std::to_string(b) + ")");
+    }
+  }
   nt::Tensor out(
       {static_cast<int>(trees.size()), kStateChannels, cols, stage_pad});
   const std::size_t plane = static_cast<std::size_t>(kStateChannels) * cols *
@@ -114,6 +122,13 @@ MultiplierEnv::StepResult MultiplierEnv::step(int action_index) {
     best_tree_ = tree_;
   }
   return out;
+}
+
+void MultiplierEnv::restore(const State& st) {
+  tree_ = st.tree;
+  cost_ = st.cost;
+  best_tree_ = st.best_tree;
+  best_cost_ = st.best_cost;
 }
 
 double MultiplierEnv::cost_of(const ct::CompressorTree& tree) {

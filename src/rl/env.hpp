@@ -23,7 +23,10 @@ constexpr int kStateChannels = 3;
 /// counts, channel 2 = 4:2 counts; laid out [1, K, columns, stage_pad].
 nt::Tensor encode_tree(const ct::CompressorTree& tree, int stage_pad);
 
-/// Stacks per-tree encodings into one batch tensor.
+/// Stacks per-tree encodings into one batch tensor. All trees must
+/// share the same column count (one slab layout per batch); mixed
+/// widths throw std::invalid_argument instead of silently corrupting
+/// the slab.
 nt::Tensor encode_batch(const std::vector<ct::CompressorTree>& trees,
                         int stage_pad);
 
@@ -65,6 +68,18 @@ class MultiplierEnv {
   /// Best design visited by this environment instance.
   const ct::CompressorTree& best_tree() const { return best_tree_; }
   double best_cost() const { return best_cost_; }
+
+  /// Full mutable state (checkpoint/resume). Costs are stored rather
+  /// than recomputed so a restored environment never consumes EDA
+  /// budget or diverges from the saved run.
+  struct State {
+    ct::CompressorTree tree;
+    double cost = 0.0;
+    ct::CompressorTree best_tree;
+    double best_cost = 0.0;
+  };
+  State state() const { return {tree_, cost_, best_tree_, best_cost_}; }
+  void restore(const State& st);
 
  private:
   double cost_of(const ct::CompressorTree& tree);

@@ -1,0 +1,69 @@
+#include "rl/env_pool.hpp"
+
+#include <future>
+#include <stdexcept>
+
+namespace rlmul::rl {
+
+EnvPool::EnvPool(synth::DesignEvaluator& evaluator, const EnvConfig& cfg,
+                 int num_envs)
+    : pool_(num_envs) {
+  if (num_envs < 1) throw std::invalid_argument("EnvPool: num_envs < 1");
+  for (int i = 0; i < num_envs; ++i) {
+    envs_.push_back(std::make_unique<MultiplierEnv>(evaluator, cfg));
+  }
+}
+
+void EnvPool::reset_all() {
+  for (auto& env : envs_) env->reset();
+}
+
+std::vector<ct::CompressorTree> EnvPool::trees() const {
+  std::vector<ct::CompressorTree> out;
+  out.reserve(envs_.size());
+  for (const auto& env : envs_) out.push_back(env->tree());
+  return out;
+}
+
+nt::Tensor EnvPool::observe_batch() const {
+  return encode_batch(trees(), stage_pad());
+}
+
+std::vector<std::vector<std::uint8_t>> EnvPool::masks() const {
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(envs_.size());
+  for (const auto& env : envs_) out.push_back(env->mask());
+  return out;
+}
+
+std::vector<EnvPool::StepOutcome> EnvPool::step_all(
+    const std::vector<int>& actions) {
+  if (actions.size() != envs_.size()) {
+    throw std::invalid_argument("EnvPool::step_all: action count mismatch");
+  }
+  std::vector<std::future<StepOutcome>> futs;
+  futs.reserve(envs_.size());
+  for (std::size_t e = 0; e < envs_.size(); ++e) {
+    MultiplierEnv* env = envs_[e].get();
+    const int action = actions[e];
+    futs.push_back(pool_.submit([env, action]() {
+      StepOutcome out;
+      if (action >= 0) {
+        const auto sr = env->step(action);
+        out.reward = sr.reward;
+        out.cost = sr.cost;
+        out.stepped = true;
+      } else {
+        env->reset();  // dead end under pruning
+        out.cost = env->current_cost();
+      }
+      return out;
+    }));
+  }
+  std::vector<StepOutcome> out;
+  out.reserve(envs_.size());
+  for (auto& f : futs) out.push_back(f.get());
+  return out;
+}
+
+}  // namespace rlmul::rl

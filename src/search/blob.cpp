@@ -1,0 +1,179 @@
+#include "search/blob.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace rlmul::search {
+
+void BlobWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void BlobWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void BlobWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void BlobWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void BlobWriter::str(const std::string& s) {
+  u64(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void BlobWriter::bytes(const std::vector<std::uint8_t>& b) {
+  u64(b.size());
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+namespace {
+
+void write_int_vec(BlobWriter& w, const std::vector<int>& v) {
+  w.u64(v.size());
+  for (int x : v) w.i32(x);
+}
+
+std::vector<int> read_int_vec(BlobReader& r) {
+  const std::uint64_t n = r.u64();
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(r.i32());
+  return out;
+}
+
+}  // namespace
+
+void BlobWriter::tree(const ct::CompressorTree& t) {
+  write_int_vec(*this, t.pp);
+  write_int_vec(*this, t.c32);
+  write_int_vec(*this, t.c22);
+  write_int_vec(*this, t.c42);
+}
+
+void BlobWriter::tensor(const nt::Tensor& t) {
+  u32(static_cast<std::uint32_t>(t.ndim()));
+  for (int d = 0; d < t.ndim(); ++d) u32(static_cast<std::uint32_t>(t.dim(d)));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    std::uint32_t bits = 0;
+    const float v = t[i];
+    std::memcpy(&bits, &v, sizeof(bits));
+    u32(bits);
+  }
+}
+
+void BlobWriter::f64_vec(const std::vector<double>& v) {
+  u64(v.size());
+  for (double x : v) f64(x);
+}
+
+void BlobWriter::rng(const util::Rng::State& st) {
+  for (std::uint64_t word : st.s) u64(word);
+  u8(st.have_gaussian ? 1 : 0);
+  f64(st.spare_gaussian);
+}
+
+const std::uint8_t* BlobReader::need(std::size_t n) {
+  if (pos_ + n > data_.size()) {
+    throw std::runtime_error("BlobReader: truncated checkpoint blob");
+  }
+  const std::uint8_t* p = data_.data() + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t BlobReader::u8() { return *need(1); }
+
+std::uint32_t BlobReader::u32() {
+  const std::uint8_t* p = need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t BlobReader::u64() {
+  const std::uint8_t* p = need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+double BlobReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string BlobReader::str() {
+  const std::uint64_t n = u64();
+  const std::uint8_t* p = need(static_cast<std::size_t>(n));
+  return std::string(reinterpret_cast<const char*>(p),
+                     static_cast<std::size_t>(n));
+}
+
+std::vector<std::uint8_t> BlobReader::bytes() {
+  const std::uint64_t n = u64();
+  const std::uint8_t* p = need(static_cast<std::size_t>(n));
+  return std::vector<std::uint8_t>(p, p + n);
+}
+
+ct::CompressorTree BlobReader::tree() {
+  ct::CompressorTree t;
+  t.pp = read_int_vec(*this);
+  t.c32 = read_int_vec(*this);
+  t.c22 = read_int_vec(*this);
+  t.c42 = read_int_vec(*this);
+  return t;
+}
+
+void BlobReader::tensor_into(nt::Tensor& t) {
+  const std::uint32_t ndim = u32();
+  if (static_cast<int>(ndim) != t.ndim()) {
+    throw std::runtime_error("BlobReader: tensor rank mismatch");
+  }
+  for (std::uint32_t d = 0; d < ndim; ++d) {
+    if (static_cast<int>(u32()) != t.dim(static_cast<int>(d))) {
+      throw std::runtime_error("BlobReader: tensor shape mismatch");
+    }
+  }
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    const std::uint32_t bits = u32();
+    float v = 0.0f;
+    std::memcpy(&v, &bits, sizeof(v));
+    t[i] = v;
+  }
+}
+
+std::vector<double> BlobReader::f64_vec() {
+  const std::uint64_t n = u64();
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(f64());
+  return out;
+}
+
+util::Rng::State BlobReader::rng() {
+  util::Rng::State st;
+  for (std::uint64_t& word : st.s) word = u64();
+  st.have_gaussian = u8() != 0;
+  st.spare_gaussian = f64();
+  return st;
+}
+
+void BlobReader::expect_end() const {
+  if (pos_ != data_.size()) {
+    throw std::runtime_error("BlobReader: trailing bytes in checkpoint blob");
+  }
+}
+
+}  // namespace rlmul::search

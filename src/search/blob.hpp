@@ -1,0 +1,75 @@
+#pragma once
+// Flat little-endian binary serialization for search checkpoints. The
+// writer appends primitive fields to a byte buffer; the reader consumes
+// them back in the same order and throws std::runtime_error on any
+// truncation or trailing garbage, so a corrupted checkpoint fails loudly
+// instead of resuming from scrambled state. Doubles round-trip through
+// their IEEE-754 bit pattern — checkpoint/resume must reproduce the
+// remaining trajectory bit-for-bit, so no text formatting anywhere.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ct/compressor_tree.hpp"
+#include "nt/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace rlmul::search {
+
+class BlobWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  /// Exact bit pattern; NaN and signed zero survive the round trip.
+  void f64(double v);
+  void str(const std::string& s);
+  void bytes(const std::vector<std::uint8_t>& b);
+  /// Compressor tree: column count + the pp/c32/c22/c42 vectors.
+  void tree(const ct::CompressorTree& t);
+  /// Tensor payload (shape + float32 data), e.g. optimizer moments.
+  void tensor(const nt::Tensor& t);
+  void f64_vec(const std::vector<double>& v);
+  void mask(const std::vector<std::uint8_t>& m) { bytes(m); }
+  /// Full PRNG state including the cached Box–Muller spare.
+  void rng(const util::Rng::State& st);
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class BlobReader {
+ public:
+  explicit BlobReader(const std::vector<std::uint8_t>& data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64();
+  std::string str();
+  std::vector<std::uint8_t> bytes();
+  ct::CompressorTree tree();
+  /// Restores into an existing tensor; shapes must match exactly.
+  void tensor_into(nt::Tensor& t);
+  std::vector<double> f64_vec();
+  std::vector<std::uint8_t> mask() { return bytes(); }
+  util::Rng::State rng();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  /// Throws unless every byte has been consumed (format drift guard).
+  void expect_end() const;
+
+ private:
+  const std::uint8_t* need(std::size_t n);
+
+  const std::vector<std::uint8_t>& data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace rlmul::search

@@ -1,0 +1,70 @@
+#include "search/checkpoint.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "search/blob.hpp"
+
+namespace rlmul::search {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x524C434BU;  // "RLCK"
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+std::vector<std::uint8_t> Checkpoint::encode() const {
+  BlobWriter w;
+  w.u32(kMagic);
+  w.u32(kVersion);
+  w.str(method);
+  w.u64(steps_done);
+  w.u64(eda_consumed);
+  w.tree(best_tree);
+  w.f64(best_cost);
+  w.f64_vec(trajectory);
+  w.f64_vec(best_trajectory);
+  w.bytes(method_state);
+  return w.take();
+}
+
+Checkpoint Checkpoint::decode(const std::vector<std::uint8_t>& blob) {
+  BlobReader r(blob);
+  if (r.u32() != kMagic) {
+    throw std::runtime_error("Checkpoint: bad magic");
+  }
+  if (r.u32() != kVersion) {
+    throw std::runtime_error("Checkpoint: unsupported version");
+  }
+  Checkpoint c;
+  c.method = r.str();
+  c.steps_done = r.u64();
+  c.eda_consumed = r.u64();
+  c.best_tree = r.tree();
+  c.best_cost = r.f64();
+  c.trajectory = r.f64_vec();
+  c.best_trajectory = r.f64_vec();
+  c.method_state = r.bytes();
+  r.expect_end();
+  return c;
+}
+
+void Checkpoint::save_file(const std::string& path) const {
+  const auto blob = encode();
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("Checkpoint: cannot open " + path);
+  os.write(reinterpret_cast<const char*>(blob.data()),
+           static_cast<std::streamsize>(blob.size()));
+  if (!os) throw std::runtime_error("Checkpoint: write failed: " + path);
+}
+
+Checkpoint Checkpoint::load_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("Checkpoint: cannot open " + path);
+  std::vector<std::uint8_t> blob(
+      (std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+  return decode(blob);
+}
+
+}  // namespace rlmul::search

@@ -1,0 +1,34 @@
+#pragma once
+// Serializable snapshot of a paused search run: the driver's progress
+// counters, the partial RunResult, and the method's opaque state blob.
+// Produced by Driver::make_checkpoint, consumed by Driver::resume.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ct/compressor_tree.hpp"
+
+namespace rlmul::search {
+
+struct Checkpoint {
+  std::string method;  ///< registry name, for dispatch on resume
+  std::uint64_t steps_done = 0;
+  std::uint64_t eda_consumed = 0;
+  // Partial result so far (the trained network is NOT stored here — it
+  // lives inside method_state and is rebuilt by Method::load_state).
+  ct::CompressorTree best_tree;
+  double best_cost = 0.0;
+  std::vector<double> trajectory;
+  std::vector<double> best_trajectory;
+  /// Opaque per-method state written by Method::save_state.
+  std::vector<std::uint8_t> method_state;
+
+  std::vector<std::uint8_t> encode() const;
+  static Checkpoint decode(const std::vector<std::uint8_t>& blob);
+
+  void save_file(const std::string& path) const;
+  static Checkpoint load_file(const std::string& path);
+};
+
+}  // namespace rlmul::search

@@ -1,0 +1,83 @@
+#include "search/driver.hpp"
+
+namespace rlmul::search {
+
+Driver::Driver(synth::DesignEvaluator& evaluator, DriverOptions opts)
+    : evaluator_(evaluator), opts_(opts), ctx_(evaluator) {}
+
+std::size_t Driver::eda_consumed() const {
+  return prior_consumed_ +
+         (evaluator_.num_unique_evaluations() - evals_at_start_);
+}
+
+RunResult Driver::run(Method& method) {
+  ctx_.result() = RunResult{};
+  steps_done_ = 0;
+  prior_consumed_ = 0;
+  completed_ = false;
+  evals_at_start_ = evaluator_.num_unique_evaluations();
+  method.init(ctx_);
+  return loop(method);
+}
+
+RunResult Driver::resume(Method& method, const Checkpoint& ckpt) {
+  ctx_.result() = RunResult{};
+  steps_done_ = ckpt.steps_done;
+  prior_consumed_ = static_cast<std::size_t>(ckpt.eda_consumed);
+  completed_ = false;
+  evals_at_start_ = evaluator_.num_unique_evaluations();
+  // init() first: it rebuilds the method's envs/networks (and would
+  // clobber a restored result), then the snapshot overwrites both the
+  // partial result and the method's mutable state.
+  method.init(ctx_);
+  ctx_.result().best_tree = ckpt.best_tree;
+  ctx_.result().best_cost = ckpt.best_cost;
+  ctx_.result().trajectory = ckpt.trajectory;
+  ctx_.result().best_trajectory = ckpt.best_trajectory;
+  BlobReader r(ckpt.method_state);
+  method.load_state(r);
+  r.expect_end();
+  return loop(method);
+}
+
+Checkpoint Driver::make_checkpoint(const Method& method) const {
+  Checkpoint c;
+  c.method = method.name();
+  c.steps_done = steps_done_;
+  c.eda_consumed = eda_consumed();
+  const RunResult& res = ctx_.result();
+  c.best_tree = res.best_tree;
+  c.best_cost = res.best_cost;
+  c.trajectory = res.trajectory;
+  c.best_trajectory = res.best_trajectory;
+  BlobWriter w;
+  method.save_state(w);
+  c.method_state = w.take();
+  return c;
+}
+
+RunResult Driver::loop(Method& method) {
+  while (true) {
+    if (opts_.max_steps > 0 && steps_done_ >= opts_.max_steps) break;
+    if (opts_.eda_budget > 0 &&
+        eda_consumed() +
+                static_cast<std::size_t>(method.max_evals_per_step()) >
+            opts_.eda_budget) {
+      break;
+    }
+    if (!method.step(ctx_)) {
+      completed_ = true;
+      break;
+    }
+    ++steps_done_;
+  }
+  method.finish(ctx_);
+  RunResult out = ctx_.result();
+  out.eda_calls = evaluator_.num_unique_evaluations();
+  out.eda_consumed = eda_consumed();
+  out.steps_done = steps_done_;
+  out.completed = completed_;
+  return out;
+}
+
+}  // namespace rlmul::search

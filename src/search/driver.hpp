@@ -1,0 +1,57 @@
+#pragma once
+// The search loop. The Driver owns what every method used to re-invent:
+// stepping to completion, the shared EDA-call budget (unique synthesis
+// evaluations, not steps — cache hits are free), uniform trajectory /
+// best-so-far recording into RunResult, and checkpoint/resume. Budget
+// enforcement is pessimistic: a step is only taken when even its worst
+// case (Method::max_evals_per_step) fits, so eda_consumed never exceeds
+// the budget.
+
+#include <cstdint>
+
+#include "search/checkpoint.hpp"
+#include "search/method.hpp"
+
+namespace rlmul::search {
+
+struct DriverOptions {
+  /// Max unique synthesis evaluations this run may consume; 0 = no cap.
+  std::size_t eda_budget = 0;
+  /// Stop after this many Method::step calls; 0 = run until the method
+  /// finishes. Use a limit + make_checkpoint to pause a run.
+  std::uint64_t max_steps = 0;
+};
+
+class Driver {
+ public:
+  explicit Driver(synth::DesignEvaluator& evaluator, DriverOptions opts = {});
+
+  /// Runs a method from scratch.
+  RunResult run(Method& method);
+
+  /// Continues a paused run: init() rebuilds the method's skeleton,
+  /// the checkpoint's partial result and method state are restored,
+  /// then the loop continues. With the same seed and config this
+  /// reproduces the remaining trajectory bit-for-bit.
+  RunResult resume(Method& method, const Checkpoint& ckpt);
+
+  /// Snapshot after run()/resume() returned (typically on a budget or
+  /// max_steps stop). Valid until the next run on this driver.
+  Checkpoint make_checkpoint(const Method& method) const;
+
+  /// Unique evaluations consumed so far, across resumed legs.
+  std::size_t eda_consumed() const;
+
+ private:
+  RunResult loop(Method& method);
+
+  synth::DesignEvaluator& evaluator_;
+  DriverOptions opts_;
+  Context ctx_;
+  std::uint64_t steps_done_ = 0;
+  std::size_t prior_consumed_ = 0;
+  std::size_t evals_at_start_ = 0;
+  bool completed_ = false;
+};
+
+}  // namespace rlmul::search

@@ -1,0 +1,150 @@
+#pragma once
+// The unified search-method layer. Every optimizer in the repo — the
+// RL agents (DQN, A2C), simulated annealing, and the one-shot baselines
+// (GOMIL, Wallace) — implements the same small interface: init() builds
+// the method's mutable state, step() advances the search by one unit
+// and records into the shared RunResult, save_state()/load_state()
+// round-trip that state through a checkpoint. A search::Driver owns the
+// loop, the shared EDA-call budget, and checkpoint/resume; callers pick
+// methods by name through search/registry.hpp.
+//
+// Budget semantics: one EDA call = one *unique* synthesis evaluation on
+// the DesignEvaluator (repeat visits hit its cache and are free). The
+// driver stops before a step whenever the step's worst case
+// (max_evals_per_step) could overshoot the budget, so a run never
+// exceeds it.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ct/compressor_tree.hpp"
+#include "nn/resnet.hpp"
+#include "rl/dqn.hpp"  // AgentNet
+#include "search/blob.hpp"
+#include "synth/evaluator.hpp"
+
+namespace rlmul::search {
+
+/// Uniform outcome of any search run: the best design, the per-step
+/// cost trajectories (Fig 12), and the budget accounting.
+struct RunResult {
+  ct::CompressorTree best_tree;
+  double best_cost = 0.0;
+  /// Cost of the current state after each step (mean across workers
+  /// for parallel methods).
+  std::vector<double> trajectory;
+  std::vector<double> best_trajectory;
+  /// Absolute unique synthesis evaluations on the evaluator at the end
+  /// of the run (the legacy TrainResult/SaResult meaning).
+  std::size_t eda_calls = 0;
+  /// Unique evaluations attributable to this run, accumulated across
+  /// resumed legs — the quantity the driver's budget bounds.
+  std::size_t eda_consumed = 0;
+  std::uint64_t steps_done = 0;
+  /// True when the method finished on its own; false when the driver
+  /// stopped it (budget or max_steps), i.e. the run is resumable.
+  bool completed = false;
+  /// Trained network when the method has one (DQN Q-net, A2C trunk).
+  std::shared_ptr<nn::ResNet> network;
+};
+
+/// What a Method sees while running: the shared reward oracle plus the
+/// uniform recording primitives. Methods compose push_cost/offer_best/
+/// push_best in their historical order so refactored trajectories stay
+/// bit-identical to the original training loops.
+class Context {
+ public:
+  explicit Context(synth::DesignEvaluator& evaluator)
+      : evaluator_(evaluator) {}
+
+  synth::DesignEvaluator& evaluator() { return evaluator_; }
+  RunResult& result() { return result_; }
+  const RunResult& result() const { return result_; }
+
+  /// Appends to the current-cost trajectory.
+  void push_cost(double cost) { result_.trajectory.push_back(cost); }
+  /// Installs (cost, tree) as best-so-far if it improves.
+  void offer_best(double cost, const ct::CompressorTree& tree) {
+    if (cost < result_.best_cost) {
+      result_.best_cost = cost;
+      result_.best_tree = tree;
+    }
+  }
+  /// Appends the current best to the best-so-far trajectory.
+  void push_best() { result_.best_trajectory.push_back(result_.best_cost); }
+
+ private:
+  synth::DesignEvaluator& evaluator_;
+  RunResult result_;
+};
+
+/// One configuration type for every method; each method reads the
+/// fields it understands and ignores the rest, so the registry can
+/// construct any method from the same struct.
+struct MethodConfig {
+  int steps = 100;     ///< total search steps (per worker for A2C)
+  int threads = 4;     ///< A2C parallel environments
+  // -- DQN --
+  int warmup = 32;
+  int batch_size = 16;
+  int buffer_capacity = 4096;
+  double eps_start = 0.95;
+  double eps_end = 0.05;
+  int target_sync = 0;
+  bool double_dqn = false;
+  // -- A2C --
+  int n_step = 5;
+  double value_coef = 0.5;
+  double entropy_coef = 0.01;
+  // -- shared RL --
+  double gamma = 0.8;
+  double lr = 1e-3;
+  double grad_clip = 5.0;
+  rl::AgentNet net = rl::AgentNet::kTiny;
+  // -- SA --
+  double t_start = 0.08;
+  double t_end = 0.002;
+  // -- environment / objective --
+  double w_area = 1.0;
+  double w_delay = 1.0;
+  int max_stages = -1;
+  bool enable_42 = false;
+  int episode_length = 0;
+  bool verbose = false;
+  std::uint64_t seed = 1;
+};
+
+/// A search method driven by search::Driver. The contract:
+///  - init(ctx) builds all mutable state from the config and seeds the
+///    RunResult's best (it runs before load_state on resume, which then
+///    overwrites whatever init randomized);
+///  - step(ctx) advances one unit of search, recording through ctx, and
+///    returns false — without doing work — once the method is finished.
+///    One-shot methods (GOMIL, Wallace) use it as a run-to-completion
+///    escape hatch: the whole search happens in a single step() call;
+///  - save_state/load_state round-trip every bit of mutable state (RNG,
+///    env, network, optimizer, buffers, counters) so a resumed run
+///    reproduces the remaining trajectory bit-for-bit.
+class Method {
+ public:
+  virtual ~Method() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Worst-case unique evaluations a single step() can consume; the
+  /// driver's budget check relies on this bound being honest.
+  virtual int max_evals_per_step() const { return 1; }
+
+  virtual void init(Context& ctx) = 0;
+  virtual bool step(Context& ctx) = 0;
+
+  /// Called once after the loop ends (even on budget stop), e.g. to
+  /// stash the trained network into the result.
+  virtual void finish(Context& ctx) { (void)ctx; }
+
+  virtual void save_state(BlobWriter& w) const = 0;
+  virtual void load_state(BlobReader& r) = 0;
+};
+
+}  // namespace rlmul::search

@@ -1,0 +1,250 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "nn/serialize.hpp"
+#include "search/methods.hpp"
+#include "search/state_io.hpp"
+#include "util/stats.hpp"
+
+namespace rlmul::search {
+
+void A2cMethod::init(Context& ctx) {
+  rng_.reseed(cfg_.seed);
+  rl::EnvConfig env_cfg;
+  env_cfg.w_area = cfg_.w_area;
+  env_cfg.w_delay = cfg_.w_delay;
+  env_cfg.max_stages = cfg_.max_stages;
+  env_cfg.enable_42 = cfg_.enable_42;
+  pool_ = std::make_unique<rl::EnvPool>(ctx.evaluator(), env_cfg,
+                                        cfg_.threads);
+  num_actions_ = pool_->num_actions();
+  stage_pad_ = pool_->stage_pad();
+
+  trunk_ = rl::make_agent_net(cfg_.net, num_actions_, rng_);
+  policy_head_ =
+      std::make_unique<nn::Linear>(trunk_->feature_dim(), num_actions_, rng_);
+  value_head_ = std::make_unique<nn::Linear>(trunk_->feature_dim(), 1, rng_);
+
+  std::vector<nn::Param*> params = trunk_->params();
+  for (nn::Param* p : policy_head_->params()) params.push_back(p);
+  for (nn::Param* p : value_head_->params()) params.push_back(p);
+  optim_ = std::make_unique<nn::RmsProp>(params, cfg_.lr);
+
+  ctx.result().best_tree = pool_->env(0).best_tree();
+  ctx.result().best_cost = pool_->env(0).best_cost();
+  t_ = 0;
+  k_ = 0;
+  rollout_ = 0;
+  samples_.clear();
+}
+
+bool A2cMethod::step(Context& ctx) {
+  if (t_ >= cfg_.steps) return false;
+  const std::size_t num_envs = static_cast<std::size_t>(pool_->size());
+
+  if (k_ == 0) {
+    // Episode boundaries land on rollout boundaries (t advances in
+    // n_step chunks), so a plain modulus check suffices.
+    if (cfg_.episode_length > 0 && t_ > 0 && t_ % cfg_.episode_length == 0) {
+      pool_->reset_all();
+    }
+    rollout_ = std::min(cfg_.n_step, cfg_.steps - t_);
+    samples_.clear();
+    samples_.reserve(static_cast<std::size_t>(rollout_) * num_envs);
+  }
+
+  // Batched policy evaluation for all workers.
+  trunk_->set_training(false);
+  policy_head_->set_training(false);
+  const nt::Tensor feats = trunk_->forward_features(pool_->observe_batch());
+  const nt::Tensor logits = policy_head_->forward(feats);
+
+  std::vector<int> actions(num_envs, -1);
+  std::vector<Sample> step_samples(num_envs);
+  for (std::size_t e = 0; e < num_envs; ++e) {
+    step_samples[e].state = pool_->env(static_cast<int>(e)).tree();
+    step_samples[e].mask = pool_->env(static_cast<int>(e)).mask();
+    step_samples[e].env = static_cast<int>(e);
+    const auto probs = rl::masked_softmax(
+        logits.data() + e * static_cast<std::size_t>(num_actions_),
+        step_samples[e].mask);
+    const std::size_t pick = rng_.sample_discrete(probs);
+    if (pick < probs.size()) {
+      actions[e] = static_cast<int>(pick);
+    }
+  }
+
+  // Parallel environment stepping: the synthesis calls dominate and
+  // overlap across workers (the point of RL-MUL-E).
+  const auto outcomes = pool_->step_all(actions);
+  std::vector<double> costs(num_envs, 0.0);
+  for (std::size_t e = 0; e < num_envs; ++e) {
+    if (actions[e] >= 0) {
+      step_samples[e].action = actions[e];
+      step_samples[e].reward = outcomes[e].reward;
+    }
+    costs[e] = outcomes[e].cost;
+  }
+
+  ctx.push_cost(util::mean(costs));
+  for (std::size_t e = 0; e < num_envs; ++e) {
+    const rl::MultiplierEnv& env = pool_->env(static_cast<int>(e));
+    ctx.offer_best(env.best_cost(), env.best_tree());
+  }
+  ctx.push_best();
+  for (auto& s : step_samples) samples_.push_back(std::move(s));
+
+  ++k_;
+  ++t_;
+  if (k_ == rollout_) {
+    update(ctx);
+    k_ = 0;
+    samples_.clear();
+    if (cfg_.verbose) {
+      std::fprintf(
+          stderr, "[a2c] t=%-5d cost=%.4f best=%.4f eda=%zu\n", t_,
+          ctx.result().trajectory.empty() ? 0.0
+                                          : ctx.result().trajectory.back(),
+          ctx.result().best_cost, ctx.evaluator().num_unique_evaluations());
+    }
+  }
+  return true;
+}
+
+void A2cMethod::update(Context& ctx) {
+  (void)ctx;
+  const std::size_t num_envs = static_cast<std::size_t>(pool_->size());
+
+  // Bootstrap values v(s_{t+n}) per worker.
+  trunk_->set_training(false);
+  value_head_->set_training(false);
+  const nt::Tensor boot_feats =
+      trunk_->forward_features(pool_->observe_batch());
+  const nt::Tensor boot_values = value_head_->forward(boot_feats);
+
+  // n-step returns, walking each worker's chain backwards.
+  std::vector<double> returns(samples_.size(), 0.0);
+  for (std::size_t e = 0; e < num_envs; ++e) {
+    double ret = boot_values.at(static_cast<int>(e), 0);
+    for (int k = rollout_ - 1; k >= 0; --k) {
+      const std::size_t idx = static_cast<std::size_t>(k) * num_envs + e;
+      if (samples_[idx].action < 0) {
+        ret = 0.0;  // episode boundary (reset): no bootstrap through it
+      } else {
+        ret = samples_[idx].reward + cfg_.gamma * ret;
+      }
+      returns[idx] = ret;
+    }
+  }
+
+  // -- gradient step ------------------------------------------------------
+  std::vector<ct::CompressorTree> batch_trees;
+  for (const auto& s : samples_) batch_trees.push_back(s.state);
+  trunk_->set_training(true);
+  policy_head_->set_training(true);
+  value_head_->set_training(true);
+  trunk_->zero_grad();
+  policy_head_->zero_grad();
+  value_head_->zero_grad();
+
+  const nt::Tensor feats =
+      trunk_->forward_features(rl::encode_batch(batch_trees, stage_pad_));
+  const nt::Tensor logits = policy_head_->forward(feats);
+  const nt::Tensor values = value_head_->forward(feats);
+
+  const double inv_n = 1.0 / static_cast<double>(samples_.size());
+  nt::Tensor grad_logits(logits.shape());
+  nt::Tensor grad_values(values.shape());
+  for (std::size_t s = 0; s < samples_.size(); ++s) {
+    if (samples_[s].action < 0) continue;
+    const auto probs = rl::masked_softmax(
+        logits.data() + s * static_cast<std::size_t>(num_actions_),
+        samples_[s].mask);
+    const double v = values.at(static_cast<int>(s), 0);
+    const double advantage = returns[s] - v;  // Equation (4)
+
+    // Policy gradient (Equation 16): d(-log pi(a) * A)/dlogit_i
+    // = A * (pi_i - 1{i == a}) over the masked support, plus the
+    // entropy-bonus term.
+    double entropy = 0.0;
+    for (double p : probs) {
+      if (p > 0.0) entropy -= p * std::log(p);
+    }
+    for (int i = 0; i < num_actions_; ++i) {
+      const double p = probs[static_cast<std::size_t>(i)];
+      if (samples_[s].mask[static_cast<std::size_t>(i)] == 0) continue;
+      double g = advantage * (p - (i == samples_[s].action ? 1.0 : 0.0));
+      if (p > 0.0) {
+        g += cfg_.entropy_coef * p * (std::log(p) + entropy);
+      }
+      grad_logits[s * static_cast<std::size_t>(num_actions_) +
+                  static_cast<std::size_t>(i)] =
+          static_cast<float>(g * inv_n);
+    }
+    // Value gradient (Equations 18-19): d(delta^2/2)/dv = v - y.
+    grad_values.at(static_cast<int>(s), 0) =
+        static_cast<float>(cfg_.value_coef * (v - returns[s]) * inv_n);
+  }
+
+  nt::Tensor grad_feats = policy_head_->backward(grad_logits);
+  const nt::Tensor grad_feats_v = value_head_->backward(grad_values);
+  for (std::size_t i = 0; i < grad_feats.numel(); ++i) {
+    grad_feats[i] += grad_feats_v[i];
+  }
+  trunk_->backward_features(grad_feats);
+  optim_->clip_grad_norm(cfg_.grad_clip);
+  optim_->step();
+}
+
+void A2cMethod::finish(Context& ctx) { ctx.result().network = trunk_; }
+
+void A2cMethod::save_state(BlobWriter& w) const {
+  w.rng(rng_.state());
+  w.i32(t_);
+  w.i32(k_);
+  w.i32(rollout_);
+  w.u32(static_cast<std::uint32_t>(pool_->size()));
+  for (int e = 0; e < pool_->size(); ++e) save_env(w, pool_->env(e));
+  w.u64(samples_.size());
+  for (const Sample& s : samples_) {
+    w.tree(s.state);
+    w.mask(s.mask);
+    w.i32(s.action);
+    w.f64(s.reward);
+    w.i32(s.env);
+  }
+  save_net(w, *trunk_);
+  save_net(w, *policy_head_);
+  save_net(w, *value_head_);
+  save_optim(w, *optim_);
+}
+
+void A2cMethod::load_state(BlobReader& r) {
+  rng_.set_state(r.rng());
+  t_ = r.i32();
+  k_ = r.i32();
+  rollout_ = r.i32();
+  if (static_cast<int>(r.u32()) != pool_->size()) {
+    throw std::runtime_error("checkpoint: worker count mismatch");
+  }
+  for (int e = 0; e < pool_->size(); ++e) load_env(r, pool_->env(e));
+  const std::uint64_t n = r.u64();
+  samples_.clear();
+  samples_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Sample s;
+    s.state = r.tree();
+    s.mask = r.mask();
+    s.action = r.i32();
+    s.reward = r.f64();
+    s.env = r.i32();
+    samples_.push_back(std::move(s));
+  }
+  load_net(r, *trunk_);
+  load_net(r, *policy_head_);
+  load_net(r, *value_head_);
+  load_optim(r, *optim_);
+}
+
+}  // namespace rlmul::search

@@ -1,0 +1,56 @@
+#include <limits>
+
+#include "baselines/gomil.hpp"
+#include "ppg/ppg.hpp"
+#include "search/methods.hpp"
+
+namespace rlmul::search {
+
+// The one-shot methods start the best at +infinity so their single
+// design always installs itself — the candidate set stays exactly
+// {closed-form tree}, matching the pre-refactor harness runners.
+
+void GomilMethod::init(Context& ctx) {
+  ctx.result().best_cost = std::numeric_limits<double>::infinity();
+  done_ = false;
+}
+
+bool GomilMethod::step(Context& ctx) {
+  if (done_) return false;
+  const ct::CompressorTree tree =
+      baselines::gomil_tree(ctx.evaluator().spec());
+  const double cost = ctx.evaluator().cost(ctx.evaluator().evaluate(tree),
+                                           cfg_.w_area, cfg_.w_delay);
+  ctx.offer_best(cost, tree);
+  ctx.push_cost(cost);
+  ctx.push_best();
+  done_ = true;
+  return true;
+}
+
+void GomilMethod::save_state(BlobWriter& w) const { w.u8(done_ ? 1 : 0); }
+
+void GomilMethod::load_state(BlobReader& r) { done_ = r.u8() != 0; }
+
+void WallaceMethod::init(Context& ctx) {
+  ctx.result().best_cost = std::numeric_limits<double>::infinity();
+  done_ = false;
+}
+
+bool WallaceMethod::step(Context& ctx) {
+  if (done_) return false;
+  const ct::CompressorTree tree = ppg::initial_tree(ctx.evaluator().spec());
+  const double cost = ctx.evaluator().cost(ctx.evaluator().evaluate(tree),
+                                           cfg_.w_area, cfg_.w_delay);
+  ctx.offer_best(cost, tree);
+  ctx.push_cost(cost);
+  ctx.push_best();
+  done_ = true;
+  return true;
+}
+
+void WallaceMethod::save_state(BlobWriter& w) const { w.u8(done_ ? 1 : 0); }
+
+void WallaceMethod::load_state(BlobReader& r) { done_ = r.u8() != 0; }
+
+}  // namespace rlmul::search

@@ -1,0 +1,203 @@
+#include "nn/serialize.hpp"
+#include "search/methods.hpp"
+#include "search/state_io.hpp"
+
+namespace rlmul::search {
+
+namespace {
+
+int random_legal(const std::vector<std::uint8_t>& mask, util::Rng& rng) {
+  std::vector<double> w(mask.size());
+  for (std::size_t i = 0; i < mask.size(); ++i) w[i] = mask[i];
+  const std::size_t pick = rng.sample_discrete(w);
+  return pick < mask.size() ? static_cast<int>(pick) : -1;
+}
+
+}  // namespace
+
+void DqnMethod::init(Context& ctx) {
+  rng_.reseed(cfg_.seed);
+  rl::EnvConfig env_cfg;
+  env_cfg.w_area = cfg_.w_area;
+  env_cfg.w_delay = cfg_.w_delay;
+  env_cfg.max_stages = cfg_.max_stages;
+  env_cfg.enable_42 = cfg_.enable_42;
+  pool_ = std::make_unique<rl::EnvPool>(ctx.evaluator(), env_cfg, 1);
+
+  num_actions_ = pool_->num_actions();
+  net_ = rl::make_agent_net(cfg_.net, num_actions_, rng_);
+  target_.reset();
+  if (cfg_.target_sync > 0) {
+    target_ = rl::make_agent_net(cfg_.net, num_actions_, rng_);
+  }
+  optim_ = std::make_unique<nn::RmsProp>(net_->params(), cfg_.lr);
+  buffer_ = std::make_unique<rl::ReplayBuffer>(
+      static_cast<std::size_t>(cfg_.buffer_capacity));
+
+  ctx.result().best_tree = pool_->env(0).best_tree();
+  ctx.result().best_cost = pool_->env(0).best_cost();
+  if (target_) nn::copy_params(*net_, *target_);
+  t_ = 0;
+  updates_ = 0;
+}
+
+bool DqnMethod::step(Context& ctx) {
+  if (t_ >= cfg_.steps) return false;
+  rl::MultiplierEnv& env = pool_->env(0);
+  if (cfg_.episode_length > 0 && t_ > 0 && t_ % cfg_.episode_length == 0) {
+    env.reset();
+  }
+  const auto mask = env.mask();
+  int action = -1;
+  const double frac =
+      cfg_.steps > 1 ? static_cast<double>(t_) / (cfg_.steps - 1) : 1.0;
+  const double eps = cfg_.eps_start + (cfg_.eps_end - cfg_.eps_start) * frac;
+  if (t_ < cfg_.warmup || rng_.next_double() < eps) {
+    action = random_legal(mask, rng_);
+  } else {
+    net_->set_training(false);
+    const nt::Tensor q = net_->forward(pool_->observe_batch());
+    action = rl::masked_argmax(q.data(), mask);
+  }
+  if (action < 0) {
+    env.reset();  // dead end (can happen with very tight pruning)
+    ++t_;
+    return true;
+  }
+
+  const ct::CompressorTree state = env.tree();
+  const auto out = pool_->step_all({action});
+  rl::Transition tr;
+  tr.state = state;
+  tr.action = action;
+  tr.reward = out[0].reward;
+  tr.next_state = env.tree();
+  tr.next_mask = env.mask();
+  buffer_->push(std::move(tr));
+
+  ctx.push_cost(out[0].cost);
+  ctx.offer_best(env.best_cost(), env.best_tree());
+  ctx.push_best();
+
+  if (t_ < cfg_.warmup ||
+      buffer_->size() < static_cast<std::size_t>(cfg_.batch_size)) {
+    ++t_;
+    return true;
+  }
+
+  // -- learning step -----------------------------------------------------
+  std::vector<const rl::Transition*> batch;
+  batch.reserve(static_cast<std::size_t>(cfg_.batch_size));
+  for (int b = 0; b < cfg_.batch_size; ++b) {
+    batch.push_back(&buffer_->sample(rng_));
+  }
+
+  // Bootstrap targets: y = r + gamma * max_legal Q(s', .). With
+  // double DQN the arg-max comes from the online net and the value
+  // from the target net, decoupling selection from evaluation.
+  std::vector<ct::CompressorTree> next_states;
+  for (const rl::Transition* tr_ptr : batch) {
+    next_states.push_back(tr_ptr->next_state);
+  }
+  const nt::Tensor next_batch =
+      rl::encode_batch(next_states, pool_->stage_pad());
+  nn::ResNet& boot_net = target_ ? *target_ : *net_;
+  boot_net.set_training(false);
+  const nt::Tensor q_next = boot_net.forward(next_batch);
+  nt::Tensor q_next_online;
+  const bool use_double = cfg_.double_dqn && target_ != nullptr;
+  if (use_double) {
+    net_->set_training(false);
+    q_next_online = net_->forward(next_batch);
+  }
+  std::vector<double> targets;
+  for (int b = 0; b < cfg_.batch_size; ++b) {
+    const rl::Transition* tr_ptr = batch[static_cast<std::size_t>(b)];
+    const float* selector =
+        (use_double ? q_next_online.data() : q_next.data()) +
+        static_cast<std::size_t>(b) * num_actions_;
+    const int best = rl::masked_argmax(selector, tr_ptr->next_mask);
+    const double boot =
+        best >= 0
+            ? q_next[static_cast<std::size_t>(b) * num_actions_ + best]
+            : 0.0;
+    targets.push_back(tr_ptr->reward + cfg_.gamma * boot);
+  }
+
+  std::vector<ct::CompressorTree> states;
+  for (const rl::Transition* tr_ptr : batch) states.push_back(tr_ptr->state);
+  net_->set_training(true);
+  net_->zero_grad();
+  const nt::Tensor q =
+      net_->forward(rl::encode_batch(states, pool_->stage_pad()));
+  nt::Tensor grad(q.shape());
+  for (int b = 0; b < cfg_.batch_size; ++b) {
+    const rl::Transition* tr_ptr = batch[static_cast<std::size_t>(b)];
+    const std::size_t idx =
+        static_cast<std::size_t>(b) * num_actions_ + tr_ptr->action;
+    grad[idx] = static_cast<float>(
+        2.0 * (q[idx] - targets[static_cast<std::size_t>(b)]) /
+        cfg_.batch_size);
+  }
+  net_->backward(grad);
+  optim_->clip_grad_norm(cfg_.grad_clip);
+  optim_->step();
+  ++updates_;
+  if (target_ && cfg_.target_sync > 0 && updates_ % cfg_.target_sync == 0) {
+    nn::copy_params(*net_, *target_);
+  }
+  ++t_;
+  return true;
+}
+
+void DqnMethod::finish(Context& ctx) { ctx.result().network = net_; }
+
+void DqnMethod::save_state(BlobWriter& w) const {
+  w.rng(rng_.state());
+  w.i32(t_);
+  w.i32(updates_);
+  save_env(w, pool_->env(0));
+  save_net(w, *net_);
+  w.u8(target_ ? 1 : 0);
+  if (target_) save_net(w, *target_);
+  save_optim(w, *optim_);
+  const auto& contents = buffer_->contents();
+  w.u64(contents.size());
+  for (const rl::Transition& tr : contents) {
+    w.tree(tr.state);
+    w.i32(tr.action);
+    w.f64(tr.reward);
+    w.tree(tr.next_state);
+    w.mask(tr.next_mask);
+  }
+  w.u64(buffer_->next_index());
+}
+
+void DqnMethod::load_state(BlobReader& r) {
+  rng_.set_state(r.rng());
+  t_ = r.i32();
+  updates_ = r.i32();
+  load_env(r, pool_->env(0));
+  load_net(r, *net_);
+  const bool has_target = r.u8() != 0;
+  if (has_target != (target_ != nullptr)) {
+    throw std::runtime_error("checkpoint: target-network config mismatch");
+  }
+  if (target_) load_net(r, *target_);
+  load_optim(r, *optim_);
+  const std::uint64_t n = r.u64();
+  std::vector<rl::Transition> contents;
+  contents.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    rl::Transition tr;
+    tr.state = r.tree();
+    tr.action = r.i32();
+    tr.reward = r.f64();
+    tr.next_state = r.tree();
+    tr.next_mask = r.mask();
+    contents.push_back(std::move(tr));
+  }
+  buffer_->restore(std::move(contents), static_cast<std::size_t>(r.u64()));
+}
+
+}  // namespace rlmul::search

@@ -1,0 +1,68 @@
+#include <cmath>
+
+#include "ppg/ppg.hpp"
+#include "search/methods.hpp"
+
+namespace rlmul::search {
+
+void SaMethod::init(Context& ctx) {
+  rng_.reseed(cfg_.seed);
+  current_ = ppg::initial_tree(ctx.evaluator().spec());
+  current_cost_ = ctx.evaluator().cost(ctx.evaluator().evaluate(current_),
+                                       cfg_.w_area, cfg_.w_delay);
+  ctx.result().best_tree = current_;
+  ctx.result().best_cost = current_cost_;
+  decay_ = cfg_.steps > 1
+               ? std::pow(cfg_.t_end / cfg_.t_start,
+                          1.0 / static_cast<double>(cfg_.steps - 1))
+               : 1.0;
+  temp_ = cfg_.t_start;
+  t_ = 0;
+}
+
+bool SaMethod::step(Context& ctx) {
+  if (t_ >= cfg_.steps) return false;
+  const auto mask =
+      ct::legal_action_mask(current_, cfg_.max_stages, cfg_.enable_42);
+  std::vector<double> weights(mask.size());
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    weights[i] = mask[i] != 0 ? 1.0 : 0.0;
+  }
+  const std::size_t pick = rng_.sample_discrete(weights);
+  if (pick >= mask.size()) return false;  // no legal move at all
+
+  const ct::CompressorTree candidate = ct::apply_action(
+      current_, ct::action_from_index(static_cast<int>(pick)));
+  const double cand_cost = ctx.evaluator().cost(
+      ctx.evaluator().evaluate(candidate), cfg_.w_area, cfg_.w_delay);
+
+  const double delta = cand_cost - current_cost_;
+  if (delta <= 0.0 || rng_.next_double() < std::exp(-delta / temp_)) {
+    current_ = candidate;
+    current_cost_ = cand_cost;
+  }
+  ctx.offer_best(current_cost_, current_);
+  ctx.push_cost(current_cost_);
+  ctx.push_best();
+  temp_ *= decay_;
+  ++t_;
+  return true;
+}
+
+void SaMethod::save_state(BlobWriter& w) const {
+  w.rng(rng_.state());
+  w.tree(current_);
+  w.f64(current_cost_);
+  w.f64(temp_);
+  w.i32(t_);
+}
+
+void SaMethod::load_state(BlobReader& r) {
+  rng_.set_state(r.rng());
+  current_ = r.tree();
+  current_cost_ = r.f64();
+  temp_ = r.f64();
+  t_ = r.i32();
+}
+
+}  // namespace rlmul::search

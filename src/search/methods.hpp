@@ -1,0 +1,141 @@
+#pragma once
+// The built-in search methods, each a verbatim port of its original
+// training/search loop onto the Method interface. At a fixed seed every
+// method reproduces the exact trajectory the pre-refactor entry point
+// (train_dqn / train_a2c / simulated_annealing) produced: the loop
+// bodies moved, the RNG call order did not.
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/optim.hpp"
+#include "rl/a2c.hpp"
+#include "rl/dqn.hpp"
+#include "rl/env_pool.hpp"
+#include "search/method.hpp"
+#include "util/rng.hpp"
+
+namespace rlmul::search {
+
+/// Simulated annealing (the paper's SA baseline): geometric cooling,
+/// Metropolis acceptance over the shared action space.
+class SaMethod : public Method {
+ public:
+  explicit SaMethod(const MethodConfig& cfg) : cfg_(cfg) {}
+
+  const char* name() const override { return "sa"; }
+  void init(Context& ctx) override;
+  bool step(Context& ctx) override;
+  void save_state(BlobWriter& w) const override;
+  void load_state(BlobReader& r) override;
+
+ private:
+  MethodConfig cfg_;
+  util::Rng rng_;
+  ct::CompressorTree current_;
+  double current_cost_ = 0.0;
+  double temp_ = 0.0;
+  double decay_ = 1.0;
+  int t_ = 0;
+};
+
+/// RL-MUL: deep Q-learning (Algorithm 3) on an EnvPool of one.
+class DqnMethod : public Method {
+ public:
+  explicit DqnMethod(const MethodConfig& cfg) : cfg_(cfg) {}
+
+  const char* name() const override { return "dqn"; }
+  void init(Context& ctx) override;
+  bool step(Context& ctx) override;
+  void finish(Context& ctx) override;
+  void save_state(BlobWriter& w) const override;
+  void load_state(BlobReader& r) override;
+
+ private:
+  MethodConfig cfg_;
+  util::Rng rng_;
+  std::unique_ptr<rl::EnvPool> pool_;
+  std::shared_ptr<nn::ResNet> net_;
+  std::unique_ptr<nn::ResNet> target_;
+  std::unique_ptr<nn::RmsProp> optim_;
+  std::unique_ptr<rl::ReplayBuffer> buffer_;
+  int num_actions_ = 0;
+  int t_ = 0;
+  int updates_ = 0;
+};
+
+/// RL-MUL-E: synchronous A2C (Algorithm 4). One step() = one parallel
+/// environment step across all workers; the n-step update fires on
+/// rollout boundaries, so a checkpoint can land mid-rollout.
+class A2cMethod : public Method {
+ public:
+  explicit A2cMethod(const MethodConfig& cfg) : cfg_(cfg) {}
+
+  const char* name() const override { return "a2c"; }
+  int max_evals_per_step() const override { return cfg_.threads; }
+  void init(Context& ctx) override;
+  bool step(Context& ctx) override;
+  void finish(Context& ctx) override;
+  void save_state(BlobWriter& w) const override;
+  void load_state(BlobReader& r) override;
+
+ private:
+  struct Sample {
+    ct::CompressorTree state;
+    std::vector<std::uint8_t> mask;
+    int action = -1;  ///< -1 = skip (env was reset on a dead end)
+    double reward = 0.0;
+    int env = 0;
+  };
+
+  void update(Context& ctx);
+
+  MethodConfig cfg_;
+  util::Rng rng_;
+  std::unique_ptr<rl::EnvPool> pool_;
+  std::shared_ptr<nn::ResNet> trunk_;
+  std::unique_ptr<nn::Linear> policy_head_;
+  std::unique_ptr<nn::Linear> value_head_;
+  std::unique_ptr<nn::RmsProp> optim_;
+  std::vector<Sample> samples_;
+  int num_actions_ = 0;
+  int stage_pad_ = 0;
+  int t_ = 0;        ///< environment steps taken
+  int k_ = 0;        ///< position inside the current rollout
+  int rollout_ = 0;  ///< length of the current rollout
+};
+
+/// One-shot baselines: the whole "search" is a single step() that
+/// evaluates the method's closed-form design.
+class GomilMethod : public Method {
+ public:
+  explicit GomilMethod(const MethodConfig& cfg) : cfg_(cfg) {}
+
+  const char* name() const override { return "gomil"; }
+  void init(Context& ctx) override;
+  bool step(Context& ctx) override;
+  void save_state(BlobWriter& w) const override;
+  void load_state(BlobReader& r) override;
+
+ private:
+  MethodConfig cfg_;
+  bool done_ = false;
+};
+
+class WallaceMethod : public Method {
+ public:
+  explicit WallaceMethod(const MethodConfig& cfg) : cfg_(cfg) {}
+
+  const char* name() const override { return "wallace"; }
+  void init(Context& ctx) override;
+  bool step(Context& ctx) override;
+  void save_state(BlobWriter& w) const override;
+  void load_state(BlobReader& r) override;
+
+ private:
+  MethodConfig cfg_;
+  bool done_ = false;
+};
+
+}  // namespace rlmul::search

@@ -1,0 +1,86 @@
+#include "search/registry.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "search/methods.hpp"
+
+namespace rlmul::search {
+
+namespace {
+
+std::map<std::string, MethodFactory>& table() {
+  static std::map<std::string, MethodFactory> t;
+  return t;
+}
+
+std::mutex& table_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+void ensure_builtins() {
+  static std::once_flag once;
+  std::call_once(once, []() {
+    std::lock_guard<std::mutex> lock(table_mutex());
+    auto& t = table();
+    t["sa"] = [](const MethodConfig& cfg) {
+      return std::make_unique<SaMethod>(cfg);
+    };
+    t["dqn"] = [](const MethodConfig& cfg) {
+      return std::make_unique<DqnMethod>(cfg);
+    };
+    t["a2c"] = [](const MethodConfig& cfg) {
+      return std::make_unique<A2cMethod>(cfg);
+    };
+    t["gomil"] = [](const MethodConfig& cfg) {
+      return std::make_unique<GomilMethod>(cfg);
+    };
+    t["wallace"] = [](const MethodConfig& cfg) {
+      return std::make_unique<WallaceMethod>(cfg);
+    };
+  });
+}
+
+}  // namespace
+
+void register_method(const std::string& name, MethodFactory factory) {
+  ensure_builtins();
+  std::lock_guard<std::mutex> lock(table_mutex());
+  table()[name] = std::move(factory);
+}
+
+bool is_registered(const std::string& name) {
+  ensure_builtins();
+  std::lock_guard<std::mutex> lock(table_mutex());
+  return table().count(name) != 0;
+}
+
+std::unique_ptr<Method> make_method(const std::string& name,
+                                    const MethodConfig& cfg) {
+  ensure_builtins();
+  std::lock_guard<std::mutex> lock(table_mutex());
+  const auto it = table().find(name);
+  if (it == table().end()) {
+    std::string known;
+    for (const auto& [n, f] : table()) {
+      if (!known.empty()) known += "|";
+      known += n;
+    }
+    throw std::invalid_argument("unknown search method '" + name +
+                                "' (registered: " + known + ")");
+  }
+  return it->second(cfg);
+}
+
+std::vector<std::string> registered_methods() {
+  ensure_builtins();
+  std::lock_guard<std::mutex> lock(table_mutex());
+  std::vector<std::string> out;
+  for (const auto& [name, factory] : table()) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+}  // namespace rlmul::search

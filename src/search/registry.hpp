@@ -1,0 +1,32 @@
+#pragma once
+// Name -> factory registry so the bench harness, the CLI
+// (--method=dqn|a2c|sa|gomil|wallace), and the tests dispatch search
+// methods by string. The five built-ins register themselves; downstream
+// code can add its own methods with register_method.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "search/method.hpp"
+
+namespace rlmul::search {
+
+using MethodFactory =
+    std::function<std::unique_ptr<Method>(const MethodConfig&)>;
+
+/// Registers (or replaces) a factory under `name`.
+void register_method(const std::string& name, MethodFactory factory);
+
+bool is_registered(const std::string& name);
+
+/// Constructs a method by name; throws std::invalid_argument for
+/// unknown names (the message lists what is registered).
+std::unique_ptr<Method> make_method(const std::string& name,
+                                    const MethodConfig& cfg);
+
+/// All registered names, sorted.
+std::vector<std::string> registered_methods();
+
+}  // namespace rlmul::search

@@ -1,0 +1,70 @@
+#pragma once
+// Shared checkpoint helpers for the RL methods: optimizer moments and
+// environment state round-trips. Internal to src/search.
+
+#include <stdexcept>
+
+#include "nn/module.hpp"
+#include "nn/optim.hpp"
+#include "nn/serialize.hpp"
+#include "rl/env.hpp"
+#include "search/blob.hpp"
+
+namespace rlmul::search {
+
+/// Full network state: the trainable parameters (via the nn:: blob
+/// format) plus the non-trainable state buffers (batch-norm running
+/// statistics), which save_params deliberately excludes but which a
+/// bit-exact training resume needs — eval-mode forwards read them.
+inline void save_net(BlobWriter& w, nn::Module& net) {
+  w.bytes(nn::save_params(net));
+  const auto buffers = net.state_buffers();
+  w.u32(static_cast<std::uint32_t>(buffers.size()));
+  for (const nt::Tensor* t : buffers) w.tensor(*t);
+}
+
+inline void load_net(BlobReader& r, nn::Module& net) {
+  nn::load_params(net, r.bytes());
+  const auto buffers = net.state_buffers();
+  if (r.u32() != buffers.size()) {
+    throw std::runtime_error("checkpoint: network buffer count mismatch");
+  }
+  for (nt::Tensor* t : buffers) r.tensor_into(*t);
+}
+
+/// Optimizer moment tensors (e.g. RMSProp mean squares) in parameter
+/// order, plus any scalar state (e.g. the Adam step counter).
+inline void save_optim(BlobWriter& w, nn::Optimizer& optim) {
+  const auto tensors = optim.state_tensors();
+  w.u32(static_cast<std::uint32_t>(tensors.size()));
+  for (const nt::Tensor* t : tensors) w.tensor(*t);
+  w.f64_vec(optim.state_scalars());
+}
+
+inline void load_optim(BlobReader& r, nn::Optimizer& optim) {
+  const auto tensors = optim.state_tensors();
+  if (r.u32() != tensors.size()) {
+    throw std::runtime_error("checkpoint: optimizer state count mismatch");
+  }
+  for (nt::Tensor* t : tensors) r.tensor_into(*t);
+  optim.set_state_scalars(r.f64_vec());
+}
+
+inline void save_env(BlobWriter& w, const rl::MultiplierEnv& env) {
+  const rl::MultiplierEnv::State st = env.state();
+  w.tree(st.tree);
+  w.f64(st.cost);
+  w.tree(st.best_tree);
+  w.f64(st.best_cost);
+}
+
+inline void load_env(BlobReader& r, rl::MultiplierEnv& env) {
+  rl::MultiplierEnv::State st;
+  st.tree = r.tree();
+  st.cost = r.f64();
+  st.best_tree = r.tree();
+  st.best_cost = r.f64();
+  env.restore(st);
+}
+
+}  // namespace rlmul::search

@@ -1,0 +1,107 @@
+// The historical entry points — rl::train_dqn, rl::train_a2c,
+// baselines::simulated_annealing — as thin adapters over the search
+// layer. Declared in their original headers; defined here so the rl and
+// baselines libraries stay below search in the dependency order. At a
+// fixed seed each wrapper produces exactly the trajectory its original
+// hand-rolled loop produced.
+
+#include "baselines/sa.hpp"
+#include "rl/a2c.hpp"
+#include "rl/dqn.hpp"
+#include "search/driver.hpp"
+#include "search/methods.hpp"
+
+namespace rlmul::rl {
+
+namespace {
+
+TrainResult to_train_result(search::RunResult&& r) {
+  TrainResult out;
+  out.best_tree = std::move(r.best_tree);
+  out.best_cost = r.best_cost;
+  out.trajectory = std::move(r.trajectory);
+  out.best_trajectory = std::move(r.best_trajectory);
+  out.eda_calls = r.eda_calls;
+  out.network = std::move(r.network);
+  return out;
+}
+
+}  // namespace
+
+TrainResult train_dqn(synth::DesignEvaluator& evaluator,
+                      const DqnOptions& opts) {
+  search::MethodConfig cfg;
+  cfg.steps = opts.steps;
+  cfg.warmup = opts.warmup;
+  cfg.batch_size = opts.batch_size;
+  cfg.buffer_capacity = opts.buffer_capacity;
+  cfg.gamma = opts.gamma;
+  cfg.eps_start = opts.eps_start;
+  cfg.eps_end = opts.eps_end;
+  cfg.lr = opts.lr;
+  cfg.grad_clip = opts.grad_clip;
+  cfg.target_sync = opts.target_sync;
+  cfg.double_dqn = opts.double_dqn;
+  cfg.episode_length = opts.episode_length;
+  cfg.net = opts.net;
+  cfg.w_area = opts.w_area;
+  cfg.w_delay = opts.w_delay;
+  cfg.max_stages = opts.max_stages;
+  cfg.enable_42 = opts.enable_42;
+  cfg.seed = opts.seed;
+  search::DqnMethod method(cfg);
+  search::Driver driver(evaluator);
+  return to_train_result(driver.run(method));
+}
+
+TrainResult train_a2c(synth::DesignEvaluator& evaluator,
+                      const A2cOptions& opts) {
+  search::MethodConfig cfg;
+  cfg.steps = opts.steps;
+  cfg.threads = opts.num_threads;
+  cfg.n_step = opts.n_step;
+  cfg.gamma = opts.gamma;
+  cfg.lr = opts.lr;
+  cfg.value_coef = opts.value_coef;
+  cfg.entropy_coef = opts.entropy_coef;
+  cfg.grad_clip = opts.grad_clip;
+  cfg.net = opts.net;
+  cfg.w_area = opts.w_area;
+  cfg.w_delay = opts.w_delay;
+  cfg.max_stages = opts.max_stages;
+  cfg.enable_42 = opts.enable_42;
+  cfg.episode_length = opts.episode_length;
+  cfg.verbose = opts.verbose;
+  cfg.seed = opts.seed;
+  search::A2cMethod method(cfg);
+  search::Driver driver(evaluator);
+  return to_train_result(driver.run(method));
+}
+
+}  // namespace rlmul::rl
+
+namespace rlmul::baselines {
+
+SaResult simulated_annealing(synth::DesignEvaluator& evaluator,
+                             const SaOptions& opts) {
+  search::MethodConfig cfg;
+  cfg.steps = opts.steps;
+  cfg.t_start = opts.t_start;
+  cfg.t_end = opts.t_end;
+  cfg.w_area = opts.w_area;
+  cfg.w_delay = opts.w_delay;
+  cfg.max_stages = opts.max_stages;
+  cfg.enable_42 = opts.enable_42;
+  cfg.seed = opts.seed;
+  search::SaMethod method(cfg);
+  search::Driver driver(evaluator);
+  search::RunResult r = driver.run(method);
+  SaResult out;
+  out.best_tree = std::move(r.best_tree);
+  out.best_cost = r.best_cost;
+  out.trajectory = std::move(r.trajectory);
+  out.best_trajectory = std::move(r.best_trajectory);
+  return out;
+}
+
+}  // namespace rlmul::baselines

@@ -92,6 +92,16 @@ std::size_t Rng::sample_discrete(const std::vector<double>& weights) {
   return weights.size() - 1;
 }
 
+void Rng::set_state(const State& st) {
+  s_ = st.s;
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+    reseed(0xDEADBEEFCAFEF00DULL);
+    return;
+  }
+  have_gaussian_ = st.have_gaussian;
+  spare_gaussian_ = st.spare_gaussian;
+}
+
 Rng Rng::split() {
   Rng child;
   child.s_ = {next(), next(), next(), next()};

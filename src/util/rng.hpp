@@ -50,6 +50,20 @@ class Rng {
   /// Produce an independent child stream (for per-thread RNGs).
   Rng split();
 
+  /// Complete serializable generator state, including the cached
+  /// Box–Muller spare, so a restored generator continues the exact
+  /// stream (search::Checkpoint round-trips depend on this).
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    bool have_gaussian = false;
+    double spare_gaussian = 0.0;
+  };
+  State state() const { return {s_, have_gaussian_, spare_gaussian_}; }
+  /// Restores a state captured by state(). The word vector of a live
+  /// generator is never all-zero; restoring an all-zero state reseeds
+  /// (xoshiro cannot escape it).
+  void set_state(const State& st);
+
  private:
   std::array<std::uint64_t, 4> s_{};
   bool have_gaussian_ = false;

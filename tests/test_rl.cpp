@@ -4,10 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+
 #include "ppg/ppg.hpp"
 #include "rl/a2c.hpp"
 #include "rl/dqn.hpp"
 #include "rl/env.hpp"
+#include "rl/env_pool.hpp"
 
 namespace rlmul::rl {
 namespace {
@@ -55,6 +59,12 @@ TEST(Encode, BatchStacksIndividualEncodings) {
   for (std::size_t i = 0; i < single.numel(); ++i) {
     EXPECT_EQ(batch[single.numel() + i], single[i]);
   }
+}
+
+TEST(Encode, BatchRejectsMixedWidths) {
+  const auto narrow = ppg::initial_tree(small_spec());
+  const auto wide = ppg::initial_tree({8, PpgKind::kAnd, false});
+  EXPECT_THROW(encode_batch({narrow, wide}, 5), std::invalid_argument);
 }
 
 TEST(Env, ResetRestoresInitialState) {
@@ -183,6 +193,86 @@ TEST(MaskedSoftmax, NumericallyStableForLargeLogits) {
   const auto p = masked_softmax(logits, {1, 1});
   EXPECT_NEAR(p[0] + p[1], 1.0, 1e-9);
   EXPECT_GT(p[1], p[0]);
+}
+
+TEST(MaskedSoftmax, UniformFallbackOnExtremeLogits) {
+  // exp(x - max) underflows to 0 for every legal entry, so the sum of
+  // exponentials is 0 (or NaN through -inf - -inf): instead of dividing
+  // by zero the policy must fall back to uniform over the legal mask.
+  const float inf = std::numeric_limits<float>::infinity();
+  const float logits[4] = {-inf, -inf, -inf, 5.0f};
+  const auto p = masked_softmax(logits, {1, 1, 1, 0});
+  EXPECT_DOUBLE_EQ(p[0], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(p[1], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(p[2], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(p[3], 0.0);
+
+  // Same without infinities: widely separated finite logits underflow.
+  const float far[3] = {-1.0e30f, -1.0e30f, 1.0e30f};
+  const auto q = masked_softmax(far, {1, 1, 0});
+  EXPECT_DOUBLE_EQ(q[0], 0.5);
+  EXPECT_DOUBLE_EQ(q[1], 0.5);
+  EXPECT_DOUBLE_EQ(q[2], 0.0);
+}
+
+TEST(EnvPool, StepAllMatchesSequentialEnvs) {
+  // The pooled workers must be observationally identical to stepping
+  // N independent envs by hand: same trees, costs, rewards, masks.
+  EnvConfig cfg;
+  synth::DesignEvaluator pooled_ev(small_spec());
+  EnvPool pool(pooled_ev, cfg, 3);
+  synth::DesignEvaluator manual_ev(small_spec());
+  std::vector<MultiplierEnv> manual;
+  for (int i = 0; i < 3; ++i) manual.emplace_back(manual_ev, cfg);
+
+  util::Rng rng(11);
+  for (int step = 0; step < 6; ++step) {
+    std::vector<int> actions;
+    for (int i = 0; i < 3; ++i) {
+      const auto mask = manual[static_cast<std::size_t>(i)].mask();
+      std::vector<double> w(mask.size());
+      for (std::size_t j = 0; j < mask.size(); ++j) w[j] = mask[j];
+      const auto pick = rng.sample_discrete(w);
+      // Every other env resets on the last step to exercise the
+      // action < 0 path.
+      if (step == 5 && i % 2 == 0) {
+        actions.push_back(-1);
+      } else {
+        actions.push_back(pick < mask.size() ? static_cast<int>(pick) : -1);
+      }
+    }
+    const auto outcomes = pool.step_all(actions);
+    ASSERT_EQ(outcomes.size(), 3u);
+    for (int i = 0; i < 3; ++i) {
+      auto& env = manual[static_cast<std::size_t>(i)];
+      if (actions[static_cast<std::size_t>(i)] < 0) {
+        env.reset();
+        EXPECT_FALSE(outcomes[static_cast<std::size_t>(i)].stepped);
+      } else {
+        const auto sr = env.step(actions[static_cast<std::size_t>(i)]);
+        EXPECT_TRUE(outcomes[static_cast<std::size_t>(i)].stepped);
+        EXPECT_DOUBLE_EQ(outcomes[static_cast<std::size_t>(i)].reward,
+                         sr.reward);
+      }
+      EXPECT_DOUBLE_EQ(outcomes[static_cast<std::size_t>(i)].cost,
+                       env.current_cost());
+      EXPECT_EQ(pool.env(i).tree(), env.tree());
+      EXPECT_EQ(pool.env(i).mask(), env.mask());
+    }
+  }
+  // The batched observation matches encoding the trees directly.
+  const auto obs = pool.observe_batch();
+  const auto direct = encode_batch(pool.trees(), pool.stage_pad());
+  ASSERT_EQ(obs.numel(), direct.numel());
+  for (std::size_t i = 0; i < obs.numel(); ++i) {
+    EXPECT_EQ(obs[i], direct[i]);
+  }
+}
+
+TEST(EnvPool, RejectsActionCountMismatch) {
+  synth::DesignEvaluator ev(small_spec());
+  EnvPool pool(ev, EnvConfig{}, 2);
+  EXPECT_THROW(pool.step_all({0}), std::invalid_argument);
 }
 
 TEST(Dqn, SmokeRunFindsNoWorseThanInitial) {

@@ -1,0 +1,240 @@
+// The search layer: registry dispatch, the driver's EDA budget, and
+// checkpoint/resume reproducing uninterrupted runs bit-for-bit.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/sa.hpp"
+#include "ppg/ppg.hpp"
+#include "rl/dqn.hpp"
+#include "search/driver.hpp"
+#include "search/methods.hpp"
+#include "search/registry.hpp"
+#include "synth/evaluator.hpp"
+
+namespace {
+
+using namespace rlmul;
+
+ppg::MultiplierSpec small_spec() {
+  return ppg::MultiplierSpec{4, ppg::PpgKind::kAnd, false};
+}
+
+ppg::MultiplierSpec smoke_spec() {
+  return ppg::MultiplierSpec{8, ppg::PpgKind::kAnd, false};
+}
+
+/// Config small enough that every method finishes a smoke run quickly.
+search::MethodConfig tiny_config() {
+  search::MethodConfig cfg;
+  cfg.steps = 6;
+  cfg.threads = 2;
+  cfg.warmup = 2;
+  cfg.batch_size = 2;
+  cfg.n_step = 2;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(Registry, ListsAllBuiltins) {
+  const auto names = search::registered_methods();
+  const std::vector<std::string> expected{"a2c", "dqn", "gomil", "sa",
+                                          "wallace"};
+  EXPECT_EQ(names, expected);
+  for (const auto& name : expected) {
+    EXPECT_TRUE(search::is_registered(name));
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_FALSE(search::is_registered("nope"));
+  EXPECT_THROW(search::make_method("nope", search::MethodConfig{}),
+               std::invalid_argument);
+}
+
+// The ISSUE's smoke gate: every registered method runs on a tiny budget
+// on an 8-bit spec without crashing, produces a non-empty trajectory,
+// and never overruns the shared EDA budget. (eda_consumed is the
+// driver-attributed count the budget bounds; the absolute eda_calls
+// additionally includes the evaluator's reference-normalization call.)
+TEST(Registry, SmokeEveryMethodOnTinyBudget) {
+  constexpr std::size_t kBudget = 12;
+  for (const auto& name : search::registered_methods()) {
+    SCOPED_TRACE(name);
+    synth::DesignEvaluator evaluator(smoke_spec());
+    auto method = search::make_method(name, tiny_config());
+    search::Driver driver(evaluator, {kBudget, 0});
+    const auto res = driver.run(*method);
+    EXPECT_FALSE(res.trajectory.empty());
+    EXPECT_EQ(res.trajectory.size(), res.best_trajectory.size());
+    EXPECT_LE(res.eda_consumed, kBudget);
+    EXPECT_GT(res.best_cost, 0.0);
+    EXPECT_TRUE(res.best_tree.legal());
+  }
+}
+
+TEST(Driver, BudgetStopThenResumeMatchesUninterrupted) {
+  search::MethodConfig cfg;
+  cfg.steps = 30;
+  cfg.seed = 5;
+
+  synth::DesignEvaluator full_eval(small_spec());
+  search::SaMethod full_method(cfg);
+  search::Driver full_driver(full_eval);
+  const auto full = full_driver.run(full_method);
+  ASSERT_TRUE(full.completed);
+  ASSERT_EQ(full.trajectory.size(), 30u);
+
+  synth::DesignEvaluator eval_a(small_spec());
+  search::SaMethod method_a(cfg);
+  search::Driver driver_a(eval_a, {6, 0});
+  const auto partial = driver_a.run(method_a);
+  EXPECT_FALSE(partial.completed);
+  EXPECT_LE(partial.eda_consumed, 6u);
+  EXPECT_LT(partial.trajectory.size(), full.trajectory.size());
+  const auto ckpt = driver_a.make_checkpoint(method_a);
+
+  synth::DesignEvaluator eval_b(small_spec());
+  search::SaMethod method_b(cfg);
+  search::Driver driver_b(eval_b);
+  const auto resumed = driver_b.resume(method_b, ckpt);
+  EXPECT_TRUE(resumed.completed);
+  EXPECT_EQ(resumed.trajectory, full.trajectory);
+  EXPECT_EQ(resumed.best_trajectory, full.best_trajectory);
+  EXPECT_EQ(resumed.best_cost, full.best_cost);
+  EXPECT_EQ(resumed.best_tree, full.best_tree);
+}
+
+/// Save mid-run, resume in a fresh process-like state (new evaluator,
+/// new method instance, checkpoint round-tripped through bytes), and
+/// require the concatenated trajectory to equal the uninterrupted run
+/// exactly — every double bit-for-bit.
+void check_resume_bit_exact(const std::string& name,
+                            const search::MethodConfig& cfg,
+                            std::uint64_t split) {
+  synth::DesignEvaluator full_eval(small_spec());
+  auto full_method = search::make_method(name, cfg);
+  search::Driver full_driver(full_eval);
+  const auto full = full_driver.run(*full_method);
+  ASSERT_TRUE(full.completed);
+  ASSERT_EQ(full.trajectory.size(), static_cast<std::size_t>(cfg.steps));
+
+  synth::DesignEvaluator eval_a(small_spec());
+  auto method_a = search::make_method(name, cfg);
+  search::Driver driver_a(eval_a, {0, split});
+  const auto partial = driver_a.run(*method_a);
+  EXPECT_FALSE(partial.completed);
+  EXPECT_EQ(partial.steps_done, split);
+  const auto blob = driver_a.make_checkpoint(*method_a).encode();
+  const auto ckpt = search::Checkpoint::decode(blob);
+  EXPECT_EQ(ckpt.method, name);
+
+  synth::DesignEvaluator eval_b(small_spec());
+  auto method_b = search::make_method(name, cfg);
+  search::Driver driver_b(eval_b);
+  const auto resumed = driver_b.resume(*method_b, ckpt);
+  EXPECT_TRUE(resumed.completed);
+  EXPECT_EQ(resumed.trajectory, full.trajectory);
+  EXPECT_EQ(resumed.best_trajectory, full.best_trajectory);
+  EXPECT_EQ(resumed.best_cost, full.best_cost);
+  EXPECT_EQ(resumed.best_tree, full.best_tree);
+}
+
+TEST(Checkpoint, DqnResumeIsBitExact) {
+  search::MethodConfig cfg;
+  cfg.steps = 18;
+  cfg.warmup = 4;
+  cfg.batch_size = 4;
+  cfg.target_sync = 5;
+  cfg.double_dqn = true;
+  cfg.episode_length = 9;
+  cfg.seed = 13;
+  // Split after the replay buffer has content and learning has begun.
+  check_resume_bit_exact("dqn", cfg, 9);
+}
+
+TEST(Checkpoint, A2cResumeIsBitExact) {
+  search::MethodConfig cfg;
+  cfg.steps = 12;
+  cfg.threads = 2;
+  cfg.n_step = 3;
+  cfg.episode_length = 6;
+  cfg.seed = 21;
+  // 7 = two full rollouts + one step: the checkpoint lands mid-rollout,
+  // so the partial sample batch must survive the round trip.
+  check_resume_bit_exact("a2c", cfg, 7);
+}
+
+TEST(Checkpoint, SaResumeIsBitExact) {
+  search::MethodConfig cfg;
+  cfg.steps = 30;
+  cfg.seed = 5;
+  check_resume_bit_exact("sa", cfg, 11);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  search::MethodConfig cfg;
+  cfg.steps = 8;
+  cfg.seed = 7;
+  synth::DesignEvaluator evaluator(small_spec());
+  search::SaMethod method(cfg);
+  search::Driver driver(evaluator, {0, 4});
+  driver.run(method);
+  const auto ckpt = driver.make_checkpoint(method);
+
+  const std::string path = ::testing::TempDir() + "rlmul_ckpt_test.bin";
+  ckpt.save_file(path);
+  const auto loaded = search::Checkpoint::load_file(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.encode(), ckpt.encode());
+}
+
+/// The legacy entry points are thin wrappers over the driver: both
+/// spellings of the same run must agree exactly.
+TEST(Wrappers, SimulatedAnnealingEqualsDriverRun) {
+  baselines::SaOptions opts;
+  opts.steps = 20;
+  opts.seed = 9;
+  synth::DesignEvaluator eval_a(small_spec());
+  const auto legacy = baselines::simulated_annealing(eval_a, opts);
+
+  search::MethodConfig cfg;
+  cfg.steps = 20;
+  cfg.seed = 9;
+  synth::DesignEvaluator eval_b(small_spec());
+  search::SaMethod method(cfg);
+  search::Driver driver(eval_b);
+  const auto res = driver.run(method);
+  EXPECT_EQ(res.trajectory, legacy.trajectory);
+  EXPECT_EQ(res.best_trajectory, legacy.best_trajectory);
+  EXPECT_EQ(res.best_cost, legacy.best_cost);
+  EXPECT_EQ(res.best_tree, legacy.best_tree);
+}
+
+TEST(Wrappers, TrainDqnEqualsDriverRun) {
+  rl::DqnOptions opts;
+  opts.steps = 12;
+  opts.warmup = 4;
+  opts.batch_size = 4;
+  opts.seed = 17;
+  synth::DesignEvaluator eval_a(small_spec());
+  const auto legacy = rl::train_dqn(eval_a, opts);
+
+  search::MethodConfig cfg;
+  cfg.steps = 12;
+  cfg.warmup = 4;
+  cfg.batch_size = 4;
+  cfg.seed = 17;
+  synth::DesignEvaluator eval_b(small_spec());
+  search::DqnMethod method(cfg);
+  search::Driver driver(eval_b);
+  const auto res = driver.run(method);
+  EXPECT_EQ(res.trajectory, legacy.trajectory);
+  EXPECT_EQ(res.best_trajectory, legacy.best_trajectory);
+  EXPECT_EQ(res.best_cost, legacy.best_cost);
+}
+
+}  // namespace
