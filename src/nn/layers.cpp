@@ -1,8 +1,11 @@
 #include "nn/layers.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
+
+#include "nt/gemm.hpp"
 
 namespace rlmul::nn {
 
@@ -26,63 +29,84 @@ Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
   if (has_bias_) bias_ = Param(Tensor({out_channels}));
 }
 
-std::vector<float> Conv2d::im2col(const Tensor& x, int ho, int wo) const {
+void Conv2d::im2col_into(const Tensor& x, int ho, int wo, float* dst) const {
   const int n = x.dim(0);
   const int h = x.dim(2);
   const int w = x.dim(3);
-  const std::size_t patches = static_cast<std::size_t>(n) * ho * wo;
   const std::size_t depth =
       static_cast<std::size_t>(in_ch_) * kernel_ * kernel_;
-  std::vector<float> cols(patches * depth, 0.0f);
-  std::size_t p = 0;
+  const std::size_t patches = static_cast<std::size_t>(n) * ho * wo;
+  std::memset(dst, 0, patches * depth * sizeof(float));
+  const float* xd = x.data();
+  float* row = dst;
   for (int b = 0; b < n; ++b) {
     for (int i = 0; i < ho; ++i) {
-      for (int j = 0; j < wo; ++j, ++p) {
-        float* row = cols.data() + p * depth;
-        std::size_t d = 0;
+      for (int j = 0; j < wo; ++j, row += depth) {
+        const int jj0 = j * stride_ - padding_;
+        const int kj_lo = jj0 < 0 ? -jj0 : 0;
+        const int kj_hi = w - jj0 < kernel_ ? w - jj0 : kernel_;
+        if (kj_hi <= kj_lo) continue;  // fully outside horizontally
         for (int ci = 0; ci < in_ch_; ++ci) {
+          const float* plane =
+              xd + (static_cast<std::size_t>(b) * in_ch_ + ci) * h * w;
           for (int ki = 0; ki < kernel_; ++ki) {
             const int ii = i * stride_ - padding_ + ki;
-            for (int kj = 0; kj < kernel_; ++kj, ++d) {
-              const int jj = j * stride_ - padding_ + kj;
-              if (ii >= 0 && ii < h && jj >= 0 && jj < w) {
-                row[d] = x.at(b, ci, ii, jj);
-              }
-            }
+            if (ii < 0 || ii >= h) continue;  // padded row stays zero
+            std::memcpy(row + (static_cast<std::size_t>(ci) * kernel_ + ki) *
+                                  kernel_ +
+                            kj_lo,
+                        plane + static_cast<std::size_t>(ii) * w + jj0 + kj_lo,
+                        static_cast<std::size_t>(kj_hi - kj_lo) *
+                            sizeof(float));
           }
         }
       }
     }
   }
-  return cols;
 }
 
 Tensor Conv2d::forward(const Tensor& x) {
   if (x.ndim() != 4 || x.dim(1) != in_ch_) {
     throw std::invalid_argument("Conv2d: bad input shape");
   }
-  input_ = x;
   const int n = x.dim(0);
   const int ho = out_size(x.dim(2));
   const int wo = out_size(x.dim(3));
-  const std::size_t depth =
-      static_cast<std::size_t>(in_ch_) * kernel_ * kernel_;
-  const std::vector<float> cols = im2col(x, ho, wo);
+  const int depth = in_ch_ * kernel_ * kernel_;
+  const int plane = ho * wo;
+  in_shape_ = x.shape();
+  ho_ = ho;
+  wo_ = wo;
 
-  // y[p, co] = patches[p, :] . weight[co, :]  (+ bias)
+  // New frame: the column buffer lives until the next forward() so
+  // backward() can reuse it instead of re-running im2col.
+  arena_.reset();
+  gt_ = nullptr;
+  gcols_ = nullptr;
+  const std::size_t rows = static_cast<std::size_t>(n) * plane;
+  cols_ = arena_.alloc(rows * depth);
+  im2col_into(x, ho, wo, cols_);
+
+  // One GEMM over all patch rows: yt [n*plane, out_ch] = cols · Wᵀ,
+  // bias fused into the epilogue (one bias per out channel = per C
+  // column). Patches-as-rows keeps every GEMM dimension large even on
+  // the 1-2 pixel planes of the deep ResNet stages; the NCHW result is
+  // then a cheap O(n·out_ch·plane) transpose.
+  float* yt = arena_.alloc(rows * out_ch_);
+  nt::sgemm(/*trans_a=*/false, /*trans_b=*/true, static_cast<int>(rows),
+            out_ch_, depth, cols_, depth, 0, weight_.value.data(), depth, 0,
+            yt, out_ch_, 0, 1, /*accumulate=*/false,
+            has_bias_ ? bias_.value.data() : nullptr,
+            has_bias_ ? nt::BiasKind::kPerCol : nt::BiasKind::kNone);
   Tensor y({n, out_ch_, ho, wo});
-  const float* wmat = weight_.value.data();  // [out_ch, depth] row-major
-  const std::size_t plane = static_cast<std::size_t>(ho) * wo;
-  std::size_t p = 0;
+  float* yd = y.data();
   for (int b = 0; b < n; ++b) {
-    for (std::size_t pix = 0; pix < plane; ++pix, ++p) {
-      const float* row = cols.data() + p * depth;
-      for (int co = 0; co < out_ch_; ++co) {
-        const float* wrow = wmat + static_cast<std::size_t>(co) * depth;
-        float acc =
-            has_bias_ ? bias_.value[static_cast<std::size_t>(co)] : 0.0f;
-        for (std::size_t d = 0; d < depth; ++d) acc += row[d] * wrow[d];
-        y[(static_cast<std::size_t>(b) * out_ch_ + co) * plane + pix] = acc;
+    const float* src = yt + static_cast<std::size_t>(b) * plane * out_ch_;
+    for (int co = 0; co < out_ch_; ++co) {
+      float* dst =
+          yd + (static_cast<std::size_t>(b) * out_ch_ + co) * plane;
+      for (int p = 0; p < plane; ++p) {
+        dst[p] = src[static_cast<std::size_t>(p) * out_ch_ + co];
       }
     }
   }
@@ -90,58 +114,87 @@ Tensor Conv2d::forward(const Tensor& x) {
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
-  const Tensor& x = input_;
-  const int n = x.dim(0);
-  const int h = x.dim(2);
-  const int w = x.dim(3);
-  const int ho = grad_out.dim(2);
-  const int wo = grad_out.dim(3);
-  const std::size_t depth =
-      static_cast<std::size_t>(in_ch_) * kernel_ * kernel_;
-  const std::size_t plane = static_cast<std::size_t>(ho) * wo;
-  const std::vector<float> cols = im2col(x, ho, wo);
+  if (cols_ == nullptr || in_shape_.size() != 4) {
+    throw std::logic_error("Conv2d::backward: no cached forward pass");
+  }
+  const int n = in_shape_[0];
+  const int h = in_shape_[2];
+  const int w = in_shape_[3];
+  if (grad_out.ndim() != 4 || grad_out.dim(0) != n ||
+      grad_out.dim(1) != out_ch_ || grad_out.dim(2) != ho_ ||
+      grad_out.dim(3) != wo_) {
+    throw std::invalid_argument("Conv2d::backward: grad shape mismatch");
+  }
+  const int depth = in_ch_ * kernel_ * kernel_;
+  const int plane = ho_ * wo_;
+  const float* god = grad_out.data();
 
-  // Per-patch: dW[co, :] += g * patch;  gpatch[:] += g * W[co, :].
-  std::vector<float> gcols(cols.size(), 0.0f);
-  const float* wmat = weight_.value.data();
-  float* gw = weight_.grad.data();
-  std::size_t p = 0;
-  for (int b = 0; b < n; ++b) {
-    for (std::size_t pix = 0; pix < plane; ++pix, ++p) {
-      const float* row = cols.data() + p * depth;
-      float* grow = gcols.data() + p * depth;
+  if (has_bias_) {
+    for (int b = 0; b < n; ++b) {
       for (int co = 0; co < out_ch_; ++co) {
-        const float g =
-            grad_out[(static_cast<std::size_t>(b) * out_ch_ + co) * plane +
-                     pix];
-        if (g == 0.0f) continue;
-        if (has_bias_) bias_.grad[static_cast<std::size_t>(co)] += g;
-        const float* wrow = wmat + static_cast<std::size_t>(co) * depth;
-        float* gwrow = gw + static_cast<std::size_t>(co) * depth;
-        for (std::size_t d = 0; d < depth; ++d) {
-          gwrow[d] += g * row[d];
-          grow[d] += g * wrow[d];
-        }
+        const float* row =
+            god + (static_cast<std::size_t>(b) * out_ch_ + co) * plane;
+        float acc = bias_.grad[static_cast<std::size_t>(co)];
+        for (int p = 0; p < plane; ++p) acc += row[p];
+        bias_.grad[static_cast<std::size_t>(co)] = acc;
       }
     }
   }
 
-  // col2im: scatter patch gradients back onto the input.
-  Tensor grad_in(x.shape());
-  p = 0;
+  // Patch-major transpose of grad_out, shared by both GEMMs below.
+  // Allocated once per frame and reused if backward() runs more than
+  // once after a forward().
+  const std::size_t rows = static_cast<std::size_t>(n) * plane;
+  if (gt_ == nullptr) gt_ = arena_.alloc(rows * out_ch_);
   for (int b = 0; b < n; ++b) {
-    for (int i = 0; i < ho; ++i) {
-      for (int j = 0; j < wo; ++j, ++p) {
-        const float* grow = gcols.data() + p * depth;
-        std::size_t d = 0;
+    float* dst = gt_ + static_cast<std::size_t>(b) * plane * out_ch_;
+    for (int co = 0; co < out_ch_; ++co) {
+      const float* src =
+          god + (static_cast<std::size_t>(b) * out_ch_ + co) * plane;
+      for (int p = 0; p < plane; ++p) {
+        dst[static_cast<std::size_t>(p) * out_ch_ + co] = src[p];
+      }
+    }
+  }
+
+  // dW [out_ch, depth] += gtᵀ · cols — one GEMM whose reduction runs
+  // over every patch of the whole batch (k = n*plane).
+  nt::sgemm(/*trans_a=*/true, /*trans_b=*/false, out_ch_, depth,
+            static_cast<int>(rows), gt_, out_ch_, 0, cols_, depth, 0,
+            weight_.grad.data(), depth, 0, 1, /*accumulate=*/true, nullptr,
+            nt::BiasKind::kNone);
+
+  // gcols [n*plane, depth] = gt · W — patch-row gradients in the same
+  // layout as cols_, so col2im mirrors im2col.
+  if (gcols_ == nullptr) gcols_ = arena_.alloc(rows * depth);
+  nt::sgemm(/*trans_a=*/false, /*trans_b=*/false, static_cast<int>(rows),
+            depth, out_ch_, gt_, out_ch_, 0, weight_.value.data(), depth, 0,
+            gcols_, depth, 0, 1, /*accumulate=*/false, nullptr,
+            nt::BiasKind::kNone);
+
+  // col2im: scatter patch-row gradients back onto the input.
+  Tensor grad_in(in_shape_);
+  float* gi = grad_in.data();
+  const float* row = gcols_;
+  for (int b = 0; b < n; ++b) {
+    for (int i = 0; i < ho_; ++i) {
+      for (int j = 0; j < wo_; ++j, row += depth) {
+        const int jj0 = j * stride_ - padding_;
+        const int kj_lo = jj0 < 0 ? -jj0 : 0;
+        const int kj_hi = w - jj0 < kernel_ ? w - jj0 : kernel_;
+        if (kj_hi <= kj_lo) continue;
         for (int ci = 0; ci < in_ch_; ++ci) {
           for (int ki = 0; ki < kernel_; ++ki) {
             const int ii = i * stride_ - padding_ + ki;
-            for (int kj = 0; kj < kernel_; ++kj, ++d) {
-              const int jj = j * stride_ - padding_ + kj;
-              if (ii >= 0 && ii < h && jj >= 0 && jj < w) {
-                grad_in.at(b, ci, ii, jj) += grow[d];
-              }
+            if (ii < 0 || ii >= h) continue;
+            float* dst =
+                gi + ((static_cast<std::size_t>(b) * in_ch_ + ci) * h + ii) *
+                         w +
+                jj0;
+            const float* src =
+                row + (static_cast<std::size_t>(ci) * kernel_ + ki) * kernel_;
+            for (int kj = kj_lo; kj < kj_hi; ++kj) {
+              dst[kj] += src[kj];
             }
           }
         }
@@ -174,32 +227,37 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
   const int h = x.dim(2);
   const int w = x.dim(3);
   if (c != channels_) throw std::invalid_argument("BatchNorm2d: channels");
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
   const double per_ch = static_cast<double>(n) * h * w;
 
   batch_mean_.assign(static_cast<std::size_t>(c), 0.0f);
   batch_inv_std_.assign(static_cast<std::size_t>(c), 0.0f);
   Tensor y(x.shape());
-  x_hat_ = Tensor(x.shape());
+  if (!nt::same_shape(x_hat_, x)) x_hat_ = Tensor(x.shape());
+  const float* xd = x.data();
+  float* yd = y.data();
+  float* xhd = x_hat_.data();
 
   for (int ch = 0; ch < c; ++ch) {
     double mean = 0.0;
     double var = 0.0;
     if (training_) {
+      // Single fused pass: sum and sum-of-squares in double, so
+      // var = E[x²] - E[x]² stays well conditioned for the activation
+      // scales a normalized network produces.
+      double sum = 0.0;
+      double sumsq = 0.0;
       for (int b = 0; b < n; ++b) {
-        for (int i = 0; i < h; ++i) {
-          for (int j = 0; j < w; ++j) mean += x.at(b, ch, i, j);
+        const float* p = xd + (static_cast<std::size_t>(b) * c + ch) * plane;
+        for (std::size_t i = 0; i < plane; ++i) {
+          const double v = p[i];
+          sum += v;
+          sumsq += v * v;
         }
       }
-      mean /= per_ch;
-      for (int b = 0; b < n; ++b) {
-        for (int i = 0; i < h; ++i) {
-          for (int j = 0; j < w; ++j) {
-            const double d = x.at(b, ch, i, j) - mean;
-            var += d * d;
-          }
-        }
-      }
-      var /= per_ch;
+      mean = sum / per_ch;
+      var = sumsq / per_ch - mean * mean;
+      if (var < 0.0) var = 0.0;  // guard the subtraction's round-off
       running_mean_[static_cast<std::size_t>(ch)] =
           (1.0f - momentum_) * running_mean_[static_cast<std::size_t>(ch)] +
           momentum_ * static_cast<float>(mean);
@@ -215,14 +273,16 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
     batch_inv_std_[static_cast<std::size_t>(ch)] = inv_std;
     const float g = gamma_.value[static_cast<std::size_t>(ch)];
     const float bt = beta_.value[static_cast<std::size_t>(ch)];
+    const float fmean = static_cast<float>(mean);
     for (int b = 0; b < n; ++b) {
-      for (int i = 0; i < h; ++i) {
-        for (int j = 0; j < w; ++j) {
-          const float xh =
-              (x.at(b, ch, i, j) - static_cast<float>(mean)) * inv_std;
-          x_hat_.at(b, ch, i, j) = xh;
-          y.at(b, ch, i, j) = g * xh + bt;
-        }
+      const std::size_t base = (static_cast<std::size_t>(b) * c + ch) * plane;
+      const float* px = xd + base;
+      float* pxh = xhd + base;
+      float* py = yd + base;
+      for (std::size_t i = 0; i < plane; ++i) {
+        const float xh = (px[i] - fmean) * inv_std;
+        pxh[i] = xh;
+        py[i] = g * xh + bt;
       }
     }
   }
@@ -234,19 +294,23 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
   const int c = grad_out.dim(1);
   const int h = grad_out.dim(2);
   const int w = grad_out.dim(3);
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
   const float per_ch = static_cast<float>(n) * h * w;
   Tensor grad_in(grad_out.shape());
+  const float* god = grad_out.data();
+  const float* xhd = x_hat_.data();
+  float* gid = grad_in.data();
 
   for (int ch = 0; ch < c; ++ch) {
     float sum_g = 0.0f;
     float sum_gx = 0.0f;
     for (int b = 0; b < n; ++b) {
-      for (int i = 0; i < h; ++i) {
-        for (int j = 0; j < w; ++j) {
-          const float g = grad_out.at(b, ch, i, j);
-          sum_g += g;
-          sum_gx += g * x_hat_.at(b, ch, i, j);
-        }
+      const std::size_t base = (static_cast<std::size_t>(b) * c + ch) * plane;
+      const float* pg = god + base;
+      const float* pxh = xhd + base;
+      for (std::size_t i = 0; i < plane; ++i) {
+        sum_g += pg[i];
+        sum_gx += pg[i] * pxh[i];
       }
     }
     gamma_.grad[static_cast<std::size_t>(ch)] += sum_gx;
@@ -254,19 +318,21 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
 
     const float gma = gamma_.value[static_cast<std::size_t>(ch)];
     const float inv_std = batch_inv_std_[static_cast<std::size_t>(ch)];
+    const float mean_g = sum_g / per_ch;
+    const float mean_gx = sum_gx / per_ch;
     for (int b = 0; b < n; ++b) {
-      for (int i = 0; i < h; ++i) {
-        for (int j = 0; j < w; ++j) {
-          const float g = grad_out.at(b, ch, i, j);
-          const float xh = x_hat_.at(b, ch, i, j);
-          float gi;
-          if (training_) {
-            gi = gma * inv_std *
-                 (g - sum_g / per_ch - xh * sum_gx / per_ch);
-          } else {
-            gi = gma * inv_std * g;  // running stats are constants
-          }
-          grad_in.at(b, ch, i, j) = gi;
+      const std::size_t base = (static_cast<std::size_t>(b) * c + ch) * plane;
+      const float* pg = god + base;
+      const float* pxh = xhd + base;
+      float* pgi = gid + base;
+      if (training_) {
+        for (std::size_t i = 0; i < plane; ++i) {
+          pgi[i] = gma * inv_std * (pg[i] - mean_g - pxh[i] * mean_gx);
+        }
+      } else {
+        // Running stats are constants, so the mean terms vanish.
+        for (std::size_t i = 0; i < plane; ++i) {
+          pgi[i] = gma * inv_std * pg[i];
         }
       }
     }
@@ -283,22 +349,32 @@ std::vector<nt::Tensor*> BatchNorm2d::state_buffers() {
 // -- ReLU ---------------------------------------------------------------------
 
 Tensor ReLU::forward(const Tensor& x) {
-  mask_ = Tensor(x.shape());
+  mask_.resize(x.numel());  // capacity persists across calls
   Tensor y(x.shape());
+  const float* xd = x.data();
+  float* yd = y.data();
   for (std::size_t i = 0; i < x.numel(); ++i) {
-    const bool pos = x[i] > 0.0f;
-    mask_[i] = pos ? 1.0f : 0.0f;
-    y[i] = pos ? x[i] : 0.0f;
+    const bool pos = xd[i] > 0.0f;
+    mask_[i] = pos ? 1 : 0;
+    yd[i] = pos ? xd[i] : 0.0f;
   }
   return y;
 }
 
 Tensor ReLU::backward(const Tensor& grad_out) {
-  Tensor grad_in(grad_out.shape());
-  for (std::size_t i = 0; i < grad_out.numel(); ++i) {
-    grad_in[i] = grad_out[i] * mask_[i];
-  }
+  Tensor grad_in = grad_out;
+  backward_inplace(grad_in);
   return grad_in;
+}
+
+void ReLU::backward_inplace(Tensor& grad) {
+  if (grad.numel() != mask_.size()) {
+    throw std::logic_error("ReLU::backward: shape mismatch with forward");
+  }
+  float* g = grad.data();
+  for (std::size_t i = 0; i < mask_.size(); ++i) {
+    if (mask_[i] == 0) g[i] = 0.0f;
+  }
 }
 
 // -- MaxPool2d ------------------------------------------------------------------
@@ -420,33 +496,36 @@ Tensor Linear::forward(const Tensor& x) {
   }
   input_ = x;
   const int n = x.dim(0);
+  // y [n, out] = x [n, in] · Wᵀ, bias fused per output feature (C col).
   Tensor y({n, out_});
-  for (int b = 0; b < n; ++b) {
-    for (int o = 0; o < out_; ++o) {
-      float acc = bias_.value[static_cast<std::size_t>(o)];
-      for (int i = 0; i < in_; ++i) {
-        acc += weight_.value.at(o, i) * x.at(b, i);
-      }
-      y.at(b, o) = acc;
-    }
-  }
+  nt::sgemm(/*trans_a=*/false, /*trans_b=*/true, n, out_, in_, x.data(), in_,
+            0, weight_.value.data(), in_, 0, y.data(), out_, 0, 1,
+            /*accumulate=*/false, bias_.value.data(), nt::BiasKind::kPerCol);
   return y;
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {
   const int n = input_.dim(0);
-  Tensor grad_in({n, in_});
+  if (grad_out.ndim() != 2 || grad_out.dim(0) != n ||
+      grad_out.dim(1) != out_) {
+    throw std::invalid_argument("Linear::backward: grad shape mismatch");
+  }
+  const float* god = grad_out.data();
   for (int b = 0; b < n; ++b) {
+    const float* row = god + static_cast<std::size_t>(b) * out_;
     for (int o = 0; o < out_; ++o) {
-      const float g = grad_out.at(b, o);
-      if (g == 0.0f) continue;
-      bias_.grad[static_cast<std::size_t>(o)] += g;
-      for (int i = 0; i < in_; ++i) {
-        weight_.grad.at(o, i) += g * input_.at(b, i);
-        grad_in.at(b, i) += g * weight_.value.at(o, i);
-      }
+      bias_.grad[static_cast<std::size_t>(o)] += row[o];
     }
   }
+  // dW [out, in] += Gᵀ · x.
+  nt::sgemm(/*trans_a=*/true, /*trans_b=*/false, out_, in_, n, god, out_, 0,
+            input_.data(), in_, 0, weight_.grad.data(), in_, 0, 1,
+            /*accumulate=*/true, nullptr, nt::BiasKind::kNone);
+  // grad_in [n, in] = G · W.
+  Tensor grad_in({n, in_});
+  nt::sgemm(/*trans_a=*/false, /*trans_b=*/false, n, in_, out_, god, out_, 0,
+            weight_.value.data(), in_, 0, grad_in.data(), in_, 0, 1,
+            /*accumulate=*/false, nullptr, nt::BiasKind::kNone);
   return grad_in;
 }
 

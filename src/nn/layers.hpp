@@ -1,12 +1,17 @@
 #pragma once
 // Concrete layers: Conv2d, BatchNorm2d, ReLU, MaxPool2d, global average
 // pooling, Flatten and Linear — everything ResNet-18 needs. All image
-// tensors are NCHW.
+// tensors are NCHW. Conv2d and Linear run on the nt::sgemm kernel
+// layer (RLMUL_GEMM selects blocked vs naive reference kernels), and
+// each Conv2d routes its im2col/col2im temporaries through a private
+// nt::ScratchArena so steady-state training allocates nothing per step.
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "nn/module.hpp"
+#include "nt/arena.hpp"
 #include "util/rng.hpp"
 
 namespace rlmul::nn {
@@ -26,15 +31,25 @@ class Conv2d : public Module {
   }
 
  private:
-  /// Unfolds the cached input into patch rows [P x D], P = n*ho*wo,
-  /// D = in_ch*k*k (im2col); forward/backward are then plain GEMMs.
-  std::vector<float> im2col(const nt::Tensor& x, int ho, int wo) const;
+  /// Unfolds x into patch rows [n*ho*wo x D], D = in_ch*k*k (im2col),
+  /// written into `dst` (arena-owned); forward/backward are then plain
+  /// GEMMs against the [out_ch x D] weight matrix.
+  void im2col_into(const nt::Tensor& x, int ho, int wo, float* dst) const;
 
   int in_ch_, out_ch_, kernel_, stride_, padding_;
   bool has_bias_;
   Param weight_;  ///< [out_ch, in_ch, k, k]
   Param bias_;    ///< [out_ch]
-  nt::Tensor input_;  ///< cached for backward
+  /// Forward/backward scratch. The frame opens in forward() (reset +
+  /// im2col into cols_) and stays live through any number of
+  /// backward() calls, which reuse cols_ instead of re-unfolding the
+  /// input and allocate gcols_ from the same frame on first use.
+  nt::ScratchArena arena_;
+  float* cols_ = nullptr;   ///< [n*ho*wo x depth] patch rows
+  float* gt_ = nullptr;     ///< [n*ho*wo x out_ch] grad_out, patch-major
+  float* gcols_ = nullptr;  ///< [n*ho*wo x depth] patch-row grads
+  std::vector<int> in_shape_;  ///< shape of the last forward input
+  int ho_ = 0, wo_ = 0;        ///< output spatial dims of last forward
 };
 
 class BatchNorm2d : public Module {
@@ -54,7 +69,8 @@ class BatchNorm2d : public Module {
   /// Exposed via state_buffers(): updated in training mode, read in
   /// eval mode, so resuming a checkpointed training run needs them.
   nt::Tensor running_mean_, running_var_;
-  // Backward caches:
+  // Backward caches (x_hat_ is reused across steps when the batch
+  // shape is stable, so steady-state training does not reallocate it):
   nt::Tensor x_hat_;
   std::vector<float> batch_mean_, batch_inv_std_;
 };
@@ -63,9 +79,12 @@ class ReLU : public Module {
  public:
   nt::Tensor forward(const nt::Tensor& x) override;
   nt::Tensor backward(const nt::Tensor& grad_out) override;
+  /// Rewrites `grad` in place (zeroing where the input was <= 0); no
+  /// allocation. backward() is a copy plus this.
+  void backward_inplace(nt::Tensor& grad) override;
 
  private:
-  nt::Tensor mask_;
+  std::vector<std::uint8_t> mask_;  ///< input > 0, reused across calls
 };
 
 class MaxPool2d : public Module {

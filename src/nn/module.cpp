@@ -15,7 +15,7 @@ nt::Tensor Sequential::forward(const nt::Tensor& x) {
 nt::Tensor Sequential::backward(const nt::Tensor& grad_out) {
   nt::Tensor cur = grad_out;
   for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
-    cur = (*it)->backward(cur);
+    (*it)->backward_inplace(cur);
   }
   return cur;
 }

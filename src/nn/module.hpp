@@ -30,6 +30,11 @@ class Module {
   virtual nt::Tensor forward(const nt::Tensor& x) = 0;
   /// dL/d(output) -> dL/d(input); parameter grads are accumulated.
   virtual nt::Tensor backward(const nt::Tensor& grad_out) = 0;
+  /// In-place variant: replaces `grad` (dL/d(output)) with
+  /// dL/d(input). The default defers to backward(); elementwise layers
+  /// (ReLU) override it to rewrite the buffer without allocating, and
+  /// Sequential threads one gradient buffer through the whole chain.
+  virtual void backward_inplace(nt::Tensor& grad) { grad = backward(grad); }
 
   virtual std::vector<Param*> params() { return {}; }
   /// Non-trainable state that evolves during training (e.g. batch-norm

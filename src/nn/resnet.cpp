@@ -1,10 +1,31 @@
 #include "nn/resnet.hpp"
 
+#include <chrono>
 #include <stdexcept>
+
+#include "util/perf_counters.hpp"
 
 namespace rlmul::nn {
 
 using nt::Tensor;
+
+namespace {
+
+/// Accumulates the enclosing scope's wall time into
+/// perf_counters().nn_time_us. Only the outermost ResNet entry points
+/// use it (they never nest), so the counter is pure network time.
+struct NnTimer {
+  std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+  ~NnTimer() {
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    util::perf_counters().nn_time_us.fetch_add(
+        static_cast<std::uint64_t>(us), std::memory_order_relaxed);
+  }
+};
+
+}  // namespace
 
 BasicBlock::BasicBlock(int in_channels, int out_channels, int stride,
                        util::Rng& rng) {
@@ -36,7 +57,8 @@ Tensor BasicBlock::forward(const Tensor& x) {
 }
 
 Tensor BasicBlock::backward(const Tensor& grad_out) {
-  const Tensor grad_sum = out_relu_.backward(grad_out);
+  Tensor grad_sum = grad_out;
+  out_relu_.backward_inplace(grad_sum);
   Tensor grad_in = main_.backward(grad_sum);
   if (projection_) {
     const Tensor grad_skip = projection_->backward(grad_sum);
@@ -107,16 +129,22 @@ ResNet::ResNet(const ResNetConfig& cfg, util::Rng& rng) {
 }
 
 Tensor ResNet::forward(const Tensor& x) {
+  NnTimer timer;
   return head_->forward(trunk_.forward(x));
 }
 
 Tensor ResNet::backward(const Tensor& grad_out) {
+  NnTimer timer;
   return trunk_.backward(head_->backward(grad_out));
 }
 
-Tensor ResNet::forward_features(const Tensor& x) { return trunk_.forward(x); }
+Tensor ResNet::forward_features(const Tensor& x) {
+  NnTimer timer;
+  return trunk_.forward(x);
+}
 
 Tensor ResNet::backward_features(const Tensor& grad_features) {
+  NnTimer timer;
   return trunk_.backward(grad_features);
 }
 

@@ -1,0 +1,51 @@
+#include "nt/arena.hpp"
+
+#include <algorithm>
+
+namespace rlmul::nt {
+
+namespace {
+// 64 bytes = 16 floats: slices never straddle a cache line boundary
+// shared with the next slice.
+constexpr std::size_t kAlign = 16;
+
+std::size_t round_up(std::size_t n) { return (n + kAlign - 1) & ~(kAlign - 1); }
+}  // namespace
+
+float* ScratchArena::alloc(std::size_t n) {
+  n = round_up(std::max<std::size_t>(n, 1));
+  frame_used_ += n;
+  high_water_ = std::max(high_water_, frame_used_);
+  if (!chunks_.empty()) {
+    Chunk& last = chunks_.back();
+    if (last.used + n <= last.data.size()) {
+      float* out = last.data.data() + last.used;
+      last.used += n;
+      return out;
+    }
+  }
+  // Overflow: open a fresh chunk (previously returned slices must stay
+  // put). Doubling keeps the chunk count logarithmic while the first
+  // frames discover the working-set size.
+  std::size_t cap = std::max<std::size_t>(n, 1024);
+  for (const Chunk& c : chunks_) cap = std::max(cap, 2 * c.data.size());
+  chunks_.emplace_back();
+  chunks_.back().data.resize(cap);
+  chunks_.back().used = n;
+  return chunks_.back().data.data();
+}
+
+void ScratchArena::reset() {
+  if (chunks_.size() > 1 ||
+      (chunks_.size() == 1 && chunks_.front().data.size() < high_water_)) {
+    // Coalesce to one chunk covering the high-water mark; safe here
+    // because reset() invalidates every outstanding slice.
+    chunks_.clear();
+    chunks_.emplace_back();
+    chunks_.back().data.resize(round_up(high_water_));
+  }
+  for (Chunk& c : chunks_) c.used = 0;
+  frame_used_ = 0;
+}
+
+}  // namespace rlmul::nt

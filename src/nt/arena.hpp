@@ -1,0 +1,48 @@
+#pragma once
+// Scratch arena for tensor-kernel temporaries (im2col column buffers,
+// packed GEMM panels). A frame-oriented bump allocator: alloc() hands
+// out slices that stay valid until the next reset(); reset() recycles
+// the full capacity without freeing it, so a steady-state
+// forward/backward step performs zero heap allocations once the first
+// step has sized the arena. Slices are rounded up to a cache line so
+// neighbouring buffers never share one.
+//
+// Lifetime rules (see docs/architecture.md): each nn module owns its
+// arena; Conv2d resets it at the top of forward() and keeps the im2col
+// buffer alive through any number of backward() calls — backward never
+// resets, it only allocates further slices from the same frame.
+
+#include <cstddef>
+#include <vector>
+
+namespace rlmul::nt {
+
+class ScratchArena {
+ public:
+  /// Uninitialized slice of `n` floats, valid until the next reset().
+  /// Growing the arena mid-frame never moves previously returned
+  /// slices (overflow goes to a fresh chunk).
+  float* alloc(std::size_t n);
+
+  /// Invalidates all outstanding slices and makes the capacity
+  /// available again. If the previous frame overflowed into extra
+  /// chunks they are coalesced into one buffer sized to the high-water
+  /// mark, so subsequent same-sized frames allocate nothing.
+  void reset();
+
+  /// Largest frame footprint seen so far, in floats.
+  std::size_t high_water() const { return high_water_; }
+  /// Number of backing chunks (1 in steady state).
+  std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::vector<float> data;
+    std::size_t used = 0;
+  };
+  std::vector<Chunk> chunks_;
+  std::size_t frame_used_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace rlmul::nt

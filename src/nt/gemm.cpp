@@ -1,0 +1,386 @@
+#include "nt/gemm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nt/arena.hpp"
+#include "nt/gemm_tile.hpp"
+#include "util/config.hpp"
+#include "util/perf_counters.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rlmul::nt {
+namespace {
+
+// Cache blocking (the register micro-tile lives in gemm_tile.hpp and
+// is chosen at runtime). KC keeps one packed A row-panel plus the
+// streamed B column panel L1/L2 resident; MC bounds a row-block task
+// so the packed A block stays in L2; NC is the task granularity along
+// the columns and must be a multiple of every tile's NR so shared
+// packed panels can be sub-ranged per task.
+constexpr int MC = 64;
+constexpr int KC = 256;
+constexpr int NC = 128;
+static_assert(NC % 8 == 0 && NC % 16 == 0);
+
+int round_to(int v, int q) { return (v + q - 1) / q * q; }
+
+// Portable tile: 4x8 = 32 accumulators fit the baseline (non
+// -march=native) SSE register file.
+const detail::GemmKernels kBaseKernels = detail::TileKernels<4, 8>::kernels();
+
+const detail::GemmKernels* pick_kernels() {
+  // RLMUL_GEMM_TILE=portable pins the baseline tile (useful to compare
+  // tile codegen or to sidestep a bad dispatch on exotic hardware);
+  // anything else auto-detects.
+  const char* raw = std::getenv("RLMUL_GEMM_TILE");
+  if (raw != nullptr && std::string(raw) == "portable") return &kBaseKernels;
+#if defined(__x86_64__) && defined(__GNUC__)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return &detail::kAvx2Kernels;
+  }
+#endif
+  return &kBaseKernels;
+}
+
+const detail::GemmKernels* active_kernels() {
+  static const detail::GemmKernels* chosen = pick_kernels();
+  return chosen;
+}
+
+GemmMode mode_from_env() {
+  const char* raw = std::getenv("RLMUL_GEMM");
+  if (raw == nullptr) return GemmMode::kBlocked;
+  const std::string v(raw);
+  return (v == "naive" || v == "0") ? GemmMode::kNaive : GemmMode::kBlocked;
+}
+
+std::atomic<GemmMode>& mode_flag() {
+  static std::atomic<GemmMode> mode{mode_from_env()};
+  return mode;
+}
+
+std::atomic<int>& max_threads_flag() {
+  static std::atomic<int> n{
+      static_cast<int>(util::env_long("RLMUL_GEMM_THREADS", 0))};
+  return n;
+}
+
+// Two thread-local arenas so a caller can pre-pack shared operands in
+// one while the row-block tasks it runs inline reset the other.
+ScratchArena& prepack_arena() {
+  static thread_local ScratchArena arena;
+  return arena;
+}
+ScratchArena& task_arena() {
+  static thread_local ScratchArena arena;
+  return arena;
+}
+
+// -- naive reference kernels -------------------------------------------------
+// Loop structures mirror the layers' historical inner loops: dot-
+// product order for A·Bᵀ (the forward passes) and g-broadcast saxpy
+// order for the backward variants, so RLMUL_GEMM=naive reproduces the
+// legacy per-element summation order exactly.
+
+void naive_item(bool trans_a, bool trans_b, int m, int n, int k,
+                const float* a, int lda, const float* b, int ldb, float* c,
+                int ldc) {
+  if (!trans_a && trans_b) {
+    for (int i = 0; i < m; ++i) {
+      const float* ar = a + static_cast<std::size_t>(i) * lda;
+      float* cr = c + static_cast<std::size_t>(i) * ldc;
+      for (int j = 0; j < n; ++j) {
+        const float* br = b + static_cast<std::size_t>(j) * ldb;
+        float acc = cr[j];
+        for (int p = 0; p < k; ++p) acc += ar[p] * br[p];
+        cr[j] = acc;
+      }
+    }
+  } else if (!trans_a && !trans_b) {
+    for (int i = 0; i < m; ++i) {
+      const float* ar = a + static_cast<std::size_t>(i) * lda;
+      float* cr = c + static_cast<std::size_t>(i) * ldc;
+      for (int p = 0; p < k; ++p) {
+        const float g = ar[p];
+        const float* br = b + static_cast<std::size_t>(p) * ldb;
+        for (int j = 0; j < n; ++j) cr[j] += g * br[j];
+      }
+    }
+  } else {  // trans_a && !trans_b
+    for (int p = 0; p < k; ++p) {
+      const float* ar = a + static_cast<std::size_t>(p) * lda;
+      const float* br = b + static_cast<std::size_t>(p) * ldb;
+      for (int i = 0; i < m; ++i) {
+        const float g = ar[i];
+        float* cr = c + static_cast<std::size_t>(i) * ldc;
+        for (int j = 0; j < n; ++j) cr[j] += g * br[j];
+      }
+    }
+  }
+}
+
+// -- blocked path ------------------------------------------------------------
+
+struct BlockedJob {
+  bool trans_a, trans_b;
+  int m, n, k;
+  const float* a;
+  int lda;
+  std::ptrdiff_t stride_a;
+  const float* b;
+  int ldb;
+  std::ptrdiff_t stride_b;
+  float* c;
+  int ldc;
+  std::ptrdiff_t stride_c;
+  int batch;
+  int mblocks, kblocks, nblocks;
+  const detail::GemmKernels* ker;
+  // Shared pre-packed operands (set when the operand is batch-
+  // invariant); offsets index (mb, kb) blocks / kb blocks.
+  const float* packed_a = nullptr;
+  const float* packed_b = nullptr;
+  std::vector<std::size_t> off_a;
+  std::vector<std::size_t> off_b;
+};
+
+/// One C-tile task: rows [mb*MC, ...), columns [nb*NC, ...). Each C
+/// element has exactly one writer across the whole task grid. When
+/// stride_c == 0 the batch dimension is a reduction: this task walks
+/// every item in order, so the summation order per C element is fixed
+/// no matter how tasks map to threads.
+void run_block_task(const BlockedJob& j, int item_task, int mb, int nb) {
+  const detail::GemmKernels& ker = *j.ker;
+  const int m0 = mb * MC;
+  const int mc = std::min(MC, j.m - m0);
+  const int n0 = nb * NC;
+  const int nc = std::min(NC, j.n - n0);
+  const int g_lo = j.stride_c == 0 ? 0 : item_task;
+  const int g_hi = j.stride_c == 0 ? j.batch : item_task + 1;
+
+  ScratchArena& arena = task_arena();
+  arena.reset();
+  float* local_a = nullptr;
+  float* local_b = nullptr;
+  if (j.packed_a == nullptr) {
+    local_a = arena.alloc(static_cast<std::size_t>(round_to(mc, ker.mr)) *
+                          std::min(KC, j.k));
+  }
+  if (j.packed_b == nullptr) {
+    local_b = arena.alloc(static_cast<std::size_t>(std::min(KC, j.k)) *
+                          round_to(nc, ker.nr));
+  }
+
+  for (int g = g_lo; g < g_hi; ++g) {
+    const float* a = j.a + static_cast<std::ptrdiff_t>(g) * j.stride_a;
+    const float* b = j.b + static_cast<std::ptrdiff_t>(g) * j.stride_b;
+    float* c = j.c + (j.stride_c == 0 ? 0
+                                      : static_cast<std::ptrdiff_t>(g) *
+                                            j.stride_c);
+    for (int kb = 0; kb < j.kblocks; ++kb) {
+      const int k0 = kb * KC;
+      const int kc = std::min(KC, j.k - k0);
+      const float* pa;
+      if (j.packed_a != nullptr) {
+        pa = j.packed_a + j.off_a[static_cast<std::size_t>(mb) * j.kblocks +
+                                  kb];
+      } else {
+        ker.pack_a(j.trans_a, a, j.lda, m0, mc, k0, kc, local_a);
+        pa = local_a;
+      }
+      if (j.packed_b != nullptr) {
+        // Shared panels are NR-column slabs; n0 is a multiple of NR,
+        // so the task's sub-range starts at panel n0/NR.
+        const float* pb = j.packed_b + j.off_b[kb] +
+                          static_cast<std::size_t>(n0 / ker.nr) * kc * ker.nr;
+        ker.compute_block(m0, mc, kc, n0, nc, pa, pb, c, j.ldc);
+      } else {
+        ker.pack_b(j.trans_b, b, j.ldb, k0, kc, n0, nc, local_b);
+        ker.compute_block(m0, mc, kc, n0, nc, pa, local_b, c, j.ldc);
+      }
+    }
+  }
+}
+
+void run_blocked(const BlockedJob& job) {
+  const int items = job.stride_c == 0 ? 1 : job.batch;
+  const long tiles = static_cast<long>(job.mblocks) * job.nblocks;
+  const long total = static_cast<long>(items) * tiles;
+  const int cap_override = max_threads_flag().load(std::memory_order_relaxed);
+  // The caller participates alongside the pool workers; the schedule
+  // below only changes which thread runs a task, never what it does.
+  const long capacity =
+      cap_override > 0 ? cap_override : util::ThreadPool::shared().size() + 1;
+  // Keep at least ~4 MFLOP per thread: below that, pool dispatch and
+  // future-wait latency dwarf the compute (small inference GEMMs were
+  // measurably slower through the pool than run inline). The cap
+  // depends only on the problem shape, so determinism is unaffected.
+  const double flops = 2.0 * job.m * job.n * job.k * job.batch;
+  const long work_cap = static_cast<long>(flops / (4 << 20)) + 1;
+  const long threads = std::min(std::min<long>(capacity, total), work_cap);
+
+  auto run_range = [&job, tiles](long lo, long hi) {
+    for (long t = lo; t < hi; ++t) {
+      const long tile = t % tiles;
+      run_block_task(job, static_cast<int>(t / tiles),
+                     static_cast<int>(tile / job.nblocks),
+                     static_cast<int>(tile % job.nblocks));
+    }
+  };
+  if (threads <= 1) {
+    run_range(0, total);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<std::size_t>(threads) - 1);
+  const long chunk = (total + threads - 1) / threads;
+  for (long lo = chunk; lo < total; lo += chunk) {
+    const long hi = std::min(lo + chunk, total);
+    futures.push_back(util::ThreadPool::shared().submit(
+        [&run_range, lo, hi]() { run_range(lo, hi); }));
+  }
+  run_range(0, chunk);
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace
+
+GemmMode gemm_mode() { return mode_flag().load(std::memory_order_relaxed); }
+void set_gemm_mode(GemmMode mode) {
+  mode_flag().store(mode, std::memory_order_relaxed);
+}
+
+int gemm_max_threads() {
+  return max_threads_flag().load(std::memory_order_relaxed);
+}
+void set_gemm_max_threads(int n) {
+  max_threads_flag().store(n, std::memory_order_relaxed);
+}
+
+void sgemm(bool trans_a, bool trans_b, int m, int n, int k, const float* a,
+           int lda, std::ptrdiff_t stride_a, const float* b, int ldb,
+           std::ptrdiff_t stride_b, float* c, int ldc, std::ptrdiff_t stride_c,
+           int batch, bool accumulate, const float* bias, BiasKind bias_kind) {
+  if (trans_a && trans_b) {
+    throw std::invalid_argument("sgemm: trans_a && trans_b unsupported");
+  }
+  if ((bias == nullptr) != (bias_kind == BiasKind::kNone)) {
+    throw std::invalid_argument("sgemm: bias/bias_kind mismatch");
+  }
+  if (accumulate && bias_kind != BiasKind::kNone) {
+    throw std::invalid_argument("sgemm: bias requires accumulate=false");
+  }
+  if (m <= 0 || n <= 0 || batch <= 0) return;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Epilogue first: C starts from the bias (or zero, or its current
+  // contents when accumulating); every kernel below purely adds.
+  if (!accumulate) {
+    const int copies = stride_c == 0 ? 1 : batch;
+    for (int g = 0; g < copies; ++g) {
+      float* cg = c + static_cast<std::ptrdiff_t>(g) * stride_c;
+      for (int i = 0; i < m; ++i) {
+        float* row = cg + static_cast<std::size_t>(i) * ldc;
+        switch (bias_kind) {
+          case BiasKind::kNone:
+            std::memset(row, 0, static_cast<std::size_t>(n) * sizeof(float));
+            break;
+          case BiasKind::kPerRow:
+            std::fill(row, row + n, bias[i]);
+            break;
+          case BiasKind::kPerCol:
+            std::memcpy(row, bias, static_cast<std::size_t>(n) * sizeof(float));
+            break;
+        }
+      }
+    }
+  }
+
+  if (k > 0) {
+    if (gemm_mode() == GemmMode::kNaive) {
+      for (int g = 0; g < batch; ++g) {
+        naive_item(trans_a, trans_b, m, n, k,
+                   a + static_cast<std::ptrdiff_t>(g) * stride_a, lda,
+                   b + static_cast<std::ptrdiff_t>(g) * stride_b, ldb,
+                   c + (stride_c == 0
+                            ? 0
+                            : static_cast<std::ptrdiff_t>(g) * stride_c),
+                   ldc);
+      }
+    } else {
+      const detail::GemmKernels* ker = active_kernels();
+      BlockedJob job{trans_a, trans_b, m,   n,        k,     a,
+                     lda,     stride_a, b,  ldb,      stride_b, c,
+                     ldc,     stride_c, batch,
+                     (m + MC - 1) / MC, (k + KC - 1) / KC,
+                     (n + NC - 1) / NC, ker};
+      // Batch-invariant operands are packed once, up front, on the
+      // calling thread; per-item operands are packed inside each task.
+      ScratchArena& arena = prepack_arena();
+      arena.reset();
+      if (stride_a == 0 || batch == 1) {
+        job.off_a.resize(static_cast<std::size_t>(job.mblocks) * job.kblocks);
+        std::size_t total = 0;
+        for (int mb = 0; mb < job.mblocks; ++mb) {
+          const int mc = std::min(MC, m - mb * MC);
+          for (int kb = 0; kb < job.kblocks; ++kb) {
+            const int kc = std::min(KC, k - kb * KC);
+            job.off_a[static_cast<std::size_t>(mb) * job.kblocks + kb] = total;
+            total += static_cast<std::size_t>(round_to(mc, ker->mr)) * kc;
+          }
+        }
+        float* pa = arena.alloc(total);
+        for (int mb = 0; mb < job.mblocks; ++mb) {
+          const int mc = std::min(MC, m - mb * MC);
+          for (int kb = 0; kb < job.kblocks; ++kb) {
+            const int kc = std::min(KC, k - kb * KC);
+            ker->pack_a(trans_a, a, lda, mb * MC, mc, kb * KC, kc,
+                        pa + job.off_a[static_cast<std::size_t>(mb) *
+                                           job.kblocks +
+                                       kb]);
+          }
+        }
+        job.packed_a = pa;
+      }
+      if (stride_b == 0 || batch == 1) {
+        job.off_b.resize(static_cast<std::size_t>(job.kblocks));
+        std::size_t total = 0;
+        for (int kb = 0; kb < job.kblocks; ++kb) {
+          const int kc = std::min(KC, k - kb * KC);
+          job.off_b[static_cast<std::size_t>(kb)] = total;
+          total += static_cast<std::size_t>(kc) * round_to(n, ker->nr);
+        }
+        float* pb = arena.alloc(total);
+        for (int kb = 0; kb < job.kblocks; ++kb) {
+          const int kc = std::min(KC, k - kb * KC);
+          ker->pack_b(trans_b, b, ldb, kb * KC, kc, 0, n,
+                      pb + job.off_b[static_cast<std::size_t>(kb)]);
+        }
+        job.packed_b = pb;
+      }
+      run_blocked(job);
+    }
+  }
+
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  auto& counters = util::perf_counters();
+  counters.gemm_time_us.fetch_add(static_cast<std::uint64_t>(us),
+                                  std::memory_order_relaxed);
+  counters.nn_flops.fetch_add(2ull * static_cast<std::uint64_t>(m) *
+                                  static_cast<std::uint64_t>(n) *
+                                  static_cast<std::uint64_t>(k) *
+                                  static_cast<std::uint64_t>(batch),
+                              std::memory_order_relaxed);
+}
+
+}  // namespace rlmul::nt

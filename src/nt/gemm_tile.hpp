@@ -1,0 +1,131 @@
+#pragma once
+// Generic GEMM packing and register-tile kernels, parameterized on the
+// micro-tile shape (MR x NR). gemm.cpp instantiates the portable 4x8
+// tile (32 accumulators fit the baseline SSE register file);
+// gemm_kernels_avx2.cpp instantiates a 6x16 tile in a translation unit
+// compiled with -mavx2 -mfma (12 ymm accumulators, the classic
+// OpenBLAS-style shape) and gemm.cpp dispatches to it at runtime when
+// the CPU supports it. The tile shape only changes how C elements are
+// grouped into register blocks — the per-element summation order over
+// k is identical for every tile, so picking a tile never changes the
+// block schedule's determinism guarantees (FMA contraction does change
+// rounding vs mul+add; that is covered by the documented
+// reassociation caveat between kernel configurations).
+
+#include <algorithm>
+#include <cstddef>
+
+namespace rlmul::nt::detail {
+
+/// One micro-tile implementation, selected per process at runtime.
+struct GemmKernels {
+  int mr, nr;
+  void (*pack_a)(bool trans_a, const float* a, int lda, int m0, int mc,
+                 int k0, int kc, float* dst);
+  void (*pack_b)(bool trans_b, const float* b, int ldb, int k0, int kc,
+                 int n0, int nc, float* dst);
+  void (*compute_block)(int m0, int mc, int kc, int n0, int nc,
+                        const float* pa, const float* pb, float* c, int ldc);
+};
+
+template <int MRV, int NRV>
+struct TileKernels {
+  /// Packs op(A)[m0..m0+mc, k0..k0+kc) into MR-row panels: panel ir/MR
+  /// holds tile[kk*MR + r] = op(A)(m0+ir+r, k0+kk), zero-padded to MR.
+  static void pack_a(bool trans_a, const float* a, int lda, int m0, int mc,
+                     int k0, int kc, float* dst) {
+    for (int ir = 0; ir < mc; ir += MRV) {
+      const int mr = std::min(MRV, mc - ir);
+      float* tile = dst + static_cast<std::size_t>(ir / MRV) * MRV * kc;
+      for (int kk = 0; kk < kc; ++kk) {
+        for (int r = 0; r < MRV; ++r) {
+          float v = 0.0f;
+          if (r < mr) {
+            const int row = m0 + ir + r;
+            const int col = k0 + kk;
+            v = trans_a ? a[static_cast<std::size_t>(col) * lda + row]
+                        : a[static_cast<std::size_t>(row) * lda + col];
+          }
+          tile[static_cast<std::size_t>(kk) * MRV + r] = v;
+        }
+      }
+    }
+  }
+
+  /// Packs op(B)[k0..k0+kc, n0..n0+nc) into NR-column panels: panel
+  /// jr/NR holds panel[kk*NR + q] = op(B)(k0+kk, n0+jr+q), zero-padded.
+  static void pack_b(bool trans_b, const float* b, int ldb, int k0, int kc,
+                     int n0, int nc, float* dst) {
+    for (int jr = 0; jr < nc; jr += NRV) {
+      const int nr = std::min(NRV, nc - jr);
+      float* panel = dst + static_cast<std::size_t>(jr / NRV) * kc * NRV;
+      for (int kk = 0; kk < kc; ++kk) {
+        float* prow = panel + static_cast<std::size_t>(kk) * NRV;
+        if (!trans_b) {
+          const float* brow =
+              b + static_cast<std::size_t>(k0 + kk) * ldb + n0 + jr;
+          for (int q = 0; q < NRV; ++q) prow[q] = q < nr ? brow[q] : 0.0f;
+        } else {
+          for (int q = 0; q < NRV; ++q) {
+            prow[q] = q < nr ? b[static_cast<std::size_t>(n0 + jr + q) * ldb +
+                                 k0 + kk]
+                             : 0.0f;
+          }
+        }
+      }
+    }
+  }
+
+  /// acc[MR][NR] += sum_k pa_tile ⊗ pb_panel. The fixed-trip inner
+  /// loops unroll into MR*NR independent accumulators, which is what
+  /// lets the compiler vectorize across NR and hide the FMA latency
+  /// chain the naive dot product is serialized on.
+  static inline void micro(int kc, const float* __restrict pa,
+                           const float* __restrict pb,
+                           float* __restrict acc) {
+    for (int kk = 0; kk < kc; ++kk) {
+      const float* arow = pa + static_cast<std::size_t>(kk) * MRV;
+      const float* brow = pb + static_cast<std::size_t>(kk) * NRV;
+      for (int r = 0; r < MRV; ++r) {
+        const float av = arow[r];
+        float* accrow = acc + r * NRV;
+        for (int q = 0; q < NRV; ++q) accrow[q] += av * brow[q];
+      }
+    }
+  }
+
+  /// One packed [mc x kc] block times packed panels covering
+  /// [n0, n0+nc): C[m0.., n0..) += product.
+  static void compute_block(int m0, int mc, int kc, int n0, int nc,
+                            const float* pa, const float* pb, float* c,
+                            int ldc) {
+    for (int jr = 0; jr < nc; jr += NRV) {
+      const float* panel = pb + static_cast<std::size_t>(jr / NRV) * kc * NRV;
+      const int nr = std::min(NRV, nc - jr);
+      for (int ir = 0; ir < mc; ir += MRV) {
+        const int mr = std::min(MRV, mc - ir);
+        float acc[MRV * NRV] = {0.0f};
+        micro(kc, pa + static_cast<std::size_t>(ir / MRV) * MRV * kc, panel,
+              acc);
+        for (int r = 0; r < mr; ++r) {
+          float* crow =
+              c + static_cast<std::size_t>(m0 + ir + r) * ldc + n0 + jr;
+          const float* accrow = acc + r * NRV;
+          for (int q = 0; q < nr; ++q) crow[q] += accrow[q];
+        }
+      }
+    }
+  }
+
+  static constexpr GemmKernels kernels() {
+    return {MRV, NRV, &pack_a, &pack_b, &compute_block};
+  }
+};
+
+#if defined(__x86_64__) && defined(__GNUC__)
+/// 6x16 tile built with -mavx2 -mfma (gemm_kernels_avx2.cpp). Only
+/// dereference after __builtin_cpu_supports("avx2") && ("fma").
+extern const GemmKernels kAvx2Kernels;
+#endif
+
+}  // namespace rlmul::nt::detail

@@ -15,6 +15,9 @@ void PerfCounters::reset() {
   sta_full_updates = 0;
   sta_incremental_updates = 0;
   sta_gates_retimed = 0;
+  nn_time_us = 0;
+  gemm_time_us = 0;
+  nn_flops = 0;
 }
 
 PerfCounters& perf_counters() {
@@ -35,6 +38,14 @@ std::string format_perf_counters() {
      << " sta_full_updates=" << c.sta_full_updates.load()
      << " sta_incremental_updates=" << c.sta_incremental_updates.load()
      << " sta_gates_retimed=" << c.sta_gates_retimed.load();
+  const std::uint64_t gemm_us = c.gemm_time_us.load();
+  const std::uint64_t flops = c.nn_flops.load();
+  // Integer GFLOP/s so every value on the line stays a plain decimal
+  // (the smoke test's parsing contract).
+  const std::uint64_t gflops = gemm_us > 0 ? flops / (gemm_us * 1000) : 0;
+  os << " nn_time_us=" << c.nn_time_us.load()
+     << " gemm_time_us=" << gemm_us << " nn_flops=" << flops
+     << " nn_gflops=" << gflops;
   return os.str();
 }
 

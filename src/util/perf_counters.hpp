@@ -23,6 +23,13 @@ struct PerfCounters {
   std::atomic<std::uint64_t> sta_full_updates{0};
   std::atomic<std::uint64_t> sta_incremental_updates{0};
   std::atomic<std::uint64_t> sta_gates_retimed{0}; ///< gate recomputes, incremental mode
+  // Agent-network throughput (how much of a search step the network
+  // consumes): wall time inside ResNet forward/backward, wall time and
+  // FLOPs inside the nt::sgemm kernels. The formatted line derives
+  // nn_gflops (integer GFLOP/s) from the last two.
+  std::atomic<std::uint64_t> nn_time_us{0};
+  std::atomic<std::uint64_t> gemm_time_us{0};
+  std::atomic<std::uint64_t> nn_flops{0};
 
   void reset();
 };

@@ -64,3 +64,34 @@ if [ -z "$reused" ] || [ "$reused" -lt 1 ]; then
 fi
 echo "PASS: bench_micro smoke (unique_evals=$unique," \
      "sta_incremental_updates=$incr, netlists_reused=$reused)"
+
+# -- NN kernel smoke: run the tensor benches in both GEMM modes ------------
+# (RLMUL_GEMM=naive must stay a working oracle path) and check the nn
+# counters show GEMM work was actually routed through the kernel layer.
+nn_filter='BM_Gemm/n:128|BM_Conv2dFwd|BM_Conv2dBwd|BM_TinyNetForwardBackward'
+for mode in blocked naive; do
+  nn_out="$(RLMUL_GEMM="$mode" "$bench" \
+            --benchmark_filter="$nn_filter" \
+            --benchmark_min_time=0.01 2>&1)"
+  nn_status=$?
+  if [ "$nn_status" -ne 0 ]; then
+    echo "$nn_out"
+    echo "FAIL: bench_micro (RLMUL_GEMM=$mode) exited with status $nn_status"
+    exit 1
+  fi
+  nn_line="$(printf '%s\n' "$nn_out" | grep '^RLMUL_COUNTERS ' | tail -n 1)"
+  if [ -z "$nn_line" ]; then
+    echo "$nn_out"
+    echo "FAIL: no RLMUL_COUNTERS line (RLMUL_GEMM=$mode)"
+    exit 1
+  fi
+  flops="$(printf '%s\n' "$nn_line" | tr ' ' '\n' \
+           | grep '^nn_flops=' | head -n 1 | cut -d= -f2)"
+  if [ -z "$flops" ] || [ "$flops" -lt 1 ]; then
+    echo "$nn_line"
+    echo "FAIL: expected nn_flops >= 1 with RLMUL_GEMM=$mode," \
+         "got '${flops:-missing}'"
+    exit 1
+  fi
+  echo "PASS: nn benches (RLMUL_GEMM=$mode, nn_flops=$flops)"
+done

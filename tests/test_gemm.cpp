@@ -1,0 +1,307 @@
+// Tests for the nt kernel layer: blocked-vs-naive SGEMM equivalence
+// over randomized shapes and every operand layout the nn layers use,
+// thread-count independence of the blocked path (bit-for-bit), and the
+// ScratchArena frame/lifetime contract.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "nt/arena.hpp"
+#include "nt/gemm.hpp"
+#include "nt/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using rlmul::nt::BiasKind;
+using rlmul::nt::GemmMode;
+using rlmul::nt::ScratchArena;
+using rlmul::nt::sgemm;
+
+/// RAII save/restore so tests can pin a mode or thread cap without
+/// leaking it into other tests in the binary.
+struct GemmEnvGuard {
+  GemmMode mode = rlmul::nt::gemm_mode();
+  int threads = rlmul::nt::gemm_max_threads();
+  ~GemmEnvGuard() {
+    rlmul::nt::set_gemm_mode(mode);
+    rlmul::nt::set_gemm_max_threads(threads);
+  }
+};
+
+std::vector<float> random_vec(std::size_t n, rlmul::util::Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.next_gaussian()) * 0.5f;
+  return v;
+}
+
+struct Problem {
+  bool trans_a = false, trans_b = false;
+  int m = 0, n = 0, k = 0;
+  int batch = 1;
+  std::ptrdiff_t stride_a = 0, stride_b = 0, stride_c = 0;
+  bool accumulate = false;
+  BiasKind bias_kind = BiasKind::kNone;
+};
+
+/// Runs one problem in both modes from identical inputs and compares
+/// the outputs with a relative tolerance (the modes reorder float
+/// sums, so bit-equality is not expected — that is the documented
+/// reassociation caveat).
+void expect_modes_agree(const Problem& p, std::uint64_t seed) {
+  rlmul::util::Rng rng(seed);
+  const std::size_t a_items =
+      p.stride_a == 0 ? 1 : static_cast<std::size_t>(p.batch);
+  const std::size_t b_items =
+      p.stride_b == 0 ? 1 : static_cast<std::size_t>(p.batch);
+  const std::size_t c_items =
+      p.stride_c == 0 ? 1 : static_cast<std::size_t>(p.batch);
+  const int lda = p.trans_a ? p.m : p.k;
+  const int ldb = p.trans_b ? p.k : p.n;
+  const auto a =
+      random_vec(a_items * static_cast<std::size_t>(p.m) * p.k, rng);
+  const auto b =
+      random_vec(b_items * static_cast<std::size_t>(p.k) * p.n, rng);
+  const auto c0 =
+      random_vec(c_items * static_cast<std::size_t>(p.m) * p.n, rng);
+  const auto bias = random_vec(
+      static_cast<std::size_t>(p.bias_kind == BiasKind::kPerCol ? p.n : p.m),
+      rng);
+  const float* bias_ptr =
+      p.bias_kind == BiasKind::kNone ? nullptr : bias.data();
+
+  GemmEnvGuard guard;
+  std::vector<float> c_blocked = c0;
+  rlmul::nt::set_gemm_mode(GemmMode::kBlocked);
+  sgemm(p.trans_a, p.trans_b, p.m, p.n, p.k, a.data(), lda, p.stride_a,
+        b.data(), ldb, p.stride_b, c_blocked.data(), p.n, p.stride_c, p.batch,
+        p.accumulate, bias_ptr, p.bias_kind);
+  std::vector<float> c_naive = c0;
+  rlmul::nt::set_gemm_mode(GemmMode::kNaive);
+  sgemm(p.trans_a, p.trans_b, p.m, p.n, p.k, a.data(), lda, p.stride_a,
+        b.data(), ldb, p.stride_b, c_naive.data(), p.n, p.stride_c, p.batch,
+        p.accumulate, bias_ptr, p.bias_kind);
+
+  // Tolerance scales with the reduction length: k products per output
+  // element, times batch when stride_c sums the whole batch into C.
+  const double terms = static_cast<double>(p.k) *
+                       (p.stride_c == 0 ? p.batch : 1) *
+                       (p.accumulate ? 2 : 1);
+  const double tol = 1e-5 * std::sqrt(terms + 1.0) + 1e-6;
+  for (std::size_t i = 0; i < c_blocked.size(); ++i) {
+    const double scale =
+        std::max(1.0, std::abs(static_cast<double>(c_naive[i])));
+    ASSERT_NEAR(c_blocked[i], c_naive[i], tol * scale)
+        << "element " << i << " (m=" << p.m << " n=" << p.n << " k=" << p.k
+        << " ta=" << p.trans_a << " tb=" << p.trans_b
+        << " batch=" << p.batch << ")";
+  }
+}
+
+TEST(Gemm, BlockedMatchesNaiveAcrossShapes) {
+  // Shapes straddle the MR/NR/MC/KC/NC block boundaries: remainders in
+  // every dimension, tiny problems, and sizes past one cache block.
+  const int sizes[] = {1, 2, 3, 5, 8, 17, 33, 64, 65, 130, 300};
+  std::uint64_t seed = 1;
+  for (int m : {1, 3, 17, 65, 130}) {
+    for (int n : {1, 5, 33, 130}) {
+      for (int k : sizes) {
+        Problem p;
+        p.m = m;
+        p.n = n;
+        p.k = k;
+        expect_modes_agree(p, seed++);
+      }
+    }
+  }
+}
+
+TEST(Gemm, AllOperandLayouts) {
+  std::uint64_t seed = 100;
+  for (bool ta : {false, true}) {
+    for (bool tb : {false, true}) {
+      if (ta && tb) continue;  // unsupported by contract
+      Problem p;
+      p.trans_a = ta;
+      p.trans_b = tb;
+      p.m = 37;
+      p.n = 29;
+      p.k = 53;
+      expect_modes_agree(p, seed++);
+    }
+  }
+}
+
+TEST(Gemm, TransATransBThrows) {
+  std::vector<float> a(4), b(4), c(4);
+  EXPECT_THROW(sgemm(true, true, 2, 2, 2, a.data(), 2, 0, b.data(), 2, 0,
+                     c.data(), 2, 0, 1, false, nullptr, BiasKind::kNone),
+               std::invalid_argument);
+}
+
+TEST(Gemm, BatchedStridesAndSharedOperands) {
+  std::uint64_t seed = 200;
+  // Conv forward: shared A (weights), per-item B and C.
+  {
+    Problem p;
+    p.trans_b = true;
+    p.m = 24;
+    p.n = 40;
+    p.k = 31;
+    p.batch = 5;
+    p.stride_b = static_cast<std::ptrdiff_t>(p.k) * p.n;
+    p.stride_c = static_cast<std::ptrdiff_t>(p.m) * p.n;
+    p.bias_kind = BiasKind::kPerRow;
+    expect_modes_agree(p, seed++);
+  }
+  // Conv dW: per-item A and B, C summed over the batch, accumulating.
+  {
+    Problem p;
+    p.m = 24;
+    p.n = 31;
+    p.k = 40;
+    p.batch = 5;
+    p.stride_a = static_cast<std::ptrdiff_t>(p.m) * p.k;
+    p.stride_b = static_cast<std::ptrdiff_t>(p.k) * p.n;
+    p.stride_c = 0;
+    p.accumulate = true;
+    expect_modes_agree(p, seed++);
+  }
+  // Conv dX columns: shared transposed A (weights), per-item B and C.
+  {
+    Problem p;
+    p.trans_a = true;
+    p.m = 31;
+    p.n = 40;
+    p.k = 24;
+    p.batch = 5;
+    p.stride_b = static_cast<std::ptrdiff_t>(p.k) * p.n;
+    p.stride_c = static_cast<std::ptrdiff_t>(p.m) * p.n;
+    expect_modes_agree(p, seed++);
+  }
+}
+
+TEST(Gemm, BiasKindsAndAccumulate) {
+  std::uint64_t seed = 300;
+  for (BiasKind kind : {BiasKind::kNone, BiasKind::kPerRow,
+                        BiasKind::kPerCol}) {
+    Problem p;
+    p.trans_b = true;
+    p.m = 19;
+    p.n = 23;
+    p.k = 47;
+    p.bias_kind = kind;
+    expect_modes_agree(p, seed++);
+  }
+  Problem p;
+  p.m = 19;
+  p.n = 23;
+  p.k = 47;
+  p.accumulate = true;
+  expect_modes_agree(p, seed);
+}
+
+TEST(Gemm, BiasNullMismatchThrows) {
+  std::vector<float> a(6), b(6), c(4), bias(2, 1.0f);
+  EXPECT_THROW(sgemm(false, false, 2, 2, 3, a.data(), 3, 0, b.data(), 2, 0,
+                     c.data(), 2, 0, 1, false, nullptr, BiasKind::kPerRow),
+               std::invalid_argument);
+  EXPECT_THROW(sgemm(false, false, 2, 2, 3, a.data(), 3, 0, b.data(), 2, 0,
+                     c.data(), 2, 0, 1, true, bias.data(), BiasKind::kPerRow),
+               std::invalid_argument);
+}
+
+TEST(Gemm, BlockedIsThreadCountInvariant) {
+  // The block schedule depends only on the shape, so the blocked path
+  // must produce bit-identical bytes no matter how many tasks it fans
+  // out. Run a batched problem big enough for several row blocks.
+  GemmEnvGuard guard;
+  rlmul::nt::set_gemm_mode(GemmMode::kBlocked);
+  rlmul::util::Rng rng(7);
+  const int m = 96, n = 130, k = 70, batch = 3;
+  const auto a = random_vec(static_cast<std::size_t>(batch) * m * k, rng);
+  const auto b = random_vec(static_cast<std::size_t>(k) * n, rng);
+  std::vector<float> c1(static_cast<std::size_t>(batch) * m * n);
+  std::vector<float> c7(c1.size());
+  rlmul::nt::set_gemm_max_threads(1);
+  sgemm(false, false, m, n, k, a.data(), k,
+        static_cast<std::ptrdiff_t>(m) * k, b.data(), n, 0, c1.data(), n,
+        static_cast<std::ptrdiff_t>(m) * n, batch, false, nullptr,
+        BiasKind::kNone);
+  rlmul::nt::set_gemm_max_threads(7);
+  sgemm(false, false, m, n, k, a.data(), k,
+        static_cast<std::ptrdiff_t>(m) * k, b.data(), n, 0, c7.data(), n,
+        static_cast<std::ptrdiff_t>(m) * n, batch, false, nullptr,
+        BiasKind::kNone);
+  EXPECT_EQ(0,
+            std::memcmp(c1.data(), c7.data(), c1.size() * sizeof(float)));
+}
+
+TEST(Gemm, SummedBatchIsThreadCountInvariant) {
+  // stride_c == 0: the batch reduction must stay in batch order inside
+  // each row block regardless of fan-out.
+  GemmEnvGuard guard;
+  rlmul::nt::set_gemm_mode(GemmMode::kBlocked);
+  rlmul::util::Rng rng(11);
+  const int m = 80, n = 45, k = 64, batch = 4;
+  const auto a = random_vec(static_cast<std::size_t>(batch) * m * k, rng);
+  const auto b = random_vec(static_cast<std::size_t>(batch) * k * n, rng);
+  std::vector<float> c1(static_cast<std::size_t>(m) * n, 0.25f);
+  std::vector<float> c5 = c1;
+  rlmul::nt::set_gemm_max_threads(1);
+  sgemm(false, false, m, n, k, a.data(), k,
+        static_cast<std::ptrdiff_t>(m) * k, b.data(), n,
+        static_cast<std::ptrdiff_t>(k) * n, c1.data(), n, 0, batch, true,
+        nullptr, BiasKind::kNone);
+  rlmul::nt::set_gemm_max_threads(5);
+  sgemm(false, false, m, n, k, a.data(), k,
+        static_cast<std::ptrdiff_t>(m) * k, b.data(), n,
+        static_cast<std::ptrdiff_t>(k) * n, c5.data(), n, 0, batch, true,
+        nullptr, BiasKind::kNone);
+  EXPECT_EQ(0,
+            std::memcmp(c1.data(), c5.data(), c1.size() * sizeof(float)));
+}
+
+TEST(ScratchArena, SlicesSurviveGrowthWithinFrame) {
+  ScratchArena arena;
+  float* first = arena.alloc(32);
+  for (std::size_t i = 0; i < 32; ++i) first[i] = static_cast<float>(i);
+  // Force overflow into a new chunk; `first` must not move.
+  float* big = arena.alloc(1 << 16);
+  big[0] = 1.0f;
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(static_cast<float>(i), first[i]);
+  }
+  EXPECT_GE(arena.chunk_count(), 2u);
+}
+
+TEST(ScratchArena, ResetCoalescesToSteadyState) {
+  ScratchArena arena;
+  arena.alloc(100);
+  arena.alloc(5000);
+  const std::size_t hw = arena.high_water();
+  EXPECT_GE(hw, 5100u);
+  arena.reset();
+  EXPECT_EQ(1u, arena.chunk_count());
+  // A same-sized frame now fits the coalesced chunk: still one chunk.
+  arena.alloc(100);
+  arena.alloc(5000);
+  EXPECT_EQ(1u, arena.chunk_count());
+  EXPECT_EQ(hw, arena.high_water());
+}
+
+TEST(ScratchArena, RoundsSlicesToCacheLines) {
+  ScratchArena arena;
+  float* a = arena.alloc(1);
+  float* b = arena.alloc(1);
+  const auto gap = static_cast<std::size_t>(b - a);
+  EXPECT_EQ(0u, gap % 16u);  // 16 floats = 64 bytes
+  EXPECT_GE(gap, 16u);
+}
+
+}  // namespace

@@ -10,6 +10,7 @@
 #include "nn/layers.hpp"
 #include "nn/optim.hpp"
 #include "nn/resnet.hpp"
+#include "nt/gemm.hpp"
 #include "nt/tensor.hpp"
 #include "util/rng.hpp"
 
@@ -17,6 +18,13 @@ namespace rlmul::nn {
 namespace {
 
 using nt::Tensor;
+
+/// Pins nt::sgemm to one implementation for a test's scope.
+struct GemmModeGuard {
+  nt::GemmMode saved = nt::gemm_mode();
+  explicit GemmModeGuard(nt::GemmMode mode) { nt::set_gemm_mode(mode); }
+  ~GemmModeGuard() { nt::set_gemm_mode(saved); }
+};
 
 /// Scalar loss L = sum(w_i * y_i) with fixed random weights, so that
 /// dL/dy is known exactly and gradients can be finite-differenced.
@@ -60,7 +68,7 @@ void check_gradients(Module& m, const Tensor& x, double tol = 2e-2) {
     const double fp = probe.value(m.forward(xp));
     const double fm = probe.value(m.forward(xm));
     const double fd = (fp - fm) / (2.0 * h);
-    EXPECT_NEAR(grad_in[i], fd, tol * std::max(1.0, std::fabs(fd)))
+    EXPECT_NEAR(grad_in[i], fd, tol * std::max<double>(1.0, std::fabs(fd)))
         << "input grad index " << i;
   }
   // Parameter gradients. Restore the exact cached state first.
@@ -77,7 +85,7 @@ void check_gradients(Module& m, const Tensor& x, double tol = 2e-2) {
       const double fm = probe.value(m.forward(input));
       p->value[i] = saved;
       const double fd = (fp - fm) / (2.0 * h);
-      EXPECT_NEAR(p->grad[i], fd, tol * std::max(1.0, std::fabs(fd)))
+      EXPECT_NEAR(p->grad[i], fd, tol * std::max<double>(1.0, std::fabs(fd)))
           << "param grad index " << i;
     }
   }
@@ -121,6 +129,178 @@ TEST(Gradients, Conv2dStride2NoBias) {
   Conv2d conv(3, 2, 3, 2, 1, rng, /*bias=*/false);
   const Tensor x = Tensor::randn({1, 3, 6, 6}, rng, 1.0f);
   check_gradients(conv, x);
+}
+
+TEST(Gradients, LinearNaiveKernels) {
+  const GemmModeGuard guard(nt::GemmMode::kNaive);
+  util::Rng rng(1);
+  Linear lin(6, 4, rng);
+  const Tensor x = Tensor::randn({3, 6}, rng, 1.0f);
+  check_gradients(lin, x);
+}
+
+TEST(Gradients, Conv2dNaiveKernels) {
+  const GemmModeGuard guard(nt::GemmMode::kNaive);
+  util::Rng rng(2);
+  Conv2d conv(2, 3, 3, 1, 1, rng);
+  const Tensor x = Tensor::randn({2, 2, 5, 5}, rng, 1.0f);
+  check_gradients(conv, x);
+}
+
+TEST(Gradients, Conv2dShortcut1x1Stride2) {
+  // The residual-projection shape: kernel 1, stride 2, no padding.
+  util::Rng rng(31);
+  Conv2d conv(3, 5, 1, 2, 0, rng, /*bias=*/false);
+  const Tensor x = Tensor::randn({2, 3, 6, 6}, rng, 1.0f);
+  check_gradients(conv, x);
+}
+
+/// Runs `layer` forward+backward from identical state in both GEMM
+/// modes and requires outputs, input grads and param grads to agree to
+/// float tolerance.
+void expect_layer_modes_agree(Module& layer, const Tensor& x,
+                              double tol = 2e-4) {
+  util::Rng rng(99);
+  std::vector<Tensor> outs, gins;
+  std::vector<std::vector<float>> pgrads;
+  for (nt::GemmMode mode : {nt::GemmMode::kBlocked, nt::GemmMode::kNaive}) {
+    const GemmModeGuard guard(mode);
+    layer.zero_grad();
+    const Tensor y = layer.forward(x);
+    util::Rng grng(7);
+    Tensor g(y.shape());
+    for (std::size_t i = 0; i < g.numel(); ++i) {
+      g[i] = static_cast<float>(grng.next_gaussian());
+    }
+    gins.push_back(layer.backward(g));
+    outs.push_back(y);
+    std::vector<float> pg;
+    for (Param* p : layer.params()) {
+      for (std::size_t i = 0; i < p->grad.numel(); ++i) {
+        pg.push_back(p->grad[i]);
+      }
+    }
+    pgrads.push_back(std::move(pg));
+  }
+  ASSERT_TRUE(nt::same_shape(outs[0], outs[1]));
+  for (std::size_t i = 0; i < outs[0].numel(); ++i) {
+    ASSERT_NEAR(outs[0][i], outs[1][i],
+                tol * std::max<double>(1.0, std::fabs(outs[1][i])))
+        << "output " << i;
+  }
+  ASSERT_TRUE(nt::same_shape(gins[0], gins[1]));
+  for (std::size_t i = 0; i < gins[0].numel(); ++i) {
+    ASSERT_NEAR(gins[0][i], gins[1][i],
+                tol * std::max<double>(1.0, std::fabs(gins[1][i])))
+        << "input grad " << i;
+  }
+  ASSERT_EQ(pgrads[0].size(), pgrads[1].size());
+  for (std::size_t i = 0; i < pgrads[0].size(); ++i) {
+    ASSERT_NEAR(pgrads[0][i], pgrads[1][i],
+                tol * std::max<double>(1.0, std::fabs(pgrads[1][i])))
+        << "param grad " << i;
+  }
+}
+
+TEST(GemmModes, Conv2dAgreesAcrossRandomShapes) {
+  util::Rng rng(41);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int in_ch = 1 + static_cast<int>(rng.next_below(4));
+    const int out_ch = 1 + static_cast<int>(rng.next_below(6));
+    const int kernel = 1 + 2 * static_cast<int>(rng.next_below(2));  // 1 or 3
+    const int stride = 1 + static_cast<int>(rng.next_below(2));
+    const int pad = kernel / 2;
+    const int n = 1 + static_cast<int>(rng.next_below(3));
+    const int h = kernel + static_cast<int>(rng.next_below(8));
+    const int w = kernel + static_cast<int>(rng.next_below(8));
+    Conv2d conv(in_ch, out_ch, kernel, stride, pad, rng,
+                /*bias=*/trial % 2 == 0);
+    const Tensor x = Tensor::randn({n, in_ch, h, w}, rng, 1.0f);
+    expect_layer_modes_agree(conv, x);
+  }
+}
+
+TEST(GemmModes, Conv2dAgreesOnResnetStemAndShortcut) {
+  util::Rng rng(42);
+  {
+    // 7x7 stride-2 stem.
+    Conv2d stem(3, 16, 7, 2, 3, rng, /*bias=*/false);
+    const Tensor x = Tensor::randn({2, 3, 16, 8}, rng, 1.0f);
+    expect_layer_modes_agree(stem, x);
+  }
+  {
+    // 1x1 stride-2 projection shortcut.
+    Conv2d proj(8, 16, 1, 2, 0, rng, /*bias=*/false);
+    const Tensor x = Tensor::randn({2, 8, 8, 4}, rng, 1.0f);
+    expect_layer_modes_agree(proj, x);
+  }
+}
+
+TEST(GemmModes, LinearAgrees) {
+  util::Rng rng(43);
+  Linear lin(37, 19, rng);
+  const Tensor x = Tensor::randn({5, 37}, rng, 1.0f);
+  expect_layer_modes_agree(lin, x);
+}
+
+TEST(Conv2d, BackwardBeforeForwardThrows) {
+  util::Rng rng(44);
+  Conv2d conv(2, 3, 3, 1, 1, rng);
+  Tensor g({1, 3, 4, 4});
+  EXPECT_THROW(conv.backward(g), std::logic_error);
+}
+
+TEST(Conv2d, BackwardShapeMismatchThrows) {
+  util::Rng rng(45);
+  Conv2d conv(2, 3, 3, 1, 1, rng);
+  const Tensor x = Tensor::randn({2, 2, 5, 5}, rng, 1.0f);
+  (void)conv.forward(x);
+  Tensor bad({2, 3, 4, 5});  // wrong spatial dims
+  EXPECT_THROW(conv.backward(bad), std::invalid_argument);
+}
+
+TEST(Conv2d, RepeatedBackwardReusesForwardColumns) {
+  // Two backward calls after one forward must agree (the second reuses
+  // the cached im2col and gcols buffers).
+  util::Rng rng(46);
+  Conv2d conv(2, 4, 3, 1, 1, rng);
+  const Tensor x = Tensor::randn({2, 2, 6, 6}, rng, 1.0f);
+  const Tensor y = conv.forward(x);
+  Tensor g(y.shape());
+  util::Rng grng(5);
+  for (std::size_t i = 0; i < g.numel(); ++i) {
+    g[i] = static_cast<float>(grng.next_gaussian());
+  }
+  conv.zero_grad();
+  const Tensor g1 = conv.backward(g);
+  conv.zero_grad();
+  const Tensor g2 = conv.backward(g);
+  ASSERT_TRUE(nt::same_shape(g1, g2));
+  for (std::size_t i = 0; i < g1.numel(); ++i) {
+    ASSERT_EQ(g1[i], g2[i]) << "index " << i;
+  }
+}
+
+TEST(ReLU, BackwardInplaceMatchesBackward) {
+  util::Rng rng(47);
+  ReLU relu;
+  const Tensor x = Tensor::randn({3, 2, 4, 4}, rng, 1.0f);
+  (void)relu.forward(x);
+  const Tensor g = Tensor::randn({3, 2, 4, 4}, rng, 1.0f);
+  const Tensor out = relu.backward(g);
+  Tensor inplace = g;
+  relu.backward_inplace(inplace);
+  for (std::size_t i = 0; i < g.numel(); ++i) {
+    ASSERT_EQ(out[i], inplace[i]) << "index " << i;
+  }
+}
+
+TEST(ReLU, BackwardShapeMismatchThrows) {
+  util::Rng rng(48);
+  ReLU relu;
+  (void)relu.forward(Tensor::randn({2, 3}, rng, 1.0f));
+  Tensor bad({2, 4});
+  EXPECT_THROW(relu.backward_inplace(bad), std::logic_error);
 }
 
 TEST(Gradients, BatchNormTraining) {
