@@ -1,0 +1,134 @@
+// Cold/warm A/B for the design-space database (src/dsdb/): each method
+// runs the same search twice against one --dsdb directory. The cold run
+// pays for every synthesis and populates the journal; the warm run
+// replays the identical trajectory served entirely from the store. The
+// JSON on stdout is the source of results/BENCH_dsdb.json.
+//
+// Knobs: RLMUL_STEPS, RLMUL_QUICK (see harness.hpp).
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "dsdb/store.hpp"
+#include "pareto/pareto.hpp"
+#include "search/driver.hpp"
+#include "search/registry.hpp"
+#include "synth/evaluator.hpp"
+
+namespace {
+
+using namespace rlmul;
+
+struct RunStats {
+  double wall_s = 0.0;
+  std::size_t unique_synth = 0;
+  std::uint64_t store_hits = 0;
+  double best_cost = 0.0;
+};
+
+RunStats run_once(const ppg::MultiplierSpec& spec,
+                  const std::vector<double>& targets, dsdb::Store& store,
+                  const std::string& method_name,
+                  const search::MethodConfig& cfg) {
+  const std::uint64_t hits_before = store.stats().hits;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  dsdb::EvaluatorBinding binding(store, spec, targets);
+  synth::EvaluatorOptions opts;
+  opts.external_cache = &binding;
+  synth::DesignEvaluator evaluator(spec, targets, opts);
+  search::Driver driver(evaluator);
+  auto method = search::make_method(method_name, cfg);
+  const search::RunResult res = driver.run(*method);
+  store.flush();
+
+  RunStats out;
+  out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0)
+                   .count();
+  out.unique_synth = evaluator.num_unique_evaluations();
+  out.store_hits = store.stats().hits - hits_before;
+  out.best_cost = res.best_cost;
+  return out;
+}
+
+/// Area/delay hypervolume of the records the run left in the store
+/// (reference at 1.05x the worst per-target corner).
+double store_hypervolume(const dsdb::Store& store) {
+  pareto::Front front;
+  double ref_x = 0.0;
+  double ref_y = 0.0;
+  for (const dsdb::Record& rec : store.all_records()) {
+    for (const synth::SynthesisResult& res : rec.eval.per_target) {
+      front.insert({res.area_um2, res.delay_ns});
+      ref_x = std::max(ref_x, res.area_um2);
+      ref_y = std::max(ref_y, res.delay_ns);
+    }
+  }
+  if (front.size() == 0) return 0.0;
+  return pareto::hypervolume(front.points(), ref_x * 1.05, ref_y * 1.05);
+}
+
+}  // namespace
+
+int main() {
+  const bench::Config bcfg = bench::config();
+
+  ppg::MultiplierSpec spec;
+  spec.bits = 8;
+  spec.ppg = ppg::PpgKind::kAnd;
+  const std::vector<double> targets = synth::default_targets(spec);
+
+  search::MethodConfig cfg;
+  cfg.steps = bcfg.rl_steps;
+  cfg.seed = 17;
+
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "rlmul_bench_dsdb").string();
+  std::filesystem::remove_all(root);
+
+  std::printf("{\n");
+  std::printf(
+      "  \"description\": \"dsdb cold/warm A/B: identical %d-step searches "
+      "on the 8-bit AND multiplier sharing one database. Cold populates the "
+      "journal, warm must serve every evaluation from the store "
+      "(unique_synth 0).\",\n",
+      cfg.steps);
+  std::printf("  \"methods\": {\n");
+
+  const std::vector<std::string> methods{"dqn", "sa"};
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    const std::string& name = methods[m];
+    const std::string dir = root + "/" + name;
+
+    dsdb::Store store(dir);
+    const RunStats cold = run_once(spec, targets, store, name, cfg);
+    const RunStats warm = run_once(spec, targets, store, name, cfg);
+    const double hv = store_hypervolume(store);
+
+    std::printf("    \"%s\": {\n", name.c_str());
+    std::printf("      \"steps\": %d,\n", cfg.steps);
+    std::printf("      \"cold_wall_s\": %.3f,\n", cold.wall_s);
+    std::printf("      \"warm_wall_s\": %.3f,\n", warm.wall_s);
+    std::printf("      \"speedup\": %.1f,\n",
+                warm.wall_s > 0.0 ? cold.wall_s / warm.wall_s : 0.0);
+    std::printf("      \"cold_unique_synth\": %zu,\n", cold.unique_synth);
+    std::printf("      \"warm_unique_synth\": %zu,\n", warm.unique_synth);
+    std::printf("      \"warm_store_hits\": %llu,\n",
+                static_cast<unsigned long long>(warm.store_hits));
+    std::printf("      \"cold_best_cost\": %.17g,\n", cold.best_cost);
+    std::printf("      \"warm_best_cost\": %.17g,\n", warm.best_cost);
+    std::printf("      \"store_records\": %zu,\n", store.size());
+    std::printf("      \"store_hypervolume\": %.1f\n", hv);
+    std::printf("    }%s\n", m + 1 < methods.size() ? "," : "");
+  }
+  std::printf("  }\n");
+  std::printf("}\n");
+
+  std::filesystem::remove_all(root);
+  return 0;
+}

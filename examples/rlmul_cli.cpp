@@ -12,16 +12,28 @@
 // equivalence gate, `report` prints the synthesis trade-off table.
 // Long searches can be capped (--budget), checkpointed (--checkpoint)
 // and continued later (--resume) without losing trajectory fidelity.
+//
+// Cross-run persistence: `--dsdb DIR` journals every synthesized
+// design point into a design-space database and serves repeat
+// evaluations from it (a rerun of the same search synthesizes
+// nothing); `--warm-start` additionally seeds the search from the
+// stored designs. `dsdb-stats`, `dsdb-export-csv` and `dsdb-compact`
+// inspect and maintain a database, and `list-methods` prints the
+// search-method registry.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <string>
 
 #include "baselines/gomil.hpp"
 #include "ct/compressor_tree.hpp"
+#include "dsdb/store.hpp"
 #include "netlist/verilog.hpp"
+#include "pareto/pareto.hpp"
 #include "ppg/ppg.hpp"
 #include "search/checkpoint.hpp"
 #include "search/driver.hpp"
@@ -29,6 +41,7 @@
 #include "sim/simulator.hpp"
 #include "synth/evaluator.hpp"
 #include "synth/synth.hpp"
+#include "util/csv.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -49,12 +62,15 @@ struct Args {
   std::string checkpoint;
   std::string resume;
   std::string output;
+  std::string dsdb;
+  bool warm_start = false;
 };
 
 int usage() {
   std::fprintf(
       stderr,
-      "usage: rlmul_cli <generate|optimize|check|report> [options]\n"
+      "usage: rlmul_cli <generate|optimize|check|report|list-methods|\n"
+      "                  dsdb-stats|dsdb-export-csv|dsdb-compact> [options]\n"
       "  --bits N        operand width (2..32, default 8)\n"
       "  --ppg KIND      and | mbe | bw (default and)\n"
       "  --mac           merged multiply-accumulate\n"
@@ -68,7 +84,11 @@ int usage() {
       "  --resume F      continue the search saved in F (method comes\n"
       "                  from the checkpoint; --method is ignored)\n"
       "  --seed N        RNG seed (default 1)\n"
-      "  -o FILE         write Verilog to FILE\n");
+      "  --dsdb DIR      persistent design-space database: serve repeat\n"
+      "                  evaluations from DIR and journal new ones into it\n"
+      "  --warm-start    with --dsdb: seed the search from stored designs\n"
+      "  -o FILE         write Verilog to FILE (optimize/generate) or the\n"
+      "                  CSV to FILE (dsdb-export-csv)\n");
   return 2;
 }
 
@@ -125,6 +145,12 @@ bool parse(int argc, char** argv, Args& args) {
       const char* v = next();
       if (v == nullptr) return false;
       args.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (flag == "--dsdb") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.dsdb = v;
+    } else if (flag == "--warm-start") {
+      args.warm_start = true;
     } else if (flag == "-o") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -194,8 +220,30 @@ int cmd_report(const Args& args, const ppg::MultiplierSpec& spec) {
 }
 
 int cmd_optimize(const Args& args, const ppg::MultiplierSpec& spec) {
-  synth::DesignEvaluator evaluator(spec);
-  search::Driver driver(evaluator, {args.budget, 0});
+  // The store is keyed by (spec, target set), so the target set must
+  // exist before the evaluator: its constructor's Wallace reference
+  // evaluation already goes through the binding.
+  std::unique_ptr<dsdb::Store> store;
+  std::unique_ptr<dsdb::EvaluatorBinding> binding;
+  synth::EvaluatorOptions eopts;
+  std::vector<double> targets;
+  if (!args.dsdb.empty()) {
+    targets = synth::default_targets(spec);
+    store = std::make_unique<dsdb::Store>(args.dsdb);
+    binding = std::make_unique<dsdb::EvaluatorBinding>(*store, spec, targets);
+    eopts.external_cache = binding.get();
+  }
+  synth::DesignEvaluator evaluator(spec, targets, eopts);
+
+  search::DriverOptions dopts;
+  dopts.eda_budget = args.budget;
+  search::WarmStartRecords warm;
+  if (store != nullptr && args.warm_start) {
+    warm = store->warm_start_records(spec, evaluator.targets());
+    if (!warm.empty()) dopts.warm_start = &warm;
+    std::printf("warm start: %zu stored designs\n", warm.size());
+  }
+  search::Driver driver(evaluator, dopts);
 
   std::string method_name = args.method;
   search::Checkpoint ckpt;
@@ -231,7 +279,117 @@ int cmd_optimize(const Args& args, const ppg::MultiplierSpec& spec) {
               evaluator.cost(best_eval, 1.0, 1.0),
               evaluator.num_unique_evaluations());
   std::printf("%s\n", ct::to_string(res.best_tree).c_str());
+  if (store != nullptr) {
+    store->flush();
+    const dsdb::Store::Stats st = store->stats();
+    // Machine-readable summary (the dsdb smoke test's contract):
+    // unique_synth is synthesis actually run this process — a warm
+    // rerun of an identical search reports 0.
+    std::printf("RLMUL_DSDB records=%zu hits=%llu misses=%llu appends=%llu "
+                "unique_synth=%zu best_cost=%.17g\n",
+                store->size(), static_cast<unsigned long long>(st.hits),
+                static_cast<unsigned long long>(st.misses),
+                static_cast<unsigned long long>(st.appends),
+                evaluator.num_unique_evaluations(), res.best_cost);
+  }
   emit(args, spec, res.best_tree);
+  return 0;
+}
+
+int cmd_list_methods() {
+  for (const search::MethodInfo& info : search::method_infos()) {
+    std::printf("%-10s %s\n", info.name.c_str(), info.description.c_str());
+  }
+  return 0;
+}
+
+std::string spec_label(const ppg::MultiplierSpec& spec) {
+  std::string label = std::to_string(spec.bits) + "b ";
+  label += ppg::ppg_kind_name(spec.ppg);
+  if (spec.mac) label += " mac";
+  return label;
+}
+
+int cmd_dsdb_stats(const Args& args) {
+  dsdb::Store store(args.dsdb, {.read_only = true});
+  const dsdb::Store::Stats st = store.stats();
+  std::printf("dsdb: %s\n", store.dir().c_str());
+  std::printf("  records:  %zu (%zu replayed, %zu undecodable)\n",
+              store.size(), st.replayed, st.dropped);
+  std::printf("  journal:  %llu bytes%s\n",
+              static_cast<unsigned long long>(store.journal_bytes()),
+              st.recovered_tail ? " (corrupt tail ignored)" : "");
+
+  // Per-(spec, target-set) contract: record count plus the stored
+  // Pareto quality (hypervolume against the group's worst corner).
+  std::map<std::string, std::vector<dsdb::Record>> groups;
+  for (dsdb::Record& rec : store.all_records()) {
+    std::string key = spec_label(rec.spec);
+    key += " (" + std::to_string(rec.targets.size()) + " targets)";
+    groups[key].push_back(std::move(rec));
+  }
+  for (const auto& [label, recs] : groups) {
+    pareto::Front front;
+    double ref_x = 0.0;
+    double ref_y = 0.0;
+    for (const dsdb::Record& rec : recs) {
+      for (const synth::SynthesisResult& res : rec.eval.per_target) {
+        front.insert(pareto::Point{res.area_um2, res.delay_ns, 0});
+        ref_x = std::max(ref_x, res.area_um2);
+        ref_y = std::max(ref_y, res.delay_ns);
+      }
+    }
+    std::printf("  %-24s %6zu records, front %zu, hypervolume %.1f\n",
+                label.c_str(), recs.size(), front.size(),
+                pareto::hypervolume(front.points(), ref_x * 1.05,
+                                    ref_y * 1.05));
+  }
+  return 0;
+}
+
+int cmd_dsdb_export_csv(const Args& args) {
+  if (args.output.empty()) {
+    std::fprintf(stderr, "dsdb-export-csv requires -o FILE\n");
+    return 2;
+  }
+  dsdb::Store store(args.dsdb, {.read_only = true});
+  util::CsvWriter csv(args.output);
+  csv.row({"bits", "ppg", "mac", "tree", "target_ns", "area_um2", "delay_ns",
+           "power_mw", "met_target", "cpa", "num_gates"});
+  std::size_t rows = 0;
+  for (const dsdb::Record& rec : store.all_records()) {
+    for (std::size_t i = 0; i < rec.eval.per_target.size(); ++i) {
+      const synth::SynthesisResult& res = rec.eval.per_target[i];
+      const double target = i < rec.targets.size() ? rec.targets[i] : 0.0;
+      csv.begin_row()
+          .add(rec.spec.bits)
+          .add(std::string(ppg::ppg_kind_name(rec.spec.ppg)))
+          .add(rec.spec.mac ? 1 : 0)
+          .add(rec.tree.key())
+          .add(target)
+          .add(res.area_um2)
+          .add(res.delay_ns)
+          .add(res.power_mw)
+          .add(res.met_target ? 1 : 0)
+          .add(res.cpa == netlist::CpaKind::kKoggeStone ? "KS" : "RCA")
+          .add(res.num_gates);
+      ++rows;
+    }
+  }
+  std::printf("wrote %s (%zu rows, %zu records)\n", args.output.c_str(), rows,
+              store.size());
+  return 0;
+}
+
+int cmd_dsdb_compact(const Args& args) {
+  dsdb::Store store(args.dsdb);
+  const std::uint64_t before = store.journal_bytes();
+  const std::uint64_t reclaimed = store.compact();
+  std::printf("compacted %s: %llu -> %llu bytes (%llu reclaimed, "
+              "%zu records)\n",
+              store.dir().c_str(), static_cast<unsigned long long>(before),
+              static_cast<unsigned long long>(store.journal_bytes()),
+              static_cast<unsigned long long>(reclaimed), store.size());
   return 0;
 }
 
@@ -247,6 +405,20 @@ int main(int argc, char** argv) {
     if (args.command == "check") return cmd_check(args, spec);
     if (args.command == "report") return cmd_report(args, spec);
     if (args.command == "optimize") return cmd_optimize(args, spec);
+    if (args.command == "list-methods" || args.command == "--list-methods") {
+      return cmd_list_methods();
+    }
+    if (args.command == "dsdb-stats" || args.command == "dsdb-export-csv" ||
+        args.command == "dsdb-compact") {
+      if (args.dsdb.empty()) {
+        std::fprintf(stderr, "%s requires --dsdb DIR\n",
+                     args.command.c_str());
+        return 2;
+      }
+      if (args.command == "dsdb-stats") return cmd_dsdb_stats(args);
+      if (args.command == "dsdb-export-csv") return cmd_dsdb_export_csv(args);
+      return cmd_dsdb_compact(args);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,71 @@
+#include "dsdb/fingerprint.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace rlmul::dsdb {
+
+std::uint64_t fnv1a64(const void* data, std::size_t n, std::uint64_t seed) {
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kPrime;
+  }
+  return h;
+}
+
+namespace {
+
+std::uint64_t hash_u64(std::uint64_t v, std::uint64_t seed) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+  return fnv1a64(bytes, sizeof(bytes), seed);
+}
+
+}  // namespace
+
+std::uint64_t spec_fingerprint(const ppg::MultiplierSpec& spec) {
+  std::uint64_t h = hash_u64(static_cast<std::uint64_t>(spec.bits),
+                             0xcbf29ce484222325ull);
+  h = hash_u64(static_cast<std::uint64_t>(spec.ppg), h);
+  h = hash_u64(spec.mac ? 1 : 0, h);
+  return h;
+}
+
+std::uint64_t context_fingerprint(const std::vector<double>& targets,
+                                  const synth::EvaluatorOptions& opts) {
+  (void)opts;  // no current option changes the numbers; see file comment
+  std::uint64_t h = hash_u64(kRecordVersion, 0xcbf29ce484222325ull);
+  h = hash_u64(targets.size(), h);
+  for (double t : targets) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &t, sizeof(bits));
+    h = hash_u64(bits, h);
+  }
+  return h;
+}
+
+std::string Fingerprint::full_key() const {
+  char head[2 * 16 + 3];
+  std::snprintf(head, sizeof(head), "%016llx:%016llx:",
+                static_cast<unsigned long long>(spec_fp),
+                static_cast<unsigned long long>(ctx_fp));
+  return std::string(head) + tree_key;
+}
+
+Fingerprint make_fingerprint(const ppg::MultiplierSpec& spec,
+                             const std::vector<double>& targets,
+                             const ct::CompressorTree& tree,
+                             const synth::EvaluatorOptions& opts) {
+  Fingerprint fp;
+  fp.spec_fp = spec_fingerprint(spec);
+  fp.ctx_fp = context_fingerprint(targets, opts);
+  fp.tree_key = tree.key();
+  return fp;
+}
+
+}  // namespace rlmul::dsdb

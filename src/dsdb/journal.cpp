@@ -1,0 +1,97 @@
+#include "dsdb/journal.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+namespace rlmul::dsdb {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'L', 'D', 'S', 'D', 'B', '0', '1'};
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void append_frame(std::vector<std::uint8_t>& out,
+                  const std::vector<std::uint8_t>& payload) {
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+std::vector<std::uint8_t> journal_header() {
+  std::vector<std::uint8_t> out(kMagic, kMagic + sizeof(kMagic));
+  put_u32(out, kJournalVersion);
+  return out;
+}
+
+ReplayResult replay_journal(
+    const std::string& path,
+    const std::function<void(const std::vector<std::uint8_t>&)>& fn) {
+  ReplayResult res;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    res.missing = true;
+    return res;
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  if (bytes.size() < kJournalHeaderBytes ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0 ||
+      get_u32(bytes.data() + sizeof(kMagic)) != kJournalVersion) {
+    res.bad_header = true;
+    res.truncated_tail = !bytes.empty();
+    return res;
+  }
+  std::size_t pos = kJournalHeaderBytes;
+  std::vector<std::uint8_t> payload;
+  while (pos + 8 <= bytes.size()) {
+    const std::uint32_t len = get_u32(bytes.data() + pos);
+    const std::uint32_t want_crc = get_u32(bytes.data() + pos + 4);
+    if (len > kMaxFrameBytes || pos + 8 + len > bytes.size()) break;
+    if (crc32(bytes.data() + pos + 8, len) != want_crc) break;
+    payload.assign(bytes.data() + pos + 8, bytes.data() + pos + 8 + len);
+    fn(payload);
+    pos += 8 + len;
+    ++res.records;
+  }
+  res.valid_bytes = pos;
+  res.truncated_tail = pos < bytes.size();
+  return res;
+}
+
+}  // namespace rlmul::dsdb

@@ -1,0 +1,54 @@
+#pragma once
+// Append-only binary write-ahead journal for the design-space database.
+// Layout:
+//
+//   [8-byte magic "RLDSDB01"][u32 version]            file header
+//   [u32 payload_len][u32 crc32(payload)][payload]    one frame/record
+//   ...
+//
+// All integers little-endian. A reader replays frames until the first
+// one that is truncated, fails its CRC, or carries an implausible
+// length — everything before that point is trusted, everything after is
+// discarded (a crashed writer can only ever corrupt the tail). The
+// writer, on opening a journal with a corrupt tail, truncates the file
+// back to the last valid frame so new appends start from a clean
+// boundary.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rlmul::dsdb {
+
+/// Plain CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the journal's
+/// per-record integrity check.
+std::uint32_t crc32(const void* data, std::size_t n);
+
+constexpr std::uint32_t kJournalVersion = 1;
+constexpr std::size_t kJournalHeaderBytes = 12;  ///< magic + version
+/// Frames beyond this are treated as tail corruption, not records.
+constexpr std::uint32_t kMaxFrameBytes = 1u << 28;
+
+/// Serializes one frame (length + CRC + payload) into `out`.
+void append_frame(std::vector<std::uint8_t>& out,
+                  const std::vector<std::uint8_t>& payload);
+
+/// The 12-byte file header.
+std::vector<std::uint8_t> journal_header();
+
+struct ReplayResult {
+  std::size_t records = 0;      ///< valid frames decoded
+  std::size_t valid_bytes = 0;  ///< offset of the first invalid byte
+  bool truncated_tail = false;  ///< file had bytes past valid_bytes
+  bool missing = false;         ///< file did not exist
+  bool bad_header = false;      ///< magic/version mismatch (nothing read)
+};
+
+/// Streams every valid payload to `fn` in append order. Never throws on
+/// corruption — the result describes how far the replay got.
+ReplayResult replay_journal(
+    const std::string& path,
+    const std::function<void(const std::vector<std::uint8_t>&)>& fn);
+
+}  // namespace rlmul::dsdb

@@ -1,0 +1,464 @@
+#include "dsdb/store.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "dsdb/journal.hpp"
+#include "search/blob.hpp"
+#include "util/perf_counters.hpp"
+
+namespace rlmul::dsdb {
+
+namespace {
+
+constexpr const char* kJournalName = "journal.rldb";
+constexpr const char* kLockName = "LOCK";
+
+void write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("dsdb: journal write failed: ") +
+                               std::strerror(errno));
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_record(const Record& rec) {
+  search::BlobWriter w;
+  w.u32(kRecordVersion);
+  w.i32(rec.spec.bits);
+  w.u8(static_cast<std::uint8_t>(rec.spec.ppg));
+  w.u8(rec.spec.mac ? 1 : 0);
+  w.f64_vec(rec.targets);
+  w.tree(rec.tree);
+  w.u64(rec.eval.per_target.size());
+  for (const synth::SynthesisResult& res : rec.eval.per_target) {
+    w.f64(res.area_um2);
+    w.f64(res.delay_ns);
+    w.f64(res.power_mw);
+    w.u8(res.met_target ? 1 : 0);
+    w.u8(static_cast<std::uint8_t>(res.cpa));
+    w.i32(res.num_gates);
+  }
+  return w.take();
+}
+
+bool decode_record(const std::vector<std::uint8_t>& payload, Record* out) {
+  try {
+    search::BlobReader r(payload);
+    if (r.u32() != kRecordVersion) return false;
+    Record rec;
+    rec.spec.bits = r.i32();
+    rec.spec.ppg = static_cast<ppg::PpgKind>(r.u8());
+    rec.spec.mac = r.u8() != 0;
+    rec.targets = r.f64_vec();
+    rec.tree = r.tree();
+    const std::uint64_t n = r.u64();
+    if (n > (1u << 20)) return false;
+    rec.eval.per_target.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      synth::SynthesisResult res;
+      res.area_um2 = r.f64();
+      res.delay_ns = r.f64();
+      res.power_mw = r.f64();
+      res.met_target = r.u8() != 0;
+      res.cpa = static_cast<netlist::CpaKind>(r.u8());
+      res.num_gates = r.i32();
+      // Accumulate in target order — the exact additions compute()
+      // performs, so the decoded sums are bit-identical.
+      rec.eval.sum_area += res.area_um2;
+      rec.eval.sum_delay += res.delay_ns;
+      rec.eval.sum_power += res.power_mw;
+      rec.eval.per_target.push_back(res);
+    }
+    r.expect_end();
+    *out = std::move(rec);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+Store::Store(std::string dir, StoreOptions opts)
+    : dir_(std::move(dir)), opts_(opts) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    throw std::runtime_error("dsdb: cannot create directory " + dir_ + ": " +
+                             ec.message());
+  }
+
+  const std::string lock_path = dir_ + "/" + kLockName;
+  lock_fd_ = ::open(lock_path.c_str(), O_CREAT | O_RDWR, 0644);
+  if (lock_fd_ < 0) {
+    throw std::runtime_error("dsdb: cannot open " + lock_path + ": " +
+                             std::strerror(errno));
+  }
+  // Writers exclude each other (and readers); read-only opens share.
+  // Held for the store's lifetime so compaction can rename safely.
+  if (::flock(lock_fd_, opts_.read_only ? LOCK_SH : LOCK_EX) != 0) {
+    const int err = errno;
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+    throw std::runtime_error("dsdb: flock failed on " + lock_path + ": " +
+                             std::strerror(err));
+  }
+
+  open_journal();
+
+  if (!opts_.read_only) {
+    writer_ = std::thread([this] { writer_loop(); });
+  }
+}
+
+void Store::open_journal() {
+  const std::string path = journal_path();
+  const ReplayResult res =
+      replay_journal(path, [this](const std::vector<std::uint8_t>& payload) {
+        Record rec;
+        if (!decode_record(payload, &rec)) {
+          ++dropped_;
+          return;
+        }
+        const std::string key = rec.fingerprint().full_key();
+        Shard& sh = shard_for(key);
+        std::lock_guard<std::mutex> lock(sh.mu);
+        // First frame wins: compacted journals have no duplicates, and
+        // an append-time race can only ever re-journal an equal record.
+        if (sh.map.emplace(key, std::move(rec)).second) ++replayed_;
+      });
+
+  if (opts_.read_only) {
+    journal_bytes_ = res.missing ? 0 : res.valid_bytes;
+    recovered_tail_ = res.truncated_tail || res.bad_header;
+    return;
+  }
+
+  journal_fd_ = ::open(path.c_str(), O_CREAT | O_RDWR, 0644);
+  if (journal_fd_ < 0) {
+    throw std::runtime_error("dsdb: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+  if (res.missing || res.bad_header) {
+    // Fresh (or unrecognizable) file: start over with a clean header.
+    recovered_tail_ = res.bad_header;
+    if (::ftruncate(journal_fd_, 0) != 0) {
+      throw std::runtime_error("dsdb: ftruncate failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    const std::vector<std::uint8_t> header = journal_header();
+    write_all(journal_fd_, header.data(), header.size());
+    journal_bytes_ = header.size();
+  } else {
+    if (res.truncated_tail) {
+      // Crash recovery: drop the torn frame so appends restart from a
+      // clean boundary.
+      recovered_tail_ = true;
+      if (::ftruncate(journal_fd_, static_cast<off_t>(res.valid_bytes)) != 0) {
+        throw std::runtime_error("dsdb: ftruncate failed: " +
+                                 std::string(std::strerror(errno)));
+      }
+    }
+    journal_bytes_ = res.valid_bytes;
+  }
+  if (::lseek(journal_fd_, 0, SEEK_END) < 0) {
+    throw std::runtime_error("dsdb: lseek failed: " +
+                             std::string(std::strerror(errno)));
+  }
+}
+
+Store::~Store() {
+  if (!opts_.read_only) {
+    try {
+      flush();
+    } catch (...) {
+      // Destructor: the in-memory index is intact; lose the tail.
+    }
+    {
+      std::lock_guard<std::mutex> lock(qmu_);
+      stop_ = true;
+    }
+    qcv_.notify_all();
+    if (writer_.joinable()) writer_.join();
+  }
+  if (journal_fd_ >= 0) ::close(journal_fd_);
+  if (lock_fd_ >= 0) {
+    ::flock(lock_fd_, LOCK_UN);
+    ::close(lock_fd_);
+  }
+}
+
+std::string Store::journal_path() const { return dir_ + "/" + kJournalName; }
+
+Store::Shard& Store::shard_for(const std::string& full_key) const {
+  return shards_[std::hash<std::string>{}(full_key) % kShards];
+}
+
+bool Store::lookup(const Fingerprint& fp, synth::DesignEval* out) const {
+  const std::string key = fp.full_key();
+  Shard& sh = shard_for(key);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.map.find(key);
+  if (it == sh.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (out != nullptr) *out = it->second.eval;
+  return true;
+}
+
+bool Store::put(Record rec) {
+  const std::string key = rec.fingerprint().full_key();
+  std::vector<std::uint8_t> frame;
+  {
+    Shard& sh = shard_for(key);
+    std::lock_guard<std::mutex> lock(sh.mu);
+    auto [it, inserted] = sh.map.emplace(key, std::move(rec));
+    if (!inserted) return false;
+    if (!opts_.read_only) {
+      append_frame(frame, encode_record(it->second));
+    }
+  }
+  if (frame.empty()) return true;  // read-only: in-memory insert only
+  appends_.fetch_add(1, std::memory_order_relaxed);
+  util::perf_counters().dsdb_appends.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(qmu_);
+    queue_.push_back(std::move(frame));
+    ++enqueued_;
+  }
+  qcv_.notify_one();
+  return true;
+}
+
+void Store::writer_loop() {
+  for (;;) {
+    std::vector<std::uint8_t> frame;
+    {
+      std::unique_lock<std::mutex> lock(qmu_);
+      qcv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ && drained
+      frame = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    {
+      std::lock_guard<std::mutex> lock(file_mu_);
+      write_all(journal_fd_, frame.data(), frame.size());
+      journal_bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
+    }
+    {
+      std::lock_guard<std::mutex> lock(qmu_);
+      ++written_;
+    }
+    drained_cv_.notify_all();
+  }
+}
+
+void Store::flush() {
+  if (opts_.read_only) return;
+  std::uint64_t target = 0;
+  {
+    std::unique_lock<std::mutex> lock(qmu_);
+    target = enqueued_;
+    drained_cv_.wait(lock, [this, target] { return written_ >= target; });
+  }
+  if (opts_.sync_on_flush) {
+    std::lock_guard<std::mutex> lock(file_mu_);
+    ::fsync(journal_fd_);
+  }
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+  util::perf_counters().dsdb_flushes.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Store::compact() {
+  if (opts_.read_only) return 0;
+  flush();  // minimize frames that get re-journaled behind the snapshot
+
+  // Hold the file lock across snapshot + rename: any frame journaled
+  // after this point goes to the post-compaction fd, and any frame
+  // that reached the old file beforehand is covered by the snapshot
+  // (put() inserts into its shard before it enqueues).
+  std::lock_guard<std::mutex> lock(file_mu_);
+
+  // Snapshot every live record, sorted by key for a deterministic file.
+  std::vector<std::pair<std::string, const Record*>> live;
+  std::vector<Record> copies;
+  {
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(kShards);
+    for (Shard& sh : shards_) locks.emplace_back(sh.mu);
+    std::size_t total = 0;
+    for (const Shard& sh : shards_) total += sh.map.size();
+    copies.reserve(total);
+    for (const Shard& sh : shards_) {
+      for (const auto& [key, rec] : sh.map) {
+        copies.push_back(rec);
+        live.emplace_back(key, &copies.back());
+      }
+    }
+  }
+  // copies' addresses are stable from here on (reserve above).
+  std::sort(live.begin(), live.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  const std::uint64_t before = journal_bytes_.load();
+
+  const std::string tmp_path = journal_path() + ".tmp";
+  int tmp_fd = ::open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (tmp_fd < 0) {
+    throw std::runtime_error("dsdb: cannot open " + tmp_path + ": " +
+                             std::strerror(errno));
+  }
+  try {
+    std::vector<std::uint8_t> bytes = journal_header();
+    for (const auto& [key, rec] : live) {
+      append_frame(bytes, encode_record(*rec));
+    }
+    write_all(tmp_fd, bytes.data(), bytes.size());
+    if (::fsync(tmp_fd) != 0) {
+      throw std::runtime_error("dsdb: fsync failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    ::close(tmp_fd);
+    tmp_fd = -1;
+    if (std::rename(tmp_path.c_str(), journal_path().c_str()) != 0) {
+      throw std::runtime_error("dsdb: rename failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    // Swap the append fd to the new file; frames enqueued after the
+    // snapshot will land there (a record both snapshotted and queued
+    // becomes a duplicate frame — harmless, first replay wins).
+    ::close(journal_fd_);
+    journal_fd_ = ::open(journal_path().c_str(), O_RDWR, 0644);
+    if (journal_fd_ < 0) {
+      throw std::runtime_error("dsdb: cannot reopen journal: " +
+                               std::string(std::strerror(errno)));
+    }
+    if (::lseek(journal_fd_, 0, SEEK_END) < 0) {
+      throw std::runtime_error("dsdb: lseek failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    journal_bytes_ = bytes.size();
+  } catch (...) {
+    if (tmp_fd >= 0) ::close(tmp_fd);
+    std::remove(tmp_path.c_str());
+    throw;
+  }
+  const std::uint64_t after = journal_bytes_.load();
+  return before > after ? before - after : 0;
+}
+
+std::size_t Store::size() const {
+  std::size_t total = 0;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    total += sh.map.size();
+  }
+  return total;
+}
+
+std::uint64_t Store::journal_bytes() const { return journal_bytes_.load(); }
+
+std::vector<Record> Store::matching(const ppg::MultiplierSpec& spec,
+                                    const std::vector<double>& targets) const {
+  std::vector<Record> out;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    for (const auto& [key, rec] : sh.map) {
+      if (rec.spec == spec && rec.targets == targets) out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+std::vector<Record> Store::all_records() const {
+  std::vector<Record> out;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    for (const auto& [key, rec] : sh.map) out.push_back(rec);
+  }
+  return out;
+}
+
+search::WarmStartRecords Store::warm_start_records(
+    const ppg::MultiplierSpec& spec,
+    const std::vector<double>& targets) const {
+  std::vector<Record> recs = matching(spec, targets);
+  std::sort(recs.begin(), recs.end(), [](const Record& a, const Record& b) {
+    const double ca = a.eval.sum_area + a.eval.sum_delay;
+    const double cb = b.eval.sum_area + b.eval.sum_delay;
+    if (ca != cb) return ca < cb;
+    return a.tree.key() < b.tree.key();  // deterministic tie-break
+  });
+  search::WarmStartRecords out;
+  out.reserve(recs.size());
+  for (Record& rec : recs) {
+    out.push_back({std::move(rec.tree), std::move(rec.eval)});
+  }
+  return out;
+}
+
+Store::Stats Store::stats() const {
+  Stats s;
+  s.hits = hits_.load();
+  s.misses = misses_.load();
+  s.appends = appends_.load();
+  s.flushes = flushes_.load();
+  s.replayed = replayed_;
+  s.dropped = dropped_;
+  s.recovered_tail = recovered_tail_;
+  return s;
+}
+
+EvaluatorBinding::EvaluatorBinding(Store& store, ppg::MultiplierSpec spec,
+                                   std::vector<double> targets)
+    : store_(store), spec_(spec), targets_(std::move(targets)) {
+  spec_fp_ = spec_fingerprint(spec_);
+  ctx_fp_ = context_fingerprint(targets_);
+}
+
+bool EvaluatorBinding::lookup(const std::string& key,
+                              const ct::CompressorTree& tree,
+                              synth::DesignEval& out) {
+  (void)tree;
+  Fingerprint fp;
+  fp.spec_fp = spec_fp_;
+  fp.ctx_fp = ctx_fp_;
+  fp.tree_key = key;
+  const bool hit = store_.lookup(fp, &out);
+  auto& pc = util::perf_counters();
+  (hit ? pc.dsdb_hits : pc.dsdb_misses)
+      .fetch_add(1, std::memory_order_relaxed);
+  return hit;
+}
+
+void EvaluatorBinding::store(const std::string& key,
+                             const ct::CompressorTree& tree,
+                             const synth::DesignEval& eval) {
+  (void)key;
+  Record rec;
+  rec.spec = spec_;
+  rec.targets = targets_;
+  rec.tree = tree;
+  rec.eval = eval;
+  store_.put(std::move(rec));
+}
+
+}  // namespace rlmul::dsdb

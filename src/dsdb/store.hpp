@@ -1,0 +1,178 @@
+#pragma once
+// Persistent, concurrent design-space database. Every synthesized
+// design point (spec, targets, tree, per-target results) becomes one
+// CRC-framed record in an append-only journal; reopening the store
+// replays the journal into a sharded in-memory index keyed by the
+// record's Fingerprint. A single background writer drains an append
+// queue so search threads never block on disk, and an flock(2) on a
+// sidecar LOCK file keeps concurrent processes out of each other's
+// journal (exclusive for writers, shared for read-only opens).
+//
+// Durability contract: put() + flush() means the record survives a
+// process crash (add sync_on_flush for power-loss durability). A
+// writer that dies mid-append corrupts at most the journal tail; the
+// next open truncates back to the last valid frame and loses only
+// records that were never flushed.
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "ct/compressor_tree.hpp"
+#include "dsdb/fingerprint.hpp"
+#include "ppg/ppg.hpp"
+#include "search/warm_start.hpp"
+#include "synth/evaluator.hpp"
+
+namespace rlmul::dsdb {
+
+struct StoreOptions {
+  bool read_only = false;     ///< shared lock, no journal writes
+  bool sync_on_flush = false; ///< fsync the journal on every flush()
+};
+
+/// One stored design point. The spec and target set are carried in
+/// full (not just fingerprinted) so records are exportable and can be
+/// warm-started into a different process without guessing the context.
+struct Record {
+  ppg::MultiplierSpec spec;
+  std::vector<double> targets;
+  ct::CompressorTree tree;
+  synth::DesignEval eval;
+
+  Fingerprint fingerprint() const {
+    return make_fingerprint(spec, targets, tree);
+  }
+};
+
+/// Journal payload codec (search::BlobWriter framing; sums of the
+/// DesignEval are recomputed from the per-target results in target
+/// order, so a decoded eval is bit-identical to the computed one).
+std::vector<std::uint8_t> encode_record(const Record& rec);
+/// False on version mismatch or malformed payload; never throws.
+bool decode_record(const std::vector<std::uint8_t>& payload, Record* out);
+
+class Store {
+ public:
+  /// Opens (creating if needed) the database directory. Throws
+  /// std::runtime_error if the directory or journal cannot be opened.
+  explicit Store(std::string dir, StoreOptions opts = {});
+  ~Store();
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  const std::string& dir() const { return dir_; }
+  std::string journal_path() const;
+
+  /// Exact-fingerprint lookup; copies the stored evaluation on hit.
+  bool lookup(const Fingerprint& fp, synth::DesignEval* out) const;
+
+  /// Inserts a record (deduplicated by fingerprint) and, unless
+  /// read-only, queues it for journaling. Returns true if new.
+  bool put(Record rec);
+
+  /// Blocks until every record queued so far is in the journal file
+  /// (+ fsync when sync_on_flush). No-op for read-only stores.
+  void flush();
+
+  /// Rewrites the journal with exactly the live records (sorted by key
+  /// for determinism), dropping duplicate frames and corrupt tails.
+  /// Atomic: tmp file + fsync + rename. Returns bytes reclaimed.
+  std::uint64_t compact();
+
+  std::size_t size() const;
+  std::uint64_t journal_bytes() const;
+
+  /// Records matching a spec + target-set contract exactly (what a
+  /// warm start may legally reuse).
+  std::vector<Record> matching(const ppg::MultiplierSpec& spec,
+                               const std::vector<double>& targets) const;
+  std::vector<Record> all_records() const;
+
+  /// `matching(...)` converted for search::Driver consumption, sorted
+  /// by (sum_area + sum_delay) ascending so the best designs lead.
+  search::WarmStartRecords warm_start_records(
+      const ppg::MultiplierSpec& spec,
+      const std::vector<double>& targets) const;
+
+  struct Stats {
+    std::uint64_t hits = 0;        ///< lookup() successes
+    std::uint64_t misses = 0;      ///< lookup() failures
+    std::uint64_t appends = 0;     ///< records queued for the journal
+    std::uint64_t flushes = 0;
+    std::size_t replayed = 0;      ///< records loaded at open
+    std::size_t dropped = 0;       ///< undecodable replayed payloads
+    bool recovered_tail = false;   ///< open truncated a corrupt tail
+  };
+  Stats stats() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Record> map;
+  };
+  static constexpr std::size_t kShards = 16;
+
+  Shard& shard_for(const std::string& full_key) const;
+  void writer_loop();
+  void open_journal();
+
+  std::string dir_;
+  StoreOptions opts_;
+
+  mutable std::array<Shard, kShards> shards_;
+
+  int lock_fd_ = -1;
+  int journal_fd_ = -1;
+  mutable std::mutex file_mu_;  ///< guards journal_fd_ writes + compact
+  std::atomic<std::uint64_t> journal_bytes_{0};
+
+  std::thread writer_;
+  std::mutex qmu_;
+  std::condition_variable qcv_;       ///< writer wakeup
+  std::condition_variable drained_cv_; ///< flush() wakeup
+  std::deque<std::vector<std::uint8_t>> queue_;  ///< pre-built frames
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t written_ = 0;
+  bool stop_ = false;
+
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> appends_{0};
+  std::atomic<std::uint64_t> flushes_{0};
+  std::size_t replayed_ = 0;
+  std::size_t dropped_ = 0;
+  bool recovered_tail_ = false;
+};
+
+/// Adapts a Store to the synth::EvalCache slot of one evaluator: the
+/// spec and target set are fixed at bind time, so the per-evaluate
+/// work is just a key concat + sharded map probe. Also feeds the
+/// process-wide dsdb_* perf counters.
+class EvaluatorBinding final : public synth::EvalCache {
+ public:
+  EvaluatorBinding(Store& store, ppg::MultiplierSpec spec,
+                   std::vector<double> targets);
+
+  bool lookup(const std::string& key, const ct::CompressorTree& tree,
+              synth::DesignEval& out) override;
+  void store(const std::string& key, const ct::CompressorTree& tree,
+             const synth::DesignEval& eval) override;
+
+ private:
+  Store& store_;
+  ppg::MultiplierSpec spec_;
+  std::vector<double> targets_;
+  std::uint64_t spec_fp_ = 0;
+  std::uint64_t ctx_fp_ = 0;
+};
+
+}  // namespace rlmul::dsdb

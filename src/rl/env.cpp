@@ -88,11 +88,17 @@ MultiplierEnv::MultiplierEnv(synth::DesignEvaluator& evaluator,
                    ? cfg_.stage_pad
                    : std::min(max_stages_, ct::stage_count(initial) + 4);
   if (stage_pad_ < 1) stage_pad_ = 1;
+  if (!cfg_.initial.pp.empty() && cfg_.initial.pp != initial.pp) {
+    throw std::invalid_argument(
+        "MultiplierEnv: warm-start tree was built for a different spec "
+        "(pp heights mismatch)");
+  }
   reset();
 }
 
 void MultiplierEnv::reset() {
-  tree_ = ppg::initial_tree(evaluator_.spec());
+  tree_ = cfg_.initial.pp.empty() ? ppg::initial_tree(evaluator_.spec())
+                                  : cfg_.initial;
   cost_ = cost_of(tree_);
   best_tree_ = tree_;
   best_cost_ = cost_;

@@ -40,6 +40,12 @@ struct EnvConfig {
   int stage_pad = -1;
   /// Unmask the 4:2 fuse/split extension actions.
   bool enable_42 = false;
+  /// Non-empty: the state reset() restores instead of the Wallace
+  /// initial design (warm start from a stored record). Must have been
+  /// built against the same spec (pp heights are checked). Stage
+  /// pruning bounds are still derived from the Wallace design so a
+  /// warm start never tightens or loosens the action space.
+  ct::CompressorTree initial;
 };
 
 class MultiplierEnv {

@@ -10,13 +10,28 @@ std::size_t Driver::eda_consumed() const {
          (evaluator_.num_unique_evaluations() - evals_at_start_);
 }
 
+void Driver::admit_warm_start() {
+  if (opts_.warm_start == nullptr) return;
+  // Admit before init(): the method's reference evaluations (e.g. the
+  // Wallace design SA/DQN start from) then hit the in-memory cache
+  // instead of synthesizing. Admitted records never charge the budget
+  // (num_unique_evaluations counts synthesis only).
+  for (const WarmStartRecord& rec : *opts_.warm_start) {
+    evaluator_.admit(rec.tree, rec.eval);
+  }
+}
+
 RunResult Driver::run(Method& method) {
   ctx_.result() = RunResult{};
   steps_done_ = 0;
   prior_consumed_ = 0;
   completed_ = false;
+  admit_warm_start();
   evals_at_start_ = evaluator_.num_unique_evaluations();
   method.init(ctx_);
+  if (opts_.warm_start != nullptr && !opts_.warm_start->empty()) {
+    method.warm_start(ctx_, *opts_.warm_start);
+  }
   return loop(method);
 }
 
@@ -25,6 +40,9 @@ RunResult Driver::resume(Method& method, const Checkpoint& ckpt) {
   steps_done_ = ckpt.steps_done;
   prior_consumed_ = static_cast<std::size_t>(ckpt.eda_consumed);
   completed_ = false;
+  // Admit (free cache fills) but never call warm_start: the restored
+  // checkpoint state must replay the remaining trajectory bit-for-bit.
+  admit_warm_start();
   evals_at_start_ = evaluator_.num_unique_evaluations();
   // init() first: it rebuilds the method's envs/networks (and would
   // clobber a restored result), then the snapshot overwrites both the

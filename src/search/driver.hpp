@@ -20,6 +20,12 @@ struct DriverOptions {
   /// Stop after this many Method::step calls; 0 = run until the method
   /// finishes. Use a limit + make_checkpoint to pause a run.
   std::uint64_t max_steps = 0;
+  /// Previously synthesized records (typically from a dsdb::Store;
+  /// non-owning, must outlive the driver's runs). Admitted into the
+  /// evaluator before init() and offered to Method::warm_start on
+  /// fresh runs. Re-evaluating an admitted record is a cache hit and
+  /// never charges the EDA budget.
+  const WarmStartRecords* warm_start = nullptr;
 };
 
 class Driver {
@@ -44,6 +50,7 @@ class Driver {
 
  private:
   RunResult loop(Method& method);
+  void admit_warm_start();
 
   synth::DesignEvaluator& evaluator_;
   DriverOptions opts_;

@@ -22,6 +22,7 @@
 #include "nn/resnet.hpp"
 #include "rl/dqn.hpp"  // AgentNet
 #include "search/blob.hpp"
+#include "search/warm_start.hpp"
 #include "synth/evaluator.hpp"
 
 namespace rlmul::search {
@@ -138,6 +139,16 @@ class Method {
 
   virtual void init(Context& ctx) = 0;
   virtual bool step(Context& ctx) = 0;
+
+  /// Called by the driver after init() on fresh runs (never on resume —
+  /// checkpoint state wins) when warm-start records are available. The
+  /// records are already admitted into the evaluator's cache, sorted
+  /// best-first. Methods may seed their search state from them; the
+  /// default keeps the cache-only benefit.
+  virtual void warm_start(Context& ctx, const WarmStartRecords& records) {
+    (void)ctx;
+    (void)records;
+  }
 
   /// Called once after the loop ends (even on budget stop), e.g. to
   /// stash the trained network into the result.

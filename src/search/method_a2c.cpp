@@ -39,6 +39,18 @@ void A2cMethod::init(Context& ctx) {
   samples_.clear();
 }
 
+void A2cMethod::warm_start(Context& ctx, const WarmStartRecords& records) {
+  // A2C is on-policy, so stored transitions never enter an update; the
+  // cross-run value is the pre-filled evaluator cache plus seeding the
+  // best-so-far tracking with the cheapest stored design.
+  const ct::ColumnHeights& pp = pool_->env(0).tree().pp;
+  for (const WarmStartRecord& rec : records) {
+    if (rec.tree.pp != pp) continue;
+    ctx.offer_best(ctx.evaluator().cost(rec.eval, cfg_.w_area, cfg_.w_delay),
+                   rec.tree);
+  }
+}
+
 bool A2cMethod::step(Context& ctx) {
   if (t_ >= cfg_.steps) return false;
   const std::size_t num_envs = static_cast<std::size_t>(pool_->size());

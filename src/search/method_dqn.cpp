@@ -1,3 +1,5 @@
+#include <unordered_map>
+
 #include "nn/serialize.hpp"
 #include "search/methods.hpp"
 #include "search/state_io.hpp"
@@ -39,6 +41,57 @@ void DqnMethod::init(Context& ctx) {
   if (target_) nn::copy_params(*net_, *target_);
   t_ = 0;
   updates_ = 0;
+}
+
+void DqnMethod::warm_start(Context& ctx, const WarmStartRecords& records) {
+  rl::MultiplierEnv& env = pool_->env(0);
+  const ct::ColumnHeights& pp = env.tree().pp;
+  auto cost_of = [&](const WarmStartRecord& rec) {
+    return ctx.evaluator().cost(rec.eval, cfg_.w_area, cfg_.w_delay);
+  };
+
+  std::unordered_map<std::string, const WarmStartRecord*> by_key;
+  for (const WarmStartRecord& rec : records) {
+    if (rec.tree.pp != pp) continue;
+    by_key.emplace(rec.tree.key(), &rec);
+    ctx.offer_best(cost_of(rec), rec.tree);
+  }
+  if (by_key.empty()) return;
+
+  // Stored designs that are one legal action apart are ready-made
+  // transitions: replay them (reward = cost drop, Equation 10) so the
+  // first learning step starts from cross-run experience instead of a
+  // cold buffer. Capped at half the buffer so fresh on-line experience
+  // always fits; records are best-first, so the cap keeps the good end.
+  const std::size_t cap =
+      static_cast<std::size_t>(cfg_.buffer_capacity) / 2;
+  constexpr std::size_t kMaxSources = 128;
+  std::size_t sources = 0;
+  std::size_t seeded = 0;
+  for (const WarmStartRecord& rec : records) {
+    if (seeded >= cap || sources >= kMaxSources) break;
+    if (rec.tree.pp != pp) continue;
+    ++sources;
+    const auto mask =
+        ct::legal_action_mask(rec.tree, env.max_stages(), cfg_.enable_42);
+    const double from_cost = cost_of(rec);
+    for (std::size_t a = 0; a < mask.size() && seeded < cap; ++a) {
+      if (mask[a] == 0) continue;
+      const ct::CompressorTree succ = ct::apply_action(
+          rec.tree, ct::action_from_index(static_cast<int>(a)));
+      auto it = by_key.find(succ.key());
+      if (it == by_key.end()) continue;
+      rl::Transition tr;
+      tr.state = rec.tree;
+      tr.action = static_cast<int>(a);
+      tr.reward = from_cost - cost_of(*it->second);
+      tr.next_state = it->second->tree;
+      tr.next_mask = ct::legal_action_mask(it->second->tree,
+                                           env.max_stages(), cfg_.enable_42);
+      buffer_->push(std::move(tr));
+      ++seeded;
+    }
+  }
 }
 
 bool DqnMethod::step(Context& ctx) {

@@ -20,6 +20,28 @@ void SaMethod::init(Context& ctx) {
   t_ = 0;
 }
 
+void SaMethod::warm_start(Context& ctx, const WarmStartRecords& records) {
+  // Records arrive sorted by raw (area + delay) sums; the anneal's
+  // objective applies the configured weights, so re-score every
+  // matching record and restart from the cheapest one.
+  const ct::CompressorTree* best = nullptr;
+  double best_cost = current_cost_;
+  for (const WarmStartRecord& rec : records) {
+    if (rec.tree.pp != current_.pp) continue;
+    const double c =
+        ctx.evaluator().cost(rec.eval, cfg_.w_area, cfg_.w_delay);
+    if (c < best_cost) {
+      best = &rec.tree;
+      best_cost = c;
+    }
+  }
+  if (best != nullptr) {
+    current_ = *best;
+    current_cost_ = best_cost;
+  }
+  ctx.offer_best(current_cost_, current_);
+}
+
 bool SaMethod::step(Context& ctx) {
   if (t_ >= cfg_.steps) return false;
   const auto mask =

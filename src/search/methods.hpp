@@ -27,6 +27,8 @@ class SaMethod : public Method {
   const char* name() const override { return "sa"; }
   void init(Context& ctx) override;
   bool step(Context& ctx) override;
+  /// Starts the anneal from the best stored design instead of Wallace.
+  void warm_start(Context& ctx, const WarmStartRecords& records) override;
   void save_state(BlobWriter& w) const override;
   void load_state(BlobReader& r) override;
 
@@ -48,6 +50,9 @@ class DqnMethod : public Method {
   const char* name() const override { return "dqn"; }
   void init(Context& ctx) override;
   bool step(Context& ctx) override;
+  /// Seeds best-so-far plus the replay buffer: stored designs that are
+  /// one legal action apart become ready-made transitions.
+  void warm_start(Context& ctx, const WarmStartRecords& records) override;
   void finish(Context& ctx) override;
   void save_state(BlobWriter& w) const override;
   void load_state(BlobReader& r) override;
@@ -76,6 +81,9 @@ class A2cMethod : public Method {
   int max_evals_per_step() const override { return cfg_.threads; }
   void init(Context& ctx) override;
   bool step(Context& ctx) override;
+  /// On-policy: stored transitions cannot feed the update, but the
+  /// best stored design still seeds best-so-far tracking.
+  void warm_start(Context& ctx, const WarmStartRecords& records) override;
   void finish(Context& ctx) override;
   void save_state(BlobWriter& w) const override;
   void load_state(BlobReader& r) override;

@@ -11,8 +11,13 @@ namespace rlmul::search {
 
 namespace {
 
-std::map<std::string, MethodFactory>& table() {
-  static std::map<std::string, MethodFactory> t;
+struct Entry {
+  MethodFactory factory;
+  std::string description;
+};
+
+std::map<std::string, Entry>& table() {
+  static std::map<std::string, Entry> t;
   return t;
 }
 
@@ -26,30 +31,43 @@ void ensure_builtins() {
   std::call_once(once, []() {
     std::lock_guard<std::mutex> lock(table_mutex());
     auto& t = table();
-    t["sa"] = [](const MethodConfig& cfg) {
-      return std::make_unique<SaMethod>(cfg);
-    };
-    t["dqn"] = [](const MethodConfig& cfg) {
-      return std::make_unique<DqnMethod>(cfg);
-    };
-    t["a2c"] = [](const MethodConfig& cfg) {
-      return std::make_unique<A2cMethod>(cfg);
-    };
-    t["gomil"] = [](const MethodConfig& cfg) {
-      return std::make_unique<GomilMethod>(cfg);
-    };
-    t["wallace"] = [](const MethodConfig& cfg) {
-      return std::make_unique<WallaceMethod>(cfg);
-    };
+    t["sa"] = {[](const MethodConfig& cfg) {
+                 return std::make_unique<SaMethod>(cfg);
+               },
+               "simulated annealing with Metropolis acceptance "
+               "(paper baseline)"};
+    t["dqn"] = {[](const MethodConfig& cfg) {
+                  return std::make_unique<DqnMethod>(cfg);
+                },
+                "RL-MUL: deep Q-learning with replay buffer "
+                "(Algorithm 3)"};
+    t["a2c"] = {[](const MethodConfig& cfg) {
+                  return std::make_unique<A2cMethod>(cfg);
+                },
+                "RL-MUL-E: synchronous A2C over parallel environments "
+                "(Algorithm 4)"};
+    t["gomil"] = {[](const MethodConfig& cfg) {
+                    return std::make_unique<GomilMethod>(cfg);
+                  },
+                  "GOMIL one-shot ILP baseline"};
+    t["wallace"] = {[](const MethodConfig& cfg) {
+                      return std::make_unique<WallaceMethod>(cfg);
+                    },
+                    "classic Wallace-tree one-shot baseline"};
   });
 }
 
 }  // namespace
 
 void register_method(const std::string& name, MethodFactory factory) {
+  register_method(name, std::move(factory), "");
+}
+
+void register_method(const std::string& name, MethodFactory factory,
+                     std::string description) {
   ensure_builtins();
   std::lock_guard<std::mutex> lock(table_mutex());
-  table()[name] = std::move(factory);
+  table()[name] = {std::move(factory), std::move(description)};
 }
 
 bool is_registered(const std::string& name) {
@@ -65,21 +83,38 @@ std::unique_ptr<Method> make_method(const std::string& name,
   const auto it = table().find(name);
   if (it == table().end()) {
     std::string known;
-    for (const auto& [n, f] : table()) {
+    for (const auto& [n, e] : table()) {
       if (!known.empty()) known += "|";
       known += n;
     }
     throw std::invalid_argument("unknown search method '" + name +
                                 "' (registered: " + known + ")");
   }
-  return it->second(cfg);
+  return it->second.factory(cfg);
 }
 
 std::vector<std::string> registered_methods() {
   ensure_builtins();
   std::lock_guard<std::mutex> lock(table_mutex());
   std::vector<std::string> out;
-  for (const auto& [name, factory] : table()) out.push_back(name);
+  for (const auto& [name, entry] : table()) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+std::string method_description(const std::string& name) {
+  ensure_builtins();
+  std::lock_guard<std::mutex> lock(table_mutex());
+  const auto it = table().find(name);
+  return it != table().end() ? it->second.description : std::string();
+}
+
+std::vector<MethodInfo> method_infos() {
+  ensure_builtins();
+  std::lock_guard<std::mutex> lock(table_mutex());
+  std::vector<MethodInfo> out;
+  for (const auto& [name, entry] : table()) {
+    out.push_back({name, entry.description});
+  }
   return out;  // std::map iterates sorted
 }
 

@@ -19,7 +19,24 @@ using MethodFactory =
 /// Registers (or replaces) a factory under `name`.
 void register_method(const std::string& name, MethodFactory factory);
 
+/// Same, with a one-line human-readable description (what the CLI's
+/// --list-methods prints).
+void register_method(const std::string& name, MethodFactory factory,
+                     std::string description);
+
 bool is_registered(const std::string& name);
+
+/// The registered description; empty for unknown names or methods
+/// registered without one.
+std::string method_description(const std::string& name);
+
+struct MethodInfo {
+  std::string name;
+  std::string description;
+};
+
+/// All registered methods with descriptions, sorted by name.
+std::vector<MethodInfo> method_infos();
 
 /// Constructs a method by name; throws std::invalid_argument for
 /// unknown names (the message lists what is registered).

@@ -1,0 +1,22 @@
+#pragma once
+// Warm-start records: previously synthesized (tree, evaluation) pairs —
+// typically pulled from a dsdb::Store — that a search::Driver admits
+// into the evaluator's cache and Pareto archive before a run and offers
+// to Method::warm_start. Admitted records are free: re-evaluating one
+// is a cache hit and never counts against the driver's EDA budget.
+
+#include <vector>
+
+#include "ct/compressor_tree.hpp"
+#include "synth/evaluator.hpp"
+
+namespace rlmul::search {
+
+struct WarmStartRecord {
+  ct::CompressorTree tree;
+  synth::DesignEval eval;
+};
+
+using WarmStartRecords = std::vector<WarmStartRecord>;
+
+}  // namespace rlmul::search

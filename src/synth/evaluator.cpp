@@ -116,6 +116,21 @@ DesignEval DesignEvaluator::compute(const ct::CompressorTree& tree,
   return eval;
 }
 
+std::size_t DesignEvaluator::install_locked(const std::string& key,
+                                            const ct::CompressorTree& tree,
+                                            const DesignEval& eval) {
+  auto [it, inserted] = index_.emplace(key, designs_.size());
+  if (inserted) {
+    designs_.push_back(tree);
+    evals_.push_back(eval);
+    for (const SynthesisResult& res : eval.per_target) {
+      frontier_.insert(
+          pareto::Point{res.area_um2, res.delay_ns, designs_.size() - 1});
+    }
+  }
+  return it->second;
+}
+
 DesignEval DesignEvaluator::evaluate(const ct::CompressorTree& tree) {
   const std::string key = tree.key();
   {
@@ -139,6 +154,22 @@ DesignEval DesignEvaluator::evaluate(const ct::CompressorTree& tree) {
     in_flight_.insert(key);
   }
 
+  // A cross-run cache hit replaces synthesis entirely: the stored
+  // evaluation was produced under the same spec/target contract, so it
+  // is bit-identical to what compute() would return — and it is free
+  // (no budget charge, no unique_evals bump).
+  if (opts_.external_cache != nullptr) {
+    DesignEval stored;
+    if (opts_.external_cache->lookup(key, tree, stored)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      in_flight_.erase(key);
+      ++external_hits_;
+      const std::size_t idx = install_locked(key, tree, stored);
+      cv_.notify_all();
+      return evals_[idx];
+    }
+  }
+
   // Synthesize outside the lock so workers on *different* trees overlap.
   DesignEval eval;
   try {
@@ -150,21 +181,35 @@ DesignEval DesignEvaluator::evaluate(const ct::CompressorTree& tree) {
     throw;
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
-  in_flight_.erase(key);
-  auto [it, inserted] = index_.emplace(key, designs_.size());
-  if (inserted) {
-    util::perf_counters().unique_evals.fetch_add(1,
-                                                 std::memory_order_relaxed);
-    designs_.push_back(tree);
-    evals_.push_back(eval);
-    for (const SynthesisResult& res : eval.per_target) {
-      frontier_.insert(
-          pareto::Point{res.area_um2, res.delay_ns, designs_.size() - 1});
+  std::size_t idx = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    in_flight_.erase(key);
+    const std::size_t before = designs_.size();
+    idx = install_locked(key, tree, eval);
+    if (designs_.size() > before) {
+      ++synthesized_;
+      util::perf_counters().unique_evals.fetch_add(1,
+                                                   std::memory_order_relaxed);
     }
+    cv_.notify_all();
   }
-  cv_.notify_all();
-  return evals_[it->second];
+  // Offer the fresh result to the cross-run cache outside the mutex —
+  // the store may journal to disk and must not serialize evaluations.
+  if (opts_.external_cache != nullptr) {
+    opts_.external_cache->store(key, tree, eval);
+  }
+  return eval_of(idx);
+}
+
+bool DesignEvaluator::admit(const ct::CompressorTree& tree,
+                            const DesignEval& eval) {
+  const std::string key = tree.key();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index_.count(key) != 0 || in_flight_.count(key) != 0) return false;
+  install_locked(key, tree, eval);
+  ++admitted_;
+  return true;
 }
 
 double DesignEvaluator::cost(const DesignEval& eval, double w_area,
@@ -175,7 +220,7 @@ double DesignEvaluator::cost(const DesignEval& eval, double w_area,
 
 std::size_t DesignEvaluator::num_unique_evaluations() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return designs_.size();
+  return synthesized_;
 }
 
 pareto::Front DesignEvaluator::frontier() const {
@@ -201,9 +246,11 @@ DesignEval DesignEvaluator::eval_of(std::size_t index) const {
 DesignEvaluator::Stats DesignEvaluator::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats s;
-  s.unique_evals = designs_.size();
+  s.unique_evals = synthesized_;
   s.cache_hits = cache_hits_;
   s.inflight_waits = inflight_waits_;
+  s.external_hits = external_hits_;
+  s.admitted = admitted_;
   return s;
 }
 

@@ -49,6 +49,21 @@ struct DesignEval {
   double sum_power = 0.0;
 };
 
+/// Optional external (typically persistent, cross-run) evaluation
+/// cache. The evaluator consults it before synthesizing a new tree and
+/// offers every freshly synthesized result back. Implementations must
+/// be thread-safe and must only return evaluations produced under the
+/// same spec/target contract (see dsdb::Fingerprint). `key` is always
+/// `tree.key()`.
+class EvalCache {
+ public:
+  virtual ~EvalCache() = default;
+  virtual bool lookup(const std::string& key, const ct::CompressorTree& tree,
+                      DesignEval& out) = 0;
+  virtual void store(const std::string& key, const ct::CompressorTree& tree,
+                     const DesignEval& eval) = 0;
+};
+
 struct EvaluatorOptions {
   /// Run the equivalence gate (the paper's Yosys+ABC `cec` step) on
   /// every new design before scoring it; throws std::runtime_error on
@@ -67,6 +82,10 @@ struct EvaluatorOptions {
   /// >0: this evaluator owns a private pool of that many workers.
   /// 0: use the process-wide shared pool (RLMUL_SYNTH_THREADS).
   int synth_threads = 0;
+  /// Cross-run cache (non-owning; must outlive the evaluator). Results
+  /// served from it do NOT count as unique evaluations — the search
+  /// budget is charged only for synthesis actually run.
+  EvalCache* external_cache = nullptr;
 };
 
 class DesignEvaluator {
@@ -86,9 +105,16 @@ class DesignEvaluator {
   /// exactly w_area + w_delay, so weights compose across specs.
   double cost(const DesignEval& eval, double w_area, double w_delay) const;
 
-  /// Unique designs synthesized so far (the paper's search budget is
-  /// counted in EDA-tool calls).
+  /// Unique designs synthesized *by this process* so far (the paper's
+  /// search budget is counted in EDA-tool calls). Results admitted or
+  /// served from an external cache are free and not counted here.
   std::size_t num_unique_evaluations() const;
+
+  /// Installs a known-good (tree, eval) pair into the in-memory cache
+  /// and Pareto archive without synthesizing and without charging the
+  /// budget — the warm-start entry point. Returns false if the key is
+  /// already cached or currently being synthesized.
+  bool admit(const ct::CompressorTree& tree, const DesignEval& eval);
 
   /// Non-dominated (area, delay) points across every design and target
   /// synthesized through this evaluator. Payload = design index.
@@ -106,14 +132,20 @@ class DesignEvaluator {
   /// util::perf_counters()).
   struct Stats {
     std::size_t unique_evals = 0;    ///< designs synthesized
-    std::size_t cache_hits = 0;      ///< served from the cache
+    std::size_t cache_hits = 0;      ///< served from the in-memory cache
     std::size_t inflight_waits = 0;  ///< duplicate work deduplicated
+    std::size_t external_hits = 0;   ///< served from the external cache
+    std::size_t admitted = 0;        ///< warm-start records admitted
   };
   Stats stats() const;
 
  private:
   DesignEval compute(const ct::CompressorTree& tree,
                      const std::string& key) const;
+  /// Installs into index_/designs_/evals_/frontier_; caller holds mu_.
+  std::size_t install_locked(const std::string& key,
+                             const ct::CompressorTree& tree,
+                             const DesignEval& eval);
 
   ppg::MultiplierSpec spec_;
   std::vector<double> targets_;
@@ -130,6 +162,9 @@ class DesignEvaluator {
   std::unordered_set<std::string> in_flight_;
   std::size_t cache_hits_ = 0;
   std::size_t inflight_waits_ = 0;
+  std::size_t synthesized_ = 0;    ///< designs this process computed
+  std::size_t external_hits_ = 0;
+  std::size_t admitted_ = 0;
   std::unordered_map<std::string, std::size_t> index_;
   std::vector<ct::CompressorTree> designs_;
   std::vector<DesignEval> evals_;

@@ -18,6 +18,10 @@ void PerfCounters::reset() {
   nn_time_us = 0;
   gemm_time_us = 0;
   nn_flops = 0;
+  dsdb_hits = 0;
+  dsdb_misses = 0;
+  dsdb_appends = 0;
+  dsdb_flushes = 0;
 }
 
 PerfCounters& perf_counters() {
@@ -46,6 +50,10 @@ std::string format_perf_counters() {
   os << " nn_time_us=" << c.nn_time_us.load()
      << " gemm_time_us=" << gemm_us << " nn_flops=" << flops
      << " nn_gflops=" << gflops;
+  os << " dsdb_hits=" << c.dsdb_hits.load()
+     << " dsdb_misses=" << c.dsdb_misses.load()
+     << " dsdb_appends=" << c.dsdb_appends.load()
+     << " dsdb_flushes=" << c.dsdb_flushes.load();
   return os.str();
 }
 

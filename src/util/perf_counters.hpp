@@ -30,6 +30,12 @@ struct PerfCounters {
   std::atomic<std::uint64_t> nn_time_us{0};
   std::atomic<std::uint64_t> gemm_time_us{0};
   std::atomic<std::uint64_t> nn_flops{0};
+  // Persistent design-space database (dsdb): cross-run cache traffic.
+  // A hit is one synthesis this process never had to run.
+  std::atomic<std::uint64_t> dsdb_hits{0};
+  std::atomic<std::uint64_t> dsdb_misses{0};
+  std::atomic<std::uint64_t> dsdb_appends{0};  ///< records journaled
+  std::atomic<std::uint64_t> dsdb_flushes{0};  ///< journal flushes
 
   void reset();
 };

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# CI smoke for the design-space database: two identical CLI searches
+# share one --dsdb directory. The cold run populates the journal; the
+# warm run (same seed, same method, no warm start, so the trajectory is
+# identical) must serve every evaluation from the store — zero unique
+# synthesis — and must not end with a worse best cost. Then the
+# maintenance subcommands must work on the populated database.
+# Usage: smoke_dsdb_cli.sh <path-to-rlmul_cli>
+set -u
+
+cli="${1:?usage: smoke_dsdb_cli.sh <rlmul_cli>}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+db="$tmp/db"
+
+run() {
+  "$cli" optimize --method sa --bits 6 --steps 8 --seed 3 --dsdb "$db" 2>&1
+}
+
+out1="$(run)"
+if [ $? -ne 0 ]; then
+  echo "$out1"
+  echo "FAIL: cold run exited non-zero"
+  exit 1
+fi
+line1="$(printf '%s\n' "$out1" | grep '^RLMUL_DSDB ' | tail -n 1)"
+if [ -z "$line1" ]; then
+  echo "$out1"
+  echo "FAIL: cold run printed no RLMUL_DSDB line"
+  exit 1
+fi
+echo "cold: $line1"
+
+out2="$(run)"
+if [ $? -ne 0 ]; then
+  echo "$out2"
+  echo "FAIL: warm run exited non-zero"
+  exit 1
+fi
+line2="$(printf '%s\n' "$out2" | grep '^RLMUL_DSDB ' | tail -n 1)"
+if [ -z "$line2" ]; then
+  echo "$out2"
+  echo "FAIL: warm run printed no RLMUL_DSDB line"
+  exit 1
+fi
+echo "warm: $line2"
+
+get() {
+  printf '%s\n' "$2" | tr ' ' '\n' | grep "^$1=" | head -n 1 | cut -d= -f2
+}
+
+synth1="$(get unique_synth "$line1")"
+synth2="$(get unique_synth "$line2")"
+cost1="$(get best_cost "$line1")"
+cost2="$(get best_cost "$line2")"
+
+if [ -z "$synth1" ] || [ "$synth1" -lt 1 ]; then
+  echo "FAIL: cold run should synthesize (unique_synth=${synth1:-missing})"
+  exit 1
+fi
+if [ -z "$synth2" ] || [ "$synth2" -ne 0 ]; then
+  echo "FAIL: warm run must not synthesize (unique_synth=${synth2:-missing})"
+  exit 1
+fi
+# Identical trajectory, so "no worse" is cost2 <= cost1 (they should in
+# fact be bit-identical; allow improvement, reject regression).
+if ! awk -v a="$cost2" -v b="$cost1" 'BEGIN { exit !(a <= b) }'; then
+  echo "FAIL: warm best_cost $cost2 worse than cold $cost1"
+  exit 1
+fi
+
+stats_out="$("$cli" dsdb-stats --dsdb "$db" 2>&1)"
+if [ $? -ne 0 ]; then
+  echo "$stats_out"
+  echo "FAIL: dsdb-stats exited non-zero"
+  exit 1
+fi
+printf '%s\n' "$stats_out" | head -n 2
+
+csv="$tmp/export.csv"
+if ! "$cli" dsdb-export-csv --dsdb "$db" -o "$csv" >/dev/null 2>&1; then
+  echo "FAIL: dsdb-export-csv exited non-zero"
+  exit 1
+fi
+rows="$(wc -l < "$csv")"
+if [ "$rows" -lt 2 ]; then
+  echo "FAIL: exported CSV has no data rows"
+  exit 1
+fi
+
+if ! "$cli" dsdb-compact --dsdb "$db" >/dev/null 2>&1; then
+  echo "FAIL: dsdb-compact exited non-zero"
+  exit 1
+fi
+# Compaction must preserve the warm-run contract.
+out3="$(run)"
+line3="$(printf '%s\n' "$out3" | grep '^RLMUL_DSDB ' | tail -n 1)"
+synth3="$(get unique_synth "$line3")"
+if [ -z "$synth3" ] || [ "$synth3" -ne 0 ]; then
+  echo "FAIL: post-compaction run synthesized (unique_synth=${synth3:-missing})"
+  exit 1
+fi
+
+echo "PASS: dsdb smoke (cold unique_synth=$synth1, warm unique_synth=0," \
+     "csv rows=$rows)"

@@ -1,0 +1,626 @@
+// Tests for the persistent design-space database: fingerprint keying,
+// journal durability (including torn-tail crash recovery), concurrent
+// writers, and the warm-start / free-hit budget semantics the search
+// layer builds on top of it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "ct/compressor_tree.hpp"
+#include "dsdb/fingerprint.hpp"
+#include "dsdb/journal.hpp"
+#include "dsdb/store.hpp"
+#include "ppg/ppg.hpp"
+#include "rl/env.hpp"
+#include "search/driver.hpp"
+#include "search/registry.hpp"
+#include "synth/evaluator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rlmul;
+
+ppg::MultiplierSpec small_spec() {
+  ppg::MultiplierSpec spec;
+  spec.bits = 4;
+  spec.ppg = ppg::PpgKind::kAnd;
+  return spec;
+}
+
+search::MethodConfig tiny_config() {
+  search::MethodConfig cfg;
+  cfg.steps = 6;
+  cfg.seed = 7;
+  cfg.warmup = 2;
+  cfg.batch_size = 2;
+  cfg.buffer_capacity = 64;
+  return cfg;
+}
+
+/// Fresh scratch directory under the build tree's temp space.
+std::string scratch_dir(const std::string& tag) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / ("rlmul_dsdb_" + tag))
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Fabricated evaluation — store/journal tests don't need synthesis.
+synth::DesignEval fake_eval(double base, int n_targets = 2) {
+  synth::DesignEval eval;
+  for (int i = 0; i < n_targets; ++i) {
+    synth::SynthesisResult res;
+    res.area_um2 = base + i;
+    res.delay_ns = base * 0.25 + i;
+    res.power_mw = base * 0.125;
+    res.met_target = i % 2 == 0;
+    res.cpa = i % 2 == 0 ? netlist::CpaKind::kRippleCarry
+                         : netlist::CpaKind::kKoggeStone;
+    res.num_gates = 100 + i;
+    eval.sum_area += res.area_um2;
+    eval.sum_delay += res.delay_ns;
+    eval.sum_power += res.power_mw;
+    eval.per_target.push_back(res);
+  }
+  return eval;
+}
+
+/// Distinct trees reachable from the Wallace design (BFS over legal
+/// actions, deduplicated by canonical key).
+std::vector<ct::CompressorTree> distinct_trees(const ppg::MultiplierSpec& spec,
+                                               std::size_t count) {
+  std::vector<ct::CompressorTree> out;
+  std::vector<std::string> seen;
+  std::vector<ct::CompressorTree> frontier{ppg::initial_tree(spec)};
+  const int max_stages = ct::stage_count(frontier.front()) + 2;
+  while (!frontier.empty() && out.size() < count) {
+    ct::CompressorTree tree = frontier.back();
+    frontier.pop_back();
+    const std::string key = tree.key();
+    if (std::find(seen.begin(), seen.end(), key) != seen.end()) continue;
+    seen.push_back(key);
+    out.push_back(tree);
+    const auto mask = ct::legal_action_mask(tree, max_stages, false);
+    for (std::size_t a = 0; a < mask.size(); ++a) {
+      if (mask[a] != 0) {
+        frontier.push_back(
+            ct::apply_action(tree, ct::action_from_index(static_cast<int>(a))));
+      }
+    }
+  }
+  EXPECT_GE(out.size(), count);
+  return out;
+}
+
+dsdb::Record make_record(const ppg::MultiplierSpec& spec,
+                         const std::vector<double>& targets,
+                         const ct::CompressorTree& tree, double base) {
+  dsdb::Record rec;
+  rec.spec = spec;
+  rec.targets = targets;
+  rec.tree = tree;
+  rec.eval = fake_eval(base, static_cast<int>(targets.size()));
+  return rec;
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+
+TEST(DsdbFingerprint, DistinguishesSpecContextAndTree) {
+  const auto spec = small_spec();
+  const std::vector<double> targets{0.5, 1.0};
+  const ct::CompressorTree wallace = ppg::initial_tree(spec);
+
+  const auto base = dsdb::make_fingerprint(spec, targets, wallace);
+  EXPECT_EQ(base, dsdb::make_fingerprint(spec, targets, wallace));
+
+  ppg::MultiplierSpec wider = spec;
+  wider.bits = 6;
+  EXPECT_NE(base.full_key(),
+            dsdb::make_fingerprint(wider, targets, ppg::initial_tree(wider))
+                .full_key());
+
+  ppg::MultiplierSpec booth = spec;
+  booth.ppg = ppg::PpgKind::kBooth;
+  EXPECT_NE(base.spec_fp, dsdb::spec_fingerprint(booth));
+
+  ppg::MultiplierSpec mac = spec;
+  mac.mac = true;
+  EXPECT_NE(base.spec_fp, dsdb::spec_fingerprint(mac));
+
+  EXPECT_NE(base.ctx_fp, dsdb::context_fingerprint({0.5, 1.1}));
+  EXPECT_NE(base.ctx_fp, dsdb::context_fingerprint({0.5}));
+
+  const auto mask = ct::legal_action_mask(wallace, 100, false);
+  for (std::size_t a = 0; a < mask.size(); ++a) {
+    if (mask[a] == 0) continue;
+    const auto moved =
+        ct::apply_action(wallace, ct::action_from_index(static_cast<int>(a)));
+    EXPECT_NE(base.full_key(),
+              dsdb::make_fingerprint(spec, targets, moved).full_key());
+    break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Journal + record codec
+
+TEST(DsdbJournal, FramesRoundTrip) {
+  const std::string dir = scratch_dir("journal");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/j.rldb";
+
+  std::vector<std::uint8_t> bytes = dsdb::journal_header();
+  const std::vector<std::vector<std::uint8_t>> payloads{
+      {1, 2, 3}, {}, {0xFF, 0x00, 0xAB, 0xCD}};
+  for (const auto& p : payloads) dsdb::append_frame(bytes, p);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::vector<std::vector<std::uint8_t>> got;
+  const auto res = dsdb::replay_journal(
+      path, [&](const std::vector<std::uint8_t>& p) { got.push_back(p); });
+  EXPECT_EQ(res.records, payloads.size());
+  EXPECT_EQ(got, payloads);
+  EXPECT_FALSE(res.truncated_tail);
+  EXPECT_FALSE(res.missing);
+  EXPECT_FALSE(res.bad_header);
+  EXPECT_EQ(res.valid_bytes, bytes.size());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DsdbJournal, StopsAtCorruptFrame) {
+  const std::string dir = scratch_dir("journal_corrupt");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/j.rldb";
+
+  std::vector<std::uint8_t> bytes = dsdb::journal_header();
+  dsdb::append_frame(bytes, {1, 2, 3});
+  const std::size_t good = bytes.size();
+  dsdb::append_frame(bytes, {4, 5, 6});
+  bytes.back() ^= 0xFF;  // corrupt the second frame's payload
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::size_t records = 0;
+  const auto res = dsdb::replay_journal(
+      path, [&](const std::vector<std::uint8_t>&) { ++records; });
+  EXPECT_EQ(records, 1u);
+  EXPECT_EQ(res.valid_bytes, good);
+  EXPECT_TRUE(res.truncated_tail);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DsdbRecord, CodecRoundTripsBitIdentical) {
+  const auto spec = small_spec();
+  const std::vector<double> targets{0.45, 0.9, 1.8};
+  const auto rec =
+      make_record(spec, targets, ppg::initial_tree(spec), 123.456);
+
+  dsdb::Record back;
+  ASSERT_TRUE(dsdb::decode_record(dsdb::encode_record(rec), &back));
+  EXPECT_EQ(back.spec, rec.spec);
+  EXPECT_EQ(back.targets, rec.targets);
+  EXPECT_EQ(back.tree.key(), rec.tree.key());
+  EXPECT_EQ(back.tree.pp, rec.tree.pp);
+  ASSERT_EQ(back.eval.per_target.size(), rec.eval.per_target.size());
+  // Bit-identical: the decoder re-accumulates sums in target order.
+  EXPECT_EQ(back.eval.sum_area, rec.eval.sum_area);
+  EXPECT_EQ(back.eval.sum_delay, rec.eval.sum_delay);
+  EXPECT_EQ(back.eval.sum_power, rec.eval.sum_power);
+  for (std::size_t i = 0; i < rec.eval.per_target.size(); ++i) {
+    EXPECT_EQ(back.eval.per_target[i].area_um2,
+              rec.eval.per_target[i].area_um2);
+    EXPECT_EQ(back.eval.per_target[i].cpa, rec.eval.per_target[i].cpa);
+    EXPECT_EQ(back.eval.per_target[i].num_gates,
+              rec.eval.per_target[i].num_gates);
+  }
+  // Encode(decode(x)) == encode(x): the codec is canonical.
+  EXPECT_EQ(dsdb::encode_record(back), dsdb::encode_record(rec));
+
+  std::vector<std::uint8_t> wrong_version = dsdb::encode_record(rec);
+  wrong_version[0] ^= 0xFF;
+  EXPECT_FALSE(dsdb::decode_record(wrong_version, &back));
+}
+
+// ---------------------------------------------------------------------------
+// Store
+
+TEST(DsdbStore, PersistsAcrossReopen) {
+  const std::string dir = scratch_dir("reopen");
+  const auto spec = small_spec();
+  const std::vector<double> targets{0.5, 1.0};
+  const auto trees = distinct_trees(spec, 5);
+
+  {
+    dsdb::Store store(dir);
+    for (std::size_t i = 0; i < trees.size(); ++i) {
+      EXPECT_TRUE(store.put(make_record(spec, targets, trees[i], 10.0 + i)));
+      // Duplicate put is rejected and journaled once.
+      EXPECT_FALSE(store.put(make_record(spec, targets, trees[i], 999.0)));
+    }
+    store.flush();
+    EXPECT_EQ(store.size(), trees.size());
+  }
+
+  dsdb::Store store(dir);
+  EXPECT_EQ(store.size(), trees.size());
+  EXPECT_EQ(store.stats().replayed, trees.size());
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    synth::DesignEval eval;
+    ASSERT_TRUE(store.lookup(dsdb::make_fingerprint(spec, targets, trees[i]),
+                             &eval));
+    const auto want = fake_eval(10.0 + i, 2);
+    EXPECT_EQ(eval.sum_area, want.sum_area);
+    EXPECT_EQ(eval.sum_delay, want.sum_delay);
+  }
+  EXPECT_FALSE(store.lookup(
+      dsdb::make_fingerprint(spec, {0.123}, trees.front()), nullptr));
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DsdbStore, ConcurrentWritersReopenBitIdentical) {
+  const std::string dir = scratch_dir("hammer");
+  const auto spec = small_spec();
+  const std::vector<double> targets{0.5, 1.0};
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 8;
+  const auto trees = distinct_trees(spec, kThreads * kPerThread);
+
+  auto canonical = [&](const dsdb::Store& store) {
+    std::vector<std::vector<std::uint8_t>> blobs;
+    for (const dsdb::Record& rec : store.all_records()) {
+      blobs.push_back(dsdb::encode_record(rec));
+    }
+    std::sort(blobs.begin(), blobs.end());
+    return blobs;
+  };
+
+  std::vector<std::vector<std::uint8_t>> before;
+  {
+    dsdb::Store store(dir);
+    std::vector<std::thread> workers;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        for (std::size_t i = 0; i < kPerThread; ++i) {
+          const std::size_t idx = t * kPerThread + i;
+          store.put(make_record(spec, targets, trees[idx],
+                                static_cast<double>(idx)));
+          // Interleave lookups (some for keys other threads own).
+          synth::DesignEval eval;
+          store.lookup(
+              dsdb::make_fingerprint(spec, targets, trees[idx ^ 1]), &eval);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    store.flush();
+    EXPECT_EQ(store.size(), kThreads * kPerThread);
+    before = canonical(store);
+  }
+
+  // Reopen: the replayed index must be bit-identical to what the
+  // hammered store held.
+  dsdb::Store store(dir);
+  EXPECT_EQ(store.size(), kThreads * kPerThread);
+  EXPECT_EQ(canonical(store), before);
+  EXPECT_EQ(store.stats().dropped, 0u);
+  EXPECT_FALSE(store.stats().recovered_tail);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DsdbStore, RecoversFromTornTail) {
+  const std::string dir = scratch_dir("torn");
+  const auto spec = small_spec();
+  const std::vector<double> targets{0.5, 1.0};
+  const auto trees = distinct_trees(spec, 4);
+
+  std::uintmax_t full_size = 0;
+  {
+    dsdb::Store store(dir);
+    for (std::size_t i = 0; i < trees.size(); ++i) {
+      store.put(make_record(spec, targets, trees[i], 20.0 + i));
+    }
+    store.flush();
+    full_size = std::filesystem::file_size(store.journal_path());
+  }
+
+  const std::string journal = dir + "/journal.rldb";
+  // Tear the last record in half (a writer died mid-append)...
+  std::filesystem::resize_file(journal, full_size - 10);
+  // ...and splatter garbage after the tear for good measure.
+  {
+    std::ofstream out(journal, std::ios::binary | std::ios::app);
+    const char garbage[] = "\xde\xad\xbe\xef garbage";
+    out.write(garbage, sizeof(garbage));
+  }
+
+  {
+    dsdb::Store store(dir);
+    // Every record before the tear survives; the torn one is gone.
+    EXPECT_EQ(store.size(), trees.size() - 1);
+    EXPECT_TRUE(store.stats().recovered_tail);
+    for (std::size_t i = 0; i + 1 < trees.size(); ++i) {
+      EXPECT_TRUE(store.lookup(
+          dsdb::make_fingerprint(spec, targets, trees[i]), nullptr));
+    }
+    // The store stays writable after recovery: re-adding the lost
+    // record lands on the truncated clean boundary.
+    EXPECT_TRUE(
+        store.put(make_record(spec, targets, trees.back(), 23.0)));
+    store.flush();
+  }
+  dsdb::Store store(dir);
+  EXPECT_EQ(store.size(), trees.size());
+  EXPECT_FALSE(store.stats().recovered_tail);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DsdbStore, CompactDropsDuplicateFramesAndTail) {
+  const std::string dir = scratch_dir("compact");
+  const auto spec = small_spec();
+  const std::vector<double> targets{0.5, 1.0};
+  const auto trees = distinct_trees(spec, 6);
+
+  {
+    dsdb::Store store(dir);
+    for (std::size_t i = 0; i < trees.size(); ++i) {
+      store.put(make_record(spec, targets, trees[i], 30.0 + i));
+    }
+    store.flush();
+  }
+  // A second generation re-journals nothing (dedup), so only grow the
+  // file artificially: append a torn frame that compaction must shed.
+  {
+    std::ofstream out(dir + "/journal.rldb",
+                      std::ios::binary | std::ios::app);
+    out.write("torn", 4);
+  }
+
+  dsdb::Store store(dir);
+  EXPECT_EQ(store.size(), trees.size());
+  const std::uint64_t before = std::filesystem::file_size(dir +
+                                                          "/journal.rldb");
+  store.compact();
+  EXPECT_EQ(store.size(), trees.size());
+  EXPECT_LE(store.journal_bytes(), before);
+  EXPECT_EQ(std::filesystem::file_size(dir + "/journal.rldb"),
+            store.journal_bytes());
+
+  // Deterministic: compacting a store twice yields identical bytes.
+  store.compact();
+  std::ifstream in(dir + "/journal.rldb", std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes.size(), store.journal_bytes());
+
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator integration + budget semantics
+
+TEST(DsdbEvaluator, WarmEvaluatorSynthesizesNothingAndMatchesBitExact) {
+  const std::string dir = scratch_dir("evaluator");
+  const auto spec = small_spec();
+  const std::vector<double> targets = synth::default_targets(spec);
+  const auto trees = distinct_trees(spec, 3);
+
+  std::vector<synth::DesignEval> cold_evals;
+  {
+    dsdb::Store store(dir);
+    dsdb::EvaluatorBinding binding(store, spec, targets);
+    synth::EvaluatorOptions opts;
+    opts.external_cache = &binding;
+    synth::DesignEvaluator evaluator(spec, targets, opts);
+    for (const auto& tree : trees) {
+      cold_evals.push_back(evaluator.evaluate(tree));
+    }
+    EXPECT_GE(evaluator.num_unique_evaluations(), trees.size());
+    store.flush();
+  }
+
+  dsdb::Store store(dir);
+  dsdb::EvaluatorBinding binding(store, spec, targets);
+  synth::EvaluatorOptions opts;
+  opts.external_cache = &binding;
+  synth::DesignEvaluator evaluator(spec, targets, opts);
+  // Even the constructor's Wallace reference evaluation was a hit.
+  EXPECT_EQ(evaluator.num_unique_evaluations(), 0u);
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    const synth::DesignEval warm = evaluator.evaluate(trees[i]);
+    EXPECT_EQ(warm.sum_area, cold_evals[i].sum_area);
+    EXPECT_EQ(warm.sum_delay, cold_evals[i].sum_delay);
+    EXPECT_EQ(warm.sum_power, cold_evals[i].sum_power);
+    ASSERT_EQ(warm.per_target.size(), cold_evals[i].per_target.size());
+    for (std::size_t j = 0; j < warm.per_target.size(); ++j) {
+      EXPECT_EQ(warm.per_target[j].area_um2,
+                cold_evals[i].per_target[j].area_um2);
+      EXPECT_EQ(warm.per_target[j].delay_ns,
+                cold_evals[i].per_target[j].delay_ns);
+    }
+  }
+  EXPECT_EQ(evaluator.num_unique_evaluations(), 0u);
+  // trees[0] IS the Wallace design: the constructor's reference
+  // evaluation already pulled it from the store, so re-evaluating it is
+  // an in-memory hit. External hits = Wallace (ctor) + the other trees.
+  EXPECT_EQ(evaluator.stats().external_hits, trees.size());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DsdbEvaluator, AdmitIsFreeAndServesRepeatVisits) {
+  const auto spec = small_spec();
+  synth::DesignEvaluator evaluator(spec);
+  const std::size_t base = evaluator.num_unique_evaluations();
+
+  const auto trees = distinct_trees(spec, 2);
+  const auto eval = evaluator.evaluate(trees[1]);
+  EXPECT_EQ(evaluator.num_unique_evaluations(), base + 1);
+
+  synth::DesignEvaluator fresh(spec);
+  EXPECT_FALSE(fresh.admit(ppg::initial_tree(spec), eval));  // cached already
+  EXPECT_TRUE(fresh.admit(trees[1], eval));
+  EXPECT_EQ(fresh.num_unique_evaluations(), 1u);  // Wallace only
+  const auto served = fresh.evaluate(trees[1]);   // hit, not synthesis
+  EXPECT_EQ(served.sum_area, eval.sum_area);
+  EXPECT_EQ(fresh.num_unique_evaluations(), 1u);
+  EXPECT_EQ(fresh.stats().admitted, 1u);
+}
+
+TEST(DsdbDriver, StoredHitsDoNotChargeTheBudget) {
+  const std::string dir = scratch_dir("budget");
+  const auto spec = small_spec();
+  const std::vector<double> targets = synth::default_targets(spec);
+  search::MethodConfig cfg = tiny_config();
+
+  search::RunResult cold;
+  {
+    dsdb::Store store(dir);
+    dsdb::EvaluatorBinding binding(store, spec, targets);
+    synth::EvaluatorOptions opts;
+    opts.external_cache = &binding;
+    synth::DesignEvaluator evaluator(spec, targets, opts);
+    search::Driver driver(evaluator);
+    auto method = search::make_method("sa", cfg);
+    cold = driver.run(*method);
+    EXPECT_GT(cold.eda_consumed, 0u);
+    store.flush();
+  }
+
+  // Same search against the populated store with a budget of ONE: every
+  // evaluation is a stored hit, so the run must go the distance with
+  // zero consumed budget.
+  dsdb::Store store(dir);
+  dsdb::EvaluatorBinding binding(store, spec, targets);
+  synth::EvaluatorOptions opts;
+  opts.external_cache = &binding;
+  synth::DesignEvaluator evaluator(spec, targets, opts);
+  search::DriverOptions dopts;
+  dopts.eda_budget = 1;
+  search::Driver driver(evaluator, dopts);
+  auto method = search::make_method("sa", cfg);
+  const auto warm = driver.run(*method);
+  EXPECT_EQ(warm.eda_consumed, 0u);
+  EXPECT_EQ(warm.steps_done, cold.steps_done);
+  EXPECT_EQ(warm.best_cost, cold.best_cost);
+  EXPECT_EQ(warm.best_tree.key(), cold.best_tree.key());
+  EXPECT_EQ(warm.trajectory, cold.trajectory);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DsdbDriver, WarmStartSeedsSaAndDqn) {
+  const std::string dir = scratch_dir("warmstart");
+  const auto spec = small_spec();
+  const std::vector<double> targets = synth::default_targets(spec);
+  search::MethodConfig cfg = tiny_config();
+
+  double stored_best = 0.0;
+  {
+    dsdb::Store store(dir);
+    dsdb::EvaluatorBinding binding(store, spec, targets);
+    synth::EvaluatorOptions opts;
+    opts.external_cache = &binding;
+    synth::DesignEvaluator evaluator(spec, targets, opts);
+    search::Driver driver(evaluator);
+    auto method = search::make_method("sa", cfg);
+    stored_best = driver.run(*method).best_cost;
+    store.flush();
+  }
+
+  dsdb::Store store(dir);
+  for (const char* name : {"sa", "dqn", "a2c"}) {
+    dsdb::EvaluatorBinding binding(store, spec, targets);
+    synth::EvaluatorOptions opts;
+    opts.external_cache = &binding;
+    synth::DesignEvaluator evaluator(spec, targets, opts);
+    const search::WarmStartRecords warm =
+        store.warm_start_records(spec, evaluator.targets());
+    ASSERT_FALSE(warm.empty());
+    search::DriverOptions dopts;
+    dopts.warm_start = &warm;
+    search::Driver driver(evaluator, dopts);
+    search::MethodConfig wcfg = cfg;
+    wcfg.steps = 2;
+    wcfg.seed = 99;  // different trajectory than the cold run
+    auto method = search::make_method(name, wcfg);
+    const auto res = driver.run(*method);
+    // The warm start seeds best-so-far with the stored best, so even a
+    // 2-step run can never end worse than the stored search did.
+    EXPECT_LE(res.best_cost, stored_best) << name;
+  }
+
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Environment warm start + registry descriptions
+
+TEST(DsdbEnv, InitialTreeOverridesReset) {
+  const auto spec = small_spec();
+  synth::DesignEvaluator evaluator(spec);
+  const ct::CompressorTree wallace = ppg::initial_tree(spec);
+  const auto trees = distinct_trees(spec, 2);
+
+  rl::EnvConfig cfg;
+  cfg.initial = trees[1];
+  rl::MultiplierEnv env(evaluator, cfg);
+  EXPECT_EQ(env.tree().key(), trees[1].key());
+  env.reset();
+  EXPECT_EQ(env.tree().key(), trees[1].key());
+
+  // Stage bounds still derive from Wallace regardless of the override.
+  rl::EnvConfig plain;
+  rl::MultiplierEnv ref_env(evaluator, plain);
+  EXPECT_EQ(env.max_stages(), ref_env.max_stages());
+  EXPECT_EQ(ref_env.tree().key(), wallace.key());
+
+  // A tree from a different spec must be rejected.
+  ppg::MultiplierSpec wider = spec;
+  wider.bits = 6;
+  rl::EnvConfig bad;
+  bad.initial = ppg::initial_tree(wider);
+  EXPECT_THROW(rl::MultiplierEnv(evaluator, bad), std::invalid_argument);
+}
+
+TEST(DsdbRegistry, BuiltinsHaveDescriptions) {
+  const auto infos = search::method_infos();
+  ASSERT_EQ(infos.size(), search::registered_methods().size());
+  for (const auto& info : infos) {
+    EXPECT_FALSE(info.description.empty()) << info.name;
+  }
+  EXPECT_NE(search::method_description("dqn").find("Q-learning"),
+            std::string::npos);
+  EXPECT_TRUE(search::method_description("no_such_method").empty());
+
+  search::register_method(
+      "custom_probe",
+      [](const search::MethodConfig& cfg) {
+        return search::make_method("sa", cfg);
+      },
+      "test-only probe");
+  EXPECT_EQ(search::method_description("custom_probe"), "test-only probe");
+}
+
+}  // namespace
