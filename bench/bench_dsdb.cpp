@@ -14,6 +14,7 @@
 
 #include "bench/harness.hpp"
 #include "dsdb/store.hpp"
+#include "util/build_info.hpp"
 #include "pareto/pareto.hpp"
 #include "search/driver.hpp"
 #include "search/registry.hpp"
@@ -98,6 +99,7 @@ int main() {
       "journal, warm must serve every evaluation from the store "
       "(unique_synth 0).\",\n",
       cfg.steps);
+  std::printf("  \"build\": \"%s\",\n", util::build_info().c_str());
   std::printf("  \"methods\": {\n");
 
   const std::vector<std::string> methods{"dqn", "sa"};

@@ -29,6 +29,7 @@
 #include "sta/sta.hpp"
 #include "synth/evaluator.hpp"
 #include "synth/synth.hpp"
+#include "util/build_info.hpp"
 #include "util/perf_counters.hpp"
 #include "util/rng.hpp"
 
@@ -325,7 +326,10 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   // Machine-readable throughput counters; the CI smoke test parses
-  // this line, so keep the `RLMUL_COUNTERS ` prefix stable.
+  // this line, so keep the `RLMUL_COUNTERS ` prefix stable. The
+  // RLMUL_BUILD line records which build (compiler/sanitizers/TSA)
+  // produced the numbers.
+  std::printf("RLMUL_BUILD %s\n", rlmul::util::build_info().c_str());
   std::printf("RLMUL_COUNTERS %s\n",
               rlmul::util::format_perf_counters().c_str());
   return 0;

@@ -9,6 +9,7 @@
 #include "search/registry.hpp"
 #include "synth/synth.hpp"
 #include "util/ascii_plot.hpp"
+#include "util/build_info.hpp"
 #include "util/config.hpp"
 #include "util/csv.hpp"
 #include "util/perf_counters.hpp"
@@ -214,6 +215,9 @@ std::vector<MethodFrontier> run_all_methods(const ppg::MultiplierSpec& spec,
 }
 
 void print_perf_counters() {
+  // Provenance first, counters second: anything archiving the counters
+  // line can also capture which build produced it.
+  std::printf("RLMUL_BUILD %s\n", util::build_info().c_str());
   std::printf("RLMUL_COUNTERS %s\n", util::format_perf_counters().c_str());
 }
 

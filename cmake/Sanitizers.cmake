@@ -1,0 +1,61 @@
+# Sanitizer presets: -DRLMUL_SANITIZE=<list> turns on one of the
+# supported combinations. Flags are applied globally (compile + link)
+# so every static library, test and bench in the tree is instrumented —
+# mixing instrumented and uninstrumented TUs is how sanitizers miss
+# races. Supported values:
+#
+#   address;undefined   the correctness build (CI job 2)
+#   thread              the data-race build (CI job 3, `ctest -L tsan`)
+#   leak                standalone LeakSanitizer (ASan already includes it)
+#
+# Runtime options (halt-on-error, suppression files) live under
+# tools/sanitizers/ and are exported via ASAN_OPTIONS / UBSAN_OPTIONS /
+# TSAN_OPTIONS / LSAN_OPTIONS — see tools/sanitizers/README.md.
+
+set(RLMUL_SANITIZE "" CACHE STRING
+    "Semicolon- or comma-separated sanitizers: address;undefined | thread | leak")
+
+if(RLMUL_SANITIZE)
+  string(REPLACE "," ";" _rlmul_san "${RLMUL_SANITIZE}")
+
+  foreach(_s IN LISTS _rlmul_san)
+    if(NOT _s MATCHES "^(address|undefined|thread|leak)$")
+      message(FATAL_ERROR
+        "RLMUL_SANITIZE: unknown sanitizer '${_s}' "
+        "(supported: address, undefined, thread, leak)")
+    endif()
+  endforeach()
+
+  if("thread" IN_LIST _rlmul_san AND
+     ("address" IN_LIST _rlmul_san OR "leak" IN_LIST _rlmul_san))
+    message(FATAL_ERROR
+      "RLMUL_SANITIZE: 'thread' cannot be combined with 'address'/'leak' "
+      "(the runtimes are mutually exclusive) — use separate builds")
+  endif()
+
+  string(JOIN "," _rlmul_san_joined ${_rlmul_san})
+  message(STATUS "RLMUL_SANITIZE: -fsanitize=${_rlmul_san_joined}")
+
+  # Force the flags into every target in the tree (cache-forced in the
+  # sense that reconfiguring with a different RLMUL_SANITIZE fully
+  # replaces them — they are derived here, never hand-edited in cache).
+  add_compile_options(
+    -fsanitize=${_rlmul_san_joined}
+    -fno-omit-frame-pointer
+    -g)
+  add_link_options(-fsanitize=${_rlmul_san_joined})
+
+  if("undefined" IN_LIST _rlmul_san)
+    # Make every UBSan finding fatal at the point of detection (the
+    # compile-time side of halt_on_error): a silent
+    # print-and-continue UB report cannot gate CI.
+    add_compile_options(-fno-sanitize-recover=undefined)
+  endif()
+
+  # Build provenance for util::build_info() / the RLMUL_BUILD line.
+  add_compile_definitions(RLMUL_SANITIZERS="${_rlmul_san_joined}")
+
+  # Sanitized builds want symbols and no aggressive inlining surprises;
+  # keep the user's build type but default an unset one to RelWithDebInfo
+  # (already the project default) rather than bare Release.
+endif()

@@ -1,0 +1,59 @@
+# Clang thread-safety analysis: -DRLMUL_THREAD_SAFETY_ANALYSIS=ON
+# compiles the whole tree with -Werror=thread-safety, turning lock-
+# discipline violations (unguarded access to a RLMUL_GUARDED_BY member,
+# missing RLMUL_REQUIRES, lock leaks) into build failures. Requires
+# Clang — the annotations in src/util/thread_annotations.hpp are no-ops
+# everywhere else, so this option refuses to pretend-analyze under GCC.
+#
+# To prove the analysis is actually live (and not silently disabled by
+# a macro or flag regression), configuration runs two probes:
+#   - tsa_probe_positive.cpp: lock-disciplined code MUST compile;
+#   - tsa_probe_negative.cpp: an unguarded access MUST be rejected.
+# A negative probe that compiles is a hard configure error.
+
+option(RLMUL_THREAD_SAFETY_ANALYSIS
+       "Compile with Clang -Werror=thread-safety (requires Clang)" OFF)
+
+if(RLMUL_THREAD_SAFETY_ANALYSIS)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(FATAL_ERROR
+      "RLMUL_THREAD_SAFETY_ANALYSIS requires Clang (got "
+      "${CMAKE_CXX_COMPILER_ID}); the RLMUL_* annotations are no-ops on "
+      "this compiler so the analysis would silently check nothing")
+  endif()
+
+  add_compile_options(-Wthread-safety -Werror=thread-safety)
+  add_compile_definitions(RLMUL_TSA_ENABLED=1)
+
+  set(_tsa_flags
+    "-DCOMPILE_DEFINITIONS:STRING=-Wthread-safety -Werror=thread-safety")
+  set(_tsa_inc "-DINCLUDE_DIRECTORIES:STRING=${CMAKE_SOURCE_DIR}/src")
+
+  try_compile(RLMUL_TSA_POSITIVE_OK
+    ${CMAKE_BINARY_DIR}/tsa_probe_positive
+    ${CMAKE_SOURCE_DIR}/cmake/tsa_probe_positive.cpp
+    CMAKE_FLAGS ${_tsa_flags} ${_tsa_inc}
+    CXX_STANDARD 20 CXX_STANDARD_REQUIRED ON
+    OUTPUT_VARIABLE _tsa_pos_out)
+  if(NOT RLMUL_TSA_POSITIVE_OK)
+    message(FATAL_ERROR
+      "thread-safety probe: correctly guarded code failed to compile "
+      "under -Werror=thread-safety — the util/sync.hpp shims are broken:\n"
+      "${_tsa_pos_out}")
+  endif()
+
+  try_compile(RLMUL_TSA_NEGATIVE_OK
+    ${CMAKE_BINARY_DIR}/tsa_probe_negative
+    ${CMAKE_SOURCE_DIR}/cmake/tsa_probe_negative.cpp
+    CMAKE_FLAGS ${_tsa_flags} ${_tsa_inc}
+    CXX_STANDARD 20 CXX_STANDARD_REQUIRED ON)
+  if(RLMUL_TSA_NEGATIVE_OK)
+    message(FATAL_ERROR
+      "thread-safety probe: an UNGUARDED access to a RLMUL_GUARDED_BY "
+      "member compiled cleanly — the analysis is not live (macro or "
+      "flag regression in util/thread_annotations.hpp)")
+  endif()
+  message(STATUS
+    "RLMUL_THREAD_SAFETY_ANALYSIS: live (-Werror=thread-safety; "
+    "negative probe correctly rejected)")
+endif()

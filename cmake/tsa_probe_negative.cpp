@@ -1,0 +1,25 @@
+// Configure-time probe (cmake/ThreadSafety.cmake): this TU contains a
+// deliberate lock-discipline violation — reading a RLMUL_GUARDED_BY
+// member without holding its mutex. Under a live -Werror=thread-safety
+// build it MUST fail to compile; if it ever compiles, the analysis has
+// been silently disabled and configuration aborts.
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Guarded {
+ public:
+  int racy_read() { return value_; }  // BUG (intentional): mu_ not held
+
+ private:
+  rlmul::util::Mutex mu_;
+  int value_ RLMUL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  return g.racy_read();
+}

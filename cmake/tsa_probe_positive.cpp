@@ -1,0 +1,42 @@
+// Configure-time probe (cmake/ThreadSafety.cmake): lock-disciplined
+// use of the util/sync.hpp shims must compile cleanly under
+// -Werror=thread-safety. If this fails, the shim annotations broke.
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Guarded {
+ public:
+  void set(int v) {
+    rlmul::util::LockGuard lock(mu_);
+    value_ = v;
+  }
+  int get() {
+    rlmul::util::LockGuard lock(mu_);
+    return value_;
+  }
+  void wait_nonzero() {
+    rlmul::util::UniqueLock lock(mu_);
+    while (value_ == 0) cv_.wait(lock);
+  }
+  void set_locked(int v) RLMUL_REQUIRES(mu_) { value_ = v; }
+  void from_caller() {
+    rlmul::util::LockGuard lock(mu_);
+    set_locked(7);
+  }
+
+ private:
+  rlmul::util::Mutex mu_;
+  rlmul::util::CondVar cv_;
+  int value_ RLMUL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.set(1);
+  g.from_caller();
+  return g.get() == 7 ? 0 : 1;
+}

@@ -41,6 +41,7 @@
 #include "sim/simulator.hpp"
 #include "synth/evaluator.hpp"
 #include "synth/synth.hpp"
+#include "util/build_info.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
 
@@ -279,6 +280,7 @@ int cmd_optimize(const Args& args, const ppg::MultiplierSpec& spec) {
               evaluator.cost(best_eval, 1.0, 1.0),
               evaluator.num_unique_evaluations());
   std::printf("%s\n", ct::to_string(res.best_tree).c_str());
+  std::printf("RLMUL_BUILD %s\n", util::build_info().c_str());
   if (store != nullptr) {
     store->flush();
     const dsdb::Store::Stats st = store->stats();

@@ -13,6 +13,12 @@
 // writer, on opening a journal with a corrupt tail, truncates the file
 // back to the last valid frame so new appends start from a clean
 // boundary.
+//
+// Thread safety: everything here is a pure function over its arguments
+// (no shared state, nothing to annotate) — callers synchronize access
+// to the underlying fd/file. In-process that caller is dsdb::Store,
+// whose file_mu_ serializes appends and compaction; across processes
+// the store's flock()ed LOCK file admits a single writer.
 
 #include <cstdint>
 #include <functional>

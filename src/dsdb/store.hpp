@@ -16,10 +16,8 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -30,6 +28,8 @@
 #include "ppg/ppg.hpp"
 #include "search/warm_start.hpp"
 #include "synth/evaluator.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rlmul::dsdb {
 
@@ -116,14 +116,27 @@ class Store {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, Record> map;
+    mutable util::Mutex mu;
+    std::unordered_map<std::string, Record> map RLMUL_GUARDED_BY(mu);
   };
   static constexpr std::size_t kShards = 16;
 
+  // Lock ordering (see docs/architecture.md "Concurrency invariants"):
+  // a thread holding a Shard::mu never takes another shard, qmu_ or
+  // file_mu_; compact() takes file_mu_ first and then every shard.
+  // qmu_ and file_mu_ are never held together except by compact()
+  // indirectly through flush() (which takes qmu_ alone, then file_mu_
+  // alone) — there is no path that nests one inside the other.
+
   Shard& shard_for(const std::string& full_key) const;
   void writer_loop();
-  void open_journal();
+  /// Constructor-only: runs before the writer thread exists, so the
+  /// journal_fd_ writes need no lock yet (and the analysis is waived).
+  void open_journal() RLMUL_NO_THREAD_SAFETY_ANALYSIS;
+  /// Every live record, copied out under all 16 shard locks (taken in
+  /// array order). The analysis cannot model a runtime-sized vector of
+  /// scoped locks, so this helper is its exempt boundary.
+  std::vector<Record> snapshot_records() const RLMUL_NO_THREAD_SAFETY_ANALYSIS;
 
   std::string dir_;
   StoreOptions opts_;
@@ -131,23 +144,27 @@ class Store {
   mutable std::array<Shard, kShards> shards_;
 
   int lock_fd_ = -1;
-  int journal_fd_ = -1;
-  mutable std::mutex file_mu_;  ///< guards journal_fd_ writes + compact
+  /// Written only by open_journal() (constructor context) and
+  /// compact(); journal appends go through it under file_mu_.
+  int journal_fd_ RLMUL_GUARDED_BY(file_mu_) = -1;
+  mutable util::Mutex file_mu_;  ///< guards journal_fd_ writes + compact
   std::atomic<std::uint64_t> journal_bytes_{0};
 
   std::thread writer_;
-  std::mutex qmu_;
-  std::condition_variable qcv_;       ///< writer wakeup
-  std::condition_variable drained_cv_; ///< flush() wakeup
-  std::deque<std::vector<std::uint8_t>> queue_;  ///< pre-built frames
-  std::uint64_t enqueued_ = 0;
-  std::uint64_t written_ = 0;
-  bool stop_ = false;
+  util::Mutex qmu_;
+  util::CondVar qcv_;          ///< writer wakeup; paired with qmu_
+  util::CondVar drained_cv_;   ///< flush() wakeup; paired with qmu_
+  /// Pre-built frames awaiting the writer thread.
+  std::deque<std::vector<std::uint8_t>> queue_ RLMUL_GUARDED_BY(qmu_);
+  std::uint64_t enqueued_ RLMUL_GUARDED_BY(qmu_) = 0;
+  std::uint64_t written_ RLMUL_GUARDED_BY(qmu_) = 0;
+  bool stop_ RLMUL_GUARDED_BY(qmu_) = false;
 
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> appends_{0};
   std::atomic<std::uint64_t> flushes_{0};
+  // Set during open (before the writer thread exists), immutable after.
   std::size_t replayed_ = 0;
   std::size_t dropped_ = 0;
   bool recovered_tail_ = false;

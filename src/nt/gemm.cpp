@@ -16,6 +16,13 @@
 #include "util/perf_counters.hpp"
 #include "util/thread_pool.hpp"
 
+// Concurrency model (no mutex, nothing for RLMUL_GUARDED_BY): the
+// parallel schedule partitions C into disjoint row blocks, one pool
+// task per block, so no two tasks ever write the same element; shared
+// configuration (mode/max-threads flags) is read through relaxed
+// atomics; pack buffers come from thread_local arenas so tasks never
+// share scratch. The tsan-labeled test_gemm suite checks
+// thread-invariance of the results.
 namespace rlmul::nt {
 namespace {
 

@@ -11,6 +11,12 @@
 // step itself onto that pool would stack two blocking levels and can
 // deadlock a one-worker (CI) configuration; two distinct pools keep
 // each strictly one level deep.
+//
+// Concurrency invariant (no mutex, by construction): step_all submits
+// exactly one task per environment, so each MultiplierEnv has a single
+// writer at any time; cross-env state lives behind the evaluator's own
+// lock. Between step_all calls the caller is the only thread touching
+// the envs — observe_batch/masks/trees must not overlap a step_all.
 
 #include <cstdint>
 #include <memory>

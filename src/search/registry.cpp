@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 #include "search/methods.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rlmul::search {
 
@@ -16,45 +18,44 @@ struct Entry {
   std::string description;
 };
 
-std::map<std::string, Entry>& table() {
-  static std::map<std::string, Entry> t;
-  return t;
-}
+// The name→factory table plus the mutex that guards it, one singleton
+// so the builtins are registered exactly once under the C++ magic-
+// static guarantee (constructors are exempt from the thread-safety
+// analysis — nothing else can reference the object yet).
+struct Registry {
+  util::Mutex mu;
+  std::map<std::string, Entry> table RLMUL_GUARDED_BY(mu);
 
-std::mutex& table_mutex() {
-  static std::mutex m;
-  return m;
-}
-
-void ensure_builtins() {
-  static std::once_flag once;
-  std::call_once(once, []() {
-    std::lock_guard<std::mutex> lock(table_mutex());
-    auto& t = table();
-    t["sa"] = {[](const MethodConfig& cfg) {
-                 return std::make_unique<SaMethod>(cfg);
-               },
-               "simulated annealing with Metropolis acceptance "
-               "(paper baseline)"};
-    t["dqn"] = {[](const MethodConfig& cfg) {
-                  return std::make_unique<DqnMethod>(cfg);
-                },
-                "RL-MUL: deep Q-learning with replay buffer "
-                "(Algorithm 3)"};
-    t["a2c"] = {[](const MethodConfig& cfg) {
-                  return std::make_unique<A2cMethod>(cfg);
-                },
-                "RL-MUL-E: synchronous A2C over parallel environments "
-                "(Algorithm 4)"};
-    t["gomil"] = {[](const MethodConfig& cfg) {
-                    return std::make_unique<GomilMethod>(cfg);
-                  },
-                  "GOMIL one-shot ILP baseline"};
-    t["wallace"] = {[](const MethodConfig& cfg) {
-                      return std::make_unique<WallaceMethod>(cfg);
+  Registry() {
+    table["sa"] = {[](const MethodConfig& cfg) {
+                     return std::make_unique<SaMethod>(cfg);
+                   },
+                   "simulated annealing with Metropolis acceptance "
+                   "(paper baseline)"};
+    table["dqn"] = {[](const MethodConfig& cfg) {
+                      return std::make_unique<DqnMethod>(cfg);
                     },
-                    "classic Wallace-tree one-shot baseline"};
-  });
+                    "RL-MUL: deep Q-learning with replay buffer "
+                    "(Algorithm 3)"};
+    table["a2c"] = {[](const MethodConfig& cfg) {
+                      return std::make_unique<A2cMethod>(cfg);
+                    },
+                    "RL-MUL-E: synchronous A2C over parallel environments "
+                    "(Algorithm 4)"};
+    table["gomil"] = {[](const MethodConfig& cfg) {
+                        return std::make_unique<GomilMethod>(cfg);
+                      },
+                      "GOMIL one-shot ILP baseline"};
+    table["wallace"] = {[](const MethodConfig& cfg) {
+                          return std::make_unique<WallaceMethod>(cfg);
+                        },
+                        "classic Wallace-tree one-shot baseline"};
+  }
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
 }
 
 }  // namespace
@@ -65,54 +66,60 @@ void register_method(const std::string& name, MethodFactory factory) {
 
 void register_method(const std::string& name, MethodFactory factory,
                      std::string description) {
-  ensure_builtins();
-  std::lock_guard<std::mutex> lock(table_mutex());
-  table()[name] = {std::move(factory), std::move(description)};
+  Registry& r = registry();
+  util::LockGuard lock(r.mu);
+  r.table[name] = {std::move(factory), std::move(description)};
 }
 
 bool is_registered(const std::string& name) {
-  ensure_builtins();
-  std::lock_guard<std::mutex> lock(table_mutex());
-  return table().count(name) != 0;
+  Registry& r = registry();
+  util::LockGuard lock(r.mu);
+  return r.table.count(name) != 0;
 }
 
 std::unique_ptr<Method> make_method(const std::string& name,
                                     const MethodConfig& cfg) {
-  ensure_builtins();
-  std::lock_guard<std::mutex> lock(table_mutex());
-  const auto it = table().find(name);
-  if (it == table().end()) {
-    std::string known;
-    for (const auto& [n, e] : table()) {
-      if (!known.empty()) known += "|";
-      known += n;
+  Registry& r = registry();
+  MethodFactory factory;
+  {
+    util::LockGuard lock(r.mu);
+    const auto it = r.table.find(name);
+    if (it == r.table.end()) {
+      std::string known;
+      for (const auto& [n, e] : r.table) {
+        if (!known.empty()) known += "|";
+        known += n;
+      }
+      throw std::invalid_argument("unknown search method '" + name +
+                                  "' (registered: " + known + ")");
     }
-    throw std::invalid_argument("unknown search method '" + name +
-                                "' (registered: " + known + ")");
+    factory = it->second.factory;
   }
-  return it->second.factory(cfg);
+  // Run the factory outside the lock: a method constructor is free to
+  // call back into the registry (e.g. a meta-method composing others).
+  return factory(cfg);
 }
 
 std::vector<std::string> registered_methods() {
-  ensure_builtins();
-  std::lock_guard<std::mutex> lock(table_mutex());
+  Registry& r = registry();
+  util::LockGuard lock(r.mu);
   std::vector<std::string> out;
-  for (const auto& [name, entry] : table()) out.push_back(name);
+  for (const auto& [name, entry] : r.table) out.push_back(name);
   return out;  // std::map iterates sorted
 }
 
 std::string method_description(const std::string& name) {
-  ensure_builtins();
-  std::lock_guard<std::mutex> lock(table_mutex());
-  const auto it = table().find(name);
-  return it != table().end() ? it->second.description : std::string();
+  Registry& r = registry();
+  util::LockGuard lock(r.mu);
+  const auto it = r.table.find(name);
+  return it != r.table.end() ? it->second.description : std::string();
 }
 
 std::vector<MethodInfo> method_infos() {
-  ensure_builtins();
-  std::lock_guard<std::mutex> lock(table_mutex());
+  Registry& r = registry();
+  util::LockGuard lock(r.mu);
   std::vector<MethodInfo> out;
-  for (const auto& [name, entry] : table()) {
+  for (const auto& [name, entry] : r.table) {
     out.push_back({name, entry.description});
   }
   return out;  // std::map iterates sorted

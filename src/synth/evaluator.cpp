@@ -134,7 +134,7 @@ std::size_t DesignEvaluator::install_locked(const std::string& key,
 DesignEval DesignEvaluator::evaluate(const ct::CompressorTree& tree) {
   const std::string key = tree.key();
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::UniqueLock lock(mu_);
     for (;;) {
       auto it = index_.find(key);
       if (it != index_.end()) {
@@ -161,7 +161,7 @@ DesignEval DesignEvaluator::evaluate(const ct::CompressorTree& tree) {
   if (opts_.external_cache != nullptr) {
     DesignEval stored;
     if (opts_.external_cache->lookup(key, tree, stored)) {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::LockGuard lock(mu_);
       in_flight_.erase(key);
       ++external_hits_;
       const std::size_t idx = install_locked(key, tree, stored);
@@ -175,7 +175,7 @@ DesignEval DesignEvaluator::evaluate(const ct::CompressorTree& tree) {
   try {
     eval = compute(tree, key);
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::LockGuard lock(mu_);
     in_flight_.erase(key);
     cv_.notify_all();
     throw;
@@ -183,7 +183,7 @@ DesignEval DesignEvaluator::evaluate(const ct::CompressorTree& tree) {
 
   std::size_t idx = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::LockGuard lock(mu_);
     in_flight_.erase(key);
     const std::size_t before = designs_.size();
     idx = install_locked(key, tree, eval);
@@ -205,7 +205,7 @@ DesignEval DesignEvaluator::evaluate(const ct::CompressorTree& tree) {
 bool DesignEvaluator::admit(const ct::CompressorTree& tree,
                             const DesignEval& eval) {
   const std::string key = tree.key();
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   if (index_.count(key) != 0 || in_flight_.count(key) != 0) return false;
   install_locked(key, tree, eval);
   ++admitted_;
@@ -219,32 +219,32 @@ double DesignEvaluator::cost(const DesignEval& eval, double w_area,
 }
 
 std::size_t DesignEvaluator::num_unique_evaluations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   return synthesized_;
 }
 
 pareto::Front DesignEvaluator::frontier() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   return frontier_;
 }
 
 ct::CompressorTree DesignEvaluator::design(std::size_t index) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   return designs_.at(index);
 }
 
 std::size_t DesignEvaluator::num_designs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   return designs_.size();
 }
 
 DesignEval DesignEvaluator::eval_of(std::size_t index) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   return evals_.at(index);
 }
 
 DesignEvaluator::Stats DesignEvaluator::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   Stats s;
   s.unique_evals = synthesized_;
   s.cache_hits = cache_hits_;

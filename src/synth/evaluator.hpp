@@ -18,11 +18,9 @@
 // fans the per-target synthesis out to a thread pool. Results are
 // bit-identical to the serial legacy pipeline (RLMUL_FASTPATH=0).
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -32,6 +30,8 @@
 #include "pareto/pareto.hpp"
 #include "ppg/ppg.hpp"
 #include "synth/synth.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rlmul::synth {
@@ -145,7 +145,7 @@ class DesignEvaluator {
   /// Installs into index_/designs_/evals_/frontier_; caller holds mu_.
   std::size_t install_locked(const std::string& key,
                              const ct::CompressorTree& tree,
-                             const DesignEval& eval);
+                             const DesignEval& eval) RLMUL_REQUIRES(mu_);
 
   ppg::MultiplierSpec spec_;
   std::vector<double> targets_;
@@ -157,18 +157,19 @@ class DesignEvaluator {
   std::unique_ptr<util::ThreadPool> owned_pool_;
   util::ThreadPool* pool_ = nullptr;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_set<std::string> in_flight_;
-  std::size_t cache_hits_ = 0;
-  std::size_t inflight_waits_ = 0;
-  std::size_t synthesized_ = 0;    ///< designs this process computed
-  std::size_t external_hits_ = 0;
-  std::size_t admitted_ = 0;
-  std::unordered_map<std::string, std::size_t> index_;
-  std::vector<ct::CompressorTree> designs_;
-  std::vector<DesignEval> evals_;
-  pareto::Front frontier_;
+  mutable util::Mutex mu_;
+  util::CondVar cv_;  ///< signals in-flight completion; paired with mu_
+  std::unordered_set<std::string> in_flight_ RLMUL_GUARDED_BY(mu_);
+  std::size_t cache_hits_ RLMUL_GUARDED_BY(mu_) = 0;
+  std::size_t inflight_waits_ RLMUL_GUARDED_BY(mu_) = 0;
+  /// Designs this process computed.
+  std::size_t synthesized_ RLMUL_GUARDED_BY(mu_) = 0;
+  std::size_t external_hits_ RLMUL_GUARDED_BY(mu_) = 0;
+  std::size_t admitted_ RLMUL_GUARDED_BY(mu_) = 0;
+  std::unordered_map<std::string, std::size_t> index_ RLMUL_GUARDED_BY(mu_);
+  std::vector<ct::CompressorTree> designs_ RLMUL_GUARDED_BY(mu_);
+  std::vector<DesignEval> evals_ RLMUL_GUARDED_BY(mu_);
+  pareto::Front frontier_ RLMUL_GUARDED_BY(mu_);
 };
 
 }  // namespace rlmul::synth

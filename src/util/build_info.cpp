@@ -1,0 +1,32 @@
+#include "util/build_info.hpp"
+
+#include <sstream>
+
+namespace rlmul::util {
+
+std::string build_info() {
+  std::ostringstream os;
+  os << "compiler=";
+#if defined(__clang__)
+  os << "clang-" << __clang_major__ << "." << __clang_minor__;
+#elif defined(__GNUC__)
+  os << "gcc-" << __GNUC__ << "." << __GNUC_MINOR__;
+#else
+  os << "unknown";
+#endif
+  // RLMUL_SANITIZERS is injected by cmake/Sanitizers.cmake as the
+  // comma-joined -fsanitize= list (e.g. "address,undefined").
+#if defined(RLMUL_SANITIZERS)
+  os << " sanitizers=" << RLMUL_SANITIZERS;
+#else
+  os << " sanitizers=none";
+#endif
+#if defined(RLMUL_TSA_ENABLED)
+  os << " thread_safety_analysis=on";
+#else
+  os << " thread_safety_analysis=off";
+#endif
+  return os.str();
+}
+
+}  // namespace rlmul::util

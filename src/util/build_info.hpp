@@ -1,0 +1,17 @@
+#pragma once
+// Build provenance for results files: one `key=value` line naming the
+// compiler, the active sanitizers and whether the Clang thread-safety
+// analysis was on, so a results/BENCH_*.json (or any RLMUL_COUNTERS
+// log) records which build configuration produced it. Printed as
+// `RLMUL_BUILD <line>` by the CLI and every bench binary.
+
+#include <string>
+
+namespace rlmul::util {
+
+/// `compiler=gcc-12.2 sanitizers=address,undefined
+///  thread_safety_analysis=off` — stable key order, plain tokens, no
+/// spaces inside a value (the same parsing contract as RLMUL_COUNTERS).
+std::string build_info();
+
+}  // namespace rlmul::util

@@ -4,7 +4,11 @@
 // report exactly where those calls go: unique evaluations vs cache
 // hits, netlists built from scratch vs reused from a prepared design,
 // and full vs incremental STA updates. All fields are relaxed atomics —
-// they are statistics, not synchronization.
+// they are statistics, not synchronization — so no capability
+// annotation applies; reset() is documented single-threaded (benches
+// call it between A/B phases with no workers in flight) and a
+// concurrent fetch_add against reset() is a torn *snapshot*, never a
+// data race.
 
 #include <atomic>
 #include <cstdint>

@@ -1,0 +1,107 @@
+#pragma once
+// Annotated synchronization shims: drop-in wrappers over std::mutex /
+// std::condition_variable that carry the Clang thread-safety capability
+// attributes from util/thread_annotations.hpp. All shared-state modules
+// use these instead of the raw std types so that
+// -DRLMUL_THREAD_SAFETY_ANALYSIS=ON (Clang) can prove the lock
+// discipline at compile time; under any other compiler they compile to
+// exactly the std types with zero overhead.
+//
+// The condition-variable wait contract: CondVar::wait takes a
+// UniqueLock that the analysis considers held across the call. That is
+// the right model — the predicate and the code after wait() run with
+// the mutex re-acquired, and the transient release inside wait() is
+// invisible to (and irrelevant for) lock-discipline checking.
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace rlmul::util {
+
+/// std::mutex with a capability attribute so GUARDED_BY/REQUIRES
+/// declarations can reference it.
+class RLMUL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RLMUL_ACQUIRE() { mu_.lock(); }
+  void unlock() RLMUL_RELEASE() { mu_.unlock(); }
+  bool try_lock() RLMUL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped mutex, for interop (CondVar waits through it). Usable
+  /// only inside this header's shims — going through native() strips
+  /// the capability and hides accesses from the analysis.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::lock_guard over Mutex, visible to the analysis as a scoped
+/// acquire/release.
+class RLMUL_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) RLMUL_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() RLMUL_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock over Mutex — the handle CondVar::wait requires.
+/// Unlike LockGuard it can be released early and re-acquired.
+class RLMUL_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) RLMUL_ACQUIRE(mu)
+      : mu_(&mu), lk_(mu.native()) {}
+  // Empty body (not `= default`): GNU attributes cannot decorate a
+  // defaulted member. The wrapped std::unique_lock still unlocks iff
+  // it owns the mutex when the members destruct.
+  ~UniqueLock() RLMUL_RELEASE() {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() RLMUL_ACQUIRE() { lk_.lock(); }
+  void unlock() RLMUL_RELEASE() { lk_.unlock(); }
+  bool owns_lock() const { return lk_.owns_lock(); }
+
+  std::unique_lock<std::mutex>& native() { return lk_; }
+  Mutex& mutex() RLMUL_RETURN_CAPABILITY(*mu_) { return *mu_; }
+
+ private:
+  Mutex* mu_;
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// std::condition_variable bound to the annotated lock types. The wait
+/// overloads re-establish the lock before returning, so callers keep
+/// their REQUIRES obligations without extra annotations.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(UniqueLock& lock) { cv_.wait(lock.native()); }
+
+  template <class Pred>
+  void wait(UniqueLock& lock, Pred pred) {
+    cv_.wait(lock.native(), std::move(pred));
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace rlmul::util

@@ -1,0 +1,63 @@
+#pragma once
+// Portable wrappers over Clang's thread-safety-analysis attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). On Clang,
+// building with -DRLMUL_THREAD_SAFETY_ANALYSIS=ON turns lock-discipline
+// violations into -Werror=thread-safety build failures; every other
+// compiler sees plain no-ops, so the annotations cost nothing and the
+// code stays portable. Use them through the util::Mutex / util::CondVar
+// / util::LockGuard shims in util/sync.hpp — std::mutex itself carries
+// no capability attribute and is invisible to the analysis (and the
+// repo lint rejects raw std::mutex members outside that shim).
+
+#if defined(__clang__) && !defined(SWIG)
+#define RLMUL_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define RLMUL_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" in diagnostics).
+#define RLMUL_CAPABILITY(x) RLMUL_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability.
+#define RLMUL_SCOPED_CAPABILITY RLMUL_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define RLMUL_GUARDED_BY(x) RLMUL_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x`.
+#define RLMUL_PT_GUARDED_BY(x) RLMUL_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability (caller must already hold it).
+#define RLMUL_REQUIRES(...) \
+  RLMUL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function must be called with the capability *not* held.
+#define RLMUL_EXCLUDES(...) RLMUL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability (and does not release it).
+#define RLMUL_ACQUIRE(...) \
+  RLMUL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define RLMUL_RELEASE(...) \
+  RLMUL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define RLMUL_TRY_ACQUIRE(b, ...) \
+  RLMUL_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Declares a required acquisition order between capabilities.
+#define RLMUL_ACQUIRED_BEFORE(...) \
+  RLMUL_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define RLMUL_ACQUIRED_AFTER(...) \
+  RLMUL_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Return value is a reference to data guarded by the capability.
+#define RLMUL_RETURN_CAPABILITY(x) RLMUL_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot model (e.g. locking a
+/// runtime-indexed array of shard mutexes). Every use must carry a
+/// comment justifying why the discipline holds anyway.
+#define RLMUL_NO_THREAD_SAFETY_ANALYSIS \
+  RLMUL_THREAD_ANNOTATION(no_thread_safety_analysis)

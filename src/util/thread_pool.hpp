@@ -5,15 +5,16 @@
 // other pool tasks — the pool is used strictly one level deep, so a
 // single worker (the 1-CPU CI case) still drains every queue.
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rlmul::util {
 
@@ -36,7 +37,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      LockGuard lock(mu_);
       queue_.emplace_back([task]() { (*task)(); });
     }
     cv_.notify_one();
@@ -50,11 +51,11 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ RLMUL_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  ///< written only in ctor/dtor
+  bool stop_ RLMUL_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace rlmul::util

@@ -17,6 +17,21 @@ if [ "$status" -ne 0 ]; then
   exit 1
 fi
 
+build_line="$(printf '%s\n' "$out" | grep '^RLMUL_BUILD ' | tail -n 1)"
+if [ -z "$build_line" ]; then
+  echo "$out"
+  echo "FAIL: no RLMUL_BUILD provenance line in bench_micro output"
+  exit 1
+fi
+for key in compiler sanitizers thread_safety_analysis; do
+  if ! printf '%s\n' "$build_line" | grep -q " $key="; then
+    echo "$build_line"
+    echo "FAIL: RLMUL_BUILD line missing '$key='"
+    exit 1
+  fi
+done
+echo "$build_line"
+
 line="$(printf '%s\n' "$out" | grep '^RLMUL_COUNTERS ' | tail -n 1)"
 if [ -z "$line" ]; then
   echo "$out"

@@ -32,6 +32,14 @@ if [ -z "$line1" ]; then
 fi
 echo "cold: $line1"
 
+build1="$(printf '%s\n' "$out1" | grep '^RLMUL_BUILD ' | tail -n 1)"
+if [ -z "$build1" ]; then
+  echo "$out1"
+  echo "FAIL: cold run printed no RLMUL_BUILD provenance line"
+  exit 1
+fi
+echo "cold: $build1"
+
 out2="$(run)"
 if [ $? -ne 0 ]; then
   echo "$out2"

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Formatting gate: clang-format --dry-run --Werror over every C++ file
+# in src/ tests/ bench/ examples/. Run locally via
+#
+#     cmake --build build --target format-check
+#
+# or directly (CLANG_FORMAT selects the binary, default `clang-format`):
+#
+#     CLANG_FORMAT=clang-format-15 tools/lint/check_format.sh
+set -u
+
+cd "$(dirname "$0")/../.."
+CF="${CLANG_FORMAT:-clang-format}"
+
+if ! command -v "$CF" >/dev/null 2>&1; then
+  echo "check_format: '$CF' not found; set CLANG_FORMAT or install clang-format" >&2
+  exit 1
+fi
+
+mapfile -t files < <(find src tests bench examples \
+  \( -name '*.cpp' -o -name '*.hpp' \) -type f | sort)
+
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "check_format: no files found (wrong working directory?)" >&2
+  exit 1
+fi
+
+status=0
+for f in "${files[@]}"; do
+  if ! "$CF" --style=file --dry-run --Werror "$f"; then
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "check_format: FAILED — run '$CF -i --style=file <file>' to fix" >&2
+else
+  echo "check_format: OK (${#files[@]} files)"
+fi
+exit "$status"

@@ -1,0 +1,277 @@
+#!/usr/bin/env python3
+"""Repo-specific invariants the generic tools (clang-tidy, clang-format,
+sanitizers) cannot express. Run locally via
+
+    cmake --build build --target lint        # or
+    python3 tools/lint/check_invariants.py --root .
+
+Rules (each failure prints `file:line: [rule] message`):
+
+  naked-thread       std::thread may be constructed only in
+                     src/util/thread_pool.* and src/dsdb/store.* (the
+                     dsdb background writer). Everything else goes
+                     through util::ThreadPool so fan-out stays one
+                     level deep and joinable.
+  raw-sync           std::mutex / std::condition_variable /
+                     std::lock_guard / std::unique_lock appear only in
+                     src/util/sync.hpp — all other code uses the
+                     annotated util::Mutex shims so the Clang
+                     thread-safety analysis can see every lock. Lines
+                     that genuinely need the native types carry
+                     `lint:allow-raw-sync(<why>)`.
+  unguarded-mutex    a file declaring a util::Mutex member must
+                     annotate at least one piece of data with
+                     RLMUL_GUARDED_BY / RLMUL_PT_GUARDED_BY or a
+                     function with RLMUL_REQUIRES — a mutex protecting
+                     nothing the analysis can check is a lie waiting
+                     to happen.
+  global-rng         rand()/srand()/drand48()/std::random_device only
+                     inside src/util/rng.* — everything else takes a
+                     seeded util::Rng so searches stay reproducible.
+  float-eq           ==/!= on cost-like floating values (cost, area,
+                     delay, power, reward, *_ns, *_um2, *_mw, sum_*)
+                     outside the approved sites in
+                     tools/lint/float_eq_allow.txt (each entry carries
+                     its justification inline).
+  tsa-waiver         every RLMUL_NO_THREAD_SAFETY_ANALYSIS carries a
+                     justifying comment within the 6 lines above it.
+  header-standalone  every public header under src/*/ compiles as its
+                     own translation unit (include-what-you-use at the
+                     API boundary). Needs --compiler; skipped with a
+                     notice otherwise.
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+FAILURES = []
+
+
+def fail(path, line_no, rule, msg):
+    FAILURES.append(f"{path}:{line_no}: [{rule}] {msg}")
+
+
+def strip_comments_and_strings(line):
+    """Crude but adequate: drop // comments and string literal bodies."""
+    line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
+    return line.split("//")[0]
+
+
+def source_files(root, subdirs=("src",), exts=(".cpp", ".hpp")):
+    for sub in subdirs:
+        for p in sorted((root / sub).rglob("*")):
+            if p.suffix in exts:
+                yield p
+
+
+def rel(root, path):
+    return path.relative_to(root).as_posix()
+
+
+# -- naked-thread -------------------------------------------------------------
+
+THREAD_ALLOWED = ("src/util/thread_pool.", "src/dsdb/store.")
+THREAD_RE = re.compile(r"\bstd::thread\b(?!::)")
+
+
+def check_naked_thread(root):
+    for p in source_files(root):
+        r = rel(root, p)
+        if r.startswith(THREAD_ALLOWED):
+            continue
+        for i, line in enumerate(p.read_text().splitlines(), 1):
+            code = strip_comments_and_strings(line)
+            if THREAD_RE.search(code):
+                fail(r, i, "naked-thread",
+                     "std::thread outside util/thread_pool and the dsdb "
+                     "writer; use util::ThreadPool")
+
+
+# -- raw-sync -----------------------------------------------------------------
+
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(mutex|condition_variable|lock_guard|unique_lock|scoped_lock|"
+    r"shared_mutex|shared_lock)\b")
+RAW_SYNC_ALLOWED = ("src/util/sync.hpp",)
+RAW_SYNC_MARK = "lint:allow-raw-sync"
+
+
+def check_raw_sync(root):
+    for p in source_files(root):
+        r = rel(root, p)
+        if r in RAW_SYNC_ALLOWED:
+            continue
+        lines = p.read_text().splitlines()
+        for i, line in enumerate(lines, 1):
+            code = strip_comments_and_strings(line)
+            if not RAW_SYNC_RE.search(code):
+                continue
+            window = lines[max(0, i - 3):i]
+            if any(RAW_SYNC_MARK in w for w in window):
+                continue
+            fail(r, i, "raw-sync",
+                 "raw std sync primitive outside util/sync.hpp; use "
+                 "util::Mutex/CondVar/LockGuard (or justify with "
+                 f"`{RAW_SYNC_MARK}(<why>)` on or above the line)")
+
+
+# -- unguarded-mutex ----------------------------------------------------------
+
+MUTEX_MEMBER_RE = re.compile(r"\b(util::)?Mutex\s+\w+\s*;")
+GUARD_RE = re.compile(
+    r"RLMUL_(GUARDED_BY|PT_GUARDED_BY|REQUIRES)\s*\(")
+
+
+def check_unguarded_mutex(root):
+    for p in source_files(root):
+        r = rel(root, p)
+        if r in RAW_SYNC_ALLOWED:
+            continue
+        text = p.read_text()
+        if not MUTEX_MEMBER_RE.search(text):
+            continue
+        if GUARD_RE.search(text):
+            continue
+        m = MUTEX_MEMBER_RE.search(text)
+        line_no = text[:m.start()].count("\n") + 1
+        fail(r, line_no, "unguarded-mutex",
+             "util::Mutex member but no RLMUL_GUARDED_BY/"
+             "RLMUL_PT_GUARDED_BY/RLMUL_REQUIRES in this file — "
+             "annotate the data it protects")
+
+
+# -- global-rng ---------------------------------------------------------------
+
+RNG_RE = re.compile(
+    r"(?<![\w:])(s?rand|drand48|random)\s*\(|std::random_device")
+RNG_ALLOWED = ("src/util/rng.",)
+
+
+def check_global_rng(root):
+    for p in source_files(root):
+        r = rel(root, p)
+        if r.startswith(RNG_ALLOWED):
+            continue
+        for i, line in enumerate(p.read_text().splitlines(), 1):
+            code = strip_comments_and_strings(line)
+            if RNG_RE.search(code):
+                fail(r, i, "global-rng",
+                     "global/unseeded RNG outside util/rng; take a "
+                     "seeded util::Rng")
+
+
+# -- float-eq -----------------------------------------------------------------
+
+EQ_RE = re.compile(r"(?<![=!<>+\-*/%&|^])[!=]=(?!=)")
+COSTY_RE = re.compile(
+    r"\b(cost|area|delay|power|reward|hypervolume)\w*"
+    r"|\w*(_ns|_um2|_mw|sum_area|sum_delay|sum_power)\b")
+ITER_RE = re.compile(r"\.(r?begin|r?end|cr?begin|cr?end)\s*\(")
+
+
+def load_float_eq_allow(root):
+    allow = []
+    allow_file = root / "tools/lint/float_eq_allow.txt"
+    if allow_file.exists():
+        for raw in allow_file.read_text().splitlines():
+            entry = raw.split("#")[0].strip()
+            if not entry:
+                continue
+            path, _, pattern = entry.partition(":")
+            allow.append((path.strip(), pattern.strip()))
+    return allow
+
+
+def check_float_eq(root):
+    allow = load_float_eq_allow(root)
+    for p in source_files(root):
+        r = rel(root, p)
+        for i, line in enumerate(p.read_text().splitlines(), 1):
+            code = strip_comments_and_strings(line)
+            if not EQ_RE.search(code) or not COSTY_RE.search(code):
+                continue
+            if ITER_RE.search(code):  # iterator != end() loops
+                continue
+            if any(r == path and pat in line for path, pat in allow):
+                continue
+            fail(r, i, "float-eq",
+                 "==/!= on a cost-like floating value; compare with a "
+                 "tolerance or add an approved site to "
+                 "tools/lint/float_eq_allow.txt with a justification")
+
+
+# -- tsa-waiver ---------------------------------------------------------------
+
+
+def check_tsa_waiver(root):
+    for p in source_files(root):
+        r = rel(root, p)
+        if r == "src/util/thread_annotations.hpp":
+            continue
+        lines = p.read_text().splitlines()
+        for i, line in enumerate(lines, 1):
+            if "RLMUL_NO_THREAD_SAFETY_ANALYSIS" not in line:
+                continue
+            window = lines[max(0, i - 7):i - 1]
+            if any("//" in w or "///" in w for w in window):
+                continue
+            fail(r, i, "tsa-waiver",
+                 "RLMUL_NO_THREAD_SAFETY_ANALYSIS without a justifying "
+                 "comment in the 6 lines above")
+
+
+# -- header-standalone --------------------------------------------------------
+
+
+def check_headers_standalone(root, compiler):
+    if not compiler:
+        print("[header-standalone] skipped: pass --compiler to enable",
+              file=sys.stderr)
+        return
+    headers = [p for p in source_files(root, exts=(".hpp",))]
+    for p in headers:
+        r = rel(root, p)
+        cmd = [
+            compiler, "-std=c++20", "-fsyntax-only",
+            "-I", str(root / "src"),
+            "-x", "c++", str(p),
+        ]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            first = (proc.stderr.strip().splitlines() or ["?"])[0]
+            fail(r, 1, "header-standalone",
+                 f"header does not compile on its own: {first}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".", help="repo root")
+    ap.add_argument("--compiler", default="",
+                    help="C++ compiler for the header-standalone rule")
+    ap.add_argument("--skip-headers", action="store_true",
+                    help="skip the (slower) header-standalone rule")
+    args = ap.parse_args()
+    root = Path(args.root).resolve()
+
+    check_naked_thread(root)
+    check_raw_sync(root)
+    check_unguarded_mutex(root)
+    check_global_rng(root)
+    check_float_eq(root)
+    check_tsa_waiver(root)
+    if not args.skip_headers:
+        check_headers_standalone(root, args.compiler)
+
+    if FAILURES:
+        print("\n".join(FAILURES))
+        print(f"\ncheck_invariants: {len(FAILURES)} violation(s)")
+        return 1
+    print("check_invariants: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

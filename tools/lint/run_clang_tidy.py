@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Run clang-tidy (repo .clang-tidy profile) over every src/ translation
+unit listed in the build directory's compile_commands.json. Run via
+
+    cmake --build build --target tidy
+
+Requires a configured build dir (CMAKE_EXPORT_COMPILE_COMMANDS is on by
+default in this repo). Exits non-zero if any file produces warnings.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--clang-tidy", default="clang-tidy")
+    ap.add_argument("--build-dir", required=True)
+    ap.add_argument("--root", required=True)
+    ap.add_argument("--jobs", type=int, default=1)
+    args = ap.parse_args()
+
+    root = Path(args.root).resolve()
+    build = Path(args.build_dir).resolve()
+    cc_path = build / "compile_commands.json"
+    if not cc_path.exists():
+        print(f"run_clang_tidy: {cc_path} missing — configure with "
+              "CMAKE_EXPORT_COMPILE_COMMANDS=ON first", file=sys.stderr)
+        return 1
+
+    entries = json.loads(cc_path.read_text())
+    src_prefix = str(root / "src")
+    files = sorted({e["file"] for e in entries
+                    if e["file"].startswith(src_prefix)
+                    and e["file"].endswith(".cpp")})
+    if not files:
+        print("run_clang_tidy: no src/ TUs in compile_commands.json",
+              file=sys.stderr)
+        return 1
+
+    failed = []
+    for f in files:
+        r = Path(f).relative_to(root)
+        proc = subprocess.run(
+            [args.clang_tidy, "-p", str(build), "--quiet",
+             "--warnings-as-errors=*", f],
+            capture_output=True, text=True)
+        if proc.returncode != 0:
+            failed.append(str(r))
+            sys.stdout.write(proc.stdout)
+            sys.stderr.write(proc.stderr)
+        else:
+            print(f"  tidy ok: {r}")
+
+    if failed:
+        print(f"\nrun_clang_tidy: {len(failed)}/{len(files)} file(s) "
+              "with findings:", file=sys.stderr)
+        for f in failed:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"run_clang_tidy: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
