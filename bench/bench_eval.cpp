@@ -1,0 +1,167 @@
+// Batched-vs-single evaluation A/B for the SoA batch pipeline
+// (src/synth/batch_eval.*): the same pool of never-seen-before designs
+// is evaluated through evaluate_batch() at batch sizes 1/4/8/16, each
+// against a fresh evaluator so every design is a cache miss. Batch 1
+// disables coalescing and is the per-design baseline the ISSUE's >= 3x
+// target (batch >= 8, 16-bit) is measured against. Before timing, the
+// batched results are checked bit-for-bit (per double, via memcmp)
+// against the single path — the "bit_identical" field records it. The
+// JSON on stdout is the source of results/BENCH_eval.json.
+//
+// Knobs: RLMUL_QUICK=1 quarters the design count.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "ppg/ppg.hpp"
+#include "synth/evaluator.hpp"
+#include "synth/synth.hpp"
+#include "util/build_info.hpp"
+#include "util/config.hpp"
+
+namespace {
+
+using namespace rlmul;
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Field-wise bitwise equality (SynthesisResult has padding, so a
+/// whole-struct memcmp would compare indeterminate bytes).
+bool same_result(const synth::SynthesisResult& a,
+                 const synth::SynthesisResult& b) {
+  return bits_equal(a.area_um2, b.area_um2) &&
+         bits_equal(a.delay_ns, b.delay_ns) &&
+         bits_equal(a.power_mw, b.power_mw) && a.met_target == b.met_target &&
+         a.cpa == b.cpa && a.num_gates == b.num_gates;
+}
+
+std::vector<ct::CompressorTree> unique_pool(const ppg::MultiplierSpec& spec,
+                                            int want) {
+  auto pool = bench::random_trees(spec, want * 2, 6, 43);
+  std::set<std::string> seen{ppg::initial_tree(spec).key()};
+  std::vector<ct::CompressorTree> unique;
+  for (auto& t : pool) {
+    if (seen.insert(t.key()).second) unique.push_back(std::move(t));
+    if (static_cast<int>(unique.size()) == want) break;
+  }
+  return unique;
+}
+
+/// Wall seconds to evaluate the whole pool in groups of `batch`
+/// through a fresh evaluator (batch == 1 uses the per-call single
+/// path). Best of `reps` — this box is noisy.
+double time_pool(const ppg::MultiplierSpec& spec,
+                 const std::vector<double>& targets,
+                 const std::vector<ct::CompressorTree>& pool, int batch,
+                 int reps) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    synth::EvaluatorOptions eopts;
+    eopts.batch = batch;
+    synth::DesignEvaluator evaluator(spec, targets, eopts);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i + static_cast<std::size_t>(batch) <= pool.size();
+         i += static_cast<std::size_t>(batch)) {
+      if (batch > 1) {
+        const std::vector<ct::CompressorTree> group(
+            pool.begin() + static_cast<std::ptrdiff_t>(i),
+            pool.begin() + static_cast<std::ptrdiff_t>(i + batch));
+        evaluator.evaluate_batch(group);
+      } else {
+        evaluator.evaluate(pool[i]);
+      }
+    }
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = util::quick_mode();
+  const int designs = quick ? 16 : 48;
+  const int reps = quick ? 1 : 3;
+  const std::vector<int> batches{1, 4, 8, 16};
+
+  std::printf("{\n");
+  std::printf(
+      "  \"description\": \"batched SoA evaluation A/B: %d unique designs "
+      "per config, fresh evaluator per run (every design a cache miss), "
+      "best of %d reps. batch 1 = per-design single path; speedups are "
+      "unique-designs/sec relative to it. bit_identical: batched results "
+      "memcmp-equal (per double) to the single path.\",\n",
+      designs, reps);
+  std::printf("  \"build\": \"%s\",\n", util::build_info().c_str());
+  // Context for the speedups: on 1 CPU the drain cannot spread designs
+  // across pool workers, so only the lane-sharing over targets shows;
+  // multi-core machines add cross-design parallelism on top.
+  std::printf("  \"cpus\": %u,\n", std::thread::hardware_concurrency());
+  std::printf("  \"configs\": {\n");
+
+  const std::vector<int> all_bits{8, 16};
+  for (std::size_t bi = 0; bi < all_bits.size(); ++bi) {
+    const ppg::MultiplierSpec spec{all_bits[bi], ppg::PpgKind::kAnd, false};
+    const std::vector<double> targets = synth::default_targets(spec);
+    const auto pool = unique_pool(spec, designs);
+
+    // Bit-exactness gate: one full batched pass vs the single path.
+    bool identical = true;
+    {
+      synth::EvaluatorOptions bopts;
+      bopts.batch = 16;
+      synth::DesignEvaluator batched(spec, targets, bopts);
+      synth::EvaluatorOptions sopts;
+      sopts.batch = 1;
+      synth::DesignEvaluator single(spec, targets, sopts);
+      const auto bres = batched.evaluate_batch(pool);
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        const auto sres = single.evaluate(pool[i]);
+        if (bres[i].per_target.size() != sres.per_target.size()) {
+          identical = false;
+          continue;
+        }
+        for (std::size_t t = 0; t < sres.per_target.size(); ++t) {
+          if (!same_result(bres[i].per_target[t], sres.per_target[t])) {
+            identical = false;
+          }
+        }
+      }
+    }
+
+    std::printf("    \"%dbit\": {\n", spec.bits);
+    std::printf("      \"designs\": %zu,\n", pool.size());
+    std::printf("      \"bit_identical\": %s,\n", identical ? "true" : "false");
+    double base_rate = 0.0;
+    for (std::size_t k = 0; k < batches.size(); ++k) {
+      const int batch = batches[k];
+      const double wall = time_pool(spec, targets, pool, batch, reps);
+      const std::size_t done =
+          (pool.size() / static_cast<std::size_t>(batch)) *
+          static_cast<std::size_t>(batch);
+      const double rate = wall > 0.0 ? static_cast<double>(done) / wall : 0.0;
+      if (batch == 1) base_rate = rate;
+      std::printf("      \"batch%d\": { \"wall_s\": %.4f, "
+                  "\"designs_per_s\": %.1f, \"speedup_vs_batch1\": %.2f }%s\n",
+                  batch, wall, rate,
+                  base_rate > 0.0 ? rate / base_rate : 0.0,
+                  k + 1 < batches.size() ? "," : "");
+    }
+    std::printf("    }%s\n", bi + 1 < all_bits.size() ? "," : "");
+  }
+  std::printf("  }\n");
+  std::printf("}\n");
+  return 0;
+}

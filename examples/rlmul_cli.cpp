@@ -43,6 +43,7 @@
 #include "synth/synth.hpp"
 #include "util/build_info.hpp"
 #include "util/csv.hpp"
+#include "util/perf_counters.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -281,6 +282,10 @@ int cmd_optimize(const Args& args, const ppg::MultiplierSpec& spec) {
               evaluator.num_unique_evaluations());
   std::printf("%s\n", ct::to_string(res.best_tree).c_str());
   std::printf("RLMUL_BUILD %s\n", util::build_info().c_str());
+  // Machine-readable throughput counters (where the EDA budget went:
+  // batch coalescing, netlist reuse, incremental vs full STA). Same
+  // `RLMUL_COUNTERS ` prefix contract as the bench binaries.
+  std::printf("RLMUL_COUNTERS %s\n", util::format_perf_counters().c_str());
   if (store != nullptr) {
     store->flush();
     const dsdb::Store::Stats st = store->stats();

@@ -1,6 +1,5 @@
 #include "netlist/netlist.hpp"
 
-#include <queue>
 #include <stdexcept>
 
 namespace rlmul::netlist {
@@ -83,14 +82,14 @@ std::vector<NetId> Netlist::new_nets(int n) {
   return out;
 }
 
-GateId Netlist::add_gate(CellKind kind, std::vector<NetId> inputs) {
-  std::vector<NetId> outs;
+GateId Netlist::add_gate(CellKind kind, PinList inputs) {
+  PinList outs;
   for (int i = 0; i < num_outputs(kind); ++i) outs.push_back(new_net());
-  return add_gate_onto(kind, std::move(inputs), std::move(outs));
+  return add_gate_onto(kind, inputs, outs);
 }
 
-GateId Netlist::add_gate_onto(CellKind kind, std::vector<NetId> inputs,
-                              std::vector<NetId> outputs) {
+GateId Netlist::add_gate_onto(CellKind kind, PinList inputs,
+                              PinList outputs) {
   if (static_cast<int>(inputs.size()) != num_inputs(kind) ||
       static_cast<int>(outputs.size()) != num_outputs(kind)) {
     throw std::invalid_argument("add_gate: wrong pin count for cell kind");
@@ -102,9 +101,9 @@ GateId Netlist::add_gate_onto(CellKind kind, std::vector<NetId> inputs,
   }
   Gate g;
   g.kind = kind;
-  g.inputs = std::move(inputs);
-  g.outputs = std::move(outputs);
-  gates_.push_back(std::move(g));
+  g.inputs = inputs;
+  g.outputs = outputs;
+  gates_.push_back(g);
   return static_cast<GateId>(gates_.size()) - 1;
 }
 
@@ -159,12 +158,39 @@ std::vector<std::vector<std::pair<GateId, int>>> Netlist::fanout() const {
   return fo;
 }
 
+void Netlist::fanout_csr(std::vector<std::int32_t>& fo_base,
+                         std::vector<GateId>& fo_gate) const {
+  fo_base.assign(static_cast<std::size_t>(next_net_) + 1, 0);
+  std::size_t pins = 0;
+  for (const Gate& g : gates_) {
+    for (NetId n : g.inputs) ++fo_base[static_cast<std::size_t>(n) + 1];
+    pins += g.inputs.size();
+  }
+  for (std::size_t n = 1; n < fo_base.size(); ++n) fo_base[n] += fo_base[n - 1];
+  fo_gate.resize(pins);
+  std::vector<std::int32_t> cursor(fo_base.begin(), fo_base.end() - 1);
+  for (GateId g = 0; g < num_gates(); ++g) {
+    for (NetId n : gates_[static_cast<std::size_t>(g)].inputs) {
+      fo_gate[static_cast<std::size_t>(cursor[static_cast<std::size_t>(n)]++)] =
+          g;
+    }
+  }
+}
+
 std::vector<GateId> Netlist::topo_order() const {
+  std::vector<std::int32_t> fo_base;
+  std::vector<GateId> fo_gate;
+  fanout_csr(fo_base, fo_gate);
+  return topo_order(driver_gate(), fo_base, fo_gate);
+}
+
+std::vector<GateId> Netlist::topo_order(
+    const std::vector<GateId>& drv, const std::vector<std::int32_t>& fo_base,
+    const std::vector<GateId>& fo_gate) const {
   // Kahn's algorithm over gates. DFF data inputs do not create
   // combinational dependencies for the DFF's *output* (the Q net is a
   // timing source), so DFFs start with indegree 0.
   std::vector<int> indeg(gates_.size(), 0);
-  const auto drv = driver_gate();
   for (GateId g = 0; g < num_gates(); ++g) {
     const auto& gate = gates_[static_cast<std::size_t>(g)];
     if (gate.kind == CellKind::kDff) continue;
@@ -174,24 +200,25 @@ std::vector<GateId> Netlist::topo_order() const {
       }
     }
   }
-  std::queue<GateId> ready;
-  for (GateId g = 0; g < num_gates(); ++g) {
-    if (indeg[static_cast<std::size_t>(g)] == 0) ready.push(g);
-  }
-  const auto fo = fanout();
+  // `order` doubles as the FIFO ready queue (same visit order as a
+  // std::queue, without the deque's chunked allocation): gates are
+  // appended when their indegree hits zero and consumed left to right.
   std::vector<GateId> order;
   order.reserve(gates_.size());
-  while (!ready.empty()) {
-    const GateId g = ready.front();
-    ready.pop();
-    order.push_back(g);
+  for (GateId g = 0; g < num_gates(); ++g) {
+    if (indeg[static_cast<std::size_t>(g)] == 0) order.push_back(g);
+  }
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const GateId g = order[head];
     for (NetId n : gates_[static_cast<std::size_t>(g)].outputs) {
-      for (const auto& [sink, pin] : fo[static_cast<std::size_t>(n)]) {
-        (void)pin;
+      const std::int32_t lo = fo_base[static_cast<std::size_t>(n)];
+      const std::int32_t hi = fo_base[static_cast<std::size_t>(n) + 1];
+      for (std::int32_t k = lo; k < hi; ++k) {
+        const GateId sink = fo_gate[static_cast<std::size_t>(k)];
         if (gates_[static_cast<std::size_t>(sink)].kind == CellKind::kDff) {
           continue;  // never enqueued via inputs
         }
-        if (--indeg[static_cast<std::size_t>(sink)] == 0) ready.push(sink);
+        if (--indeg[static_cast<std::size_t>(sink)] == 0) order.push_back(sink);
       }
     }
   }

@@ -5,7 +5,10 @@
 // flat netlist of standard cells, which the synthesis, STA, power and
 // simulation engines then consume.
 
+#include <array>
 #include <cstdint>
+#include <initializer_list>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -45,11 +48,50 @@ int num_outputs(CellKind kind);
 const char* cell_kind_name(CellKind kind);
 int num_cell_kinds();
 
+/// Fixed-capacity inline pin list. The widest cell in the library has
+/// 4 input pins (the 4:2 compressor) and 3 output pins, so pin storage
+/// lives inside the Gate record itself: gates are trivially copyable,
+/// a netlist copy is one flat buffer copy instead of two heap
+/// allocations per gate, and pin reads never chase a pointer. The
+/// interface is the std::vector subset the pin-walking code uses.
+class PinList {
+ public:
+  static constexpr int kCapacity = 4;
+
+  PinList() = default;
+  PinList(std::initializer_list<NetId> pins) {
+    for (NetId n : pins) push_back(n);
+  }
+  /// Implicit, for call sites that assemble pins in a std::vector.
+  PinList(const std::vector<NetId>& pins) {
+    for (NetId n : pins) push_back(n);
+  }
+
+  void push_back(NetId n) {
+    if (size_ == kCapacity) throw std::length_error("PinList: full");
+    data_[static_cast<std::size_t>(size_++)] = n;
+  }
+  std::size_t size() const { return static_cast<std::size_t>(size_); }
+  bool empty() const { return size_ == 0; }
+  NetId& operator[](std::size_t i) { return data_[i]; }
+  const NetId& operator[](std::size_t i) const { return data_[i]; }
+  NetId* begin() { return data_.data(); }
+  NetId* end() { return data_.data() + size_; }
+  const NetId* begin() const { return data_.data(); }
+  const NetId* end() const { return data_.data() + size_; }
+
+  friend bool operator==(const PinList&, const PinList&) = default;
+
+ private:
+  std::int32_t size_ = 0;
+  std::array<NetId, kCapacity> data_{};  // zero-filled: == is memberwise
+};
+
 struct Gate {
   CellKind kind = CellKind::kInv;
   int variant = 0;  ///< drive-strength index into the library (0 = X1)
-  std::vector<NetId> inputs;
-  std::vector<NetId> outputs;
+  PinList inputs;
+  PinList outputs;
 };
 
 /// Flat netlist with primary inputs/outputs. Nets are integer handles;
@@ -62,11 +104,15 @@ class Netlist {
 
   /// Adds a gate; output nets are freshly allocated and returned via the
   /// gate record. Checks pin counts.
-  GateId add_gate(CellKind kind, std::vector<NetId> inputs);
+  GateId add_gate(CellKind kind, PinList inputs);
 
   /// Adds a gate driving pre-allocated output nets.
-  GateId add_gate_onto(CellKind kind, std::vector<NetId> inputs,
-                       std::vector<NetId> outputs);
+  GateId add_gate_onto(CellKind kind, PinList inputs, PinList outputs);
+
+  /// Pre-size the gate table for `n` total gates (builders that know
+  /// roughly how much they will append call this to avoid re-growing
+  /// the — now flat, trivially-copyable — gate buffer).
+  void reserve_gates(int n) { gates_.reserve(static_cast<std::size_t>(n)); }
 
   NetId add_input(const std::string& name);
   void mark_output(NetId net, const std::string& name);
@@ -94,9 +140,25 @@ class Netlist {
   /// fanout()[net] = list of (gate, input-pin) pairs reading the net.
   std::vector<std::vector<std::pair<GateId, int>>> fanout() const;
 
+  /// Fanout in CSR form: the sink gates of net n occupy
+  /// fo_gate[fo_base[n] .. fo_base[n+1]), in ascending gate order. Two
+  /// flat arrays instead of one vector per net, so building it performs
+  /// no per-net heap allocation — the representation sta::TimingGraph
+  /// keeps.
+  void fanout_csr(std::vector<std::int32_t>& fo_base,
+                  std::vector<GateId>& fo_gate) const;
+
   /// Topological order of gates (inputs before consumers). Throws on
   /// combinational cycles (DFF outputs count as sources).
   std::vector<GateId> topo_order() const;
+
+  /// Same order, reusing caller-provided driver_gate()/fanout_csr()
+  /// results so one traversal can serve several consumers
+  /// (sta::TimingGraph builds all of them and would otherwise recompute
+  /// the maps twice).
+  std::vector<GateId> topo_order(const std::vector<GateId>& drv,
+                                 const std::vector<std::int32_t>& fo_base,
+                                 const std::vector<GateId>& fo_gate) const;
 
   /// Number of cells of each kind (histogram indexed by CellKind).
   std::vector<int> kind_histogram() const;

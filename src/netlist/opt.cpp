@@ -232,7 +232,7 @@ Netlist remap_area(const Netlist& nl, int* fused) {
   // replacement[inv_gate] = (new kind, inputs taken from the driver)
   struct Rewrite {
     CellKind kind;
-    std::vector<NetId> inputs;
+    PinList inputs;
   };
   std::vector<Rewrite> rewrite(nl.gates().size(), Rewrite{CellKind::kDff, {}});
   std::vector<bool> has_rewrite(nl.gates().size(), false);
@@ -280,7 +280,7 @@ Netlist remap_area(const Netlist& nl, int* fused) {
     if (consumed[static_cast<std::size_t>(g)]) continue;  // merged away
     const Gate& gate = nl.gates()[static_cast<std::size_t>(g)];
     CellKind kind = gate.kind;
-    std::vector<NetId> inputs = gate.inputs;
+    PinList inputs = gate.inputs;
     if (has_rewrite[static_cast<std::size_t>(g)]) {
       kind = rewrite[static_cast<std::size_t>(g)].kind;
       inputs = rewrite[static_cast<std::size_t>(g)].inputs;

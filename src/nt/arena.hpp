@@ -13,6 +13,7 @@
 // resets, it only allocates further slices from the same frame.
 
 #include <cstddef>
+#include <type_traits>
 #include <vector>
 
 namespace rlmul::nt {
@@ -23,6 +24,23 @@ class ScratchArena {
   /// Growing the arena mid-frame never moves previously returned
   /// slices (overflow goes to a fresh chunk).
   float* alloc(std::size_t n);
+
+  /// Typed slab of `n` trivially-destructible objects carved from the
+  /// float store — the SoA lanes of the batched evaluator (double
+  /// arrival/load slabs, int32 variant/prev slabs). Every slice starts
+  /// on a 64-byte boundary relative to the chunk base and chunks come
+  /// from operator new (>= 16-byte aligned), so any fundamental T is
+  /// correctly aligned.
+  template <class T>
+  T* alloc_as(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T> &&
+                      std::is_trivially_copyable_v<T>,
+                  "arena slabs hold plain data only");
+    static_assert(alignof(T) <= 16, "slice alignment covers fundamentals");
+    const std::size_t floats =
+        (n * sizeof(T) + sizeof(float) - 1) / sizeof(float);
+    return reinterpret_cast<T*>(alloc(floats));
+  }
 
   /// Invalidates all outstanding slices and makes the capacity
   /// available again. If the previous frame overflowed into extra

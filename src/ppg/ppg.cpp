@@ -221,6 +221,10 @@ MultiplierPrefix build_multiplier_prefix(const MultiplierSpec& spec,
 Netlist attach_cpa(const MultiplierPrefix& prefix, const MultiplierSpec& spec,
                    netlist::CpaKind cpa) {
   Netlist nl = prefix.netlist;
+  // Generous upper bound on the adder's gate count (the widest CPA
+  // spends a handful of cells per column), so the appends below never
+  // re-grow the prefix-sized gate buffer.
+  nl.reserve_gates(nl.num_gates() + 16 * spec.columns());
   LogicBuilder lb(nl);
   const std::vector<Signal> product = netlist::build_cpa(lb, cpa, prefix.rows);
   for (int j = 0; j < spec.columns(); ++j) {

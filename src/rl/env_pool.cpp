@@ -7,7 +7,7 @@ namespace rlmul::rl {
 
 EnvPool::EnvPool(synth::DesignEvaluator& evaluator, const EnvConfig& cfg,
                  int num_envs)
-    : pool_(num_envs) {
+    : evaluator_(evaluator), pool_(num_envs) {
   if (num_envs < 1) throw std::invalid_argument("EnvPool: num_envs < 1");
   for (int i = 0; i < num_envs; ++i) {
     envs_.push_back(std::make_unique<MultiplierEnv>(evaluator, cfg));
@@ -40,6 +40,22 @@ std::vector<EnvPool::StepOutcome> EnvPool::step_all(
     const std::vector<int>& actions) {
   if (actions.size() != envs_.size()) {
     throw std::invalid_argument("EnvPool::step_all: action count mismatch");
+  }
+  if (evaluator_.batch() > 1) {
+    // Prefetch: evaluate every post-action state as one coalesced
+    // batch before the env tasks run. The tasks then resolve from the
+    // cache, so rewards and env trajectories are unchanged — the
+    // synthesis just happened in shared sweeps instead of N separate
+    // drains racing on the evaluator queue.
+    std::vector<ct::CompressorTree> next;
+    next.reserve(envs_.size());
+    for (std::size_t e = 0; e < envs_.size(); ++e) {
+      if (actions[e] < 0) continue;  // reset, no evaluation needed
+      const ct::Action action = ct::action_from_index(actions[e]);
+      if (!ct::action_applicable(envs_[e]->tree(), action)) continue;
+      next.push_back(ct::apply_action(envs_[e]->tree(), action));
+    }
+    if (!next.empty()) evaluator_.evaluate_batch(next);
   }
   std::vector<std::future<StepOutcome>> futs;
   futs.reserve(envs_.size());

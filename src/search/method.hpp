@@ -106,6 +106,10 @@ struct MethodConfig {
   // -- SA --
   double t_start = 0.08;
   double t_end = 0.002;
+  /// Neighbors proposed (and evaluated as one batch) per anneal step;
+  /// the Metropolis test runs on the cheapest of them. 1 keeps the
+  /// classic single-proposal anneal and its exact RNG trajectory.
+  int sa_proposals = 1;
   // -- environment / objective --
   double w_area = 1.0;
   double w_delay = 1.0;

@@ -50,6 +50,46 @@ bool SaMethod::step(Context& ctx) {
   for (std::size_t i = 0; i < mask.size(); ++i) {
     weights[i] = mask[i] != 0 ? 1.0 : 0.0;
   }
+
+  if (cfg_.sa_proposals > 1) {
+    // K-neighborhood step: sample up to K distinct legal moves, score
+    // them as one batched evaluation, Metropolis-test the cheapest.
+    // This consumes RNG differently from the single-proposal anneal,
+    // so it is opt-in via sa_proposals and never the default.
+    std::vector<ct::CompressorTree> candidates;
+    for (int k = 0; k < cfg_.sa_proposals; ++k) {
+      const std::size_t pick = rng_.sample_discrete(weights);
+      if (pick >= mask.size()) break;  // legal moves exhausted
+      weights[pick] = 0.0;
+      candidates.push_back(ct::apply_action(
+          current_, ct::action_from_index(static_cast<int>(pick))));
+    }
+    if (candidates.empty()) return false;  // no legal move at all
+    const auto evals = ctx.evaluator().evaluate_batch(candidates);
+    std::size_t best = 0;
+    double best_cost =
+        ctx.evaluator().cost(evals[0], cfg_.w_area, cfg_.w_delay);
+    for (std::size_t i = 1; i < evals.size(); ++i) {
+      const double c = ctx.evaluator().cost(evals[i], cfg_.w_area,
+                                            cfg_.w_delay);
+      if (c < best_cost) {
+        best = i;
+        best_cost = c;
+      }
+    }
+    const double delta = best_cost - current_cost_;
+    if (delta <= 0.0 || rng_.next_double() < std::exp(-delta / temp_)) {
+      current_ = candidates[best];
+      current_cost_ = best_cost;
+    }
+    ctx.offer_best(current_cost_, current_);
+    ctx.push_cost(current_cost_);
+    ctx.push_best();
+    temp_ *= decay_;
+    ++t_;
+    return true;
+  }
+
   const std::size_t pick = rng_.sample_discrete(weights);
   if (pick >= mask.size()) return false;  // no legal move at all
 

@@ -25,6 +25,11 @@ class SaMethod : public Method {
   explicit SaMethod(const MethodConfig& cfg) : cfg_(cfg) {}
 
   const char* name() const override { return "sa"; }
+  /// One anneal step evaluates up to sa_proposals candidate neighbors
+  /// (one batched dispatch when the evaluator batches).
+  int max_evals_per_step() const override {
+    return cfg_.sa_proposals > 1 ? cfg_.sa_proposals : 1;
+  }
   void init(Context& ctx) override;
   bool step(Context& ctx) override;
   /// Starts the anneal from the best stored design instead of Wallace.

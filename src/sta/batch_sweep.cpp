@@ -1,0 +1,520 @@
+#include "sta/batch_sweep.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/perf_counters.hpp"
+
+namespace rlmul::sta {
+
+using netlist::CellKind;
+using netlist::CellLibrary;
+using netlist::Gate;
+using netlist::GateId;
+using netlist::NetId;
+using netlist::Netlist;
+
+namespace {
+inline std::uint32_t lane_bit(int lane) { return 1u << lane; }
+}  // namespace
+
+BatchTimer::BatchTimer(const Netlist& nl, const CellLibrary& lib,
+                       const TimingGraph& graph, int lanes,
+                       nt::ScratchArena& arena)
+    : nl_(nl), lib_(lib), graph_(graph), lanes_(lanes) {
+  if (lanes < 1 || lanes > kMaxLanes) {
+    throw std::invalid_argument("BatchTimer: lane count out of range");
+  }
+  num_gates_ = nl.num_gates();
+  num_nets_ = nl.num_nets();
+  dff_setup_ = lib.setup(CellKind::kDff);
+  const std::size_t G = static_cast<std::size_t>(num_gates_);
+  const std::size_t N = static_cast<std::size_t>(num_nets_);
+  const std::size_t L = static_cast<std::size_t>(lanes_);
+  const auto& gates = nl.gates();
+
+  // -- flattened connectivity (CSR over the shared netlist) -----------
+  kind_ = arena.alloc_as<std::uint8_t>(G);
+  in_base_ = arena.alloc_as<std::int32_t>(G + 1);
+  out_base_ = arena.alloc_as<std::int32_t>(G + 1);
+  arc_base_ = arena.alloc_as<std::int32_t>(G + 1);
+  std::size_t num_in = 0, num_out = 0, num_arc = 0;
+  for (std::size_t g = 0; g < G; ++g) {
+    kind_[g] = static_cast<std::uint8_t>(gates[g].kind);
+    in_base_[g] = static_cast<std::int32_t>(num_in);
+    out_base_[g] = static_cast<std::int32_t>(num_out);
+    arc_base_[g] = static_cast<std::int32_t>(num_arc);
+    num_in += gates[g].inputs.size();
+    num_out += gates[g].outputs.size();
+    num_arc += gates[g].inputs.size() * gates[g].outputs.size();
+  }
+  in_base_[G] = static_cast<std::int32_t>(num_in);
+  out_base_[G] = static_cast<std::int32_t>(num_out);
+  arc_base_[G] = static_cast<std::int32_t>(num_arc);
+  in_nets_ = arena.alloc_as<std::int32_t>(num_in);
+  out_nets_ = arena.alloc_as<std::int32_t>(num_out);
+  arc_int_ = arena.alloc_as<double>(num_arc);
+  // Arc intrinsics depend on (kind, i, o) only, so build one packed
+  // table per kind and copy per gate instead of calling into the
+  // library for every arc of every gate (~3 arcs/gate x thousands of
+  // gates per construction).
+  constexpr int kMaxArcs = 12;  // 4 inputs x 3 outputs (the 4:2 compressor)
+  const int nkinds = netlist::num_cell_kinds();
+  std::vector<double> kind_arc(static_cast<std::size_t>(nkinds) * kMaxArcs,
+                               0.0);
+  std::vector<std::int32_t> kind_narc(static_cast<std::size_t>(nkinds), 0);
+  for (int k = 0; k < nkinds; ++k) {
+    const CellKind ck = static_cast<CellKind>(k);
+    const int ni = netlist::num_inputs(ck);
+    const int no = netlist::num_outputs(ck);
+    kind_narc[static_cast<std::size_t>(k)] = ni * no;
+    // intrinsic[o * num_in + i]: grouped per output so the inner input
+    // loop of a retime reads contiguously.
+    double* arc = kind_arc.data() + static_cast<std::size_t>(k) * kMaxArcs;
+    for (int o = 0; o < no; ++o) {
+      for (int i = 0; i < ni; ++i) {
+        arc[o * ni + i] = lib.intrinsic(ck, i, o);
+      }
+    }
+  }
+  for (std::size_t g = 0; g < G; ++g) {
+    const Gate& gate = gates[g];
+    std::int32_t* in = in_nets_ + in_base_[g];
+    for (std::size_t i = 0; i < gate.inputs.size(); ++i) in[i] = gate.inputs[i];
+    std::int32_t* out = out_nets_ + out_base_[g];
+    for (std::size_t o = 0; o < gate.outputs.size(); ++o) {
+      out[o] = gate.outputs[o];
+    }
+    double* arc = arc_int_ + arc_base_[g];
+    const double* src = kind_arc.data() + kind_[g] * std::size_t{kMaxArcs};
+    const int na = kind_narc[kind_[g]];
+    for (int a = 0; a < na; ++a) arc[a] = src[a];
+  }
+
+  // -- per-kind drive tables (packed [kind, variant]) -----------------
+  const int kinds = netlist::num_cell_kinds();
+  kv_base_ = arena.alloc_as<std::int32_t>(static_cast<std::size_t>(kinds) + 1);
+  std::size_t kv = 0;
+  for (int k = 0; k < kinds; ++k) {
+    kv_base_[k] = static_cast<std::int32_t>(kv);
+    kv += static_cast<std::size_t>(lib.num_variants(static_cast<CellKind>(k)));
+  }
+  kv_base_[kinds] = static_cast<std::int32_t>(kv);
+  res_ = arena.alloc_as<double>(kv);
+  cap_ = arena.alloc_as<double>(kv);
+  area_ = arena.alloc_as<double>(kv);
+  for (int k = 0; k < kinds; ++k) {
+    const CellKind ck = static_cast<CellKind>(k);
+    for (int v = 0; v < lib.num_variants(ck); ++v) {
+      res_[kv_base_[k] + v] = lib.drive_res(ck, v);
+      cap_[kv_base_[k] + v] = lib.input_cap(ck, v);
+      area_[kv_base_[k] + v] = lib.area(ck, v);
+    }
+  }
+
+  // -- per-net structure ----------------------------------------------
+  // The graph already keeps every per-net map the sweeps read; borrow
+  // its arrays instead of copying (the graph outlives the timer by
+  // contract).
+  fo_base_ = graph.fo_base.data();
+  fo_gate_ = graph.fo_gate.data();
+  driver_ = graph.driver.data();
+  wire_ff_ = graph.wire_ff.data();
+  po_count_ = graph.po_count.data();
+
+  // -- lane slabs ------------------------------------------------------
+  load_ = arena.alloc_as<double>(N * L);
+  arrival_ = arena.alloc_as<double>(N * L);
+  prev_ = arena.alloc_as<std::int32_t>(N * L);
+  prev_in_ = arena.alloc_as<std::int32_t>(G * L);
+  variant_ = arena.alloc_as<std::int32_t>(G * L);
+  slack_ = arena.alloc_as<double>(N * L);
+  required_ = arena.alloc_as<double>(N * L);
+  mark_ = arena.alloc_as<std::uint32_t>(G);
+  bm_ = arena.alloc_as<std::uint64_t>((G + 63) / 64);
+  max_po_arrival_ps_ = arena.alloc_as<double>(L);
+  min_clock_period_ps_ = arena.alloc_as<double>(L);
+  critical_ps_ = arena.alloc_as<double>(L);
+  worst_endpoint_ = arena.alloc_as<std::int32_t>(L);
+
+  std::fill(variant_, variant_ + G * L, 0);
+  std::fill(mark_, mark_ + G, 0u);
+  std::fill(bm_, bm_ + (G + 63) / 64, std::uint64_t{0});
+  scan_from_ = num_gates_;
+
+  // -- initial full pass on lane 0, broadcast to every lane ------------
+  // Mirrors IncrementalTimer::full_update with all variants at 0; since
+  // every lane starts identically, computing once and copying produces
+  // the same bits as L private full updates. The pass runs on
+  // contiguous single-lane scratch rather than the strided slabs, does
+  // not mark (every gate is visited anyway), and skips the variant
+  // lookups (every variant is 0) — but performs the same floating-point
+  // operations in the same order as retime_masked on lane 0, so the
+  // broadcast state is bit-identical to what a per-lane full pass would
+  // leave.
+  util::perf_counters().sta_full_updates.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  double* load0 = arena.alloc_as<double>(N);
+  double* arr0 = arena.alloc_as<double>(N);
+  std::int32_t* prev0 = arena.alloc_as<std::int32_t>(N);
+  std::int32_t* pin0 = arena.alloc_as<std::int32_t>(G);
+  const double po_load = lib.output_load_ff();
+  for (std::size_t n = 0; n < N; ++n) {
+    // recompute_load with every variant at 0: pin caps in ascending
+    // gate order, one wire-term add, one add per primary output.
+    double load = 0.0;
+    const std::int32_t lo = fo_base_[n];
+    const std::int32_t hi = fo_base_[n + 1];
+    for (std::int32_t k = lo; k < hi; ++k) {
+      load += cap_[kv_base_[kind_[static_cast<std::size_t>(fo_gate_[k])]]];
+    }
+    if (hi > lo) load += wire_ff_[n];
+    for (std::int32_t i = 0; i < po_count_[n]; ++i) load += po_load;
+    load0[n] = load;
+    arr0[n] = 0.0;
+    prev0[n] = -1;
+  }
+  for (std::size_t g = 0; g < G; ++g) pin0[g] = netlist::kNoNet;
+  for (const GateId g : graph.topo) {
+    const std::size_t gi = static_cast<std::size_t>(g);
+    const CellKind kind = static_cast<CellKind>(kind_[gi]);
+    if (kind == CellKind::kTieLo || kind == CellKind::kTieHi) continue;
+    const double res = res_[kv_base_[kind_[gi]]];  // variant 0
+    if (kind == CellKind::kDff) {
+      const std::size_t q = static_cast<std::size_t>(out_nets_[out_base_[gi]]);
+      const double t = arc_int_[arc_base_[gi]] + res * load0[q];
+      prev0[q] = g;
+      if (t != arr0[q]) arr0[q] = t;
+      continue;
+    }
+    const std::int32_t ib = in_base_[gi];
+    const int ni = in_base_[gi + 1] - ib;
+    const std::int32_t ob = out_base_[gi];
+    const int no = out_base_[gi + 1] - ob;
+    for (int o = 0; o < no; ++o) {
+      const std::size_t out = static_cast<std::size_t>(out_nets_[ob + o]);
+      const double rl = res * load0[out];
+      const double* intr = arc_int_ + arc_base_[gi] + o * ni;
+      double worst = 0.0;
+      std::int32_t worst_in = netlist::kNoNet;
+      for (int i = 0; i < ni; ++i) {
+        const std::size_t in = static_cast<std::size_t>(in_nets_[ib + i]);
+        const double t = arr0[in] + intr[i] + rl;
+        if (t > worst) {
+          worst = t;
+          worst_in = in_nets_[ib + i];
+        }
+      }
+      if (worst > 0.0) {
+        prev0[out] = g;
+        pin0[gi] = worst_in;
+      } else {
+        prev0[out] = -1;
+      }
+      if (worst != arr0[out]) arr0[out] = worst;
+    }
+  }
+  // slack_/required_ need no init: refresh_slacks rewrites a lane's
+  // full span before any slack read on that lane.
+  for (std::size_t n = 0; n < N; ++n) {
+    for (std::size_t l = 0; l < L; ++l) {
+      load_[n * L + l] = load0[n];
+      arrival_[n * L + l] = arr0[n];
+      prev_[n * L + l] = prev0[n];
+    }
+  }
+  for (std::size_t g = 0; g < G; ++g) {
+    for (std::size_t l = 0; l < L; ++l) prev_in_[g * L + l] = pin0[g];
+  }
+  refresh_endpoints(0);
+  for (std::size_t l = 1; l < L; ++l) {
+    max_po_arrival_ps_[l] = max_po_arrival_ps_[0];
+    min_clock_period_ps_[l] = min_clock_period_ps_[0];
+    critical_ps_[l] = critical_ps_[0];
+    worst_endpoint_[l] = worst_endpoint_[0];
+  }
+}
+
+double BatchTimer::recompute_load(NetId n, int lane) const {
+  // Mirrors IncrementalTimer::recompute_load (itself the mirror of
+  // compute_loads): fanout pin caps in ascending gate order, then the
+  // wire term as one add, then one add per primary-output occurrence.
+  const std::size_t idx = static_cast<std::size_t>(n);
+  const std::size_t L = static_cast<std::size_t>(lanes_);
+  double load = 0.0;
+  const std::int32_t lo = fo_base_[idx];
+  const std::int32_t hi = fo_base_[idx + 1];
+  for (std::int32_t k = lo; k < hi; ++k) {
+    const std::size_t g = static_cast<std::size_t>(fo_gate_[k]);
+    load += cap_[kv_base_[kind_[g]] + variant_[g * L + static_cast<std::size_t>(
+                                                           lane)]];
+  }
+  if (hi > lo) load += wire_ff_[idx];
+  for (std::int32_t i = 0; i < po_count_[idx]; ++i) {
+    load += lib_.output_load_ff();
+  }
+  return load;
+}
+
+void BatchTimer::mark(GateId g, std::uint32_t lanes) {
+  const int p = graph_.topo_pos[static_cast<std::size_t>(g)];
+  mark_[static_cast<std::size_t>(g)] |= lanes;
+  bm_[static_cast<std::size_t>(p) >> 6] |= std::uint64_t{1} << (p & 63);
+  if (p < scan_from_) scan_from_ = p;
+}
+
+void BatchTimer::retime_masked(GateId g, std::uint32_t mask) {
+  const std::size_t gi = static_cast<std::size_t>(g);
+  const std::size_t L = static_cast<std::size_t>(lanes_);
+  const CellKind kind = static_cast<CellKind>(kind_[gi]);
+  if (kind == CellKind::kTieLo || kind == CellKind::kTieHi) {
+    return;  // constants arrive at time 0
+  }
+  const std::int32_t kb = kv_base_[kind_[gi]];
+  if (kind == CellKind::kDff) {
+    const std::size_t q = static_cast<std::size_t>(out_nets_[out_base_[gi]]);
+    const double intr = arc_int_[arc_base_[gi]];  // clk-to-Q intrinsic[0][0]
+    std::uint32_t changed = 0;
+    std::uint32_t m = mask;
+    while (m != 0) {
+      const int lane = __builtin_ctz(m);
+      m &= m - 1;
+      const std::size_t ql = q * L + static_cast<std::size_t>(lane);
+      const double t = intr + res_[kb + variant_[gi * L + static_cast<
+                                                              std::size_t>(
+                                                              lane)]] *
+                                  load_[ql];
+      prev_[ql] = static_cast<std::int32_t>(g);
+      if (t != arrival_[ql]) {
+        arrival_[ql] = t;
+        changed |= lane_bit(lane);
+      }
+    }
+    if (changed != 0) {
+      const std::int32_t lo = fo_base_[q], hi = fo_base_[q + 1];
+      for (std::int32_t k = lo; k < hi; ++k) mark(fo_gate_[k], changed);
+    }
+    return;
+  }
+  const std::int32_t ib = in_base_[gi];
+  const int ni = in_base_[gi + 1] - ib;
+  const std::int32_t ob = out_base_[gi];
+  const int no = out_base_[gi + 1] - ob;
+  for (int o = 0; o < no; ++o) {
+    const std::size_t out = static_cast<std::size_t>(out_nets_[ob + o]);
+    const double* intr = arc_int_ + arc_base_[gi] + o * ni;
+    std::uint32_t changed = 0;
+    std::uint32_t m = mask;
+    while (m != 0) {
+      const int lane = __builtin_ctz(m);
+      m &= m - 1;
+      const std::size_t ls = static_cast<std::size_t>(lane);
+      const double rl = res_[kb + variant_[gi * L + ls]] * load_[out * L + ls];
+      double worst = 0.0;
+      std::int32_t worst_in = netlist::kNoNet;
+      for (int i = 0; i < ni; ++i) {
+        const std::size_t in = static_cast<std::size_t>(in_nets_[ib + i]);
+        const double t = arrival_[in * L + ls] + intr[i] + rl;
+        if (t > worst) {
+          worst = t;
+          worst_in = in_nets_[ib + i];
+        }
+      }
+      // Same `worst > 0` guard semantics as the single-lane timer: nets
+      // are single-driver, so the only competitor is the initial 0.
+      const std::size_t ol = out * L + ls;
+      if (worst > 0.0) {
+        prev_[ol] = static_cast<std::int32_t>(g);
+        prev_in_[gi * L + ls] = worst_in;
+      } else {
+        prev_[ol] = -1;
+      }
+      if (worst != arrival_[ol]) {
+        arrival_[ol] = worst;
+        changed |= lane_bit(lane);
+      }
+    }
+    if (changed != 0) {
+      const std::int32_t lo = fo_base_[out], hi = fo_base_[out + 1];
+      for (std::int32_t k = lo; k < hi; ++k) mark(fo_gate_[k], changed);
+    }
+  }
+}
+
+void BatchTimer::sweep() {
+  std::uint64_t retimed = 0;
+  const int W = (num_gates_ + 63) >> 6;
+  for (int w = scan_from_ >> 6; w < W; ++w) {
+    std::uint64_t bits = bm_[w];
+    while (bits != 0) {
+      const int b = __builtin_ctzll(bits);
+      const int p = (w << 6) | b;
+      // Clear before retiming: retime_masked may mark fanout in this
+      // same word (always above bit b), picked up by the reload below.
+      bm_[w] = bits & (bits - 1);
+      const GateId g = graph_.topo[static_cast<std::size_t>(p)];
+      const std::uint32_t m = mark_[static_cast<std::size_t>(g)];
+      mark_[static_cast<std::size_t>(g)] = 0;
+      retimed += static_cast<std::uint64_t>(__builtin_popcount(m));
+      touched_ |= m;
+      retime_masked(g, m);
+      bits = bm_[w];
+    }
+  }
+  scan_from_ = num_gates_;
+  util::perf_counters().sta_gates_retimed.fetch_add(retimed,
+                                                    std::memory_order_relaxed);
+}
+
+void BatchTimer::update(
+    const std::vector<std::vector<GateId>>& resized_by_lane) {
+  util::perf_counters().sta_incremental_updates.fetch_add(
+      1, std::memory_order_relaxed);
+  const std::size_t L = static_cast<std::size_t>(lanes_);
+  touched_ = 0;
+  for (std::size_t lane = 0; lane < resized_by_lane.size(); ++lane) {
+    for (GateId g : resized_by_lane[lane]) {
+      const std::size_t gi = static_cast<std::size_t>(g);
+      touched_ |= lane_bit(static_cast<int>(lane));
+      // The gate's input-pin capacitance changed with the variant, so
+      // its fanin nets carry a different load — which changes the arc
+      // delays of the gates driving them.
+      for (std::int32_t k = in_base_[gi]; k < in_base_[gi + 1]; ++k) {
+        const NetId n = in_nets_[k];
+        const double load = recompute_load(n, static_cast<int>(lane));
+        const std::size_t nl = static_cast<std::size_t>(n) * L + lane;
+        if (load != load_[nl]) {
+          load_[nl] = load;
+          const std::int32_t drv = driver_[static_cast<std::size_t>(n)];
+          if (drv >= 0) mark(drv, lane_bit(static_cast<int>(lane)));
+        }
+      }
+      mark(g, lane_bit(static_cast<int>(lane)));  // its drive res changed
+    }
+  }
+  sweep();
+  std::uint32_t t = touched_;
+  while (t != 0) {
+    const int lane = __builtin_ctz(t);
+    t &= t - 1;
+    refresh_endpoints(lane);
+  }
+}
+
+void BatchTimer::refresh_endpoints(int lane) {
+  const std::size_t L = static_cast<std::size_t>(lanes_);
+  const std::size_t ls = static_cast<std::size_t>(lane);
+  double max_po = 0.0;
+  std::int32_t worst = netlist::kNoNet;
+  for (NetId n : nl_.primary_outputs()) {
+    const double t = arrival_[static_cast<std::size_t>(n) * L + ls];
+    if (t > max_po) {
+      max_po = t;
+      worst = n;
+    }
+  }
+  double min_clk = 0.0;
+  for (GateId g : graph_.dffs) {
+    const NetId d = in_nets_[in_base_[static_cast<std::size_t>(g)]];
+    const double t = arrival_[static_cast<std::size_t>(d) * L + ls] + dff_setup_;
+    if (t > min_clk) {
+      min_clk = t;
+      if (t >= max_po) worst = d;
+    }
+  }
+  max_po_arrival_ps_[ls] = max_po;
+  min_clock_period_ps_[ls] = min_clk;
+  critical_ps_[ls] = std::max(max_po, min_clk);
+  worst_endpoint_[ls] = worst;
+}
+
+void BatchTimer::critical_path(int lane, std::vector<GateId>& out) const {
+  const std::size_t L = static_cast<std::size_t>(lanes_);
+  const std::size_t ls = static_cast<std::size_t>(lane);
+  out.clear();
+  std::int32_t cursor = worst_endpoint_[ls];
+  while (cursor != netlist::kNoNet &&
+         prev_[static_cast<std::size_t>(cursor) * L + ls] >= 0) {
+    const GateId g = prev_[static_cast<std::size_t>(cursor) * L + ls];
+    out.push_back(g);
+    if (static_cast<CellKind>(kind_[static_cast<std::size_t>(g)]) ==
+        CellKind::kDff) {
+      break;
+    }
+    cursor = prev_in_[static_cast<std::size_t>(g) * L + ls];
+  }
+  std::reverse(out.begin(), out.end());
+}
+
+void BatchTimer::refresh_slacks(const double* target_ps_by_lane) {
+  // Mirror of synth's net_slacks_core over lane state: same required-
+  // time initialization, same reverse-topological relaxation order.
+  // All lanes ride one walk of the shared reverse topo; within each
+  // step the lane loop is innermost and each lane executes exactly the
+  // per-lane operation sequence (rl product, then one subtract-and-min
+  // per input, in ascending input order), so every lane's required
+  // times are bit-identical to a dedicated single-lane pass.
+  const std::size_t L = static_cast<std::size_t>(lanes_);
+  const std::size_t N = static_cast<std::size_t>(num_nets_);
+  const double inf = std::numeric_limits<double>::infinity();
+  for (std::size_t x = 0; x < L * N; ++x) required_[x] = inf;
+  for (std::size_t l = 0; l < L; ++l) {
+    double* req = required_ + l * N;
+    for (NetId n : nl_.primary_outputs()) {
+      double& r = req[static_cast<std::size_t>(n)];
+      r = std::min(r, target_ps_by_lane[l]);
+    }
+  }
+  double rl[kMaxLanes];
+  double ro[kMaxLanes];  // req[out] per lane, fixed for the gate's inputs
+  for (auto it = graph_.topo.rbegin(); it != graph_.topo.rend(); ++it) {
+    const std::size_t gi = static_cast<std::size_t>(*it);
+    const CellKind kind = static_cast<CellKind>(kind_[gi]);
+    if (kind == CellKind::kDff) {
+      const std::size_t d = static_cast<std::size_t>(in_nets_[in_base_[gi]]);
+      for (std::size_t l = 0; l < L; ++l) {
+        double& r = required_[l * N + d];
+        r = std::min(r, target_ps_by_lane[l] - dff_setup_);
+      }
+      continue;
+    }
+    const std::int32_t ib = in_base_[gi];
+    const int ni = in_base_[gi + 1] - ib;
+    const std::int32_t ob = out_base_[gi];
+    const int no = out_base_[gi + 1] - ob;
+    const std::int32_t kb = kv_base_[kind_[gi]];
+    for (int o = 0; o < no; ++o) {
+      const std::size_t out = static_cast<std::size_t>(out_nets_[ob + o]);
+      std::uint32_t act = 0;
+      for (std::size_t l = 0; l < L; ++l) {
+        const double req_out = required_[l * N + out];
+        if (req_out == inf) continue;
+        act |= std::uint32_t{1} << l;
+        ro[l] = req_out;
+        rl[l] = res_[kb + variant_[gi * L + l]] * load_[out * L + l];
+      }
+      if (act == 0) continue;
+      const double* intr = arc_int_ + arc_base_[gi] + o * ni;
+      for (int i = 0; i < ni; ++i) {
+        const std::size_t in = static_cast<std::size_t>(in_nets_[ib + i]);
+        for (std::size_t l = 0; l < L; ++l) {
+          if ((act & (std::uint32_t{1} << l)) == 0) continue;
+          const double req_in = ro[l] - intr[i] - rl[l];
+          double& r = required_[l * N + in];
+          r = std::min(r, req_in);
+        }
+      }
+    }
+  }
+  for (std::size_t l = 0; l < L; ++l) {
+    const double* req = required_ + l * N;
+    double* slk = slack_ + l * N;
+    for (std::size_t n = 0; n < N; ++n) {
+      const double r = req[n];
+      slk[n] = r != inf ? r - arrival_[n * L + l] : inf;
+    }
+  }
+}
+
+}  // namespace rlmul::sta

@@ -1,0 +1,210 @@
+#pragma once
+// Lane-parallel incremental STA: L independent timing states ("lanes")
+// over one shared netlist structure. A lane is one (design, target)
+// sizing trajectory; all lanes share the connectivity, the topological
+// order and the wire model, and differ only in their gate-variant
+// assignment — exactly the situation the multi-constraint evaluator is
+// in when it sizes one prepared netlist against every delay target.
+//
+// Bit-exactness contract: lane l's loads, arrivals, critical delay and
+// critical path are bit-identical to an IncrementalTimer over a private
+// netlist copy whose gate variants equal variant(l, g). Every floating
+// point operation mirrors incremental.cpp in the same order: load
+// recomputation sums fanout pin caps in ascending gate order, then one
+// wire-term add, then one add per primary-output occurrence; arc
+// arrivals use `t > worst` (strict), the `worst > 0.0` prev guard and
+// the `worst != arrival` change test. The property tests in
+// tests/test_batch_eval.cpp enforce this against the single-design
+// path, the same way the incremental-STA tests pin IncrementalTimer to
+// sta::analyze.
+//
+// Layout: every per-net / per-gate quantity is a structure-of-arrays
+// slab indexed [node * lanes + lane], carved from a caller-owned
+// nt::ScratchArena, so a steady-state batch performs zero heap
+// allocations and the lane axis is contiguous (the strided sweeps walk
+// the topological order once and touch all marked lanes of a node
+// together).
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/cell_library.hpp"
+#include "netlist/netlist.hpp"
+#include "nt/arena.hpp"
+#include "sta/sta.hpp"
+
+namespace rlmul::sta {
+
+class BatchTimer {
+ public:
+  /// Lane masks are 32-bit.
+  static constexpr int kMaxLanes = 32;
+
+  /// Builds the flattened structure (CSR connectivity, per-kind variant
+  /// tables, per-gate arc intrinsics) from `nl` + `graph` and runs one
+  /// full timing pass with all variants at 0, broadcast to every lane —
+  /// the state an IncrementalTimer constructor would produce per lane.
+  /// `graph` must describe `nl`; both must outlive the timer, as must
+  /// `arena` (all slabs live in it until its next reset()).
+  BatchTimer(const netlist::Netlist& nl, const netlist::CellLibrary& lib,
+             const TimingGraph& graph, int lanes, nt::ScratchArena& arena);
+
+  BatchTimer(const BatchTimer&) = delete;
+  BatchTimer& operator=(const BatchTimer&) = delete;
+
+  int lanes() const { return lanes_; }
+  int num_gates() const { return num_gates_; }
+  int num_nets() const { return num_nets_; }
+
+  int variant(int lane, netlist::GateId g) const {
+    return variant_[static_cast<std::size_t>(g) *
+                        static_cast<std::size_t>(lanes_) +
+                    static_cast<std::size_t>(lane)];
+  }
+  /// Callers record the changed gates and pass them to update() — the
+  /// timer itself does not track dirtiness across set_variant calls.
+  void set_variant(int lane, netlist::GateId g, int v) {
+    variant_[static_cast<std::size_t>(g) * static_cast<std::size_t>(lanes_) +
+             static_cast<std::size_t>(lane)] = static_cast<std::int32_t>(v);
+  }
+
+  double critical_ps(int lane) const {
+    return critical_ps_[static_cast<std::size_t>(lane)];
+  }
+  double load_ff(int lane, netlist::NetId n) const {
+    return load_[static_cast<std::size_t>(n) * static_cast<std::size_t>(lanes_) +
+                 static_cast<std::size_t>(lane)];
+  }
+  double arrival_ps(int lane, netlist::NetId n) const {
+    return arrival_[static_cast<std::size_t>(n) *
+                        static_cast<std::size_t>(lanes_) +
+                    static_cast<std::size_t>(lane)];
+  }
+  /// Lane slab pointers for bulk snapshots; stride == lanes().
+  const double* load_slab() const { return load_; }
+  const std::int32_t* variant_slab() const { return variant_; }
+
+  /// Placed area of gate g at its lane-l variant, from the packed
+  /// library table (the same double lib.area(kind, variant) returns, so
+  /// sums built from it match netlist_area bit for bit).
+  double area(int lane, netlist::GateId g) const {
+    const std::size_t gi = static_cast<std::size_t>(g);
+    return area_[static_cast<std::size_t>(kv_base_[kind_[gi]]) +
+                 static_cast<std::size_t>(
+                     variant_[gi * static_cast<std::size_t>(lanes_) +
+                              static_cast<std::size_t>(lane)])];
+  }
+  /// drive_res(kind(g), v) from the packed table — bit-identical to the
+  /// library call; the area-recovery penalty reads two per candidate.
+  double drive_res(netlist::GateId g, int v) const {
+    return res_[static_cast<std::size_t>(
+                    kv_base_[kind_[static_cast<std::size_t>(g)]]) +
+                static_cast<std::size_t>(v)];
+  }
+  /// lib.num_variants(kind(g)) from the packed table (the upsize loops
+  /// ask this for every gate on every pass).
+  int num_variants(netlist::GateId g) const {
+    const int k = kind_[static_cast<std::size_t>(g)];
+    return kv_base_[k + 1] - kv_base_[k];
+  }
+
+  /// Incremental sweep after variant edits: resized_by_lane[l] lists
+  /// the gates whose variant changed on lane l since the last sweep, in
+  /// the order they were resized (the order IncrementalTimer::update
+  /// receives them in). One masked pass over the shared topological
+  /// order re-times every affected (gate, lane) exactly once.
+  void update(
+      const std::vector<std::vector<netlist::GateId>>& resized_by_lane);
+
+  /// Gates on lane l's critical path, source to endpoint (mirror of
+  /// IncrementalTimer::critical_path, into a caller buffer).
+  void critical_path(int lane, std::vector<netlist::GateId>& out) const;
+
+  /// Backward required-time pass for every lane at its own target —
+  /// the mirror of synth's net_slacks_core over lane state, walking
+  /// the shared reverse topological order once with all lanes strided
+  /// (each lane's arithmetic is the exact per-lane sequence, so the
+  /// results are bit-identical to one pass per lane).
+  /// `target_ps_by_lane` has lanes() entries; slack(lane, n) is valid
+  /// until the next refresh.
+  void refresh_slacks(const double* target_ps_by_lane);
+  double slack(int lane, netlist::NetId n) const {
+    return slack_[static_cast<std::size_t>(lane) *
+                      static_cast<std::size_t>(num_nets_) +
+                  static_cast<std::size_t>(n)];
+  }
+
+ private:
+  double recompute_load(netlist::NetId n, int lane) const;
+  /// Re-times all outputs of gate g on every lane in `mask`; marks the
+  /// fanout of changed nets. Lanes are independent (no cross-lane
+  /// arithmetic), so each lane's operations are bit-identical however
+  /// the lane loop is nested; the implementation iterates outputs
+  /// outermost to mark each changed net's fanout once with the combined
+  /// changed-lane mask instead of once per lane.
+  void retime_masked(netlist::GateId g, std::uint32_t mask);
+  /// Records that gate g needs a retime on every lane in `lanes`.
+  void mark(netlist::GateId g, std::uint32_t lanes);
+  void sweep();
+  void refresh_endpoints(int lane);
+
+  const netlist::Netlist& nl_;
+  const netlist::CellLibrary& lib_;
+  const TimingGraph& graph_;
+  int lanes_ = 0;
+  int num_gates_ = 0;
+  int num_nets_ = 0;
+  double dff_setup_ = 0.0;  ///< lib.setup(kDff), hoisted
+
+  // Flattened, lane-independent structure (arena-backed).
+  std::uint8_t* kind_ = nullptr;       ///< per gate
+  std::int32_t* in_base_ = nullptr;    ///< per gate+1: CSR into in_nets_
+  std::int32_t* out_base_ = nullptr;   ///< per gate+1: CSR into out_nets_
+  std::int32_t* in_nets_ = nullptr;
+  std::int32_t* out_nets_ = nullptr;
+  std::int32_t* arc_base_ = nullptr;   ///< per gate: CSR into arc_int_
+  double* arc_int_ = nullptr;          ///< intrinsic[o * num_in + i]
+  std::int32_t* kv_base_ = nullptr;    ///< per cell kind: into res_/cap_
+  double* res_ = nullptr;              ///< drive_res[kind, variant] packed
+  double* cap_ = nullptr;              ///< input_cap[kind, variant] packed
+  double* area_ = nullptr;             ///< area[kind, variant] packed
+  const std::int32_t* fo_base_ = nullptr;   ///< per net+1: CSR (borrowed
+  const std::int32_t* fo_gate_ = nullptr;   ///<   from the TimingGraph)
+  const std::int32_t* driver_ = nullptr;    ///< per net (borrowed)
+  const double* wire_ff_ = nullptr;         ///< per net (borrowed)
+  const std::int32_t* po_count_ = nullptr;  ///< per net (borrowed)
+
+  // Lane state slabs, indexed [node * lanes_ + lane].
+  double* load_ = nullptr;
+  double* arrival_ = nullptr;
+  std::int32_t* prev_ = nullptr;     ///< per net: gate that set arrival
+  std::int32_t* prev_in_ = nullptr;  ///< per gate: worst input net
+  std::int32_t* variant_ = nullptr;  ///< per gate
+  // refresh_slacks state. Both arrays are private to that pass (slack
+  // values are only meaningful after a refresh on the lane), so they
+  // are laid out [lane][net] — contiguous per lane — rather than
+  // interleaved like the shared slabs.
+  double* slack_ = nullptr;
+  double* required_ = nullptr;
+
+  // Sweep working state. The worklist is a bitmap over topological
+  // positions (bit p set = the gate at position p has marked lanes):
+  // sweeping scans the words in order and pops set bits lowest-first,
+  // which visits marked gates in exactly the ascending-position order a
+  // linear scan over the topological order would — but a whole word of
+  // 64 unmarked positions costs one load. Retiming only marks fanout,
+  // which sits at strictly greater positions, so a popped bit never
+  // re-sets behind the scan cursor.
+  std::uint32_t* mark_ = nullptr;  ///< per gate: lanes needing a retime
+  std::uint64_t* bm_ = nullptr;    ///< marked topo positions, 64 per word
+  int scan_from_ = 0;              ///< lowest possibly-marked position
+  std::uint32_t touched_ = 0;
+
+  // Per-lane endpoint summary (mirrors refresh_endpoints).
+  double* max_po_arrival_ps_ = nullptr;
+  double* min_clock_period_ps_ = nullptr;
+  double* critical_ps_ = nullptr;
+  std::int32_t* worst_endpoint_ = nullptr;
+};
+
+}  // namespace rlmul::sta

@@ -16,16 +16,18 @@ using netlist::Netlist;
 std::shared_ptr<const TimingGraph> TimingGraph::build(const Netlist& nl,
                                                       const CellLibrary& lib) {
   auto g = std::make_shared<TimingGraph>();
-  g->topo = nl.topo_order();
+  // driver/fanout feed both the graph fields and the topological sort;
+  // computing them once here halves the build cost.
+  g->driver = nl.driver_gate();
+  nl.fanout_csr(g->fo_base, g->fo_gate);
+  g->topo = nl.topo_order(g->driver, g->fo_base, g->fo_gate);
   g->topo_pos.assign(nl.gates().size(), 0);
   for (std::size_t i = 0; i < g->topo.size(); ++i) {
     g->topo_pos[static_cast<std::size_t>(g->topo[i])] = static_cast<int>(i);
   }
-  g->driver = nl.driver_gate();
-  g->fanout = nl.fanout();
   g->wire_ff.assign(static_cast<std::size_t>(nl.num_nets()), 0.0);
   for (std::size_t n = 0; n < g->wire_ff.size(); ++n) {
-    const std::size_t count = g->fanout[n].size();
+    const std::int32_t count = g->fo_base[n + 1] - g->fo_base[n];
     if (count > 0) {
       g->wire_ff[n] = lib.wire_cap_fixed_ff() +
                       lib.wire_cap_per_fanout_ff() * static_cast<int>(count);
@@ -56,12 +58,14 @@ double IncrementalTimer::recompute_load(NetId n) const {
   // then one add per primary-output occurrence.
   const std::size_t idx = static_cast<std::size_t>(n);
   double load = 0.0;
-  for (const auto& [g, pin] : graph_->fanout[idx]) {
-    (void)pin;
-    const Gate& gate = nl_.gates()[static_cast<std::size_t>(g)];
+  const std::int32_t lo = graph_->fo_base[idx];
+  const std::int32_t hi = graph_->fo_base[idx + 1];
+  for (std::int32_t k = lo; k < hi; ++k) {
+    const Gate& gate = nl_.gates()[static_cast<std::size_t>(
+        graph_->fo_gate[static_cast<std::size_t>(k)])];
     load += lib_.input_cap(gate.kind, gate.variant);
   }
-  if (!graph_->fanout[idx].empty()) load += graph_->wire_ff[idx];
+  if (hi > lo) load += graph_->wire_ff[idx];
   for (int i = 0; i < graph_->po_count[idx]; ++i) {
     load += lib_.output_load_ff();
   }
@@ -200,9 +204,10 @@ void IncrementalTimer::update(const std::vector<GateId>& resized) {
     changed_nets.clear();
     retime_gate(g, &changed_nets);
     for (NetId n : changed_nets) {
-      for (const auto& [sink, pin] : graph_->fanout[static_cast<std::size_t>(n)]) {
-        (void)pin;
-        push(sink);
+      const std::int32_t lo = graph_->fo_base[static_cast<std::size_t>(n)];
+      const std::int32_t hi = graph_->fo_base[static_cast<std::size_t>(n) + 1];
+      for (std::int32_t k = lo; k < hi; ++k) {
+        push(graph_->fo_gate[static_cast<std::size_t>(k)]);
       }
     }
   }

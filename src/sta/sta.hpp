@@ -10,6 +10,7 @@
 // paths end at DFF D pins (plus setup), and DFF Q pins launch with the
 // clock-to-Q arc.
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -58,10 +59,14 @@ struct TimingGraph {
   std::vector<netlist::GateId> topo;  ///< topological gate order
   std::vector<int> topo_pos;          ///< per gate: index into `topo`
   std::vector<netlist::GateId> driver;  ///< per net; -1 = PI/floating
-  /// Per net: (gate, pin) pairs reading it, in ascending gate order
-  /// (the summation order compute_loads uses, so incremental load
-  /// recomputation is bit-identical to the full pass).
-  std::vector<std::vector<std::pair<netlist::GateId, int>>> fanout;
+  /// Per-net fanout in CSR form: the sink gates of net n are
+  /// fo_gate[fo_base[n] .. fo_base[n+1]), in ascending gate order (the
+  /// summation order compute_loads uses, so incremental load
+  /// recomputation is bit-identical to the full pass). Two flat arrays
+  /// instead of a vector per net — building one costs no per-net heap
+  /// allocation, which dominated the old representation's build time.
+  std::vector<std::int32_t> fo_base;    ///< per net + 1
+  std::vector<netlist::GateId> fo_gate;
   /// Per net: wire-model load term (0 for nets with no fanout).
   std::vector<double> wire_ff;
   /// Per net: number of times the net appears as a primary output.

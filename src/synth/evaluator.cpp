@@ -1,11 +1,14 @@
 #include "synth/evaluator.hpp"
 
+#include <algorithm>
 #include <future>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "sim/simulator.hpp"
+#include "sta/batch_sweep.hpp"
+#include "synth/batch_eval.hpp"
 #include "util/config.hpp"
 #include "util/perf_counters.hpp"
 
@@ -41,10 +44,26 @@ DesignEvaluator::DesignEvaluator(ppg::MultiplierSpec spec,
     pool_ = &util::ThreadPool::shared();
   }
   if (targets_.empty()) targets_ = default_targets(spec_);
+  // The batched pipeline sizes one lane per target; more targets than
+  // lane bits (unheard of — the paper uses 4) falls back to the
+  // single-design path.
+  if (fast_path_ &&
+      targets_.size() <= static_cast<std::size_t>(sta::BatchTimer::kMaxLanes)) {
+    const long b = util::env_long("RLMUL_BATCH_EVAL", opts_.batch);
+    if (b > 1) batch_ = static_cast<int>(std::min<long>(b, 4096));
+  }
+  if (batch_ > 1) {
+    BatchOptions bopts;
+    bopts.verify_functionality = opts_.verify_functionality;
+    bopts.verify_vectors = opts_.verify_vectors;
+    batch_eval_ = std::make_unique<BatchEvaluator>(spec_, targets_, bopts);
+  }
   const DesignEval ref = evaluate(ppg::initial_tree(spec_));
   ref_area_ = ref.sum_area > 0.0 ? ref.sum_area : 1.0;
   ref_delay_ = ref.sum_delay > 0.0 ? ref.sum_delay : 1.0;
 }
+
+DesignEvaluator::~DesignEvaluator() = default;
 
 DesignEval DesignEvaluator::compute(const ct::CompressorTree& tree,
                                     const std::string& key) const {
@@ -132,13 +151,18 @@ std::size_t DesignEvaluator::install_locked(const std::string& key,
 }
 
 DesignEval DesignEvaluator::evaluate(const ct::CompressorTree& tree) {
+  if (batch_ > 1) return evaluate_batched(tree);
+
   const std::string key = tree.key();
   {
     util::UniqueLock lock(mu_);
     for (;;) {
       auto it = index_.find(key);
       if (it != index_.end()) {
-        ++cache_hits_;
+        {
+          util::LockGuard slock(stats_mu_);
+          ++stats_.cache_hits;
+        }
         util::perf_counters().cache_hits.fetch_add(1,
                                                    std::memory_order_relaxed);
         return evals_[it->second];
@@ -146,7 +170,10 @@ DesignEval DesignEvaluator::evaluate(const ct::CompressorTree& tree) {
       if (in_flight_.find(key) == in_flight_.end()) break;
       // Another worker is synthesizing this exact tree right now: wait
       // for its result instead of duplicating hours of tool time.
-      ++inflight_waits_;
+      {
+        util::LockGuard slock(stats_mu_);
+        ++stats_.inflight_waits;
+      }
       util::perf_counters().inflight_waits.fetch_add(
           1, std::memory_order_relaxed);
       cv_.wait(lock);
@@ -163,7 +190,10 @@ DesignEval DesignEvaluator::evaluate(const ct::CompressorTree& tree) {
     if (opts_.external_cache->lookup(key, tree, stored)) {
       util::LockGuard lock(mu_);
       in_flight_.erase(key);
-      ++external_hits_;
+      {
+        util::LockGuard slock(stats_mu_);
+        ++stats_.external_hits;
+      }
       const std::size_t idx = install_locked(key, tree, stored);
       cv_.notify_all();
       return evals_[idx];
@@ -188,7 +218,10 @@ DesignEval DesignEvaluator::evaluate(const ct::CompressorTree& tree) {
     const std::size_t before = designs_.size();
     idx = install_locked(key, tree, eval);
     if (designs_.size() > before) {
-      ++synthesized_;
+      {
+        util::LockGuard slock(stats_mu_);
+        ++stats_.unique_evals;
+      }
       util::perf_counters().unique_evals.fetch_add(1,
                                                    std::memory_order_relaxed);
     }
@@ -202,13 +235,263 @@ DesignEval DesignEvaluator::evaluate(const ct::CompressorTree& tree) {
   return eval_of(idx);
 }
 
+// drain_locked releases and reacquires the caller's UniqueLock around
+// the batched synthesis, which the thread-safety analysis cannot
+// follow; every access to mu_-guarded state below happens while the
+// lock is held (verified by the tsan-labeled batch tests).
+void DesignEvaluator::drain_locked(util::UniqueLock& lock,
+                                   const std::string& my_key,
+                                   std::unordered_set<std::string>* resolved)
+    RLMUL_NO_THREAD_SAFETY_ANALYSIS {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<std::string> keys;
+  std::vector<ct::CompressorTree> trees;
+  std::uint64_t wait_us = 0;
+  auto take = [&](const std::string& k) {
+    auto it = pending_.find(k);
+    keys.push_back(k);
+    trees.push_back(std::move(it->second.tree));
+    wait_us += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            now - it->second.since)
+            .count());
+    pending_.erase(it);
+    in_flight_.insert(k);
+  };
+  take(my_key);
+  while (static_cast<int>(keys.size()) < batch_ && !pending_order_.empty()) {
+    const std::string k = std::move(pending_order_.front());
+    pending_order_.pop_front();
+    if (pending_.find(k) == pending_.end()) continue;  // stale entry
+    take(k);
+  }
+  lock.unlock();
+
+  // External-cache hits replace synthesis and charge nothing, exactly
+  // as on the per-call path.
+  std::vector<char> external(keys.size(), 0);
+  std::vector<DesignEval> stored(keys.size());
+  std::vector<std::size_t> miss;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (opts_.external_cache != nullptr &&
+        opts_.external_cache->lookup(keys[i], trees[i], stored[i])) {
+      external[i] = 1;
+    } else {
+      miss.push_back(i);
+    }
+  }
+
+  std::vector<BatchResult> computed;
+  if (!miss.empty()) {
+    std::vector<ct::CompressorTree> miss_trees;
+    std::vector<std::string> miss_keys;
+    miss_trees.reserve(miss.size());
+    miss_keys.reserve(miss.size());
+    for (std::size_t idx : miss) {
+      miss_trees.push_back(trees[idx]);
+      miss_keys.push_back(keys[idx]);
+    }
+    computed = batch_eval_->evaluate(miss_trees, miss_keys, *pool_);
+  }
+
+  auto& counters = util::perf_counters();
+  counters.eval_batches.fetch_add(1, std::memory_order_relaxed);
+  counters.eval_batched_designs.fetch_add(keys.size(),
+                                          std::memory_order_relaxed);
+  counters.eval_batch_coalesce_wait_us.fetch_add(wait_us,
+                                                 std::memory_order_relaxed);
+  {
+    util::LockGuard slock(stats_mu_);
+    ++stats_.eval_batches;
+    stats_.eval_batched_designs += keys.size();
+    stats_.eval_batch_coalesce_us += wait_us;
+  }
+
+  lock.lock();
+  std::exception_ptr my_error;
+  // Fresh successes to offer to the cross-run cache once mu_ drops.
+  std::vector<std::size_t> fresh;
+  std::vector<DesignEval> fresh_evals;
+  for (const std::string& k : keys) in_flight_.erase(k);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (external[i] == 0) continue;
+    {
+      util::LockGuard slock(stats_mu_);
+      ++stats_.external_hits;
+    }
+    install_locked(keys[i], trees[i], stored[i]);
+    if (resolved != nullptr) resolved->insert(keys[i]);
+  }
+  for (std::size_t j = 0; j < miss.size(); ++j) {
+    const std::size_t idx = miss[j];
+    BatchResult& br = computed[j];
+    if (br.error != nullptr) {
+      // The drainer throws its own failure; other failed designs stay
+      // unresolved — their waiters re-enqueue and hit the error in a
+      // drain of their own.
+      if (keys[idx] == my_key) my_error = br.error;
+      continue;
+    }
+    DesignEval eval;
+    for (const SynthesisResult& res : br.per_target) {
+      eval.sum_area += res.area_um2;
+      eval.sum_delay += res.delay_ns;
+      eval.sum_power += res.power_mw;
+      eval.per_target.push_back(res);
+    }
+    const std::size_t before = designs_.size();
+    install_locked(keys[idx], trees[idx], eval);
+    if (designs_.size() > before) {
+      {
+        util::LockGuard slock(stats_mu_);
+        ++stats_.unique_evals;
+      }
+      counters.unique_evals.fetch_add(1, std::memory_order_relaxed);
+      if (opts_.external_cache != nullptr) {
+        fresh.push_back(idx);
+        fresh_evals.push_back(std::move(eval));
+      }
+    }
+    if (resolved != nullptr) resolved->insert(keys[idx]);
+  }
+  draining_ = false;
+  cv_.notify_all();
+
+  if (!fresh.empty()) {
+    lock.unlock();
+    for (std::size_t j = 0; j < fresh.size(); ++j) {
+      opts_.external_cache->store(keys[fresh[j]], trees[fresh[j]],
+                                  fresh_evals[j]);
+    }
+    lock.lock();
+  }
+  if (my_error != nullptr) std::rethrow_exception(my_error);
+}
+
+DesignEval DesignEvaluator::evaluate_batched(const ct::CompressorTree& tree) {
+  const std::string key = tree.key();
+  std::unordered_set<std::string> resolved;
+  util::UniqueLock lock(mu_);
+  for (;;) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      if (resolved.count(key) != 0) {
+        // This caller's own drain produced the result — same
+        // accounting as the computing worker on the per-call path (no
+        // cache-hit bump).
+        return evals_[it->second];
+      }
+      {
+        util::LockGuard slock(stats_mu_);
+        ++stats_.cache_hits;
+      }
+      util::perf_counters().cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return evals_[it->second];
+    }
+    if (in_flight_.count(key) != 0) {
+      // A drain in progress covers this key: wait for it.
+      {
+        util::LockGuard slock(stats_mu_);
+        ++stats_.inflight_waits;
+      }
+      util::perf_counters().inflight_waits.fetch_add(
+          1, std::memory_order_relaxed);
+      cv_.wait(lock);
+      continue;
+    }
+    if (pending_.count(key) == 0) {
+      pending_.emplace(key,
+                       Pending{tree, std::chrono::steady_clock::now()});
+      pending_order_.push_back(key);
+    }
+    if (!draining_) {
+      draining_ = true;
+      drain_locked(lock, key, &resolved);
+      continue;
+    }
+    // Another caller is draining a batch that may not include this
+    // key; re-check once it finishes.
+    cv_.wait(lock);
+  }
+}
+
+std::vector<DesignEval> DesignEvaluator::evaluate_batch(
+    const std::vector<ct::CompressorTree>& trees) {
+  std::vector<DesignEval> out;
+  out.reserve(trees.size());
+  if (batch_ <= 1) {
+    for (const auto& tree : trees) out.push_back(evaluate(tree));
+    return out;
+  }
+  std::vector<std::string> keys;
+  keys.reserve(trees.size());
+  for (const auto& tree : trees) keys.push_back(tree.key());
+
+  // Keys this call synthesized itself (as drainer): their first
+  // occurrence below is accounted like the computing worker, not like
+  // a cache hit — the same totals K sequential evaluate() calls give.
+  std::unordered_set<std::string> resolved;
+  util::UniqueLock lock(mu_);
+  for (;;) {
+    bool unresolved = false;
+    const std::string* drain_key = nullptr;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (index_.count(keys[i]) != 0) continue;
+      unresolved = true;
+      if (in_flight_.count(keys[i]) != 0) continue;
+      if (pending_.count(keys[i]) == 0) {
+        pending_.emplace(keys[i],
+                         Pending{trees[i], std::chrono::steady_clock::now()});
+        pending_order_.push_back(keys[i]);
+      }
+      if (drain_key == nullptr) drain_key = &keys[i];
+    }
+    if (!unresolved) break;
+    if (drain_key != nullptr && !draining_) {
+      draining_ = true;
+      drain_locked(lock, *drain_key, &resolved);
+      continue;
+    }
+    // Everything unresolved is either in flight or queued behind an
+    // active drain; wait for it to finish and re-check.
+    {
+      util::LockGuard slock(stats_mu_);
+      ++stats_.inflight_waits;
+    }
+    util::perf_counters().inflight_waits.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    cv_.wait(lock);
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    auto it = index_.find(keys[i]);
+    auto mine = resolved.find(keys[i]);
+    if (mine != resolved.end()) {
+      resolved.erase(mine);  // only the first occurrence is "mine"
+    } else {
+      {
+        util::LockGuard slock(stats_mu_);
+        ++stats_.cache_hits;
+      }
+      util::perf_counters().cache_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+    out.push_back(evals_[it->second]);
+  }
+  return out;
+}
+
 bool DesignEvaluator::admit(const ct::CompressorTree& tree,
                             const DesignEval& eval) {
   const std::string key = tree.key();
   util::LockGuard lock(mu_);
-  if (index_.count(key) != 0 || in_flight_.count(key) != 0) return false;
+  if (index_.count(key) != 0 || in_flight_.count(key) != 0 ||
+      pending_.count(key) != 0) {
+    return false;
+  }
   install_locked(key, tree, eval);
-  ++admitted_;
+  {
+    util::LockGuard slock(stats_mu_);
+    ++stats_.admitted;
+  }
   return true;
 }
 
@@ -219,8 +502,8 @@ double DesignEvaluator::cost(const DesignEval& eval, double w_area,
 }
 
 std::size_t DesignEvaluator::num_unique_evaluations() const {
-  util::LockGuard lock(mu_);
-  return synthesized_;
+  util::LockGuard lock(stats_mu_);
+  return stats_.unique_evals;
 }
 
 pareto::Front DesignEvaluator::frontier() const {
@@ -244,14 +527,8 @@ DesignEval DesignEvaluator::eval_of(std::size_t index) const {
 }
 
 DesignEvaluator::Stats DesignEvaluator::stats() const {
-  util::LockGuard lock(mu_);
-  Stats s;
-  s.unique_evals = synthesized_;
-  s.cache_hits = cache_hits_;
-  s.inflight_waits = inflight_waits_;
-  s.external_hits = external_hits_;
-  s.admitted = admitted_;
-  return s;
+  util::LockGuard lock(stats_mu_);
+  return stats_;
 }
 
 }  // namespace rlmul::synth

@@ -18,8 +18,10 @@
 // fans the per-target synthesis out to a thread pool. Results are
 // bit-identical to the serial legacy pipeline (RLMUL_FASTPATH=0).
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -86,7 +88,18 @@ struct EvaluatorOptions {
   /// served from it do NOT count as unique evaluations — the search
   /// budget is charged only for synthesis actually run.
   EvalCache* external_cache = nullptr;
+  /// Maximum designs coalesced into one batched dispatch. Concurrent
+  /// evaluate() calls enqueue their trees; the first caller to find no
+  /// drain in progress pulls up to this many pending designs and runs
+  /// them through the batched SoA pipeline (per-design results stay
+  /// bit-identical to the single path). 1 disables batching and keeps
+  /// the per-call path. The environment variable RLMUL_BATCH_EVAL
+  /// overrides this (0 or 1 = off, N>1 = batch size) — the A/B switch
+  /// the benches compare against.
+  int batch = 16;
 };
+
+class BatchEvaluator;
 
 class DesignEvaluator {
  public:
@@ -94,12 +107,27 @@ class DesignEvaluator {
   explicit DesignEvaluator(ppg::MultiplierSpec spec,
                            std::vector<double> targets = {},
                            const EvaluatorOptions& opts = {});
+  ~DesignEvaluator();
 
   const ppg::MultiplierSpec& spec() const { return spec_; }
   const std::vector<double>& targets() const { return targets_; }
+  /// Resolved batch size (EvaluatorOptions::batch after the
+  /// RLMUL_BATCH_EVAL override); 1 = batching off.
+  int batch() const { return batch_; }
 
-  /// Synthesizes (or returns the cached result for) a tree.
+  /// Synthesizes (or returns the cached result for) a tree. With
+  /// batching on, concurrent calls coalesce: the tree joins the
+  /// pending queue and either this caller drains a batch or it waits
+  /// for the drain that covers it.
   DesignEval evaluate(const ct::CompressorTree& tree);
+
+  /// Evaluates many trees at once (results in input order) — the bulk
+  /// entry SA populations, EnvPool rollouts and warm-replay use so one
+  /// caller fills a whole batch by itself. Equivalent to calling
+  /// evaluate() per tree (same caching, budget and dsdb behavior);
+  /// throws the first failing design's error.
+  std::vector<DesignEval> evaluate_batch(
+      const std::vector<ct::CompressorTree>& trees);
 
   /// Weighted, normalized cost: the Wallace-initial design costs
   /// exactly w_area + w_delay, so weights compose across specs.
@@ -136,12 +164,31 @@ class DesignEvaluator {
     std::size_t inflight_waits = 0;  ///< duplicate work deduplicated
     std::size_t external_hits = 0;   ///< served from the external cache
     std::size_t admitted = 0;        ///< warm-start records admitted
+    std::size_t eval_batches = 0;    ///< batched dispatches drained
+    std::size_t eval_batched_designs = 0;  ///< designs across all batches
+    std::size_t eval_batch_coalesce_us = 0;  ///< summed pending-queue wait
   };
   Stats stats() const;
 
  private:
+  /// A design awaiting the next batched dispatch.
+  struct Pending {
+    ct::CompressorTree tree;
+    std::chrono::steady_clock::time_point since;
+  };
+
   DesignEval compute(const ct::CompressorTree& tree,
                      const std::string& key) const;
+  DesignEval evaluate_batched(const ct::CompressorTree& tree);
+  /// Pulls up to batch_ pending designs (my_key first), runs them as
+  /// one batched dispatch with mu_ released, installs the results and
+  /// wakes every waiter. Keys this drain resolved are added to
+  /// `resolved` when non-null. Enter with `lock` held and draining_
+  /// set; returns with `lock` held and draining_ clear. Throws
+  /// my_key's own failure (other failures re-enqueue via their
+  /// waiters).
+  void drain_locked(util::UniqueLock& lock, const std::string& my_key,
+                    std::unordered_set<std::string>* resolved);
   /// Installs into index_/designs_/evals_/frontier_; caller holds mu_.
   std::size_t install_locked(const std::string& key,
                              const ct::CompressorTree& tree,
@@ -151,25 +198,35 @@ class DesignEvaluator {
   std::vector<double> targets_;
   EvaluatorOptions opts_;
   bool fast_path_ = true;  ///< opts_.fast_path, after RLMUL_FASTPATH
+  int batch_ = 1;          ///< opts_.batch, after RLMUL_BATCH_EVAL
   double ref_area_ = 1.0;
   double ref_delay_ = 1.0;
 
   std::unique_ptr<util::ThreadPool> owned_pool_;
   util::ThreadPool* pool_ = nullptr;
+  std::unique_ptr<BatchEvaluator> batch_eval_;  ///< non-null iff batch_ > 1
 
   mutable util::Mutex mu_;
-  util::CondVar cv_;  ///< signals in-flight completion; paired with mu_
+  util::CondVar cv_;  ///< signals drain/in-flight completion; pairs mu_
   std::unordered_set<std::string> in_flight_ RLMUL_GUARDED_BY(mu_);
-  std::size_t cache_hits_ RLMUL_GUARDED_BY(mu_) = 0;
-  std::size_t inflight_waits_ RLMUL_GUARDED_BY(mu_) = 0;
-  /// Designs this process computed.
-  std::size_t synthesized_ RLMUL_GUARDED_BY(mu_) = 0;
-  std::size_t external_hits_ RLMUL_GUARDED_BY(mu_) = 0;
-  std::size_t admitted_ RLMUL_GUARDED_BY(mu_) = 0;
+  /// Designs queued for the next batched dispatch: FIFO key order plus
+  /// the tree + enqueue time per key. Keys move pending -> in_flight_
+  /// when a drain picks them up. pending_order_ may hold stale keys
+  /// (already drained); drains skip entries absent from pending_.
+  std::unordered_map<std::string, Pending> pending_ RLMUL_GUARDED_BY(mu_);
+  std::deque<std::string> pending_order_ RLMUL_GUARDED_BY(mu_);
+  bool draining_ RLMUL_GUARDED_BY(mu_) = false;
   std::unordered_map<std::string, std::size_t> index_ RLMUL_GUARDED_BY(mu_);
   std::vector<ct::CompressorTree> designs_ RLMUL_GUARDED_BY(mu_);
   std::vector<DesignEval> evals_ RLMUL_GUARDED_BY(mu_);
   pareto::Front frontier_ RLMUL_GUARDED_BY(mu_);
+
+  /// Leaf lock for the throughput counters: batch drains bump them
+  /// both inside and outside mu_'s critical sections, so they get
+  /// their own mutex (lock order: mu_ before stats_mu_, never the
+  /// reverse).
+  mutable util::Mutex stats_mu_;
+  Stats stats_ RLMUL_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace rlmul::synth

@@ -42,6 +42,14 @@ const Netlist& PreparedDesign::netlist(CpaKind cpa) const {
   return entry(cpa_index(cpa)).netlist;
 }
 
+const Netlist& PreparedDesign::netlist_at(std::size_t idx) const {
+  return entry(idx).netlist;
+}
+
+const sta::TimingGraph& PreparedDesign::graph_at(std::size_t idx) const {
+  return *entry(idx).graph;
+}
+
 SynthesisResult PreparedDesign::synthesize(double target_delay_ns) const {
   const CellLibrary& lib = CellLibrary::nangate45();
   SynthesisOptions opts;

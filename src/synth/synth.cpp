@@ -19,14 +19,17 @@ using netlist::GateId;
 using netlist::NetId;
 using netlist::Netlist;
 
-namespace {
-
-constexpr double kVdd = 1.1;  // volts
+constexpr double kVdd = kVddVolts;
 
 /// Signal probability (P[net == 1]) propagation, independence assumed.
 std::vector<double> signal_probabilities(const Netlist& nl) {
+  return signal_probabilities(nl, nl.topo_order());
+}
+
+std::vector<double> signal_probabilities(const Netlist& nl,
+                                         const std::vector<GateId>& topo) {
   std::vector<double> p(static_cast<std::size_t>(nl.num_nets()), 0.5);
-  for (GateId g : nl.topo_order()) {
+  for (GateId g : topo) {
     const Gate& gate = nl.gates()[static_cast<std::size_t>(g)];
     auto in = [&](int i) {
       return p[static_cast<std::size_t>(
@@ -81,8 +84,6 @@ std::vector<double> signal_probabilities(const Netlist& nl) {
   }
   return p;
 }
-
-}  // namespace
 
 PowerReport estimate_power(const Netlist& nl, const CellLibrary& lib,
                            double clock_ns) {

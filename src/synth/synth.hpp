@@ -34,6 +34,24 @@ struct PowerReport {
   double total_mw() const { return dynamic_mw + leakage_mw; }
 };
 
+/// Supply voltage of the power model, shared by every estimator
+/// (including the batched evaluator's strided mirror of
+/// estimate_power, which must use the very same constant to stay
+/// bit-identical).
+inline constexpr double kVddVolts = 1.1;
+
+/// Signal probability (P[net == 1]) propagation under an independence
+/// assumption — the activity model behind estimate_power. Depends only
+/// on connectivity (never on gate variants), so one result serves
+/// every sizing of the same netlist.
+std::vector<double> signal_probabilities(const netlist::Netlist& nl);
+
+/// Same propagation over a caller-provided topological order (e.g. a
+/// cached sta::TimingGraph::topo), skipping the re-sort the plain
+/// overload pays. `topo` must equal nl.topo_order().
+std::vector<double> signal_probabilities(
+    const netlist::Netlist& nl, const std::vector<netlist::GateId>& topo);
+
 /// Probabilistic power estimate: signal probabilities are propagated
 /// under an independence assumption, per-net toggle activity is
 /// 2*p*(1-p) per cycle, and switching + internal energies are summed at
@@ -130,6 +148,17 @@ class PreparedDesign {
   /// The prepared netlist for one CPA kind (variants at 0); built on
   /// first use. The evaluator runs its equivalence gate on this.
   const netlist::Netlist& netlist(netlist::CpaKind cpa) const;
+
+  /// Number of CPA architectures in the menu (== kAllCpaKinds, in the
+  /// same area order synthesize() walks them in).
+  static constexpr std::size_t num_cpa() {
+    return std::size(netlist::kAllCpaKinds);
+  }
+  /// Prepared netlist / shared timing structure by menu index; built on
+  /// first use. The batched evaluator walks the same menu in the same
+  /// order, sizing all targets of one architecture per sweep.
+  const netlist::Netlist& netlist_at(std::size_t idx) const;
+  const sta::TimingGraph& graph_at(std::size_t idx) const;
 
  private:
   static constexpr std::size_t kNumCpa = std::size(netlist::kAllCpaKinds);

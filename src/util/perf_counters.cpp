@@ -18,6 +18,9 @@ void PerfCounters::reset() {
   nn_time_us = 0;
   gemm_time_us = 0;
   nn_flops = 0;
+  eval_batches = 0;
+  eval_batched_designs = 0;
+  eval_batch_coalesce_wait_us = 0;
   dsdb_hits = 0;
   dsdb_misses = 0;
   dsdb_appends = 0;
@@ -50,6 +53,12 @@ std::string format_perf_counters() {
   os << " nn_time_us=" << c.nn_time_us.load()
      << " gemm_time_us=" << gemm_us << " nn_flops=" << flops
      << " nn_gflops=" << gflops;
+  const std::uint64_t batches = c.eval_batches.load();
+  const std::uint64_t batched = c.eval_batched_designs.load();
+  // Rounded integer average, same plain-decimal contract as above.
+  const std::uint64_t avg = batches > 0 ? (batched + batches / 2) / batches : 0;
+  os << " eval_batches=" << batches << " eval_batch_size_avg=" << avg
+     << " eval_batch_coalesce_wait_us=" << c.eval_batch_coalesce_wait_us.load();
   os << " dsdb_hits=" << c.dsdb_hits.load()
      << " dsdb_misses=" << c.dsdb_misses.load()
      << " dsdb_appends=" << c.dsdb_appends.load()

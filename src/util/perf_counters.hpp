@@ -34,6 +34,14 @@ struct PerfCounters {
   std::atomic<std::uint64_t> nn_time_us{0};
   std::atomic<std::uint64_t> gemm_time_us{0};
   std::atomic<std::uint64_t> nn_flops{0};
+  // Batched evaluation: how well concurrent evaluate() calls coalesce
+  // into shared sweeps. The formatted line derives eval_batch_size_avg
+  // (rounded integer designs/batch) from the first two; the wait is
+  // the summed time designs sat in the pending queue before their
+  // drain started.
+  std::atomic<std::uint64_t> eval_batches{0};
+  std::atomic<std::uint64_t> eval_batched_designs{0};
+  std::atomic<std::uint64_t> eval_batch_coalesce_wait_us{0};
   // Persistent design-space database (dsdb): cross-run cache traffic.
   // A hit is one synthesis this process never had to run.
   std::atomic<std::uint64_t> dsdb_hits{0};

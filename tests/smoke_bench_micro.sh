@@ -80,6 +80,42 @@ fi
 echo "PASS: bench_micro smoke (unique_evals=$unique," \
      "sta_incremental_updates=$incr, netlists_reused=$reused)"
 
+# -- batched-evaluation smoke: one batched entry must run clean (under
+# whatever sanitizer this build carries) and the coalescing counters
+# must show the batch pipeline actually drained a batch.
+batch_out="$("$bench" --benchmark_filter='BM_EvaluateBatch/bits:8/batch:8' \
+        --benchmark_min_time=0.01 2>&1)"
+batch_status=$?
+if [ "$batch_status" -ne 0 ]; then
+  echo "$batch_out"
+  echo "FAIL: bench_micro (BM_EvaluateBatch) exited with status $batch_status"
+  exit 1
+fi
+batch_line="$(printf '%s\n' "$batch_out" | grep '^RLMUL_COUNTERS ' | tail -n 1)"
+if [ -z "$batch_line" ]; then
+  echo "$batch_out"
+  echo "FAIL: no RLMUL_COUNTERS line in BM_EvaluateBatch output"
+  exit 1
+fi
+bget() {
+  printf '%s\n' "$batch_line" | tr ' ' '\n' | grep "^$1=" | head -n 1 \
+    | cut -d= -f2
+}
+batches="$(bget eval_batches)"
+bavg="$(bget eval_batch_size_avg)"
+if [ -z "$batches" ] || [ "$batches" -lt 1 ]; then
+  echo "$batch_line"
+  echo "FAIL: expected eval_batches >= 1, got '${batches:-missing}'"
+  exit 1
+fi
+if [ -z "$bavg" ] || [ "$bavg" -lt 2 ]; then
+  echo "$batch_line"
+  echo "FAIL: expected eval_batch_size_avg >= 2, got '${bavg:-missing}'"
+  exit 1
+fi
+echo "PASS: batched evaluation smoke (eval_batches=$batches," \
+     "eval_batch_size_avg=$bavg)"
+
 # -- NN kernel smoke: run the tensor benches in both GEMM modes ------------
 # (RLMUL_GEMM=naive must stay a working oracle path) and check the nn
 # counters show GEMM work was actually routed through the kernel layer.

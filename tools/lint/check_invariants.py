@@ -119,10 +119,15 @@ def check_raw_sync(root):
 
 
 # -- unguarded-mutex ----------------------------------------------------------
+# Per-mutex, not per-file: every named util::Mutex member must be
+# referenced by at least one RLMUL_GUARDED_BY / RLMUL_PT_GUARDED_BY /
+# RLMUL_REQUIRES in the same file. A file-level check let a second
+# mutex (e.g. the evaluator's stats_mu_ next to mu_) ride on the first
+# one's annotations while guarding nothing the analysis can see.
 
-MUTEX_MEMBER_RE = re.compile(r"\b(util::)?Mutex\s+\w+\s*;")
-GUARD_RE = re.compile(
-    r"RLMUL_(GUARDED_BY|PT_GUARDED_BY|REQUIRES)\s*\(")
+MUTEX_MEMBER_RE = re.compile(r"\b(?:util::)?Mutex\s+(\w+)\s*;")
+GUARD_NAME_RE = re.compile(
+    r"RLMUL_(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES)\s*\(\s*([^)]+?)\s*\)")
 
 
 def check_unguarded_mutex(root):
@@ -131,16 +136,20 @@ def check_unguarded_mutex(root):
         if r in RAW_SYNC_ALLOWED:
             continue
         text = p.read_text()
-        if not MUTEX_MEMBER_RE.search(text):
-            continue
-        if GUARD_RE.search(text):
-            continue
-        m = MUTEX_MEMBER_RE.search(text)
-        line_no = text[:m.start()].count("\n") + 1
-        fail(r, line_no, "unguarded-mutex",
-             "util::Mutex member but no RLMUL_GUARDED_BY/"
-             "RLMUL_PT_GUARDED_BY/RLMUL_REQUIRES in this file — "
-             "annotate the data it protects")
+        guarded = set()
+        for m in GUARD_NAME_RE.finditer(text):
+            # RLMUL_REQUIRES may list several locks.
+            for name in m.group(1).split(","):
+                guarded.add(name.strip())
+        for m in MUTEX_MEMBER_RE.finditer(text):
+            name = m.group(1)
+            if name in guarded:
+                continue
+            line_no = text[:m.start()].count("\n") + 1
+            fail(r, line_no, "unguarded-mutex",
+                 f"util::Mutex member `{name}` is never named in an "
+                 "RLMUL_GUARDED_BY/RLMUL_PT_GUARDED_BY/RLMUL_REQUIRES "
+                 "in this file — annotate the data it protects")
 
 
 # -- global-rng ---------------------------------------------------------------
