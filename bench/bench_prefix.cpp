@@ -1,0 +1,182 @@
+// Joint CT+CPA(+PPG) search vs CT-only menu search A/B at 16 bit under
+// the same fixed EDA budget (the PR-7 deliverable): both arms run SA
+// through the search driver across the paper's three weight configs;
+// the joint arm additionally pins + mutates the CPA prefix graph and
+// exposes PPG-family switches as actions. Each arm's Pareto front is
+// the evaluator's own (area, delay) archive — exactly the designs
+// synthesized under the budget, no post-hoc sweep. Reported per arm:
+// hypervolume under a shared reference, EDA consumption, and how many
+// of the joint front's points sit on an off-menu CPA graph (a pinned
+// prefix graph that is none of RCA/BK/SK/KS). The JSON on stdout is
+// the source of results/BENCH_prefix.json.
+//
+// Knobs: RLMUL_EDA_BUDGET overrides the per-weight-config budget,
+// RLMUL_QUICK=1 shrinks it 8x.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "netlist/ct_builder.hpp"
+#include "pareto/pareto.hpp"
+#include "ppg/ppg.hpp"
+#include "prefix/prefix_graph.hpp"
+#include "search/driver.hpp"
+#include "search/registry.hpp"
+#include "synth/evaluator.hpp"
+#include "util/build_info.hpp"
+#include "util/config.hpp"
+
+namespace {
+
+using namespace rlmul;
+
+/// Payload marker for front points whose design carries an off-menu
+/// pinned CPA graph.
+constexpr std::size_t kOffMenu = 1;
+
+struct WeightConfig {
+  double area;
+  double delay;
+};
+// The same (w_a, w_d) preference sweep the paper-level benches use.
+constexpr WeightConfig kWeightSweep[] = {{1.0, 1.0}, {1.0, 0.25},
+                                         {0.25, 1.0}};
+
+struct ArmResult {
+  pareto::Front front;       ///< merged across weight configs
+  std::size_t eda = 0;       ///< unique synthesis evaluations consumed
+  std::size_t designs = 0;   ///< unique designs archived
+  double best_cost = 0.0;    ///< best (1,1)-weighted cost seen
+  std::string best_cpa;      ///< CPA label of the (1,1) best point
+};
+
+bool off_menu(const ppg::DesignPoint& point) {
+  return point.cpa_pinned() &&
+         netlist::cpa_kind_of_graph(point.cpa) == netlist::CpaKind::kCustom;
+}
+
+ArmResult run_arm(const ppg::MultiplierSpec& spec, bool joint,
+                  std::size_t budget_per_weight, std::uint64_t seed) {
+  ArmResult out;
+  bool first = true;
+  for (std::size_t w = 0; w < std::size(kWeightSweep); ++w) {
+    synth::DesignEvaluator evaluator(spec);
+    search::MethodConfig cfg;
+    // The EDA budget is the binding limit; the step cap only bounds
+    // wall time if SA stalls on cached neighbors.
+    cfg.steps = static_cast<int>(budget_per_weight) * 4;
+    cfg.w_area = kWeightSweep[w].area;
+    cfg.w_delay = kWeightSweep[w].delay;
+    cfg.search_cpa = joint;
+    cfg.search_ppg = joint;
+    cfg.seed = seed + w;
+    auto method = search::make_method("sa", cfg);
+    search::Driver driver(evaluator, {budget_per_weight, 0, nullptr});
+    const auto res = driver.run(*method);
+    out.eda += res.eda_consumed;
+    out.designs += evaluator.num_designs();
+    const double cost_11 = evaluator.cost(
+        evaluator.evaluate(res.best_point), 1.0, 1.0);
+    if (first || cost_11 < out.best_cost) {
+      out.best_cost = cost_11;
+      out.best_cpa =
+          res.best_point.cpa_pinned()
+              ? netlist::cpa_kind_name(
+                    netlist::cpa_kind_of_graph(res.best_point.cpa))
+              : "menu";
+      first = false;
+    }
+    const pareto::Front front = evaluator.frontier();
+    for (const auto& p : front.points()) {
+      const std::size_t marker =
+          off_menu(evaluator.point_of(p.payload)) ? kOffMenu : 0;
+      out.front.insert({p.x, p.y, marker});
+    }
+  }
+  return out;
+}
+
+void print_front(const char* name, const pareto::Front& front, bool last) {
+  std::printf("    \"%s\": [", name);
+  const auto pts = front.sorted();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    std::printf("%s{ \"area_um2\": %.1f, \"delay_ns\": %.4f, "
+                "\"off_menu\": %s }",
+                i == 0 ? "" : ", ", pts[i].x, pts[i].y,
+                pts[i].payload == kOffMenu ? "true" : "false");
+  }
+  std::printf("]%s\n", last ? "" : ",");
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t budget = static_cast<std::size_t>(
+      util::env_long("RLMUL_EDA_BUDGET", util::scaled(160)));
+
+  const ppg::MultiplierSpec spec{16, ppg::PpgKind::kAnd, false};
+  const ArmResult menu = run_arm(spec, false, budget, 77);
+  const ArmResult joint = run_arm(spec, true, budget, 77);
+
+  // Shared reference at 1.1x the worst corner across both fronts, so
+  // the hypervolumes are comparable.
+  double ref_x = 0.0;
+  double ref_y = 0.0;
+  for (const pareto::Front* f : {&menu.front, &joint.front}) {
+    for (const auto& p : f->points()) {
+      ref_x = std::max(ref_x, p.x);
+      ref_y = std::max(ref_y, p.y);
+    }
+  }
+  ref_x *= 1.1;
+  ref_y *= 1.1;
+  const double hv_menu = pareto::hypervolume(menu.front.points(), ref_x, ref_y);
+  const double hv_joint =
+      pareto::hypervolume(joint.front.points(), ref_x, ref_y);
+
+  // Expansion accounting: joint front points the menu front does not
+  // cover, and how many of those (plus of the whole joint front) sit on
+  // an off-menu CPA graph.
+  int uncovered = 0;
+  int off_menu_pareto = 0;
+  for (const auto& p : joint.front.points()) {
+    if (!menu.front.covered(p)) ++uncovered;
+    if (p.payload == kOffMenu) ++off_menu_pareto;
+  }
+
+  std::printf("{\n");
+  std::printf(
+      "  \"description\": \"joint CT+CPA+PPG SA search vs CT-only menu SA "
+      "at 16 bit, %zu unique-eval EDA budget per weight config (3 configs "
+      "per arm, same seeds). Fronts are the evaluator's (area, delay) "
+      "archives; hypervolume under a shared 1.1x-worst-corner reference. "
+      "off_menu marks Pareto points whose pinned CPA prefix graph is "
+      "none of RCA/BK/SK/KS.\",\n",
+      budget);
+  std::printf("  \"build\": \"%s\",\n", util::build_info().c_str());
+  std::printf("  \"spec\": \"16-bit AND multiplier\",\n");
+  std::printf("  \"eda_budget_per_weight_config\": %zu,\n", budget);
+  std::printf("  \"menu\": { \"eda_consumed\": %zu, \"designs\": %zu, "
+              "\"front_size\": %zu, \"hypervolume\": %.6g, "
+              "\"best_cost_w11\": %.4f, \"best_cpa\": \"%s\" },\n",
+              menu.eda, menu.designs, menu.front.size(), hv_menu,
+              menu.best_cost, menu.best_cpa.c_str());
+  std::printf("  \"joint\": { \"eda_consumed\": %zu, \"designs\": %zu, "
+              "\"front_size\": %zu, \"hypervolume\": %.6g, "
+              "\"best_cost_w11\": %.4f, \"best_cpa\": \"%s\", "
+              "\"pareto_points_uncovered_by_menu\": %d, "
+              "\"off_menu_pareto_points\": %d },\n",
+              joint.eda, joint.designs, joint.front.size(), hv_joint,
+              joint.best_cost, joint.best_cpa.c_str(), uncovered,
+              off_menu_pareto);
+  std::printf("  \"hv_joint_over_menu\": %.4f,\n",
+              hv_menu > 0.0 ? hv_joint / hv_menu : 0.0);
+  std::printf("  \"fronts\": {\n");
+  print_front("menu", menu.front, false);
+  print_front("joint", joint.front, true);
+  std::printf("  }\n");
+  std::printf("}\n");
+  return 0;
+}

@@ -57,6 +57,10 @@ struct Args {
   bool mac = false;
   std::string tree = "wallace";
   std::string cpa = "rca";
+  /// --cpa search / --ppg search: add the dimension to the optimize
+  /// action space instead of fixing it up front.
+  bool cpa_search = false;
+  bool ppg_search = false;
   std::string method = "a2c";
   int steps = 150;
   std::uint64_t seed = 1;
@@ -74,10 +78,12 @@ int usage() {
       "usage: rlmul_cli <generate|optimize|check|report|list-methods|\n"
       "                  dsdb-stats|dsdb-export-csv|dsdb-compact> [options]\n"
       "  --bits N        operand width (2..32, default 8)\n"
-      "  --ppg KIND      and | mbe | bw (default and)\n"
+      "  --ppg KIND      and | mbe | bw (default and), or `search` to\n"
+      "                  make the PPG family an optimize action dimension\n"
       "  --mac           merged multiply-accumulate\n"
       "  --tree NAME     wallace | dadda | gomil (default wallace)\n"
-      "  --cpa KIND      rca | ks (default rca)\n"
+      "  --cpa KIND      rca | ks | bk | sk (default rca), or `search`\n"
+      "                  to co-optimize the CPA prefix graph\n"
       "  --method NAME   sa | dqn | a2c | gomil | wallace\n"
       "                  (optimize; default a2c)\n"
       "  --steps N       search budget in steps (default 150)\n"
@@ -112,6 +118,7 @@ bool parse(int argc, char** argv, Args& args) {
       if (std::strcmp(v, "and") == 0) args.ppg = ppg::PpgKind::kAnd;
       else if (std::strcmp(v, "mbe") == 0) args.ppg = ppg::PpgKind::kBooth;
       else if (std::strcmp(v, "bw") == 0) args.ppg = ppg::PpgKind::kBaughWooley;
+      else if (std::strcmp(v, "search") == 0) args.ppg_search = true;
       else return false;
     } else if (flag == "--mac") {
       args.mac = true;
@@ -122,7 +129,8 @@ bool parse(int argc, char** argv, Args& args) {
     } else if (flag == "--cpa") {
       const char* v = next();
       if (v == nullptr) return false;
-      args.cpa = v;
+      if (std::strcmp(v, "search") == 0) args.cpa_search = true;
+      else args.cpa = v;
     } else if (flag == "--method") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -174,20 +182,40 @@ ct::CompressorTree named_tree(const ppg::MultiplierSpec& spec,
 }
 
 netlist::CpaKind cpa_of(const std::string& name) {
-  if (name == "rca") return netlist::CpaKind::kRippleCarry;
-  if (name == "ks") return netlist::CpaKind::kKoggeStone;
-  throw std::runtime_error("unknown cpa: " + name);
+  netlist::CpaKind kind;
+  if (!netlist::parse_cpa_kind(name, &kind)) {
+    throw std::runtime_error("unknown cpa: " + name);
+  }
+  return kind;
+}
+
+void write_verilog(const Args& args, const netlist::Netlist& nl, int bits) {
+  netlist::VerilogOptions vopts;
+  vopts.module_name = "rlmul_" + std::to_string(bits) + "b";
+  std::ofstream os(args.output);
+  os << netlist::to_verilog(nl, vopts);
+  std::printf("wrote %s (%d cells)\n", args.output.c_str(), nl.num_gates());
 }
 
 void emit(const Args& args, const ppg::MultiplierSpec& spec,
           const ct::CompressorTree& tree) {
   if (args.output.empty()) return;
-  const auto nl = ppg::build_multiplier(spec, tree, cpa_of(args.cpa));
-  netlist::VerilogOptions vopts;
-  vopts.module_name = "rlmul_" + std::to_string(spec.bits) + "b";
-  std::ofstream os(args.output);
-  os << netlist::to_verilog(nl, vopts);
-  std::printf("wrote %s (%d cells)\n", args.output.c_str(), nl.num_gates());
+  write_verilog(args, ppg::build_multiplier(spec, tree, cpa_of(args.cpa)),
+                spec.bits);
+}
+
+/// Point-aware emission: a pinned CPA builds from its prefix graph, a
+/// switched PPG family re-resolves the spec; plain points fall back to
+/// the --cpa named architecture.
+void emit(const Args& args, const ppg::MultiplierSpec& spec,
+          const ppg::DesignPoint& point) {
+  if (args.output.empty()) return;
+  const ppg::MultiplierSpec rspec = point.resolved_spec(spec);
+  const auto nl =
+      point.cpa_pinned()
+          ? ppg::build_multiplier(rspec, point.tree, point.cpa)
+          : ppg::build_multiplier(rspec, point.tree, cpa_of(args.cpa));
+  write_verilog(args, nl, rspec.bits);
 }
 
 int cmd_generate(const Args& args, const ppg::MultiplierSpec& spec) {
@@ -216,7 +244,7 @@ int cmd_report(const Args& args, const ppg::MultiplierSpec& spec) {
     const auto res = synth::synthesize_design(spec, tree, target);
     std::printf("%-12.3f %-10.1f %-10.4f %-10.3f %-5s\n", target,
                 res.area_um2, res.delay_ns, res.power_mw,
-                res.cpa == netlist::CpaKind::kKoggeStone ? "KS" : "RCA");
+                netlist::cpa_kind_name(res.cpa));
   }
   return 0;
 }
@@ -258,6 +286,8 @@ int cmd_optimize(const Args& args, const ppg::MultiplierSpec& spec) {
   search::MethodConfig cfg;
   cfg.steps = args.steps;
   cfg.seed = args.seed;
+  cfg.search_cpa = args.cpa_search;
+  cfg.search_ppg = args.ppg_search;
   // The A2C workers advance in lockstep, so give each worker
   // steps/threads environment steps: every method then consumes a
   // comparable wall-time budget for the same --steps value.
@@ -275,12 +305,27 @@ int cmd_optimize(const Args& args, const ppg::MultiplierSpec& spec) {
   }
 
   const auto wallace_eval = evaluator.evaluate(ppg::initial_tree(spec));
-  const auto best_eval = evaluator.evaluate(res.best_tree);
+  const auto best_eval = evaluator.evaluate(res.best_point);
   std::printf("wallace: cost=%.4f  optimized: cost=%.4f  (%zu EDA calls)\n",
               evaluator.cost(wallace_eval, 1.0, 1.0),
               evaluator.cost(best_eval, 1.0, 1.0),
               evaluator.num_unique_evaluations());
   std::printf("%s\n", ct::to_string(res.best_tree).c_str());
+  if (args.cpa_search || args.ppg_search) {
+    const auto& bp = res.best_point;
+    char cpa_key[32] = "menu";
+    if (bp.cpa_pinned()) {
+      std::snprintf(cpa_key, sizeof(cpa_key), "%016llx",
+                    static_cast<unsigned long long>(
+                        prefix::canonical_hash(bp.cpa)));
+    }
+    std::printf("best point: ppg=%s cpa=%s cpa_key=%s\n",
+                ppg::ppg_kind_name(bp.ppg),
+                bp.cpa_pinned()
+                    ? netlist::cpa_kind_name(netlist::cpa_kind_of_graph(bp.cpa))
+                    : args.cpa.c_str(),
+                cpa_key);
+  }
   std::printf("RLMUL_BUILD %s\n", util::build_info().c_str());
   // Machine-readable throughput counters (where the EDA budget went:
   // batch coalescing, netlist reuse, incremental vs full STA). Same
@@ -292,14 +337,21 @@ int cmd_optimize(const Args& args, const ppg::MultiplierSpec& spec) {
     // Machine-readable summary (the dsdb smoke test's contract):
     // unique_synth is synthesis actually run this process — a warm
     // rerun of an identical search reports 0.
+    char cpa_key[32] = "menu";
+    if (res.best_point.cpa_pinned()) {
+      std::snprintf(cpa_key, sizeof(cpa_key), "%016llx",
+                    static_cast<unsigned long long>(
+                        prefix::canonical_hash(res.best_point.cpa)));
+    }
     std::printf("RLMUL_DSDB records=%zu hits=%llu misses=%llu appends=%llu "
-                "unique_synth=%zu best_cost=%.17g\n",
+                "unique_synth=%zu best_cost=%.17g ppg=%s cpa_key=%s\n",
                 store->size(), static_cast<unsigned long long>(st.hits),
                 static_cast<unsigned long long>(st.misses),
                 static_cast<unsigned long long>(st.appends),
-                evaluator.num_unique_evaluations(), res.best_cost);
+                evaluator.num_unique_evaluations(), res.best_cost,
+                ppg::ppg_kind_name(res.best_point.ppg), cpa_key);
   }
-  emit(args, spec, res.best_tree);
+  emit(args, spec, res.best_point);
   return 0;
 }
 
@@ -362,9 +414,20 @@ int cmd_dsdb_export_csv(const Args& args) {
   dsdb::Store store(args.dsdb, {.read_only = true});
   util::CsvWriter csv(args.output);
   csv.row({"bits", "ppg", "mac", "tree", "target_ns", "area_um2", "delay_ns",
-           "power_mw", "met_target", "cpa", "num_gates"});
+           "power_mw", "met_target", "cpa", "cpa_key", "num_gates"});
   std::size_t rows = 0;
   for (const dsdb::Record& rec : store.all_records()) {
+    // Pinned records carry the searched prefix graph; the canonical
+    // hash (the same 16-hex token the cache keys use) identifies it
+    // across exports. Menu records leave the column empty.
+    std::string cpa_key;
+    if (rec.cpa.width != 0) {
+      char buf[17];
+      std::snprintf(buf, sizeof(buf), "%016llx",
+                    static_cast<unsigned long long>(
+                        prefix::canonical_hash(rec.cpa)));
+      cpa_key = buf;
+    }
     for (std::size_t i = 0; i < rec.eval.per_target.size(); ++i) {
       const synth::SynthesisResult& res = rec.eval.per_target[i];
       const double target = i < rec.targets.size() ? rec.targets[i] : 0.0;
@@ -378,7 +441,8 @@ int cmd_dsdb_export_csv(const Args& args) {
           .add(res.delay_ns)
           .add(res.power_mw)
           .add(res.met_target ? 1 : 0)
-          .add(res.cpa == netlist::CpaKind::kKoggeStone ? "KS" : "RCA")
+          .add(std::string(netlist::cpa_kind_name(res.cpa)))
+          .add(cpa_key)
           .add(res.num_gates);
       ++rows;
     }

@@ -124,15 +124,17 @@ bool action_applicable(const CompressorTree& tree, const Action& a) {
 void legalize(CompressorTree& tree, int from_column) {
   // Algorithm 2, generalized with small loops so the procedure is safe
   // for arbitrarily perturbed inputs (the paper's single action changes
-  // residuals by at most one, but the property tests push harder).
+  // residuals by at most one, but retarget_tree replaces the whole pp
+  // vector, so every column must be visited — no early exit on a legal
+  // column, since later columns may still be broken).
   for (int j = std::max(from_column, 0); j < tree.columns(); ++j) {
     int res = tree.final_height(j);
     const int incoming = tree.pp[j] + tree.carries_into(j);
     if (incoming == 0 && tree.c32[j] == 0 && tree.c22[j] == 0 &&
         tree.c42[j] == 0) {
-      return;  // genuinely empty column: carry-out is zero, nothing moved
+      continue;  // genuinely empty column: carry-out is zero
     }
-    if (res == 1 || res == 2) return;  // legalization done (early exit)
+    if (res == 1 || res == 2) continue;  // column already legal
     // Fix over- and under-compression with 3:2/2:2 moves (the paper's
     // repertoire); a 4:2 is only removed as a last resort, which can
     // overshoot into over-compression — hence the outer loop.

@@ -99,8 +99,9 @@ Action action_from_index(int index);
 bool action_applicable(const CompressorTree& tree, const Action& a);
 
 /// Algorithm 2: sweep from `from_column` to the MSB, restoring
-/// res_j in {1, 2} everywhere; early-exits once a column is already
-/// legal (its carry-out was not modified, so nothing downstream moved).
+/// res_j in {1, 2} everywhere. Visits every column (already-legal
+/// columns are no-ops), so it repairs both single-action ripples and
+/// arbitrary perturbations such as a full pp-height replacement.
 void legalize(CompressorTree& tree, int from_column);
 
 /// Apply an action (must be applicable) and legalize. Returns the

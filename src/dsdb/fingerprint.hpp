@@ -29,7 +29,17 @@ namespace rlmul::dsdb {
 
 /// Bumped whenever the journal payload layout or the semantics of a
 /// stored evaluation change; old records then simply never match.
+/// (context_fingerprint hashes this constant, so a bump orphans every
+/// existing record — which is why the pinned-CPA extension below got a
+/// *separate* payload tag instead of a bump.)
 constexpr std::uint32_t kRecordVersion = 1;
+
+/// Payload tag for records that pin a CPA prefix graph: the v1 layout
+/// followed by the serialized graph. Records without a pinned graph
+/// keep writing version 1, byte-identical to pre-refactor journals,
+/// and their fingerprints (which hash kRecordVersion, not the payload
+/// tag) are unchanged — old records keep meaning.
+constexpr std::uint32_t kRecordVersionPinned = 2;
 
 /// FNV-1a over a byte range, chainable through `seed`.
 std::uint64_t fnv1a64(const void* data, std::size_t n,

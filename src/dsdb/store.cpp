@@ -42,7 +42,10 @@ void write_all(int fd, const std::uint8_t* data, std::size_t n) {
 
 std::vector<std::uint8_t> encode_record(const Record& rec) {
   search::BlobWriter w;
-  w.u32(kRecordVersion);
+  // Menu records keep writing the v1 payload byte for byte; only a
+  // pinned CPA graph switches to the v2 tag and appends the graph.
+  const bool pinned = rec.cpa.width != 0;
+  w.u32(pinned ? kRecordVersionPinned : kRecordVersion);
   w.i32(rec.spec.bits);
   w.u8(static_cast<std::uint8_t>(rec.spec.ppg));
   w.u8(rec.spec.mac ? 1 : 0);
@@ -57,13 +60,28 @@ std::vector<std::uint8_t> encode_record(const Record& rec) {
     w.u8(static_cast<std::uint8_t>(res.cpa));
     w.i32(res.num_gates);
   }
+  if (pinned) {
+    w.i32(rec.cpa.width);
+    w.u64(rec.cpa.nodes.size());
+    for (const prefix::Node& node : rec.cpa.nodes) {
+      w.i32(node.hi);
+      w.i32(node.lo);
+      w.i32(node.left);
+      w.i32(node.right);
+    }
+    w.u64(rec.cpa.outputs.size());
+    for (prefix::Ref ref : rec.cpa.outputs) w.i32(ref);
+  }
   return w.take();
 }
 
 bool decode_record(const std::vector<std::uint8_t>& payload, Record* out) {
   try {
     search::BlobReader r(payload);
-    if (r.u32() != kRecordVersion) return false;
+    const std::uint32_t version = r.u32();
+    if (version != kRecordVersion && version != kRecordVersionPinned) {
+      return false;
+    }
     Record rec;
     rec.spec.bits = r.i32();
     rec.spec.ppg = static_cast<ppg::PpgKind>(r.u8());
@@ -79,7 +97,7 @@ bool decode_record(const std::vector<std::uint8_t>& payload, Record* out) {
       res.delay_ns = r.f64();
       res.power_mw = r.f64();
       res.met_target = r.u8() != 0;
-      res.cpa = static_cast<netlist::CpaKind>(r.u8());
+      if (!netlist::cpa_kind_from_index(r.u8(), &res.cpa)) return false;
       res.num_gates = r.i32();
       // Accumulate in target order — the exact additions compute()
       // performs, so the decoded sums are bit-identical.
@@ -87,6 +105,27 @@ bool decode_record(const std::vector<std::uint8_t>& payload, Record* out) {
       rec.eval.sum_delay += res.delay_ns;
       rec.eval.sum_power += res.power_mw;
       rec.eval.per_target.push_back(res);
+    }
+    if (version == kRecordVersionPinned) {
+      rec.cpa.width = r.i32();
+      const std::uint64_t num_nodes = r.u64();
+      if (rec.cpa.width <= 0 || num_nodes > (1u << 20)) return false;
+      rec.cpa.nodes.reserve(num_nodes);
+      for (std::uint64_t i = 0; i < num_nodes; ++i) {
+        prefix::Node node;
+        node.hi = r.i32();
+        node.lo = r.i32();
+        node.left = r.i32();
+        node.right = r.i32();
+        rec.cpa.nodes.push_back(node);
+      }
+      const std::uint64_t num_outputs = r.u64();
+      if (num_outputs > (1u << 20)) return false;
+      rec.cpa.outputs.reserve(num_outputs);
+      for (std::uint64_t i = 0; i < num_outputs; ++i) {
+        rec.cpa.outputs.push_back(r.i32());
+      }
+      if (!prefix::valid(rec.cpa)) return false;
     }
     r.expect_end();
     *out = std::move(rec);
@@ -409,6 +448,11 @@ search::WarmStartRecords Store::warm_start_records(
     const ppg::MultiplierSpec& spec,
     const std::vector<double>& targets) const {
   std::vector<Record> recs = matching(spec, targets);
+  // Warm-start records are tree-only: a pinned-CPA evaluation must not
+  // be served as if it were the tree's menu evaluation.
+  recs.erase(std::remove_if(recs.begin(), recs.end(),
+                            [](const Record& r) { return r.cpa.width != 0; }),
+             recs.end());
   std::sort(recs.begin(), recs.end(), [](const Record& a, const Record& b) {
     const double ca = a.eval.sum_area + a.eval.sum_delay;
     const double cb = b.eval.sum_area + b.eval.sum_delay;
@@ -465,6 +509,36 @@ void EvaluatorBinding::store(const std::string& key,
   rec.spec = spec_;
   rec.targets = targets_;
   rec.tree = tree;
+  rec.eval = eval;
+  store_.put(std::move(rec));
+}
+
+bool EvaluatorBinding::lookup_point(const std::string& key,
+                                    const ppg::DesignPoint& point,
+                                    synth::DesignEval& out) {
+  (void)key;
+  Fingerprint fp;
+  fp.spec_fp = point.ppg == spec_.ppg
+                   ? spec_fp_
+                   : spec_fingerprint(point.resolved_spec(spec_));
+  fp.ctx_fp = ctx_fp_;
+  fp.tree_key = point.tree.key() + point.cpa_suffix();
+  const bool hit = store_.lookup(fp, &out);
+  auto& pc = util::perf_counters();
+  (hit ? pc.dsdb_hits : pc.dsdb_misses)
+      .fetch_add(1, std::memory_order_relaxed);
+  return hit;
+}
+
+void EvaluatorBinding::store_point(const std::string& key,
+                                   const ppg::DesignPoint& point,
+                                   const synth::DesignEval& eval) {
+  (void)key;
+  Record rec;
+  rec.spec = point.resolved_spec(spec_);
+  rec.targets = targets_;
+  rec.tree = point.tree;
+  rec.cpa = point.cpa;
   rec.eval = eval;
   store_.put(std::move(rec));
 }

@@ -41,14 +41,22 @@ struct StoreOptions {
 /// One stored design point. The spec and target set are carried in
 /// full (not just fingerprinted) so records are exportable and can be
 /// warm-started into a different process without guessing the context.
+/// `cpa` is empty (width 0) for menu records — the only kind that
+/// existed before the design-representation refactor — and holds the
+/// pinned prefix graph for CPA-pinned evaluations. Pinned records key
+/// under tree_key + ppg::cpa_key_suffix, so they can never collide
+/// with (or be served for) a menu evaluation of the same tree.
 struct Record {
   ppg::MultiplierSpec spec;
   std::vector<double> targets;
   ct::CompressorTree tree;
+  prefix::PrefixGraph cpa;  ///< empty = CPA-menu record
   synth::DesignEval eval;
 
   Fingerprint fingerprint() const {
-    return make_fingerprint(spec, targets, tree);
+    Fingerprint fp = make_fingerprint(spec, targets, tree);
+    fp.tree_key += ppg::cpa_key_suffix(cpa);
+    return fp;
   }
 };
 
@@ -183,6 +191,14 @@ class EvaluatorBinding final : public synth::EvalCache {
               synth::DesignEval& out) override;
   void store(const std::string& key, const ct::CompressorTree& tree,
              const synth::DesignEval& eval) override;
+  /// Extended-point entry points: the record keys under the *resolved*
+  /// spec (the point's PPG family) with tree_key + cpa suffix — the
+  /// evaluator key's "|ppg=" marker is the in-memory evaluator's
+  /// concern, not the store's (spec_fp already covers the PPG).
+  bool lookup_point(const std::string& key, const ppg::DesignPoint& point,
+                    synth::DesignEval& out) override;
+  void store_point(const std::string& key, const ppg::DesignPoint& point,
+                   const synth::DesignEval& eval) override;
 
  private:
   Store& store_;

@@ -125,7 +125,8 @@ std::vector<Signal> build_prefix(LogicBuilder& lb, const ColumnSignals& rows,
       break;
     }
     case CpaKind::kRippleCarry:
-      throw std::logic_error("build_prefix: ripple is not a prefix CPA");
+    case CpaKind::kCustom:
+      throw std::logic_error("build_prefix: not a named prefix CPA");
   }
 
   std::vector<Signal> out(static_cast<std::size_t>(w));
@@ -146,12 +147,169 @@ const char* cpa_kind_name(CpaKind kind) {
     case CpaKind::kKoggeStone: return "KS";
     case CpaKind::kBrentKung: return "BK";
     case CpaKind::kSklansky: return "SK";
+    case CpaKind::kCustom: return "custom";
   }
   return "?";
 }
 
+bool parse_cpa_kind(std::string_view name, CpaKind* out) {
+  if (name == "rca" || name == "ripple" || name == "RCA") {
+    *out = CpaKind::kRippleCarry;
+  } else if (name == "ks" || name == "kogge-stone" || name == "KS") {
+    *out = CpaKind::kKoggeStone;
+  } else if (name == "bk" || name == "brent-kung" || name == "BK") {
+    *out = CpaKind::kBrentKung;
+  } else if (name == "sk" || name == "sklansky" || name == "SK") {
+    *out = CpaKind::kSklansky;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool cpa_kind_from_index(int index, CpaKind* out) {
+  switch (index) {
+    case static_cast<int>(CpaKind::kRippleCarry):
+      *out = CpaKind::kRippleCarry;
+      return true;
+    case static_cast<int>(CpaKind::kKoggeStone):
+      *out = CpaKind::kKoggeStone;
+      return true;
+    case static_cast<int>(CpaKind::kBrentKung):
+      *out = CpaKind::kBrentKung;
+      return true;
+    case static_cast<int>(CpaKind::kSklansky):
+      *out = CpaKind::kSklansky;
+      return true;
+    case static_cast<int>(CpaKind::kCustom):
+      *out = CpaKind::kCustom;
+      return true;
+  }
+  return false;
+}
+
+prefix::PrefixGraph prefix_graph_of(CpaKind kind, int width) {
+  switch (kind) {
+    case CpaKind::kRippleCarry: return prefix::serial(width);
+    case CpaKind::kKoggeStone: return prefix::kogge_stone(width);
+    case CpaKind::kBrentKung: return prefix::brent_kung(width);
+    case CpaKind::kSklansky: return prefix::sklansky(width);
+    case CpaKind::kCustom: break;
+  }
+  throw std::invalid_argument("prefix_graph_of: kind has no fixed graph");
+}
+
+CpaKind cpa_kind_of_graph(const prefix::PrefixGraph& g) {
+  const prefix::PrefixGraph canon = prefix::canonicalize(g);
+  if (canon == prefix::canonicalize(prefix::serial(g.width))) {
+    return CpaKind::kRippleCarry;
+  }
+  if (canon == prefix::canonicalize(prefix::brent_kung(g.width))) {
+    return CpaKind::kBrentKung;
+  }
+  if (canon == prefix::canonicalize(prefix::sklansky(g.width))) {
+    return CpaKind::kSklansky;
+  }
+  if (canon == prefix::canonicalize(prefix::kogge_stone(g.width))) {
+    return CpaKind::kKoggeStone;
+  }
+  return CpaKind::kCustom;
+}
+
+namespace {
+
+std::vector<Signal> emit_prefix_graph(LogicBuilder& lb,
+                                      const prefix::PrefixGraph& g,
+                                      const ColumnSignals& rows);
+
+}  // namespace
+
 std::vector<Signal> build_cpa(LogicBuilder& lb, CpaKind kind,
                               const ColumnSignals& rows) {
+  // Ripple was never a prefix network — it keeps the HA/FA chain. The
+  // three prefix kinds lower through their named graphs unconditionally
+  // (at width <= 2 those graphs coincide with the serial chain, but the
+  // enum contract is prefix-gate emission, so no serial shortcut here).
+  if (kind == CpaKind::kRippleCarry) return build_ripple(lb, rows);
+  if (kind == CpaKind::kCustom) {
+    throw std::invalid_argument(
+        "build_cpa: kCustom needs the PrefixGraph overload");
+  }
+  return emit_prefix_graph(
+      lb, prefix_graph_of(kind, static_cast<int>(rows.size())), rows);
+}
+
+std::vector<Signal> build_cpa(LogicBuilder& lb, const prefix::PrefixGraph& g,
+                              const ColumnSignals& rows) {
+  if (g.width != static_cast<int>(rows.size())) {
+    throw std::invalid_argument("build_cpa: graph width != column count");
+  }
+  if (prefix::is_serial(g)) return build_ripple(lb, rows);
+  return emit_prefix_graph(lb, g, rows);
+}
+
+namespace {
+
+std::vector<Signal> emit_prefix_graph(LogicBuilder& lb,
+                                      const prefix::PrefixGraph& g,
+                                      const ColumnSignals& rows) {
+  const int w = static_cast<int>(rows.size());
+  std::vector<Signal> a(static_cast<std::size_t>(w), Signal::lo());
+  std::vector<Signal> b(static_cast<std::size_t>(w), Signal::lo());
+  for (int j = 0; j < w; ++j) {
+    const auto& col = rows[static_cast<std::size_t>(j)];
+    if (col.size() > 2) {
+      throw std::invalid_argument("build_cpa: column with >2 result rows");
+    }
+    if (!col.empty()) a[static_cast<std::size_t>(j)] = col[0];
+    if (col.size() > 1) b[static_cast<std::size_t>(j)] = col[1];
+  }
+
+  // Level-0 propagate/generate; constants fold where b is absent.
+  std::vector<Signal> p0(static_cast<std::size_t>(w));
+  std::vector<Signal> g0(static_cast<std::size_t>(w));
+  for (int j = 0; j < w; ++j) {
+    p0[static_cast<std::size_t>(j)] =
+        lb.xor2(a[static_cast<std::size_t>(j)], b[static_cast<std::size_t>(j)]);
+    g0[static_cast<std::size_t>(j)] =
+        lb.and2(a[static_cast<std::size_t>(j)], b[static_cast<std::size_t>(j)]);
+  }
+
+  // One prefix operator per node, in node-list order: the AND feeding
+  // the generate OR, the OR, then the propagate AND — the gate order
+  // every legacy prefix emitter used.
+  std::vector<Signal> ng(g.nodes.size());
+  std::vector<Signal> np(g.nodes.size());
+  const auto g_of = [&](prefix::Ref r) {
+    return prefix::is_leaf(r)
+               ? g0[static_cast<std::size_t>(prefix::leaf_bit(r))]
+               : ng[static_cast<std::size_t>(r)];
+  };
+  const auto p_of = [&](prefix::Ref r) {
+    return prefix::is_leaf(r)
+               ? p0[static_cast<std::size_t>(prefix::leaf_bit(r))]
+               : np[static_cast<std::size_t>(r)];
+  };
+  for (std::size_t k = 0; k < g.nodes.size(); ++k) {
+    const prefix::Node& n = g.nodes[k];
+    ng[k] = lb.or2(g_of(n.left), lb.and2(p_of(n.left), g_of(n.right)));
+    np[k] = lb.and2(p_of(n.left), p_of(n.right));
+  }
+
+  std::vector<Signal> out(static_cast<std::size_t>(w));
+  out[0] = p0[0];
+  for (int j = 1; j < w; ++j) {
+    out[static_cast<std::size_t>(j)] =
+        lb.xor2(p0[static_cast<std::size_t>(j)],
+                g_of(g.outputs[static_cast<std::size_t>(j - 1)]));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Signal> build_cpa_legacy(LogicBuilder& lb, CpaKind kind,
+                                     const ColumnSignals& rows) {
   switch (kind) {
     case CpaKind::kRippleCarry:
       return build_ripple(lb, rows);
@@ -159,6 +317,8 @@ std::vector<Signal> build_cpa(LogicBuilder& lb, CpaKind kind,
     case CpaKind::kBrentKung:
     case CpaKind::kSklansky:
       return build_prefix(lb, rows, kind);
+    case CpaKind::kCustom:
+      break;
   }
   throw std::invalid_argument("build_cpa: unknown kind");
 }

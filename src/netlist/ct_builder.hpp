@@ -6,11 +6,13 @@
 // are discarded (mod-2^W arithmetic); compressors there degrade to
 // sum-only XOR trees, as a synthesizer would trim them.
 
+#include <string_view>
 #include <vector>
 
 #include "ct/compressor_tree.hpp"
 #include "netlist/logic_builder.hpp"
 #include "netlist/netlist.hpp"
+#include "prefix/prefix_graph.hpp"
 
 namespace rlmul::netlist {
 
@@ -39,18 +41,66 @@ enum class CpaKind {
   kKoggeStone,   ///< parallel-prefix, log delay, max wiring/area
   kBrentKung,    ///< parallel-prefix, ~2log depth, minimal prefix nodes
   kSklansky,     ///< parallel-prefix, log depth, high-fanout nodes
+  /// A search-produced prefix graph that matches none of the named
+  /// architectures. Only a reporting label: it never appears in
+  /// kAllCpaKinds, cannot be parsed from a name, and has no
+  /// prefix_graph_of — the graph itself travels with the design point.
+  kCustom,
 };
 
 const char* cpa_kind_name(CpaKind kind);
 
-/// All CPA architectures, in area order (for synthesis sweeps).
+/// Parses a CPA name (CLI spelling or cpa_kind_name output, case
+/// as written): rca/ripple, ks/kogge-stone, bk/brent-kung,
+/// sk/sklansky. Returns false on unknown names.
+bool parse_cpa_kind(std::string_view name, CpaKind* out);
+
+/// CpaKind from a serialized index (dsdb record decoding); returns
+/// false when the index is out of range.
+bool cpa_kind_from_index(int index, CpaKind* out);
+
+/// All CPA architectures, in area order (for synthesis sweeps). The
+/// order is a documented contract: synthesize_design and the batch
+/// evaluator walk it front to back and stop at the first architecture
+/// meeting the delay target, assuming everything later is larger.
+/// Brent-Kung before Sklansky holds at every practical width because
+/// BK places fewer prefix operators (~2w vs ~(w/2)log w); the
+/// CpaSweepOrder test in tests/test_prefix.cpp pins the full
+/// ripple < BK < SK < KS area ordering per width so a library change
+/// that flips it fails loudly instead of silently degrading sweeps.
 inline constexpr CpaKind kAllCpaKinds[] = {
     CpaKind::kRippleCarry, CpaKind::kBrentKung, CpaKind::kSklansky,
     CpaKind::kKoggeStone};
 
+/// The named prefix graph a CpaKind denotes (throws for kCustom, which
+/// denotes no fixed graph). Emitting it through the PrefixGraph
+/// overload of build_cpa reproduces the legacy per-enum emitter bit for
+/// bit.
+prefix::PrefixGraph prefix_graph_of(CpaKind kind, int width);
+
+/// The reporting label for an arbitrary prefix graph: the named kind
+/// whose canonical structure the graph matches, else kCustom. (The
+/// serial chain labels kRippleCarry even when it was reached by
+/// search.)
+CpaKind cpa_kind_of_graph(const prefix::PrefixGraph& g);
+
 /// Adds the (<=2)-row result into one output bit per column. The carry
-/// out of the top column is discarded.
+/// out of the top column is discarded. Lowers through
+/// prefix_graph_of(kind) — four named points of the prefix space.
 std::vector<Signal> build_cpa(LogicBuilder& lb, CpaKind kind,
                               const ColumnSignals& rows);
+
+/// Emits an arbitrary valid prefix graph: level-0 (p, g) per column,
+/// three gates per prefix node in node-list order, then the sum XOR
+/// row. Serial graphs lower through the HA/FA ripple chain instead,
+/// exactly as CpaKind::kRippleCarry always has.
+std::vector<Signal> build_cpa(LogicBuilder& lb, const prefix::PrefixGraph& g,
+                              const ColumnSignals& rows);
+
+/// The pre-refactor per-enum emitter, kept verbatim as the reference
+/// the PrefixGraph path is property-tested against (bit-identical
+/// netlists for all four kinds).
+std::vector<Signal> build_cpa_legacy(LogicBuilder& lb, CpaKind kind,
+                                     const ColumnSignals& rows);
 
 }  // namespace rlmul::netlist

@@ -1,6 +1,7 @@
 #include "ppg/ppg.hpp"
 
 #include <cstdint>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 
@@ -171,6 +172,41 @@ ColumnSignals emit_ppg(LogicBuilder& lb, const MultiplierSpec& spec,
 
 }  // namespace
 
+std::string cpa_key_suffix(const prefix::PrefixGraph& cpa) {
+  if (cpa.width == 0) return std::string();
+  char buf[16 + 8];
+  std::snprintf(buf, sizeof(buf), "|cpa=%016llx",
+                static_cast<unsigned long long>(prefix::canonical_hash(cpa)));
+  return std::string(buf);
+}
+
+std::string DesignPoint::cpa_suffix() const { return cpa_key_suffix(cpa); }
+
+std::string DesignPoint::key(const MultiplierSpec& base) const {
+  std::string k = tree.key() + cpa_suffix();
+  if (ppg != base.ppg) {
+    k += "|ppg=";
+    k += ppg_kind_name(ppg);
+  }
+  return k;
+}
+
+MultiplierSpec DesignPoint::resolved_spec(MultiplierSpec base) const {
+  base.ppg = ppg;
+  return base;
+}
+
+ct::CompressorTree retarget_tree(const ct::CompressorTree& tree,
+                                 const MultiplierSpec& to_spec) {
+  ct::CompressorTree out = tree;
+  out.pp = pp_heights(to_spec);
+  out.c32.resize(out.pp.size(), 0);
+  out.c22.resize(out.pp.size(), 0);
+  out.c42.resize(out.pp.size(), 0);
+  ct::legalize(out, 0);
+  return out;
+}
+
 ct::ColumnHeights pp_heights(const MultiplierSpec& spec) {
   // Dry-run the emitter so constant folding decisions can never diverge
   // between the heights the CT is built against and the actual bits.
@@ -205,6 +241,23 @@ std::vector<Signal> build_core(LogicBuilder& lb, const MultiplierSpec& spec,
   return netlist::build_cpa(lb, cpa, rows);
 }
 
+std::vector<Signal> build_core(LogicBuilder& lb, const MultiplierSpec& spec,
+                               const ct::CompressorTree& tree,
+                               const prefix::PrefixGraph& cpa,
+                               const CoreInputs& inputs,
+                               const netlist::CtBuildOptions& ct_opts) {
+  if (static_cast<int>(inputs.a.size()) != spec.bits ||
+      static_cast<int>(inputs.b.size()) != spec.bits ||
+      (spec.mac &&
+       static_cast<int>(inputs.c.size()) != spec.columns())) {
+    throw std::invalid_argument("build_core: operand width mismatch");
+  }
+  const ColumnSignals pps = emit_ppg(lb, spec, inputs);
+  const ColumnSignals rows =
+      netlist::build_compressor_tree(lb, tree, pps, ct_opts);
+  return netlist::build_cpa(lb, cpa, rows);
+}
+
 MultiplierPrefix build_multiplier_prefix(const MultiplierSpec& spec,
                                          const ct::CompressorTree& tree,
                                          const netlist::CtBuildOptions& ct_opts) {
@@ -218,8 +271,13 @@ MultiplierPrefix build_multiplier_prefix(const MultiplierSpec& spec,
   return prefix;
 }
 
-Netlist attach_cpa(const MultiplierPrefix& prefix, const MultiplierSpec& spec,
-                   netlist::CpaKind cpa) {
+namespace {
+
+/// Shared tail of attach_cpa: append the CPA product signals of either
+/// overload onto a copy of the prefix and mark the primary outputs.
+template <typename Cpa>
+Netlist attach_cpa_impl(const MultiplierPrefix& prefix,
+                        const MultiplierSpec& spec, const Cpa& cpa) {
   Netlist nl = prefix.netlist;
   // Generous upper bound on the adder's gate count (the widest CPA
   // spends a handful of cells per column), so the appends below never
@@ -234,9 +292,28 @@ Netlist attach_cpa(const MultiplierPrefix& prefix, const MultiplierSpec& spec,
   return nl;
 }
 
+}  // namespace
+
+Netlist attach_cpa(const MultiplierPrefix& prefix, const MultiplierSpec& spec,
+                   netlist::CpaKind cpa) {
+  return attach_cpa_impl(prefix, spec, cpa);
+}
+
+Netlist attach_cpa(const MultiplierPrefix& prefix, const MultiplierSpec& spec,
+                   const rlmul::prefix::PrefixGraph& cpa) {
+  return attach_cpa_impl(prefix, spec, cpa);
+}
+
 Netlist build_multiplier(const MultiplierSpec& spec,
                          const ct::CompressorTree& tree,
                          netlist::CpaKind cpa,
+                         const netlist::CtBuildOptions& ct_opts) {
+  return attach_cpa(build_multiplier_prefix(spec, tree, ct_opts), spec, cpa);
+}
+
+Netlist build_multiplier(const MultiplierSpec& spec,
+                         const ct::CompressorTree& tree,
+                         const prefix::PrefixGraph& cpa,
                          const netlist::CtBuildOptions& ct_opts) {
   return attach_cpa(build_multiplier_prefix(spec, tree, ct_opts), spec, cpa);
 }

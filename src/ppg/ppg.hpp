@@ -36,6 +36,11 @@ enum class PpgKind : std::uint8_t {
 
 const char* ppg_kind_name(PpgKind kind);
 
+/// Every PPG family, in enum order — the menu the PPG-toggle search
+/// dimension walks (and the layout of the env's PPG action block).
+inline constexpr PpgKind kAllPpgKinds[] = {
+    PpgKind::kAnd, PpgKind::kBooth, PpgKind::kBaughWooley};
+
 /// Full design point: what the RL state's compressor tree compresses.
 struct MultiplierSpec {
   int bits = 8;               ///< operand width N
@@ -49,6 +54,48 @@ struct MultiplierSpec {
 /// Initial column heights the PPG produces; this is the `pp` vector a
 /// CompressorTree for this spec must be built against.
 ct::ColumnHeights pp_heights(const MultiplierSpec& spec);
+
+/// One point of the joint design space the search walks: the PPG
+/// family, the compressor tree, and (optionally) a pinned CPA prefix
+/// graph. An empty `cpa` (width 0) means "no CPA commitment" — the
+/// synthesizer sweeps the named-architecture menu exactly as the
+/// tree-only path always has, so a default-constructed point with just
+/// a tree is behavior-identical to the legacy (tree, menu) pipeline.
+struct DesignPoint {
+  PpgKind ppg = PpgKind::kAnd;
+  ct::CompressorTree tree;
+  prefix::PrefixGraph cpa;  ///< empty = sweep the named CPA menu
+
+  bool cpa_pinned() const { return cpa.width != 0; }
+
+  /// "" for menu points, "|cpa=<16-hex canonical hash>" when pinned —
+  /// the key suffix that keeps pinned evaluations from colliding with
+  /// menu evaluations of the same tree. Named graphs produced by
+  /// prefix_graph_of canonicalize to the same hash regardless of how
+  /// they were constructed, so re-derived menu points share keys.
+  std::string cpa_suffix() const;
+
+  /// Cache key relative to a base spec: tree.key() + cpa_suffix(), plus
+  /// a "|ppg=<name>" marker when this point's PPG family differs from
+  /// the base spec's (the spec covers PPG for plain points).
+  std::string key(const MultiplierSpec& base) const;
+
+  /// `base` with this point's PPG family substituted in — the spec the
+  /// point's tree must have been built against.
+  MultiplierSpec resolved_spec(MultiplierSpec base) const;
+};
+
+/// The key suffix a pinned CPA graph contributes: "" for an empty graph,
+/// "|cpa=<16-hex canonical hash>" otherwise (what DesignPoint::cpa_suffix
+/// returns; exposed so dsdb can key records the same way).
+std::string cpa_key_suffix(const prefix::PrefixGraph& cpa);
+
+/// Re-bases a tree onto another spec's partial-product heights: the
+/// compressor counts are kept where possible and ct::legalize repairs
+/// the rest. This is how the PPG-toggle action carries the search state
+/// across PPG families without restarting from Wallace.
+ct::CompressorTree retarget_tree(const ct::CompressorTree& tree,
+                                 const MultiplierSpec& to_spec);
 
 /// Emits the PPG into the netlist. Operand inputs are created as
 /// primary inputs a[0..N), b[0..N) and, for MACs, c[0..2N).
@@ -73,12 +120,25 @@ std::vector<netlist::Signal> build_core(
     const ct::CompressorTree& tree, netlist::CpaKind cpa,
     const CoreInputs& inputs, const netlist::CtBuildOptions& ct_opts = {});
 
+/// Same, with an arbitrary prefix graph as the CPA (width must be
+/// spec.columns()).
+std::vector<netlist::Signal> build_core(
+    netlist::LogicBuilder& lb, const MultiplierSpec& spec,
+    const ct::CompressorTree& tree, const prefix::PrefixGraph& cpa,
+    const CoreInputs& inputs, const netlist::CtBuildOptions& ct_opts = {});
+
 /// Builds the complete design: PPG + compressor tree + CPA, with
 /// product outputs p[0..2N) marked as primary outputs.
 /// `tree.pp` must equal pp_heights(spec).
 netlist::Netlist build_multiplier(const MultiplierSpec& spec,
                                   const ct::CompressorTree& tree,
                                   netlist::CpaKind cpa,
+                                  const netlist::CtBuildOptions& ct_opts = {});
+
+/// Same, with an arbitrary prefix graph as the CPA.
+netlist::Netlist build_multiplier(const MultiplierSpec& spec,
+                                  const ct::CompressorTree& tree,
+                                  const prefix::PrefixGraph& cpa,
                                   const netlist::CtBuildOptions& ct_opts = {});
 
 /// The CPA-independent prefix of build_multiplier: PPG + compressor
@@ -103,6 +163,14 @@ MultiplierPrefix build_multiplier_prefix(
 netlist::Netlist attach_cpa(const MultiplierPrefix& prefix,
                             const MultiplierSpec& spec,
                             netlist::CpaKind cpa);
+
+/// Same, with an arbitrary prefix graph as the CPA; `build_multiplier`
+/// with a graph is gate-for-gate identical to attaching the graph here.
+/// (The CPA type is fully qualified because the first parameter's name
+/// shadows the `prefix` namespace.)
+netlist::Netlist attach_cpa(const MultiplierPrefix& prefix,
+                            const MultiplierSpec& spec,
+                            const rlmul::prefix::PrefixGraph& cpa);
 
 /// Convenience: Wallace-initialized tree for a spec (the RL episodes
 /// and the baselines all start here).

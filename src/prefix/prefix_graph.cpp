@@ -1,0 +1,364 @@
+#include "prefix/prefix_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace rlmul::prefix {
+
+namespace {
+
+Ref add_node(PrefixGraph& g, Ref left, Ref right) {
+  Node n;
+  n.hi = g.span_hi(left);
+  n.lo = g.span_lo(right);
+  n.left = left;
+  n.right = right;
+  g.nodes.push_back(n);
+  return static_cast<Ref>(g.nodes.size()) - 1;
+}
+
+std::vector<Ref> leaves(int width) {
+  std::vector<Ref> cur(static_cast<std::size_t>(width));
+  for (int j = 0; j < width; ++j) cur[static_cast<std::size_t>(j)] = leaf(j);
+  return cur;
+}
+
+std::uint64_t fnv1a64(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+bool valid(const PrefixGraph& g, std::string* why) {
+  const auto fail = [&](const std::string& msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  if (g.width < 1) return fail("width < 1");
+  if (static_cast<int>(g.outputs.size()) != g.width) {
+    return fail("outputs.size() != width");
+  }
+  const auto ref_ok = [&](Ref r, int before) {
+    if (is_leaf(r)) return leaf_bit(r) >= 0 && leaf_bit(r) < g.width;
+    return r >= 0 && r < before;
+  };
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    const Node& n = g.nodes[i];
+    const std::string at = "node " + std::to_string(i);
+    if (!ref_ok(n.left, static_cast<int>(i)) ||
+        !ref_ok(n.right, static_cast<int>(i))) {
+      return fail(at + ": parent out of range or not preceding");
+    }
+    if (n.hi != g.span_hi(n.left) || n.lo != g.span_lo(n.right)) {
+      return fail(at + ": span does not match parents");
+    }
+    if (g.span_lo(n.left) != g.span_hi(n.right) + 1) {
+      return fail(at + ": parent spans do not abut");
+    }
+    if (n.lo < 0 || n.hi >= g.width) return fail(at + ": span out of range");
+  }
+  for (int j = 0; j < g.width; ++j) {
+    const Ref r = g.outputs[static_cast<std::size_t>(j)];
+    if (!ref_ok(r, static_cast<int>(g.nodes.size()))) {
+      return fail("output " + std::to_string(j) + ": ref out of range");
+    }
+    if (g.span_lo(r) != 0 || g.span_hi(r) != j) {
+      return fail("output " + std::to_string(j) + ": does not cover [0.." +
+                  std::to_string(j) + "]");
+    }
+  }
+  return true;
+}
+
+std::vector<int> output_levels(const PrefixGraph& g) {
+  std::vector<int> lvl(g.nodes.size(), 0);
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    const Node& n = g.nodes[i];
+    const int ll = is_leaf(n.left) ? 0 : lvl[static_cast<std::size_t>(n.left)];
+    const int rl = is_leaf(n.right) ? 0 : lvl[static_cast<std::size_t>(n.right)];
+    lvl[i] = std::max(ll, rl) + 1;
+  }
+  std::vector<int> out(g.outputs.size(), 0);
+  for (std::size_t j = 0; j < g.outputs.size(); ++j) {
+    const Ref r = g.outputs[j];
+    out[j] = is_leaf(r) ? 0 : lvl[static_cast<std::size_t>(r)];
+  }
+  return out;
+}
+
+PrefixGraph serial(int width) {
+  PrefixGraph g;
+  g.width = width;
+  std::vector<Ref> cur = leaves(width);
+  for (int j = 1; j < width; ++j) {
+    cur[static_cast<std::size_t>(j)] =
+        add_node(g, leaf(j), cur[static_cast<std::size_t>(j - 1)]);
+  }
+  g.outputs = std::move(cur);
+  return g;
+}
+
+PrefixGraph kogge_stone(int width) {
+  PrefixGraph g;
+  g.width = width;
+  std::vector<Ref> cur = leaves(width);
+  // All bits advance together: every level reads the previous level's
+  // refs (the legacy emitter's double buffer), j descending.
+  for (int d = 1; d < width; d *= 2) {
+    std::vector<Ref> next = cur;
+    for (int j = width - 1; j >= d; --j) {
+      next[static_cast<std::size_t>(j)] =
+          add_node(g, cur[static_cast<std::size_t>(j)],
+                   cur[static_cast<std::size_t>(j - d)]);
+    }
+    cur = std::move(next);
+  }
+  g.outputs = std::move(cur);
+  return g;
+}
+
+PrefixGraph sklansky(int width) {
+  PrefixGraph g;
+  g.width = width;
+  std::vector<Ref> cur = leaves(width);
+  for (int d = 1; d < width; d *= 2) {
+    for (int j = 0; j < width; ++j) {
+      if ((j & d) != 0) {
+        cur[static_cast<std::size_t>(j)] =
+            add_node(g, cur[static_cast<std::size_t>(j)],
+                     cur[static_cast<std::size_t>((j / d) * d - 1)]);
+      }
+    }
+  }
+  g.outputs = std::move(cur);
+  return g;
+}
+
+PrefixGraph brent_kung(int width) {
+  PrefixGraph g;
+  g.width = width;
+  std::vector<Ref> cur = leaves(width);
+  int top = 1;
+  while (top < width) top *= 2;
+  for (int d = 1; d < width; d *= 2) {
+    for (int j = 2 * d - 1; j < width; j += 2 * d) {
+      cur[static_cast<std::size_t>(j)] =
+          add_node(g, cur[static_cast<std::size_t>(j)],
+                   cur[static_cast<std::size_t>(j - d)]);
+    }
+  }
+  for (int d = top / 2; d > 1; d /= 2) {
+    for (int j = d + d / 2 - 1; j < width; j += d) {
+      cur[static_cast<std::size_t>(j)] =
+          add_node(g, cur[static_cast<std::size_t>(j)],
+                   cur[static_cast<std::size_t>(j - d / 2)]);
+    }
+  }
+  g.outputs = std::move(cur);
+  return g;
+}
+
+bool is_serial(const PrefixGraph& g) {
+  if (g.width < 1) return false;
+  return canonicalize(g) == serial(g.width);
+}
+
+void Matrix::set(int row, int bit, bool on) {
+  if (bit < 0 || bit >= width || row < 0) return;
+  if (row >= rows) {
+    if (!on) return;
+    cells.resize(static_cast<std::size_t>(row + 1) *
+                     static_cast<std::size_t>(width),
+                 0);
+    rows = row + 1;
+  }
+  cells[static_cast<std::size_t>(row) * static_cast<std::size_t>(width) +
+        static_cast<std::size_t>(bit)] = on ? 1 : 0;
+}
+
+Matrix matrix_of(const PrefixGraph& g) {
+  // Live = reachable from outputs; level = derived operator depth.
+  std::vector<std::uint8_t> live(g.nodes.size(), 0);
+  std::vector<Ref> stack;
+  for (const Ref r : g.outputs) {
+    if (!is_leaf(r)) stack.push_back(r);
+  }
+  while (!stack.empty()) {
+    const Ref r = stack.back();
+    stack.pop_back();
+    if (live[static_cast<std::size_t>(r)]) continue;
+    live[static_cast<std::size_t>(r)] = 1;
+    const Node& n = g.nodes[static_cast<std::size_t>(r)];
+    if (!is_leaf(n.left)) stack.push_back(n.left);
+    if (!is_leaf(n.right)) stack.push_back(n.right);
+  }
+  std::vector<int> lvl(g.nodes.size(), 0);
+  Matrix m;
+  m.width = g.width;
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    const Node& n = g.nodes[i];
+    const int ll = is_leaf(n.left) ? 0 : lvl[static_cast<std::size_t>(n.left)];
+    const int rl = is_leaf(n.right) ? 0 : lvl[static_cast<std::size_t>(n.right)];
+    lvl[i] = std::max(ll, rl) + 1;
+    if (live[i]) m.set(lvl[i] - 1, n.hi, true);
+  }
+  return m;
+}
+
+Legalized legalize(const Matrix& m) {
+  const int w = m.width < 1 ? 1 : m.width;
+  Legalized out;
+  out.graph.width = w;
+  out.matrix.width = w;
+  PrefixGraph& g = out.graph;
+  std::vector<Ref> cur = leaves(w);
+  std::vector<int> survivors;
+  for (int r = 0; r < m.rows; ++r) {
+    // Previous rows' state: cells in one row join previous-level groups
+    // (the Kogge-Stone reading discipline), so within-row order cannot
+    // matter beyond node numbering.
+    const std::vector<Ref> snap = cur;
+    survivors.clear();
+    for (int j = 1; j < w; ++j) {
+      if (!m.at(r, j)) continue;
+      const int lo = g.span_lo(snap[static_cast<std::size_t>(j)]);
+      if (lo == 0) continue;  // group already complete: drop the cell
+      cur[static_cast<std::size_t>(j)] =
+          add_node(g, snap[static_cast<std::size_t>(j)],
+                   snap[static_cast<std::size_t>(lo - 1)]);
+      survivors.push_back(j);
+    }
+    if (!survivors.empty()) {
+      const int orow = out.matrix.rows;
+      for (const int j : survivors) out.matrix.set(orow, j, true);
+    }
+  }
+  // Completion: serialize whatever is still missing, one operator per
+  // row so a replay reconstructs the identical graph (idempotence).
+  for (int j = 1; j < w; ++j) {
+    const int lo = g.span_lo(cur[static_cast<std::size_t>(j)]);
+    if (lo == 0) continue;
+    cur[static_cast<std::size_t>(j)] =
+        add_node(g, cur[static_cast<std::size_t>(j)],
+                 cur[static_cast<std::size_t>(lo - 1)]);
+    out.matrix.set(out.matrix.rows, j, true);
+  }
+  g.outputs = std::move(cur);
+  return out;
+}
+
+PrefixGraph canonicalize(const PrefixGraph& g) {
+  PrefixGraph out;
+  out.width = g.width;
+  constexpr Ref kUnset = -0x7fffffff;
+  std::vector<Ref> memo(g.nodes.size(), kUnset);
+  std::map<std::pair<Ref, Ref>, Ref> dedup;
+  std::vector<Ref> stack;
+  const auto resolve = [&](Ref root) -> Ref {
+    if (is_leaf(root)) return root;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const Ref i = stack.back();
+      if (memo[static_cast<std::size_t>(i)] != kUnset) {
+        stack.pop_back();
+        continue;
+      }
+      const Node& n = g.nodes[static_cast<std::size_t>(i)];
+      bool pending = false;
+      if (!is_leaf(n.left) && memo[static_cast<std::size_t>(n.left)] == kUnset) {
+        stack.push_back(n.left);
+        pending = true;
+      }
+      if (!is_leaf(n.right) &&
+          memo[static_cast<std::size_t>(n.right)] == kUnset) {
+        stack.push_back(n.right);
+        pending = true;
+      }
+      if (pending) continue;
+      const Ref lc =
+          is_leaf(n.left) ? n.left : memo[static_cast<std::size_t>(n.left)];
+      const Ref rc =
+          is_leaf(n.right) ? n.right : memo[static_cast<std::size_t>(n.right)];
+      const auto key = std::make_pair(lc, rc);
+      const auto it = dedup.find(key);
+      Ref cid;
+      if (it != dedup.end()) {
+        cid = it->second;
+      } else {
+        cid = static_cast<Ref>(out.nodes.size());
+        out.nodes.push_back(Node{n.hi, n.lo, lc, rc});
+        dedup.emplace(key, cid);
+      }
+      memo[static_cast<std::size_t>(i)] = cid;
+      stack.pop_back();
+    }
+    return memo[static_cast<std::size_t>(root)];
+  };
+  out.outputs.reserve(g.outputs.size());
+  for (const Ref r : g.outputs) out.outputs.push_back(resolve(r));
+  return out;
+}
+
+std::string canonical_key(const PrefixGraph& g) {
+  const PrefixGraph c = canonicalize(g);
+  std::string key = "w" + std::to_string(c.width) + ":";
+  for (const Node& n : c.nodes) {
+    key += "(" + std::to_string(n.left) + "," + std::to_string(n.right) + ")";
+  }
+  key += "|";
+  for (std::size_t j = 0; j < c.outputs.size(); ++j) {
+    if (j) key += ",";
+    key += std::to_string(c.outputs[j]);
+  }
+  return key;
+}
+
+std::uint64_t canonical_hash(const PrefixGraph& g) {
+  const std::string key = canonical_key(g);
+  return fnv1a64(key.data(), key.size());
+}
+
+Matrix apply_move(Matrix m, const Move& mv) {
+  const int w = m.width;
+  const auto clamp_bit = [&](int b) { return std::clamp(b, 0, w - 1); };
+  switch (mv.kind) {
+    case MoveKind::kAddNode:
+      m.set(std::max(mv.level, 0), mv.bit, true);
+      break;
+    case MoveKind::kRemoveNode:
+      m.set(mv.level, mv.bit, false);
+      break;
+    case MoveKind::kSerializeSpan: {
+      const int lo = clamp_bit(std::min(mv.lo, mv.hi));
+      const int hi = clamp_bit(std::max(mv.lo, mv.hi));
+      for (int r = 0; r < m.rows; ++r) {
+        for (int j = lo; j <= hi; ++j) m.set(r, j, false);
+      }
+      break;
+    }
+    case MoveKind::kParallelizeSpan: {
+      const int lo = clamp_bit(std::min(mv.lo, mv.hi));
+      const int hi = clamp_bit(std::max(mv.lo, mv.hi));
+      for (int r = 0; r < m.rows; ++r) {
+        for (int j = lo; j <= hi; ++j) m.set(r, j, false);
+      }
+      int row = 0;
+      for (int d = 1; d <= hi - lo; d *= 2, ++row) {
+        for (int j = lo; j <= hi; ++j) {
+          if (((j - lo) & d) != 0) m.set(row, j, true);
+        }
+      }
+      break;
+    }
+  }
+  return m;
+}
+
+}  // namespace rlmul::prefix

@@ -1,0 +1,161 @@
+#pragma once
+// Parallel-prefix carry networks as first-class, searchable objects.
+//
+// A PrefixGraph is a DAG of (generate, propagate) operators over the
+// adder's bit columns: each node joins a left span [mid+1..hi] with the
+// exactly-abutting right span [lo..mid], and outputs[j] names the
+// producer of the group over [0..j] that the sum XOR at bit j+1 reads.
+// The four legacy CPA architectures (ripple / Brent-Kung / Sklansky /
+// Kogge-Stone) are just four named points in this space; arbitrary
+// points come from the PrefixRL-style bit matrix plus `legalize`, which
+// repairs any matrix into a valid graph. `canonicalize` gives the
+// order-independent structural form used for design-space keying.
+//
+// Node order is meaningful: it is the order netlist::build_cpa emits
+// gates in, so the named constructors list their nodes in the exact
+// loop order of the pre-refactor enum emitters and reproduce those
+// netlists bit for bit (dead top-bit groups included).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rlmul::prefix {
+
+/// Producer of a (g, p) pair: values >= 0 index PrefixGraph::nodes;
+/// negative values are level-0 column inputs, leaf(b) == -1 - b.
+using Ref = int;
+
+constexpr Ref leaf(int bit) { return -1 - bit; }
+constexpr bool is_leaf(Ref r) { return r < 0; }
+constexpr int leaf_bit(Ref r) { return -1 - r; }
+
+/// One prefix-operator application over two abutting spans.
+struct Node {
+  int hi = 0;  ///< span is [lo..hi]
+  int lo = 0;
+  Ref left = 0;   ///< produces [mid+1..hi]
+  Ref right = 0;  ///< produces [lo..mid]
+  bool operator==(const Node&) const = default;
+};
+
+struct PrefixGraph {
+  int width = 0;
+  /// Topological *and* emission order: parents precede children, and
+  /// netlist::build_cpa materializes node k's gates after nodes
+  /// 0..k-1, so equal node lists mean gate-identical netlists.
+  std::vector<Node> nodes;
+  /// outputs[j] produces the group over [0..j]; outputs[0] == leaf(0).
+  std::vector<Ref> outputs;
+
+  int span_hi(Ref r) const {
+    return is_leaf(r) ? leaf_bit(r) : nodes[static_cast<std::size_t>(r)].hi;
+  }
+  int span_lo(Ref r) const {
+    return is_leaf(r) ? leaf_bit(r) : nodes[static_cast<std::size_t>(r)].lo;
+  }
+  bool operator==(const PrefixGraph&) const = default;
+};
+
+/// Structural validity: parents precede children, every node joins two
+/// exactly-abutting spans, and outputs[j] covers [0..j] for every bit.
+bool valid(const PrefixGraph& g, std::string* why = nullptr);
+
+/// Operator depth feeding outputs[j] (0 where the output is a leaf).
+/// The RL env's prefix state channel encodes this level map.
+std::vector<int> output_levels(const PrefixGraph& g);
+
+// -- named constructors ------------------------------------------------------
+// Node lists mirror the legacy enum emitters in netlist/ct_builder.cpp
+// loop for loop, so emission through build_cpa reproduces the exact
+// pre-refactor netlists for these four points.
+
+PrefixGraph serial(int width);  ///< ripple: [0..j] = leaf(j) o [0..j-1]
+PrefixGraph kogge_stone(int width);
+PrefixGraph sklansky(int width);
+PrefixGraph brent_kung(int width);
+
+/// True iff the graph is structurally the serial chain — the netlist
+/// emitter lowers such graphs through the HA/FA ripple chain instead
+/// of discrete prefix gates, exactly as CpaKind::kRippleCarry did.
+bool is_serial(const PrefixGraph& g);
+
+// -- matrix form and legalization -------------------------------------------
+
+/// PrefixRL-style occupancy matrix: cell (row, bit) requests a prefix
+/// operator at that bit, rows processed in order. This is the move and
+/// action representation; `legalize` turns any matrix into a graph.
+struct Matrix {
+  int width = 0;
+  int rows = 0;
+  std::vector<std::uint8_t> cells;  ///< [row * width + bit]
+
+  bool at(int row, int bit) const {
+    return row >= 0 && row < rows && bit >= 0 && bit < width &&
+           cells[static_cast<std::size_t>(row) * static_cast<std::size_t>(width) +
+                 static_cast<std::size_t>(bit)] != 0;
+  }
+  /// Grows rows as needed on set; clearing outside the matrix is a
+  /// no-op.
+  void set(int row, int bit, bool on);
+  bool operator==(const Matrix&) const = default;
+};
+
+/// The matrix whose legalization rebuilds `g` up to canonical
+/// structure: one cell per live operator at (derived level - 1, hi).
+Matrix matrix_of(const PrefixGraph& g);
+
+struct Legalized {
+  /// Repaired fixed point: legalize(matrix).matrix == matrix. Dropped
+  /// cells (operators over already-complete groups) are cleared, empty
+  /// rows compacted, and completion operators appended one per row.
+  Matrix matrix;
+  PrefixGraph graph;  ///< valid graph, nodes in repair order
+};
+
+/// Repairs an arbitrary bit matrix into a valid prefix graph. Each row
+/// is processed against the previous rows' state (cells joining with
+/// the group at span_lo - 1); cells over complete groups are dropped;
+/// a completion pass serializes whatever is still missing. Idempotent
+/// on the repaired matrix, and legalize(matrix_of(C)) is canonically
+/// equal to C for every named constructor.
+Legalized legalize(const Matrix& m);
+
+// -- canonicalization --------------------------------------------------------
+
+/// Order-independent structural form: prunes operators unreachable
+/// from the outputs, deduplicates structurally-identical ones, and
+/// renumbers by a deterministic traversal of the outputs. Two graphs
+/// computing the same groups through the same operator tree compare
+/// equal after canonicalization regardless of node order.
+PrefixGraph canonicalize(const PrefixGraph& g);
+
+/// Serialization of the canonical form (design-space database key).
+std::string canonical_key(const PrefixGraph& g);
+
+/// FNV-1a of canonical_key, for compact keys in CSV/stats output.
+std::uint64_t canonical_hash(const PrefixGraph& g);
+
+// -- local rewrite moves ----------------------------------------------------
+
+enum class MoveKind {
+  kAddNode,          ///< set matrix cell (level, bit)
+  kRemoveNode,       ///< clear matrix cell (level, bit)
+  kSerializeSpan,    ///< clear columns [lo..hi]: completion re-chains them
+  kParallelizeSpan,  ///< Sklansky pattern over columns [lo..hi]
+};
+
+struct Move {
+  MoveKind kind = MoveKind::kAddNode;
+  int level = 0;  ///< kAddNode/kRemoveNode row
+  int bit = 0;    ///< kAddNode/kRemoveNode column
+  int lo = 0;     ///< span moves: [lo..hi]
+  int hi = 0;
+};
+
+/// Applies the move in matrix form; callers re-legalize the result.
+/// Out-of-range coordinates clamp to no-ops rather than throwing, so
+/// random move streams stay total.
+Matrix apply_move(Matrix m, const Move& mv);
+
+}  // namespace rlmul::prefix

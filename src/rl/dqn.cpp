@@ -26,10 +26,15 @@ void ReplayBuffer::restore(std::vector<Transition> data, std::size_t next) {
 
 std::unique_ptr<nn::ResNet> make_agent_net(AgentNet kind, int num_actions,
                                            util::Rng& rng) {
+  return make_agent_net(kind, kStateChannels, num_actions, rng);
+}
+
+std::unique_ptr<nn::ResNet> make_agent_net(AgentNet kind, int channels,
+                                           int num_actions, util::Rng& rng) {
   const nn::ResNetConfig cfg =
       kind == AgentNet::kResNet18
-          ? nn::resnet18_config(kStateChannels, num_actions)
-          : nn::resnet_tiny_config(kStateChannels, num_actions);
+          ? nn::resnet18_config(channels, num_actions)
+          : nn::resnet_tiny_config(channels, num_actions);
   return std::make_unique<nn::ResNet>(cfg, rng);
 }
 

@@ -67,13 +67,14 @@ TrainResult train_dqn(synth::DesignEvaluator& evaluator,
 /// argmax over legal entries; returns -1 when nothing is legal.
 int masked_argmax(const float* q, const std::vector<std::uint8_t>& mask);
 
-/// Replay buffer shared by the tests; stores trees (compact) and
-/// re-encodes on sampling.
+/// Replay buffer shared by the tests; stores design points (compact —
+/// the CPA graph and PPG tag are empty/default outside joint search)
+/// and re-encodes on sampling.
 struct Transition {
-  ct::CompressorTree state;
+  ppg::DesignPoint state;
   int action = 0;
   double reward = 0.0;
-  ct::CompressorTree next_state;
+  ppg::DesignPoint next_state;
   std::vector<std::uint8_t> next_mask;
 };
 
@@ -97,9 +98,16 @@ class ReplayBuffer {
   std::vector<Transition> data_;
 };
 
-/// Builds the agent network for a spec (8N outputs).
+/// Builds the agent network for a spec (8N outputs, kStateChannels
+/// input planes — the paper's shape).
 std::unique_ptr<nn::ResNet> make_agent_net(AgentNet kind, int num_actions,
                                            util::Rng& rng);
+
+/// Same, with an explicit input-channel count (joint-search envs grow
+/// the observation by a CPA and/or PPG plane; see
+/// MultiplierEnv::num_channels).
+std::unique_ptr<nn::ResNet> make_agent_net(AgentNet kind, int channels,
+                                           int num_actions, util::Rng& rng);
 
 /// Deploys a trained Q-network: greedy masked-argmax rollout from the
 /// initial state for `steps` actions (no exploration, no learning).

@@ -1,9 +1,11 @@
 #include "rl/env.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <stdexcept>
 
 #include "ppg/ppg.hpp"
+#include "prefix/prefix_graph.hpp"
 
 namespace rlmul::rl {
 
@@ -45,6 +47,35 @@ void encode_tree_into(const ct::CompressorTree& tree, int stage_pad,
   }
 }
 
+/// Joint-search extra channels, laid out after the tree slab. The CPA
+/// channel writes each output's operator depth at stage slot 0 (zero
+/// for unpinned points); the PPG channel is a constant plane of the
+/// family's enum index, so the network can condition on the family
+/// without a separate input head.
+void encode_point_into(const ppg::DesignPoint& point, int stage_pad,
+                       bool with_cpa, bool with_ppg, float* dst) {
+  encode_tree_into(point.tree, stage_pad, dst);
+  const int cols = point.tree.columns();
+  const std::size_t plane =
+      static_cast<std::size_t>(cols) * static_cast<std::size_t>(stage_pad);
+  float* extra = dst + static_cast<std::size_t>(kStateChannels) * plane;
+  if (with_cpa) {
+    if (point.cpa.width != 0) {
+      const std::vector<int> levels = prefix::output_levels(point.cpa);
+      const int n = std::min<int>(cols, static_cast<int>(levels.size()));
+      for (int j = 0; j < n; ++j) {
+        extra[static_cast<std::size_t>(j) * stage_pad] =
+            static_cast<float>(levels[static_cast<std::size_t>(j)]);
+      }
+    }
+    extra += plane;
+  }
+  if (with_ppg) {
+    const float idx = static_cast<float>(static_cast<int>(point.ppg));
+    for (std::size_t i = 0; i < plane; ++i) extra[i] = idx;
+  }
+}
+
 }  // namespace
 
 nt::Tensor encode_tree(const ct::CompressorTree& tree, int stage_pad) {
@@ -75,6 +106,40 @@ nt::Tensor encode_batch(const std::vector<ct::CompressorTree>& trees,
   return out;
 }
 
+nt::Tensor encode_point(const ppg::DesignPoint& point, int stage_pad,
+                        bool with_cpa, bool with_ppg) {
+  const int channels =
+      kStateChannels + (with_cpa ? 1 : 0) + (with_ppg ? 1 : 0);
+  nt::Tensor out({1, channels, point.tree.columns(), stage_pad});
+  encode_point_into(point, stage_pad, with_cpa, with_ppg, out.data());
+  return out;
+}
+
+nt::Tensor encode_point_batch(const std::vector<ppg::DesignPoint>& points,
+                              int stage_pad, bool with_cpa, bool with_ppg) {
+  if (points.empty()) throw std::invalid_argument("encode_point_batch: empty");
+  const int cols = points.front().tree.columns();
+  for (std::size_t b = 1; b < points.size(); ++b) {
+    if (points[b].tree.columns() != cols) {
+      throw std::invalid_argument(
+          "encode_point_batch: mixed column widths (" + std::to_string(cols) +
+          " vs " + std::to_string(points[b].tree.columns()) + " at index " +
+          std::to_string(b) + ")");
+    }
+  }
+  const int channels =
+      kStateChannels + (with_cpa ? 1 : 0) + (with_ppg ? 1 : 0);
+  nt::Tensor out(
+      {static_cast<int>(points.size()), channels, cols, stage_pad});
+  const std::size_t plane = static_cast<std::size_t>(channels) * cols *
+                            static_cast<std::size_t>(stage_pad);
+  for (std::size_t b = 0; b < points.size(); ++b) {
+    encode_point_into(points[b], stage_pad, with_cpa, with_ppg,
+                      out.data() + b * plane);
+  }
+  return out;
+}
+
 MultiplierEnv::MultiplierEnv(synth::DesignEvaluator& evaluator,
                              const EnvConfig& cfg)
     : evaluator_(evaluator), cfg_(cfg) {
@@ -88,6 +153,7 @@ MultiplierEnv::MultiplierEnv(synth::DesignEvaluator& evaluator,
                    ? cfg_.stage_pad
                    : std::min(max_stages_, ct::stage_count(initial) + 4);
   if (stage_pad_ < 1) stage_pad_ = 1;
+  if (cfg_.prefix_levels < 1) cfg_.prefix_levels = 1;
   if (!cfg_.initial.pp.empty() && cfg_.initial.pp != initial.pp) {
     throw std::invalid_argument(
         "MultiplierEnv: warm-start tree was built for a different spec "
@@ -97,48 +163,106 @@ MultiplierEnv::MultiplierEnv(synth::DesignEvaluator& evaluator,
 }
 
 void MultiplierEnv::reset() {
-  tree_ = cfg_.initial.pp.empty() ? ppg::initial_tree(evaluator_.spec())
-                                  : cfg_.initial;
-  cost_ = cost_of(tree_);
-  best_tree_ = tree_;
+  point_.ppg = evaluator_.spec().ppg;
+  point_.tree = cfg_.initial.pp.empty() ? ppg::initial_tree(evaluator_.spec())
+                                        : cfg_.initial;
+  // The CPA dimension starts at the serial chain — the cheapest named
+  // point — so the first prefix toggles always have room to improve
+  // delay, mirroring how the tree starts at the legal Wallace design.
+  point_.cpa = cfg_.search_cpa
+                   ? prefix::serial(evaluator_.spec().columns())
+                   : prefix::PrefixGraph{};
+  cost_ = cost_of(point_);
+  best_point_ = point_;
   best_cost_ = cost_;
 }
 
+int MultiplierEnv::num_ct_actions() const {
+  return point_.tree.columns() * ct::kActionsPerColumn;
+}
+
 int MultiplierEnv::num_actions() const {
-  return tree_.columns() * ct::kActionsPerColumn;
+  int n = num_ct_actions();
+  if (cfg_.search_cpa) n += cfg_.prefix_levels * point_.tree.columns();
+  if (cfg_.search_ppg) n += static_cast<int>(std::size(ppg::kAllPpgKinds));
+  return n;
 }
 
 std::vector<std::uint8_t> MultiplierEnv::mask() const {
-  return ct::legal_action_mask(tree_, max_stages_, cfg_.enable_42);
+  std::vector<std::uint8_t> m =
+      ct::legal_action_mask(point_.tree, max_stages_, cfg_.enable_42);
+  if (cfg_.search_cpa) {
+    // Every toggle is legal: legalize repairs whatever the move breaks.
+    m.insert(m.end(),
+             static_cast<std::size_t>(cfg_.prefix_levels) *
+                 static_cast<std::size_t>(point_.tree.columns()),
+             std::uint8_t{1});
+  }
+  if (cfg_.search_ppg) {
+    for (const ppg::PpgKind kind : ppg::kAllPpgKinds) {
+      m.push_back(kind == point_.ppg ? std::uint8_t{0} : std::uint8_t{1});
+    }
+  }
+  return m;
 }
 
 MultiplierEnv::StepResult MultiplierEnv::step(int action_index) {
-  const ct::Action action = ct::action_from_index(action_index);
-  if (!ct::action_applicable(tree_, action)) {
+  const int base = num_ct_actions();
+  const int width = point_.tree.columns();
+  const int prefix_actions = cfg_.search_cpa ? cfg_.prefix_levels * width : 0;
+  if (action_index < base) {
+    const ct::Action action = ct::action_from_index(action_index);
+    if (!ct::action_applicable(point_.tree, action)) {
+      throw std::invalid_argument("MultiplierEnv::step: illegal action");
+    }
+    point_.tree = ct::apply_action(point_.tree, action);
+  } else if (action_index < base + prefix_actions) {
+    const int idx = action_index - base;
+    prefix::Matrix m = prefix::matrix_of(point_.cpa);
+    prefix::Move mv;
+    mv.level = idx / width;
+    mv.bit = idx % width;
+    mv.kind = m.at(mv.level, mv.bit) ? prefix::MoveKind::kRemoveNode
+                                     : prefix::MoveKind::kAddNode;
+    point_.cpa = prefix::legalize(prefix::apply_move(std::move(m), mv)).graph;
+  } else if (cfg_.search_ppg &&
+             action_index <
+                 base + prefix_actions +
+                     static_cast<int>(std::size(ppg::kAllPpgKinds))) {
+    const ppg::PpgKind kind =
+        ppg::kAllPpgKinds[static_cast<std::size_t>(action_index - base -
+                                                   prefix_actions)];
+    if (kind == point_.ppg) {
+      throw std::invalid_argument(
+          "MultiplierEnv::step: PPG switch to the current family");
+    }
+    point_.ppg = kind;
+    point_.tree =
+        ppg::retarget_tree(point_.tree, point_.resolved_spec(evaluator_.spec()));
+  } else {
     throw std::invalid_argument("MultiplierEnv::step: illegal action");
   }
-  tree_ = ct::apply_action(tree_, action);
-  const double new_cost = cost_of(tree_);
+  const double new_cost = cost_of(point_);
   StepResult out;
   out.reward = cost_ - new_cost;  // Equation (10)
   out.cost = new_cost;
   cost_ = new_cost;
   if (new_cost < best_cost_) {
     best_cost_ = new_cost;
-    best_tree_ = tree_;
+    best_point_ = point_;
   }
   return out;
 }
 
 void MultiplierEnv::restore(const State& st) {
-  tree_ = st.tree;
+  point_ = st.point;
   cost_ = st.cost;
-  best_tree_ = st.best_tree;
+  best_point_ = st.best_point;
   best_cost_ = st.best_cost;
 }
 
-double MultiplierEnv::cost_of(const ct::CompressorTree& tree) {
-  return evaluator_.cost(evaluator_.evaluate(tree), cfg_.w_area,
+double MultiplierEnv::cost_of(const ppg::DesignPoint& point) {
+  return evaluator_.cost(evaluator_.evaluate(point), cfg_.w_area,
                          cfg_.w_delay);
 }
 

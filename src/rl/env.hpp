@@ -9,6 +9,7 @@
 
 #include "ct/compressor_tree.hpp"
 #include "nt/tensor.hpp"
+#include "ppg/ppg.hpp"
 #include "synth/evaluator.hpp"
 
 namespace rlmul::rl {
@@ -30,6 +31,16 @@ nt::Tensor encode_tree(const ct::CompressorTree& tree, int stage_pad);
 nt::Tensor encode_batch(const std::vector<ct::CompressorTree>& trees,
                         int stage_pad);
 
+/// Joint-search encoding: the tree slab plus, when requested, a prefix
+/// level-map channel (output_levels of the pinned CPA graph at stage
+/// slot 0; all-zero for unpinned points) and a PPG-family channel (a
+/// constant plane holding the family's kAllPpgKinds index). With both
+/// flags off this is byte-identical to encode_tree(point.tree, ...).
+nt::Tensor encode_point(const ppg::DesignPoint& point, int stage_pad,
+                        bool with_cpa, bool with_ppg);
+nt::Tensor encode_point_batch(const std::vector<ppg::DesignPoint>& points,
+                              int stage_pad, bool with_cpa, bool with_ppg);
+
 struct EnvConfig {
   double w_area = 1.0;
   double w_delay = 1.0;
@@ -40,6 +51,17 @@ struct EnvConfig {
   int stage_pad = -1;
   /// Unmask the 4:2 fuse/split extension actions.
   bool enable_42 = false;
+  /// Joint-search extensions (off by default — the paper's action space
+  /// and observation shape are the defaults). search_cpa pins the CPA
+  /// to a mutable prefix graph (starting serial/ripple) and appends
+  /// prefix_levels * columns matrix-toggle actions plus a prefix
+  /// level-map observation channel. search_ppg appends one action per
+  /// PPG family plus a constant family-index channel.
+  bool search_cpa = false;
+  bool search_ppg = false;
+  /// Rows of the prefix toggle matrix exposed as actions (levels 1..
+  /// prefix_levels of the Sklansky-bounded matrix; level 0 is fixed).
+  int prefix_levels = 4;
   /// Non-empty: the state reset() restores instead of the Wallace
   /// initial design (warm start from a stored record). Must have been
   /// built against the same spec (pp heights are checked). Stage
@@ -54,16 +76,34 @@ class MultiplierEnv {
 
   void reset();
 
-  const ct::CompressorTree& tree() const { return tree_; }
+  const ct::CompressorTree& tree() const { return point_.tree; }
+  const ppg::DesignPoint& point() const { return point_; }
   double current_cost() const { return cost_; }
   int num_actions() const;
+  /// Count of the paper's compressor-tree actions — the joint-search
+  /// extension blocks (prefix toggles, PPG switches) index from here.
+  int num_ct_actions() const;
   int max_stages() const { return max_stages_; }
   int stage_pad() const { return stage_pad_; }
 
-  /// Legality mask (stage pruning applied).
+  bool searches_cpa() const { return cfg_.search_cpa; }
+  bool searches_ppg() const { return cfg_.search_ppg; }
+  bool joint_search() const { return cfg_.search_cpa || cfg_.search_ppg; }
+  /// Observation channel count: kStateChannels plus one per enabled
+  /// joint-search dimension.
+  int num_channels() const {
+    return kStateChannels + (cfg_.search_cpa ? 1 : 0) +
+           (cfg_.search_ppg ? 1 : 0);
+  }
+
+  /// Legality mask (stage pruning applied). Prefix-toggle actions are
+  /// always legal (legalize repairs any matrix); the PPG action for the
+  /// current family is masked off.
   std::vector<std::uint8_t> mask() const;
 
-  nt::Tensor observe() const { return encode_tree(tree_, stage_pad_); }
+  nt::Tensor observe() const {
+    return encode_point(point_, stage_pad_, cfg_.search_cpa, cfg_.search_ppg);
+  }
 
   struct StepResult {
     double reward = 0.0;  ///< cost_t - cost_{t+1} (Equation 10)
@@ -72,31 +112,32 @@ class MultiplierEnv {
   StepResult step(int action_index);
 
   /// Best design visited by this environment instance.
-  const ct::CompressorTree& best_tree() const { return best_tree_; }
+  const ct::CompressorTree& best_tree() const { return best_point_.tree; }
+  const ppg::DesignPoint& best_point() const { return best_point_; }
   double best_cost() const { return best_cost_; }
 
   /// Full mutable state (checkpoint/resume). Costs are stored rather
   /// than recomputed so a restored environment never consumes EDA
   /// budget or diverges from the saved run.
   struct State {
-    ct::CompressorTree tree;
+    ppg::DesignPoint point;
     double cost = 0.0;
-    ct::CompressorTree best_tree;
+    ppg::DesignPoint best_point;
     double best_cost = 0.0;
   };
-  State state() const { return {tree_, cost_, best_tree_, best_cost_}; }
+  State state() const { return {point_, cost_, best_point_, best_cost_}; }
   void restore(const State& st);
 
  private:
-  double cost_of(const ct::CompressorTree& tree);
+  double cost_of(const ppg::DesignPoint& point);
 
   synth::DesignEvaluator& evaluator_;
   EnvConfig cfg_;
   int max_stages_ = 0;
   int stage_pad_ = 0;
-  ct::CompressorTree tree_;
+  ppg::DesignPoint point_;
   double cost_ = 0.0;
-  ct::CompressorTree best_tree_;
+  ppg::DesignPoint best_point_;
   double best_cost_ = 0.0;
 };
 

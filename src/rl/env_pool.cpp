@@ -25,8 +25,18 @@ std::vector<ct::CompressorTree> EnvPool::trees() const {
   return out;
 }
 
+std::vector<ppg::DesignPoint> EnvPool::points() const {
+  std::vector<ppg::DesignPoint> out;
+  out.reserve(envs_.size());
+  for (const auto& env : envs_) out.push_back(env->point());
+  return out;
+}
+
 nt::Tensor EnvPool::observe_batch() const {
-  return encode_batch(trees(), stage_pad());
+  const MultiplierEnv& front = *envs_.front();
+  if (!front.joint_search()) return encode_batch(trees(), stage_pad());
+  return encode_point_batch(points(), stage_pad(), front.searches_cpa(),
+                            front.searches_ppg());
 }
 
 std::vector<std::vector<std::uint8_t>> EnvPool::masks() const {
@@ -51,6 +61,10 @@ std::vector<EnvPool::StepOutcome> EnvPool::step_all(
     next.reserve(envs_.size());
     for (std::size_t e = 0; e < envs_.size(); ++e) {
       if (actions[e] < 0) continue;  // reset, no evaluation needed
+      // Joint-search envs evaluate full design points (pinned CPA /
+      // non-default PPG), which take the per-point evaluation path —
+      // a plain-tree prefetch would warm the wrong cache key.
+      if (envs_[e]->joint_search()) continue;
       const ct::Action action = ct::action_from_index(actions[e]);
       if (!ct::action_applicable(envs_[e]->tree(), action)) continue;
       next.push_back(ct::apply_action(envs_[e]->tree(), action));

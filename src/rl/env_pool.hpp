@@ -45,9 +45,12 @@ class EnvPool {
 
   /// Current states of all environments, in pool order.
   std::vector<ct::CompressorTree> trees() const;
+  std::vector<ppg::DesignPoint> points() const;
 
-  /// One slab [N, K, columns, stage_pad] over all current states —
-  /// identical to encode_batch(trees(), stage_pad()).
+  /// One slab [N, C, columns, stage_pad] over all current states —
+  /// identical to encode_batch(trees(), stage_pad()) when the pool's
+  /// envs are not joint-searching, and to encode_point_batch otherwise
+  /// (C = env(0).num_channels()).
   nt::Tensor observe_batch() const;
 
   /// Legality masks of all environments, in pool order.

@@ -10,7 +10,39 @@ namespace rlmul::search {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x524C434BU;  // "RLCK"
-constexpr std::uint32_t kVersion = 1;
+/// v1 stored only best_tree; v2 appends the full best design point
+/// (PPG family + pinned CPA graph) after the v1 fields. decode accepts
+/// both, so checkpoints from before the design-representation refactor
+/// still resume.
+constexpr std::uint32_t kVersion = 2;
+
+void write_graph(BlobWriter& w, const prefix::PrefixGraph& g) {
+  w.i32(g.width);
+  w.u32(static_cast<std::uint32_t>(g.nodes.size()));
+  for (const prefix::Node& n : g.nodes) {
+    w.i32(n.hi);
+    w.i32(n.lo);
+    w.i32(n.left);
+    w.i32(n.right);
+  }
+  w.u32(static_cast<std::uint32_t>(g.outputs.size()));
+  for (const prefix::Ref ref : g.outputs) w.i32(ref);
+}
+
+prefix::PrefixGraph read_graph(BlobReader& r) {
+  prefix::PrefixGraph g;
+  g.width = r.i32();
+  g.nodes.resize(r.u32());
+  for (prefix::Node& n : g.nodes) {
+    n.hi = r.i32();
+    n.lo = r.i32();
+    n.left = r.i32();
+    n.right = r.i32();
+  }
+  g.outputs.resize(r.u32());
+  for (prefix::Ref& ref : g.outputs) ref = r.i32();
+  return g;
+}
 
 }  // namespace
 
@@ -26,6 +58,10 @@ std::vector<std::uint8_t> Checkpoint::encode() const {
   w.f64_vec(trajectory);
   w.f64_vec(best_trajectory);
   w.bytes(method_state);
+  // v2 tail: the best design point beyond its tree.
+  w.u8(static_cast<std::uint8_t>(best_point.ppg));
+  w.tree(best_point.tree);
+  write_graph(w, best_point.cpa);
   return w.take();
 }
 
@@ -34,7 +70,8 @@ Checkpoint Checkpoint::decode(const std::vector<std::uint8_t>& blob) {
   if (r.u32() != kMagic) {
     throw std::runtime_error("Checkpoint: bad magic");
   }
-  if (r.u32() != kVersion) {
+  const std::uint32_t version = r.u32();
+  if (version != 1 && version != kVersion) {
     throw std::runtime_error("Checkpoint: unsupported version");
   }
   Checkpoint c;
@@ -46,6 +83,12 @@ Checkpoint Checkpoint::decode(const std::vector<std::uint8_t>& blob) {
   c.trajectory = r.f64_vec();
   c.best_trajectory = r.f64_vec();
   c.method_state = r.bytes();
+  if (version >= 2) {
+    c.best_point.ppg = static_cast<ppg::PpgKind>(r.u8());
+    c.best_point.tree = r.tree();
+    c.best_point.cpa = read_graph(r);
+    c.has_best_point = true;
+  }
   r.expect_end();
   return c;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ct/compressor_tree.hpp"
+#include "ppg/ppg.hpp"
 
 namespace rlmul::search {
 
@@ -18,6 +19,11 @@ struct Checkpoint {
   // Partial result so far (the trained network is NOT stored here — it
   // lives inside method_state and is rebuilt by Method::load_state).
   ct::CompressorTree best_tree;
+  /// Full best design point (v2 checkpoints). v1 checkpoints carried
+  /// only the tree; has_best_point stays false and the driver rebuilds
+  /// a plain point from best_tree + the evaluator's spec on resume.
+  ppg::DesignPoint best_point;
+  bool has_best_point = false;
   double best_cost = 0.0;
   std::vector<double> trajectory;
   std::vector<double> best_trajectory;

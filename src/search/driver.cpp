@@ -49,6 +49,14 @@ RunResult Driver::resume(Method& method, const Checkpoint& ckpt) {
   // partial result and the method's mutable state.
   method.init(ctx_);
   ctx_.result().best_tree = ckpt.best_tree;
+  if (ckpt.has_best_point) {
+    ctx_.result().best_point = ckpt.best_point;
+  } else {
+    // v1 checkpoint: plain point from the tree + the evaluator's spec.
+    ctx_.result().best_point.ppg = evaluator_.spec().ppg;
+    ctx_.result().best_point.tree = ckpt.best_tree;
+    ctx_.result().best_point.cpa = prefix::PrefixGraph{};
+  }
   ctx_.result().best_cost = ckpt.best_cost;
   ctx_.result().trajectory = ckpt.trajectory;
   ctx_.result().best_trajectory = ckpt.best_trajectory;
@@ -65,6 +73,8 @@ Checkpoint Driver::make_checkpoint(const Method& method) const {
   c.eda_consumed = eda_consumed();
   const RunResult& res = ctx_.result();
   c.best_tree = res.best_tree;
+  c.best_point = res.best_point;
+  c.has_best_point = true;
   c.best_cost = res.best_cost;
   c.trajectory = res.trajectory;
   c.best_trajectory = res.best_trajectory;

@@ -31,6 +31,10 @@ namespace rlmul::search {
 /// cost trajectories (Fig 12), and the budget accounting.
 struct RunResult {
   ct::CompressorTree best_tree;
+  /// Full design point of the best design: always mirrors best_tree;
+  /// carries the pinned CPA graph / PPG family when the method searched
+  /// those dimensions (empty CPA + spec PPG otherwise).
+  ppg::DesignPoint best_point;
   double best_cost = 0.0;
   /// Cost of the current state after each step (mean across workers
   /// for parallel methods).
@@ -65,11 +69,24 @@ class Context {
 
   /// Appends to the current-cost trajectory.
   void push_cost(double cost) { result_.trajectory.push_back(cost); }
-  /// Installs (cost, tree) as best-so-far if it improves.
+  /// Installs (cost, tree) as best-so-far if it improves. The design
+  /// point is the plain one: the evaluator spec's PPG, no pinned CPA.
   void offer_best(double cost, const ct::CompressorTree& tree) {
     if (cost < result_.best_cost) {
       result_.best_cost = cost;
       result_.best_tree = tree;
+      result_.best_point.ppg = evaluator_.spec().ppg;
+      result_.best_point.tree = tree;
+      result_.best_point.cpa = prefix::PrefixGraph{};
+    }
+  }
+  /// Installs a full design point as best-so-far if it improves
+  /// (joint-search methods).
+  void offer_best(double cost, const ppg::DesignPoint& point) {
+    if (cost < result_.best_cost) {
+      result_.best_cost = cost;
+      result_.best_tree = point.tree;
+      result_.best_point = point;
     }
   }
   /// Appends the current best to the best-so-far trajectory.
@@ -115,6 +132,12 @@ struct MethodConfig {
   double w_delay = 1.0;
   int max_stages = -1;
   bool enable_42 = false;
+  /// Joint-search dimensions (see rl::EnvConfig): pin + mutate the CPA
+  /// prefix graph, and/or expose PPG-family switches as actions. Off by
+  /// default — the paper's tree-only search space.
+  bool search_cpa = false;
+  bool search_ppg = false;
+  int prefix_levels = 4;
   int episode_length = 0;
   bool verbose = false;
   std::uint64_t seed = 1;

@@ -16,12 +16,16 @@ void A2cMethod::init(Context& ctx) {
   env_cfg.w_delay = cfg_.w_delay;
   env_cfg.max_stages = cfg_.max_stages;
   env_cfg.enable_42 = cfg_.enable_42;
+  env_cfg.search_cpa = cfg_.search_cpa;
+  env_cfg.search_ppg = cfg_.search_ppg;
+  env_cfg.prefix_levels = cfg_.prefix_levels;
   pool_ = std::make_unique<rl::EnvPool>(ctx.evaluator(), env_cfg,
                                         cfg_.threads);
   num_actions_ = pool_->num_actions();
   stage_pad_ = pool_->stage_pad();
 
-  trunk_ = rl::make_agent_net(cfg_.net, num_actions_, rng_);
+  trunk_ = rl::make_agent_net(cfg_.net, pool_->env(0).num_channels(),
+                              num_actions_, rng_);
   policy_head_ =
       std::make_unique<nn::Linear>(trunk_->feature_dim(), num_actions_, rng_);
   value_head_ = std::make_unique<nn::Linear>(trunk_->feature_dim(), 1, rng_);
@@ -32,6 +36,7 @@ void A2cMethod::init(Context& ctx) {
   optim_ = std::make_unique<nn::RmsProp>(params, cfg_.lr);
 
   ctx.result().best_tree = pool_->env(0).best_tree();
+  ctx.result().best_point = pool_->env(0).best_point();
   ctx.result().best_cost = pool_->env(0).best_cost();
   t_ = 0;
   k_ = 0;
@@ -75,7 +80,7 @@ bool A2cMethod::step(Context& ctx) {
   std::vector<int> actions(num_envs, -1);
   std::vector<Sample> step_samples(num_envs);
   for (std::size_t e = 0; e < num_envs; ++e) {
-    step_samples[e].state = pool_->env(static_cast<int>(e)).tree();
+    step_samples[e].state = pool_->env(static_cast<int>(e)).point();
     step_samples[e].mask = pool_->env(static_cast<int>(e)).mask();
     step_samples[e].env = static_cast<int>(e);
     const auto probs = rl::masked_softmax(
@@ -102,7 +107,7 @@ bool A2cMethod::step(Context& ctx) {
   ctx.push_cost(util::mean(costs));
   for (std::size_t e = 0; e < num_envs; ++e) {
     const rl::MultiplierEnv& env = pool_->env(static_cast<int>(e));
-    ctx.offer_best(env.best_cost(), env.best_tree());
+    ctx.offer_best(env.best_cost(), env.best_point());
   }
   ctx.push_best();
   for (auto& s : step_samples) samples_.push_back(std::move(s));
@@ -151,8 +156,10 @@ void A2cMethod::update(Context& ctx) {
   }
 
   // -- gradient step ------------------------------------------------------
-  std::vector<ct::CompressorTree> batch_trees;
-  for (const auto& s : samples_) batch_trees.push_back(s.state);
+  // encode_point_batch with both flags off writes exactly the
+  // encode_batch slab, so one call covers plain and joint runs.
+  std::vector<ppg::DesignPoint> batch_states;
+  for (const auto& s : samples_) batch_states.push_back(s.state);
   trunk_->set_training(true);
   policy_head_->set_training(true);
   value_head_->set_training(true);
@@ -160,8 +167,8 @@ void A2cMethod::update(Context& ctx) {
   policy_head_->zero_grad();
   value_head_->zero_grad();
 
-  const nt::Tensor feats =
-      trunk_->forward_features(rl::encode_batch(batch_trees, stage_pad_));
+  const nt::Tensor feats = trunk_->forward_features(rl::encode_point_batch(
+      batch_states, stage_pad_, cfg_.search_cpa, cfg_.search_ppg));
   const nt::Tensor logits = policy_head_->forward(feats);
   const nt::Tensor values = value_head_->forward(feats);
 
@@ -218,13 +225,17 @@ void A2cMethod::save_state(BlobWriter& w) const {
   w.i32(rollout_);
   w.u32(static_cast<std::uint32_t>(pool_->size()));
   for (int e = 0; e < pool_->size(); ++e) save_env(w, pool_->env(e));
+  const bool joint = cfg_.search_cpa || cfg_.search_ppg;
   w.u64(samples_.size());
   for (const Sample& s : samples_) {
-    w.tree(s.state);
+    w.tree(s.state.tree);
     w.mask(s.mask);
     w.i32(s.action);
     w.f64(s.reward);
     w.i32(s.env);
+    // Joint-search extras trail each sample; flags-off checkpoints keep
+    // the legacy byte layout.
+    if (joint) save_point_extras(w, s.state);
   }
   save_net(w, *trunk_);
   save_net(w, *policy_head_);
@@ -242,15 +253,19 @@ void A2cMethod::load_state(BlobReader& r) {
   }
   for (int e = 0; e < pool_->size(); ++e) load_env(r, pool_->env(e));
   const std::uint64_t n = r.u64();
+  const bool joint = cfg_.search_cpa || cfg_.search_ppg;
+  const ppg::PpgKind spec_ppg = pool_->env(0).point().ppg;
   samples_.clear();
   samples_.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) {
     Sample s;
-    s.state = r.tree();
+    s.state.ppg = spec_ppg;
+    s.state.tree = r.tree();
     s.mask = r.mask();
     s.action = r.i32();
     s.reward = r.f64();
     s.env = r.i32();
+    if (joint) load_point_extras(r, s.state);
     samples_.push_back(std::move(s));
   }
   load_net(r, *trunk_);

@@ -24,19 +24,24 @@ void DqnMethod::init(Context& ctx) {
   env_cfg.w_delay = cfg_.w_delay;
   env_cfg.max_stages = cfg_.max_stages;
   env_cfg.enable_42 = cfg_.enable_42;
+  env_cfg.search_cpa = cfg_.search_cpa;
+  env_cfg.search_ppg = cfg_.search_ppg;
+  env_cfg.prefix_levels = cfg_.prefix_levels;
   pool_ = std::make_unique<rl::EnvPool>(ctx.evaluator(), env_cfg, 1);
 
   num_actions_ = pool_->num_actions();
-  net_ = rl::make_agent_net(cfg_.net, num_actions_, rng_);
+  const int channels = pool_->env(0).num_channels();
+  net_ = rl::make_agent_net(cfg_.net, channels, num_actions_, rng_);
   target_.reset();
   if (cfg_.target_sync > 0) {
-    target_ = rl::make_agent_net(cfg_.net, num_actions_, rng_);
+    target_ = rl::make_agent_net(cfg_.net, channels, num_actions_, rng_);
   }
   optim_ = std::make_unique<nn::RmsProp>(net_->params(), cfg_.lr);
   buffer_ = std::make_unique<rl::ReplayBuffer>(
       static_cast<std::size_t>(cfg_.buffer_capacity));
 
   ctx.result().best_tree = pool_->env(0).best_tree();
+  ctx.result().best_point = pool_->env(0).best_point();
   ctx.result().best_cost = pool_->env(0).best_cost();
   if (target_) nn::copy_params(*net_, *target_);
   t_ = 0;
@@ -57,6 +62,11 @@ void DqnMethod::warm_start(Context& ctx, const WarmStartRecords& records) {
     ctx.offer_best(cost_of(rec), rec.tree);
   }
   if (by_key.empty()) return;
+  // Joint-search runs stop at best-so-far seeding: stored records are
+  // tree-only menu evaluations, so a synthesized transition would pair
+  // the wrong observation shape and a base-length next_mask with the
+  // extended action space.
+  if (env.joint_search()) return;
 
   // Stored designs that are one legal action apart are ready-made
   // transitions: replay them (reward = cost drop, Equation 10) so the
@@ -82,10 +92,12 @@ void DqnMethod::warm_start(Context& ctx, const WarmStartRecords& records) {
       auto it = by_key.find(succ.key());
       if (it == by_key.end()) continue;
       rl::Transition tr;
-      tr.state = rec.tree;
+      tr.state.ppg = ctx.evaluator().spec().ppg;
+      tr.state.tree = rec.tree;
       tr.action = static_cast<int>(a);
       tr.reward = from_cost - cost_of(*it->second);
-      tr.next_state = it->second->tree;
+      tr.next_state.ppg = tr.state.ppg;
+      tr.next_state.tree = it->second->tree;
       tr.next_mask = ct::legal_action_mask(it->second->tree,
                                            env.max_stages(), cfg_.enable_42);
       buffer_->push(std::move(tr));
@@ -118,18 +130,18 @@ bool DqnMethod::step(Context& ctx) {
     return true;
   }
 
-  const ct::CompressorTree state = env.tree();
+  const ppg::DesignPoint state = env.point();
   const auto out = pool_->step_all({action});
   rl::Transition tr;
   tr.state = state;
   tr.action = action;
   tr.reward = out[0].reward;
-  tr.next_state = env.tree();
+  tr.next_state = env.point();
   tr.next_mask = env.mask();
   buffer_->push(std::move(tr));
 
   ctx.push_cost(out[0].cost);
-  ctx.offer_best(env.best_cost(), env.best_tree());
+  ctx.offer_best(env.best_cost(), env.best_point());
   ctx.push_best();
 
   if (t_ < cfg_.warmup ||
@@ -148,12 +160,14 @@ bool DqnMethod::step(Context& ctx) {
   // Bootstrap targets: y = r + gamma * max_legal Q(s', .). With
   // double DQN the arg-max comes from the online net and the value
   // from the target net, decoupling selection from evaluation.
-  std::vector<ct::CompressorTree> next_states;
+  // encode_point_batch with both flags off writes exactly the
+  // encode_batch slab, so one call covers plain and joint runs.
+  std::vector<ppg::DesignPoint> next_states;
   for (const rl::Transition* tr_ptr : batch) {
     next_states.push_back(tr_ptr->next_state);
   }
-  const nt::Tensor next_batch =
-      rl::encode_batch(next_states, pool_->stage_pad());
+  const nt::Tensor next_batch = rl::encode_point_batch(
+      next_states, pool_->stage_pad(), cfg_.search_cpa, cfg_.search_ppg);
   nn::ResNet& boot_net = target_ ? *target_ : *net_;
   boot_net.set_training(false);
   const nt::Tensor q_next = boot_net.forward(next_batch);
@@ -177,12 +191,12 @@ bool DqnMethod::step(Context& ctx) {
     targets.push_back(tr_ptr->reward + cfg_.gamma * boot);
   }
 
-  std::vector<ct::CompressorTree> states;
+  std::vector<ppg::DesignPoint> states;
   for (const rl::Transition* tr_ptr : batch) states.push_back(tr_ptr->state);
   net_->set_training(true);
   net_->zero_grad();
-  const nt::Tensor q =
-      net_->forward(rl::encode_batch(states, pool_->stage_pad()));
+  const nt::Tensor q = net_->forward(rl::encode_point_batch(
+      states, pool_->stage_pad(), cfg_.search_cpa, cfg_.search_ppg));
   nt::Tensor grad(q.shape());
   for (int b = 0; b < cfg_.batch_size; ++b) {
     const rl::Transition* tr_ptr = batch[static_cast<std::size_t>(b)];
@@ -215,13 +229,20 @@ void DqnMethod::save_state(BlobWriter& w) const {
   if (target_) save_net(w, *target_);
   save_optim(w, *optim_);
   const auto& contents = buffer_->contents();
+  const bool joint = cfg_.search_cpa || cfg_.search_ppg;
   w.u64(contents.size());
   for (const rl::Transition& tr : contents) {
-    w.tree(tr.state);
+    w.tree(tr.state.tree);
     w.i32(tr.action);
     w.f64(tr.reward);
-    w.tree(tr.next_state);
+    w.tree(tr.next_state.tree);
     w.mask(tr.next_mask);
+    // Joint-search extras trail each transition; flags-off checkpoints
+    // keep the legacy byte layout.
+    if (joint) {
+      save_point_extras(w, tr.state);
+      save_point_extras(w, tr.next_state);
+    }
   }
   w.u64(buffer_->next_index());
 }
@@ -239,15 +260,23 @@ void DqnMethod::load_state(BlobReader& r) {
   if (target_) load_net(r, *target_);
   load_optim(r, *optim_);
   const std::uint64_t n = r.u64();
+  const bool joint = cfg_.search_cpa || cfg_.search_ppg;
+  const ppg::PpgKind spec_ppg = pool_->env(0).point().ppg;
   std::vector<rl::Transition> contents;
   contents.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) {
     rl::Transition tr;
-    tr.state = r.tree();
+    tr.state.ppg = spec_ppg;
+    tr.next_state.ppg = spec_ppg;
+    tr.state.tree = r.tree();
     tr.action = r.i32();
     tr.reward = r.f64();
-    tr.next_state = r.tree();
+    tr.next_state.tree = r.tree();
     tr.next_mask = r.mask();
+    if (joint) {
+      load_point_extras(r, tr.state);
+      load_point_extras(r, tr.next_state);
+    }
     contents.push_back(std::move(tr));
   }
   buffer_->restore(std::move(contents), static_cast<std::size_t>(r.u64()));

@@ -1,16 +1,130 @@
 #include <cmath>
+#include <iterator>
 
 #include "ppg/ppg.hpp"
+#include "prefix/prefix_graph.hpp"
 #include "search/methods.hpp"
+#include "search/state_io.hpp"
 
 namespace rlmul::search {
 
+namespace {
+
+/// Joint action space shared with rl::MultiplierEnv: [0, base) are the
+/// paper's tree actions, then prefix_levels * columns matrix toggles,
+/// then one switch per PPG family.
+int joint_base(const ppg::DesignPoint& p) {
+  return p.tree.columns() * ct::kActionsPerColumn;
+}
+
+std::vector<double> joint_weights(const ppg::DesignPoint& p,
+                                  const MethodConfig& cfg) {
+  const auto mask =
+      ct::legal_action_mask(p.tree, cfg.max_stages, cfg.enable_42);
+  std::vector<double> weights(mask.size());
+  double tree_mass = 0.0;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    weights[i] = mask[i] != 0 ? 1.0 : 0.0;
+    tree_mass += weights[i];
+  }
+  // The structural classes are huge (prefix toggles alone outnumber the
+  // legal tree moves), so uniform per-action weights would spend most of
+  // the EDA budget perturbing the CPA instead of refining the tree.
+  // Give the prefix class half the tree class's total proposal mass and
+  // the PPG class a tenth: every structural move stays reachable, but
+  // tree refinement dominates like it does in the menu baseline.
+  if (tree_mass <= 0.0) tree_mass = 1.0;  // all tree moves masked off
+  if (cfg.search_cpa) {
+    const std::size_t prefix_actions =
+        static_cast<std::size_t>(cfg.prefix_levels) *
+        static_cast<std::size_t>(p.tree.columns());
+    weights.insert(weights.end(), prefix_actions,
+                   0.5 * tree_mass / static_cast<double>(prefix_actions));
+  }
+  if (cfg.search_ppg) {
+    for (const ppg::PpgKind kind : ppg::kAllPpgKinds) {
+      weights.push_back(kind == p.ppg
+                            ? 0.0
+                            : 0.1 * tree_mass /
+                                  static_cast<double>(
+                                      std::size(ppg::kAllPpgKinds) - 1));
+    }
+  }
+  return weights;
+}
+
+/// Applies joint action `idx` to a copy of `p` (mirrors
+/// rl::MultiplierEnv::step's action decoding).
+ppg::DesignPoint apply_joint_action(const ppg::DesignPoint& p, int idx,
+                                    const MethodConfig& cfg,
+                                    const ppg::MultiplierSpec& spec) {
+  const int base = joint_base(p);
+  const int width = p.tree.columns();
+  const int prefix_actions = cfg.search_cpa ? cfg.prefix_levels * width : 0;
+  ppg::DesignPoint out = p;
+  if (idx < base) {
+    out.tree = ct::apply_action(p.tree, ct::action_from_index(idx));
+  } else if (idx < base + prefix_actions) {
+    const int cell = idx - base;
+    prefix::Matrix m = prefix::matrix_of(p.cpa);
+    prefix::Move mv;
+    mv.level = cell / width;
+    mv.bit = cell % width;
+    mv.kind = m.at(mv.level, mv.bit) ? prefix::MoveKind::kRemoveNode
+                                     : prefix::MoveKind::kAddNode;
+    out.cpa = prefix::legalize(prefix::apply_move(std::move(m), mv)).graph;
+  } else {
+    out.ppg = ppg::kAllPpgKinds[static_cast<std::size_t>(idx - base -
+                                                         prefix_actions)];
+    out.tree = ppg::retarget_tree(p.tree, out.resolved_spec(spec));
+  }
+  return out;
+}
+
+}  // namespace
+
 void SaMethod::init(Context& ctx) {
   rng_.reseed(cfg_.seed);
-  current_ = ppg::initial_tree(ctx.evaluator().spec());
-  current_cost_ = ctx.evaluator().cost(ctx.evaluator().evaluate(current_),
-                                       cfg_.w_area, cfg_.w_delay);
-  ctx.result().best_tree = current_;
+  if (cfg_.prefix_levels < 1) cfg_.prefix_levels = 1;
+  current_.ppg = ctx.evaluator().spec().ppg;
+  current_.tree = ppg::initial_tree(ctx.evaluator().spec());
+  current_.cpa = prefix::PrefixGraph{};
+  if (cfg_.search_cpa) {
+    // Open the anneal at the cheapest menu graph under this run's
+    // weights instead of always at ripple: the joint space contains the
+    // menu as pinned points, so paying four evaluations up front (they
+    // count against the EDA budget like any other) keeps the search
+    // competitive with a menu baseline at every weight setting.
+    const int w = ctx.evaluator().spec().columns();
+    const prefix::PrefixGraph menu[] = {
+        prefix::serial(w), prefix::brent_kung(w), prefix::sklansky(w),
+        prefix::kogge_stone(w)};
+    std::vector<ppg::DesignPoint> starts;
+    for (const prefix::PrefixGraph& g : menu) {
+      ppg::DesignPoint p = current_;
+      p.cpa = g;
+      starts.push_back(std::move(p));
+    }
+    const auto evals = ctx.evaluator().evaluate_batch(starts);
+    std::size_t best = 0;
+    double best_cost =
+        ctx.evaluator().cost(evals[0], cfg_.w_area, cfg_.w_delay);
+    for (std::size_t i = 1; i < evals.size(); ++i) {
+      const double c =
+          ctx.evaluator().cost(evals[i], cfg_.w_area, cfg_.w_delay);
+      if (c < best_cost) {
+        best = i;
+        best_cost = c;
+      }
+    }
+    current_ = starts[best];
+    current_cost_ = best_cost;
+  } else {
+    current_cost_ = ctx.evaluator().cost(ctx.evaluator().evaluate(current_),
+                                         cfg_.w_area, cfg_.w_delay);
+  }
+  ctx.result().best_tree = current_.tree;
+  ctx.result().best_point = current_;
   ctx.result().best_cost = current_cost_;
   decay_ = cfg_.steps > 1
                ? std::pow(cfg_.t_end / cfg_.t_start,
@@ -23,46 +137,47 @@ void SaMethod::init(Context& ctx) {
 void SaMethod::warm_start(Context& ctx, const WarmStartRecords& records) {
   // Records arrive sorted by raw (area + delay) sums; the anneal's
   // objective applies the configured weights, so re-score every
-  // matching record and restart from the cheapest one.
-  const ct::CompressorTree* best = nullptr;
-  double best_cost = current_cost_;
-  for (const WarmStartRecord& rec : records) {
-    if (rec.tree.pp != current_.pp) continue;
-    const double c =
-        ctx.evaluator().cost(rec.eval, cfg_.w_area, cfg_.w_delay);
-    if (c < best_cost) {
-      best = &rec.tree;
-      best_cost = c;
+  // matching record and restart from the cheapest one. Joint-search
+  // anneals skip the restart: stored records are menu evaluations,
+  // whose costs are not comparable to this run's pinned-CPA /
+  // PPG-switched states (the evaluator-cache benefit remains).
+  if (!cfg_.search_cpa && !cfg_.search_ppg) {
+    const ct::CompressorTree* best = nullptr;
+    double best_cost = current_cost_;
+    for (const WarmStartRecord& rec : records) {
+      if (rec.tree.pp != current_.tree.pp) continue;
+      const double c =
+          ctx.evaluator().cost(rec.eval, cfg_.w_area, cfg_.w_delay);
+      if (c < best_cost) {
+        best = &rec.tree;
+        best_cost = c;
+      }
     }
-  }
-  if (best != nullptr) {
-    current_ = *best;
-    current_cost_ = best_cost;
+    if (best != nullptr) {
+      current_.tree = *best;
+      current_cost_ = best_cost;
+    }
   }
   ctx.offer_best(current_cost_, current_);
 }
 
 bool SaMethod::step(Context& ctx) {
   if (t_ >= cfg_.steps) return false;
-  const auto mask =
-      ct::legal_action_mask(current_, cfg_.max_stages, cfg_.enable_42);
-  std::vector<double> weights(mask.size());
-  for (std::size_t i = 0; i < mask.size(); ++i) {
-    weights[i] = mask[i] != 0 ? 1.0 : 0.0;
-  }
+  std::vector<double> weights = joint_weights(current_, cfg_);
+  const ppg::MultiplierSpec spec = ctx.evaluator().spec();
 
   if (cfg_.sa_proposals > 1) {
     // K-neighborhood step: sample up to K distinct legal moves, score
     // them as one batched evaluation, Metropolis-test the cheapest.
     // This consumes RNG differently from the single-proposal anneal,
     // so it is opt-in via sa_proposals and never the default.
-    std::vector<ct::CompressorTree> candidates;
+    std::vector<ppg::DesignPoint> candidates;
     for (int k = 0; k < cfg_.sa_proposals; ++k) {
       const std::size_t pick = rng_.sample_discrete(weights);
-      if (pick >= mask.size()) break;  // legal moves exhausted
+      if (pick >= weights.size()) break;  // legal moves exhausted
       weights[pick] = 0.0;
-      candidates.push_back(ct::apply_action(
-          current_, ct::action_from_index(static_cast<int>(pick))));
+      candidates.push_back(
+          apply_joint_action(current_, static_cast<int>(pick), cfg_, spec));
     }
     if (candidates.empty()) return false;  // no legal move at all
     const auto evals = ctx.evaluator().evaluate_batch(candidates);
@@ -91,10 +206,10 @@ bool SaMethod::step(Context& ctx) {
   }
 
   const std::size_t pick = rng_.sample_discrete(weights);
-  if (pick >= mask.size()) return false;  // no legal move at all
+  if (pick >= weights.size()) return false;  // no legal move at all
 
-  const ct::CompressorTree candidate = ct::apply_action(
-      current_, ct::action_from_index(static_cast<int>(pick)));
+  const ppg::DesignPoint candidate =
+      apply_joint_action(current_, static_cast<int>(pick), cfg_, spec);
   const double cand_cost = ctx.evaluator().cost(
       ctx.evaluator().evaluate(candidate), cfg_.w_area, cfg_.w_delay);
 
@@ -113,18 +228,26 @@ bool SaMethod::step(Context& ctx) {
 
 void SaMethod::save_state(BlobWriter& w) const {
   w.rng(rng_.state());
-  w.tree(current_);
+  w.tree(current_.tree);
   w.f64(current_cost_);
   w.f64(temp_);
   w.i32(t_);
+  // Joint-search extras after the legacy layout; flags-off checkpoints
+  // are byte-identical to the pre-refactor format.
+  if (cfg_.search_cpa || cfg_.search_ppg) {
+    save_point_extras(w, current_);
+  }
 }
 
 void SaMethod::load_state(BlobReader& r) {
   rng_.set_state(r.rng());
-  current_ = r.tree();
+  current_.tree = r.tree();
   current_cost_ = r.f64();
   temp_ = r.f64();
   t_ = r.i32();
+  if (cfg_.search_cpa || cfg_.search_ppg) {
+    load_point_extras(r, current_);
+  }
 }
 
 }  // namespace rlmul::search

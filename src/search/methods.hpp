@@ -40,7 +40,10 @@ class SaMethod : public Method {
  private:
   MethodConfig cfg_;
   util::Rng rng_;
-  ct::CompressorTree current_;
+  /// Anneal state: a full design point. Outside joint search the CPA is
+  /// empty and the PPG is the spec's, so the walk is the classic
+  /// tree-only anneal with an unchanged RNG trajectory.
+  ppg::DesignPoint current_;
   double current_cost_ = 0.0;
   double temp_ = 0.0;
   double decay_ = 1.0;
@@ -95,7 +98,7 @@ class A2cMethod : public Method {
 
  private:
   struct Sample {
-    ct::CompressorTree state;
+    ppg::DesignPoint state;
     std::vector<std::uint8_t> mask;
     int action = -1;  ///< -1 = skip (env was reset on a dead end)
     double reward = 0.0;

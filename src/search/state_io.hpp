@@ -50,20 +50,77 @@ inline void load_optim(BlobReader& r, nn::Optimizer& optim) {
   optim.set_state_scalars(r.f64_vec());
 }
 
+/// Prefix-graph round-trip for joint-search checkpoints. An empty
+/// graph (width 0, no nodes) is a valid payload — it means "no CPA
+/// commitment".
+inline void save_prefix_graph(BlobWriter& w, const prefix::PrefixGraph& g) {
+  w.i32(g.width);
+  w.u32(static_cast<std::uint32_t>(g.nodes.size()));
+  for (const prefix::Node& n : g.nodes) {
+    w.i32(n.hi);
+    w.i32(n.lo);
+    w.i32(n.left);
+    w.i32(n.right);
+  }
+  w.u32(static_cast<std::uint32_t>(g.outputs.size()));
+  for (const prefix::Ref ref : g.outputs) w.i32(ref);
+}
+
+inline prefix::PrefixGraph load_prefix_graph(BlobReader& r) {
+  prefix::PrefixGraph g;
+  g.width = r.i32();
+  g.nodes.resize(r.u32());
+  for (prefix::Node& n : g.nodes) {
+    n.hi = r.i32();
+    n.lo = r.i32();
+    n.left = r.i32();
+    n.right = r.i32();
+  }
+  g.outputs.resize(r.u32());
+  for (prefix::Ref& ref : g.outputs) ref = r.i32();
+  return g;
+}
+
+/// Design-point extras beyond the tree: written only when a method's
+/// joint-search flags are on, so flags-off checkpoints keep the legacy
+/// byte layout.
+inline void save_point_extras(BlobWriter& w, const ppg::DesignPoint& p) {
+  w.u8(static_cast<std::uint8_t>(p.ppg));
+  save_prefix_graph(w, p.cpa);
+}
+
+inline void load_point_extras(BlobReader& r, ppg::DesignPoint& p) {
+  p.ppg = static_cast<ppg::PpgKind>(r.u8());
+  p.cpa = load_prefix_graph(r);
+}
+
 inline void save_env(BlobWriter& w, const rl::MultiplierEnv& env) {
   const rl::MultiplierEnv::State st = env.state();
-  w.tree(st.tree);
+  w.tree(st.point.tree);
   w.f64(st.cost);
-  w.tree(st.best_tree);
+  w.tree(st.best_point.tree);
   w.f64(st.best_cost);
+  // Joint-search extras ride after the legacy fields; a flags-off env
+  // writes exactly the historical bytes.
+  if (env.joint_search()) {
+    save_point_extras(w, st.point);
+    save_point_extras(w, st.best_point);
+  }
 }
 
 inline void load_env(BlobReader& r, rl::MultiplierEnv& env) {
   rl::MultiplierEnv::State st;
-  st.tree = r.tree();
+  // Pre-restore point carries the spec's PPG family for plain envs.
+  st.point = env.point();
+  st.best_point = env.best_point();
+  st.point.tree = r.tree();
   st.cost = r.f64();
-  st.best_tree = r.tree();
+  st.best_point.tree = r.tree();
   st.best_cost = r.f64();
+  if (env.joint_search()) {
+    load_point_extras(r, st.point);
+    load_point_extras(r, st.best_point);
+  }
   env.restore(st);
 }
 

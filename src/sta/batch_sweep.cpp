@@ -33,18 +33,24 @@ BatchTimer::BatchTimer(const Netlist& nl, const CellLibrary& lib,
   const std::size_t N = static_cast<std::size_t>(num_nets_);
   const std::size_t L = static_cast<std::size_t>(lanes_);
   const auto& gates = nl.gates();
+  gid_ = graph.topo.data();
+  tp_ = graph.topo_pos.data();
 
   // -- flattened connectivity (CSR over the shared netlist) -----------
+  // Per-gate arrays are filled in topological-position order, so the
+  // ascending-position sweep reads them (and the CSR payloads they
+  // index) sequentially.
   kind_ = arena.alloc_as<std::uint8_t>(G);
   in_base_ = arena.alloc_as<std::int32_t>(G + 1);
   out_base_ = arena.alloc_as<std::int32_t>(G + 1);
   arc_base_ = arena.alloc_as<std::int32_t>(G + 1);
   std::size_t num_in = 0, num_out = 0, num_arc = 0;
-  for (std::size_t g = 0; g < G; ++g) {
-    kind_[g] = static_cast<std::uint8_t>(gates[g].kind);
-    in_base_[g] = static_cast<std::int32_t>(num_in);
-    out_base_[g] = static_cast<std::int32_t>(num_out);
-    arc_base_[g] = static_cast<std::int32_t>(num_arc);
+  for (std::size_t p = 0; p < G; ++p) {
+    const std::size_t g = static_cast<std::size_t>(gid_[p]);
+    kind_[p] = static_cast<std::uint8_t>(gates[g].kind);
+    in_base_[p] = static_cast<std::int32_t>(num_in);
+    out_base_[p] = static_cast<std::int32_t>(num_out);
+    arc_base_[p] = static_cast<std::int32_t>(num_arc);
     num_in += gates[g].inputs.size();
     num_out += gates[g].outputs.size();
     num_arc += gates[g].inputs.size() * gates[g].outputs.size();
@@ -78,17 +84,17 @@ BatchTimer::BatchTimer(const Netlist& nl, const CellLibrary& lib,
       }
     }
   }
-  for (std::size_t g = 0; g < G; ++g) {
-    const Gate& gate = gates[g];
-    std::int32_t* in = in_nets_ + in_base_[g];
+  for (std::size_t p = 0; p < G; ++p) {
+    const Gate& gate = gates[static_cast<std::size_t>(gid_[p])];
+    std::int32_t* in = in_nets_ + in_base_[p];
     for (std::size_t i = 0; i < gate.inputs.size(); ++i) in[i] = gate.inputs[i];
-    std::int32_t* out = out_nets_ + out_base_[g];
+    std::int32_t* out = out_nets_ + out_base_[p];
     for (std::size_t o = 0; o < gate.outputs.size(); ++o) {
       out[o] = gate.outputs[o];
     }
-    double* arc = arc_int_ + arc_base_[g];
-    const double* src = kind_arc.data() + kind_[g] * std::size_t{kMaxArcs};
-    const int na = kind_narc[kind_[g]];
+    double* arc = arc_int_ + arc_base_[p];
+    const double* src = kind_arc.data() + kind_[p] * std::size_t{kMaxArcs};
+    const int na = kind_narc[kind_[p]];
     for (int a = 0; a < na; ++a) arc[a] = src[a];
   }
 
@@ -114,14 +120,24 @@ BatchTimer::BatchTimer(const Netlist& nl, const CellLibrary& lib,
   }
 
   // -- per-net structure ----------------------------------------------
-  // The graph already keeps every per-net map the sweeps read; borrow
-  // its arrays instead of copying (the graph outlives the timer by
-  // contract).
+  // Borrow the graph's per-net maps where the gate axis is absent; the
+  // fanout sinks and drivers are GateIds there, so store renumbered
+  // copies — the hot load/mark paths then never gather through
+  // topo_pos. CSR entry order is unchanged (still ascending GateId per
+  // net), which is what keeps the load summation order identical.
   fo_base_ = graph.fo_base.data();
-  fo_gate_ = graph.fo_gate.data();
-  driver_ = graph.driver.data();
   wire_ff_ = graph.wire_ff.data();
   po_count_ = graph.po_count.data();
+  const std::size_t num_fo = graph.fo_gate.size();
+  fo_pos_ = arena.alloc_as<std::int32_t>(num_fo);
+  for (std::size_t k = 0; k < num_fo; ++k) {
+    fo_pos_[k] = tp_[static_cast<std::size_t>(graph.fo_gate[k])];
+  }
+  driver_pos_ = arena.alloc_as<std::int32_t>(N);
+  for (std::size_t n = 0; n < N; ++n) {
+    const std::int32_t drv = graph.driver[n];
+    driver_pos_[n] = drv >= 0 ? tp_[static_cast<std::size_t>(drv)] : -1;
+  }
 
   // -- lane slabs ------------------------------------------------------
   load_ = arena.alloc_as<double>(N * L);
@@ -167,7 +183,7 @@ BatchTimer::BatchTimer(const Netlist& nl, const CellLibrary& lib,
     const std::int32_t lo = fo_base_[n];
     const std::int32_t hi = fo_base_[n + 1];
     for (std::int32_t k = lo; k < hi; ++k) {
-      load += cap_[kv_base_[kind_[static_cast<std::size_t>(fo_gate_[k])]]];
+      load += cap_[kv_base_[kind_[static_cast<std::size_t>(fo_pos_[k])]]];
     }
     if (hi > lo) load += wire_ff_[n];
     for (std::int32_t i = 0; i < po_count_[n]; ++i) load += po_load;
@@ -176,26 +192,25 @@ BatchTimer::BatchTimer(const Netlist& nl, const CellLibrary& lib,
     prev0[n] = -1;
   }
   for (std::size_t g = 0; g < G; ++g) pin0[g] = netlist::kNoNet;
-  for (const GateId g : graph.topo) {
-    const std::size_t gi = static_cast<std::size_t>(g);
-    const CellKind kind = static_cast<CellKind>(kind_[gi]);
+  for (std::size_t p = 0; p < G; ++p) {
+    const CellKind kind = static_cast<CellKind>(kind_[p]);
     if (kind == CellKind::kTieLo || kind == CellKind::kTieHi) continue;
-    const double res = res_[kv_base_[kind_[gi]]];  // variant 0
+    const double res = res_[kv_base_[kind_[p]]];  // variant 0
     if (kind == CellKind::kDff) {
-      const std::size_t q = static_cast<std::size_t>(out_nets_[out_base_[gi]]);
-      const double t = arc_int_[arc_base_[gi]] + res * load0[q];
-      prev0[q] = g;
+      const std::size_t q = static_cast<std::size_t>(out_nets_[out_base_[p]]);
+      const double t = arc_int_[arc_base_[p]] + res * load0[q];
+      prev0[q] = gid_[p];
       if (t != arr0[q]) arr0[q] = t;
       continue;
     }
-    const std::int32_t ib = in_base_[gi];
-    const int ni = in_base_[gi + 1] - ib;
-    const std::int32_t ob = out_base_[gi];
-    const int no = out_base_[gi + 1] - ob;
+    const std::int32_t ib = in_base_[p];
+    const int ni = in_base_[p + 1] - ib;
+    const std::int32_t ob = out_base_[p];
+    const int no = out_base_[p + 1] - ob;
     for (int o = 0; o < no; ++o) {
       const std::size_t out = static_cast<std::size_t>(out_nets_[ob + o]);
       const double rl = res * load0[out];
-      const double* intr = arc_int_ + arc_base_[gi] + o * ni;
+      const double* intr = arc_int_ + arc_base_[p] + o * ni;
       double worst = 0.0;
       std::int32_t worst_in = netlist::kNoNet;
       for (int i = 0; i < ni; ++i) {
@@ -207,8 +222,8 @@ BatchTimer::BatchTimer(const Netlist& nl, const CellLibrary& lib,
         }
       }
       if (worst > 0.0) {
-        prev0[out] = g;
-        pin0[gi] = worst_in;
+        prev0[out] = gid_[p];
+        pin0[p] = worst_in;
       } else {
         prev0[out] = -1;
       }
@@ -238,16 +253,17 @@ BatchTimer::BatchTimer(const Netlist& nl, const CellLibrary& lib,
 
 double BatchTimer::recompute_load(NetId n, int lane) const {
   // Mirrors IncrementalTimer::recompute_load (itself the mirror of
-  // compute_loads): fanout pin caps in ascending gate order, then the
-  // wire term as one add, then one add per primary-output occurrence.
+  // compute_loads): fanout pin caps in ascending gate order (fo_pos_
+  // keeps the CSR entry order, renumbered), then the wire term as one
+  // add, then one add per primary-output occurrence.
   const std::size_t idx = static_cast<std::size_t>(n);
   const std::size_t L = static_cast<std::size_t>(lanes_);
   double load = 0.0;
   const std::int32_t lo = fo_base_[idx];
   const std::int32_t hi = fo_base_[idx + 1];
   for (std::int32_t k = lo; k < hi; ++k) {
-    const std::size_t g = static_cast<std::size_t>(fo_gate_[k]);
-    load += cap_[kv_base_[kind_[g]] + variant_[g * L + static_cast<std::size_t>(
+    const std::size_t p = static_cast<std::size_t>(fo_pos_[k]);
+    load += cap_[kv_base_[kind_[p]] + variant_[p * L + static_cast<std::size_t>(
                                                            lane)]];
   }
   if (hi > lo) load += wire_ff_[idx];
@@ -257,35 +273,34 @@ double BatchTimer::recompute_load(NetId n, int lane) const {
   return load;
 }
 
-void BatchTimer::mark(GateId g, std::uint32_t lanes) {
-  const int p = graph_.topo_pos[static_cast<std::size_t>(g)];
-  mark_[static_cast<std::size_t>(g)] |= lanes;
+void BatchTimer::mark_pos(int p, std::uint32_t lanes) {
+  mark_[static_cast<std::size_t>(p)] |= lanes;
   bm_[static_cast<std::size_t>(p) >> 6] |= std::uint64_t{1} << (p & 63);
   if (p < scan_from_) scan_from_ = p;
 }
 
-void BatchTimer::retime_masked(GateId g, std::uint32_t mask) {
-  const std::size_t gi = static_cast<std::size_t>(g);
+void BatchTimer::retime_masked(int p, std::uint32_t mask) {
+  const std::size_t pi = static_cast<std::size_t>(p);
   const std::size_t L = static_cast<std::size_t>(lanes_);
-  const CellKind kind = static_cast<CellKind>(kind_[gi]);
+  const CellKind kind = static_cast<CellKind>(kind_[pi]);
   if (kind == CellKind::kTieLo || kind == CellKind::kTieHi) {
     return;  // constants arrive at time 0
   }
-  const std::int32_t kb = kv_base_[kind_[gi]];
+  const std::int32_t kb = kv_base_[kind_[pi]];
   if (kind == CellKind::kDff) {
-    const std::size_t q = static_cast<std::size_t>(out_nets_[out_base_[gi]]);
-    const double intr = arc_int_[arc_base_[gi]];  // clk-to-Q intrinsic[0][0]
+    const std::size_t q = static_cast<std::size_t>(out_nets_[out_base_[pi]]);
+    const double intr = arc_int_[arc_base_[pi]];  // clk-to-Q intrinsic[0][0]
     std::uint32_t changed = 0;
     std::uint32_t m = mask;
     while (m != 0) {
       const int lane = __builtin_ctz(m);
       m &= m - 1;
       const std::size_t ql = q * L + static_cast<std::size_t>(lane);
-      const double t = intr + res_[kb + variant_[gi * L + static_cast<
+      const double t = intr + res_[kb + variant_[pi * L + static_cast<
                                                               std::size_t>(
                                                               lane)]] *
                                   load_[ql];
-      prev_[ql] = static_cast<std::int32_t>(g);
+      prev_[ql] = gid_[pi];
       if (t != arrival_[ql]) {
         arrival_[ql] = t;
         changed |= lane_bit(lane);
@@ -293,24 +308,24 @@ void BatchTimer::retime_masked(GateId g, std::uint32_t mask) {
     }
     if (changed != 0) {
       const std::int32_t lo = fo_base_[q], hi = fo_base_[q + 1];
-      for (std::int32_t k = lo; k < hi; ++k) mark(fo_gate_[k], changed);
+      for (std::int32_t k = lo; k < hi; ++k) mark_pos(fo_pos_[k], changed);
     }
     return;
   }
-  const std::int32_t ib = in_base_[gi];
-  const int ni = in_base_[gi + 1] - ib;
-  const std::int32_t ob = out_base_[gi];
-  const int no = out_base_[gi + 1] - ob;
+  const std::int32_t ib = in_base_[pi];
+  const int ni = in_base_[pi + 1] - ib;
+  const std::int32_t ob = out_base_[pi];
+  const int no = out_base_[pi + 1] - ob;
   for (int o = 0; o < no; ++o) {
     const std::size_t out = static_cast<std::size_t>(out_nets_[ob + o]);
-    const double* intr = arc_int_ + arc_base_[gi] + o * ni;
+    const double* intr = arc_int_ + arc_base_[pi] + o * ni;
     std::uint32_t changed = 0;
     std::uint32_t m = mask;
     while (m != 0) {
       const int lane = __builtin_ctz(m);
       m &= m - 1;
       const std::size_t ls = static_cast<std::size_t>(lane);
-      const double rl = res_[kb + variant_[gi * L + ls]] * load_[out * L + ls];
+      const double rl = res_[kb + variant_[pi * L + ls]] * load_[out * L + ls];
       double worst = 0.0;
       std::int32_t worst_in = netlist::kNoNet;
       for (int i = 0; i < ni; ++i) {
@@ -325,8 +340,8 @@ void BatchTimer::retime_masked(GateId g, std::uint32_t mask) {
       // are single-driver, so the only competitor is the initial 0.
       const std::size_t ol = out * L + ls;
       if (worst > 0.0) {
-        prev_[ol] = static_cast<std::int32_t>(g);
-        prev_in_[gi * L + ls] = worst_in;
+        prev_[ol] = gid_[pi];
+        prev_in_[pi * L + ls] = worst_in;
       } else {
         prev_[ol] = -1;
       }
@@ -337,7 +352,7 @@ void BatchTimer::retime_masked(GateId g, std::uint32_t mask) {
     }
     if (changed != 0) {
       const std::int32_t lo = fo_base_[out], hi = fo_base_[out + 1];
-      for (std::int32_t k = lo; k < hi; ++k) mark(fo_gate_[k], changed);
+      for (std::int32_t k = lo; k < hi; ++k) mark_pos(fo_pos_[k], changed);
     }
   }
 }
@@ -353,12 +368,11 @@ void BatchTimer::sweep() {
       // Clear before retiming: retime_masked may mark fanout in this
       // same word (always above bit b), picked up by the reload below.
       bm_[w] = bits & (bits - 1);
-      const GateId g = graph_.topo[static_cast<std::size_t>(p)];
-      const std::uint32_t m = mark_[static_cast<std::size_t>(g)];
-      mark_[static_cast<std::size_t>(g)] = 0;
+      const std::uint32_t m = mark_[static_cast<std::size_t>(p)];
+      mark_[static_cast<std::size_t>(p)] = 0;
       retimed += static_cast<std::uint64_t>(__builtin_popcount(m));
       touched_ |= m;
-      retime_masked(g, m);
+      retime_masked(p, m);
       bits = bm_[w];
     }
   }
@@ -375,22 +389,23 @@ void BatchTimer::update(
   touched_ = 0;
   for (std::size_t lane = 0; lane < resized_by_lane.size(); ++lane) {
     for (GateId g : resized_by_lane[lane]) {
-      const std::size_t gi = static_cast<std::size_t>(g);
+      const std::size_t pi = pos(g);
       touched_ |= lane_bit(static_cast<int>(lane));
       // The gate's input-pin capacitance changed with the variant, so
       // its fanin nets carry a different load — which changes the arc
       // delays of the gates driving them.
-      for (std::int32_t k = in_base_[gi]; k < in_base_[gi + 1]; ++k) {
+      for (std::int32_t k = in_base_[pi]; k < in_base_[pi + 1]; ++k) {
         const NetId n = in_nets_[k];
         const double load = recompute_load(n, static_cast<int>(lane));
         const std::size_t nl = static_cast<std::size_t>(n) * L + lane;
         if (load != load_[nl]) {
           load_[nl] = load;
-          const std::int32_t drv = driver_[static_cast<std::size_t>(n)];
-          if (drv >= 0) mark(drv, lane_bit(static_cast<int>(lane)));
+          const std::int32_t drv = driver_pos_[static_cast<std::size_t>(n)];
+          if (drv >= 0) mark_pos(drv, lane_bit(static_cast<int>(lane)));
         }
       }
-      mark(g, lane_bit(static_cast<int>(lane)));  // its drive res changed
+      // its drive res changed
+      mark_pos(static_cast<int>(pi), lane_bit(static_cast<int>(lane)));
     }
   }
   sweep();
@@ -416,7 +431,7 @@ void BatchTimer::refresh_endpoints(int lane) {
   }
   double min_clk = 0.0;
   for (GateId g : graph_.dffs) {
-    const NetId d = in_nets_[in_base_[static_cast<std::size_t>(g)]];
+    const NetId d = in_nets_[in_base_[pos(g)]];
     const double t = arrival_[static_cast<std::size_t>(d) * L + ls] + dff_setup_;
     if (t > min_clk) {
       min_clk = t;
@@ -438,11 +453,11 @@ void BatchTimer::critical_path(int lane, std::vector<GateId>& out) const {
          prev_[static_cast<std::size_t>(cursor) * L + ls] >= 0) {
     const GateId g = prev_[static_cast<std::size_t>(cursor) * L + ls];
     out.push_back(g);
-    if (static_cast<CellKind>(kind_[static_cast<std::size_t>(g)]) ==
-        CellKind::kDff) {
+    const std::size_t p = pos(g);  // prev_ stores GateIds; arrays are
+    if (static_cast<CellKind>(kind_[p]) == CellKind::kDff) {  // per position
       break;
     }
-    cursor = prev_in_[static_cast<std::size_t>(g) * L + ls];
+    cursor = prev_in_[p * L + ls];
   }
   std::reverse(out.begin(), out.end());
 }
@@ -468,22 +483,23 @@ void BatchTimer::refresh_slacks(const double* target_ps_by_lane) {
   }
   double rl[kMaxLanes];
   double ro[kMaxLanes];  // req[out] per lane, fixed for the gate's inputs
-  for (auto it = graph_.topo.rbegin(); it != graph_.topo.rend(); ++it) {
-    const std::size_t gi = static_cast<std::size_t>(*it);
-    const CellKind kind = static_cast<CellKind>(kind_[gi]);
+  // Positions ARE topological order, so the reverse walk is a plain
+  // descending loop over contiguous per-position arrays.
+  for (std::size_t pi = static_cast<std::size_t>(num_gates_); pi-- > 0;) {
+    const CellKind kind = static_cast<CellKind>(kind_[pi]);
     if (kind == CellKind::kDff) {
-      const std::size_t d = static_cast<std::size_t>(in_nets_[in_base_[gi]]);
+      const std::size_t d = static_cast<std::size_t>(in_nets_[in_base_[pi]]);
       for (std::size_t l = 0; l < L; ++l) {
         double& r = required_[l * N + d];
         r = std::min(r, target_ps_by_lane[l] - dff_setup_);
       }
       continue;
     }
-    const std::int32_t ib = in_base_[gi];
-    const int ni = in_base_[gi + 1] - ib;
-    const std::int32_t ob = out_base_[gi];
-    const int no = out_base_[gi + 1] - ob;
-    const std::int32_t kb = kv_base_[kind_[gi]];
+    const std::int32_t ib = in_base_[pi];
+    const int ni = in_base_[pi + 1] - ib;
+    const std::int32_t ob = out_base_[pi];
+    const int no = out_base_[pi + 1] - ob;
+    const std::int32_t kb = kv_base_[kind_[pi]];
     for (int o = 0; o < no; ++o) {
       const std::size_t out = static_cast<std::size_t>(out_nets_[ob + o]);
       std::uint32_t act = 0;
@@ -492,10 +508,10 @@ void BatchTimer::refresh_slacks(const double* target_ps_by_lane) {
         if (req_out == inf) continue;
         act |= std::uint32_t{1} << l;
         ro[l] = req_out;
-        rl[l] = res_[kb + variant_[gi * L + l]] * load_[out * L + l];
+        rl[l] = res_[kb + variant_[pi * L + l]] * load_[out * L + l];
       }
       if (act == 0) continue;
-      const double* intr = arc_int_ + arc_base_[gi] + o * ni;
+      const double* intr = arc_int_ + arc_base_[pi] + o * ni;
       for (int i = 0; i < ni; ++i) {
         const std::size_t in = static_cast<std::size_t>(in_nets_[ib + i]);
         for (std::size_t l = 0; l < L; ++l) {

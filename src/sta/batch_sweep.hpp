@@ -24,6 +24,17 @@
 // allocations and the lane axis is contiguous (the strided sweeps walk
 // the topological order once and touch all marked lanes of a node
 // together).
+//
+// Gate axis: internally every per-gate array is indexed by *topological
+// position*, not GateId — the sweep pops marked positions in ascending
+// order, so consecutive retimes read consecutive slots of kind_, the
+// CSR bases, the arc intrinsics and the variant slab instead of
+// gathering through graph.topo. Fanout sinks and net drivers are stored
+// pre-renumbered (fo_pos_/driver_pos_), so the hot paths never touch
+// topo_pos; only the GateId-keyed public accessors and the cold
+// critical-path trace convert through it. Renumbering permutes storage
+// only — every floating-point operation still runs on the same values
+// in the same order, so the bit-exactness contract is unaffected.
 
 #include <cstdint>
 #include <vector>
@@ -57,14 +68,13 @@ class BatchTimer {
   int num_nets() const { return num_nets_; }
 
   int variant(int lane, netlist::GateId g) const {
-    return variant_[static_cast<std::size_t>(g) *
-                        static_cast<std::size_t>(lanes_) +
+    return variant_[pos(g) * static_cast<std::size_t>(lanes_) +
                     static_cast<std::size_t>(lane)];
   }
   /// Callers record the changed gates and pass them to update() — the
   /// timer itself does not track dirtiness across set_variant calls.
   void set_variant(int lane, netlist::GateId g, int v) {
-    variant_[static_cast<std::size_t>(g) * static_cast<std::size_t>(lanes_) +
+    variant_[pos(g) * static_cast<std::size_t>(lanes_) +
              static_cast<std::size_t>(lane)] = static_cast<std::int32_t>(v);
   }
 
@@ -80,31 +90,31 @@ class BatchTimer {
                         static_cast<std::size_t>(lanes_) +
                     static_cast<std::size_t>(lane)];
   }
-  /// Lane slab pointers for bulk snapshots; stride == lanes().
+  /// Net-indexed lane slab for bulk load snapshots; stride == lanes().
+  /// (The variant slab is topo-renumbered internally — snapshot
+  /// variants through variant(lane, g) instead.)
   const double* load_slab() const { return load_; }
-  const std::int32_t* variant_slab() const { return variant_; }
 
   /// Placed area of gate g at its lane-l variant, from the packed
   /// library table (the same double lib.area(kind, variant) returns, so
   /// sums built from it match netlist_area bit for bit).
   double area(int lane, netlist::GateId g) const {
-    const std::size_t gi = static_cast<std::size_t>(g);
-    return area_[static_cast<std::size_t>(kv_base_[kind_[gi]]) +
+    const std::size_t p = pos(g);
+    return area_[static_cast<std::size_t>(kv_base_[kind_[p]]) +
                  static_cast<std::size_t>(
-                     variant_[gi * static_cast<std::size_t>(lanes_) +
+                     variant_[p * static_cast<std::size_t>(lanes_) +
                               static_cast<std::size_t>(lane)])];
   }
   /// drive_res(kind(g), v) from the packed table — bit-identical to the
   /// library call; the area-recovery penalty reads two per candidate.
   double drive_res(netlist::GateId g, int v) const {
-    return res_[static_cast<std::size_t>(
-                    kv_base_[kind_[static_cast<std::size_t>(g)]]) +
+    return res_[static_cast<std::size_t>(kv_base_[kind_[pos(g)]]) +
                 static_cast<std::size_t>(v)];
   }
   /// lib.num_variants(kind(g)) from the packed table (the upsize loops
   /// ask this for every gate on every pass).
   int num_variants(netlist::GateId g) const {
-    const int k = kind_[static_cast<std::size_t>(g)];
+    const int k = kind_[pos(g)];
     return kv_base_[k + 1] - kv_base_[k];
   }
 
@@ -135,16 +145,22 @@ class BatchTimer {
   }
 
  private:
+  /// Topological position of gate g — the internal per-gate index.
+  std::size_t pos(netlist::GateId g) const {
+    return static_cast<std::size_t>(tp_[static_cast<std::size_t>(g)]);
+  }
   double recompute_load(netlist::NetId n, int lane) const;
-  /// Re-times all outputs of gate g on every lane in `mask`; marks the
-  /// fanout of changed nets. Lanes are independent (no cross-lane
-  /// arithmetic), so each lane's operations are bit-identical however
-  /// the lane loop is nested; the implementation iterates outputs
-  /// outermost to mark each changed net's fanout once with the combined
-  /// changed-lane mask instead of once per lane.
-  void retime_masked(netlist::GateId g, std::uint32_t mask);
-  /// Records that gate g needs a retime on every lane in `lanes`.
-  void mark(netlist::GateId g, std::uint32_t lanes);
+  /// Re-times all outputs of the gate at topological position p on
+  /// every lane in `mask`; marks the fanout of changed nets. Lanes are
+  /// independent (no cross-lane arithmetic), so each lane's operations
+  /// are bit-identical however the lane loop is nested; the
+  /// implementation iterates outputs outermost to mark each changed
+  /// net's fanout once with the combined changed-lane mask instead of
+  /// once per lane.
+  void retime_masked(int p, std::uint32_t mask);
+  /// Records that the gate at topological position p needs a retime on
+  /// every lane in `lanes`.
+  void mark_pos(int p, std::uint32_t lanes);
   void sweep();
   void refresh_endpoints(int lane);
 
@@ -156,30 +172,35 @@ class BatchTimer {
   int num_nets_ = 0;
   double dff_setup_ = 0.0;  ///< lib.setup(kDff), hoisted
 
-  // Flattened, lane-independent structure (arena-backed).
-  std::uint8_t* kind_ = nullptr;       ///< per gate
-  std::int32_t* in_base_ = nullptr;    ///< per gate+1: CSR into in_nets_
-  std::int32_t* out_base_ = nullptr;   ///< per gate+1: CSR into out_nets_
+  // Flattened, lane-independent structure (arena-backed). All per-gate
+  // arrays are indexed by topological position; gid_/tp_ (borrowed from
+  // the TimingGraph) translate at the API and critical-path boundaries.
+  const std::int32_t* gid_ = nullptr;  ///< per position: original GateId
+  const int* tp_ = nullptr;            ///< per gate: topological position
+  std::uint8_t* kind_ = nullptr;       ///< per position
+  std::int32_t* in_base_ = nullptr;    ///< per position+1: CSR into in_nets_
+  std::int32_t* out_base_ = nullptr;   ///< per position+1: CSR into out_nets_
   std::int32_t* in_nets_ = nullptr;
   std::int32_t* out_nets_ = nullptr;
-  std::int32_t* arc_base_ = nullptr;   ///< per gate: CSR into arc_int_
+  std::int32_t* arc_base_ = nullptr;   ///< per position: CSR into arc_int_
   double* arc_int_ = nullptr;          ///< intrinsic[o * num_in + i]
   std::int32_t* kv_base_ = nullptr;    ///< per cell kind: into res_/cap_
   double* res_ = nullptr;              ///< drive_res[kind, variant] packed
   double* cap_ = nullptr;              ///< input_cap[kind, variant] packed
   double* area_ = nullptr;             ///< area[kind, variant] packed
   const std::int32_t* fo_base_ = nullptr;   ///< per net+1: CSR (borrowed
-  const std::int32_t* fo_gate_ = nullptr;   ///<   from the TimingGraph)
-  const std::int32_t* driver_ = nullptr;    ///< per net (borrowed)
+                                            ///<   from the TimingGraph)
+  std::int32_t* fo_pos_ = nullptr;     ///< fanout sinks, renumbered
+  std::int32_t* driver_pos_ = nullptr; ///< per net: driver position, -1=PI
   const double* wire_ff_ = nullptr;         ///< per net (borrowed)
   const std::int32_t* po_count_ = nullptr;  ///< per net (borrowed)
 
   // Lane state slabs, indexed [node * lanes_ + lane].
   double* load_ = nullptr;
   double* arrival_ = nullptr;
-  std::int32_t* prev_ = nullptr;     ///< per net: gate that set arrival
-  std::int32_t* prev_in_ = nullptr;  ///< per gate: worst input net
-  std::int32_t* variant_ = nullptr;  ///< per gate
+  std::int32_t* prev_ = nullptr;     ///< per net: GateId that set arrival
+  std::int32_t* prev_in_ = nullptr;  ///< per position: worst input net
+  std::int32_t* variant_ = nullptr;  ///< per position
   // refresh_slacks state. Both arrays are private to that pass (slack
   // values are only meaningful after a refresh on the lane), so they
   // are laid out [lane][net] — contiguous per lane — rather than
@@ -195,7 +216,7 @@ class BatchTimer {
   // 64 unmarked positions costs one load. Retiming only marks fanout,
   // which sits at strictly greater positions, so a popped bit never
   // re-sets behind the scan cursor.
-  std::uint32_t* mark_ = nullptr;  ///< per gate: lanes needing a retime
+  std::uint32_t* mark_ = nullptr;  ///< per position: lanes needing a retime
   std::uint64_t* bm_ = nullptr;    ///< marked topo positions, 64 per word
   int scan_from_ = 0;              ///< lowest possibly-marked position
   std::uint32_t touched_ = 0;

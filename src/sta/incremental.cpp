@@ -16,31 +16,48 @@ using netlist::Netlist;
 std::shared_ptr<const TimingGraph> TimingGraph::build(const Netlist& nl,
                                                       const CellLibrary& lib) {
   auto g = std::make_shared<TimingGraph>();
-  // driver/fanout feed both the graph fields and the topological sort;
-  // computing them once here halves the build cost.
-  g->driver = nl.driver_gate();
-  nl.fanout_csr(g->fo_base, g->fo_gate);
+  const auto& gates = nl.gates();
+  const std::size_t N = static_cast<std::size_t>(nl.num_nets());
+  // One fused pass over the gates fills the driver map, the fanout
+  // histogram and the DFF list (they used to be three separate walks);
+  // a second fused loop over the nets turns the histogram into CSR
+  // offsets while deriving each net's wire term from the pre-prefix
+  // count. Values are identical to nl.driver_gate()/nl.fanout_csr() and
+  // the separate wire loop — only the traversals are merged.
+  g->driver.assign(N, -1);
+  g->fo_base.assign(N + 1, 0);
+  for (GateId gate = 0; gate < nl.num_gates(); ++gate) {
+    const Gate& gg = gates[static_cast<std::size_t>(gate)];
+    for (NetId n : gg.outputs) g->driver[static_cast<std::size_t>(n)] = gate;
+    for (NetId n : gg.inputs) ++g->fo_base[static_cast<std::size_t>(n) + 1];
+    if (gg.kind == CellKind::kDff) g->dffs.push_back(gate);
+  }
+  g->wire_ff.assign(N, 0.0);
+  const double wire_fixed = lib.wire_cap_fixed_ff();
+  const double wire_per_fanout = lib.wire_cap_per_fanout_ff();
+  for (std::size_t n = 0; n < N; ++n) {
+    const std::int32_t count = g->fo_base[n + 1];
+    if (count > 0) {
+      g->wire_ff[n] = wire_fixed + wire_per_fanout * static_cast<int>(count);
+    }
+    g->fo_base[n + 1] += g->fo_base[n];
+  }
+  g->fo_gate.resize(static_cast<std::size_t>(g->fo_base[N]));
+  std::vector<std::int32_t> cursor(g->fo_base.begin(), g->fo_base.end() - 1);
+  for (GateId gate = 0; gate < nl.num_gates(); ++gate) {
+    for (NetId n : gates[static_cast<std::size_t>(gate)].inputs) {
+      g->fo_gate[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(n)]++)] = gate;
+    }
+  }
   g->topo = nl.topo_order(g->driver, g->fo_base, g->fo_gate);
-  g->topo_pos.assign(nl.gates().size(), 0);
+  g->topo_pos.assign(gates.size(), 0);
   for (std::size_t i = 0; i < g->topo.size(); ++i) {
     g->topo_pos[static_cast<std::size_t>(g->topo[i])] = static_cast<int>(i);
   }
-  g->wire_ff.assign(static_cast<std::size_t>(nl.num_nets()), 0.0);
-  for (std::size_t n = 0; n < g->wire_ff.size(); ++n) {
-    const std::int32_t count = g->fo_base[n + 1] - g->fo_base[n];
-    if (count > 0) {
-      g->wire_ff[n] = lib.wire_cap_fixed_ff() +
-                      lib.wire_cap_per_fanout_ff() * static_cast<int>(count);
-    }
-  }
-  g->po_count.assign(static_cast<std::size_t>(nl.num_nets()), 0);
+  g->po_count.assign(N, 0);
   for (NetId n : nl.primary_outputs()) {
     ++g->po_count[static_cast<std::size_t>(n)];
-  }
-  for (GateId gate = 0; gate < nl.num_gates(); ++gate) {
-    if (nl.gates()[static_cast<std::size_t>(gate)].kind == CellKind::kDff) {
-      g->dffs.push_back(gate);
-    }
   }
   return g;
 }

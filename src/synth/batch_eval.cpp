@@ -141,7 +141,7 @@ std::vector<SynthesisResult> synthesize_all_targets(
 
   std::vector<int> active;        // lane -> target index
   std::vector<GateId> path;
-  for (std::size_t ci = 0; ci < PreparedDesign::num_cpa(); ++ci) {
+  for (std::size_t ci = 0; ci < prep.menu_size(); ++ci) {
     active.clear();
     for (int t = 0; t < T; ++t) {
       if (lanes_state[static_cast<std::size_t>(t)].active) active.push_back(t);
@@ -248,7 +248,6 @@ std::vector<SynthesisResult> synthesize_all_targets(
 
     // -- per-lane reporting + CPA selection (PreparedDesign rule) -----
     const int L = timer.lanes();
-    const std::int32_t* variants = timer.variant_slab();
     const double* loads = timer.load_slab();
     for (int l = 0; l < A; ++l) {
       const int t = active[static_cast<std::size_t>(l)];
@@ -262,7 +261,7 @@ std::vector<SynthesisResult> synthesize_all_targets(
       res.delay_ns = timer.critical_ps(l) / 1000.0;
       res.met_target = res.delay_ns <= targets[t] + 1e-9;
       res.num_gates = G;
-      res.cpa = netlist::kAllCpaKinds[ci];
+      res.cpa = prep.cpa_at(ci);
       const bool better =
           !ls.have ||
           (res.met_target && !ls.best.met_target) ||
@@ -275,8 +274,7 @@ std::vector<SynthesisResult> synthesize_all_targets(
         ls.best_cpa = ci;
         ls.best_variants.resize(static_cast<std::size_t>(G));
         for (int g = 0; g < G; ++g) {
-          ls.best_variants[static_cast<std::size_t>(g)] =
-              variants[static_cast<std::size_t>(g) * L + l];
+          ls.best_variants[static_cast<std::size_t>(g)] = timer.variant(l, g);
         }
         ls.best_loads.resize(static_cast<std::size_t>(N));
         for (int n = 0; n < N; ++n) {

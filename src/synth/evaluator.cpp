@@ -135,12 +135,78 @@ DesignEval DesignEvaluator::compute(const ct::CompressorTree& tree,
   return eval;
 }
 
+DesignEval DesignEvaluator::compute_point(const ppg::DesignPoint& point,
+                                          const std::string& key) const {
+  // Extended points always take the prepared-design path: a pinned CPA
+  // has no legacy pipeline, and a PPG toggle resolves to the same flow
+  // under the toggled spec. Menu points with only a PPG change walk
+  // the same kAllCpaKinds sweep the tree path does.
+  const ppg::MultiplierSpec resolved = point.resolved_spec(spec_);
+  DesignEval eval;
+  std::vector<SynthesisResult> results;
+
+  auto run = [&](const PreparedDesign& prep) {
+    if (opts_.verify_functionality) {
+      // Same equivalence gate as the tree path, on menu entry 0 (the
+      // ripple netlist for menu points, the pinned graph otherwise).
+      const auto& nl = prep.netlist_at(0);
+      util::Rng rng(0x5EC5EC ^ std::hash<std::string>{}(key));
+      const auto rep = sim::check_equivalence(nl, resolved, rng, 1 << 16,
+                                              opts_.verify_vectors);
+      if (!rep.equivalent) {
+        std::ostringstream msg;
+        msg << "DesignEvaluator: functional mismatch (a=" << rep.a
+            << ", b=" << rep.b << ", acc=" << rep.acc << ", got=" << rep.got
+            << ", expect=" << rep.expect << ")";
+        throw std::runtime_error(msg.str());
+      }
+    }
+    if (opts_.parallel_targets && targets_.size() > 1) {
+      std::vector<std::future<SynthesisResult>> futs;
+      futs.reserve(targets_.size());
+      for (double target : targets_) {
+        futs.push_back(
+            pool_->submit([&prep, target] { return prep.synthesize(target); }));
+      }
+      for (auto& f : futs) f.wait();
+      for (auto& f : futs) results.push_back(f.get());
+    } else {
+      for (double target : targets_) results.push_back(prep.synthesize(target));
+    }
+  };
+
+  if (point.cpa_pinned()) {
+    const PreparedDesign prep(resolved, point.tree, point.cpa);
+    run(prep);
+  } else {
+    const PreparedDesign prep(resolved, point.tree);
+    run(prep);
+  }
+
+  for (const SynthesisResult& res : results) {
+    eval.sum_area += res.area_um2;
+    eval.sum_delay += res.delay_ns;
+    eval.sum_power += res.power_mw;
+    eval.per_target.push_back(res);
+  }
+  return eval;
+}
+
 std::size_t DesignEvaluator::install_locked(const std::string& key,
                                             const ct::CompressorTree& tree,
-                                            const DesignEval& eval) {
+                                            const DesignEval& eval,
+                                            const ppg::DesignPoint* point) {
   auto [it, inserted] = index_.emplace(key, designs_.size());
   if (inserted) {
     designs_.push_back(tree);
+    if (point != nullptr) {
+      points_.push_back(*point);
+    } else {
+      ppg::DesignPoint plain;
+      plain.ppg = spec_.ppg;
+      plain.tree = tree;
+      points_.push_back(std::move(plain));
+    }
     evals_.push_back(eval);
     for (const SynthesisResult& res : eval.per_target) {
       frontier_.insert(
@@ -231,6 +297,92 @@ DesignEval DesignEvaluator::evaluate(const ct::CompressorTree& tree) {
   // the store may journal to disk and must not serialize evaluations.
   if (opts_.external_cache != nullptr) {
     opts_.external_cache->store(key, tree, eval);
+  }
+  return eval_of(idx);
+}
+
+DesignEval DesignEvaluator::evaluate(const ppg::DesignPoint& point) {
+  if (point.ppg == spec_.ppg && !point.cpa_pinned()) {
+    // Plain point: exactly the tree contract — same keys, same
+    // batching/coalescing, bit-identical results and accounting.
+    return evaluate(point.tree);
+  }
+  return evaluate_point_uncoalesced(point, point.key(spec_));
+}
+
+DesignEval DesignEvaluator::evaluate_point_uncoalesced(
+    const ppg::DesignPoint& point, const std::string& key) {
+  // Extended points never enter the pending_/drain machinery (the SoA
+  // batch pipeline is built per spec and per menu); they run the
+  // per-call flow with the same in-flight dedup on the extended key.
+  {
+    util::UniqueLock lock(mu_);
+    for (;;) {
+      auto it = index_.find(key);
+      if (it != index_.end()) {
+        {
+          util::LockGuard slock(stats_mu_);
+          ++stats_.cache_hits;
+        }
+        util::perf_counters().cache_hits.fetch_add(1,
+                                                   std::memory_order_relaxed);
+        return evals_[it->second];
+      }
+      if (in_flight_.find(key) == in_flight_.end()) break;
+      {
+        util::LockGuard slock(stats_mu_);
+        ++stats_.inflight_waits;
+      }
+      util::perf_counters().inflight_waits.fetch_add(
+          1, std::memory_order_relaxed);
+      cv_.wait(lock);
+    }
+    in_flight_.insert(key);
+  }
+
+  if (opts_.external_cache != nullptr) {
+    DesignEval stored;
+    if (opts_.external_cache->lookup_point(key, point, stored)) {
+      util::LockGuard lock(mu_);
+      in_flight_.erase(key);
+      {
+        util::LockGuard slock(stats_mu_);
+        ++stats_.external_hits;
+      }
+      const std::size_t idx = install_locked(key, point.tree, stored, &point);
+      cv_.notify_all();
+      return evals_[idx];
+    }
+  }
+
+  DesignEval eval;
+  try {
+    eval = compute_point(point, key);
+  } catch (...) {
+    util::LockGuard lock(mu_);
+    in_flight_.erase(key);
+    cv_.notify_all();
+    throw;
+  }
+
+  std::size_t idx = 0;
+  {
+    util::LockGuard lock(mu_);
+    in_flight_.erase(key);
+    const std::size_t before = designs_.size();
+    idx = install_locked(key, point.tree, eval, &point);
+    if (designs_.size() > before) {
+      {
+        util::LockGuard slock(stats_mu_);
+        ++stats_.unique_evals;
+      }
+      util::perf_counters().unique_evals.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    }
+    cv_.notify_all();
+  }
+  if (opts_.external_cache != nullptr) {
+    opts_.external_cache->store_point(key, point, eval);
   }
   return eval_of(idx);
 }
@@ -479,6 +631,35 @@ std::vector<DesignEval> DesignEvaluator::evaluate_batch(
   return out;
 }
 
+std::vector<DesignEval> DesignEvaluator::evaluate_batch(
+    const std::vector<ppg::DesignPoint>& points) {
+  // Plain points coalesce through the tree batch path (one bulk call
+  // keeps the SoA batching effective); extended points evaluate per
+  // call. Results come back in input order either way.
+  std::vector<ct::CompressorTree> plain_trees;
+  std::vector<std::size_t> plain_pos;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].ppg == spec_.ppg && !points[i].cpa_pinned()) {
+      plain_trees.push_back(points[i].tree);
+      plain_pos.push_back(i);
+    }
+  }
+  std::vector<DesignEval> out(points.size());
+  const std::vector<DesignEval> plain = evaluate_batch(plain_trees);
+  for (std::size_t j = 0; j < plain_pos.size(); ++j) {
+    out[plain_pos[j]] = plain[j];
+  }
+  std::size_t next_plain = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (next_plain < plain_pos.size() && plain_pos[next_plain] == i) {
+      ++next_plain;
+      continue;
+    }
+    out[i] = evaluate_point_uncoalesced(points[i], points[i].key(spec_));
+  }
+  return out;
+}
+
 bool DesignEvaluator::admit(const ct::CompressorTree& tree,
                             const DesignEval& eval) {
   const std::string key = tree.key();
@@ -514,6 +695,11 @@ pareto::Front DesignEvaluator::frontier() const {
 ct::CompressorTree DesignEvaluator::design(std::size_t index) const {
   util::LockGuard lock(mu_);
   return designs_.at(index);
+}
+
+ppg::DesignPoint DesignEvaluator::point_of(std::size_t index) const {
+  util::LockGuard lock(mu_);
+  return points_.at(index);
 }
 
 std::size_t DesignEvaluator::num_designs() const {

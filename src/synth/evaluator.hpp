@@ -56,7 +56,10 @@ struct DesignEval {
 /// offers every freshly synthesized result back. Implementations must
 /// be thread-safe and must only return evaluations produced under the
 /// same spec/target contract (see dsdb::Fingerprint). `key` is always
-/// `tree.key()`.
+/// `tree.key()` on the tree entry points. The DesignPoint overloads
+/// carry the full point (PPG family + optional pinned CPA graph); the
+/// defaults decline/drop so tree-only caches keep working unchanged —
+/// point evaluations then simply miss.
 class EvalCache {
  public:
   virtual ~EvalCache() = default;
@@ -64,6 +67,21 @@ class EvalCache {
                       DesignEval& out) = 0;
   virtual void store(const std::string& key, const ct::CompressorTree& tree,
                      const DesignEval& eval) = 0;
+  /// `key` is DesignPoint::key(spec) — tree key + cpa/ppg markers.
+  virtual bool lookup_point(const std::string& key,
+                            const ppg::DesignPoint& point, DesignEval& out) {
+    (void)key;
+    (void)point;
+    (void)out;
+    return false;
+  }
+  virtual void store_point(const std::string& key,
+                           const ppg::DesignPoint& point,
+                           const DesignEval& eval) {
+    (void)key;
+    (void)point;
+    (void)eval;
+  }
 };
 
 struct EvaluatorOptions {
@@ -121,6 +139,13 @@ class DesignEvaluator {
   /// for the drain that covers it.
   DesignEval evaluate(const ct::CompressorTree& tree);
 
+  /// Evaluates a full design point. A plain point (spec's PPG family,
+  /// no pinned CPA) routes through evaluate(tree) — same keys, same
+  /// batching, bit-identical results. PPG-toggled or CPA-pinned points
+  /// use the per-call path under an extended cache key; `point.tree`
+  /// must have been built against point.resolved_spec(spec()).
+  DesignEval evaluate(const ppg::DesignPoint& point);
+
   /// Evaluates many trees at once (results in input order) — the bulk
   /// entry SA populations, EnvPool rollouts and warm-replay use so one
   /// caller fills a whole batch by itself. Equivalent to calling
@@ -128,6 +153,11 @@ class DesignEvaluator {
   /// throws the first failing design's error.
   std::vector<DesignEval> evaluate_batch(
       const std::vector<ct::CompressorTree>& trees);
+
+  /// Point-wise bulk entry: plain points coalesce through the tree
+  /// batch path; extended points evaluate per call.
+  std::vector<DesignEval> evaluate_batch(
+      const std::vector<ppg::DesignPoint>& points);
 
   /// Weighted, normalized cost: the Wallace-initial design costs
   /// exactly w_area + w_delay, so weights compose across specs.
@@ -151,6 +181,9 @@ class DesignEvaluator {
   /// Design for a frontier payload. (By value: the store may be
   /// appended to concurrently by other workers.)
   ct::CompressorTree design(std::size_t index) const;
+  /// Full design point for a frontier payload — plain evaluations come
+  /// back as {spec().ppg, tree, no pinned CPA}.
+  ppg::DesignPoint point_of(std::size_t index) const;
   std::size_t num_designs() const;
 
   /// Per-design results (for table-style reporting).
@@ -179,6 +212,15 @@ class DesignEvaluator {
 
   DesignEval compute(const ct::CompressorTree& tree,
                      const std::string& key) const;
+  /// compute() generalized to an extended point (PPG toggle and/or
+  /// pinned CPA): prepares the resolved design and walks its menu.
+  DesignEval compute_point(const ppg::DesignPoint& point,
+                           const std::string& key) const;
+  /// Per-call evaluation of an extended point under `key` — the
+  /// point-typed mirror of the unbatched evaluate(tree) body (same
+  /// in-flight dedup, external-cache and accounting behavior).
+  DesignEval evaluate_point_uncoalesced(const ppg::DesignPoint& point,
+                                        const std::string& key);
   DesignEval evaluate_batched(const ct::CompressorTree& tree);
   /// Pulls up to batch_ pending designs (my_key first), runs them as
   /// one batched dispatch with mu_ released, installs the results and
@@ -189,10 +231,13 @@ class DesignEvaluator {
   /// waiters).
   void drain_locked(util::UniqueLock& lock, const std::string& my_key,
                     std::unordered_set<std::string>* resolved);
-  /// Installs into index_/designs_/evals_/frontier_; caller holds mu_.
+  /// Installs into index_/designs_/points_/evals_/frontier_; caller
+  /// holds mu_. `point` is null for plain tree evaluations.
   std::size_t install_locked(const std::string& key,
                              const ct::CompressorTree& tree,
-                             const DesignEval& eval) RLMUL_REQUIRES(mu_);
+                             const DesignEval& eval,
+                             const ppg::DesignPoint* point = nullptr)
+      RLMUL_REQUIRES(mu_);
 
   ppg::MultiplierSpec spec_;
   std::vector<double> targets_;
@@ -218,6 +263,9 @@ class DesignEvaluator {
   bool draining_ RLMUL_GUARDED_BY(mu_) = false;
   std::unordered_map<std::string, std::size_t> index_ RLMUL_GUARDED_BY(mu_);
   std::vector<ct::CompressorTree> designs_ RLMUL_GUARDED_BY(mu_);
+  /// Aligned with designs_: the full point of each evaluation (plain
+  /// tree evaluations store {spec_.ppg, tree, no pinned CPA}).
+  std::vector<ppg::DesignPoint> points_ RLMUL_GUARDED_BY(mu_);
   std::vector<DesignEval> evals_ RLMUL_GUARDED_BY(mu_);
   pareto::Front frontier_ RLMUL_GUARDED_BY(mu_);
 

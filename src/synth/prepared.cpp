@@ -27,10 +27,24 @@ PreparedDesign::PreparedDesign(const ppg::MultiplierSpec& spec,
   util::perf_counters().netlists_built.fetch_add(1, std::memory_order_relaxed);
 }
 
+PreparedDesign::PreparedDesign(const ppg::MultiplierSpec& spec,
+                               const ct::CompressorTree& tree,
+                               prefix::PrefixGraph cpa)
+    : spec_(spec),
+      prefix_(ppg::build_multiplier_prefix(spec, tree)),
+      pinned_(true),
+      pinned_graph_(std::move(cpa)),
+      pinned_label_(netlist::cpa_kind_of_graph(pinned_graph_)) {
+  util::perf_counters().netlists_built.fetch_add(1, std::memory_order_relaxed);
+}
+
 const PreparedDesign::CpaEntry& PreparedDesign::entry(std::size_t idx) const {
   CpaEntry& e = entries_[idx];
   std::call_once(e.once, [&] {
-    e.netlist = ppg::attach_cpa(prefix_, spec_, netlist::kAllCpaKinds[idx]);
+    e.netlist = pinned_
+                    ? ppg::attach_cpa(prefix_, spec_, pinned_graph_)
+                    : ppg::attach_cpa(prefix_, spec_,
+                                      netlist::kAllCpaKinds[idx]);
     e.graph = sta::TimingGraph::build(e.netlist, CellLibrary::nangate45());
     util::perf_counters().cpa_variants_built.fetch_add(
         1, std::memory_order_relaxed);
@@ -38,8 +52,12 @@ const PreparedDesign::CpaEntry& PreparedDesign::entry(std::size_t idx) const {
   return e;
 }
 
+CpaKind PreparedDesign::cpa_at(std::size_t idx) const {
+  return pinned_ ? pinned_label_ : netlist::kAllCpaKinds[idx];
+}
+
 const Netlist& PreparedDesign::netlist(CpaKind cpa) const {
-  return entry(cpa_index(cpa)).netlist;
+  return entry(pinned_ ? 0 : cpa_index(cpa)).netlist;
 }
 
 const Netlist& PreparedDesign::netlist_at(std::size_t idx) const {
@@ -63,7 +81,7 @@ SynthesisResult PreparedDesign::synthesize(double target_delay_ns) const {
   SynthesisResult best;
   Netlist best_nl;
   bool have = false;
-  for (std::size_t i = 0; i < kNumCpa; ++i) {
+  for (std::size_t i = 0; i < menu_size(); ++i) {
     const CpaEntry& e = entry(i);
     Netlist nl = e.netlist;  // variants all 0; timing graph still valid
     util::perf_counters().netlists_reused.fetch_add(1,
@@ -71,7 +89,7 @@ SynthesisResult PreparedDesign::synthesize(double target_delay_ns) const {
     sta::IncrementalTimer timer(nl, lib, e.graph);
     SynthesisResult res =
         synthesize_with_timer(nl, lib, opts, timer, /*compute_power=*/false);
-    res.cpa = netlist::kAllCpaKinds[i];
+    res.cpa = cpa_at(i);
     const bool better =
         !have ||
         (res.met_target && !best.met_target) ||

@@ -391,6 +391,17 @@ SynthesisResult synthesize_design(const ppg::MultiplierSpec& spec,
   return prep.synthesize(target_delay_ns);
 }
 
+SynthesisResult synthesize_design(const ppg::MultiplierSpec& spec,
+                                  const ppg::DesignPoint& point,
+                                  double target_delay_ns) {
+  const ppg::MultiplierSpec resolved = point.resolved_spec(spec);
+  if (!point.cpa_pinned()) {
+    return synthesize_design(resolved, point.tree, target_delay_ns);
+  }
+  const PreparedDesign prep(resolved, point.tree, point.cpa);
+  return prep.synthesize(target_delay_ns);
+}
+
 SynthesisResult synthesize_design_legacy(const ppg::MultiplierSpec& spec,
                                          const ct::CompressorTree& tree,
                                          double target_delay_ns) {

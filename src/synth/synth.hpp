@@ -117,6 +117,15 @@ SynthesisResult synthesize_design(const ppg::MultiplierSpec& spec,
                                   const ct::CompressorTree& tree,
                                   double target_delay_ns);
 
+/// Full design-point synthesis for a DesignPoint: menu points sweep the
+/// named CPA architectures exactly like the tree overload; pinned
+/// points synthesize their one prefix graph. The spec is the *base*
+/// spec — the point's PPG family overrides it, and `point.tree` must
+/// have been built against the resolved spec's pp heights.
+SynthesisResult synthesize_design(const ppg::MultiplierSpec& spec,
+                                  const ppg::DesignPoint& point,
+                                  double target_delay_ns);
+
 /// Reference implementation of synthesize_design: rebuilds the full
 /// netlist per CPA and runs one full sta::analyze per sizing pass.
 /// Kept as the slow cross-check the fast-path tests compare against
@@ -137,6 +146,14 @@ class PreparedDesign {
   PreparedDesign(const ppg::MultiplierSpec& spec,
                  const ct::CompressorTree& tree);
 
+  /// Pinned-CPA variant: the menu collapses to the one given prefix
+  /// graph (menu_size() == 1), labeled by cpa_kind_of_graph. Everything
+  /// else — sizing, selection (trivial), deferred power — matches the
+  /// menu path, so a point pinned to a named graph synthesizes to the
+  /// same numbers that architecture gets in a sweep.
+  PreparedDesign(const ppg::MultiplierSpec& spec,
+                 const ct::CompressorTree& tree, prefix::PrefixGraph cpa);
+
   PreparedDesign(const PreparedDesign&) = delete;
   PreparedDesign& operator=(const PreparedDesign&) = delete;
 
@@ -147,13 +164,21 @@ class PreparedDesign {
 
   /// The prepared netlist for one CPA kind (variants at 0); built on
   /// first use. The evaluator runs its equivalence gate on this.
+  /// Menu designs only; a pinned design exposes netlist_at(0).
   const netlist::Netlist& netlist(netlist::CpaKind cpa) const;
 
-  /// Number of CPA architectures in the menu (== kAllCpaKinds, in the
-  /// same area order synthesize() walks them in).
+  /// Number of CPA architectures in the full menu (== kAllCpaKinds, in
+  /// the same area order synthesize() walks them in) — the static upper
+  /// bound menu_size() never exceeds.
   static constexpr std::size_t num_cpa() {
     return std::size(netlist::kAllCpaKinds);
   }
+  /// Entries synthesize() actually walks: num_cpa() for menu designs,
+  /// 1 for pinned designs.
+  std::size_t menu_size() const { return pinned_ ? 1 : kNumCpa; }
+  /// The reporting label of menu entry `idx` (kAllCpaKinds[idx] for
+  /// menu designs, the pinned graph's label at index 0 otherwise).
+  netlist::CpaKind cpa_at(std::size_t idx) const;
   /// Prepared netlist / shared timing structure by menu index; built on
   /// first use. The batched evaluator walks the same menu in the same
   /// order, sizing all targets of one architecture per sweep.
@@ -171,6 +196,9 @@ class PreparedDesign {
 
   ppg::MultiplierSpec spec_;
   ppg::MultiplierPrefix prefix_;
+  bool pinned_ = false;
+  prefix::PrefixGraph pinned_graph_;
+  netlist::CpaKind pinned_label_ = netlist::CpaKind::kCustom;
   mutable std::array<CpaEntry, kNumCpa> entries_;
 };
 

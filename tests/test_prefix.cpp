@@ -1,0 +1,328 @@
+// Prefix-graph property tests: the four named constructors reproduce
+// the legacy enum emitters bit for bit, legalization repairs any
+// matrix into a valid graph and is idempotent, and canonicalization is
+// invariant under node reordering.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "netlist/cell_library.hpp"
+#include "netlist/ct_builder.hpp"
+#include "prefix/prefix_graph.hpp"
+#include "util/rng.hpp"
+
+namespace rlmul::prefix {
+namespace {
+
+using netlist::ColumnSignals;
+using netlist::CpaKind;
+using netlist::LogicBuilder;
+using netlist::Netlist;
+using netlist::Signal;
+
+// Column rows with a seeded ragged shape (0/1/2 live bits per column,
+// both operand rows live at bit 0) so constant folding paths fire the
+// same way in both netlists under comparison.
+ColumnSignals make_rows(Netlist& nl, int width, std::uint64_t seed) {
+  util::Rng rng(seed);
+  ColumnSignals rows(static_cast<std::size_t>(width));
+  for (int j = 0; j < width; ++j) {
+    const int live = j == 0 ? 2 : static_cast<int>(rng.next_below(3));
+    for (int i = 0; i < live; ++i) {
+      rows[static_cast<std::size_t>(j)].push_back(Signal::of(
+          nl.add_input("c" + std::to_string(j) + "_" + std::to_string(i))));
+    }
+  }
+  return rows;
+}
+
+bool same_netlist(const Netlist& a, const Netlist& b) {
+  if (a.num_nets() != b.num_nets()) return false;
+  if (a.num_gates() != b.num_gates()) return false;
+  for (int i = 0; i < a.num_gates(); ++i) {
+    const auto& ga = a.gates()[static_cast<std::size_t>(i)];
+    const auto& gb = b.gates()[static_cast<std::size_t>(i)];
+    if (ga.kind != gb.kind || ga.variant != gb.variant ||
+        ga.inputs != gb.inputs || ga.outputs != gb.outputs) {
+      return false;
+    }
+  }
+  return a.primary_inputs() == b.primary_inputs() &&
+         a.primary_outputs() == b.primary_outputs();
+}
+
+PrefixGraph named(CpaKind kind, int width) {
+  return netlist::prefix_graph_of(kind, width);
+}
+
+const CpaKind kKinds[] = {CpaKind::kRippleCarry, CpaKind::kBrentKung,
+                          CpaKind::kSklansky, CpaKind::kKoggeStone};
+
+TEST(PrefixEmission, FourKindsBitIdenticalToLegacy) {
+  for (const int w : {1, 2, 3, 5, 8, 13, 16, 24, 32}) {
+    for (const CpaKind kind : kKinds) {
+      for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        Netlist nl_new;
+        Netlist nl_old;
+        LogicBuilder lb_new(nl_new);
+        LogicBuilder lb_old(nl_old);
+        const ColumnSignals rows_new = make_rows(nl_new, w, seed);
+        const ColumnSignals rows_old = make_rows(nl_old, w, seed);
+        const auto out_new = netlist::build_cpa(lb_new, kind, rows_new);
+        const auto out_old = netlist::build_cpa_legacy(lb_old, kind, rows_old);
+        ASSERT_EQ(out_new, out_old)
+            << "w=" << w << " kind=" << netlist::cpa_kind_name(kind);
+        ASSERT_TRUE(same_netlist(nl_new, nl_old))
+            << "w=" << w << " kind=" << netlist::cpa_kind_name(kind);
+      }
+    }
+  }
+}
+
+TEST(PrefixEmission, GraphOverloadMatchesEnumForFullRows) {
+  for (const int w : {4, 8, 16}) {
+    for (const CpaKind kind : kKinds) {
+      Netlist nl_graph;
+      Netlist nl_enum;
+      LogicBuilder lb_graph(nl_graph);
+      LogicBuilder lb_enum(nl_enum);
+      ColumnSignals rows_graph(static_cast<std::size_t>(w));
+      ColumnSignals rows_enum(static_cast<std::size_t>(w));
+      for (int j = 0; j < w; ++j) {
+        rows_graph[static_cast<std::size_t>(j)] = {
+            Signal::of(nl_graph.add_input("x" + std::to_string(j))),
+            Signal::of(nl_graph.add_input("y" + std::to_string(j)))};
+        rows_enum[static_cast<std::size_t>(j)] = {
+            Signal::of(nl_enum.add_input("x" + std::to_string(j))),
+            Signal::of(nl_enum.add_input("y" + std::to_string(j)))};
+      }
+      const auto a = netlist::build_cpa(lb_graph, named(kind, w), rows_graph);
+      const auto b = netlist::build_cpa(lb_enum, kind, rows_enum);
+      ASSERT_EQ(a, b);
+      ASSERT_TRUE(same_netlist(nl_graph, nl_enum));
+    }
+  }
+}
+
+TEST(PrefixGraphTest, NamedConstructorsValid) {
+  for (int w = 1; w <= 33; ++w) {
+    for (const CpaKind kind : kKinds) {
+      std::string why;
+      EXPECT_TRUE(valid(named(kind, w), &why))
+          << "w=" << w << " kind=" << netlist::cpa_kind_name(kind) << ": "
+          << why;
+    }
+  }
+}
+
+TEST(PrefixGraphTest, NamedConstructorsRoundTripThroughCanonicalize) {
+  for (const int w : {1, 2, 3, 4, 6, 8, 12, 16, 32}) {
+    for (const CpaKind kind : kKinds) {
+      const PrefixGraph c = named(kind, w);
+      // canonicalize is stable ...
+      EXPECT_EQ(canonicalize(c), canonicalize(canonicalize(c)));
+      // ... and the matrix form legalizes back to the same structure.
+      const Legalized leg = legalize(matrix_of(c));
+      std::string why;
+      ASSERT_TRUE(valid(leg.graph, &why)) << why;
+      EXPECT_EQ(canonical_key(leg.graph), canonical_key(c))
+          << "w=" << w << " kind=" << netlist::cpa_kind_name(kind);
+    }
+  }
+}
+
+Matrix random_matrix(int width, int rows, double density, util::Rng& rng) {
+  Matrix m;
+  m.width = width;
+  for (int r = 0; r < rows; ++r) {
+    for (int j = 0; j < width; ++j) {
+      if (rng.next_bool(density)) m.set(r, j, true);
+    }
+  }
+  return m;
+}
+
+TEST(PrefixLegalize, RandomMatrixLegalizesToValidGraph) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int w = 2 + static_cast<int>(rng.next_below(17));
+    const int rows = static_cast<int>(rng.next_below(7));
+    const double density = rng.next_double();
+    const Matrix m = random_matrix(w, rows, density, rng);
+    const Legalized leg = legalize(m);
+    std::string why;
+    ASSERT_TRUE(valid(leg.graph, &why)) << "trial " << trial << ": " << why;
+    ASSERT_EQ(leg.graph.width, w);
+  }
+}
+
+TEST(PrefixLegalize, Idempotent) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int w = 2 + static_cast<int>(rng.next_below(17));
+    const int rows = static_cast<int>(rng.next_below(7));
+    const Matrix m = random_matrix(w, rows, rng.next_double(), rng);
+    const Legalized once = legalize(m);
+    const Legalized twice = legalize(once.matrix);
+    ASSERT_EQ(once.matrix, twice.matrix) << "trial " << trial;
+    ASSERT_EQ(once.graph, twice.graph) << "trial " << trial;
+  }
+}
+
+/// Random topological reorder of the node list, with refs remapped.
+PrefixGraph shuffled(const PrefixGraph& g, util::Rng& rng) {
+  const int n = static_cast<int>(g.nodes.size());
+  // remaining = number of parents still unplaced; a node is ready when
+  // both its parents are placed (leaves are always placed).
+  std::vector<int> remaining(g.nodes.size(), 0);
+  for (int i = 0; i < n; ++i) {
+    const Node& node = g.nodes[static_cast<std::size_t>(i)];
+    remaining[static_cast<std::size_t>(i)] =
+        (is_leaf(node.left) ? 0 : 1) + (is_leaf(node.right) ? 0 : 1);
+  }
+  std::vector<std::vector<int>> children(g.nodes.size());
+  for (int i = 0; i < n; ++i) {
+    const Node& node = g.nodes[static_cast<std::size_t>(i)];
+    if (!is_leaf(node.left)) {
+      children[static_cast<std::size_t>(node.left)].push_back(i);
+    }
+    if (!is_leaf(node.right)) {
+      children[static_cast<std::size_t>(node.right)].push_back(i);
+    }
+  }
+  std::vector<int> ready;
+  for (int i = 0; i < n; ++i) {
+    if (remaining[static_cast<std::size_t>(i)] == 0) ready.push_back(i);
+  }
+  PrefixGraph out;
+  out.width = g.width;
+  std::vector<Ref> newid(g.nodes.size(), 0);
+  while (!ready.empty()) {
+    const std::size_t pick = rng.next_below(ready.size());
+    const int i = ready[pick];
+    ready[pick] = ready.back();
+    ready.pop_back();
+    const Node& node = g.nodes[static_cast<std::size_t>(i)];
+    Node copy = node;
+    if (!is_leaf(copy.left)) copy.left = newid[static_cast<std::size_t>(copy.left)];
+    if (!is_leaf(copy.right)) {
+      copy.right = newid[static_cast<std::size_t>(copy.right)];
+    }
+    newid[static_cast<std::size_t>(i)] = static_cast<Ref>(out.nodes.size());
+    out.nodes.push_back(copy);
+    for (const int c : children[static_cast<std::size_t>(i)]) {
+      if (--remaining[static_cast<std::size_t>(c)] == 0) ready.push_back(c);
+    }
+  }
+  for (const Ref r : g.outputs) {
+    out.outputs.push_back(is_leaf(r) ? r : newid[static_cast<std::size_t>(r)]);
+  }
+  return out;
+}
+
+TEST(PrefixCanonical, InvariantUnderNodeReordering) {
+  util::Rng rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int w = 2 + static_cast<int>(rng.next_below(15));
+    const Matrix m = random_matrix(w, 1 + static_cast<int>(rng.next_below(5)),
+                                   rng.next_double(), rng);
+    const PrefixGraph g = legalize(m).graph;
+    const PrefixGraph perm = shuffled(g, rng);
+    std::string why;
+    ASSERT_TRUE(valid(perm, &why)) << why;
+    ASSERT_EQ(canonicalize(g), canonicalize(perm)) << "trial " << trial;
+    ASSERT_EQ(canonical_key(g), canonical_key(perm));
+    ASSERT_EQ(canonical_hash(g), canonical_hash(perm));
+  }
+}
+
+TEST(PrefixCanonical, DistinguishesArchitectures) {
+  EXPECT_NE(canonical_key(kogge_stone(8)), canonical_key(sklansky(8)));
+  EXPECT_NE(canonical_key(kogge_stone(8)), canonical_key(brent_kung(8)));
+  EXPECT_NE(canonical_key(sklansky(8)), canonical_key(serial(8)));
+  // Same architecture, same width: stable key.
+  EXPECT_EQ(canonical_key(kogge_stone(16)), canonical_key(kogge_stone(16)));
+}
+
+TEST(PrefixSerial, DetectionAndEmptyMatrix) {
+  for (const int w : {1, 2, 3, 8, 16}) {
+    EXPECT_TRUE(is_serial(serial(w))) << w;
+    Matrix empty;
+    empty.width = w;
+    EXPECT_EQ(legalize(empty).graph, serial(w)) << w;
+  }
+  EXPECT_FALSE(is_serial(kogge_stone(8)));
+  EXPECT_FALSE(is_serial(sklansky(4)));
+}
+
+TEST(PrefixOutputLevels, SerialAndKoggeStone) {
+  const auto sl = output_levels(serial(6));
+  for (int j = 0; j < 6; ++j) EXPECT_EQ(sl[static_cast<std::size_t>(j)], j);
+  const auto kl = output_levels(kogge_stone(8));
+  EXPECT_EQ(kl[0], 0);
+  EXPECT_EQ(kl[1], 1);
+  EXPECT_EQ(kl[3], 2);
+  EXPECT_EQ(kl[7], 3);
+}
+
+TEST(PrefixMoves, AllMovesLegalizeToValidGraphs) {
+  util::Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int w = 4 + static_cast<int>(rng.next_below(13));
+    Matrix m = matrix_of(netlist::prefix_graph_of(
+        kKinds[rng.next_below(4)], w));
+    for (int step = 0; step < 6; ++step) {
+      Move mv;
+      mv.kind = static_cast<MoveKind>(rng.next_below(4));
+      mv.level = static_cast<int>(rng.next_below(6));
+      mv.bit = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(w)));
+      mv.lo = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(w)));
+      mv.hi = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(w)));
+      m = apply_move(std::move(m), mv);
+      const Legalized leg = legalize(m);
+      std::string why;
+      ASSERT_TRUE(valid(leg.graph, &why)) << why;
+      m = leg.matrix;
+    }
+  }
+}
+
+TEST(CpaSweepOrder, MenuAreaOrderHoldsPerWidth) {
+  // kAllCpaKinds is a documented contract: synthesize_design and the
+  // batch evaluator walk it front to back assuming everything later is
+  // larger (see ct_builder.hpp). Pin the full ripple < BK < SK < KS
+  // standalone-adder area ordering at the widths the searches use, so
+  // a cell-library or emitter change that flips it fails loudly.
+  const auto& lib = netlist::CellLibrary::nangate45();
+  for (const int width : {8, 16, 24, 32, 48}) {
+    double prev = 0.0;
+    for (std::size_t i = 0; i < std::size(netlist::kAllCpaKinds); ++i) {
+      const CpaKind kind = netlist::kAllCpaKinds[i];
+      Netlist nl;
+      LogicBuilder lb(nl);
+      ColumnSignals rows(static_cast<std::size_t>(width));
+      for (int j = 0; j < width; ++j) {
+        rows[static_cast<std::size_t>(j)] = {
+            Signal::of(nl.add_input("x" + std::to_string(j))),
+            Signal::of(nl.add_input("y" + std::to_string(j)))};
+      }
+      const auto sum = netlist::build_cpa(lb, kind, rows);
+      for (int j = 0; j < width; ++j) {
+        nl.mark_output(lb.materialize(sum[static_cast<std::size_t>(j)]),
+                       "s" + std::to_string(j));
+      }
+      const double area = netlist::netlist_area(nl, lib);
+      if (i > 0) {
+        EXPECT_LT(prev, area)
+            << netlist::cpa_kind_name(kind) << " not larger than its sweep "
+            << "predecessor at width " << width;
+      }
+      prev = area;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rlmul::prefix

@@ -4,10 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "ppg/ppg.hpp"
+#include "prefix/prefix_graph.hpp"
 #include "rl/a2c.hpp"
 #include "rl/dqn.hpp"
 #include "rl/env.hpp"
@@ -129,6 +132,89 @@ TEST(Env, TracksBestDesign) {
   }
   EXPECT_NEAR(env.best_cost(), best, 1e-12);
   EXPECT_TRUE(env.best_tree().legal());
+}
+
+TEST(JointEnv, ActionSpaceMaskAndChannels) {
+  synth::DesignEvaluator ev(small_spec());
+  EnvConfig cfg;
+  cfg.search_cpa = true;
+  cfg.search_ppg = true;
+  cfg.prefix_levels = 3;
+  MultiplierEnv env(ev, cfg);
+
+  const int cols = env.tree().columns();
+  const int prefix_actions = cfg.prefix_levels * cols;
+  const int ppg_actions = static_cast<int>(std::size(ppg::kAllPpgKinds));
+  EXPECT_EQ(env.num_actions(),
+            env.num_ct_actions() + prefix_actions + ppg_actions);
+  EXPECT_EQ(env.num_channels(), kStateChannels + 2);
+
+  const auto mask = env.mask();
+  ASSERT_EQ(mask.size(), static_cast<std::size_t>(env.num_actions()));
+  // Prefix toggles are always legal (legalize repairs any matrix)...
+  for (int i = 0; i < prefix_actions; ++i) {
+    EXPECT_EQ(mask[static_cast<std::size_t>(env.num_ct_actions() + i)], 1);
+  }
+  // ...and only the current PPG family's switch is masked off.
+  for (int i = 0; i < ppg_actions; ++i) {
+    const auto m = mask[static_cast<std::size_t>(
+        env.num_ct_actions() + prefix_actions + i)];
+    EXPECT_EQ(m, ppg::kAllPpgKinds[static_cast<std::size_t>(i)] ==
+                         env.point().ppg
+                     ? 0
+                     : 1);
+  }
+
+  const nt::Tensor obs = env.observe();
+  EXPECT_EQ(obs.shape(), (std::vector<int>{1, env.num_channels(), cols,
+                                           env.stage_pad()}));
+}
+
+TEST(JointEnv, EncodePointFlagsOffIsByteIdentical) {
+  ppg::DesignPoint point;
+  point.tree = ppg::initial_tree(small_spec());
+  point.cpa = prefix::serial(small_spec().columns());  // ignored flags-off
+  const nt::Tensor plain = encode_tree(point.tree, 5);
+  const nt::Tensor off = encode_point(point, 5, false, false);
+  ASSERT_EQ(off.shape(), plain.shape());
+  for (std::size_t i = 0; i < plain.numel(); ++i) {
+    EXPECT_EQ(off[i], plain[i]) << "flat index " << i;
+  }
+}
+
+TEST(JointEnv, PrefixToggleAndPpgSwitchKeepStateValid) {
+  synth::DesignEvaluator ev(small_spec());
+  EnvConfig cfg;
+  cfg.search_cpa = true;
+  cfg.search_ppg = true;
+  MultiplierEnv env(ev, cfg);
+  ASSERT_TRUE(env.point().cpa_pinned());
+
+  // Toggle a matrix cell: the point must stay pinned on a valid graph.
+  const double before = env.current_cost();
+  const auto sr = env.step(env.num_ct_actions() + 1);
+  EXPECT_NEAR(sr.reward, before - sr.cost, 1e-12);
+  ASSERT_TRUE(env.point().cpa_pinned());
+  std::string why;
+  EXPECT_TRUE(prefix::valid(env.point().cpa, &why)) << why;
+  EXPECT_TRUE(env.point().tree.legal());
+
+  // Switch the PPG family: the tree retargets onto the new pp heights
+  // and must land legal (the full-sweep ct::legalize contract).
+  const int prefix_actions = cfg.prefix_levels * env.tree().columns();
+  const int booth_action = env.num_ct_actions() + prefix_actions + 1;
+  ASSERT_EQ(ppg::kAllPpgKinds[1], PpgKind::kBooth);
+  env.step(booth_action);
+  EXPECT_EQ(env.point().ppg, PpgKind::kBooth);
+  EXPECT_TRUE(env.point().tree.legal());
+  const auto spec = env.point().resolved_spec(small_spec());
+  EXPECT_EQ(env.point().tree.pp, ppg::pp_heights(spec));
+  // The now-current family's switch is masked, the old one unmasked.
+  const auto mask = env.mask();
+  EXPECT_EQ(mask[static_cast<std::size_t>(booth_action)], 0);
+  EXPECT_EQ(mask[static_cast<std::size_t>(env.num_ct_actions() +
+                                          prefix_actions)],
+            1);
 }
 
 TEST(Env, ObservationDepthStaysBoundedWithoutPruning) {

@@ -141,6 +141,9 @@ void check_resume_bit_exact(const std::string& name,
   EXPECT_EQ(resumed.best_trajectory, full.best_trajectory);
   EXPECT_EQ(resumed.best_cost, full.best_cost);
   EXPECT_EQ(resumed.best_tree, full.best_tree);
+  EXPECT_EQ(resumed.best_point.ppg, full.best_point.ppg);
+  EXPECT_EQ(resumed.best_point.tree, full.best_point.tree);
+  EXPECT_EQ(resumed.best_point.cpa, full.best_point.cpa);
 }
 
 TEST(Checkpoint, DqnResumeIsBitExact) {
@@ -173,6 +176,47 @@ TEST(Checkpoint, SaResumeIsBitExact) {
   cfg.steps = 30;
   cfg.seed = 5;
   check_resume_bit_exact("sa", cfg, 11);
+}
+
+// Joint-search variants: the checkpoints additionally carry the pinned
+// prefix graph and PPG family (the point extras), and the resized
+// action heads / env state must survive the round trip bit for bit.
+
+TEST(Checkpoint, JointSaResumeIsBitExact) {
+  search::MethodConfig cfg;
+  cfg.steps = 30;
+  cfg.seed = 5;
+  cfg.search_cpa = true;
+  cfg.search_ppg = true;
+  cfg.prefix_levels = 3;
+  check_resume_bit_exact("sa", cfg, 11);
+}
+
+TEST(Checkpoint, JointDqnResumeIsBitExact) {
+  search::MethodConfig cfg;
+  cfg.steps = 12;
+  cfg.warmup = 3;
+  cfg.batch_size = 3;
+  cfg.target_sync = 4;
+  cfg.episode_length = 6;
+  cfg.seed = 13;
+  cfg.search_cpa = true;
+  cfg.search_ppg = true;
+  cfg.prefix_levels = 2;
+  check_resume_bit_exact("dqn", cfg, 7);
+}
+
+TEST(Checkpoint, JointA2cResumeIsBitExact) {
+  search::MethodConfig cfg;
+  cfg.steps = 8;
+  cfg.threads = 2;
+  cfg.n_step = 2;
+  cfg.episode_length = 4;
+  cfg.seed = 21;
+  cfg.search_cpa = true;
+  cfg.search_ppg = true;
+  cfg.prefix_levels = 2;
+  check_resume_bit_exact("a2c", cfg, 5);
 }
 
 TEST(Checkpoint, FileRoundTrip) {

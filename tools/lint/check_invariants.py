@@ -35,6 +35,13 @@ Rules (each failure prints `file:line: [rule] message`):
                      its justification inline).
   tsa-waiver         every RLMUL_NO_THREAD_SAFETY_ANALYSIS carries a
                      justifying comment within the 6 lines above it.
+  raw-cpa-kind       `static_cast<...CpaKind>(...)` (constructing a
+                     CpaKind from a raw integer) is allowed only in
+                     src/prefix/ and src/netlist/. Everything else
+                     decodes through netlist::cpa_kind_from_index /
+                     parse_cpa_kind so an out-of-range index can never
+                     smuggle in an enumerator the menu doesn't have
+                     (kCustom denotes a graph, not a buildable kind).
   header-standalone  every public header under src/*/ compiles as its
                      own translation unit (include-what-you-use at the
                      API boundary). Needs --compiler; skipped with a
@@ -232,6 +239,26 @@ def check_tsa_waiver(root):
                  "comment in the 6 lines above")
 
 
+# -- raw-cpa-kind -------------------------------------------------------------
+
+RAW_CPA_KIND_RE = re.compile(r"static_cast<\s*[\w:]*CpaKind\s*>\s*\(")
+RAW_CPA_KIND_ALLOWED = ("src/prefix/", "src/netlist/")
+
+
+def check_raw_cpa_kind(root):
+    for p in source_files(root):
+        r = rel(root, p)
+        if r.startswith(RAW_CPA_KIND_ALLOWED):
+            continue
+        for i, line in enumerate(p.read_text().splitlines(), 1):
+            code = strip_comments_and_strings(line)
+            if RAW_CPA_KIND_RE.search(code):
+                fail(r, i, "raw-cpa-kind",
+                     "raw CpaKind construction outside src/prefix/ and "
+                     "src/netlist/; decode through "
+                     "netlist::cpa_kind_from_index or parse_cpa_kind")
+
+
 # -- header-standalone --------------------------------------------------------
 
 
@@ -271,6 +298,7 @@ def main():
     check_global_rng(root)
     check_float_eq(root)
     check_tsa_waiver(root)
+    check_raw_cpa_kind(root)
     if not args.skip_headers:
         check_headers_standalone(root, args.compiler)
 
