@@ -1,0 +1,235 @@
+// Delta-vs-scratch evaluation A/B on trajectory-shaped workloads: the
+// same 16-bit move sequences a search method produces (an SA-style
+// Metropolis chain with rejections and a DQN-style episodic walk with
+// resets) are evaluated step by step through a fresh DesignEvaluator
+// with the delta path on (RLMUL_DELTA_EVAL=1, each step hinting its
+// pre-move parent exactly as rl::MultiplierEnv::step and SaMethod do)
+// and off (=0, today's from-scratch pipeline). Both configs see the
+// identical sequence — equal budgets — and throughput is
+// unique-designs/sec (repeat visits resolve from the evaluator cache
+// identically in both configs). Before timing, the delta results are
+// checked bit-for-bit (per double) against scratch — the
+// "bit_identical" field records it. The JSON on stdout is the source
+// of results/BENCH_delta.json.
+//
+// Knobs: RLMUL_QUICK=1 shortens the trajectories.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "ct/compressor_tree.hpp"
+#include "ppg/ppg.hpp"
+#include "synth/evaluator.hpp"
+#include "synth/synth.hpp"
+#include "util/build_info.hpp"
+#include "util/config.hpp"
+#include "util/perf_counters.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rlmul;
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool same_result(const synth::SynthesisResult& a,
+                 const synth::SynthesisResult& b) {
+  return bits_equal(a.area_um2, b.area_um2) &&
+         bits_equal(a.delay_ns, b.delay_ns) &&
+         bits_equal(a.power_mw, b.power_mw) && a.met_target == b.met_target &&
+         a.cpa == b.cpa && a.num_gates == b.num_gates;
+}
+
+/// One search step: the post-move design plus the pre-move state's key
+/// (what the env/SA hand the evaluator as the delta parent).
+struct TrajStep {
+  ct::CompressorTree tree;
+  std::string parent_key;
+};
+
+ct::CompressorTree random_child(const ct::CompressorTree& cur,
+                                util::Rng& rng) {
+  const auto mask = ct::legal_action_mask(cur);
+  std::vector<int> legal;
+  for (int k = 0; k < static_cast<int>(mask.size()); ++k) {
+    if (mask[k]) legal.push_back(k);
+  }
+  if (legal.empty()) return cur;
+  return ct::apply_action(
+      cur, ct::action_from_index(legal[rng.next() % legal.size()]));
+}
+
+/// SA shape: propose a child of the current state each step; accept it
+/// with p=0.7 (rejects keep proposing more children off one retained
+/// parent, like a cooling Metropolis chain).
+std::vector<TrajStep> sa_trajectory(const ppg::MultiplierSpec& spec,
+                                    int steps, std::uint64_t seed) {
+  util::Rng rng(seed);
+  ct::CompressorTree cur = ppg::initial_tree(spec);
+  std::vector<TrajStep> out;
+  for (int i = 0; i < steps; ++i) {
+    ct::CompressorTree child = random_child(cur, rng);
+    if (child.key() == cur.key()) break;  // dead end
+    out.push_back({child, cur.key()});
+    if (rng.next_bool(0.7)) cur = std::move(child);
+  }
+  return out;
+}
+
+/// DQN shape: always step to the sampled child, reset to the initial
+/// tree every `horizon` steps (episode boundary; the first post-reset
+/// step parents the initial state, which may have aged out of the LRU).
+std::vector<TrajStep> dqn_trajectory(const ppg::MultiplierSpec& spec,
+                                     int steps, int horizon,
+                                     std::uint64_t seed) {
+  util::Rng rng(seed);
+  const ct::CompressorTree initial = ppg::initial_tree(spec);
+  ct::CompressorTree cur = initial;
+  std::vector<TrajStep> out;
+  for (int i = 0; i < steps; ++i) {
+    if (i > 0 && i % horizon == 0) cur = initial;
+    ct::CompressorTree child = random_child(cur, rng);
+    if (child.key() == cur.key()) break;
+    out.push_back({child, cur.key()});
+    cur = std::move(child);
+  }
+  return out;
+}
+
+std::size_t unique_designs(const std::vector<TrajStep>& traj) {
+  std::set<std::string> keys;
+  for (const TrajStep& s : traj) keys.insert(s.tree.key());
+  return keys.size();
+}
+
+/// Replays the trajectory through a fresh evaluator (ctor outside the
+/// timed region — it evaluates and retains the initial tree in both
+/// configs). Best wall of `reps`; optionally captures per-step evals.
+double time_traj(const ppg::MultiplierSpec& spec,
+                 const std::vector<double>& targets,
+                 const std::vector<TrajStep>& traj, bool delta_on, int reps,
+                 std::vector<synth::DesignEval>* capture = nullptr) {
+  setenv("RLMUL_DELTA_EVAL", delta_on ? "1" : "0", 1);
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    synth::EvaluatorOptions eopts;
+    eopts.batch = 1;
+    synth::DesignEvaluator evaluator(spec, targets, eopts);
+    if (capture) capture->clear();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const TrajStep& s : traj) {
+      synth::DesignEval e =
+          evaluator.evaluate(s.tree, synth::ParentHint{s.parent_key});
+      if (capture) capture->push_back(std::move(e));
+    }
+    const double w =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (w < best) best = w;
+  }
+  unsetenv("RLMUL_DELTA_EVAL");
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = util::quick_mode();
+  const int steps = quick ? 24 : 96;
+  const int reps = quick ? 1 : 3;
+  const ppg::MultiplierSpec spec{16, ppg::PpgKind::kAnd, false};
+  const std::vector<double> targets = synth::default_targets(spec);
+
+  std::printf("{\n");
+  std::printf(
+      "  \"description\": \"delta evaluation A/B on trajectory-shaped "
+      "workloads: 16-bit SA (Metropolis, p_accept=0.7) and DQN (episodic, "
+      "horizon 12) move sequences of %d steps, evaluated per step with the "
+      "pre-move parent hint. delta_off = RLMUL_DELTA_EVAL=0 from-scratch "
+      "pipeline; both configs replay the identical sequence (equal budgets) "
+      "and rates are unique-designs/sec, best of %d reps. bit_identical: "
+      "delta results memcmp-equal (per double) to scratch. delta_hits / "
+      "delta_fallbacks: retained-parent patches vs hinted-but-rebuilt "
+      "steps during the identity pass.\",\n",
+      steps, reps);
+  std::printf("  \"build\": \"%s\",\n", util::build_info().c_str());
+  std::printf("  \"cpus\": %u,\n", std::thread::hardware_concurrency());
+  std::printf("  \"configs\": {\n");
+
+  struct Workload {
+    const char* name;
+    std::vector<TrajStep> traj;
+  };
+  const Workload workloads[] = {
+      {"sa_16bit", sa_trajectory(spec, steps, 0xA11CE)},
+      {"dqn_16bit", dqn_trajectory(spec, steps, 12, 0xB0B)},
+  };
+
+  for (std::size_t wi = 0; wi < std::size(workloads); ++wi) {
+    const Workload& w = workloads[wi];
+    const std::size_t uniq = unique_designs(w.traj);
+
+    // Bit-exactness gate (also the counter source): one captured pass
+    // per config, compared field-by-field.
+    auto& counters = util::perf_counters();
+    const std::uint64_t hits0 = counters.eval_delta_hits.load();
+    const std::uint64_t fb0 = counters.eval_delta_fallbacks.load();
+    std::vector<synth::DesignEval> on_evals;
+    time_traj(spec, targets, w.traj, /*delta_on=*/true, 1, &on_evals);
+    const std::uint64_t hits = counters.eval_delta_hits.load() - hits0;
+    const std::uint64_t fallbacks = counters.eval_delta_fallbacks.load() - fb0;
+    std::vector<synth::DesignEval> off_evals;
+    time_traj(spec, targets, w.traj, /*delta_on=*/false, 1, &off_evals);
+    bool identical = on_evals.size() == off_evals.size();
+    for (std::size_t i = 0; identical && i < on_evals.size(); ++i) {
+      if (on_evals[i].per_target.size() != off_evals[i].per_target.size()) {
+        identical = false;
+        break;
+      }
+      for (std::size_t t = 0; t < on_evals[i].per_target.size(); ++t) {
+        if (!same_result(on_evals[i].per_target[t],
+                         off_evals[i].per_target[t])) {
+          identical = false;
+        }
+      }
+    }
+
+    const double wall_off =
+        time_traj(spec, targets, w.traj, /*delta_on=*/false, reps);
+    const double wall_on =
+        time_traj(spec, targets, w.traj, /*delta_on=*/true, reps);
+    const double rate_off =
+        wall_off > 0.0 ? static_cast<double>(uniq) / wall_off : 0.0;
+    const double rate_on =
+        wall_on > 0.0 ? static_cast<double>(uniq) / wall_on : 0.0;
+
+    std::printf("    \"%s\": {\n", w.name);
+    std::printf("      \"steps\": %zu,\n", w.traj.size());
+    std::printf("      \"designs\": %zu,\n", uniq);
+    std::printf("      \"bit_identical\": %s,\n", identical ? "true" : "false");
+    std::printf("      \"delta_hits\": %llu,\n",
+                static_cast<unsigned long long>(hits));
+    std::printf("      \"delta_fallbacks\": %llu,\n",
+                static_cast<unsigned long long>(fallbacks));
+    std::printf("      \"delta_off\": { \"wall_s\": %.4f, "
+                "\"designs_per_s\": %.1f, \"speedup_vs_off\": 1.00 },\n",
+                wall_off, rate_off);
+    std::printf("      \"delta_on\": { \"wall_s\": %.4f, "
+                "\"designs_per_s\": %.1f, \"speedup_vs_off\": %.2f }\n",
+                wall_on, rate_on,
+                rate_off > 0.0 ? rate_on / rate_off : 0.0);
+    std::printf("    }%s\n", wi + 1 < std::size(workloads) ? "," : "");
+  }
+  std::printf("  }\n");
+  std::printf("}\n");
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <set>
 #include <string>
@@ -202,6 +203,74 @@ BENCHMARK(BM_EvaluateBatch)
     // The single path fans per-target synthesis out to the shared
     // pool, so the meaningful rate (and the 3x ratio) is wall-clock.
     ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Trajectory-shaped evaluation through the delta path: every timed
+// evaluate() is a never-seen-before child hinted with its pre-move
+// parent — the shape rl::MultiplierEnv::step and the SA chain emit.
+// Arg0 = operand bits, Arg1 = 1 for RLMUL_DELTA_EVAL=1
+// (parent-relative netlist patch + STA warm-start), 0 for the
+// from-scratch pipeline (the A/B the ISSUE's >= 1.5x trajectory target
+// is measured on; bit-identity is enforced by tests/test_delta_eval.cpp
+// and bench_delta).
+void BM_EvaluateDelta(benchmark::State& state) {
+  const ppg::MultiplierSpec spec{static_cast<int>(state.range(0)),
+                                 ppg::PpgKind::kAnd, false};
+  const bool delta_on = state.range(1) != 0;
+  const std::vector<double> targets = synth::default_targets(spec);
+  // Random-walk chain: step i's tree is one legal action off step
+  // i-1's, so each evaluation hints the previous design as its parent.
+  struct TrajStep {
+    ct::CompressorTree tree;
+    std::string parent_key;
+  };
+  std::vector<TrajStep> chain;
+  {
+    util::Rng rng(77);
+    std::set<std::string> seen{ppg::initial_tree(spec).key()};
+    ct::CompressorTree cur = ppg::initial_tree(spec);
+    while (chain.size() < 64) {
+      const auto mask = ct::legal_action_mask(cur);
+      std::vector<int> legal;
+      for (int k = 0; k < static_cast<int>(mask.size()); ++k) {
+        if (mask[k]) legal.push_back(k);
+      }
+      if (legal.empty()) break;
+      ct::CompressorTree child = ct::apply_action(
+          cur, ct::action_from_index(legal[rng.next() % legal.size()]));
+      if (seen.insert(child.key()).second) {
+        chain.push_back({child, cur.key()});
+      }
+      cur = std::move(child);
+    }
+  }
+  // The evaluator resolves the delta switch at construction; restore
+  // the inherited setting after the run so A/B pairs share a process.
+  setenv("RLMUL_DELTA_EVAL", delta_on ? "1" : "0", 1);
+  synth::EvaluatorOptions eopts;
+  eopts.batch = 1;  // hints act on the per-call path only
+  auto evaluator =
+      std::make_unique<synth::DesignEvaluator>(spec, targets, eopts);
+  std::size_t next = 0;
+  for (auto _ : state) {
+    if (next == chain.size()) {
+      state.PauseTiming();
+      evaluator =
+          std::make_unique<synth::DesignEvaluator>(spec, targets, eopts);
+      next = 0;
+      state.ResumeTiming();
+    }
+    const auto eval = evaluator->evaluate(
+        chain[next].tree, synth::ParentHint{chain[next].parent_key});
+    benchmark::DoNotOptimize(eval.sum_area);
+    ++next;
+  }
+  unsetenv("RLMUL_DELTA_EVAL");
+}
+BENCHMARK(BM_EvaluateDelta)
+    ->ArgNames({"bits", "delta"})
+    ->Args({16, 1})
+    ->Args({16, 0})
     ->Unit(benchmark::kMillisecond);
 
 // One parallel environment step dispatched through the persistent

@@ -417,4 +417,24 @@ std::string to_string(const CompressorTree& tree) {
   return os.str();
 }
 
+TreeDelta diff_trees(const CompressorTree& a, const CompressorTree& b) {
+  TreeDelta d;
+  d.same_shape = a.pp == b.pp;
+  if (!d.same_shape) {
+    const int cols = std::max(a.columns(), b.columns());
+    for (int j = 0; j < cols; ++j) d.changed_columns.push_back(j);
+    return d;
+  }
+  auto at = [](const std::vector<int>& v, int j) {
+    return j < static_cast<int>(v.size()) ? v[static_cast<std::size_t>(j)] : 0;
+  };
+  for (int j = 0; j < a.columns(); ++j) {
+    if (at(a.c32, j) != at(b.c32, j) || at(a.c22, j) != at(b.c22, j) ||
+        at(a.c42, j) != at(b.c42, j)) {
+      d.changed_columns.push_back(j);
+    }
+  }
+  return d;
+}
+
 }  // namespace rlmul::ct

@@ -64,6 +64,21 @@ struct CompressorTree {
   std::string key() const;
 };
 
+/// Structural diff between two compressor trees, driving the delta
+/// evaluator: a replay against a parent trace only touches the fan-out
+/// cone of changed_columns, and is only attempted under same_shape.
+struct TreeDelta {
+  /// Same column count and the same initial (partial-product) heights —
+  /// the precondition for cell-by-cell replay against a build trace.
+  bool same_shape = false;
+  /// Columns whose compressor counts differ (empty when same_shape and
+  /// the trees are equal).
+  std::vector<int> changed_columns;
+  bool identical() const { return same_shape && changed_columns.empty(); }
+};
+
+TreeDelta diff_trees(const CompressorTree& a, const CompressorTree& b);
+
 // ---------------------------------------------------------------------------
 // Action space (Section III-D). Four actions per column.
 

@@ -103,4 +103,86 @@ std::vector<Signal> build_cpa(LogicBuilder& lb, const prefix::PrefixGraph& g,
 std::vector<Signal> build_cpa_legacy(LogicBuilder& lb, CpaKind kind,
                                      const ColumnSignals& rows);
 
+// ---------------------------------------------------------------------------
+// Delta evaluation: traced builds and parent-relative replay.
+//
+// A traced build records, per (stage, column) compressor cell, the gate
+// range it emitted and the signals it pushed into the column queues.
+// Replaying a *child* tree against a parent's trace walks both builds in
+// lockstep: cells whose compressor counts and consumed signals match the
+// parent positionally are "clean" and their gates are copied wholesale
+// from the parent netlist (never re-derived); everything else — the
+// fan-out cone of the changed columns — runs through the real emitter.
+// Because every net in the region is allocated by add_gate in emission
+// order and the logic folder is stateless (no CSE), the copied gates
+// receive exactly the net ids a from-scratch build would have allocated,
+// so the replayed netlist is byte-identical to building the child from
+// scratch (property-tested). FIFO ordering only: TDM consults per-bit
+// timestamps the trace does not carry, and callers fall back.
+// ---------------------------------------------------------------------------
+
+/// Trace of one compressor-tree build over a netlist whose head
+/// [0, ppg_gates) x [0, ppg_nets) is the PPG region the CT consumed.
+struct CtBuildTrace {
+  ColumnSignals ppg_columns;    ///< initial partial-product bits
+  std::int32_t ppg_gates = 0;   ///< gate count before the CT region
+  std::int32_t ppg_nets = 0;    ///< net count before the CT region
+  int stages = 0;
+  int cols = 0;
+  /// Per cell c = stage*cols + column (plus one sentinel): the emitted
+  /// gate range [cell_gate_begin[c], cell_gate_begin[c+1]) and the
+  /// signals pushed into this column's pending queue (`here`) and the
+  /// next column's (`left`), flattened in push order.
+  std::vector<std::int32_t> cell_gate_begin;
+  std::vector<std::int32_t> here_begin;
+  std::vector<std::int32_t> left_begin;
+  std::vector<Signal> here;
+  std::vector<Signal> left;
+};
+
+/// A signal plus its parent-build correspondent, when one exists. Twins
+/// are how the replay decides a cell consumed "the same" bits as the
+/// parent: the child signal is the image of `twin` under the
+/// parent-to-child net map.
+struct TwinnedSignal {
+  Signal sig;
+  Signal twin;
+  bool has_twin = false;
+};
+
+struct CtReplayResult {
+  /// Final rows with their parent twins (the CPA patch decides from
+  /// these whether the adder stage can be copied too).
+  std::vector<std::vector<TwinnedSignal>> rows;
+  /// Parent prefix net/gate -> child net/gate; kNoNet / -1 = no image.
+  std::vector<NetId> net_map;
+  std::vector<GateId> gate_map;
+  std::int64_t copied_gates = 0;
+  std::int64_t fresh_gates = 0;
+};
+
+/// Copies parent gates [begin, end) into `nl` in order, remapping inputs
+/// through `net_map` and recording the freshly allocated outputs in
+/// `net_map`/`gate_map`. The building block of both the CT replay and
+/// the CPA-region copy.
+void copy_gate_region(Netlist& nl, const Netlist& parent, GateId begin,
+                      GateId end, std::vector<NetId>& net_map,
+                      std::vector<GateId>& gate_map);
+
+/// Parent-relative CT build (FIFO ordering only). `columns` must be the
+/// child's partial-product bits; when `parent` is given, the child
+/// netlist must already contain the parent's PPG region verbatim (see
+/// Netlist::clone_head) and `columns` must equal the trace's
+/// ppg_columns. With `parent == nullptr` every cell runs the real
+/// emitter — that is the traced from-scratch build, byte-identical to
+/// build_compressor_tree. `record`, when non-null, captures this
+/// build's trace so the result can serve as a parent later.
+CtReplayResult replay_compressor_tree(LogicBuilder& lb,
+                                      const ct::CompressorTree& tree,
+                                      const ColumnSignals& columns,
+                                      const Netlist* parent,
+                                      const ct::CompressorTree* parent_tree,
+                                      const CtBuildTrace* parent_trace,
+                                      CtBuildTrace* record);
+
 }  // namespace rlmul::netlist

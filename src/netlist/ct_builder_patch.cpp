@@ -1,0 +1,321 @@
+// Parent-relative compressor-tree replay (delta evaluation). The replay
+// mirrors build_compressor_tree's FIFO emission loop exactly — same cell
+// order, same take() semantics, same emitter calls — but walks the
+// parent's recorded trace in lockstep and copies the gates of cells
+// whose inputs are positionally identical to the parent's instead of
+// re-deriving them. Bit-identity with the from-scratch builder is a
+// property-tested contract (tests/test_delta_eval.cpp).
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "netlist/ct_builder.hpp"
+
+namespace rlmul::netlist {
+
+namespace {
+
+/// FIFO take over twinned bits; mirrors the FIFO branch of the
+/// builder's take().
+std::vector<TwinnedSignal> take(std::vector<TwinnedSignal>& bits,
+                                std::size_t n) {
+  std::vector<TwinnedSignal> out;
+  out.assign(bits.begin(), bits.begin() + static_cast<std::ptrdiff_t>(n));
+  bits.erase(bits.begin(), bits.begin() + static_cast<std::ptrdiff_t>(n));
+  return out;
+}
+
+}  // namespace
+
+void copy_gate_region(Netlist& nl, const Netlist& parent, GateId begin,
+                      GateId end, std::vector<NetId>& net_map,
+                      std::vector<GateId>& gate_map) {
+  for (GateId pg = begin; pg < end; ++pg) {
+    const Gate& g = parent.gates()[static_cast<std::size_t>(pg)];
+    PinList ins;
+    for (NetId n : g.inputs) {
+      const NetId mapped = net_map[static_cast<std::size_t>(n)];
+      if (mapped == kNoNet) {
+        throw std::logic_error("copy_gate_region: unmapped input net");
+      }
+      ins.push_back(mapped);
+    }
+    const GateId cg = nl.add_gate(g.kind, ins);
+    const Gate& cgate = nl.gates()[static_cast<std::size_t>(cg)];
+    for (std::size_t o = 0; o < g.outputs.size(); ++o) {
+      net_map[static_cast<std::size_t>(g.outputs[o])] = cgate.outputs[o];
+    }
+    gate_map[static_cast<std::size_t>(pg)] = cg;
+  }
+}
+
+CtReplayResult replay_compressor_tree(LogicBuilder& lb,
+                                      const ct::CompressorTree& tree,
+                                      const ColumnSignals& columns,
+                                      const Netlist* parent,
+                                      const ct::CompressorTree* parent_tree,
+                                      const CtBuildTrace* parent_trace,
+                                      CtBuildTrace* record) {
+  Netlist& nl = lb.netlist();
+  const int cols = tree.columns();
+  if (static_cast<int>(columns.size()) != cols) {
+    throw std::invalid_argument("replay_compressor_tree: column count");
+  }
+  for (int j = 0; j < cols; ++j) {
+    if (static_cast<int>(columns[static_cast<std::size_t>(j)].size()) !=
+        tree.pp[static_cast<std::size_t>(j)]) {
+      throw std::invalid_argument(
+          "replay_compressor_tree: column height mismatch with tree.pp");
+    }
+  }
+  const bool have_parent =
+      parent != nullptr && parent_tree != nullptr && parent_trace != nullptr;
+  if (have_parent && parent_trace->cols != cols) {
+    throw std::invalid_argument("replay_compressor_tree: parent column count");
+  }
+
+  const ct::StageAssignment plan = ct::assign_stages(tree);
+  ct::StageAssignment pplan;
+  if (have_parent) pplan = ct::assign_stages(*parent_tree);
+
+  CtReplayResult res;
+  if (have_parent) {
+    res.net_map.assign(static_cast<std::size_t>(parent->num_nets()), kNoNet);
+    res.gate_map.assign(static_cast<std::size_t>(parent->num_gates()), -1);
+    // The child netlist starts as a verbatim clone of the parent's PPG
+    // region, so the map is the identity there.
+    for (std::int32_t n = 0; n < parent_trace->ppg_nets; ++n) {
+      res.net_map[static_cast<std::size_t>(n)] = n;
+    }
+    for (std::int32_t g = 0; g < parent_trace->ppg_gates; ++g) {
+      res.gate_map[static_cast<std::size_t>(g)] = g;
+    }
+  }
+  auto remap = [&res](Signal s) -> Signal {
+    if (s.is_const()) return s;
+    return Signal::of(res.net_map[static_cast<std::size_t>(s.net)]);
+  };
+
+  if (record != nullptr) {
+    record->ppg_columns = columns;
+    record->ppg_gates = nl.num_gates();
+    record->ppg_nets = nl.num_nets();
+    record->stages = plan.stages;
+    record->cols = cols;
+    record->cell_gate_begin.clear();
+    record->here_begin.clear();
+    record->left_begin.clear();
+    record->here.clear();
+    record->left.clear();
+  }
+
+  // Child queues carry twins; the parent's queues are simulated from
+  // the trace alongside (plain signals — the trace holds every push).
+  std::vector<std::vector<TwinnedSignal>> avail(
+      static_cast<std::size_t>(cols));
+  std::vector<std::vector<TwinnedSignal>> pending(
+      static_cast<std::size_t>(cols));
+  std::vector<std::vector<Signal>> pavail(static_cast<std::size_t>(cols));
+  std::vector<std::vector<Signal>> ppending(static_cast<std::size_t>(cols));
+  for (int j = 0; j < cols; ++j) {
+    for (const Signal& s : columns[static_cast<std::size_t>(j)]) {
+      // When a parent is present the child's PPG bits *are* the
+      // parent's (cloned region), so each seeds with itself as twin.
+      avail[static_cast<std::size_t>(j)].push_back({s, s, have_parent});
+    }
+    if (have_parent) {
+      for (const Signal& s :
+           parent_trace->ppg_columns[static_cast<std::size_t>(j)]) {
+        pavail[static_cast<std::size_t>(j)].push_back(s);
+      }
+    }
+  }
+
+  auto starved = []() -> std::logic_error {
+    return std::logic_error("CT build: stage plan starved a column");
+  };
+
+  const int pstages = have_parent ? pplan.stages : 0;
+  const int all_stages = std::max(plan.stages, pstages);
+  for (int s = 0; s < all_stages; ++s) {
+    for (int j = 0; j < cols; ++j) {
+      const bool top = (j + 1 == cols);
+      auto& bits = avail[static_cast<std::size_t>(j)];
+      auto& here = pending[static_cast<std::size_t>(j)];
+      auto& left = top ? here : pending[static_cast<std::size_t>(j) + 1];
+
+      int n42 = 0, n32 = 0, n22 = 0;
+      if (s < plan.stages) {
+        n42 = plan.t42[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)];
+        n32 = plan.t32[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)];
+        n22 = plan.t22[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)];
+      }
+      int pn42 = 0, pn32 = 0, pn22 = 0;
+      if (have_parent && s < pstages) {
+        pn42 =
+            pplan.t42[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)];
+        pn32 =
+            pplan.t32[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)];
+        pn22 =
+            pplan.t22[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)];
+      }
+      const std::size_t consumed =
+          static_cast<std::size_t>(4 * n42 + 3 * n32 + 2 * n22);
+      const std::size_t pconsumed =
+          static_cast<std::size_t>(4 * pn42 + 3 * pn32 + 2 * pn22);
+      auto& pbits = pavail[static_cast<std::size_t>(j)];
+      auto& phere = ppending[static_cast<std::size_t>(j)];
+      auto& pleft = top ? phere : ppending[static_cast<std::size_t>(j) + 1];
+
+      // Clean iff this cell compresses exactly like the parent's and
+      // every bit it is about to consume is the image of the bit the
+      // parent consumed at the same position. Constant-ness rides along
+      // (twins preserve it), so the folder's decisions match too.
+      bool clean = have_parent && s < pstages && n42 == pn42 && n32 == pn32 &&
+                   n22 == pn22 && bits.size() >= consumed &&
+                   pbits.size() >= pconsumed;
+      if (clean) {
+        for (std::size_t k = 0; k < consumed; ++k) {
+          if (!bits[k].has_twin || !(bits[k].twin == pbits[k])) {
+            clean = false;
+            break;
+          }
+        }
+      }
+
+      const int gate_mark = nl.num_gates();
+      const std::size_t here_mark = here.size();
+      const std::size_t left_mark = top ? 0 : left.size();
+      if (record != nullptr && s < plan.stages) {
+        record->cell_gate_begin.push_back(gate_mark);
+        record->here_begin.push_back(
+            static_cast<std::int32_t>(record->here.size()));
+        record->left_begin.push_back(
+            static_cast<std::int32_t>(record->left.size()));
+      }
+
+      if (clean) {
+        const std::size_t pc = static_cast<std::size_t>(s * cols + j);
+        const GateId pgb = parent_trace->cell_gate_begin[pc];
+        const GateId pge = parent_trace->cell_gate_begin[pc + 1];
+        copy_gate_region(nl, *parent, pgb, pge, res.net_map, res.gate_map);
+        res.copied_gates += pge - pgb;
+        bits.erase(bits.begin(),
+                   bits.begin() + static_cast<std::ptrdiff_t>(consumed));
+        for (std::int32_t k = parent_trace->here_begin[pc];
+             k < parent_trace->here_begin[pc + 1]; ++k) {
+          const Signal psig = parent_trace->here[static_cast<std::size_t>(k)];
+          here.push_back({remap(psig), psig, true});
+        }
+        for (std::int32_t k = parent_trace->left_begin[pc];
+             k < parent_trace->left_begin[pc + 1]; ++k) {
+          const Signal psig = parent_trace->left[static_cast<std::size_t>(k)];
+          left.push_back({remap(psig), psig, true});
+        }
+      } else if (s < plan.stages) {
+        // Real emitter, exactly build_compressor_tree's FIFO loop.
+        for (int k = 0; k < n42; ++k) {
+          if (bits.size() < 4) throw starved();
+          const auto in = take(bits, 4);
+          if (top) {
+            here.push_back({lb.xor2(lb.xor3(in[0].sig, in[1].sig, in[2].sig),
+                                    in[3].sig),
+                            Signal{}, false});
+          } else {
+            const auto c42 =
+                lb.compress42(in[0].sig, in[1].sig, in[2].sig, in[3].sig);
+            here.push_back({c42.sum, Signal{}, false});
+            left.push_back({c42.carry1, Signal{}, false});
+            left.push_back({c42.carry2, Signal{}, false});
+          }
+        }
+        for (int k = 0; k < n32; ++k) {
+          if (bits.size() < 3) throw starved();
+          const auto in = take(bits, 3);
+          if (top) {
+            here.push_back(
+                {lb.xor3(in[0].sig, in[1].sig, in[2].sig), Signal{}, false});
+          } else {
+            const auto fa = lb.full_add(in[0].sig, in[1].sig, in[2].sig);
+            here.push_back({fa.sum, Signal{}, false});
+            left.push_back({fa.carry, Signal{}, false});
+          }
+        }
+        for (int k = 0; k < n22; ++k) {
+          if (bits.size() < 2) throw starved();
+          const auto in = take(bits, 2);
+          if (top) {
+            here.push_back({lb.xor2(in[0].sig, in[1].sig), Signal{}, false});
+          } else {
+            const auto ha = lb.half_add(in[0].sig, in[1].sig);
+            here.push_back({ha.sum, Signal{}, false});
+            left.push_back({ha.carry, Signal{}, false});
+          }
+        }
+        res.fresh_gates += nl.num_gates() - gate_mark;
+      }
+
+      // Advance the simulated parent queues whether or not the child
+      // cell was clean — later cells compare against the parent's true
+      // queue state.
+      if (have_parent && s < pstages) {
+        if (pbits.size() < pconsumed) {
+          throw std::logic_error("replay: parent trace starved a column");
+        }
+        pbits.erase(pbits.begin(),
+                    pbits.begin() + static_cast<std::ptrdiff_t>(pconsumed));
+        const std::size_t pc = static_cast<std::size_t>(s * cols + j);
+        for (std::int32_t k = parent_trace->here_begin[pc];
+             k < parent_trace->here_begin[pc + 1]; ++k) {
+          phere.push_back(parent_trace->here[static_cast<std::size_t>(k)]);
+        }
+        for (std::int32_t k = parent_trace->left_begin[pc];
+             k < parent_trace->left_begin[pc + 1]; ++k) {
+          pleft.push_back(parent_trace->left[static_cast<std::size_t>(k)]);
+        }
+      }
+
+      if (record != nullptr && s < plan.stages) {
+        for (std::size_t k = here_mark; k < here.size(); ++k) {
+          record->here.push_back(here[k].sig);
+        }
+        if (!top) {
+          for (std::size_t k = left_mark; k < left.size(); ++k) {
+            record->left.push_back(left[k].sig);
+          }
+        }
+      }
+    }
+    // Stage boundary for both builds.
+    for (int j = 0; j < cols; ++j) {
+      auto& p = pending[static_cast<std::size_t>(j)];
+      auto& a = avail[static_cast<std::size_t>(j)];
+      a.insert(a.end(), p.begin(), p.end());
+      p.clear();
+      auto& pp = ppending[static_cast<std::size_t>(j)];
+      auto& pa = pavail[static_cast<std::size_t>(j)];
+      pa.insert(pa.end(), pp.begin(), pp.end());
+      pp.clear();
+    }
+  }
+  if (record != nullptr) {
+    record->cell_gate_begin.push_back(nl.num_gates());
+    record->here_begin.push_back(
+        static_cast<std::int32_t>(record->here.size()));
+    record->left_begin.push_back(
+        static_cast<std::int32_t>(record->left.size()));
+  }
+
+  res.rows.resize(static_cast<std::size_t>(cols));
+  for (int j = 0; j < cols; ++j) {
+    auto& bits = avail[static_cast<std::size_t>(j)];
+    if (static_cast<int>(bits.size()) != std::max(tree.final_height(j), 0)) {
+      throw std::logic_error("CT build: final height mismatch");
+    }
+    res.rows[static_cast<std::size_t>(j)] = std::move(bits);
+  }
+  return res;
+}
+
+}  // namespace rlmul::netlist

@@ -135,6 +135,30 @@ NetId Netlist::tie_hi() {
   return tie_hi_;
 }
 
+Netlist Netlist::clone_head(int head_gates, int head_nets) const {
+  if (head_gates > num_gates() || head_nets > next_net_) {
+    throw std::invalid_argument("clone_head: region exceeds netlist");
+  }
+  Netlist out;
+  out.next_net_ = head_nets;
+  out.gates_.assign(gates_.begin(), gates_.begin() + head_gates);
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    if (inputs_[i] < head_nets) {
+      out.inputs_.push_back(inputs_[i]);
+      out.input_names_.push_back(input_names_[i]);
+    }
+  }
+  for (std::size_t i = 0; i < outputs_.size(); ++i) {
+    if (outputs_[i] < head_nets) {
+      out.outputs_.push_back(outputs_[i]);
+      out.output_names_.push_back(output_names_[i]);
+    }
+  }
+  if (tie_lo_ != kNoNet && tie_lo_ < head_nets) out.tie_lo_ = tie_lo_;
+  if (tie_hi_ != kNoNet && tie_hi_ < head_nets) out.tie_hi_ = tie_hi_;
+  return out;
+}
+
 std::vector<GateId> Netlist::driver_gate() const {
   std::vector<GateId> drv(static_cast<std::size_t>(next_net_), -1);
   for (GateId g = 0; g < num_gates(); ++g) {

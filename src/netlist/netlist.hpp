@@ -121,6 +121,28 @@ class Netlist {
   NetId tie_lo();
   NetId tie_hi();
 
+  /// Non-allocating views of the tie nets: kNoNet when the constant has
+  /// not been materialized. The delta path uses these to mirror a
+  /// parent's tie cells onto a patched child without creating new ones.
+  NetId tie_lo_net() const { return tie_lo_; }
+  NetId tie_hi_net() const { return tie_hi_; }
+
+  /// Installs pre-existing tie nets (gates already copied into this
+  /// netlist) so later materialize() calls reuse them — exactly what a
+  /// from-scratch build would have cached. Delta-evaluation only.
+  void adopt_ties(NetId lo, NetId hi) {
+    tie_lo_ = lo;
+    tie_hi_ = hi;
+  }
+
+  /// Prefix copy: the first `num_gates` gates and `num_nets` nets of
+  /// this netlist, with primary inputs (and any outputs / tie nets that
+  /// fall inside the region) carried over. Because builders append
+  /// strictly (gates and nets are never renumbered), the head of a
+  /// netlist is itself a valid netlist — the delta path clones a
+  /// parent's PPG region this way instead of re-deriving it.
+  Netlist clone_head(int num_gates, int num_nets) const;
+
   int num_nets() const { return next_net_; }
   int num_gates() const { return static_cast<int>(gates_.size()); }
   const std::vector<Gate>& gates() const { return gates_; }

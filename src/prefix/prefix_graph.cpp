@@ -361,4 +361,27 @@ Matrix apply_move(Matrix m, const Move& mv) {
   return m;
 }
 
+GraphDelta diff_graphs(const PrefixGraph& a, const PrefixGraph& b) {
+  GraphDelta d;
+  d.identical = a == b;
+  if (d.identical) return d;
+  if (a.width != b.width) {
+    const int w = std::max(a.width, b.width);
+    for (int j = 0; j < w; ++j) d.changed_outputs.push_back(j);
+    return d;
+  }
+  const Matrix ma = matrix_of(a);
+  const Matrix mb = matrix_of(b);
+  const int rows = std::max(ma.rows, mb.rows);
+  for (int j = 0; j < a.width; ++j) {
+    for (int r = 0; r < rows; ++r) {
+      if (ma.at(r, j) != mb.at(r, j)) {
+        d.changed_outputs.push_back(j);
+        break;
+      }
+    }
+  }
+  return d;
+}
+
 }  // namespace rlmul::prefix

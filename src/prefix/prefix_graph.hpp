@@ -61,6 +61,19 @@ struct PrefixGraph {
 /// exactly-abutting spans, and outputs[j] covers [0..j] for every bit.
 bool valid(const PrefixGraph& g, std::string* why = nullptr);
 
+/// Structural diff between two prefix graphs, driving the delta
+/// evaluator: `identical` (equal node/output lists, hence — per the
+/// emission-order contract above — gate-identical netlists) is the
+/// precondition for copying a parent's pinned-CPA region wholesale.
+struct GraphDelta {
+  bool identical = false;
+  /// Output bits whose canonical occupancy-matrix row differs (all bits
+  /// when the widths differ). Diagnostic / cone statistics only.
+  std::vector<int> changed_outputs;
+};
+
+GraphDelta diff_graphs(const PrefixGraph& a, const PrefixGraph& b);
+
 /// Operator depth feeding outputs[j] (0 where the output is a leaf).
 /// The RL env's prefix state channel encodes this level map.
 std::vector<int> output_levels(const PrefixGraph& g);

@@ -207,6 +207,10 @@ std::vector<std::uint8_t> MultiplierEnv::mask() const {
 }
 
 MultiplierEnv::StepResult MultiplierEnv::step(int action_index) {
+  // The pre-move state is the new state's delta parent: one action
+  // separates them, which is exactly the trajectory shape the
+  // evaluator's parent LRU retains states for.
+  synth::ParentHint parent{point_.key(evaluator_.spec())};
   const int base = num_ct_actions();
   const int width = point_.tree.columns();
   const int prefix_actions = cfg_.search_cpa ? cfg_.prefix_levels * width : 0;
@@ -242,7 +246,7 @@ MultiplierEnv::StepResult MultiplierEnv::step(int action_index) {
   } else {
     throw std::invalid_argument("MultiplierEnv::step: illegal action");
   }
-  const double new_cost = cost_of(point_);
+  const double new_cost = cost_of(point_, parent);
   StepResult out;
   out.reward = cost_ - new_cost;  // Equation (10)
   out.cost = new_cost;
@@ -261,8 +265,9 @@ void MultiplierEnv::restore(const State& st) {
   best_cost_ = st.best_cost;
 }
 
-double MultiplierEnv::cost_of(const ppg::DesignPoint& point) {
-  return evaluator_.cost(evaluator_.evaluate(point), cfg_.w_area,
+double MultiplierEnv::cost_of(const ppg::DesignPoint& point,
+                              const synth::ParentHint& hint) {
+  return evaluator_.cost(evaluator_.evaluate(point, hint), cfg_.w_area,
                          cfg_.w_delay);
 }
 

@@ -129,7 +129,11 @@ class MultiplierEnv {
   void restore(const State& st);
 
  private:
-  double cost_of(const ppg::DesignPoint& point);
+  /// `hint` names the state the point was derived from (its evaluation
+  /// key) so the evaluator can synthesize it as a delta off the
+  /// retained parent; empty on reset/scratch evaluations.
+  double cost_of(const ppg::DesignPoint& point,
+                 const synth::ParentHint& hint = {});
 
   synth::DesignEvaluator& evaluator_;
   EnvConfig cfg_;

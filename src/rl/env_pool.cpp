@@ -56,7 +56,9 @@ std::vector<EnvPool::StepOutcome> EnvPool::step_all(
     // batch before the env tasks run. The tasks then resolve from the
     // cache, so rewards and env trajectories are unchanged — the
     // synthesis just happened in shared sweeps instead of N separate
-    // drains racing on the evaluator queue.
+    // drains racing on the evaluator queue. (With batching off, each
+    // env task instead evaluates through step()'s parent hint, so the
+    // pool's concurrent children delta off their retained parents.)
     std::vector<ct::CompressorTree> next;
     next.reserve(envs_.size());
     for (std::size_t e = 0; e < envs_.size(); ++e) {

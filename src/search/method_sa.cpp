@@ -180,7 +180,11 @@ bool SaMethod::step(Context& ctx) {
           apply_joint_action(current_, static_cast<int>(pick), cfg_, spec));
     }
     if (candidates.empty()) return false;  // no legal move at all
-    const auto evals = ctx.evaluator().evaluate_batch(candidates);
+    // Every proposal is one move off the current state, so they all
+    // share it as their delta parent.
+    const std::vector<synth::ParentHint> hints(
+        candidates.size(), synth::ParentHint{current_.key(spec)});
+    const auto evals = ctx.evaluator().evaluate_batch(candidates, hints);
     std::size_t best = 0;
     double best_cost =
         ctx.evaluator().cost(evals[0], cfg_.w_area, cfg_.w_delay);
@@ -211,7 +215,9 @@ bool SaMethod::step(Context& ctx) {
   const ppg::DesignPoint candidate =
       apply_joint_action(current_, static_cast<int>(pick), cfg_, spec);
   const double cand_cost = ctx.evaluator().cost(
-      ctx.evaluator().evaluate(candidate), cfg_.w_area, cfg_.w_delay);
+      ctx.evaluator().evaluate(candidate,
+                               synth::ParentHint{current_.key(spec)}),
+      cfg_.w_area, cfg_.w_delay);
 
   const double delta = cand_cost - current_cost_;
   if (delta <= 0.0 || rng_.next_double() < std::exp(-delta / temp_)) {

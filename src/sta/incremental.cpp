@@ -1,5 +1,7 @@
 #include <algorithm>
+#include <bit>
 #include <queue>
+#include <stdexcept>
 
 #include "sta/sta.hpp"
 #include "util/perf_counters.hpp"
@@ -67,6 +69,47 @@ IncrementalTimer::IncrementalTimer(const Netlist& nl, const CellLibrary& lib,
     : nl_(nl), lib_(lib), graph_(std::move(graph)) {
   if (!graph_) graph_ = TimingGraph::build(nl_, lib_);
   full_update();
+}
+
+IncrementalTimer::IncrementalTimer(const Netlist& nl, const CellLibrary& lib,
+                                   std::shared_ptr<const TimingGraph> graph,
+                                   TimingState state)
+    : nl_(nl),
+      lib_(lib),
+      graph_(std::move(graph)),
+      load_ff_(std::move(state.load_ff)),
+      arrival_ps_(std::move(state.arrival_ps)),
+      prev_(std::move(state.prev)),
+      prev_in_(std::move(state.prev_in)),
+      max_po_arrival_ps_(state.max_po_arrival_ps),
+      min_clock_period_ps_(state.min_clock_period_ps),
+      critical_ps_(state.critical_ps),
+      worst_endpoint_(state.worst_endpoint) {
+  if (!graph_) graph_ = TimingGraph::build(nl_, lib_);
+  if (load_ff_.size() != static_cast<std::size_t>(nl_.num_nets()) ||
+      arrival_ps_.size() != load_ff_.size() ||
+      prev_.size() != load_ff_.size() || prev_in_.size() != nl_.gates().size()) {
+    throw std::invalid_argument("IncrementalTimer: adopted state size mismatch");
+  }
+  enable_fast_worklist();
+}
+
+TimingState IncrementalTimer::snapshot() const {
+  TimingState s;
+  s.load_ff = load_ff_;
+  s.arrival_ps = arrival_ps_;
+  s.prev = prev_;
+  s.prev_in = prev_in_;
+  s.max_po_arrival_ps = max_po_arrival_ps_;
+  s.min_clock_period_ps = min_clock_period_ps_;
+  s.critical_ps = critical_ps_;
+  s.worst_endpoint = worst_endpoint_;
+  return s;
+}
+
+void IncrementalTimer::enable_fast_worklist() {
+  fast_worklist_ = true;
+  dirty_.assign((nl_.gates().size() + 63) / 64, 0);
 }
 
 double IncrementalTimer::recompute_load(NetId n) const {
@@ -180,6 +223,10 @@ void IncrementalTimer::full_update() {
 }
 
 void IncrementalTimer::update(const std::vector<GateId>& resized) {
+  if (fast_worklist_) {
+    update_flat(resized);
+    return;
+  }
   auto& counters = util::perf_counters();
   counters.sta_incremental_updates.fetch_add(1, std::memory_order_relaxed);
 
@@ -229,6 +276,91 @@ void IncrementalTimer::update(const std::vector<GateId>& resized) {
     }
   }
   counters.sta_gates_retimed.fetch_add(retimed, std::memory_order_relaxed);
+  refresh_endpoints();
+}
+
+std::uint64_t IncrementalTimer::drain_dirty(std::size_t min_word) {
+  // Scan the bitset in ascending topological order, consuming bits as we
+  // go. Propagation only ever marks strictly larger positions (fanout
+  // gates sit later in topo order), so nothing appears behind the
+  // cursor and one forward sweep retimes every affected gate exactly
+  // once — the same pop order, with the same set-semantics dedup, as
+  // the heap path.
+  std::uint64_t retimed = 0;
+  for (std::size_t w = min_word; w < dirty_.size(); ++w) {
+    while (dirty_[w] != 0) {
+      const int b = std::countr_zero(dirty_[w]);
+      dirty_[w] &= dirty_[w] - 1;
+      const GateId g = graph_->topo[(w << 6) + static_cast<std::size_t>(b)];
+      ++retimed;
+      changed_scratch_.clear();
+      retime_gate(g, &changed_scratch_);
+      for (NetId n : changed_scratch_) {
+        const std::int32_t lo = graph_->fo_base[static_cast<std::size_t>(n)];
+        const std::int32_t hi =
+            graph_->fo_base[static_cast<std::size_t>(n) + 1];
+        for (std::int32_t k = lo; k < hi; ++k) {
+          const GateId fo = graph_->fo_gate[static_cast<std::size_t>(k)];
+          const std::size_t p =
+              static_cast<std::size_t>(graph_->topo_pos[
+                  static_cast<std::size_t>(fo)]);
+          dirty_[p >> 6] |= std::uint64_t{1} << (p & 63);
+        }
+      }
+    }
+  }
+  return retimed;
+}
+
+void IncrementalTimer::update_flat(const std::vector<GateId>& resized) {
+  auto& counters = util::perf_counters();
+  counters.sta_incremental_updates.fetch_add(1, std::memory_order_relaxed);
+  std::size_t min_word = dirty_.size();
+  auto mark = [&](GateId g) {
+    const std::size_t p =
+        static_cast<std::size_t>(graph_->topo_pos[static_cast<std::size_t>(g)]);
+    dirty_[p >> 6] |= std::uint64_t{1} << (p & 63);
+    if ((p >> 6) < min_word) min_word = p >> 6;
+  };
+  for (GateId g : resized) {
+    for (NetId n : nl_.gates()[static_cast<std::size_t>(g)].inputs) {
+      const double load = recompute_load(n);
+      if (load != load_ff_[static_cast<std::size_t>(n)]) {
+        load_ff_[static_cast<std::size_t>(n)] = load;
+        const GateId drv = graph_->driver[static_cast<std::size_t>(n)];
+        if (drv >= 0) mark(drv);
+      }
+    }
+    mark(g);
+  }
+  counters.sta_gates_retimed.fetch_add(drain_dirty(min_word),
+                                       std::memory_order_relaxed);
+  refresh_endpoints();
+}
+
+void IncrementalTimer::warm_update(const std::vector<NetId>& dirty_nets,
+                                   const std::vector<GateId>& dirty_gates) {
+  if (!fast_worklist_) enable_fast_worklist();
+  auto& counters = util::perf_counters();
+  counters.sta_incremental_updates.fetch_add(1, std::memory_order_relaxed);
+  std::size_t min_word = dirty_.size();
+  auto mark = [&](GateId g) {
+    const std::size_t p =
+        static_cast<std::size_t>(graph_->topo_pos[static_cast<std::size_t>(g)]);
+    dirty_[p >> 6] |= std::uint64_t{1} << (p & 63);
+    if ((p >> 6) < min_word) min_word = p >> 6;
+  };
+  for (NetId n : dirty_nets) {
+    const double load = recompute_load(n);
+    if (load != load_ff_[static_cast<std::size_t>(n)]) {
+      load_ff_[static_cast<std::size_t>(n)] = load;
+      const GateId drv = graph_->driver[static_cast<std::size_t>(n)];
+      if (drv >= 0) mark(drv);
+    }
+  }
+  for (GateId g : dirty_gates) mark(g);
+  counters.sta_gates_retimed.fetch_add(drain_dirty(min_word),
+                                       std::memory_order_relaxed);
   refresh_endpoints();
 }
 

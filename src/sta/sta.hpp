@@ -77,6 +77,24 @@ struct TimingGraph {
       const netlist::Netlist& nl, const netlist::CellLibrary& lib);
 };
 
+/// A converged timing fixpoint, detachable from the timer that computed
+/// it. The delta-evaluation path snapshots the variants-at-0 baseline of
+/// a parent design, maps it onto a structurally-patched child, and
+/// re-adopts it — so the child never pays a full update for the part of
+/// the cone the parent already timed. Adopting a snapshot of a converged
+/// timer is bit-identical to running full_update() from scratch (a copy
+/// of a fixpoint is the fixpoint).
+struct TimingState {
+  std::vector<double> load_ff;
+  std::vector<double> arrival_ps;
+  std::vector<netlist::GateId> prev;    ///< per net; -1 = source
+  std::vector<netlist::NetId> prev_in;  ///< per gate; kNoNet = none
+  double max_po_arrival_ps = 0.0;
+  double min_clock_period_ps = 0.0;
+  double critical_ps = 0.0;
+  netlist::NetId worst_endpoint = netlist::kNoNet;
+};
+
 /// Worklist-based incremental timing over a netlist whose gate
 /// *variants* change (the only mutation gate sizing performs). After
 /// `update({changed gates})`, arrival times, loads, the critical delay
@@ -92,6 +110,18 @@ class IncrementalTimer {
                    const netlist::CellLibrary& lib,
                    std::shared_ptr<const TimingGraph> graph = nullptr);
 
+  /// Adopting constructor: trusts `state` to be the converged fixpoint
+  /// for (`nl`, `lib`) and runs NO full update. Callers either pass a
+  /// snapshot() of a timer over an identical netlist, or a parent-mapped
+  /// state they immediately reconcile with warm_update().
+  IncrementalTimer(const netlist::Netlist& nl,
+                   const netlist::CellLibrary& lib,
+                   std::shared_ptr<const TimingGraph> graph,
+                   TimingState state);
+
+  /// Detaches a copy of the current (converged) timing state.
+  TimingState snapshot() const;
+
   /// Recomputes every load and arrival from scratch (counts as a full
   /// STA update). Required after bulk variant edits, e.g. the reset to
   /// variant 0 at the start of sizing.
@@ -101,6 +131,25 @@ class IncrementalTimer {
   /// recomputes the loads of their fanin nets and walks arrivals only
   /// through the affected downstream cone.
   void update(const std::vector<netlist::GateId>& resized);
+
+  /// Switches update() to the flat bitmap worklist: a persistent bitset
+  /// over topological positions scanned with count-trailing-zeros
+  /// instead of a per-call priority queue + membership vector. Gates
+  /// still pop in strictly ascending topological order with set
+  /// semantics, so the retime sequence — and every double it produces —
+  /// is identical to the heap path; only the allocation and heap
+  /// traffic goes away. Opt-in so the legacy path stays byte-for-byte
+  /// what it was.
+  void enable_fast_worklist();
+
+  /// Reconciles an adopted parent-mapped state with this netlist:
+  /// recomputes the loads of `dirty_nets` (seeding drivers whose load
+  /// changed), seeds `dirty_gates` (gates with no parent image), and
+  /// re-propagates arrivals through the affected cone only. With a
+  /// complete dirty set this converges to the same fixpoint —
+  /// bit-identical per double — as full_update() from scratch.
+  void warm_update(const std::vector<netlist::NetId>& dirty_nets,
+                   const std::vector<netlist::GateId>& dirty_gates);
 
   double critical_ps() const { return critical_ps_; }
   double max_po_arrival_ps() const { return max_po_arrival_ps_; }
@@ -121,6 +170,10 @@ class IncrementalTimer {
   /// changed.
   bool retime_gate(netlist::GateId g, std::vector<netlist::NetId>* changed);
   void refresh_endpoints();
+  void update_flat(const std::vector<netlist::GateId>& resized);
+  /// Propagates arrivals from whatever is marked in dirty_, starting the
+  /// scan at `min_word`; returns gates retimed. dirty_ is self-clearing.
+  std::uint64_t drain_dirty(std::size_t min_word);
 
   const netlist::Netlist& nl_;
   const netlist::CellLibrary& lib_;
@@ -137,6 +190,13 @@ class IncrementalTimer {
   double min_clock_period_ps_ = 0.0;
   double critical_ps_ = 0.0;
   netlist::NetId worst_endpoint_ = netlist::kNoNet;
+
+  /// Flat-worklist mode (enable_fast_worklist / warm_update): one bit
+  /// per topological position; set bits are pending retimes. Cleared
+  /// word-by-word as the scan consumes them, so no reset between calls.
+  bool fast_worklist_ = false;
+  std::vector<std::uint64_t> dirty_;
+  std::vector<netlist::NetId> changed_scratch_;
 };
 
 }  // namespace rlmul::sta

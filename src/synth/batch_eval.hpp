@@ -1,9 +1,13 @@
 #pragma once
 // Batched design evaluation: K candidate designs flow through the
 // reward oracle as one pipeline instead of K independent synthesis
-// calls. Each design still prepares its own PPG + compressor-tree
-// prefix (designs have different netlists, so there is no cross-design
-// striding), but within a design all delay targets are sized together
+// calls. Each design in a batch still prepares its own PPG +
+// compressor-tree prefix — lanes stride over targets, not designs, so
+// the batch pipeline never shares structure across designs. (Sharing
+// across designs is the per-call delta path's job: a ParentHint lets
+// PreparedDesign clone a retained parent's netlist regions and rebuild
+// only the changed cone. The two optimizations are disjoint — hints
+// are ignored here.) Within a design all delay targets are sized together
 // as lanes of one sta::BatchTimer per CPA architecture: one flattened
 // netlist structure, one full timing pass broadcast to every lane, and
 // masked strided sweeps instead of per-target netlist copies and

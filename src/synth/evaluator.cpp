@@ -58,6 +58,12 @@ DesignEvaluator::DesignEvaluator(ppg::MultiplierSpec spec,
     bopts.verify_vectors = opts_.verify_vectors;
     batch_eval_ = std::make_unique<BatchEvaluator>(spec_, targets_, bopts);
   }
+  // Delta evaluation rides the per-call prepared-design path; it needs
+  // the fast path and a non-empty parent budget.
+  delta_ = fast_path_ && util::env_long("RLMUL_DELTA_EVAL", 1) != 0;
+  const long pcap = util::env_long("RLMUL_DELTA_PARENTS", 16);
+  parents_cap_ = pcap > 0 ? static_cast<std::size_t>(pcap) : 0;
+  if (parents_cap_ == 0) delta_ = false;
   const DesignEval ref = evaluate(ppg::initial_tree(spec_));
   ref_area_ = ref.sum_area > 0.0 ? ref.sum_area : 1.0;
   ref_delay_ = ref.sum_delay > 0.0 ? ref.sum_delay : 1.0;
@@ -65,8 +71,91 @@ DesignEvaluator::DesignEvaluator(ppg::MultiplierSpec spec,
 
 DesignEvaluator::~DesignEvaluator() = default;
 
+std::shared_ptr<const PreparedDesign> DesignEvaluator::parent_get(
+    const std::string& key) const {
+  if (key.empty()) return nullptr;
+  util::LockGuard lock(parents_mu_);
+  auto it = parents_.find(key);
+  if (it == parents_.end()) return nullptr;
+  it->second.tick = ++parents_tick_;
+  return it->second.prep;
+}
+
+void DesignEvaluator::parent_put(
+    const std::string& key, std::shared_ptr<const PreparedDesign> prep) const {
+  util::LockGuard lock(parents_mu_);
+  auto [it, inserted] = parents_.try_emplace(key);
+  it->second.prep = std::move(prep);
+  it->second.tick = ++parents_tick_;
+  if (parents_.size() > parents_cap_) {
+    auto victim = parents_.begin();
+    for (auto cur = parents_.begin(); cur != parents_.end(); ++cur) {
+      if (cur->second.tick < victim->second.tick) victim = cur;
+    }
+    parents_.erase(victim);
+  }
+}
+
+DesignEval DesignEvaluator::run_delta(
+    const std::shared_ptr<PreparedDesign>& prep,
+    const ppg::MultiplierSpec& resolved, const std::string& key,
+    const ParentHint& hint) const {
+  if (opts_.verify_functionality) {
+    // Same equivalence gate as the scratch paths, on menu entry 0.
+    const auto& nl = prep->netlist_at(0);
+    util::Rng rng(0x5EC5EC ^ std::hash<std::string>{}(key));
+    const auto rep = sim::check_equivalence(nl, resolved, rng, 1 << 16,
+                                            opts_.verify_vectors);
+    if (!rep.equivalent) {
+      std::ostringstream msg;
+      msg << "DesignEvaluator: functional mismatch (a=" << rep.a
+          << ", b=" << rep.b << ", acc=" << rep.acc << ", got=" << rep.got
+          << ", expect=" << rep.expect << ")";
+      throw std::runtime_error(msg.str());
+    }
+  }
+  std::vector<SynthesisResult> results;
+  if (opts_.parallel_targets && targets_.size() > 1) {
+    std::vector<std::future<SynthesisResult>> futs;
+    futs.reserve(targets_.size());
+    for (double target : targets_) {
+      futs.push_back(
+          pool_->submit([prep, target] { return prep->synthesize(target); }));
+    }
+    for (auto& f : futs) f.wait();
+    for (auto& f : futs) results.push_back(f.get());
+  } else {
+    for (double target : targets_) results.push_back(prep->synthesize(target));
+  }
+  auto& counters = util::perf_counters();
+  if (prep->used_parent()) {
+    counters.eval_delta_hits.fetch_add(1, std::memory_order_relaxed);
+  } else if (!hint.key.empty()) {
+    counters.eval_delta_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Seal (forces every menu entry, drops the parent chain) before
+  // publication, so concurrent children of this design only ever read
+  // immutable state.
+  prep->seal_for_retention();
+  parent_put(key, prep);
+  DesignEval eval;
+  for (const SynthesisResult& res : results) {
+    eval.sum_area += res.area_um2;
+    eval.sum_delay += res.delay_ns;
+    eval.sum_power += res.power_mw;
+    eval.per_target.push_back(res);
+  }
+  return eval;
+}
+
 DesignEval DesignEvaluator::compute(const ct::CompressorTree& tree,
-                                    const std::string& key) const {
+                                    const std::string& key,
+                                    const ParentHint& hint) const {
+  if (fast_path_ && delta_) {
+    auto prep = std::make_shared<PreparedDesign>(
+        PreparedDesign::DeltaMode{}, spec_, tree, parent_get(hint.key));
+    return run_delta(prep, spec_, key, hint);
+  }
   DesignEval eval;
   std::vector<SynthesisResult> results;
 
@@ -136,12 +225,25 @@ DesignEval DesignEvaluator::compute(const ct::CompressorTree& tree,
 }
 
 DesignEval DesignEvaluator::compute_point(const ppg::DesignPoint& point,
-                                          const std::string& key) const {
+                                          const std::string& key,
+                                          const ParentHint& hint) const {
   // Extended points always take the prepared-design path: a pinned CPA
   // has no legacy pipeline, and a PPG toggle resolves to the same flow
   // under the toggled spec. Menu points with only a PPG change walk
   // the same kAllCpaKinds sweep the tree path does.
   const ppg::MultiplierSpec resolved = point.resolved_spec(spec_);
+  if (fast_path_ && delta_) {
+    auto parent = parent_get(hint.key);
+    auto prep =
+        point.cpa_pinned()
+            ? std::make_shared<PreparedDesign>(PreparedDesign::DeltaMode{},
+                                               resolved, point.tree, point.cpa,
+                                               std::move(parent))
+            : std::make_shared<PreparedDesign>(PreparedDesign::DeltaMode{},
+                                               resolved, point.tree,
+                                               std::move(parent));
+    return run_delta(prep, resolved, key, hint);
+  }
   DesignEval eval;
   std::vector<SynthesisResult> results;
 
@@ -216,7 +318,8 @@ std::size_t DesignEvaluator::install_locked(const std::string& key,
   return it->second;
 }
 
-DesignEval DesignEvaluator::evaluate(const ct::CompressorTree& tree) {
+DesignEval DesignEvaluator::evaluate(const ct::CompressorTree& tree,
+                                     const ParentHint& hint) {
   if (batch_ > 1) return evaluate_batched(tree);
 
   const std::string key = tree.key();
@@ -269,7 +372,7 @@ DesignEval DesignEvaluator::evaluate(const ct::CompressorTree& tree) {
   // Synthesize outside the lock so workers on *different* trees overlap.
   DesignEval eval;
   try {
-    eval = compute(tree, key);
+    eval = compute(tree, key, hint);
   } catch (...) {
     util::LockGuard lock(mu_);
     in_flight_.erase(key);
@@ -301,17 +404,19 @@ DesignEval DesignEvaluator::evaluate(const ct::CompressorTree& tree) {
   return eval_of(idx);
 }
 
-DesignEval DesignEvaluator::evaluate(const ppg::DesignPoint& point) {
+DesignEval DesignEvaluator::evaluate(const ppg::DesignPoint& point,
+                                     const ParentHint& hint) {
   if (point.ppg == spec_.ppg && !point.cpa_pinned()) {
     // Plain point: exactly the tree contract — same keys, same
     // batching/coalescing, bit-identical results and accounting.
-    return evaluate(point.tree);
+    return evaluate(point.tree, hint);
   }
-  return evaluate_point_uncoalesced(point, point.key(spec_));
+  return evaluate_point_uncoalesced(point, point.key(spec_), hint);
 }
 
 DesignEval DesignEvaluator::evaluate_point_uncoalesced(
-    const ppg::DesignPoint& point, const std::string& key) {
+    const ppg::DesignPoint& point, const std::string& key,
+    const ParentHint& hint) {
   // Extended points never enter the pending_/drain machinery (the SoA
   // batch pipeline is built per spec and per menu); they run the
   // per-call flow with the same in-flight dedup on the extended key.
@@ -357,7 +462,7 @@ DesignEval DesignEvaluator::evaluate_point_uncoalesced(
 
   DesignEval eval;
   try {
-    eval = compute_point(point, key);
+    eval = compute_point(point, key, hint);
   } catch (...) {
     util::LockGuard lock(mu_);
     in_flight_.erase(key);
@@ -632,6 +737,21 @@ std::vector<DesignEval> DesignEvaluator::evaluate_batch(
 }
 
 std::vector<DesignEval> DesignEvaluator::evaluate_batch(
+    const std::vector<ct::CompressorTree>& trees,
+    const std::vector<ParentHint>& hints) {
+  // Hints only matter on the per-call path; batched dispatches draw
+  // their speed from SoA lane packing instead.
+  if (batch_ > 1 || hints.empty()) return evaluate_batch(trees);
+  std::vector<DesignEval> out;
+  out.reserve(trees.size());
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    out.push_back(
+        evaluate(trees[i], i < hints.size() ? hints[i] : ParentHint{}));
+  }
+  return out;
+}
+
+std::vector<DesignEval> DesignEvaluator::evaluate_batch(
     const std::vector<ppg::DesignPoint>& points) {
   // Plain points coalesce through the tree batch path (one bulk call
   // keeps the SoA batching effective); extended points evaluate per
@@ -656,6 +776,49 @@ std::vector<DesignEval> DesignEvaluator::evaluate_batch(
       continue;
     }
     out[i] = evaluate_point_uncoalesced(points[i], points[i].key(spec_));
+  }
+  return out;
+}
+
+std::vector<DesignEval> DesignEvaluator::evaluate_batch(
+    const std::vector<ppg::DesignPoint>& points,
+    const std::vector<ParentHint>& hints) {
+  if (hints.empty()) return evaluate_batch(points);
+  auto hint_at = [&](std::size_t i) {
+    return i < hints.size() ? hints[i] : ParentHint{};
+  };
+  if (batch_ <= 1) {
+    std::vector<DesignEval> out;
+    out.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      out.push_back(evaluate(points[i], hint_at(i)));
+    }
+    return out;
+  }
+  // Batching on: plain points coalesce through the tree batch (their
+  // hints are moot there), extended points still use theirs — they
+  // always run per call.
+  std::vector<ct::CompressorTree> plain_trees;
+  std::vector<std::size_t> plain_pos;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].ppg == spec_.ppg && !points[i].cpa_pinned()) {
+      plain_trees.push_back(points[i].tree);
+      plain_pos.push_back(i);
+    }
+  }
+  std::vector<DesignEval> out(points.size());
+  const std::vector<DesignEval> plain = evaluate_batch(plain_trees);
+  for (std::size_t j = 0; j < plain_pos.size(); ++j) {
+    out[plain_pos[j]] = plain[j];
+  }
+  std::size_t next_plain = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (next_plain < plain_pos.size() && plain_pos[next_plain] == i) {
+      ++next_plain;
+      continue;
+    }
+    out[i] =
+        evaluate_point_uncoalesced(points[i], points[i].key(spec_), hint_at(i));
   }
   return out;
 }

@@ -119,6 +119,17 @@ struct EvaluatorOptions {
 
 class BatchEvaluator;
 
+/// Caller-supplied search-trajectory context for delta evaluation: the
+/// evaluation key (tree.key() / point.key(spec)) of the design the new
+/// one was derived from by a single move. An empty key means "no
+/// parent" (scratch evaluation). Purely an optimization hint — results
+/// are bit-identical with or without it, and a hint whose parent state
+/// was evicted or is incompatible just falls back to a scratch build
+/// (counted in eval_delta_fallbacks).
+struct ParentHint {
+  std::string key;
+};
+
 class DesignEvaluator {
  public:
   /// Empty `targets` selects default_targets(spec).
@@ -137,14 +148,26 @@ class DesignEvaluator {
   /// batching on, concurrent calls coalesce: the tree joins the
   /// pending queue and either this caller drains a batch or it waits
   /// for the drain that covers it.
-  DesignEval evaluate(const ct::CompressorTree& tree);
+  ///
+  /// `hint` names the design this one is a single move away from. On
+  /// the per-call path (batching off, or extended points) a retained
+  /// parent state lets synthesis rebuild only the changed cone and
+  /// warm-start timing — bit-identical results, much less work. The
+  /// batched SoA pipeline ignores hints (its throughput comes from
+  /// lane packing, and its designs are typically unrelated).
+  /// RLMUL_DELTA_EVAL=0 disables delta evaluation entirely (today's
+  /// pipeline, byte for byte); RLMUL_DELTA_PARENTS caps the retained
+  /// parent LRU (default 16).
+  DesignEval evaluate(const ct::CompressorTree& tree,
+                      const ParentHint& hint = {});
 
   /// Evaluates a full design point. A plain point (spec's PPG family,
   /// no pinned CPA) routes through evaluate(tree) — same keys, same
   /// batching, bit-identical results. PPG-toggled or CPA-pinned points
   /// use the per-call path under an extended cache key; `point.tree`
   /// must have been built against point.resolved_spec(spec()).
-  DesignEval evaluate(const ppg::DesignPoint& point);
+  DesignEval evaluate(const ppg::DesignPoint& point,
+                      const ParentHint& hint = {});
 
   /// Evaluates many trees at once (results in input order) — the bulk
   /// entry SA populations, EnvPool rollouts and warm-replay use so one
@@ -154,10 +177,27 @@ class DesignEvaluator {
   std::vector<DesignEval> evaluate_batch(
       const std::vector<ct::CompressorTree>& trees);
 
+  /// Bulk entry with per-design parent hints (`hints` empty or sized
+  /// like `trees`; missing/empty entries mean no parent). Hints only
+  /// take effect when batching is off — see evaluate().
+  std::vector<DesignEval> evaluate_batch(
+      const std::vector<ct::CompressorTree>& trees,
+      const std::vector<ParentHint>& hints);
+
   /// Point-wise bulk entry: plain points coalesce through the tree
   /// batch path; extended points evaluate per call.
   std::vector<DesignEval> evaluate_batch(
       const std::vector<ppg::DesignPoint>& points);
+
+  /// Point-wise bulk entry with parent hints; extended points use
+  /// their hint even when tree batching is on (they never coalesce).
+  std::vector<DesignEval> evaluate_batch(
+      const std::vector<ppg::DesignPoint>& points,
+      const std::vector<ParentHint>& hints);
+
+  /// Whether delta evaluation is active (fast path on and
+  /// RLMUL_DELTA_EVAL != 0).
+  bool delta_eval() const { return delta_; }
 
   /// Weighted, normalized cost: the Wallace-initial design costs
   /// exactly w_area + w_delay, so weights compose across specs.
@@ -210,17 +250,31 @@ class DesignEvaluator {
     std::chrono::steady_clock::time_point since;
   };
 
-  DesignEval compute(const ct::CompressorTree& tree,
-                     const std::string& key) const;
+  DesignEval compute(const ct::CompressorTree& tree, const std::string& key,
+                     const ParentHint& hint) const;
   /// compute() generalized to an extended point (PPG toggle and/or
   /// pinned CPA): prepares the resolved design and walks its menu.
   DesignEval compute_point(const ppg::DesignPoint& point,
-                           const std::string& key) const;
+                           const std::string& key,
+                           const ParentHint& hint) const;
   /// Per-call evaluation of an extended point under `key` — the
   /// point-typed mirror of the unbatched evaluate(tree) body (same
   /// in-flight dedup, external-cache and accounting behavior).
   DesignEval evaluate_point_uncoalesced(const ppg::DesignPoint& point,
-                                        const std::string& key);
+                                        const std::string& key,
+                                        const ParentHint& hint = {});
+  /// Shared tail of the delta-mode compute paths: runs the targets
+  /// over a delta-prepared design, seals it and retains it in the
+  /// parent LRU under `key`, and bumps the hit/fallback counters.
+  DesignEval run_delta(const std::shared_ptr<PreparedDesign>& prep,
+                       const ppg::MultiplierSpec& resolved,
+                       const std::string& key, const ParentHint& hint) const;
+  /// Parent LRU (delta evaluation): sealed prepared designs of recent
+  /// evaluations, keyed by their evaluation key.
+  std::shared_ptr<const PreparedDesign> parent_get(
+      const std::string& key) const;
+  void parent_put(const std::string& key,
+                  std::shared_ptr<const PreparedDesign> prep) const;
   DesignEval evaluate_batched(const ct::CompressorTree& tree);
   /// Pulls up to batch_ pending designs (my_key first), runs them as
   /// one batched dispatch with mu_ released, installs the results and
@@ -244,6 +298,8 @@ class DesignEvaluator {
   EvaluatorOptions opts_;
   bool fast_path_ = true;  ///< opts_.fast_path, after RLMUL_FASTPATH
   int batch_ = 1;          ///< opts_.batch, after RLMUL_BATCH_EVAL
+  bool delta_ = false;     ///< fast_path_ after RLMUL_DELTA_EVAL
+  std::size_t parents_cap_ = 16;  ///< RLMUL_DELTA_PARENTS
   double ref_area_ = 1.0;
   double ref_delay_ = 1.0;
 
@@ -275,6 +331,19 @@ class DesignEvaluator {
   /// reverse).
   mutable util::Mutex stats_mu_;
   Stats stats_ RLMUL_GUARDED_BY(stats_mu_);
+
+  /// Leaf lock for the delta-parent LRU (same rank as stats_mu_: never
+  /// taken with another lock held inside, and compute() runs outside
+  /// mu_). Values are sealed immutable PreparedDesigns, so readers
+  /// share them freely once the shared_ptr is out.
+  struct ParentSlot {
+    std::shared_ptr<const PreparedDesign> prep;
+    std::uint64_t tick = 0;
+  };
+  mutable util::Mutex parents_mu_;
+  mutable std::unordered_map<std::string, ParentSlot> parents_
+      RLMUL_GUARDED_BY(parents_mu_);
+  mutable std::uint64_t parents_tick_ RLMUL_GUARDED_BY(parents_mu_) = 0;
 };
 
 }  // namespace rlmul::synth

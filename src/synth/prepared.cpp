@@ -41,11 +41,15 @@ PreparedDesign::PreparedDesign(const ppg::MultiplierSpec& spec,
 const PreparedDesign::CpaEntry& PreparedDesign::entry(std::size_t idx) const {
   CpaEntry& e = entries_[idx];
   std::call_once(e.once, [&] {
-    e.netlist = pinned_
-                    ? ppg::attach_cpa(prefix_, spec_, pinned_graph_)
-                    : ppg::attach_cpa(prefix_, spec_,
-                                      netlist::kAllCpaKinds[idx]);
-    e.graph = sta::TimingGraph::build(e.netlist, CellLibrary::nangate45());
+    if (delta_) {
+      build_entry_delta(idx, e);
+    } else {
+      e.netlist = pinned_
+                      ? ppg::attach_cpa(prefix_, spec_, pinned_graph_)
+                      : ppg::attach_cpa(prefix_, spec_,
+                                        netlist::kAllCpaKinds[idx]);
+      e.graph = sta::TimingGraph::build(e.netlist, CellLibrary::nangate45());
+    }
     util::perf_counters().cpa_variants_built.fetch_add(
         1, std::memory_order_relaxed);
   });
@@ -69,6 +73,7 @@ const sta::TimingGraph& PreparedDesign::graph_at(std::size_t idx) const {
 }
 
 SynthesisResult PreparedDesign::synthesize(double target_delay_ns) const {
+  if (delta_) return synthesize_delta(target_delay_ns);
   const CellLibrary& lib = CellLibrary::nangate45();
   SynthesisOptions opts;
   opts.target_delay_ns = target_delay_ns;

@@ -1,0 +1,350 @@
+// Delta-evaluation path of PreparedDesign: parent-relative incremental
+// construction and STA warm-start along search trajectories.
+//
+// A delta design records a build trace (netlist::CtBuildTrace) so it
+// can serve as a parent later, and — when constructed with a
+// compatible sealed parent — re-derives only what the move changed:
+//
+//   * the PPG region is cloned verbatim (clone_head),
+//   * the compressor tree is replayed cell by cell against the
+//     parent's trace; clean cells copy the parent's gates wholesale,
+//   * a CPA entry whose final rows are positionally twinned with the
+//     parent's (and whose adder is the same architecture) copies the
+//     parent's CPA region instead of re-emitting it,
+//   * each entry's variants-at-0 timing baseline is mapped from the
+//     parent's converged fixpoint and reconciled with warm_update over
+//     the fresh cone, instead of a full from-scratch update.
+//
+// Bit-identity contract: every fresh emission goes through the same
+// LogicBuilder/add_gate calls in the same order as the scratch build,
+// copied regions reproduce exact net/gate ids positionally, and the
+// warm-started timer converges to the same fixpoint a full update
+// reaches (property-tested in test_delta_eval).
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "synth/synth.hpp"
+#include "util/perf_counters.hpp"
+
+namespace rlmul::synth {
+
+using netlist::CellLibrary;
+using netlist::GateId;
+using netlist::kNoNet;
+using netlist::Netlist;
+using netlist::NetId;
+
+PreparedDesign::PreparedDesign(DeltaMode, const ppg::MultiplierSpec& spec,
+                               const ct::CompressorTree& tree,
+                               std::shared_ptr<const PreparedDesign> parent)
+    : spec_(spec), delta_(true), tree_(tree) {
+  init_delta(std::move(parent));
+}
+
+PreparedDesign::PreparedDesign(DeltaMode, const ppg::MultiplierSpec& spec,
+                               const ct::CompressorTree& tree,
+                               prefix::PrefixGraph cpa,
+                               std::shared_ptr<const PreparedDesign> parent)
+    : spec_(spec),
+      pinned_(true),
+      pinned_graph_(std::move(cpa)),
+      pinned_label_(netlist::cpa_kind_of_graph(pinned_graph_)),
+      delta_(true),
+      tree_(tree) {
+  init_delta(std::move(parent));
+}
+
+void PreparedDesign::init_delta(std::shared_ptr<const PreparedDesign> parent) {
+  if (spec_.bits < 2 || spec_.bits > 32) {
+    throw std::invalid_argument("build_multiplier: bits must be in [2, 32]");
+  }
+  // Replay against the parent only when its trace describes the same
+  // PPG output (same spec => same columns/heights) and the trees share
+  // that shape. Anything else rebuilds from scratch — still traced, so
+  // the result can parent future evaluations.
+  const bool eligible = parent != nullptr && parent->delta_ &&
+                        parent->spec_ == spec_ &&
+                        ct::diff_trees(parent->tree_, tree_).same_shape;
+  if (eligible) {
+    prefix_.netlist = parent->prefix_.netlist.clone_head(
+        parent->trace_.ppg_gates, parent->trace_.ppg_nets);
+  }
+  netlist::LogicBuilder lb(prefix_.netlist);
+  if (eligible) {
+    ct_ = netlist::replay_compressor_tree(
+        lb, tree_, parent->trace_.ppg_columns, &parent->prefix_.netlist,
+        &parent->tree_, &parent->trace_, &trace_);
+    parent_ = std::move(parent);
+    auto& c = util::perf_counters();
+    c.eval_delta_fresh_gates.fetch_add(
+        static_cast<std::uint64_t>(ct_.fresh_gates), std::memory_order_relaxed);
+    c.eval_delta_total_gates.fetch_add(
+        static_cast<std::uint64_t>(ct_.fresh_gates + ct_.copied_gates),
+        std::memory_order_relaxed);
+  } else {
+    const netlist::ColumnSignals columns = ppg::build_ppg(lb, spec_);
+    ct_ = netlist::replay_compressor_tree(lb, tree_, columns, nullptr, nullptr,
+                                          nullptr, &trace_);
+  }
+  prefix_.rows.resize(ct_.rows.size());
+  for (std::size_t j = 0; j < ct_.rows.size(); ++j) {
+    prefix_.rows[j].reserve(ct_.rows[j].size());
+    for (const netlist::TwinnedSignal& t : ct_.rows[j]) {
+      prefix_.rows[j].push_back(t.sig);
+    }
+  }
+  util::perf_counters().netlists_built.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PreparedDesign::build_entry_delta(std::size_t idx, CpaEntry& e) const {
+  const CellLibrary& lib = CellLibrary::nangate45();
+  const PreparedDesign* par = parent_.get();
+  const CpaEntry* pe = nullptr;
+
+  // Warm-start eligibility: the parent must expose the same menu slot
+  // (pinned designs only have entry 0, and its netlist embeds the
+  // pinned graph). Sealed parents have every slot built already, so
+  // entry() below is a plain read of immutable state.
+  if (par != nullptr && par->pinned_ == pinned_) {
+    pe = &par->entry(idx);
+  }
+
+  // Patch eligibility on top of warm-start: same adder architecture for
+  // this slot, and final rows positionally twinned with the parent's —
+  // then the CPA consumes bit-identical inputs at identical net ids and
+  // the parent's CPA region can be copied instead of re-emitted.
+  bool patch = pe != nullptr;
+  if (patch && pinned_) {
+    patch = prefix::diff_graphs(pinned_graph_, par->pinned_graph_).identical;
+  }
+  if (patch) {
+    const netlist::ColumnSignals& prows = par->prefix_.rows;
+    patch = ct_.rows.size() == prows.size();
+    for (std::size_t j = 0; patch && j < ct_.rows.size(); ++j) {
+      if (ct_.rows[j].size() != prows[j].size()) {
+        patch = false;
+        break;
+      }
+      for (std::size_t i = 0; i < ct_.rows[j].size(); ++i) {
+        const netlist::TwinnedSignal& t = ct_.rows[j][i];
+        if (!t.has_twin || !(t.twin == prows[j][i])) {
+          patch = false;
+          break;
+        }
+      }
+    }
+  }
+
+  const int prefix_gates = prefix_.netlist.num_gates();
+  // Parent-entry-id -> child-entry-id maps for the warm start; the
+  // prefix region carries the replay maps over verbatim (entry netlists
+  // start with the prefix region, ids unchanged).
+  std::vector<NetId> net_map;
+  std::vector<GateId> gate_map;
+  auto seed_prefix_maps = [&] {
+    net_map.assign(static_cast<std::size_t>(pe->netlist.num_nets()), kNoNet);
+    gate_map.assign(pe->netlist.gates().size(), GateId{-1});
+    const int ppn = par->prefix_.netlist.num_nets();
+    const int ppg = par->prefix_.netlist.num_gates();
+    std::copy(ct_.net_map.begin(), ct_.net_map.begin() + ppn, net_map.begin());
+    std::copy(ct_.gate_map.begin(), ct_.gate_map.begin() + ppg,
+              gate_map.begin());
+  };
+
+  if (patch) {
+    const Netlist& pnl = pe->netlist;
+    e.netlist = prefix_.netlist;
+    // Same headroom attach_cpa reserves, so capacity behavior matches.
+    e.netlist.reserve_gates(e.netlist.num_gates() + 16 * spec_.columns());
+    seed_prefix_maps();
+    netlist::copy_gate_region(e.netlist, pnl,
+                              par->prefix_.netlist.num_gates(),
+                              static_cast<GateId>(pnl.gates().size()), net_map,
+                              gate_map);
+    for (std::size_t i = 0; i < pnl.primary_outputs().size(); ++i) {
+      e.netlist.mark_output(
+          net_map[static_cast<std::size_t>(pnl.primary_outputs()[i])],
+          pnl.output_names()[i]);
+    }
+    // The prefix region has no tie cells, so any tie net lives in the
+    // copied CPA region and has an image.
+    e.netlist.adopt_ties(
+        pnl.tie_lo_net() != kNoNet
+            ? net_map[static_cast<std::size_t>(pnl.tie_lo_net())]
+            : kNoNet,
+        pnl.tie_hi_net() != kNoNet
+            ? net_map[static_cast<std::size_t>(pnl.tie_hi_net())]
+            : kNoNet);
+    const std::uint64_t region = static_cast<std::uint64_t>(
+        pnl.num_gates() - par->prefix_.netlist.num_gates());
+    util::perf_counters().eval_delta_total_gates.fetch_add(
+        region, std::memory_order_relaxed);
+  } else {
+    e.netlist =
+        pinned_ ? ppg::attach_cpa(prefix_, spec_, pinned_graph_)
+                : ppg::attach_cpa(prefix_, spec_, netlist::kAllCpaKinds[idx]);
+    if (pe != nullptr) {
+      auto& c = util::perf_counters();
+      const std::uint64_t region =
+          static_cast<std::uint64_t>(e.netlist.num_gates() - prefix_gates);
+      c.eval_delta_fresh_gates.fetch_add(region, std::memory_order_relaxed);
+      c.eval_delta_total_gates.fetch_add(region, std::memory_order_relaxed);
+      seed_prefix_maps();  // prefix-only maps still warm the baseline
+    }
+  }
+
+  e.graph = sta::TimingGraph::build(e.netlist, lib);
+
+  DeltaEntry& d = delta_entries_[idx];
+  if (pe == nullptr) {
+    // Cold baseline: plain construction runs the full update.
+    sta::IncrementalTimer timer(e.netlist, lib, e.graph);
+    d.baseline = timer.snapshot();
+    return;
+  }
+
+  // Warm baseline: map the parent's converged variants-at-0 fixpoint
+  // through (net_map, gate_map), then reconcile exactly the state the
+  // patch could have changed — fresh nets/gates, survivors whose
+  // fanout set changed, and the endpoints.
+  const Netlist& pnl = pe->netlist;
+  const sta::TimingState& ps = par->delta_entries_[idx].baseline;
+  const std::size_t num_nets = static_cast<std::size_t>(e.netlist.num_nets());
+  const std::size_t num_gates = e.netlist.gates().size();
+  sta::TimingState st;
+  st.load_ff.assign(num_nets, 0.0);
+  st.arrival_ps.assign(num_nets, 0.0);
+  st.prev.assign(num_nets, GateId{-1});
+  st.prev_in.assign(num_gates, kNoNet);
+  std::vector<char> mapped_net(num_nets, 0);
+  std::vector<char> mapped_gate(num_gates, 0);
+  for (std::size_t pn = 0; pn < net_map.size(); ++pn) {
+    const NetId cn = net_map[pn];
+    if (cn == kNoNet) continue;
+    const std::size_t c = static_cast<std::size_t>(cn);
+    mapped_net[c] = 1;
+    st.load_ff[c] = ps.load_ff[pn];
+    st.arrival_ps[c] = ps.arrival_ps[pn];
+    const GateId pgv = ps.prev[pn];
+    st.prev[c] =
+        pgv >= 0 ? gate_map[static_cast<std::size_t>(pgv)] : GateId{-1};
+  }
+  for (std::size_t pg = 0; pg < gate_map.size(); ++pg) {
+    const GateId cg = gate_map[pg];
+    if (cg < 0) continue;
+    const std::size_t c = static_cast<std::size_t>(cg);
+    mapped_gate[c] = 1;
+    const NetId pin = ps.prev_in[pg];
+    st.prev_in[c] =
+        pin != kNoNet ? net_map[static_cast<std::size_t>(pin)] : kNoNet;
+  }
+
+  std::vector<NetId> dirty_nets;
+  std::vector<GateId> dirty_gates;
+  std::vector<char> net_marked(num_nets, 0);
+  auto mark_net = [&](NetId n) {
+    if (n == kNoNet) return;
+    if (!net_marked[static_cast<std::size_t>(n)]) {
+      net_marked[static_cast<std::size_t>(n)] = 1;
+      dirty_nets.push_back(n);
+    }
+  };
+  // Fresh child state has no parent image: recompute it outright.
+  for (std::size_t n = 0; n < num_nets; ++n) {
+    if (!mapped_net[n]) mark_net(static_cast<NetId>(n));
+  }
+  for (std::size_t g = 0; g < num_gates; ++g) {
+    if (mapped_gate[g]) continue;
+    dirty_gates.push_back(static_cast<GateId>(g));
+    // A fresh gate loads its fanins: their (mapped) loads changed.
+    for (const NetId in : e.netlist.gates()[g].inputs) mark_net(in);
+  }
+  // A parent gate with no child image stopped loading its fanins.
+  for (std::size_t pg = 0; pg < gate_map.size(); ++pg) {
+    if (gate_map[pg] >= 0) continue;
+    for (const NetId pin : pnl.gates()[pg].inputs) {
+      if (pin != kNoNet) mark_net(net_map[static_cast<std::size_t>(pin)]);
+    }
+  }
+  // Primary-output loading can differ between parent and child even for
+  // surviving nets; refresh both endpoint sets unconditionally.
+  for (const NetId po : pnl.primary_outputs()) {
+    mark_net(net_map[static_cast<std::size_t>(po)]);
+  }
+  for (const NetId po : e.netlist.primary_outputs()) mark_net(po);
+
+  sta::IncrementalTimer timer(e.netlist, lib, e.graph, std::move(st));
+  timer.warm_update(dirty_nets, dirty_gates);
+  d.baseline = timer.snapshot();
+}
+
+const std::vector<double>& PreparedDesign::entry_probs(std::size_t idx) const {
+  DeltaEntry& d = delta_entries_[idx];
+  std::call_once(d.probs_once, [&] {
+    const CpaEntry& e = entry(idx);
+    d.probs = signal_probabilities(e.netlist, e.graph->topo);
+  });
+  return d.probs;
+}
+
+SynthesisResult PreparedDesign::synthesize_delta(double target_delay_ns) const {
+  const CellLibrary& lib = CellLibrary::nangate45();
+  SynthesisOptions opts;
+  opts.target_delay_ns = target_delay_ns;
+
+  // Same selection rule (and bit-identical results) as the legacy loop
+  // in synthesize(); the two differences are where each timer starts
+  // (adopting the entry's cached variants-at-0 fixpoint instead of
+  // running a full update) and where the winner's power inputs come
+  // from (the winning timer's converged loads plus cached
+  // probabilities, instead of a from-scratch estimate_power traversal).
+  SynthesisResult best;
+  Netlist best_nl;
+  std::vector<double> best_loads;
+  std::size_t best_idx = 0;
+  bool have = false;
+  for (std::size_t i = 0; i < menu_size(); ++i) {
+    const CpaEntry& e = entry(i);
+    Netlist nl = e.netlist;  // variants all 0; timing graph still valid
+    util::perf_counters().netlists_reused.fetch_add(1,
+                                                    std::memory_order_relaxed);
+    sta::TimingState baseline = delta_entries_[i].baseline;
+    sta::IncrementalTimer timer(nl, lib, e.graph, std::move(baseline));
+    SynthesisResult res =
+        synthesize_with_timer(nl, lib, opts, timer, /*compute_power=*/false);
+    res.cpa = cpa_at(i);
+    const bool better =
+        !have ||
+        (res.met_target && !best.met_target) ||
+        (res.met_target == best.met_target &&
+         (res.met_target ? res.area_um2 < best.area_um2
+                         : res.delay_ns < best.delay_ns));
+    if (better) {
+      best = res;
+      best_nl = std::move(nl);
+      best_loads = timer.load_ff();
+      best_idx = i;
+      have = true;
+    }
+    if (res.met_target) break;
+  }
+  const double clock_ns = std::max(target_delay_ns, best.delay_ns);
+  best.power_mw = estimate_power_given(best_nl, lib, clock_ns,
+                                       entry_probs(best_idx), best_loads)
+                      .total_mw();
+  return best;
+}
+
+void PreparedDesign::seal_for_retention() const {
+  if (!delta_) return;
+  for (std::size_t i = 0; i < menu_size(); ++i) entry(i);
+  // Future children only read the trace, prefix, entries and baselines;
+  // drop the replay maps and the parent chain so retained memory stays
+  // bounded and sealed state is immutable.
+  parent_.reset();
+  ct_ = netlist::CtReplayResult{};
+}
+
+}  // namespace rlmul::synth

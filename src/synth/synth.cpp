@@ -87,10 +87,17 @@ std::vector<double> signal_probabilities(const Netlist& nl,
 
 PowerReport estimate_power(const Netlist& nl, const CellLibrary& lib,
                            double clock_ns) {
+  if (clock_ns <= 0.0) return {};
+  return estimate_power_given(nl, lib, clock_ns, signal_probabilities(nl),
+                              sta::compute_loads(nl, lib));
+}
+
+PowerReport estimate_power_given(const Netlist& nl, const CellLibrary& lib,
+                                 double clock_ns,
+                                 const std::vector<double>& p,
+                                 const std::vector<double>& load) {
   PowerReport rep;
   if (clock_ns <= 0.0) return rep;
-  const auto p = signal_probabilities(nl);
-  const auto load = sta::compute_loads(nl, lib);
   const double freq_ghz = 1.0 / clock_ns;  // cycles per ns
 
   double switching_fj = 0.0;  // per cycle

@@ -60,6 +60,19 @@ PowerReport estimate_power(const netlist::Netlist& nl,
                            const netlist::CellLibrary& lib,
                            double clock_ns);
 
+/// estimate_power with the probabilities and per-net loads already in
+/// hand: `p` from signal_probabilities (connectivity-only, cacheable
+/// across sizings) and `load` equal to compute_loads of the netlist as
+/// sized (the delta path passes the winning timer's converged loads,
+/// which the incremental-STA contract keeps identical to a fresh
+/// compute_loads). Summation order matches estimate_power exactly, so
+/// the result is bit-identical.
+PowerReport estimate_power_given(const netlist::Netlist& nl,
+                                 const netlist::CellLibrary& lib,
+                                 double clock_ns,
+                                 const std::vector<double>& p,
+                                 const std::vector<double>& load);
+
 /// Monte-Carlo power estimate: simulates random input vectors and
 /// counts the actual per-net toggles (zero-delay model). Slower but
 /// free of the independence assumption; the tests cross-validate the
@@ -154,6 +167,36 @@ class PreparedDesign {
   PreparedDesign(const ppg::MultiplierSpec& spec,
                  const ct::CompressorTree& tree, prefix::PrefixGraph cpa);
 
+  /// Tag selecting the delta-evaluation constructors.
+  struct DeltaMode {};
+
+  /// Delta mode: records a build trace so this design can later serve
+  /// as a parent, and — when `parent` is a compatible sealed delta
+  /// design of the same spec — clones the parent's netlist and rebuilds
+  /// only the fan-out cone of the changed compressor cells, then
+  /// warm-starts each CPA entry's baseline timing state from the
+  /// parent's converged state. Synthesis results are bit-identical to
+  /// the plain constructors (property-tested contract).
+  PreparedDesign(DeltaMode, const ppg::MultiplierSpec& spec,
+                 const ct::CompressorTree& tree,
+                 std::shared_ptr<const PreparedDesign> parent);
+  PreparedDesign(DeltaMode, const ppg::MultiplierSpec& spec,
+                 const ct::CompressorTree& tree, prefix::PrefixGraph cpa,
+                 std::shared_ptr<const PreparedDesign> parent);
+
+  bool delta_mode() const { return delta_; }
+  /// Whether construction actually patched against a parent (false when
+  /// no parent was given or it was incompatible — counted as a
+  /// fallback by the evaluator).
+  bool used_parent() const { return parent_ != nullptr; }
+
+  /// Finalizes a delta design for retention as a future parent: forces
+  /// every menu entry (netlist, timing graph, baseline state) and drops
+  /// the parent reference plus build-time maps, so retained states
+  /// never chain and later readers only touch immutable data. No-op for
+  /// non-delta designs.
+  void seal_for_retention() const;
+
   PreparedDesign(const PreparedDesign&) = delete;
   PreparedDesign& operator=(const PreparedDesign&) = delete;
 
@@ -192,7 +235,26 @@ class PreparedDesign {
     netlist::Netlist netlist;
     std::shared_ptr<const sta::TimingGraph> graph;
   };
+  /// Delta-mode companions to CpaEntry, built inside the same
+  /// call_once: the variants-at-0 timing fixpoint each per-target timer
+  /// adopts instead of running a full update, plus lazily cached
+  /// connectivity-only signal probabilities for the deferred power
+  /// estimate.
+  struct DeltaEntry {
+    sta::TimingState baseline;
+    std::once_flag probs_once;
+    std::vector<double> probs;
+  };
   const CpaEntry& entry(std::size_t idx) const;
+  /// Delta-mode entry build: patches the CPA region from the parent
+  /// when the final rows and adder match, and warm-starts the baseline.
+  void build_entry_delta(std::size_t idx, CpaEntry& e) const;
+  const std::vector<double>& entry_probs(std::size_t idx) const;
+  SynthesisResult synthesize_delta(double target_delay_ns) const;
+  /// Shared tail of the DeltaMode constructors: replays the compressor
+  /// tree against the parent's trace when compatible (patch path) or
+  /// from scratch while recording this design's own trace.
+  void init_delta(std::shared_ptr<const PreparedDesign> parent);
 
   ppg::MultiplierSpec spec_;
   ppg::MultiplierPrefix prefix_;
@@ -200,6 +262,16 @@ class PreparedDesign {
   prefix::PrefixGraph pinned_graph_;
   netlist::CpaKind pinned_label_ = netlist::CpaKind::kCustom;
   mutable std::array<CpaEntry, kNumCpa> entries_;
+
+  // Delta-evaluation state (empty in legacy mode).
+  bool delta_ = false;
+  ct::CompressorTree tree_;
+  netlist::CtBuildTrace trace_;
+  /// CT replay maps + twinned rows; consumed by entry builds, cleared
+  /// by seal_for_retention.
+  mutable netlist::CtReplayResult ct_;
+  mutable std::shared_ptr<const PreparedDesign> parent_;
+  mutable std::array<DeltaEntry, kNumCpa> delta_entries_;
 };
 
 /// Per-net slacks against a target (backward required-time pass);

@@ -25,6 +25,10 @@ void PerfCounters::reset() {
   dsdb_misses = 0;
   dsdb_appends = 0;
   dsdb_flushes = 0;
+  eval_delta_hits = 0;
+  eval_delta_fallbacks = 0;
+  eval_delta_fresh_gates = 0;
+  eval_delta_total_gates = 0;
 }
 
 PerfCounters& perf_counters() {
@@ -63,6 +67,15 @@ std::string format_perf_counters() {
      << " dsdb_misses=" << c.dsdb_misses.load()
      << " dsdb_appends=" << c.dsdb_appends.load()
      << " dsdb_flushes=" << c.dsdb_flushes.load();
+  const std::uint64_t delta_fresh = c.eval_delta_fresh_gates.load();
+  const std::uint64_t delta_total = c.eval_delta_total_gates.load();
+  // Integer percent of patched regions that was actually rebuilt,
+  // plain-decimal like the other derived values.
+  const std::uint64_t cone_frac =
+      delta_total > 0 ? delta_fresh * 100 / delta_total : 0;
+  os << " eval_delta_hits=" << c.eval_delta_hits.load()
+     << " eval_delta_fallbacks=" << c.eval_delta_fallbacks.load()
+     << " eval_delta_cone_frac=" << cone_frac;
   return os.str();
 }
 

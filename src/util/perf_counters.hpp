@@ -48,6 +48,16 @@ struct PerfCounters {
   std::atomic<std::uint64_t> dsdb_misses{0};
   std::atomic<std::uint64_t> dsdb_appends{0};  ///< records journaled
   std::atomic<std::uint64_t> dsdb_flushes{0};  ///< journal flushes
+  // Delta evaluation: parent-relative incremental builds. A hit is a
+  // design actually patched against a retained parent; a fallback is a
+  // hinted evaluation whose parent was evicted or incompatible, so it
+  // rebuilt from scratch. fresh/total accumulate rebuilt vs all gates
+  // across patched regions; the formatted line derives
+  // eval_delta_cone_frac (integer percent rebuilt) from them.
+  std::atomic<std::uint64_t> eval_delta_hits{0};
+  std::atomic<std::uint64_t> eval_delta_fallbacks{0};
+  std::atomic<std::uint64_t> eval_delta_fresh_gates{0};
+  std::atomic<std::uint64_t> eval_delta_total_gates{0};
 
   void reset();
 };

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# CI smoke for the delta-evaluation A/B bench: runs bench_delta (quick
+# budget via RLMUL_QUICK from ctest) and checks that every workload
+# reports bit_identical=true and that the delta path actually engaged
+# (delta_hits >= 1 per config). Throughput ratios are NOT asserted here
+# — CI boxes are too noisy; results/BENCH_delta.json records the
+# full-budget numbers. Usage: smoke_bench_delta.sh <path-to-bench_delta>
+set -u
+
+bench="${1:?usage: smoke_bench_delta.sh <bench_delta>}"
+
+out="$("$bench" 2>&1)"
+status=$?
+if [ "$status" -ne 0 ]; then
+  echo "$out"
+  echo "FAIL: bench_delta exited with status $status"
+  exit 1
+fi
+
+configs="$(printf '%s\n' "$out" | grep -c '"bit_identical"')"
+if [ "$configs" -lt 2 ]; then
+  echo "$out"
+  echo "FAIL: expected >= 2 workload configs, found $configs"
+  exit 1
+fi
+if printf '%s\n' "$out" | grep -q '"bit_identical": false'; then
+  echo "$out"
+  echo "FAIL: a workload reported bit_identical=false"
+  exit 1
+fi
+
+# Every config's identity pass must have patched against a retained
+# parent at least once.
+while read -r hits; do
+  if [ "$hits" -lt 1 ]; then
+    echo "$out"
+    echo "FAIL: a workload reported delta_hits=$hits (delta path disengaged)"
+    exit 1
+  fi
+done < <(printf '%s\n' "$out" | grep '"delta_hits"' | grep -o '[0-9]*')
+
+echo "PASS: bench_delta smoke ($configs workloads, all bit_identical)"

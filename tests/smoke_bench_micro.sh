@@ -116,6 +116,43 @@ fi
 echo "PASS: batched evaluation smoke (eval_batches=$batches," \
      "eval_batch_size_avg=$bavg)"
 
+# -- delta-evaluation smoke: the trajectory-shaped entry must run clean
+# and the delta counters must show children actually patched against
+# retained parents (a hits=0 run means the delta path silently
+# disengaged).
+delta_out="$("$bench" --benchmark_filter='BM_EvaluateDelta/bits:16/delta:1' \
+        --benchmark_min_time=0.01 2>&1)"
+delta_status=$?
+if [ "$delta_status" -ne 0 ]; then
+  echo "$delta_out"
+  echo "FAIL: bench_micro (BM_EvaluateDelta) exited with status $delta_status"
+  exit 1
+fi
+delta_line="$(printf '%s\n' "$delta_out" | grep '^RLMUL_COUNTERS ' | tail -n 1)"
+if [ -z "$delta_line" ]; then
+  echo "$delta_out"
+  echo "FAIL: no RLMUL_COUNTERS line in BM_EvaluateDelta output"
+  exit 1
+fi
+dget() {
+  printf '%s\n' "$delta_line" | tr ' ' '\n' | grep "^$1=" | head -n 1 \
+    | cut -d= -f2
+}
+dhits="$(dget eval_delta_hits)"
+dcone="$(dget eval_delta_cone_frac)"
+if [ -z "$dhits" ] || [ "$dhits" -lt 1 ]; then
+  echo "$delta_line"
+  echo "FAIL: expected eval_delta_hits >= 1, got '${dhits:-missing}'"
+  exit 1
+fi
+if [ -z "$dcone" ] || [ "$dcone" -gt 100 ]; then
+  echo "$delta_line"
+  echo "FAIL: expected eval_delta_cone_frac in [0,100], got '${dcone:-missing}'"
+  exit 1
+fi
+echo "PASS: delta evaluation smoke (eval_delta_hits=$dhits," \
+     "eval_delta_cone_frac=$dcone)"
+
 # -- NN kernel smoke: run the tensor benches in both GEMM modes ------------
 # (RLMUL_GEMM=naive must stay a working oracle path) and check the nn
 # counters show GEMM work was actually routed through the kernel layer.

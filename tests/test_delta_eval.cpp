@@ -1,0 +1,267 @@
+// Delta evaluation (parent-relative incremental synthesis + STA
+// warm-start): the standing repo contract is that every optimized
+// path is bit-identical per double to the from-scratch pipeline. These
+// tests walk randomized move sequences through PreparedDesign's delta
+// mode and the evaluator's ParentHint path and compare every
+// SynthesisResult field bitwise against scratch builds, across PPG
+// families, all four menu CPAs (as menu sweeps and as pinned graphs),
+// and off-menu prefix graphs. The concurrency test hammers one
+// retained parent with parallel children (run under `ctest -L tsan`).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ct/compressor_tree.hpp"
+#include "ppg/ppg.hpp"
+#include "prefix/prefix_graph.hpp"
+#include "synth/evaluator.hpp"
+#include "synth/synth.hpp"
+#include "util/perf_counters.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rlmul;
+
+const double kTargets[2] = {0.7, 1.2};
+
+bool SameResult(const synth::SynthesisResult& a,
+                const synth::SynthesisResult& b) {
+  return std::memcmp(&a.area_um2, &b.area_um2, sizeof(double)) == 0 &&
+         std::memcmp(&a.delay_ns, &b.delay_ns, sizeof(double)) == 0 &&
+         std::memcmp(&a.power_mw, &b.power_mw, sizeof(double)) == 0 &&
+         a.met_target == b.met_target && a.cpa == b.cpa &&
+         a.num_gates == b.num_gates;
+}
+
+std::vector<ct::CompressorTree> RandomWalk(const ppg::MultiplierSpec& spec,
+                                           int steps, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<ct::CompressorTree> walk;
+  ct::CompressorTree tree = ppg::initial_tree(spec);
+  for (int i = 0; i < steps; ++i) {
+    walk.push_back(tree);
+    const auto mask = ct::legal_action_mask(tree);
+    std::vector<int> legal;
+    for (int k = 0; k < static_cast<int>(mask.size()); ++k) {
+      if (mask[k]) legal.push_back(k);
+    }
+    if (legal.empty()) break;  // dead end; callers assert non-empty walks
+    tree = ct::apply_action(
+        tree, ct::action_from_index(legal[rng.next() % legal.size()]));
+  }
+  return walk;
+}
+
+/// Chains delta designs along `walk` (each step's design parents the
+/// next) and compares every target's result bitwise against a scratch
+/// PreparedDesign of the same step. `graphs` empty = menu sweep;
+/// otherwise step s pins graphs[s % graphs.size()].
+void ExpectDeltaMatchesScratch(const ppg::MultiplierSpec& spec,
+                               const std::vector<ct::CompressorTree>& walk,
+                               const std::vector<prefix::PrefixGraph>& graphs) {
+  std::shared_ptr<const synth::PreparedDesign> parent;
+  for (std::size_t s = 0; s < walk.size(); ++s) {
+    std::shared_ptr<synth::PreparedDesign> prep;
+    std::unique_ptr<synth::PreparedDesign> scratch;
+    if (graphs.empty()) {
+      prep = std::make_shared<synth::PreparedDesign>(
+          synth::PreparedDesign::DeltaMode{}, spec, walk[s], parent);
+      scratch = std::make_unique<synth::PreparedDesign>(spec, walk[s]);
+    } else {
+      const prefix::PrefixGraph& g = graphs[s % graphs.size()];
+      prep = std::make_shared<synth::PreparedDesign>(
+          synth::PreparedDesign::DeltaMode{}, spec, walk[s], g, parent);
+      scratch = std::make_unique<synth::PreparedDesign>(spec, walk[s], g);
+    }
+    if (s > 0) {
+      EXPECT_TRUE(prep->used_parent()) << "step " << s;
+    }
+    for (const double target : kTargets) {
+      const synth::SynthesisResult d = prep->synthesize(target);
+      const synth::SynthesisResult r = scratch->synthesize(target);
+      EXPECT_TRUE(SameResult(d, r))
+          << "step " << s << " target " << target << ": delta ("
+          << d.area_um2 << ", " << d.delay_ns << ", " << d.power_mw
+          << ") vs scratch (" << r.area_um2 << ", " << r.delay_ns << ", "
+          << r.power_mw << ")";
+    }
+    prep->seal_for_retention();
+    parent = prep;
+  }
+}
+
+prefix::PrefixGraph OffMenuGraph(int width, int seed_bit) {
+  prefix::Matrix m = prefix::matrix_of(prefix::sklansky(width));
+  prefix::Move mv;
+  mv.kind = prefix::MoveKind::kRemoveNode;
+  mv.level = 1;
+  mv.bit = seed_bit;
+  return prefix::legalize(prefix::apply_move(std::move(m), mv)).graph;
+}
+
+TEST(DeltaEval, MenuWalkBitIdenticalAcrossPpgFamilies) {
+  for (const ppg::PpgKind kind :
+       {ppg::PpgKind::kAnd, ppg::PpgKind::kBooth, ppg::PpgKind::kBaughWooley}) {
+    const ppg::MultiplierSpec spec{8, kind, false};
+    std::vector<ct::CompressorTree> walk = RandomWalk(spec, 10, 0xD17A + 7);
+    ASSERT_FALSE(walk.empty());
+    ExpectDeltaMatchesScratch(spec, walk, {});
+  }
+}
+
+TEST(DeltaEval, PinnedMenuCpasBitIdentical) {
+  const ppg::MultiplierSpec spec{8, ppg::PpgKind::kAnd, false};
+  const int w = spec.columns();
+  const prefix::PrefixGraph menu[] = {prefix::serial(w), prefix::brent_kung(w),
+                                      prefix::sklansky(w),
+                                      prefix::kogge_stone(w)};
+  for (const prefix::PrefixGraph& g : menu) {
+    std::vector<ct::CompressorTree> walk = RandomWalk(spec, 5, 0xF00D);
+    ASSERT_FALSE(walk.empty());
+    ExpectDeltaMatchesScratch(spec, walk, {g});
+  }
+}
+
+TEST(DeltaEval, OffMenuPinnedBitIdentical) {
+  const ppg::MultiplierSpec spec{8, ppg::PpgKind::kAnd, false};
+  const int w = spec.columns();
+  std::vector<ct::CompressorTree> walk = RandomWalk(spec, 8, 0xBEEF);
+  ASSERT_FALSE(walk.empty());
+  // Constant off-menu graph: the CPA-patch path on a non-menu adder.
+  ExpectDeltaMatchesScratch(spec, walk, {OffMenuGraph(w, w / 2)});
+  // Alternating off-menu graphs: every step changes the adder, so the
+  // CPA region is re-emitted fresh while the tree region still patches.
+  ExpectDeltaMatchesScratch(spec, walk,
+                            {OffMenuGraph(w, w / 2), OffMenuGraph(w, 3)});
+}
+
+TEST(DeltaEval, DiffTreesReportsChangedColumns) {
+  const ppg::MultiplierSpec spec{8, ppg::PpgKind::kAnd, false};
+  const ct::CompressorTree a = ppg::initial_tree(spec);
+  EXPECT_TRUE(ct::diff_trees(a, a).identical());
+  const auto mask = ct::legal_action_mask(a);
+  int first_legal = -1;
+  for (int k = 0; k < static_cast<int>(mask.size()); ++k) {
+    if (mask[k]) {
+      first_legal = k;
+      break;
+    }
+  }
+  ASSERT_GE(first_legal, 0);
+  const ct::CompressorTree b =
+      ct::apply_action(a, ct::action_from_index(first_legal));
+  const ct::TreeDelta d = ct::diff_trees(a, b);
+  EXPECT_TRUE(d.same_shape);
+  EXPECT_FALSE(d.changed_columns.empty());
+  // Different PPG heights are a different shape entirely.
+  const ppg::MultiplierSpec booth{8, ppg::PpgKind::kBooth, false};
+  const ct::TreeDelta x = ct::diff_trees(a, ppg::initial_tree(booth));
+  EXPECT_FALSE(x.same_shape);
+}
+
+TEST(DeltaEval, DiffGraphsDetectsIdenticalAndChanged) {
+  const prefix::PrefixGraph a = prefix::sklansky(16);
+  EXPECT_TRUE(prefix::diff_graphs(a, prefix::sklansky(16)).identical);
+  const prefix::GraphDelta d = prefix::diff_graphs(a, prefix::brent_kung(16));
+  EXPECT_FALSE(d.identical);
+  EXPECT_FALSE(d.changed_outputs.empty());
+}
+
+TEST(DeltaEval, EvaluatorHintsMatchScratchAndCount) {
+  const ppg::MultiplierSpec spec{8, ppg::PpgKind::kAnd, false};
+  std::vector<ct::CompressorTree> walk = RandomWalk(spec, 8, 0xCAFE);
+  ASSERT_FALSE(walk.empty());
+  const std::vector<double> targets(std::begin(kTargets), std::end(kTargets));
+
+  setenv("RLMUL_BATCH_EVAL", "0", 1);
+  setenv("RLMUL_DELTA_EVAL", "1", 1);
+  synth::DesignEvaluator on(spec, targets);
+  ASSERT_TRUE(on.delta_eval());
+  setenv("RLMUL_DELTA_EVAL", "0", 1);
+  synth::DesignEvaluator off(spec, targets);
+  ASSERT_FALSE(off.delta_eval());
+
+  auto& counters = util::perf_counters();
+  const std::uint64_t hits0 = counters.eval_delta_hits.load();
+  for (std::size_t s = 0; s < walk.size(); ++s) {
+    synth::ParentHint hint;
+    if (s > 0) hint.key = walk[s - 1].key();
+    const synth::DesignEval a = on.evaluate(walk[s], hint);
+    const synth::DesignEval b = off.evaluate(walk[s]);
+    ASSERT_EQ(a.per_target.size(), b.per_target.size());
+    for (std::size_t t = 0; t < a.per_target.size(); ++t) {
+      EXPECT_TRUE(SameResult(a.per_target[t], b.per_target[t]))
+          << "step " << s << " target " << t;
+    }
+  }
+  // Every hinted step found its parent retained in the LRU.
+  EXPECT_GE(counters.eval_delta_hits.load() - hits0, walk.size() - 1);
+
+  // A hint whose parent was never retained falls back to scratch —
+  // same numbers, fallback counter bumped.
+  const std::uint64_t fb0 = counters.eval_delta_fallbacks.load();
+  std::vector<ct::CompressorTree> other = RandomWalk(spec, 6, 0x5EED);
+  const synth::DesignEval a =
+      on.evaluate(other.back(), synth::ParentHint{"no-such-parent"});
+  const synth::DesignEval b = off.evaluate(other.back());
+  ASSERT_EQ(a.per_target.size(), b.per_target.size());
+  for (std::size_t t = 0; t < a.per_target.size(); ++t) {
+    EXPECT_TRUE(SameResult(a.per_target[t], b.per_target[t]));
+  }
+  EXPECT_GE(counters.eval_delta_fallbacks.load() - fb0, 1u);
+  unsetenv("RLMUL_BATCH_EVAL");
+  unsetenv("RLMUL_DELTA_EVAL");
+}
+
+// Several workers evaluate distinct children of the same retained
+// parent concurrently: children only read the sealed parent's
+// immutable state, so this must be race-free (TSan) and every result
+// bit-identical to scratch.
+TEST(DeltaEval, ConcurrentChildrenOfSharedParent) {
+  const ppg::MultiplierSpec spec{8, ppg::PpgKind::kAnd, false};
+  const std::vector<double> targets(std::begin(kTargets), std::end(kTargets));
+  setenv("RLMUL_BATCH_EVAL", "0", 1);
+  setenv("RLMUL_DELTA_EVAL", "1", 1);
+  synth::DesignEvaluator on(spec, targets);
+  setenv("RLMUL_DELTA_EVAL", "0", 1);
+  synth::DesignEvaluator off(spec, targets);
+
+  const ct::CompressorTree parent = ppg::initial_tree(spec);
+  on.evaluate(parent);  // retained in the parent LRU
+  const auto mask = ct::legal_action_mask(parent);
+  std::vector<ct::CompressorTree> children;
+  for (int k = 0; k < static_cast<int>(mask.size()) && children.size() < 4;
+       ++k) {
+    if (mask[k]) {
+      children.push_back(ct::apply_action(parent, ct::action_from_index(k)));
+    }
+  }
+  ASSERT_EQ(children.size(), 4u);
+
+  std::vector<synth::DesignEval> got(children.size());
+  std::vector<std::thread> workers;
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    workers.emplace_back([&, i] {
+      got[i] = on.evaluate(children[i], synth::ParentHint{parent.key()});
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    const synth::DesignEval ref = off.evaluate(children[i]);
+    ASSERT_EQ(got[i].per_target.size(), ref.per_target.size());
+    for (std::size_t t = 0; t < ref.per_target.size(); ++t) {
+      EXPECT_TRUE(SameResult(got[i].per_target[t], ref.per_target[t]))
+          << "child " << i << " target " << t;
+    }
+  }
+  unsetenv("RLMUL_BATCH_EVAL");
+  unsetenv("RLMUL_DELTA_EVAL");
+}
+
+}  // namespace

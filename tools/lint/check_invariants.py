@@ -42,6 +42,13 @@ Rules (each failure prints `file:line: [rule] message`):
                      parse_cpa_kind so an out-of-range index can never
                      smuggle in an enumerator the menu doesn't have
                      (kCustom denotes a graph, not a buildable kind).
+  netlist-patch      the netlist patch/mutation APIs the delta path is
+                     built on (replay_compressor_tree, copy_gate_region,
+                     clone_head, adopt_ties) are callable only from
+                     src/netlist/ and src/synth/. Everywhere else a
+                     netlist is immutable once built — search and RL
+                     code expresses structure sharing through
+                     synth::ParentHint, never by patching gates itself.
   header-standalone  every public header under src/*/ compiles as its
                      own translation unit (include-what-you-use at the
                      API boundary). Needs --compiler; skipped with a
@@ -259,6 +266,29 @@ def check_raw_cpa_kind(root):
                      "netlist::cpa_kind_from_index or parse_cpa_kind")
 
 
+# -- netlist-patch ------------------------------------------------------------
+
+NETLIST_PATCH_RE = re.compile(
+    r"\b(replay_compressor_tree|copy_gate_region|clone_head|adopt_ties)"
+    r"\s*\(")
+NETLIST_PATCH_ALLOWED = ("src/netlist/", "src/synth/")
+
+
+def check_netlist_patch(root):
+    for p in source_files(root):
+        r = rel(root, p)
+        if r.startswith(NETLIST_PATCH_ALLOWED):
+            continue
+        for i, line in enumerate(p.read_text().splitlines(), 1):
+            code = strip_comments_and_strings(line)
+            m = NETLIST_PATCH_RE.search(code)
+            if m:
+                fail(r, i, "netlist-patch",
+                     f"netlist patch API `{m.group(1)}` outside "
+                     "src/netlist/ and src/synth/; pass a "
+                     "synth::ParentHint instead of mutating netlists")
+
+
 # -- header-standalone --------------------------------------------------------
 
 
@@ -299,6 +329,7 @@ def main():
     check_float_eq(root)
     check_tsa_waiver(root)
     check_raw_cpa_kind(root)
+    check_netlist_patch(root)
     if not args.skip_headers:
         check_headers_standalone(root, args.compiler)
 
