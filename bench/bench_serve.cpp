@@ -1,0 +1,261 @@
+// Load test for the serve daemon (src/serve/): an in-process Server on
+// a real unix socket, hammered by concurrent clients issuing a mixed
+// request stream (~10% submit, ~60% status, ~20% stats, ~10% cancel).
+// Correctness is asserted, not sampled: every request must get exactly
+// its own response (the client library matches ids — a lost or
+// duplicated frame shows up as a hang or a count mismatch), and every
+// subscribed job's event stream must arrive gap-free (seq 0..N-1, with
+// the final count cross-checked against the server's own event
+// counter). The JSON on stdout is the source of results/BENCH_serve.json.
+//
+// Knobs: RLMUL_QUICK=1 shrinks the request volume CI-size; the full
+// run issues >= 2000 requests from 8 clients.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/build_info.hpp"
+
+namespace {
+
+using namespace rlmul;
+using Clock = std::chrono::steady_clock;
+
+struct ClientReport {
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t submits = 0;
+  std::uint64_t cancels = 0;
+  std::uint64_t seq_violations = 0;
+  std::uint64_t dropped_events = 0;
+  std::uint64_t errors = 0;  ///< transport/protocol failures (must be 0)
+  std::vector<double> latency_us;
+};
+
+bool event_terminal(const serve::json::Value& ev) {
+  const serve::json::Value* type = ev.find("event");
+  if (!type || type->as_string() != "state") return false;
+  const std::string& st = ev.find("state")->as_string();
+  return st == "done" || st == "failed" || st == "cancelled";
+}
+
+/// One client's whole session: the mixed request stream, then a drain
+/// phase that waits for every subscribed job to reach a terminal event
+/// and cross-checks the received event counts.
+ClientReport run_client(const std::string& sock, int id, int requests,
+                        int steps) {
+  ClientReport rep;
+  rep.latency_us.reserve(static_cast<std::size_t>(requests));
+  try {
+    serve::Client client(sock);
+    std::vector<std::uint64_t> jobs;
+    std::map<std::uint64_t, std::uint64_t> next_seq;
+    std::map<std::uint64_t, bool> terminal;
+
+    auto take_events = [&]() {
+      serve::json::Value ev;
+      while (client.poll_event(&ev)) {
+        const std::uint64_t job = ev.find("job")->as_u64();
+        const std::uint64_t seq = ev.find("seq")->as_u64();
+        if (seq != next_seq[job]) ++rep.seq_violations;
+        next_seq[job] = seq + 1;
+        if (event_terminal(ev)) terminal[job] = true;
+      }
+    };
+
+    for (int r = 0; r < requests; ++r) {
+      const auto t0 = Clock::now();
+      // r == 0 is always a submit so status/cancel have a target.
+      if (r % 10 == 0) {
+        serve::JobSpec spec;
+        spec.bits = 4;
+        spec.method = "sa";
+        spec.steps = steps;
+        spec.seed = static_cast<std::uint64_t>(1000 * id + r + 1);
+        jobs.push_back(client.submit(spec, /*subscribe=*/true));
+        ++rep.submits;
+      } else if (r % 10 == 9) {
+        // Cancel races the job finishing; "already done" is a valid
+        // response, so use raw call() and accept both outcomes.
+        serve::json::Value req = serve::json::Value::object();
+        req["op"] = "cancel";
+        req["job"] = jobs.back();
+        (void)client.call(std::move(req));
+        ++rep.cancels;
+      } else if (r % 10 >= 7) {
+        (void)client.stats();
+      } else {
+        (void)client.status(jobs.back());
+      }
+      rep.latency_us.push_back(
+          std::chrono::duration<double, std::micro>(Clock::now() - t0)
+              .count());
+      ++rep.requests;
+      ++rep.responses;  // call() returned: the matching frame arrived
+      take_events();
+    }
+
+    // Drain: every subscribed job must deliver its terminal event.
+    const auto deadline = Clock::now() + std::chrono::seconds(120);
+    for (std::uint64_t job : jobs) {
+      while (!terminal[job] && Clock::now() < deadline) {
+        serve::json::Value ev;
+        if (client.wait_event(&ev, 250)) {
+          const std::uint64_t j = ev.find("job")->as_u64();
+          const std::uint64_t seq = ev.find("seq")->as_u64();
+          if (seq != next_seq[j]) ++rep.seq_violations;
+          next_seq[j] = seq + 1;
+          if (event_terminal(ev)) terminal[j] = true;
+        }
+      }
+      if (!terminal[job]) ++rep.dropped_events;
+    }
+    // Cross-check: we must have seen exactly as many events as the
+    // server emitted for each of our jobs.
+    for (std::uint64_t job : jobs) {
+      const serve::json::Value st = client.status(job);
+      if (st.find("events")->as_u64() != next_seq[job]) ++rep.dropped_events;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "client %d: %s\n", id, e.what());
+    ++rep.errors;
+  }
+  return rep;
+}
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = [] {
+    const char* q = std::getenv("RLMUL_QUICK");
+    return q && std::string(q) == "1";
+  }();
+  const int kClients = 8;
+  const int kRequests = quick ? 40 : 250;  // per client; full run >= 2000
+  const int kSteps = 30;
+
+  const std::string sock =
+      (std::filesystem::temp_directory_path() / "rlmul_bench_serve.sock")
+          .string();
+  std::filesystem::remove(sock);
+
+  serve::ServerOptions opts;
+  opts.socket_path = sock;
+  opts.scheduler.max_active = 2;
+  opts.scheduler.max_queue = 4096;  // admission never bounces the bench
+  opts.scheduler.step_threads = 2;
+  serve::Server server(opts);
+  std::thread server_thread([&server]() { server.run(); });
+  // Wait until the listener accepts (bind and listen happen in run()).
+  for (int i = 0; i < 500; ++i) {
+    try {
+      serve::Client probe(sock);
+      probe.ping();
+      break;
+    } catch (const std::exception&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+  const auto t0 = Clock::now();
+  std::vector<ClientReport> reports(kClients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&reports, &sock, c, kRequests]() {
+      reports[static_cast<std::size_t>(c)] =
+          run_client(sock, c, kRequests, kSteps);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  ClientReport total;
+  std::vector<double> latency;
+  for (const ClientReport& r : reports) {
+    total.requests += r.requests;
+    total.responses += r.responses;
+    total.submits += r.submits;
+    total.cancels += r.cancels;
+    total.seq_violations += r.seq_violations;
+    total.dropped_events += r.dropped_events;
+    total.errors += r.errors;
+    latency.insert(latency.end(), r.latency_us.begin(), r.latency_us.end());
+  }
+
+  serve::Client admin(sock);
+  const serve::json::Value stats = admin.stats();
+  admin.shutdown_server();
+  server_thread.join();
+
+  const bool pass = total.errors == 0 && total.seq_violations == 0 &&
+                    total.dropped_events == 0 &&
+                    total.responses == total.requests;
+
+  std::printf("{\n");
+  std::printf(
+      "  \"description\": \"serve daemon load test: %d concurrent clients, "
+      "%llu mixed requests (10%% submit with subscription, 60%% status, "
+      "20%% stats, 10%% cancel) against one in-process daemon. Zero lost or "
+      "duplicated responses (per-request id matching) and zero dropped "
+      "event frames (per-job seq contiguity plus a final count "
+      "cross-check) are asserted, not sampled.\",\n",
+      kClients, static_cast<unsigned long long>(total.requests));
+  std::printf("  \"build\": \"%s\",\n", util::build_info().c_str());
+  std::printf("  \"clients\": %d,\n", kClients);
+  std::printf("  \"requests\": %llu,\n",
+              static_cast<unsigned long long>(total.requests));
+  std::printf("  \"responses\": %llu,\n",
+              static_cast<unsigned long long>(total.responses));
+  std::printf("  \"submits\": %llu,\n",
+              static_cast<unsigned long long>(total.submits));
+  std::printf("  \"cancels\": %llu,\n",
+              static_cast<unsigned long long>(total.cancels));
+  std::printf("  \"lost_responses\": %llu,\n",
+              static_cast<unsigned long long>(total.requests -
+                                              total.responses));
+  std::printf("  \"seq_violations\": %llu,\n",
+              static_cast<unsigned long long>(total.seq_violations));
+  std::printf("  \"dropped_events\": %llu,\n",
+              static_cast<unsigned long long>(total.dropped_events));
+  std::printf("  \"client_errors\": %llu,\n",
+              static_cast<unsigned long long>(total.errors));
+  std::printf("  \"jobs_done\": %llu,\n",
+              static_cast<unsigned long long>(stats.find("done")->as_u64()));
+  std::printf(
+      "  \"jobs_cancelled\": %llu,\n",
+      static_cast<unsigned long long>(stats.find("cancelled")->as_u64()));
+  std::printf("  \"shared_evaluators\": %llu,\n",
+              static_cast<unsigned long long>(
+                  stats.find("evaluators")->as_u64()));
+  std::printf("  \"wall_s\": %.3f,\n", wall_s);
+  std::printf("  \"req_per_s\": %.0f,\n",
+              wall_s > 0.0 ? static_cast<double>(total.requests) / wall_s
+                           : 0.0);
+  std::printf("  \"latency_p50_us\": %.0f,\n", percentile(latency, 0.50));
+  std::printf("  \"latency_p99_us\": %.0f,\n", percentile(latency, 0.99));
+  std::printf("  \"pass\": %s\n", pass ? "true" : "false");
+  std::printf("}\n");
+
+  std::filesystem::remove(sock);
+  return pass ? 0 : 1;
+}

@@ -22,6 +22,8 @@
 // search-method registry.
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -38,6 +40,8 @@
 #include "search/checkpoint.hpp"
 #include "search/driver.hpp"
 #include "search/registry.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "sim/simulator.hpp"
 #include "synth/evaluator.hpp"
 #include "synth/synth.hpp"
@@ -70,13 +74,41 @@ struct Args {
   std::string output;
   std::string dsdb;
   bool warm_start = false;
+  // -- serve / client subcommands --
+  std::string socket;
+  std::string state_dir;
+  int max_active = 2;
+  int max_queue = 16;
+  int step_threads = 2;
+  std::uint64_t client_budget = 0;
+  std::uint64_t job = 0;
+  bool subscribe = false;
 };
+
+// Signal plumbing shared by `serve` (graceful drain) and
+// `optimize --checkpoint` (final checkpoint before exit). Everything
+// the handler does is async-signal-safe: a sig_atomic_t store plus
+// Server::request_shutdown (atomic store + one pipe write).
+volatile std::sig_atomic_t g_stop = 0;
+std::atomic<serve::Server*> g_server{nullptr};
+
+extern "C" void on_stop_signal(int) {
+  g_stop = 1;
+  serve::Server* server = g_server.load(std::memory_order_acquire);
+  if (server != nullptr) server->request_shutdown();
+}
+
+void install_stop_handlers() {
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGTERM, on_stop_signal);
+}
 
 int usage() {
   std::fprintf(
       stderr,
       "usage: rlmul_cli <generate|optimize|check|report|list-methods|\n"
-      "                  dsdb-stats|dsdb-export-csv|dsdb-compact> [options]\n"
+      "                  dsdb-stats|dsdb-export-csv|dsdb-compact|\n"
+      "                  serve|submit|status|events|cancel|shutdown> [options]\n"
       "  --bits N        operand width (2..32, default 8)\n"
       "  --ppg KIND      and | mbe | bw (default and), or `search` to\n"
       "                  make the PPG family an optimize action dimension\n"
@@ -96,7 +128,19 @@ int usage() {
       "                  evaluations from DIR and journal new ones into it\n"
       "  --warm-start    with --dsdb: seed the search from stored designs\n"
       "  -o FILE         write Verilog to FILE (optimize/generate) or the\n"
-      "                  CSV to FILE (dsdb-export-csv)\n");
+      "                  CSV to FILE (dsdb-export-csv)\n"
+      "service (see docs/architecture.md \"Service layer\"):\n"
+      "  serve --socket P [--state-dir D] [--dsdb D] [--max-active N]\n"
+      "        [--max-queue N] [--step-threads N] [--client-budget N]\n"
+      "                  run the always-on optimization daemon on unix\n"
+      "                  socket P; SIGTERM drains (checkpoint-on-drain)\n"
+      "  submit --socket P [spec flags] [--subscribe]\n"
+      "                  queue one optimize job; --subscribe streams its\n"
+      "                  events (one JSON line each) until it finishes\n"
+      "  status --socket P [--job N]   job status (or daemon stats)\n"
+      "  events --socket P --job N     follow a job's event stream\n"
+      "  cancel --socket P --job N     cancel at the next step boundary\n"
+      "  shutdown --socket P           drain the daemon and exit it\n");
   return 2;
 }
 
@@ -161,6 +205,36 @@ bool parse(int argc, char** argv, Args& args) {
       args.dsdb = v;
     } else if (flag == "--warm-start") {
       args.warm_start = true;
+    } else if (flag == "--socket") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.socket = v;
+    } else if (flag == "--state-dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.state_dir = v;
+    } else if (flag == "--max-active") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.max_active = std::atoi(v);
+    } else if (flag == "--max-queue") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.max_queue = std::atoi(v);
+    } else if (flag == "--step-threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.step_threads = std::atoi(v);
+    } else if (flag == "--client-budget") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.client_budget = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (flag == "--job") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.job = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (flag == "--subscribe") {
+      args.subscribe = true;
     } else if (flag == "-o") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -294,8 +368,23 @@ int cmd_optimize(const Args& args, const ppg::MultiplierSpec& spec) {
   if (method_name == "a2c") cfg.steps = std::max(1, args.steps / cfg.threads);
   auto method = search::make_method(method_name, cfg);
 
-  const auto res = resuming ? driver.resume(*method, ckpt)
-                            : driver.run(*method);
+  // With --checkpoint the run is interruptible: SIGINT/SIGTERM stops
+  // the loop at the next step boundary and the normal checkpoint write
+  // below persists the state — the same drain path the serve daemon
+  // uses, so `kill` loses no work.
+  if (!args.checkpoint.empty()) install_stop_handlers();
+  if (resuming) {
+    driver.begin_resume(*method, ckpt);
+  } else {
+    driver.begin(*method);
+  }
+  while (g_stop == 0 && driver.step_once(*method)) {
+  }
+  const auto res = driver.finish(*method);
+  if (g_stop != 0) {
+    std::printf("interrupted: stopping at step %llu\n",
+                static_cast<unsigned long long>(res.steps_done));
+  }
   if (!args.checkpoint.empty()) {
     driver.make_checkpoint(*method).save_file(args.checkpoint);
     std::printf("checkpoint: %s (%llu steps done, %s)\n",
@@ -352,6 +441,127 @@ int cmd_optimize(const Args& args, const ppg::MultiplierSpec& spec) {
                 ppg::ppg_kind_name(res.best_point.ppg), cpa_key);
   }
   emit(args, spec, res.best_point);
+  return 0;
+}
+
+// -- service subcommands ----------------------------------------------
+
+serve::JobSpec job_spec_of(const Args& args) {
+  serve::JobSpec spec;
+  spec.bits = args.bits;
+  spec.ppg = args.ppg == ppg::PpgKind::kAnd
+                 ? "and"
+                 : (args.ppg == ppg::PpgKind::kBooth ? "mbe" : "bw");
+  spec.mac = args.mac;
+  spec.method = args.method;
+  spec.steps = args.steps;
+  spec.seed = args.seed;
+  spec.budget = args.budget;
+  spec.cpa_search = args.cpa_search;
+  spec.ppg_search = args.ppg_search;
+  return spec;
+}
+
+bool event_is_final(const serve::json::Value& ev) {
+  const serve::json::Value* type = ev.find("event");
+  if (type == nullptr || type->as_string() != "state") return false;
+  const serve::json::Value* state = ev.find("state");
+  if (state == nullptr) return false;
+  const std::string& s = state->as_string();
+  return s == "done" || s == "failed" || s == "cancelled" || s == "drained";
+}
+
+/// Streams a job's events, one JSON document per line, until a
+/// terminal/drained state event (or the server goes away).
+int follow_events(serve::Client& client, std::uint64_t job) {
+  for (;;) {
+    serve::json::Value ev;
+    try {
+      if (!client.wait_event(&ev, 1000)) continue;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "event stream closed: %s\n", e.what());
+      return 1;
+    }
+    if (const serve::json::Value* j = ev.find("job")) {
+      if (j->as_u64() != job) continue;
+    }
+    std::printf("%s\n", ev.dump().c_str());
+    std::fflush(stdout);
+    if (event_is_final(ev)) return 0;
+  }
+}
+
+int cmd_serve(const Args& args) {
+  serve::ServerOptions sopts;
+  sopts.socket_path = args.socket;
+  sopts.scheduler.max_active = args.max_active;
+  sopts.scheduler.max_queue = args.max_queue;
+  sopts.scheduler.step_threads = args.step_threads;
+  sopts.scheduler.client_budget = args.client_budget;
+  sopts.scheduler.state_dir = args.state_dir;
+  sopts.scheduler.dsdb_dir = args.dsdb;
+  serve::Server server(sopts);
+  g_server.store(&server, std::memory_order_release);
+  install_stop_handlers();
+  const std::size_t resumed = server.resume_persisted();
+  if (resumed > 0) {
+    std::printf("rlmul serve: resumed %zu drained job(s)\n", resumed);
+  }
+  // The smoke tests wait for this exact line before connecting.
+  std::printf("rlmul serve: listening on %s\n", args.socket.c_str());
+  std::fflush(stdout);
+  server.run();
+  g_server.store(nullptr, std::memory_order_release);
+  std::printf("rlmul serve: drained, exiting\n");
+  return 0;
+}
+
+int cmd_submit(const Args& args) {
+  serve::Client client(args.socket);
+  const std::uint64_t job = client.submit(job_spec_of(args), args.subscribe);
+  std::printf("RLMUL_JOB %llu\n", static_cast<unsigned long long>(job));
+  std::fflush(stdout);
+  if (!args.subscribe) return 0;
+  return follow_events(client, job);
+}
+
+int cmd_status(const Args& args) {
+  serve::Client client(args.socket);
+  const serve::json::Value v =
+      args.job != 0 ? client.status(args.job) : client.stats();
+  std::printf("%s\n", v.dump().c_str());
+  return 0;
+}
+
+int cmd_events(const Args& args) {
+  serve::Client client(args.socket);
+  // Already-finished jobs emit nothing more; print the status instead
+  // of waiting forever.
+  const serve::json::Value st = client.status(args.job);
+  const serve::json::Value* state = st.find("state");
+  if (state != nullptr) {
+    const std::string& s = state->as_string();
+    if (s == "done" || s == "failed" || s == "cancelled" || s == "drained") {
+      std::printf("%s\n", st.dump().c_str());
+      return 0;
+    }
+  }
+  client.subscribe(args.job);
+  return follow_events(client, args.job);
+}
+
+int cmd_cancel(const Args& args) {
+  serve::Client client(args.socket);
+  client.cancel(args.job);
+  std::printf("cancelled job %llu\n",
+              static_cast<unsigned long long>(args.job));
+  return 0;
+}
+
+int cmd_shutdown(const Args& args) {
+  serve::Client client(args.socket);
+  client.shutdown_server();
+  std::printf("shutdown requested\n");
   return 0;
 }
 
@@ -478,6 +688,26 @@ int main(int argc, char** argv) {
     if (args.command == "optimize") return cmd_optimize(args, spec);
     if (args.command == "list-methods" || args.command == "--list-methods") {
       return cmd_list_methods();
+    }
+    if (args.command == "serve" || args.command == "submit" ||
+        args.command == "status" || args.command == "events" ||
+        args.command == "cancel" || args.command == "shutdown") {
+      if (args.socket.empty()) {
+        std::fprintf(stderr, "%s requires --socket PATH\n",
+                     args.command.c_str());
+        return 2;
+      }
+      if ((args.command == "events" || args.command == "cancel") &&
+          args.job == 0) {
+        std::fprintf(stderr, "%s requires --job N\n", args.command.c_str());
+        return 2;
+      }
+      if (args.command == "serve") return cmd_serve(args);
+      if (args.command == "submit") return cmd_submit(args);
+      if (args.command == "status") return cmd_status(args);
+      if (args.command == "events") return cmd_events(args);
+      if (args.command == "cancel") return cmd_cancel(args);
+      return cmd_shutdown(args);
     }
     if (args.command == "dsdb-stats" || args.command == "dsdb-export-csv" ||
         args.command == "dsdb-compact") {

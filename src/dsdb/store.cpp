@@ -467,6 +467,11 @@ search::WarmStartRecords Store::warm_start_records(
   return out;
 }
 
+std::unique_ptr<synth::EvalCache> Store::make_binding(
+    const ppg::MultiplierSpec& spec, std::vector<double> targets) {
+  return std::make_unique<EvaluatorBinding>(*this, spec, std::move(targets));
+}
+
 Store::Stats Store::stats() const {
   Stats s;
   s.hits = hits_.load();

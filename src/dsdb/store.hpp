@@ -18,6 +18,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -110,6 +111,15 @@ class Store {
   search::WarmStartRecords warm_start_records(
       const ppg::MultiplierSpec& spec,
       const std::vector<double>& targets) const;
+
+  /// A fresh EvalCache binding for one (spec, target-set) contract —
+  /// the multi-job entry point: a serve scheduler binds every shared
+  /// evaluator it creates to this one store, and the bindings are
+  /// independently thread-safe (the store's sharded index is the only
+  /// shared state). The binding borrows the store; it must not outlive
+  /// it.
+  std::unique_ptr<synth::EvalCache> make_binding(
+      const ppg::MultiplierSpec& spec, std::vector<double> targets);
 
   struct Stats {
     std::uint64_t hits = 0;        ///< lookup() successes

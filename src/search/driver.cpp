@@ -21,7 +21,24 @@ void Driver::admit_warm_start() {
   }
 }
 
-RunResult Driver::run(Method& method) {
+void Driver::refresh_progress() {
+  Progress p;
+  p.best_cost = ctx_.result().best_cost;
+  p.steps_done = steps_done_;
+  p.eda_consumed = eda_consumed();
+  p.trajectory_len = ctx_.result().trajectory.size();
+  p.started = true;
+  p.completed = completed_;
+  util::LockGuard lock(progress_mu_);
+  progress_ = p;
+}
+
+Progress Driver::progress() const {
+  util::LockGuard lock(progress_mu_);
+  return progress_;
+}
+
+void Driver::begin(Method& method) {
   ctx_.result() = RunResult{};
   steps_done_ = 0;
   prior_consumed_ = 0;
@@ -32,10 +49,10 @@ RunResult Driver::run(Method& method) {
   if (opts_.warm_start != nullptr && !opts_.warm_start->empty()) {
     method.warm_start(ctx_, *opts_.warm_start);
   }
-  return loop(method);
+  refresh_progress();
 }
 
-RunResult Driver::resume(Method& method, const Checkpoint& ckpt) {
+void Driver::begin_resume(Method& method, const Checkpoint& ckpt) {
   ctx_.result() = RunResult{};
   steps_done_ = ckpt.steps_done;
   prior_consumed_ = static_cast<std::size_t>(ckpt.eda_consumed);
@@ -63,6 +80,45 @@ RunResult Driver::resume(Method& method, const Checkpoint& ckpt) {
   BlobReader r(ckpt.method_state);
   method.load_state(r);
   r.expect_end();
+  refresh_progress();
+}
+
+bool Driver::step_once(Method& method) {
+  if (opts_.max_steps > 0 && steps_done_ >= opts_.max_steps) return false;
+  if (opts_.eda_budget > 0 &&
+      eda_consumed() +
+              static_cast<std::size_t>(method.max_evals_per_step()) >
+          opts_.eda_budget) {
+    return false;
+  }
+  if (!method.step(ctx_)) {
+    completed_ = true;
+    refresh_progress();
+    return false;
+  }
+  ++steps_done_;
+  refresh_progress();
+  return true;
+}
+
+RunResult Driver::finish(Method& method) {
+  method.finish(ctx_);
+  RunResult out = ctx_.result();
+  out.eda_calls = evaluator_.num_unique_evaluations();
+  out.eda_consumed = eda_consumed();
+  out.steps_done = steps_done_;
+  out.completed = completed_;
+  refresh_progress();
+  return out;
+}
+
+RunResult Driver::run(Method& method) {
+  begin(method);
+  return loop(method);
+}
+
+RunResult Driver::resume(Method& method, const Checkpoint& ckpt) {
+  begin_resume(method, ckpt);
   return loop(method);
 }
 
@@ -85,27 +141,9 @@ Checkpoint Driver::make_checkpoint(const Method& method) const {
 }
 
 RunResult Driver::loop(Method& method) {
-  while (true) {
-    if (opts_.max_steps > 0 && steps_done_ >= opts_.max_steps) break;
-    if (opts_.eda_budget > 0 &&
-        eda_consumed() +
-                static_cast<std::size_t>(method.max_evals_per_step()) >
-            opts_.eda_budget) {
-      break;
-    }
-    if (!method.step(ctx_)) {
-      completed_ = true;
-      break;
-    }
-    ++steps_done_;
+  while (step_once(method)) {
   }
-  method.finish(ctx_);
-  RunResult out = ctx_.result();
-  out.eda_calls = evaluator_.num_unique_evaluations();
-  out.eda_consumed = eda_consumed();
-  out.steps_done = steps_done_;
-  out.completed = completed_;
-  return out;
+  return finish(method);
 }
 
 }  // namespace rlmul::search

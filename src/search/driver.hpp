@@ -11,8 +11,24 @@
 
 #include "search/checkpoint.hpp"
 #include "search/method.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rlmul::search {
+
+/// Torn-read-free snapshot of a run in flight. The driver refreshes it
+/// under its own leaf mutex after every step, so a monitor thread (the
+/// serve scheduler's `status` path) always sees a consistent
+/// (best_cost, eda_consumed, steps_done) triple — never the best cost
+/// of step N next to the step count of N+1.
+struct Progress {
+  double best_cost = 0.0;
+  std::uint64_t steps_done = 0;
+  std::uint64_t eda_consumed = 0;
+  std::uint64_t trajectory_len = 0;
+  bool started = false;    ///< begin()/begin_resume() has run
+  bool completed = false;  ///< the method finished on its own
+};
 
 struct DriverOptions {
   /// Max unique synthesis evaluations this run may consume; 0 = no cap.
@@ -45,12 +61,34 @@ class Driver {
   /// max_steps stop). Valid until the next run on this driver.
   Checkpoint make_checkpoint(const Method& method) const;
 
+  // -- Step-wise control (what run()/resume() are built from) --------
+  // The serve scheduler interleaves many searches by stepping each one
+  // explicitly: begin once, step_once until it returns false, finish
+  // to collect the RunResult. make_checkpoint is valid between any two
+  // steps — that boundary is where cancel and checkpoint-on-drain act.
+  // begin/step_once/finish must be called from one thread at a time
+  // per driver; progress() is safe from any thread.
+
+  /// Starts a fresh run (admits warm-start records, init + warm_start).
+  void begin(Method& method);
+  /// Starts a continuation of `ckpt` (bit-exact remaining trajectory).
+  void begin_resume(Method& method, const Checkpoint& ckpt);
+  /// Advances one step. False when the method finished or the driver
+  /// stopped it (budget / max_steps) — distinguish via progress().
+  bool step_once(Method& method);
+  /// Ends the run (Method::finish) and returns the uniform result.
+  RunResult finish(Method& method);
+
+  /// Thread-safe snapshot of the run in flight (or the last run).
+  Progress progress() const;
+
   /// Unique evaluations consumed so far, across resumed legs.
   std::size_t eda_consumed() const;
 
  private:
   RunResult loop(Method& method);
   void admit_warm_start();
+  void refresh_progress();
 
   synth::DesignEvaluator& evaluator_;
   DriverOptions opts_;
@@ -59,6 +97,11 @@ class Driver {
   std::size_t prior_consumed_ = 0;
   std::size_t evals_at_start_ = 0;
   bool completed_ = false;
+
+  /// Leaf lock for the monitor snapshot: taken only inside
+  /// refresh_progress()/progress(), never with another lock held.
+  mutable util::Mutex progress_mu_;
+  Progress progress_ RLMUL_GUARDED_BY(progress_mu_);
 };
 
 }  // namespace rlmul::search

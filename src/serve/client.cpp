@@ -1,0 +1,147 @@
+#include "serve/client.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace rlmul::serve {
+
+Client::Client(const std::string& socket_path)
+    : fd_(connect_unix(socket_path)) {}
+
+bool Client::read_chunk(int timeout_ms) {
+  if (timeout_ms >= 0) {
+    std::vector<PollItem> items(1);
+    items[0].fd = fd_.get();
+    poll_items(items, timeout_ms);
+    if (!items[0].readable && !items[0].error) return false;
+  }
+  char buf[4096];
+  const std::ptrdiff_t n = read_some(fd_.get(), buf, sizeof(buf));
+  if (n == 0) throw std::runtime_error("serve: server closed connection");
+  if (n > 0) parser_.feed(buf, static_cast<std::size_t>(n));
+  return true;
+}
+
+json::Value Client::call(json::Value req) {
+  const std::uint64_t id = next_id_++;
+  req["id"] = id;
+  const std::string payload = req.dump();
+  std::vector<std::uint8_t> frame;
+  util::append_frame(frame, payload);
+  write_all(fd_.get(), frame.data(), frame.size());
+
+  for (;;) {
+    std::string doc;
+    while (parser_.next(&doc)) {
+      json::Value v = json::Value::parse(doc);
+      if (v.find("event")) {
+        events_.push_back(std::move(v));
+        continue;
+      }
+      const json::Value* idf = v.find("id");
+      if (idf && idf->as_u64() == id) return v;
+      // A response for someone else's id: single-threaded clients
+      // never see this; drop it rather than deadlock.
+    }
+    read_chunk(-1);
+  }
+}
+
+bool Client::poll_event(json::Value* ev) {
+  if (events_.empty()) {
+    // Opportunistically drain whatever the socket already has.
+    std::string doc;
+    while (read_chunk(0)) {
+    }
+    while (parser_.next(&doc)) {
+      json::Value v = json::Value::parse(doc);
+      if (v.find("event")) events_.push_back(std::move(v));
+    }
+  }
+  if (events_.empty()) return false;
+  *ev = std::move(events_.front());
+  events_.pop_front();
+  return true;
+}
+
+bool Client::wait_event(json::Value* ev, int timeout_ms) {
+  if (poll_event(ev)) return true;
+  const int slice = 50;
+  int waited = 0;
+  while (waited < timeout_ms) {
+    const int step = std::min(slice, timeout_ms - waited);
+    read_chunk(step);
+    waited += step;
+    if (poll_event(ev)) return true;
+  }
+  return false;
+}
+
+json::Value Client::check(json::Value resp, const char* what) {
+  if (!resp.find("ok") || !resp.find("ok")->as_bool()) {
+    const json::Value* err = resp.find("error");
+    throw std::runtime_error(std::string(what) + " failed: " +
+                             (err ? err->as_string() : "unknown error"));
+  }
+  return resp;
+}
+
+void Client::ping() {
+  json::Value req = json::Value::object();
+  req["op"] = "ping";
+  check(call(std::move(req)), "ping");
+}
+
+std::uint64_t Client::submit(const JobSpec& spec, bool subscribe) {
+  json::Value req = json::Value::object();
+  req["op"] = "submit";
+  req["spec"] = to_json(spec);
+  if (subscribe) req["subscribe"] = true;
+  const json::Value resp = check(call(std::move(req)), "submit");
+  return resp.find("job")->as_u64();
+}
+
+json::Value Client::status(std::uint64_t job) {
+  json::Value req = json::Value::object();
+  req["op"] = "status";
+  req["job"] = job;
+  return check(call(std::move(req)), "status");
+}
+
+json::Value Client::list() {
+  json::Value req = json::Value::object();
+  req["op"] = "list";
+  return check(call(std::move(req)), "list");
+}
+
+json::Value Client::stats() {
+  json::Value req = json::Value::object();
+  req["op"] = "stats";
+  return check(call(std::move(req)), "stats");
+}
+
+std::uint64_t Client::subscribe(std::uint64_t job) {
+  json::Value req = json::Value::object();
+  req["op"] = "events";
+  req["job"] = job;
+  const json::Value resp = check(call(std::move(req)), "events");
+  const json::Value* f = resp.find("from_seq");
+  return f ? f->as_u64() : 0;
+}
+
+void Client::cancel(std::uint64_t job) {
+  json::Value req = json::Value::object();
+  req["op"] = "cancel";
+  req["job"] = job;
+  check(call(std::move(req)), "cancel");
+}
+
+void Client::shutdown_server() {
+  json::Value req = json::Value::object();
+  req["op"] = "shutdown";
+  check(call(std::move(req)), "shutdown");
+}
+
+}  // namespace rlmul::serve

@@ -1,0 +1,62 @@
+#pragma once
+// Blocking client for the serve protocol. One Client per thread — it
+// owns one connection and is not internally synchronized. call() is
+// strictly request/response; event frames that arrive while waiting
+// for a response are queued and handed out through poll_event /
+// wait_event, so a subscribed connection can interleave RPCs with its
+// event stream without losing either.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/socket.hpp"
+#include "util/framing.hpp"
+
+namespace rlmul::serve {
+
+class Client {
+ public:
+  /// Connects (blocking fd); throws std::runtime_error on failure.
+  explicit Client(const std::string& socket_path);
+
+  /// Assigns the request "id", sends, and blocks until the matching
+  /// response frame. Throws on a dead connection; protocol-level
+  /// failures come back as {"ok":false,...} for the caller to inspect.
+  json::Value call(json::Value req);
+
+  /// Pops an already-received event frame; false when none queued.
+  bool poll_event(json::Value* ev);
+  /// Waits up to timeout_ms for an event frame; false on timeout.
+  bool wait_event(json::Value* ev, int timeout_ms);
+
+  // -- convenience wrappers (throw std::runtime_error on "ok":false) --
+  void ping();
+  /// Returns the job id. subscribe=true installs the event stream from
+  /// seq 0 atomically with admission.
+  std::uint64_t submit(const JobSpec& spec, bool subscribe = false);
+  json::Value status(std::uint64_t job);
+  json::Value list();
+  json::Value stats();
+  /// Subscribes to an already-running job (mid-stream); returns the
+  /// seq the first live event will carry.
+  std::uint64_t subscribe(std::uint64_t job);
+  void cancel(std::uint64_t job);
+  /// Asks the daemon to drain (checkpoint-on-drain) and exit.
+  void shutdown_server();
+
+ private:
+  json::Value check(json::Value resp, const char* what);
+  /// Reads one socket chunk into the parser. timeout_ms < 0 blocks.
+  /// False on timeout; throws on EOF/error.
+  bool read_chunk(int timeout_ms);
+
+  Fd fd_;
+  util::FrameParser parser_;
+  std::deque<json::Value> events_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace rlmul::serve

@@ -1,0 +1,107 @@
+#pragma once
+// Minimal JSON value type for the serve wire protocol — just enough
+// for flat request/response/event documents: null, bool, number
+// (double; integers round-trip exactly up to 2^53, which covers every
+// id/seq/budget the protocol carries), string, array, object. Objects
+// keep keys sorted (std::map), so dump() output is deterministic — the
+// tests and the smoke scripts compare serialized documents textually.
+//
+// parse() throws std::runtime_error with an offset on malformed input;
+// the server turns that into a protocol error response instead of
+// crashing on a garbage frame.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rlmul::serve::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  Value(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Value(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT
+  Value(double d) : type_(Type::kNumber), num_(d) {}  // NOLINT
+  Value(int v) : Value(static_cast<double>(v)) {}  // NOLINT
+  Value(std::uint64_t v) : Value(static_cast<double>(v)) {}  // NOLINT
+  Value(std::int64_t v) : Value(static_cast<double>(v)) {}  // NOLINT
+  Value(const char* s) : type_(Type::kString), str_(s) {}  // NOLINT
+  Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+
+  static Value object() {
+    Value v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+  static Value array() {
+    Value v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double as_double(double fallback = 0.0) const {
+    return is_number() ? num_ : fallback;
+  }
+  std::int64_t as_i64(std::int64_t fallback = 0) const {
+    return is_number() ? static_cast<std::int64_t>(num_) : fallback;
+  }
+  std::uint64_t as_u64(std::uint64_t fallback = 0) const {
+    return is_number() && num_ >= 0 ? static_cast<std::uint64_t>(num_)
+                                    : fallback;
+  }
+  const std::string& as_string() const { return str_; }
+
+  std::vector<Value>& items() { return arr_; }
+  const std::vector<Value>& items() const { return arr_; }
+  std::map<std::string, Value>& fields() { return obj_; }
+  const std::map<std::string, Value>& fields() const { return obj_; }
+
+  /// Object member access; inserting on a non-object promotes it.
+  Value& operator[](const std::string& key) {
+    type_ = Type::kObject;
+    return obj_[key];
+  }
+  /// Lookup without insertion; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const {
+    if (type_ != Type::kObject) return nullptr;
+    auto it = obj_.find(key);
+    return it == obj_.end() ? nullptr : &it->second;
+  }
+  void push_back(Value v) {
+    type_ = Type::kArray;
+    arr_.push_back(std::move(v));
+  }
+
+  /// Compact single-line serialization (no trailing newline).
+  std::string dump() const;
+
+  /// Throws std::runtime_error (with byte offset) on malformed input
+  /// or trailing garbage.
+  static Value parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::map<std::string, Value> obj_;
+};
+
+}  // namespace rlmul::serve::json

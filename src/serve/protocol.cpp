@@ -1,0 +1,128 @@
+#include "serve/protocol.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rlmul::serve {
+
+ppg::MultiplierSpec resolve_spec(const JobSpec& spec) {
+  if (spec.bits < 2 || spec.bits > 32) {
+    throw std::runtime_error("bits out of range (2..32): " +
+                             std::to_string(spec.bits));
+  }
+  ppg::MultiplierSpec out;
+  out.bits = spec.bits;
+  out.mac = spec.mac;
+  if (spec.ppg == "and") out.ppg = ppg::PpgKind::kAnd;
+  else if (spec.ppg == "mbe") out.ppg = ppg::PpgKind::kBooth;
+  else if (spec.ppg == "bw") out.ppg = ppg::PpgKind::kBaughWooley;
+  else throw std::runtime_error("unknown ppg: " + spec.ppg);
+  return out;
+}
+
+search::MethodConfig resolve_config(const JobSpec& spec) {
+  search::MethodConfig cfg;
+  cfg.steps = spec.steps;
+  cfg.seed = spec.seed;
+  cfg.search_cpa = spec.cpa_search;
+  cfg.search_ppg = spec.ppg_search;
+  // Same convention as the CLI: A2C workers advance in lockstep, so
+  // each worker gets steps/threads environment steps.
+  if (spec.method == "a2c") {
+    cfg.steps = std::max(1, spec.steps / cfg.threads);
+  }
+  return cfg;
+}
+
+json::Value to_json(const JobSpec& spec) {
+  json::Value v = json::Value::object();
+  v["bits"] = spec.bits;
+  v["ppg"] = spec.ppg;
+  v["mac"] = spec.mac;
+  v["method"] = spec.method;
+  v["steps"] = spec.steps;
+  v["seed"] = spec.seed;
+  v["budget"] = spec.budget;
+  v["cpa_search"] = spec.cpa_search;
+  v["ppg_search"] = spec.ppg_search;
+  return v;
+}
+
+bool job_spec_from_json(const json::Value& v, JobSpec* out,
+                        std::string* err) {
+  if (!v.is_object()) {
+    *err = "spec must be an object";
+    return false;
+  }
+  JobSpec spec;
+  if (const json::Value* f = v.find("bits")) {
+    spec.bits = static_cast<int>(f->as_i64(0));
+  }
+  if (const json::Value* f = v.find("ppg")) spec.ppg = f->as_string();
+  if (const json::Value* f = v.find("mac")) spec.mac = f->as_bool();
+  if (const json::Value* f = v.find("method")) spec.method = f->as_string();
+  if (const json::Value* f = v.find("steps")) {
+    spec.steps = static_cast<int>(f->as_i64(0));
+  }
+  if (const json::Value* f = v.find("seed")) spec.seed = f->as_u64(1);
+  if (const json::Value* f = v.find("budget")) spec.budget = f->as_u64(0);
+  if (const json::Value* f = v.find("cpa_search")) {
+    spec.cpa_search = f->as_bool();
+  }
+  if (const json::Value* f = v.find("ppg_search")) {
+    spec.ppg_search = f->as_bool();
+  }
+  if (spec.bits < 2 || spec.bits > 32) {
+    *err = "bits out of range (2..32)";
+    return false;
+  }
+  if (spec.ppg != "and" && spec.ppg != "mbe" && spec.ppg != "bw") {
+    *err = "unknown ppg: " + spec.ppg;
+    return false;
+  }
+  if (spec.steps < 1) {
+    *err = "steps must be >= 1";
+    return false;
+  }
+  if (spec.method.empty()) {
+    *err = "method must be non-empty";
+    return false;
+  }
+  *out = spec;
+  return true;
+}
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kDrained: return "drained";
+  }
+  return "?";
+}
+
+bool job_state_terminal(JobState s) {
+  return s == JobState::kDone || s == JobState::kFailed ||
+         s == JobState::kCancelled;
+}
+
+json::Value to_json(const JobStatus& st) {
+  json::Value v = json::Value::object();
+  v["job"] = st.id;
+  v["state"] = job_state_name(st.state);
+  v["spec"] = to_json(st.spec);
+  v["best_cost"] = st.progress.best_cost;
+  v["steps_done"] = st.progress.steps_done;
+  v["eda_consumed"] = st.progress.eda_consumed;
+  v["started"] = st.progress.started;
+  v["completed"] = st.completed;
+  v["resumed"] = st.resumed;
+  v["events"] = st.events;
+  if (!st.error.empty()) v["error"] = st.error;
+  return v;
+}
+
+}  // namespace rlmul::serve

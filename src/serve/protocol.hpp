@@ -1,0 +1,87 @@
+#pragma once
+// The serve wire protocol: length-prefixed (util/framing.hpp) JSON
+// documents (serve/json.hpp) over a unix-domain socket.
+//
+// Requests are objects with an "op" and a client-chosen "id" that the
+// matching response echoes — clients may pipeline requests and match
+// responses out of band. Responses carry "ok":true plus op-specific
+// fields, or "ok":false with "error". Event frames (no "id", an
+// "event" field instead) are interleaved into subscribed connections:
+//
+//   request:  {"id":N,"op":"submit","spec":{...},"subscribe":true}
+//   response: {"id":N,"ok":true,"job":J}
+//   event:    {"event":"progress","job":J,"seq":K,"best_cost":...}
+//
+// Ops: ping, stats, submit, status (job or whole-daemon), list,
+// events (subscribe), cancel, shutdown. The full grammar is documented
+// in docs/architecture.md ("Service layer").
+
+#include <cstdint>
+#include <string>
+
+#include "ppg/ppg.hpp"
+#include "search/driver.hpp"
+#include "search/method.hpp"
+#include "serve/json.hpp"
+
+namespace rlmul::serve {
+
+/// Everything a client specifies about one optimization job — the
+/// wire-facing mirror of the CLI's optimize flags.
+struct JobSpec {
+  int bits = 8;
+  std::string ppg = "and";  ///< and | mbe | bw
+  bool mac = false;
+  std::string method = "sa";
+  int steps = 100;
+  std::uint64_t seed = 1;
+  /// Unique-synthesis-evaluation cap for this job; 0 = uncapped
+  /// (rejected when the server enforces per-client budgets).
+  std::uint64_t budget = 0;
+  bool cpa_search = false;
+  bool ppg_search = false;
+};
+
+/// Throws std::runtime_error on an invalid spec (bits range, ppg name).
+ppg::MultiplierSpec resolve_spec(const JobSpec& spec);
+/// MethodConfig with the same per-method conventions the CLI applies
+/// (A2C splits steps across workers).
+search::MethodConfig resolve_config(const JobSpec& spec);
+
+json::Value to_json(const JobSpec& spec);
+/// False (with *err set) on missing/invalid fields.
+bool job_spec_from_json(const json::Value& v, JobSpec* out, std::string* err);
+
+/// Scheduler job lifecycle. QUEUED and RUNNING are live; DONE, FAILED
+/// and CANCELLED are terminal; DRAINED is parked-on-disk (the daemon
+/// checkpointed the job on shutdown and a restart resumes it).
+enum class JobState : std::uint8_t {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,
+  kCancelled,
+  kDrained,
+};
+
+const char* job_state_name(JobState s);
+bool job_state_terminal(JobState s);
+
+/// One job's externally visible condition — what `status` returns and
+/// what state-change events embed.
+struct JobStatus {
+  std::uint64_t id = 0;
+  JobState state = JobState::kQueued;
+  JobSpec spec;
+  search::Progress progress;
+  /// True when the run ended because the method finished (vs. the
+  /// budget/steps cap); meaningful for kDone.
+  bool completed = false;
+  bool resumed = false;  ///< job was restored from a drained checkpoint
+  std::uint64_t events = 0;  ///< event frames emitted so far
+  std::string error;         ///< kFailed diagnostic
+};
+
+json::Value to_json(const JobStatus& st);
+
+}  // namespace rlmul::serve

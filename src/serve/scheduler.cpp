@@ -1,0 +1,519 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "search/checkpoint.hpp"
+#include "search/registry.hpp"
+
+namespace rlmul::serve {
+
+namespace fs = std::filesystem;
+
+using util::LockGuard;
+using util::UniqueLock;
+
+Scheduler::Scheduler(SchedulerOptions opts, EventSink sink)
+    : opts_(std::move(opts)), sink_(std::move(sink)) {
+  if (opts_.max_active < 1) opts_.max_active = 1;
+  if (opts_.max_queue < 0) opts_.max_queue = 0;
+  if (opts_.step_threads < 1) opts_.step_threads = 1;
+  if (!opts_.dsdb_dir.empty()) {
+    store_ = std::make_unique<dsdb::Store>(opts_.dsdb_dir);
+  }
+  synth::EvaluatorPool::CacheFactory factory;
+  if (store_) {
+    factory = [this](const ppg::MultiplierSpec& spec,
+                     const std::vector<double>& targets) {
+      return store_->make_binding(spec, targets);
+    };
+  }
+  epool_ = std::make_unique<synth::EvaluatorPool>(synth::EvaluatorOptions{},
+                                                  std::move(factory));
+  if (!opts_.state_dir.empty()) fs::create_directories(opts_.state_dir);
+  // Last: workers reference everything above.
+  pool_ = std::make_unique<util::ThreadPool>(opts_.step_threads);
+}
+
+Scheduler::~Scheduler() {
+  {
+    LockGuard lock(mu_);
+    shutdown_ = true;
+  }
+  // ThreadPool's destructor drains its queue: every already-enqueued
+  // start/step task still runs, sees shutdown_, and returns without
+  // touching job state. Members below pool_ outlive the workers.
+  pool_.reset();
+}
+
+bool Scheduler::submit(const JobSpec& spec, std::uint64_t client_id,
+                       std::uint64_t* job_id, std::string* err,
+                       const std::function<void(std::uint64_t)>& on_admit) {
+  // Validate before taking the lock — resolve_spec throws on bad input.
+  if (!search::is_registered(spec.method)) {
+    *err = "unknown method: " + spec.method;
+    return false;
+  }
+  try {
+    (void)resolve_spec(spec);
+  } catch (const std::exception& e) {
+    *err = e.what();
+    return false;
+  }
+
+  LockGuard lock(mu_);
+  if (shutdown_ || draining_) {
+    *err = "draining: not accepting jobs";
+    return false;
+  }
+  if (opts_.client_budget > 0) {
+    if (spec.budget == 0) {
+      *err = "budget required: this server enforces per-client EDA budgets";
+      return false;
+    }
+    const std::uint64_t used = client_used_[client_id];
+    if (used + spec.budget > opts_.client_budget) {
+      *err = "budget exhausted: " + std::to_string(used) + " of " +
+             std::to_string(opts_.client_budget) + " already committed";
+      return false;
+    }
+  }
+  if (active_n_ >= opts_.max_active &&
+      queue_.size() >= static_cast<std::size_t>(opts_.max_queue)) {
+    *err = "busy: queue full (" + std::to_string(queue_.size()) +
+           " waiting), retry later";
+    return false;
+  }
+
+  JobPtr job = std::make_shared<Job>();
+  job->id = next_id_++;
+  job->spec = spec;
+  job->client = client_id;
+  jobs_[job->id] = job;
+  if (opts_.client_budget > 0) client_used_[client_id] += spec.budget;
+  queue_.push_back(job->id);
+  if (on_admit) on_admit(job->id);
+  emit_state_locked(job);
+  activate_next_locked();
+  *job_id = job->id;
+  return true;
+}
+
+void Scheduler::activate_next_locked() {
+  while (active_n_ < opts_.max_active && !queue_.empty() && !draining_ &&
+         !shutdown_) {
+    const std::uint64_t id = queue_.front();
+    queue_.pop_front();
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) continue;
+    JobPtr job = it->second;
+    if (job->state != JobState::kQueued) continue;  // cancelled while queued
+    job->starting = true;
+    ++active_n_;
+    pool_->submit([this, job]() { start_task(job); });
+  }
+}
+
+void Scheduler::start_task(JobPtr job) {
+  {
+    LockGuard lock(mu_);
+    if (shutdown_) return;
+    job->starting = false;
+    if (job->cancel) {
+      finalize_locked(job, JobState::kCancelled);
+      --active_n_;
+      activate_next_locked();
+      return;
+    }
+    if (draining_) {
+      // Never began: park as a spec-only (or prior-checkpoint) job.
+      park_locked(job, /*with_checkpoint=*/false);
+      --active_n_;
+      return;
+    }
+    job->starting = true;
+  }
+
+  // Build the expensive pieces off the lock: the evaluator constructor
+  // runs a reference synthesis, and begin_resume replays method state.
+  std::shared_ptr<synth::DesignEvaluator> evaluator;
+  std::unique_ptr<search::Method> method;
+  std::unique_ptr<search::Driver> driver;
+  std::string error;
+  try {
+    const ppg::MultiplierSpec mspec = resolve_spec(job->spec);
+    const search::MethodConfig cfg = resolve_config(job->spec);
+    evaluator = epool_->acquire(mspec);
+    search::DriverOptions dopts;
+    dopts.eda_budget = job->spec.budget;
+    driver = std::make_unique<search::Driver>(*evaluator, dopts);
+    if (job->has_ckpt) {
+      const search::Checkpoint ckpt =
+          search::Checkpoint::load_file(ckpt_path(job->id));
+      method = search::make_method(ckpt.method, cfg);
+      driver->begin_resume(*method, ckpt);
+    } else {
+      method = search::make_method(job->spec.method, cfg);
+      driver->begin(*method);
+    }
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+
+  {
+    LockGuard lock(mu_);
+    if (shutdown_) return;
+    job->starting = false;
+    if (!error.empty()) {
+      job->error = error;
+      finalize_locked(job, JobState::kFailed);
+      --active_n_;
+      activate_next_locked();
+      return;
+    }
+    job->evaluator = std::move(evaluator);
+    job->method = std::move(method);
+    job->driver = std::move(driver);
+    if (job->cancel) {
+      finalize_locked(job, JobState::kCancelled);
+      --active_n_;
+      activate_next_locked();
+      return;
+    }
+    job->state = JobState::kRunning;
+    emit_state_locked(job);
+    emit_progress_locked(job, /*force=*/true);
+    if (draining_) {
+      park_locked(job, /*with_checkpoint=*/true);
+      --active_n_;
+      return;
+    }
+  }
+  pool_->submit([this, job]() { step_task(job); });
+}
+
+void Scheduler::step_task(JobPtr job) {
+  {
+    LockGuard lock(mu_);
+    if (shutdown_) return;
+    if (job->cancel) {
+      finalize_locked(job, JobState::kCancelled);
+      --active_n_;
+      activate_next_locked();
+      return;
+    }
+    if (draining_) {
+      park_locked(job, /*with_checkpoint=*/true);
+      --active_n_;
+      return;
+    }
+  }
+
+  // The step itself runs unlocked: this task is the job's only driver
+  // user, and long synthesis fan-outs must not stall status/submit.
+  bool more = false;
+  bool completed = false;
+  std::string error;
+  try {
+    more = job->driver->step_once(*job->method);
+    if (!more) {
+      const search::RunResult res = job->driver->finish(*job->method);
+      completed = res.completed;
+    }
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+
+  {
+    LockGuard lock(mu_);
+    if (shutdown_) return;
+    if (!error.empty()) {
+      job->error = error;
+      finalize_locked(job, JobState::kFailed);
+      --active_n_;
+      activate_next_locked();
+      return;
+    }
+    if (!more) {
+      job->completed = completed;
+      emit_progress_locked(job, /*force=*/true);
+      finalize_locked(job, JobState::kDone);
+      --active_n_;
+      activate_next_locked();
+      return;
+    }
+    emit_progress_locked(job, /*force=*/false);
+  }
+  // Re-enqueue at the pool's FIFO tail: with K workers and N active
+  // jobs this interleaves them round-robin at step granularity.
+  pool_->submit([this, job]() { step_task(job); });
+}
+
+void Scheduler::finalize_locked(const JobPtr& job, JobState state) {
+  job->state = state;
+  if (!opts_.state_dir.empty()) unpersist(job->id);
+  emit_state_locked(job);
+  cv_.notify_all();
+}
+
+void Scheduler::park_locked(const JobPtr& job, bool with_checkpoint) {
+  if (!opts_.state_dir.empty()) {
+    if (with_checkpoint && job->driver && job->method) {
+      try {
+        const search::Checkpoint ckpt =
+            job->driver->make_checkpoint(*job->method);
+        ckpt.save_file(ckpt_path(job->id));
+        job->has_ckpt = true;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "serve: checkpoint job %llu failed: %s\n",
+                     static_cast<unsigned long long>(job->id), e.what());
+      }
+    }
+    try {
+      persist_locked(job, job->has_ckpt);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "serve: persist job %llu failed: %s\n",
+                   static_cast<unsigned long long>(job->id), e.what());
+    }
+  }
+  job->state = JobState::kDrained;
+  emit_state_locked(job);
+  cv_.notify_all();
+}
+
+void Scheduler::emit_state_locked(const JobPtr& job) {
+  if (!sink_) {
+    ++job->events;
+    return;
+  }
+  json::Value v = json::Value::object();
+  v["event"] = "state";
+  v["job"] = job->id;
+  v["seq"] = job->events++;
+  v["state"] = job_state_name(job->state);
+  if (!job->error.empty()) v["error"] = job->error;
+  sink_(job->id, v);
+}
+
+void Scheduler::emit_progress_locked(const JobPtr& job, bool force) {
+  const search::Progress p =
+      job->driver ? job->driver->progress() : search::Progress{};
+  if (!force && job->emitted_any_progress &&
+      !(p.best_cost < job->last_emitted_best)) {
+    return;  // only improvements are worth a frame
+  }
+  job->last_emitted_best = p.best_cost;
+  job->emitted_any_progress = true;
+  if (!sink_) {
+    ++job->events;
+    return;
+  }
+  json::Value v = json::Value::object();
+  v["event"] = "progress";
+  v["job"] = job->id;
+  v["seq"] = job->events++;
+  v["best_cost"] = p.best_cost;
+  v["steps_done"] = p.steps_done;
+  v["eda_consumed"] = p.eda_consumed;
+  sink_(job->id, v);
+}
+
+bool Scheduler::status(std::uint64_t job_id, JobStatus* out) const {
+  LockGuard lock(mu_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return false;
+  *out = status_of_locked(it->second);
+  return true;
+}
+
+std::vector<JobStatus> Scheduler::list() const {
+  LockGuard lock(mu_);
+  std::vector<JobStatus> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(status_of_locked(job));
+  std::sort(out.begin(), out.end(),
+            [](const JobStatus& a, const JobStatus& b) { return a.id < b.id; });
+  return out;
+}
+
+JobStatus Scheduler::status_of_locked(const JobPtr& job) const {
+  JobStatus st;
+  st.id = job->id;
+  st.state = job->state;
+  st.spec = job->spec;
+  if (job->driver) st.progress = job->driver->progress();
+  st.completed = job->completed;
+  st.resumed = job->resumed;
+  st.events = job->events;
+  st.error = job->error;
+  return st;
+}
+
+bool Scheduler::cancel(std::uint64_t job_id, std::string* err) {
+  LockGuard lock(mu_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    *err = "unknown job: " + std::to_string(job_id);
+    return false;
+  }
+  JobPtr job = it->second;
+  if (job_state_terminal(job->state) || job->state == JobState::kDrained) {
+    *err = std::string("job already ") + job_state_name(job->state);
+    return false;
+  }
+  job->cancel = true;
+  if (job->state == JobState::kQueued && !job->starting) {
+    // Not yet owned by a task: cancel right here.
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), job_id),
+                 queue_.end());
+    finalize_locked(job, JobState::kCancelled);
+  }
+  return true;
+}
+
+Scheduler::Stats Scheduler::stats() const {
+  LockGuard lock(mu_);
+  Stats s;
+  s.jobs = jobs_.size();
+  s.active = static_cast<std::size_t>(active_n_);
+  s.draining = draining_;
+  for (const auto& [id, job] : jobs_) {
+    switch (job->state) {
+      case JobState::kQueued:
+        if (!job->starting) ++s.queued;
+        break;
+      case JobState::kRunning: break;  // counted by active_n_
+      case JobState::kDone: ++s.done; break;
+      case JobState::kFailed: ++s.failed; break;
+      case JobState::kCancelled: ++s.cancelled; break;
+      case JobState::kDrained: ++s.drained; break;
+    }
+  }
+  s.evaluators = epool_->live();
+  return s;
+}
+
+void Scheduler::drain() {
+  UniqueLock lock(mu_);
+  if (!draining_) {
+    draining_ = true;
+    // Jobs still waiting in the queue never started: park them without
+    // checkpoints so a restart re-admits them fresh.
+    while (!queue_.empty()) {
+      const std::uint64_t id = queue_.front();
+      queue_.pop_front();
+      auto it = jobs_.find(id);
+      if (it == jobs_.end()) continue;
+      JobPtr job = it->second;
+      if (job->state != JobState::kQueued || job->starting) continue;
+      park_locked(job, /*with_checkpoint=*/false);
+    }
+  }
+  // Active jobs park themselves at their next step boundary.
+  while (active_n_ > 0) cv_.wait(lock);
+}
+
+std::size_t Scheduler::resume_persisted() {
+  if (opts_.state_dir.empty()) return 0;
+  struct Parked {
+    std::uint64_t id;
+    JobSpec spec;
+    bool has_ckpt;
+  };
+  std::vector<Parked> parked;
+  std::error_code ec;
+  for (const fs::directory_entry& e :
+       fs::directory_iterator(opts_.state_dir, ec)) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind("job-", 0) != 0 || e.path().extension() != ".json") {
+      continue;
+    }
+    try {
+      std::ifstream in(e.path());
+      std::stringstream ss;
+      ss << in.rdbuf();
+      const json::Value v = json::Value::parse(ss.str());
+      const json::Value* idf = v.find("id");
+      const json::Value* specf = v.find("spec");
+      if (!idf || !specf) continue;
+      Parked p;
+      p.id = idf->as_u64();
+      std::string err;
+      if (!job_spec_from_json(*specf, &p.spec, &err)) continue;
+      p.has_ckpt = fs::exists(ckpt_path(p.id));
+      parked.push_back(std::move(p));
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "serve: skipping unreadable state file %s: %s\n",
+                   e.path().c_str(), ex.what());
+    }
+  }
+  std::sort(parked.begin(), parked.end(),
+            [](const Parked& a, const Parked& b) { return a.id < b.id; });
+
+  LockGuard lock(mu_);
+  std::size_t n = 0;
+  for (Parked& p : parked) {
+    if (jobs_.count(p.id) != 0) continue;
+    JobPtr job = std::make_shared<Job>();
+    job->id = p.id;
+    job->spec = std::move(p.spec);
+    job->resumed = true;
+    job->has_ckpt = p.has_ckpt;
+    jobs_[job->id] = job;
+    queue_.push_back(job->id);
+    next_id_ = std::max(next_id_, job->id + 1);
+    emit_state_locked(job);
+    ++n;
+  }
+  activate_next_locked();
+  return n;
+}
+
+bool Scheduler::wait(std::uint64_t job_id, int timeout_ms) const {
+  UniqueLock lock(mu_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return false;
+  JobPtr job = it->second;
+  return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&job] {
+    return job_state_terminal(job->state) || job->state == JobState::kDrained;
+  });
+}
+
+std::uint64_t Scheduler::client_budget_used(std::uint64_t client_id) const {
+  LockGuard lock(mu_);
+  auto it = client_used_.find(client_id);
+  return it == client_used_.end() ? 0 : it->second;
+}
+
+std::string Scheduler::json_path(std::uint64_t id) const {
+  return opts_.state_dir + "/job-" + std::to_string(id) + ".json";
+}
+
+std::string Scheduler::ckpt_path(std::uint64_t id) const {
+  return opts_.state_dir + "/job-" + std::to_string(id) + ".ckpt";
+}
+
+void Scheduler::persist_locked(const JobPtr& job, bool has_ckpt) {
+  json::Value v = json::Value::object();
+  v["id"] = job->id;
+  v["spec"] = to_json(job->spec);
+  v["has_ckpt"] = has_ckpt;
+  v["resumed"] = job->resumed;
+  const std::string path = json_path(job->id);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << v.dump() << "\n";
+}
+
+void Scheduler::unpersist(std::uint64_t id) const {
+  std::error_code ec;
+  fs::remove(json_path(id), ec);
+  fs::remove(ckpt_path(id), ec);
+}
+
+}  // namespace rlmul::serve

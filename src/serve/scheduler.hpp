@@ -1,0 +1,177 @@
+#pragma once
+// The serve scheduler: multiplexes many simultaneous search::Driver
+// runs onto one process — a private step pool (fair FIFO re-enqueue =
+// round-robin across active jobs at step granularity), one shared
+// dsdb::Store, and a synth::EvaluatorPool so jobs with the same
+// (spec, targets) contract share an evaluator and its caches.
+//
+// Admission control: at most max_active jobs step concurrently; up to
+// max_queue more wait in FIFO order; past that submit() rejects
+// ("busy" — the protocol's backpressure signal). With client_budget
+// set, every job must carry a budget and the per-client sum is capped.
+//
+// Checkpoint-on-drain: drain() parks every job at its next step
+// boundary through the bit-exact search::checkpoint layer (running
+// jobs write state_dir/job-<id>.ckpt; queued jobs persist their spec
+// only) and blocks until the scheduler is idle. resume_persisted() on
+// the next start re-admits them: checkpointed jobs continue their
+// exact remaining trajectory, queued ones start fresh.
+//
+// Lock order: Scheduler::mu_ -> (event sink's own locks, i.e.
+// Server::conns_mu_) -> nothing. The sink is invoked with mu_ held so
+// per-job event sequence numbers leave in order; sinks must not call
+// back into the scheduler.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dsdb/store.hpp"
+#include "search/driver.hpp"
+#include "search/method.hpp"
+#include "serve/protocol.hpp"
+#include "synth/evaluator_pool.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rlmul::serve {
+
+struct SchedulerOptions {
+  int max_active = 2;   ///< jobs stepping concurrently
+  int max_queue = 16;   ///< admitted-but-waiting jobs; full = backpressure
+  int step_threads = 2; ///< private pool driving the active jobs
+  /// Per-client cap on the sum of submitted job budgets (unique
+  /// synthesis evaluations). 0 = unenforced. When set, unbudgeted
+  /// jobs are rejected — the server cannot meter what a job does not
+  /// declare.
+  std::uint64_t client_budget = 0;
+  /// Directory for checkpoint-on-drain persistence; empty = drain
+  /// discards queued/running jobs (they just stop).
+  std::string state_dir;
+  /// Shared design-space database; empty = in-memory caches only.
+  std::string dsdb_dir;
+};
+
+class Scheduler {
+ public:
+  /// `sink` receives every event frame (called with the scheduler
+  /// lock held — see the lock-order note above).
+  using EventSink =
+      std::function<void(std::uint64_t job, const json::Value& event)>;
+
+  Scheduler(SchedulerOptions opts, EventSink sink);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Admits a job. False (with *err) on backpressure, budget
+  /// exhaustion, a draining scheduler, or an invalid spec. `on_admit`
+  /// (optional) runs under the scheduler lock with the new job id
+  /// BEFORE the first event is emitted — the server uses it to install
+  /// a connection's subscription atomically, so subscribe-on-submit
+  /// clients see the event stream from seq 0 with no race.
+  bool submit(const JobSpec& spec, std::uint64_t client_id,
+              std::uint64_t* job_id, std::string* err,
+              const std::function<void(std::uint64_t)>& on_admit = nullptr);
+
+  bool status(std::uint64_t job_id, JobStatus* out) const;
+  std::vector<JobStatus> list() const;
+
+  /// Requests cancellation; takes effect at the job's next step
+  /// boundary (immediately for queued jobs). False for unknown ids or
+  /// jobs already terminal.
+  bool cancel(std::uint64_t job_id, std::string* err);
+
+  struct Stats {
+    std::size_t jobs = 0;
+    std::size_t active = 0;
+    std::size_t queued = 0;
+    std::size_t done = 0;
+    std::size_t failed = 0;
+    std::size_t cancelled = 0;
+    std::size_t drained = 0;
+    std::size_t evaluators = 0;  ///< live shared evaluators
+    bool draining = false;
+  };
+  Stats stats() const;
+
+  /// Re-admits jobs persisted by a previous drain; returns how many.
+  std::size_t resume_persisted();
+
+  /// Blocks until every job is parked (terminal or drained). After
+  /// this, submit() rejects.
+  void drain();
+
+  /// Test/bench helper: waits until `job_id` leaves the live states.
+  /// False on timeout or unknown id.
+  bool wait(std::uint64_t job_id, int timeout_ms = 60000) const;
+
+  std::uint64_t client_budget_used(std::uint64_t client_id) const;
+  const SchedulerOptions& options() const { return opts_; }
+  dsdb::Store* store() { return store_.get(); }
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    JobSpec spec;
+    JobState state = JobState::kQueued;
+    bool starting = false;  ///< an activation task owns it
+    bool cancel = false;
+    bool resumed = false;
+    bool has_ckpt = false;
+    bool completed = false;
+    std::uint64_t client = 0;
+    std::uint64_t events = 0;
+    double last_emitted_best = 0.0;
+    bool emitted_any_progress = false;
+    std::string error;
+    // Built by the activation task (assigned under mu_, then used
+    // exclusively by the job's single step task).
+    std::shared_ptr<synth::DesignEvaluator> evaluator;
+    std::unique_ptr<search::Method> method;
+    std::unique_ptr<search::Driver> driver;
+  };
+  using JobPtr = std::shared_ptr<Job>;
+
+  void activate_next_locked() RLMUL_REQUIRES(mu_);
+  void start_task(JobPtr job);
+  void step_task(JobPtr job);
+  void finalize_locked(const JobPtr& job, JobState state) RLMUL_REQUIRES(mu_);
+  void park_locked(const JobPtr& job, bool with_checkpoint)
+      RLMUL_REQUIRES(mu_);
+  void emit_state_locked(const JobPtr& job) RLMUL_REQUIRES(mu_);
+  void emit_progress_locked(const JobPtr& job, bool force)
+      RLMUL_REQUIRES(mu_);
+  JobStatus status_of_locked(const JobPtr& job) const RLMUL_REQUIRES(mu_);
+  std::string json_path(std::uint64_t id) const;
+  std::string ckpt_path(std::uint64_t id) const;
+  void persist_locked(const JobPtr& job, bool has_ckpt) RLMUL_REQUIRES(mu_);
+  void unpersist(std::uint64_t id) const;
+
+  SchedulerOptions opts_;
+  EventSink sink_;
+  std::unique_ptr<dsdb::Store> store_;  ///< ctor-set, internally locked
+  std::unique_ptr<synth::EvaluatorPool> epool_;  ///< internally locked
+
+  mutable util::Mutex mu_;
+  mutable util::CondVar cv_;  ///< drain/wait wakeups; pairs mu_
+  std::unordered_map<std::uint64_t, JobPtr> jobs_ RLMUL_GUARDED_BY(mu_);
+  std::deque<std::uint64_t> queue_ RLMUL_GUARDED_BY(mu_);
+  int active_n_ RLMUL_GUARDED_BY(mu_) = 0;
+  bool draining_ RLMUL_GUARDED_BY(mu_) = false;
+  bool shutdown_ RLMUL_GUARDED_BY(mu_) = false;
+  std::uint64_t next_id_ RLMUL_GUARDED_BY(mu_) = 1;
+  std::unordered_map<std::uint64_t, std::uint64_t> client_used_
+      RLMUL_GUARDED_BY(mu_);
+
+  /// Constructed last: its workers touch every member above.
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace rlmul::serve

@@ -1,0 +1,386 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+namespace rlmul::serve {
+
+using util::LockGuard;
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)),
+      pipe_(make_pipe()),
+      pipe_write_fd_(pipe_.write_end.get()),
+      scheduler_(opts_.scheduler, [this](std::uint64_t job,
+                                         const json::Value& ev) {
+        on_event(job, ev);
+      }) {}
+
+Server::~Server() = default;
+
+void Server::request_shutdown() {
+  stop_.store(true, std::memory_order_release);
+  wake(pipe_write_fd_);
+}
+
+void Server::on_event(std::uint64_t job, const json::Value& ev) {
+  // Runs on a scheduler step thread with Scheduler::mu_ held (lock
+  // order: mu_ -> conns_mu_). Buffer only; the poll loop writes.
+  const std::string payload = ev.dump();
+  LockGuard lock(conns_mu_);
+  auto it = subs_.find(job);
+  if (it == subs_.end()) return;
+  bool queued = false;
+  for (std::uint64_t cid : it->second) {
+    auto cit = conns_.find(cid);
+    if (cit == conns_.end() || cit->second->dead) continue;
+    Conn& conn = *cit->second;
+    util::append_frame(conn.out, payload);
+    if (conn.out.size() > opts_.max_outbuf_bytes) conn.dead = true;
+    queued = true;
+  }
+  if (queued) wake(pipe_write_fd_);
+}
+
+void Server::run() {
+  listen_ = listen_unix(opts_.socket_path);
+  set_nonblocking(listen_.get());
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::vector<PollItem> items(2);
+    items[0].fd = listen_.get();
+    items[1].fd = pipe_.read_end.get();
+    std::vector<std::uint64_t> ids;
+    {
+      LockGuard lock(conns_mu_);
+      ids.reserve(conns_.size());
+      for (const auto& [id, conn] : conns_) {
+        if (conn->dead) continue;
+        PollItem item;
+        item.fd = conn->fd.get();
+        item.want_write = !conn->out.empty();
+        items.push_back(item);
+        ids.push_back(id);
+      }
+    }
+    poll_items(items, 500);
+
+    if (items[1].readable) {
+      char buf[64];
+      while (read_some(pipe_.read_end.get(), buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+
+    if (items[0].readable) accept_new();
+
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const PollItem& item = items[2 + i];
+      Conn* conn = nullptr;
+      {
+        LockGuard lock(conns_mu_);
+        auto it = conns_.find(ids[i]);
+        if (it == conns_.end()) continue;
+        conn = it->second.get();
+      }
+      // Safe unlocked: only this (poll) thread erases connections, and
+      // step threads touch nothing but `out` (under conns_mu_).
+      if (item.error) {
+        conn->dead = true;
+        continue;
+      }
+      if (item.readable) handle_readable(*conn);
+      if (item.writable && !conn->dead) flush_conn(*conn);
+    }
+
+    std::vector<std::uint64_t> dead;
+    {
+      LockGuard lock(conns_mu_);
+      for (const auto& [id, conn] : conns_) {
+        if (conn->dead) dead.push_back(id);
+      }
+    }
+    for (std::uint64_t id : dead) close_conn(id);
+  }
+
+  // Graceful shutdown: checkpoint-on-drain every live job, then give
+  // subscribers a short window to receive the final drained/state
+  // events before the sockets close.
+  scheduler_.drain();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  for (;;) {
+    bool pending = false;
+    {
+      LockGuard lock(conns_mu_);
+      for (const auto& [id, conn] : conns_) {
+        if (conn->dead) continue;
+        pending = pending || !conn->out.empty();
+      }
+    }
+    if (!pending || std::chrono::steady_clock::now() > deadline) break;
+    std::vector<std::uint64_t> ids;
+    {
+      LockGuard lock(conns_mu_);
+      for (const auto& [id, conn] : conns_) ids.push_back(id);
+    }
+    for (std::uint64_t id : ids) {
+      Conn* conn = nullptr;
+      {
+        LockGuard lock(conns_mu_);
+        auto it = conns_.find(id);
+        if (it == conns_.end()) continue;
+        conn = it->second.get();
+      }
+      if (!conn->dead) flush_conn(*conn);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  {
+    LockGuard lock(conns_mu_);
+    conns_.clear();
+    subs_.clear();
+  }
+  listen_.reset();
+  std::error_code ec;
+  std::filesystem::remove(opts_.socket_path, ec);
+}
+
+void Server::accept_new() {
+  for (;;) {
+    Fd fd = accept_conn(listen_.get());
+    if (!fd.valid()) return;
+    set_nonblocking(fd.get());
+    auto conn = std::make_unique<Conn>();
+    conn->fd = std::move(fd);
+    LockGuard lock(conns_mu_);
+    conn->id = next_conn_id_++;
+    conns_[conn->id] = std::move(conn);
+  }
+}
+
+void Server::handle_readable(Conn& conn) {
+  char buf[4096];
+  for (;;) {
+    std::ptrdiff_t n = 0;
+    try {
+      n = read_some(conn.fd.get(), buf, sizeof(buf));
+    } catch (const std::exception&) {
+      conn.dead = true;  // ECONNRESET and friends
+      return;
+    }
+    if (n < 0) break;  // EAGAIN: drained the socket
+    if (n == 0) {      // EOF — torn trailing frame dies with the conn
+      conn.dead = true;
+      return;
+    }
+    try {
+      conn.parser.feed(buf, static_cast<std::size_t>(n));
+      std::string payload;
+      while (conn.parser.next(&payload)) handle_frame(conn, payload);
+    } catch (const std::exception&) {
+      conn.dead = true;  // oversized frame: protocol violation
+      return;
+    }
+  }
+}
+
+void Server::handle_frame(Conn& conn, const std::string& payload) {
+  json::Value req;
+  try {
+    req = json::Value::parse(payload);
+  } catch (const std::exception& e) {
+    // Correctly framed garbage: reject the request, keep the conn.
+    json::Value resp = json::Value::object();
+    resp["ok"] = false;
+    resp["error"] = std::string("bad json: ") + e.what();
+    send_json(conn, resp);
+    return;
+  }
+  json::Value resp;
+  try {
+    resp = dispatch(conn, req);
+  } catch (const std::exception& e) {
+    resp = json::Value::object();
+    resp["ok"] = false;
+    resp["error"] = e.what();
+  }
+  if (const json::Value* id = req.find("id")) resp["id"] = *id;
+  send_json(conn, resp);
+}
+
+json::Value Server::dispatch(Conn& conn, const json::Value& req) {
+  json::Value resp = json::Value::object();
+  const json::Value* opf = req.find("op");
+  if (!opf || !opf->is_string()) {
+    resp["ok"] = false;
+    resp["error"] = "missing op";
+    return resp;
+  }
+  const std::string& op = opf->as_string();
+
+  if (op == "ping") {
+    resp["ok"] = true;
+    resp["pong"] = true;
+    return resp;
+  }
+
+  if (op == "stats" || (op == "status" && !req.find("job"))) {
+    const Scheduler::Stats s = scheduler_.stats();
+    resp["ok"] = true;
+    resp["jobs"] = static_cast<std::uint64_t>(s.jobs);
+    resp["active"] = static_cast<std::uint64_t>(s.active);
+    resp["queued"] = static_cast<std::uint64_t>(s.queued);
+    resp["done"] = static_cast<std::uint64_t>(s.done);
+    resp["failed"] = static_cast<std::uint64_t>(s.failed);
+    resp["cancelled"] = static_cast<std::uint64_t>(s.cancelled);
+    resp["drained"] = static_cast<std::uint64_t>(s.drained);
+    resp["evaluators"] = static_cast<std::uint64_t>(s.evaluators);
+    resp["draining"] = s.draining;
+    {
+      LockGuard lock(conns_mu_);
+      resp["conns"] = static_cast<std::uint64_t>(conns_.size());
+    }
+    return resp;
+  }
+
+  if (op == "submit") {
+    JobSpec spec;
+    std::string err;
+    if (const json::Value* specf = req.find("spec")) {
+      if (!job_spec_from_json(*specf, &spec, &err)) {
+        resp["ok"] = false;
+        resp["error"] = err;
+        return resp;
+      }
+    }
+    const bool subscribe =
+        req.find("subscribe") && req.find("subscribe")->as_bool();
+    const std::uint64_t conn_id = conn.id;
+    std::uint64_t job_id = 0;
+    std::function<void(std::uint64_t)> on_admit;
+    if (subscribe) {
+      // Runs under Scheduler::mu_ before the job's first event, so the
+      // subscriber sees the stream from seq 0.
+      on_admit = [this, conn_id](std::uint64_t j) {
+        LockGuard lock(conns_mu_);
+        subs_[j].push_back(conn_id);
+      };
+    }
+    const bool ok = scheduler_.submit(spec, conn_id, &job_id, &err, on_admit);
+    resp["ok"] = ok;
+    if (ok) {
+      resp["job"] = job_id;
+    } else {
+      resp["error"] = err;
+    }
+    return resp;
+  }
+
+  const json::Value* jobf = req.find("job");
+  const std::uint64_t job_id = jobf ? jobf->as_u64() : 0;
+
+  if (op == "status") {
+    JobStatus st;
+    if (!scheduler_.status(job_id, &st)) {
+      resp["ok"] = false;
+      resp["error"] = "unknown job: " + std::to_string(job_id);
+      return resp;
+    }
+    resp = to_json(st);
+    resp["ok"] = true;
+    return resp;
+  }
+
+  if (op == "list") {
+    json::Value jobs = json::Value::array();
+    for (const JobStatus& st : scheduler_.list()) jobs.push_back(to_json(st));
+    resp["ok"] = true;
+    resp["jobs"] = std::move(jobs);
+    return resp;
+  }
+
+  if (op == "events") {
+    JobStatus st;
+    if (!scheduler_.status(job_id, &st)) {
+      resp["ok"] = false;
+      resp["error"] = "unknown job: " + std::to_string(job_id);
+      return resp;
+    }
+    {
+      LockGuard lock(conns_mu_);
+      std::vector<std::uint64_t>& v = subs_[job_id];
+      if (std::find(v.begin(), v.end(), conn.id) == v.end()) {
+        v.push_back(conn.id);
+      }
+    }
+    // The subscription starts mid-stream; `from_seq` tells the client
+    // which seq its first live event will carry.
+    resp["ok"] = true;
+    resp["from_seq"] = st.events;
+    return resp;
+  }
+
+  if (op == "cancel") {
+    std::string err;
+    const bool ok = scheduler_.cancel(job_id, &err);
+    resp["ok"] = ok;
+    if (!ok) resp["error"] = err;
+    return resp;
+  }
+
+  if (op == "shutdown") {
+    resp["ok"] = true;
+    // The response is buffered before the loop notices the flag, and
+    // the post-drain flush window delivers it.
+    request_shutdown();
+    return resp;
+  }
+
+  resp["ok"] = false;
+  resp["error"] = "unknown op: " + op;
+  return resp;
+}
+
+void Server::send_json(Conn& conn, const json::Value& v) {
+  const std::string payload = v.dump();
+  {
+    LockGuard lock(conns_mu_);
+    util::append_frame(conn.out, payload);
+    if (conn.out.size() > opts_.max_outbuf_bytes) {
+      conn.dead = true;
+      return;
+    }
+  }
+  flush_conn(conn);
+}
+
+void Server::flush_conn(Conn& conn) {
+  LockGuard lock(conns_mu_);
+  while (!conn.out.empty()) {
+    std::ptrdiff_t n = 0;
+    try {
+      n = write_some(conn.fd.get(), conn.out.data(), conn.out.size());
+    } catch (const std::exception&) {
+      conn.dead = true;  // EPIPE: peer went away
+      return;
+    }
+    if (n < 0) return;  // EAGAIN: poll will retry when writable
+    conn.out.erase(conn.out.begin(), conn.out.begin() + n);
+  }
+}
+
+void Server::close_conn(std::uint64_t conn_id) {
+  LockGuard lock(conns_mu_);
+  for (auto it = subs_.begin(); it != subs_.end();) {
+    std::vector<std::uint64_t>& v = it->second;
+    v.erase(std::remove(v.begin(), v.end(), conn_id), v.end());
+    it = v.empty() ? subs_.erase(it) : std::next(it);
+  }
+  conns_.erase(conn_id);
+}
+
+}  // namespace rlmul::serve

@@ -1,0 +1,106 @@
+#pragma once
+// The serve daemon: a single poll(2) loop on a unix-domain socket,
+// speaking the length-prefixed JSON protocol of serve/protocol.hpp,
+// in front of a serve::Scheduler.
+//
+// Threading model: run() is the poll thread — it accepts connections,
+// parses frames, and dispatches every request inline (requests are
+// cheap; the heavy lifting happens on the scheduler's step pool).
+// Scheduler step threads deliver events through the EventSink, which
+// appends frames to subscribed connections' output buffers under
+// conns_mu_ and wakes the poll loop through the self-pipe; the loop
+// then flushes whole batches with single writes. Lock order:
+// Scheduler::mu_ -> Server::conns_mu_ (the sink and the on_admit
+// subscription hook both run under the scheduler lock), so no Server
+// path may call into the scheduler while holding conns_mu_.
+//
+// Shutdown: request_shutdown() is async-signal-safe (atomic store +
+// one pipe write) — SIGTERM/SIGINT handlers call it directly. The loop
+// notices, stops accepting, drains the scheduler (checkpoint-on-drain),
+// flushes the final event frames, and returns.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/scheduler.hpp"
+#include "serve/socket.hpp"
+#include "util/framing.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace rlmul::serve {
+
+struct ServerOptions {
+  std::string socket_path;
+  SchedulerOptions scheduler;
+  /// A connection that falls this far behind on its event stream is
+  /// dropped — the alternative is unbounded daemon memory.
+  std::size_t max_outbuf_bytes = 64u << 20;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and runs the poll loop until a shutdown request,
+  /// then drains the scheduler and returns. Call from one thread.
+  void run();
+
+  /// Async-signal-safe shutdown trigger (also used by the `shutdown`
+  /// op). Safe to call before/while/after run().
+  void request_shutdown();
+
+  /// Re-admits drained jobs from the scheduler's state dir. Call
+  /// before run().
+  std::size_t resume_persisted() { return scheduler_.resume_persisted(); }
+
+  Scheduler& scheduler() { return scheduler_; }
+
+ private:
+  struct Conn {
+    std::uint64_t id = 0;
+    Fd fd;
+    util::FrameParser parser;
+    /// Pending output (responses + event frames), flushed by the poll
+    /// loop; written by step threads through the event sink.
+    std::vector<std::uint8_t> out;
+    bool dead = false;
+  };
+
+  void on_event(std::uint64_t job, const json::Value& ev);
+  void accept_new();
+  void handle_readable(Conn& conn);
+  void handle_frame(Conn& conn, const std::string& payload);
+  json::Value dispatch(Conn& conn, const json::Value& req);
+  void send_json(Conn& conn, const json::Value& v);
+  void flush_conn(Conn& conn);
+  void close_conn(std::uint64_t conn_id);
+
+  ServerOptions opts_;
+  Pipe pipe_;            ///< self-pipe: event wakeups + signal shutdown
+  int pipe_write_fd_ = -1;  ///< cached for async-signal-safe wake()
+  std::atomic<bool> stop_{false};
+  Fd listen_;
+
+  util::Mutex conns_mu_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_
+      RLMUL_GUARDED_BY(conns_mu_);
+  /// job id -> subscribed connection ids.
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> subs_
+      RLMUL_GUARDED_BY(conns_mu_);
+  std::uint64_t next_conn_id_ RLMUL_GUARDED_BY(conns_mu_) = 1;
+
+  /// Declared last: its step threads call on_event (touching conns_)
+  /// until its destructor joins them, so everything above must outlive
+  /// it in reverse destruction order.
+  Scheduler scheduler_;
+};
+
+}  // namespace rlmul::serve

@@ -1,0 +1,170 @@
+#include "serve/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace rlmul::serve {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    int rc;
+    do {
+      rc = ::close(fd_);
+    } while (rc < 0 && errno == EINTR);
+    fd_ = -1;
+  }
+}
+
+Fd listen_unix(const std::string& path) {
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw_errno("socket");
+  // A previous daemon's stale path would make bind fail; removing it
+  // is safe because a *live* daemon still holds its listening fd (we
+  // would steal its clients, but starting two daemons on one path is
+  // operator error either way).
+  ::unlink(path.c_str());
+  sockaddr_un addr = make_addr(path);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    throw_errno("bind " + path);
+  }
+  if (::listen(fd.get(), 64) < 0) throw_errno("listen " + path);
+  return fd;
+}
+
+Fd connect_unix(const std::string& path) {
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw_errno("socket");
+  sockaddr_un addr = make_addr(path);
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) throw_errno("connect " + path);
+  return fd;
+}
+
+Fd accept_conn(int listen_fd) {
+  int rc;
+  do {
+    rc = ::accept(listen_fd, nullptr, nullptr);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Fd();
+    throw_errno("accept");
+  }
+  return Fd(rc);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl O_NONBLOCK");
+  }
+}
+
+Pipe make_pipe() {
+  int fds[2];
+  if (::pipe(fds) < 0) throw_errno("pipe");
+  Pipe p;
+  p.read_end = Fd(fds[0]);
+  p.write_end = Fd(fds[1]);
+  set_nonblocking(p.read_end.get());
+  set_nonblocking(p.write_end.get());
+  return p;
+}
+
+void wake(int write_fd) {
+  const char b = 'w';
+  // Async-signal-safe: write(2) only; a full pipe (EAGAIN) means the
+  // reader has a wakeup pending already.
+  [[maybe_unused]] ssize_t rc = ::write(write_fd, &b, 1);
+}
+
+int poll_items(std::vector<PollItem>& items, int timeout_ms) {
+  std::vector<pollfd> pfds;
+  pfds.reserve(items.size());
+  for (const PollItem& it : items) {
+    pollfd p{};
+    p.fd = it.fd;
+    p.events = POLLIN;
+    if (it.want_write) p.events |= POLLOUT;
+    pfds.push_back(p);
+  }
+  int rc;
+  do {
+    rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) throw_errno("poll");
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i].readable = (pfds[i].revents & POLLIN) != 0;
+    items[i].writable = (pfds[i].revents & POLLOUT) != 0;
+    items[i].error = (pfds[i].revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+  }
+  return rc;
+}
+
+std::ptrdiff_t read_some(int fd, void* buf, std::size_t n) {
+  ssize_t rc;
+  do {
+    rc = ::read(fd, buf, n);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    throw_errno("read");
+  }
+  return rc;
+}
+
+std::ptrdiff_t write_some(int fd, const void* buf, std::size_t n) {
+  ssize_t rc;
+  do {
+    rc = ::send(fd, buf, n, MSG_NOSIGNAL);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    throw_errno("write");
+  }
+  return rc;
+}
+
+void write_all(int fd, const void* buf, std::size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    const std::ptrdiff_t rc = write_some(fd, p, n);
+    if (rc < 0) {
+      // Blocking fd: EAGAIN cannot happen; treat as transient.
+      continue;
+    }
+    if (rc == 0) throw std::runtime_error("write: connection closed");
+    p += rc;
+    n -= static_cast<std::size_t>(rc);
+  }
+}
+
+}  // namespace rlmul::serve

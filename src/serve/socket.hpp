@@ -1,0 +1,95 @@
+#pragma once
+// Unix-domain socket plumbing for the serve daemon and its clients.
+// This is the ONLY place in src/ allowed to issue raw socket/poll
+// syscalls (tools/lint/check_invariants.py `raw-socket` rule): the
+// rest of the service speaks through these RAII helpers, so fd
+// lifetime bugs and EINTR handling live in one file.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rlmul::serve {
+
+/// RAII file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds + listens on a unix socket, unlinking any stale path first.
+/// Throws std::runtime_error on failure.
+Fd listen_unix(const std::string& path);
+
+/// Connects to a listening unix socket; throws on failure.
+Fd connect_unix(const std::string& path);
+
+/// Accepts one pending connection; invalid Fd when none ready.
+Fd accept_conn(int listen_fd);
+
+void set_nonblocking(int fd);
+
+/// A pipe pair for poll-loop wakeups. The write end is async-signal
+/// safe to write one byte to (signal handlers use it).
+struct Pipe {
+  Fd read_end;
+  Fd write_end;
+};
+Pipe make_pipe();
+
+/// Writes one byte, ignoring EAGAIN (a full pipe already wakes the
+/// reader). Async-signal-safe.
+void wake(int write_fd);
+
+/// What poll reported for one fd.
+struct PollItem {
+  int fd = -1;
+  bool want_write = false;  ///< in: also watch writability
+  bool readable = false;    ///< out
+  bool writable = false;    ///< out
+  bool error = false;       ///< out: HUP/ERR/NVAL
+};
+
+/// poll(2) with EINTR retry. Returns number of fds with events (0 on
+/// timeout). `timeout_ms` < 0 blocks indefinitely.
+int poll_items(std::vector<PollItem>& items, int timeout_ms);
+
+/// Blocking read/write with EINTR retry. read_some returns 0 on EOF,
+/// -1 on EAGAIN (nonblocking fd, nothing there), throws on hard error.
+std::ptrdiff_t read_some(int fd, void* buf, std::size_t n);
+/// Returns bytes written (possibly short on nonblocking fds; -1 on
+/// EAGAIN with nothing written), throws on hard error (EPIPE included
+/// — callers treat a dead peer as a closed connection).
+std::ptrdiff_t write_some(int fd, const void* buf, std::size_t n);
+
+/// Writes all n bytes on a blocking fd; throws on error/EOF.
+void write_all(int fd, const void* buf, std::size_t n);
+
+}  // namespace rlmul::serve

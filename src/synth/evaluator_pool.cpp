@@ -1,0 +1,62 @@
+#include "synth/evaluator_pool.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace rlmul::synth {
+
+std::string EvaluatorPool::key_of(const ppg::MultiplierSpec& spec,
+                                  const std::vector<double>& targets) {
+  // Exact-contract key: spec fields plus every target's IEEE-754 bit
+  // pattern — two target sets share an evaluator only when their
+  // synthesis constraints are bitwise identical.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%d|%d|%d|", spec.bits,
+                static_cast<int>(spec.ppg), spec.mac ? 1 : 0);
+  std::string key = buf;
+  for (double t : targets) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(t));
+    std::memcpy(&bits, &t, sizeof(bits));
+    std::snprintf(buf, sizeof(buf), "%016llx,",
+                  static_cast<unsigned long long>(bits));
+    key += buf;
+  }
+  return key;
+}
+
+std::shared_ptr<DesignEvaluator> EvaluatorPool::acquire(
+    const ppg::MultiplierSpec& spec, std::vector<double> targets) {
+  if (targets.empty()) targets = default_targets(spec);
+  const std::string key = key_of(spec, targets);
+  util::LockGuard lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    if (std::shared_ptr<DesignEvaluator> ev = it->second.lock()) return ev;
+  }
+  auto holder = std::make_shared<Holder>();
+  EvaluatorOptions opts = base_;
+  if (cache_factory_) {
+    holder->cache = cache_factory_(spec, targets);
+    opts.external_cache = holder->cache.get();
+  }
+  holder->evaluator =
+      std::make_unique<DesignEvaluator>(spec, std::move(targets), opts);
+  // Alias: the caller-visible pointer is the evaluator, the ownership
+  // is the holder (evaluator + its cache destruct together, cache
+  // strictly after the evaluator that references it).
+  std::shared_ptr<DesignEvaluator> ev(holder, holder->evaluator.get());
+  map_[key] = ev;
+  return ev;
+}
+
+std::size_t EvaluatorPool::live() const {
+  util::LockGuard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [key, weak] : map_) {
+    if (!weak.expired()) ++n;
+  }
+  return n;
+}
+
+}  // namespace rlmul::synth

@@ -1,0 +1,70 @@
+#pragma once
+// Shared-evaluator registry for multi-job processes (the serve
+// scheduler): jobs whose (spec, target set) contracts match share one
+// DesignEvaluator — and with it the in-memory evaluation cache, the
+// in-flight dedup, the Pareto archive and the batching coalescer — so
+// two clients optimizing the same multiplier never synthesize the same
+// design twice. Entries are weak: an evaluator lives exactly as long
+// as some job holds it, and a later job with the same contract revives
+// nothing stale (a dead weak_ptr is replaced by a fresh evaluator).
+//
+// The optional CacheFactory attaches an external EvalCache (typically
+// a dsdb::EvaluatorBinding over the server's single store) to every
+// evaluator the pool constructs; the returned shared_ptr keeps the
+// cache alive alongside the evaluator it is bound to.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ppg/ppg.hpp"
+#include "synth/evaluator.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace rlmul::synth {
+
+class EvaluatorPool {
+ public:
+  using CacheFactory = std::function<std::unique_ptr<EvalCache>(
+      const ppg::MultiplierSpec&, const std::vector<double>&)>;
+
+  /// `base` seeds every constructed evaluator's options (its
+  /// external_cache slot is overwritten by the factory's cache).
+  explicit EvaluatorPool(EvaluatorOptions base = {},
+                         CacheFactory cache_factory = nullptr)
+      : base_(base), cache_factory_(std::move(cache_factory)) {}
+
+  /// The shared evaluator for (spec, targets), constructing it on
+  /// first use. Empty `targets` resolves to default_targets(spec) so
+  /// explicit and defaulted callers land on the same instance.
+  /// Construction runs under the pool lock: concurrent first-acquires
+  /// of one contract must produce one evaluator, and the constructor's
+  /// reference evaluation is paid once.
+  std::shared_ptr<DesignEvaluator> acquire(const ppg::MultiplierSpec& spec,
+                                           std::vector<double> targets = {});
+
+  /// Evaluators currently alive (held by at least one job).
+  std::size_t live() const;
+
+ private:
+  /// An evaluator plus the external cache it is bound to; the aliased
+  /// shared_ptr handed to callers owns this holder.
+  struct Holder {
+    std::unique_ptr<EvalCache> cache;
+    std::unique_ptr<DesignEvaluator> evaluator;
+  };
+
+  static std::string key_of(const ppg::MultiplierSpec& spec,
+                            const std::vector<double>& targets);
+
+  EvaluatorOptions base_;
+  CacheFactory cache_factory_;
+  mutable util::Mutex mu_;
+  std::unordered_map<std::string, std::weak_ptr<DesignEvaluator>> map_
+      RLMUL_GUARDED_BY(mu_);
+};
+
+}  // namespace rlmul::synth

@@ -1,0 +1,61 @@
+#include "util/framing.hpp"
+
+#include <stdexcept>
+
+namespace rlmul::util {
+
+void append_frame(std::vector<std::uint8_t>& out, std::string_view payload) {
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  if (payload.size() != static_cast<std::size_t>(n)) {
+    throw std::runtime_error("frame payload exceeds 4 GiB");
+  }
+  out.push_back(static_cast<std::uint8_t>(n & 0xff));
+  out.push_back(static_cast<std::uint8_t>((n >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((n >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((n >> 24) & 0xff));
+  const std::uint8_t* p = reinterpret_cast<const std::uint8_t*>(payload.data());
+  out.insert(out.end(), p, p + payload.size());
+}
+
+std::vector<std::uint8_t> encode_frame(std::string_view payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + payload.size());
+  append_frame(out, payload);
+  return out;
+}
+
+void FrameParser::feed(const void* data, std::size_t n) {
+  const std::uint8_t* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+bool FrameParser::next(std::string* payload) {
+  if (poisoned_) {
+    throw std::runtime_error("frame parser poisoned by oversized frame");
+  }
+  // Reclaim the consumed prefix once it dominates the buffer, so a
+  // long-lived connection doesn't grow its scratch forever.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  if (buf_.size() - pos_ < 4) return false;
+  const std::uint8_t* hdr = buf_.data() + pos_;
+  const std::uint32_t n = static_cast<std::uint32_t>(hdr[0]) |
+                          (static_cast<std::uint32_t>(hdr[1]) << 8) |
+                          (static_cast<std::uint32_t>(hdr[2]) << 16) |
+                          (static_cast<std::uint32_t>(hdr[3]) << 24);
+  if (static_cast<std::size_t>(n) > max_frame_) {
+    poisoned_ = true;
+    throw std::runtime_error("oversized frame: " + std::to_string(n) +
+                             " bytes (limit " + std::to_string(max_frame_) +
+                             ")");
+  }
+  if (buf_.size() - pos_ < 4 + static_cast<std::size_t>(n)) return false;
+  payload->assign(reinterpret_cast<const char*>(buf_.data() + pos_ + 4),
+                  static_cast<std::size_t>(n));
+  pos_ += 4 + static_cast<std::size_t>(n);
+  return true;
+}
+
+}  // namespace rlmul::util

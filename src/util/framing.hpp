@@ -1,0 +1,58 @@
+#pragma once
+// Length-prefixed frame codec for the rlmul serve protocol: every
+// message on the wire is a 4-byte little-endian payload length followed
+// by the payload bytes (one JSON document). The codec is pure byte
+// shuffling — no sockets, no syscalls — so both sides of a connection
+// and the tests share one implementation. Raw socket I/O lives in
+// src/serve/socket.* (the lint confines it there).
+//
+// FrameParser is an incremental decoder: feed() appends whatever bytes
+// arrived, next() extracts complete payloads in order. A frame whose
+// declared length exceeds the limit throws immediately (before the
+// payload arrives), so a malicious or corrupted peer cannot make the
+// parser buffer unbounded garbage. Torn frames (connection died mid
+// message) simply never complete.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rlmul::util {
+
+/// Hard ceiling a FrameParser accepts by default; large enough for any
+/// status/event payload, small enough to bound per-connection memory.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 1u << 20;
+
+/// Appends one frame (length prefix + payload) to `out`.
+void append_frame(std::vector<std::uint8_t>& out, std::string_view payload);
+
+/// Convenience: a single frame as a fresh buffer.
+std::vector<std::uint8_t> encode_frame(std::string_view payload);
+
+class FrameParser {
+ public:
+  explicit FrameParser(std::size_t max_frame = kDefaultMaxFrameBytes)
+      : max_frame_(max_frame) {}
+
+  /// Appends raw bytes from the wire.
+  void feed(const void* data, std::size_t n);
+
+  /// Extracts the next complete payload into `*payload`; false when
+  /// more bytes are needed. Throws std::runtime_error on a frame whose
+  /// declared length exceeds the limit (protocol violation — the
+  /// caller should drop the connection; the parser is poisoned).
+  bool next(std::string* payload);
+
+  /// Bytes fed but not yet returned through next().
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::size_t max_frame_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buf_
+  bool poisoned_ = false;
+};
+
+}  // namespace rlmul::util

@@ -13,6 +13,7 @@
 // the mutex re-acquired, and the transient release inside wait() is
 // invisible to (and irrelevant for) lock-discipline checking.
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -98,6 +99,13 @@ class CondVar {
   template <class Pred>
   void wait(UniqueLock& lock, Pred pred) {
     cv_.wait(lock.native(), std::move(pred));
+  }
+
+  /// Returns the predicate's final value (false = timed out).
+  template <class Rep, class Period, class Pred>
+  bool wait_for(UniqueLock& lock,
+                const std::chrono::duration<Rep, Period>& dur, Pred pred) {
+    return cv_.wait_for(lock.native(), dur, std::move(pred));
   }
 
  private:

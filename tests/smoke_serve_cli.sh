@@ -1,0 +1,170 @@
+#!/usr/bin/env bash
+# CI smoke for the serve daemon, end to end over the real unix socket:
+# a daemon takes two jobs sharing one --dsdb, one is cancelled, then
+# `shutdown` drains the other mid-run (checkpoint-on-drain). A second
+# daemon on the same --state-dir auto-resumes the drained job, and its
+# final best_cost must equal a fresh uninterrupted run of the same spec
+# bit for bit — compared as the %.17g text the status op prints.
+# Usage: smoke_serve_cli.sh <path-to-rlmul_cli>
+set -u
+
+cli="${1:?usage: smoke_serve_cli.sh <rlmul_cli>}"
+
+tmp="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+  if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+    kill "$daemon_pid" 2>/dev/null
+    wait "$daemon_pid" 2>/dev/null
+  fi
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+sock="$tmp/d.sock"
+state="$tmp/state"
+db="$tmp/db"
+
+# Big enough that the job cannot finish before we drain it, small
+# enough that the resumed leg completes well inside the CI timeout.
+spec_flags="--bits 16 --method sa --steps 12000 --seed 7"
+
+start_daemon() {
+  "$cli" serve --socket "$sock" --state-dir "$state" --dsdb "$db" \
+    --max-active 2 >"$1" 2>&1 &
+  daemon_pid=$!
+  for _ in $(seq 1 100); do
+    if grep -q 'rlmul serve: listening on' "$1" 2>/dev/null; then
+      return 0
+    fi
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then
+      cat "$1"
+      echo "FAIL: daemon exited before listening"
+      exit 1
+    fi
+    sleep 0.1
+  done
+  cat "$1"
+  echo "FAIL: daemon never printed the listening line"
+  exit 1
+}
+
+stop_daemon() {
+  if ! "$cli" shutdown --socket "$sock" >/dev/null 2>&1; then
+    echo "FAIL: shutdown op failed"
+    exit 1
+  fi
+  wait "$daemon_pid"
+  daemon_pid=""
+}
+
+submit_job() {
+  # Prints the job id; extra flags (e.g. a different seed) come in $@.
+  out="$("$cli" submit --socket "$sock" $spec_flags "$@" 2>&1)"
+  id="$(printf '%s\n' "$out" | grep '^RLMUL_JOB ' | awk '{print $2}')"
+  if [ -z "$id" ]; then
+    printf '%s\n' "$out"
+    echo "FAIL: submit printed no RLMUL_JOB line"
+    exit 1
+  fi
+  printf '%s\n' "$id"
+}
+
+job_status() {
+  "$cli" status --socket "$sock" --job "$1" 2>&1
+}
+
+field() {
+  # field <name> <json>: the raw value text of a top-level field.
+  printf '%s\n' "$2" | grep -o "\"$1\":[^,}]*" | head -n 1 | cut -d: -f2
+}
+
+wait_done() {
+  for _ in $(seq 1 240); do
+    st="$(job_status "$1")"
+    case "$(field state "$st")" in
+      '"done"') printf '%s\n' "$st"; return 0 ;;
+      '"failed"'|'"cancelled"')
+        printf '%s\n' "$st"
+        echo "FAIL: job $1 ended in $(field state "$st")"
+        exit 1 ;;
+    esac
+    sleep 0.5
+  done
+  echo "FAIL: job $1 did not finish in time"
+  exit 1
+}
+
+start_daemon "$tmp/serve1.log"
+
+job1="$(submit_job)"
+job2="$(submit_job --seed 8)"
+echo "submitted: job $job1 (seed 7), job $job2 (seed 8)"
+
+if ! "$cli" cancel --socket "$sock" --job "$job2" >/dev/null 2>&1; then
+  echo "FAIL: cancel of job $job2 failed"
+  exit 1
+fi
+for _ in $(seq 1 60); do
+  st2="$(job_status "$job2")"
+  [ "$(field state "$st2")" = '"cancelled"' ] && break
+  sleep 0.5
+done
+if [ "$(field state "$st2")" != '"cancelled"' ]; then
+  printf '%s\n' "$st2"
+  echo "FAIL: job $job2 never reached cancelled"
+  exit 1
+fi
+
+# Drain while job1 is still running; the daemon must park it on disk.
+stop_daemon
+if ! grep -q 'rlmul serve: drained, exiting' "$tmp/serve1.log"; then
+  cat "$tmp/serve1.log"
+  echo "FAIL: first daemon did not report a clean drain"
+  exit 1
+fi
+if [ ! -f "$state/job-$job1.json" ]; then
+  ls -la "$state" 2>/dev/null
+  echo "FAIL: drain left no state file for job $job1"
+  exit 1
+fi
+if [ -f "$state/job-$job2.json" ]; then
+  echo "FAIL: cancelled job $job2 was persisted"
+  exit 1
+fi
+
+# Restart: the drained job resumes automatically and runs to done.
+start_daemon "$tmp/serve2.log"
+if ! grep -q 'rlmul serve: resumed 1 drained job(s)' "$tmp/serve2.log"; then
+  cat "$tmp/serve2.log"
+  echo "FAIL: second daemon did not resume the drained job"
+  exit 1
+fi
+st1="$(wait_done "$job1")"
+if [ "$(field resumed "$st1")" != "true" ]; then
+  printf '%s\n' "$st1"
+  echo "FAIL: job $job1 not marked resumed after restart"
+  exit 1
+fi
+cost_resumed="$(field best_cost "$st1")"
+
+# A fresh, uninterrupted job with the identical spec on the same daemon
+# must land on exactly the same best cost (%.17g text comparison).
+job3="$(submit_job)"
+st3="$(wait_done "$job3")"
+cost_fresh="$(field best_cost "$st3")"
+if [ -z "$cost_resumed" ] || [ "$cost_resumed" != "$cost_fresh" ]; then
+  echo "FAIL: resumed best_cost $cost_resumed != fresh $cost_fresh"
+  exit 1
+fi
+
+# Terminal jobs must clean up their parked state.
+if [ -f "$state/job-$job1.json" ] || [ -f "$state/job-$job1.ckpt" ]; then
+  echo "FAIL: resumed job $job1 left stale state files"
+  exit 1
+fi
+
+stop_daemon
+
+echo "PASS: serve smoke (drain/resume best_cost=$cost_resumed," \
+     "fresh=$cost_fresh, cancelled job $job2)"

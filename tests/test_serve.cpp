@@ -1,0 +1,664 @@
+// Tests for the service layer: frame codec (round-trip, torn,
+// oversized, garbage), the wire JSON codec, evaluator sharing through
+// synth::EvaluatorPool, the Driver's torn-read-free Progress snapshot,
+// scheduler admission/cancel/budget/drain-resume semantics, and the
+// full server+client stack under concurrent hammering (tsan-labeled).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "search/driver.hpp"
+#include "search/registry.hpp"
+#include "serve/client.hpp"
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/server.hpp"
+#include "serve/socket.hpp"
+#include "synth/evaluator.hpp"
+#include "synth/evaluator_pool.hpp"
+#include "util/framing.hpp"
+#include "util/sync.hpp"
+
+namespace {
+
+using namespace rlmul;
+
+std::string scratch_dir(const std::string& tag) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / ("rlmul_serve_" + tag))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// Unix socket paths are limited to ~107 bytes; keep them short.
+std::string scratch_socket(const std::string& tag) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / ("rlsrv_" + tag + ".sock"))
+          .string();
+  std::filesystem::remove(path);  // stale from an aborted previous run
+  return path;
+}
+
+/// Runs Server::run() on a thread and guarantees shutdown+join even
+/// when the test body exits by exception (a joinable std::thread dtor
+/// would otherwise call std::terminate).
+struct ServerRunner {
+  explicit ServerRunner(serve::Server& s)
+      : server(s), thread([&s]() { s.run(); }) {}
+  ~ServerRunner() { join(); }
+  void join() {
+    server.request_shutdown();
+    if (thread.joinable()) thread.join();
+  }
+  serve::Server& server;
+  std::thread thread;
+};
+
+/// Connects with retry: between bind() and listen() the socket file
+/// exists but connect() is refused, so waiting on the path alone races.
+serve::Fd connect_retry(const std::string& sock) {
+  for (int i = 0;; ++i) {
+    try {
+      return serve::connect_unix(sock);
+    } catch (const std::exception&) {
+      if (i >= 200) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+TEST(Framing, RoundTripSingleAndBatched) {
+  std::vector<std::uint8_t> wire;
+  util::append_frame(wire, "hello");
+  util::append_frame(wire, "");
+  util::append_frame(wire, std::string(1000, 'x'));
+
+  util::FrameParser parser;
+  parser.feed(wire.data(), wire.size());
+  std::string payload;
+  ASSERT_TRUE(parser.next(&payload));
+  EXPECT_EQ(payload, "hello");
+  ASSERT_TRUE(parser.next(&payload));
+  EXPECT_EQ(payload, "");
+  ASSERT_TRUE(parser.next(&payload));
+  EXPECT_EQ(payload, std::string(1000, 'x'));
+  EXPECT_FALSE(parser.next(&payload));
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(Framing, TornFrameCompletesByteByByte) {
+  std::vector<std::uint8_t> wire;
+  util::append_frame(wire, "torn frame payload");
+
+  util::FrameParser parser;
+  std::string payload;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    parser.feed(&wire[i], 1);
+    EXPECT_FALSE(parser.next(&payload)) << "completed too early at " << i;
+  }
+  parser.feed(&wire[wire.size() - 1], 1);
+  ASSERT_TRUE(parser.next(&payload));
+  EXPECT_EQ(payload, "torn frame payload");
+}
+
+TEST(Framing, OversizedFrameThrowsAndPoisons) {
+  util::FrameParser parser(64);
+  // Header alone is enough: the length is rejected before the payload
+  // arrives, so a hostile peer cannot make us buffer it.
+  std::vector<std::uint8_t> wire;
+  util::append_frame(wire, std::string(100, 'y'));
+  parser.feed(wire.data(), 4);
+  std::string payload;
+  EXPECT_THROW(parser.next(&payload), std::exception);
+  // Poisoned: even well-formed frames are rejected afterwards.
+  std::vector<std::uint8_t> ok;
+  util::append_frame(ok, "ok");
+  parser.feed(ok.data(), ok.size());
+  EXPECT_THROW(parser.next(&payload), std::exception);
+}
+
+TEST(Framing, GarbageBytesAreDeliveredVerbatim) {
+  // Framing is content-agnostic: a well-framed garbage payload parses
+  // as a frame (rejecting it is the JSON layer's job).
+  std::vector<std::uint8_t> wire;
+  util::append_frame(wire, "\x01\x02 not json \xff");
+  util::FrameParser parser;
+  parser.feed(wire.data(), wire.size());
+  std::string payload;
+  ASSERT_TRUE(parser.next(&payload));
+  EXPECT_EQ(payload, "\x01\x02 not json \xff");
+  EXPECT_THROW(serve::json::Value::parse(payload), std::exception);
+}
+
+// ---------------------------------------------------------------------
+// Wire JSON
+// ---------------------------------------------------------------------
+
+TEST(ServeJson, RoundTripAndDeterministicDump) {
+  serve::json::Value v = serve::json::Value::object();
+  v["zeta"] = 1;
+  v["alpha"] = "a\"b\\c\n";
+  v["mid"] = true;
+  v["pi"] = 3.5;
+  v["big"] = std::uint64_t{1} << 52;
+  serve::json::Value arr = serve::json::Value::array();
+  arr.push_back(1);
+  arr.push_back(serve::json::Value());
+  v["arr"] = arr;
+
+  const std::string text = v.dump();
+  // Keys come out sorted regardless of insertion order.
+  EXPECT_LT(text.find("\"alpha\""), text.find("\"arr\""));
+  EXPECT_LT(text.find("\"arr\""), text.find("\"big\""));
+
+  const serve::json::Value back = serve::json::Value::parse(text);
+  EXPECT_EQ(back.find("zeta")->as_i64(), 1);
+  EXPECT_EQ(back.find("alpha")->as_string(), "a\"b\\c\n");
+  EXPECT_TRUE(back.find("mid")->as_bool());
+  EXPECT_EQ(back.find("big")->as_u64(), std::uint64_t{1} << 52);
+  EXPECT_EQ(back.find("arr")->items().size(), 2u);
+  // dump(parse(dump(v))) is a fixed point — the protocol can be
+  // compared textually.
+  EXPECT_EQ(back.dump(), text);
+}
+
+TEST(ServeJson, RejectsMalformedInput) {
+  EXPECT_THROW(serve::json::Value::parse(""), std::exception);
+  EXPECT_THROW(serve::json::Value::parse("{"), std::exception);
+  EXPECT_THROW(serve::json::Value::parse("{}x"), std::exception);
+  EXPECT_THROW(serve::json::Value::parse("{\"a\":}"), std::exception);
+  EXPECT_THROW(serve::json::Value::parse("[1,]"), std::exception);
+  EXPECT_THROW(serve::json::Value::parse("nul"), std::exception);
+}
+
+TEST(ServeJson, JobSpecRoundTrip) {
+  serve::JobSpec spec;
+  spec.bits = 12;
+  spec.ppg = "mbe";
+  spec.mac = true;
+  spec.method = "dqn";
+  spec.steps = 77;
+  spec.seed = 42;
+  spec.budget = 1000;
+  spec.cpa_search = true;
+
+  serve::JobSpec back;
+  std::string err;
+  ASSERT_TRUE(serve::job_spec_from_json(
+      serve::json::Value::parse(serve::to_json(spec).dump()), &back, &err))
+      << err;
+  EXPECT_EQ(back.bits, 12);
+  EXPECT_EQ(back.ppg, "mbe");
+  EXPECT_TRUE(back.mac);
+  EXPECT_EQ(back.method, "dqn");
+  EXPECT_EQ(back.steps, 77);
+  EXPECT_EQ(back.seed, 42u);
+  EXPECT_EQ(back.budget, 1000u);
+  EXPECT_TRUE(back.cpa_search);
+  EXPECT_FALSE(back.ppg_search);
+
+  serve::json::Value bad = serve::json::Value::object();
+  bad["bits"] = 99;
+  EXPECT_FALSE(serve::job_spec_from_json(bad, &back, &err));
+}
+
+// ---------------------------------------------------------------------
+// Evaluator sharing
+// ---------------------------------------------------------------------
+
+TEST(EvaluatorPool, SharesByContractAndExpires) {
+  synth::EvaluatorPool pool;
+  ppg::MultiplierSpec a;
+  a.bits = 4;
+  ppg::MultiplierSpec b;
+  b.bits = 5;
+
+  auto e1 = pool.acquire(a);
+  auto e2 = pool.acquire(a);
+  auto e3 = pool.acquire(b);
+  EXPECT_EQ(e1.get(), e2.get()) << "same contract must share";
+  EXPECT_NE(e1.get(), e3.get()) << "different contract must not";
+  EXPECT_EQ(pool.live(), 2u);
+
+  e1.reset();
+  e2.reset();
+  EXPECT_EQ(pool.live(), 1u);
+  // A fresh acquire after expiry builds a new evaluator.
+  auto e4 = pool.acquire(a);
+  EXPECT_NE(e4, nullptr);
+  EXPECT_EQ(pool.live(), 2u);
+}
+
+TEST(EvaluatorPool, ConcurrentAcquireYieldsOneEvaluator) {
+  synth::EvaluatorPool pool;
+  ppg::MultiplierSpec spec;
+  spec.bits = 4;
+  std::vector<std::shared_ptr<synth::DesignEvaluator>> got(4);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&pool, &got, spec, i]() {
+      got[static_cast<std::size_t>(i)] = pool.acquire(spec);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(got[0].get(), got[static_cast<std::size_t>(i)].get());
+  }
+  EXPECT_EQ(pool.live(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Driver progress snapshot
+// ---------------------------------------------------------------------
+
+TEST(DriverProgress, SnapshotIsConsistentUnderConcurrentReads) {
+  ppg::MultiplierSpec spec;
+  spec.bits = 4;
+  synth::DesignEvaluator evaluator(spec, {});
+  search::Driver driver(evaluator);
+  search::MethodConfig cfg;
+  cfg.steps = 40;
+  cfg.seed = 3;
+  auto method = search::make_method("sa", cfg);
+
+  std::atomic<bool> done{false};
+  std::thread runner([&]() {
+    driver.begin(*method);
+    while (driver.step_once(*method)) {
+    }
+    (void)driver.finish(*method);
+    done.store(true);
+  });
+
+  std::uint64_t last_steps = 0;
+  std::uint64_t last_eda = 0;
+  while (!done.load()) {
+    const search::Progress p = driver.progress();
+    // Monotonicity across snapshots — a torn read would violate it.
+    EXPECT_GE(p.steps_done, last_steps);
+    EXPECT_GE(p.eda_consumed, last_eda);
+    if (p.started && p.steps_done > 0) {
+      EXPECT_GT(p.best_cost, 0.0);
+    }
+    last_steps = p.steps_done;
+    last_eda = p.eda_consumed;
+  }
+  runner.join();
+
+  const search::Progress fin = driver.progress();
+  EXPECT_TRUE(fin.completed);
+  EXPECT_EQ(fin.steps_done, 40u);
+}
+
+// ---------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------
+
+serve::JobSpec tiny_job(int steps = 12, std::uint64_t seed = 3) {
+  serve::JobSpec spec;
+  spec.bits = 4;
+  spec.method = "sa";
+  spec.steps = steps;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(Scheduler, RunsJobsAndStreamsContiguousEvents) {
+  util::Mutex mu;
+  std::vector<serve::json::Value> events;
+  serve::SchedulerOptions opts;
+  opts.max_active = 2;
+  opts.step_threads = 2;
+  serve::Scheduler sched(opts, [&](std::uint64_t, const serve::json::Value& e) {
+    util::LockGuard lock(mu);
+    events.push_back(e);
+  });
+
+  std::uint64_t j1 = 0;
+  std::uint64_t j2 = 0;
+  std::string err;
+  ASSERT_TRUE(sched.submit(tiny_job(12, 3), 1, &j1, &err)) << err;
+  ASSERT_TRUE(sched.submit(tiny_job(12, 4), 1, &j2, &err)) << err;
+  ASSERT_TRUE(sched.wait(j1, 120000));
+  ASSERT_TRUE(sched.wait(j2, 120000));
+
+  serve::JobStatus st;
+  ASSERT_TRUE(sched.status(j1, &st));
+  EXPECT_EQ(st.state, serve::JobState::kDone);
+  EXPECT_TRUE(st.completed);
+  EXPECT_EQ(st.progress.steps_done, 12u);
+  EXPECT_GT(st.progress.best_cost, 0.0);
+
+  // Per-job seq must be exactly 0..N-1 in emission order. Snapshot under
+  // the sink lock, then release it: the sink runs under the scheduler's
+  // own mutex, so holding `mu` across a scheduler call inverts the order.
+  std::vector<serve::json::Value> snapshot;
+  {
+    util::LockGuard lock(mu);
+    snapshot = events;
+  }
+  std::uint64_t next1 = 0;
+  std::uint64_t next2 = 0;
+  for (const serve::json::Value& e : snapshot) {
+    const std::uint64_t job = e.find("job")->as_u64();
+    const std::uint64_t seq = e.find("seq")->as_u64();
+    if (job == j1) {
+      EXPECT_EQ(seq, next1++);
+    }
+    if (job == j2) {
+      EXPECT_EQ(seq, next2++);
+    }
+  }
+  EXPECT_GT(next1, 2u);  // queued + running + final progress + done
+  EXPECT_GT(next2, 2u);
+  ASSERT_TRUE(sched.status(j1, &st));
+  EXPECT_EQ(st.events, next1);
+}
+
+TEST(Scheduler, AdmissionControlAppliesBackpressure) {
+  serve::SchedulerOptions opts;
+  opts.max_active = 1;
+  opts.max_queue = 1;
+  opts.step_threads = 1;
+  serve::Scheduler sched(opts, nullptr);
+
+  std::string err;
+  std::uint64_t j1 = 0;
+  std::uint64_t j2 = 0;
+  std::uint64_t j3 = 0;
+  ASSERT_TRUE(sched.submit(tiny_job(300, 3), 1, &j1, &err)) << err;
+  ASSERT_TRUE(sched.submit(tiny_job(300, 4), 1, &j2, &err)) << err;
+  // One active (or starting) + one queued: the third must bounce.
+  EXPECT_FALSE(sched.submit(tiny_job(300, 5), 1, &j3, &err));
+  EXPECT_NE(err.find("busy"), std::string::npos) << err;
+
+  std::string cancel_err;
+  EXPECT_TRUE(sched.cancel(j2, &cancel_err)) << cancel_err;
+  EXPECT_TRUE(sched.cancel(j1, &cancel_err)) << cancel_err;
+  ASSERT_TRUE(sched.wait(j1, 120000));
+  ASSERT_TRUE(sched.wait(j2, 120000));
+  serve::JobStatus st;
+  ASSERT_TRUE(sched.status(j2, &st));
+  EXPECT_EQ(st.state, serve::JobState::kCancelled);
+  // Cancelling a finished job is an error, not a crash.
+  EXPECT_FALSE(sched.cancel(j2, &cancel_err));
+}
+
+TEST(Scheduler, EnforcesPerClientBudgets) {
+  serve::SchedulerOptions opts;
+  opts.client_budget = 100;
+  serve::Scheduler sched(opts, nullptr);
+
+  std::string err;
+  std::uint64_t id = 0;
+  serve::JobSpec unbudgeted = tiny_job();
+  EXPECT_FALSE(sched.submit(unbudgeted, 1, &id, &err));
+  EXPECT_NE(err.find("budget"), std::string::npos);
+
+  serve::JobSpec small = tiny_job();
+  small.budget = 60;
+  ASSERT_TRUE(sched.submit(small, 1, &id, &err)) << err;
+  EXPECT_EQ(sched.client_budget_used(1), 60u);
+  // Second 60 would exceed client 1's cap of 100...
+  EXPECT_FALSE(sched.submit(small, 1, &id, &err));
+  EXPECT_NE(err.find("exhausted"), std::string::npos);
+  // ...but client 2 has its own meter.
+  ASSERT_TRUE(sched.submit(small, 2, &id, &err)) << err;
+}
+
+TEST(Scheduler, DrainCheckpointsAndResumesBitExact) {
+  const std::string state = scratch_dir("drain_state");
+  serve::SchedulerOptions opts;
+  opts.max_active = 1;
+  opts.step_threads = 1;
+  opts.state_dir = state;
+
+  // Reference: the same job, uninterrupted.
+  double reference = 0.0;
+  {
+    serve::Scheduler sched(opts, nullptr);
+    std::uint64_t id = 0;
+    std::string err;
+    ASSERT_TRUE(sched.submit(tiny_job(60, 9), 1, &id, &err)) << err;
+    ASSERT_TRUE(sched.wait(id, 120000));
+    serve::JobStatus st;
+    ASSERT_TRUE(sched.status(id, &st));
+    ASSERT_EQ(st.state, serve::JobState::kDone);
+    reference = st.progress.best_cost;
+  }
+  std::filesystem::remove_all(state);
+  std::filesystem::create_directories(state);
+
+  // Interrupted: drain mid-run, then resume in a fresh scheduler.
+  std::uint64_t job = 0;
+  {
+    serve::Scheduler sched(opts, nullptr);
+    std::string err;
+    ASSERT_TRUE(sched.submit(tiny_job(60, 9), 1, &job, &err)) << err;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    sched.drain();
+    serve::JobStatus st;
+    ASSERT_TRUE(sched.status(job, &st));
+    // Finishing 60 cold-cache steps in 100ms would be surprising, but
+    // either way the restart below must reproduce `reference`.
+    if (st.state == serve::JobState::kDrained) {
+      EXPECT_TRUE(std::filesystem::exists(state + "/job-" +
+                                          std::to_string(job) + ".json"));
+    }
+  }
+  {
+    serve::Scheduler sched(opts, nullptr);
+    const std::size_t resumed = sched.resume_persisted();
+    serve::JobStatus st;
+    if (resumed > 0) {
+      ASSERT_TRUE(sched.wait(job, 120000));
+      ASSERT_TRUE(sched.status(job, &st));
+      ASSERT_EQ(st.state, serve::JobState::kDone);
+      EXPECT_TRUE(st.resumed);
+      // Bit-exact: the drained-and-resumed trajectory lands on exactly
+      // the cost the uninterrupted run found.
+      EXPECT_EQ(st.progress.best_cost, reference);
+      EXPECT_EQ(st.progress.steps_done, 60u);
+      // Terminal jobs clean their parked state up.
+      EXPECT_FALSE(std::filesystem::exists(state + "/job-" +
+                                           std::to_string(job) + ".json"));
+    }
+  }
+  std::filesystem::remove_all(state);
+}
+
+TEST(Scheduler, RejectsSubmitsWhileDraining) {
+  serve::SchedulerOptions opts;
+  serve::Scheduler sched(opts, nullptr);
+  sched.drain();
+  std::uint64_t id = 0;
+  std::string err;
+  EXPECT_FALSE(sched.submit(tiny_job(), 1, &id, &err));
+  EXPECT_NE(err.find("draining"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Server + client
+// ---------------------------------------------------------------------
+
+serve::ServerOptions quick_server_opts(const std::string& sock) {
+  serve::ServerOptions opts;
+  opts.socket_path = sock;
+  opts.scheduler.max_active = 2;
+  opts.scheduler.max_queue = 64;
+  opts.scheduler.step_threads = 2;
+  return opts;
+}
+
+TEST(Server, SubmitStatusEventsEndToEnd) {
+  const std::string sock = scratch_socket("e2e");
+  serve::Server server(quick_server_opts(sock));
+  ServerRunner runner(server);
+
+  std::unique_ptr<serve::Client> client;
+  for (int i = 0; i < 200 && !client; ++i) {
+    try {
+      client = std::make_unique<serve::Client>(sock);
+    } catch (const std::exception&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  ASSERT_TRUE(client) << "could not connect to " << sock;
+  client->ping();
+
+  const std::uint64_t job = client->submit(tiny_job(10, 5), true);
+  EXPECT_GT(job, 0u);
+
+  // Collect the event stream; seq must be 0..N-1 with no gaps.
+  std::uint64_t next_seq = 0;
+  bool finished = false;
+  for (int i = 0; i < 600 && !finished; ++i) {
+    serve::json::Value ev;
+    if (!client->wait_event(&ev, 500)) continue;
+    EXPECT_EQ(ev.find("job")->as_u64(), job);
+    EXPECT_EQ(ev.find("seq")->as_u64(), next_seq++);
+    const serve::json::Value* type = ev.find("event");
+    ASSERT_NE(type, nullptr);
+    if (type->as_string() == "state" &&
+        ev.find("state")->as_string() == "done") {
+      finished = true;
+    }
+  }
+  EXPECT_TRUE(finished);
+  EXPECT_GE(next_seq, 3u);
+
+  const serve::json::Value st = client->status(job);
+  EXPECT_EQ(st.find("state")->as_string(), "done");
+  EXPECT_EQ(st.find("events")->as_u64(), next_seq);
+  EXPECT_GT(st.find("best_cost")->as_double(), 0.0);
+
+  const serve::json::Value listing = client->list();
+  EXPECT_EQ(listing.find("jobs")->items().size(), 1u);
+
+  client->shutdown_server();
+  runner.join();
+  EXPECT_FALSE(std::filesystem::exists(sock)) << "socket not cleaned up";
+}
+
+TEST(Server, GarbageFrameGetsErrorResponseAndConnSurvives) {
+  const std::string sock = scratch_socket("garbage");
+  serve::Server server(quick_server_opts(sock));
+  ServerRunner runner(server);
+
+  serve::Fd fd = connect_retry(sock);
+  std::vector<std::uint8_t> wire;
+  util::append_frame(wire, "this is not json");
+  serve::write_all(fd.get(), wire.data(), wire.size());
+
+  // Read one response frame.
+  util::FrameParser parser;
+  std::string payload;
+  while (!parser.next(&payload)) {
+    char buf[512];
+    const std::ptrdiff_t n = serve::read_some(fd.get(), buf, sizeof(buf));
+    ASSERT_NE(n, 0) << "server closed on garbage json (should keep conn)";
+    if (n > 0) parser.feed(buf, static_cast<std::size_t>(n));
+  }
+  const serve::json::Value resp = serve::json::Value::parse(payload);
+  EXPECT_FALSE(resp.find("ok")->as_bool());
+  EXPECT_NE(resp.find("error")->as_string().find("bad json"),
+            std::string::npos);
+
+  // The connection still works.
+  wire.clear();
+  util::append_frame(wire, "{\"id\":1,\"op\":\"ping\"}");
+  serve::write_all(fd.get(), wire.data(), wire.size());
+  while (!parser.next(&payload)) {
+    char buf[512];
+    const std::ptrdiff_t n = serve::read_some(fd.get(), buf, sizeof(buf));
+    ASSERT_NE(n, 0);
+    if (n > 0) parser.feed(buf, static_cast<std::size_t>(n));
+  }
+  EXPECT_TRUE(serve::json::Value::parse(payload).find("ok")->as_bool());
+}
+
+TEST(Server, OversizedFrameClosesConnection) {
+  const std::string sock = scratch_socket("oversized");
+  serve::Server server(quick_server_opts(sock));
+  ServerRunner runner(server);
+
+  serve::Fd fd = connect_retry(sock);
+  // Header declaring a 16MB frame (limit is 1MB).
+  const std::uint32_t huge = 16u << 20;
+  std::uint8_t hdr[4] = {
+      static_cast<std::uint8_t>(huge & 0xff),
+      static_cast<std::uint8_t>((huge >> 8) & 0xff),
+      static_cast<std::uint8_t>((huge >> 16) & 0xff),
+      static_cast<std::uint8_t>((huge >> 24) & 0xff),
+  };
+  serve::write_all(fd.get(), hdr, sizeof(hdr));
+
+  // The server must drop us: read eventually reports EOF.
+  bool closed = false;
+  for (int i = 0; i < 500 && !closed; ++i) {
+    char buf[64];
+    try {
+      const std::ptrdiff_t n = serve::read_some(fd.get(), buf, sizeof(buf));
+      if (n == 0) closed = true;
+    } catch (const std::exception&) {
+      closed = true;  // ECONNRESET counts
+    }
+  }
+  EXPECT_TRUE(closed);
+}
+
+TEST(Server, ConcurrentClientHammerLosesNothing) {
+  const std::string sock = scratch_socket("hammer");
+  serve::Server server(quick_server_opts(sock));
+  ServerRunner runner(server);
+  connect_retry(sock);  // wait until the listener is actually up
+
+  constexpr int kClients = 4;
+  constexpr int kRequests = 40;
+  std::atomic<int> ok_responses{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c]() {
+      try {
+        serve::Client client(sock);
+        std::uint64_t job = 0;
+        for (int r = 0; r < kRequests; ++r) {
+          // Mixed op stream; every call must return its own response
+          // (the client matches ids internally — a lost or duplicated
+          // response would hang or mismatch).
+          if (r == 0) {
+            job = client.submit(tiny_job(6, 100 + c), false);
+          } else if (r % 10 == 5) {
+            client.status(job);
+          } else if (r % 10 == 9) {
+            client.stats();
+          } else {
+            client.ping();
+          }
+          ok_responses.fetch_add(1);
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(ok_responses.load(), kClients * kRequests);
+}
+
+}  // namespace

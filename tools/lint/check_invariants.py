@@ -42,6 +42,12 @@ Rules (each failure prints `file:line: [rule] message`):
                      parse_cpa_kind so an out-of-range index can never
                      smuggle in an enumerator the menu doesn't have
                      (kCustom denotes a graph, not a buildable kind).
+  raw-socket         socket/poll syscalls and their headers
+                     (<sys/socket.h>, <sys/un.h>, <poll.h>) appear only
+                     in src/serve/socket.* — the rest of the service
+                     speaks through the RAII helpers there, so fd
+                     lifetime, EINTR retries and MSG_NOSIGNAL handling
+                     live in one audited file.
   netlist-patch      the netlist patch/mutation APIs the delta path is
                      built on (replay_compressor_tree, copy_gate_region,
                      clone_head, adopt_ties) are callable only from
@@ -266,6 +272,27 @@ def check_raw_cpa_kind(root):
                      "netlist::cpa_kind_from_index or parse_cpa_kind")
 
 
+# -- raw-socket ---------------------------------------------------------------
+
+RAW_SOCKET_RE = re.compile(
+    r"#\s*include\s*<(sys/socket\.h|sys/un\.h|poll\.h)>"
+    r"|(?<![\w:])::(socket|bind|listen|accept4?|connect|poll|recv|send)\s*\(")
+RAW_SOCKET_ALLOWED = ("src/serve/socket.",)
+
+
+def check_raw_socket(root):
+    for p in source_files(root):
+        r = rel(root, p)
+        if r.startswith(RAW_SOCKET_ALLOWED):
+            continue
+        for i, line in enumerate(p.read_text().splitlines(), 1):
+            code = strip_comments_and_strings(line)
+            if RAW_SOCKET_RE.search(code):
+                fail(r, i, "raw-socket",
+                     "raw socket/poll syscall outside src/serve/socket.*; "
+                     "use the serve::Fd / poll_items / read_some helpers")
+
+
 # -- netlist-patch ------------------------------------------------------------
 
 NETLIST_PATCH_RE = re.compile(
@@ -329,6 +356,7 @@ def main():
     check_float_eq(root)
     check_tsa_waiver(root)
     check_raw_cpa_kind(root)
+    check_raw_socket(root)
     check_netlist_patch(root)
     if not args.skip_headers:
         check_headers_standalone(root, args.compiler)
