@@ -1,0 +1,64 @@
+# Fuzzing presets, mirroring Sanitizers.cmake: -DRLMUL_FUZZ=ON builds
+# the fuzz/ harnesses. Every harness is ONE translation unit exporting
+# LLVMFuzzerTestOneInput, built in up to two shapes:
+#
+#   <name>_replay   any compiler: links fuzz/driver_main.cpp, replays
+#                   the committed corpus (plus an optional deterministic
+#                   mutation loop via --fuzz-seconds). Registered as
+#                   ctest `fuzz_corpus_<name>` with LABELS fuzz, so
+#                   corpus regression runs in every CI lane that
+#                   configures with RLMUL_FUZZ=ON.
+#   <name>          Clang only: the real libFuzzer binary
+#                   (-fsanitize=fuzzer). Combine with
+#                   -DRLMUL_SANITIZE=address;undefined for the
+#                   coverage-guided CI job.
+#
+# The fuzz target is intentionally NOT built by default (RLMUL_FUZZ is
+# OFF): harnesses link the whole library stack and would slow every
+# plain build.
+
+option(RLMUL_FUZZ
+    "Build fuzz/ harnesses (corpus replay everywhere; libFuzzer under Clang)"
+    OFF)
+
+set(RLMUL_FUZZ_LIBFUZZER OFF)
+if(RLMUL_FUZZ AND CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  set(RLMUL_FUZZ_LIBFUZZER ON)
+endif()
+
+if(RLMUL_FUZZ)
+  if(RLMUL_FUZZ_LIBFUZZER)
+    message(STATUS "RLMUL_FUZZ: libFuzzer + corpus-replay harnesses")
+  else()
+    message(STATUS
+      "RLMUL_FUZZ: corpus-replay harnesses only "
+      "(${CMAKE_CXX_COMPILER_ID} has no -fsanitize=fuzzer; use Clang "
+      "for coverage-guided runs)")
+  endif()
+endif()
+
+# rlmul_add_fuzzer(<name> LIBS <targets...>)
+#
+# Call from fuzz/CMakeLists.txt with <name>.cpp in the current source
+# dir and a committed seed corpus at fuzz/corpus/<name>/ (the
+# fuzz-registration lint enforces both).
+function(rlmul_add_fuzzer name)
+  cmake_parse_arguments(F "" "" "LIBS" ${ARGN})
+  set(corpus ${CMAKE_SOURCE_DIR}/fuzz/corpus/${name})
+
+  add_executable(${name}_replay ${name}.cpp
+    ${CMAKE_SOURCE_DIR}/fuzz/driver_main.cpp)
+  target_link_libraries(${name}_replay PRIVATE ${F_LIBS})
+
+  add_test(NAME fuzz_corpus_${name} COMMAND ${name}_replay ${corpus})
+  set_tests_properties(fuzz_corpus_${name} PROPERTIES
+    LABELS "fuzz"
+    TIMEOUT 120)
+
+  if(RLMUL_FUZZ_LIBFUZZER)
+    add_executable(${name} ${name}.cpp)
+    target_compile_options(${name} PRIVATE -fsanitize=fuzzer)
+    target_link_options(${name} PRIVATE -fsanitize=fuzzer)
+    target_link_libraries(${name} PRIVATE ${F_LIBS})
+  endif()
+endfunction()

@@ -81,6 +81,8 @@ struct Args {
   int max_queue = 16;
   int step_threads = 2;
   std::uint64_t client_budget = 0;
+  std::size_t max_frame_bytes = 0;   ///< 0 = FrameParser default (1 MiB)
+  std::size_t max_outbuf_bytes = 0;  ///< 0 = ServerOptions default (64 MiB)
   std::uint64_t job = 0;
   bool subscribe = false;
 };
@@ -132,6 +134,7 @@ int usage() {
       "service (see docs/architecture.md \"Service layer\"):\n"
       "  serve --socket P [--state-dir D] [--dsdb D] [--max-active N]\n"
       "        [--max-queue N] [--step-threads N] [--client-budget N]\n"
+      "        [--max-frame-bytes N] [--max-outbuf-bytes N]\n"
       "                  run the always-on optimization daemon on unix\n"
       "                  socket P; SIGTERM drains (checkpoint-on-drain)\n"
       "  submit --socket P [spec flags] [--subscribe]\n"
@@ -229,6 +232,14 @@ bool parse(int argc, char** argv, Args& args) {
       const char* v = next();
       if (v == nullptr) return false;
       args.client_budget = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (flag == "--max-frame-bytes") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.max_frame_bytes = static_cast<std::size_t>(std::atoll(v));
+    } else if (flag == "--max-outbuf-bytes") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.max_outbuf_bytes = static_cast<std::size_t>(std::atoll(v));
     } else if (flag == "--job") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -500,6 +511,8 @@ int cmd_serve(const Args& args) {
   sopts.scheduler.client_budget = args.client_budget;
   sopts.scheduler.state_dir = args.state_dir;
   sopts.scheduler.dsdb_dir = args.dsdb;
+  if (args.max_frame_bytes > 0) sopts.max_frame_bytes = args.max_frame_bytes;
+  if (args.max_outbuf_bytes > 0) sopts.max_outbuf_bytes = args.max_outbuf_bytes;
   serve::Server server(sopts);
   g_server.store(&server, std::memory_order_release);
   install_stop_handlers();

@@ -1,0 +1,176 @@
+// Replay/mutation driver: the portable half of the dual-mode fuzz
+// build (cmake/Fuzzing.cmake). Links against any harness's
+// LLVMFuzzerTestOneInput and
+//
+//   * replays every file in the given corpus directories/files, in
+//     sorted order — the `ctest -L fuzz` corpus-regression mode; and
+//   * with --fuzz-seconds N, runs a deterministic splitmix64-driven
+//     mutation loop over the corpus for N wall-clock seconds — a
+//     coverage-blind stand-in for libFuzzer on toolchains without
+//     -fsanitize=fuzzer (GCC).
+//
+// Invariant violations abort (RLMUL_FUZZ_ASSERT), sanitizer findings
+// abort; either way the process dies non-zero and ctest reports the
+// failing input, which the driver names before each execution under
+// --verbose.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::uint8_t> read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+}
+
+/// Deterministic RNG for the mutation loop: splitmix64, hand-rolled so
+/// the driver never depends on seeding policy from the library under
+/// test (and stays reproducible from --seed alone).
+struct SplitMix64 {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t n) { return n ? next() % n : 0; }
+};
+
+void mutate(std::vector<std::uint8_t>& buf, SplitMix64& rng) {
+  const int n_mut = 1 + static_cast<int>(rng.below(8));
+  for (int m = 0; m < n_mut; ++m) {
+    switch (rng.below(5)) {
+      case 0:  // flip a byte
+        if (!buf.empty()) {
+          buf[rng.below(buf.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.below(8));
+        }
+        break;
+      case 1:  // overwrite with a random byte
+        if (!buf.empty()) {
+          buf[rng.below(buf.size())] = static_cast<std::uint8_t>(rng.next());
+        }
+        break;
+      case 2:  // insert a random byte
+        if (buf.size() < (1u << 16)) {
+          buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(
+                                       rng.below(buf.size() + 1)),
+                     static_cast<std::uint8_t>(rng.next()));
+        }
+        break;
+      case 3:  // erase a byte
+        if (!buf.empty()) {
+          buf.erase(buf.begin() +
+                    static_cast<std::ptrdiff_t>(rng.below(buf.size())));
+        }
+        break;
+      default:  // truncate
+        if (!buf.empty()) buf.resize(rng.below(buf.size()));
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long fuzz_seconds = 0;
+  std::uint64_t seed = 1;
+  bool verbose = false;
+  std::vector<fs::path> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fuzz-seconds" && i + 1 < argc) {
+      fuzz_seconds = std::atol(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--fuzz-seconds N] [--seed S] [--verbose] "
+                 "<corpus-dir-or-file>...\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& in : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(in, ec)) {
+      for (const auto& entry : fs::directory_iterator(in, ec)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+    } else if (fs::is_regular_file(in, ec)) {
+      files.push_back(in);
+    } else {
+      std::fprintf(stderr, "fuzz driver: no such corpus input: %s\n",
+                   in.c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    // An empty corpus would make the regression test vacuously green.
+    std::fprintf(stderr, "fuzz driver: corpus is empty\n");
+    return 2;
+  }
+
+  std::vector<std::vector<std::uint8_t>> corpus;
+  corpus.reserve(files.size());
+  for (const fs::path& f : files) {
+    if (verbose) std::fprintf(stderr, "replay %s\n", f.c_str());
+    corpus.push_back(read_file(f));
+    LLVMFuzzerTestOneInput(corpus.back().data(), corpus.back().size());
+  }
+  std::printf("fuzz driver: replayed %zu corpus file(s)\n", corpus.size());
+
+  if (fuzz_seconds > 0) {
+    SplitMix64 rng{seed};
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(fuzz_seconds);
+    // Crash artifact, libFuzzer style: every mutated input is written
+    // here BEFORE execution, so when an invariant aborts the process
+    // the reproducer survives. Deleted on a clean run.
+    const std::string last = "fuzz-last-input.bin";
+    std::uint64_t execs = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+      std::vector<std::uint8_t> buf = corpus[rng.below(corpus.size())];
+      mutate(buf, rng);
+      {
+        std::ofstream os(last, std::ios::binary | std::ios::trunc);
+        os.write(reinterpret_cast<const char*>(buf.data()),
+                 static_cast<std::streamsize>(buf.size()));
+      }
+      LLVMFuzzerTestOneInput(buf.data(), buf.size());
+      ++execs;
+    }
+    std::error_code ec;
+    fs::remove(last, ec);
+    std::printf("fuzz driver: %llu mutated exec(s) in %lds (seed %llu)\n",
+                static_cast<unsigned long long>(execs), fuzz_seconds,
+                static_cast<unsigned long long>(seed));
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fuzzes search::Checkpoint::decode, the resume loader that must
+// survive arbitrary torn/corrupt checkpoint files. Invariants:
+//
+//   * garbage is rejected with std::runtime_error — no other exception
+//     type, no UB (allocation bombs in the count fields abort under
+//     the driver's sanitizers rather than OOM-killing the box);
+//   * anything decode accepts reaches the encode fixpoint:
+//     encode(decode(x)) decodes again and re-encodes byte-identically
+//     (the first encode may differ from the input — v1 checkpoints
+//     upgrade to v2 — but from then on the codec must be stable).
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "fuzz_common.hpp"
+#include "search/checkpoint.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using rlmul::search::Checkpoint;
+  const std::vector<std::uint8_t> blob(data, data + size);
+  Checkpoint c;
+  try {
+    c = Checkpoint::decode(blob);
+  } catch (const std::runtime_error&) {
+    return 0;  // rejected cleanly
+  }
+  const std::vector<std::uint8_t> e1 = c.encode();
+  Checkpoint c2;
+  try {
+    c2 = Checkpoint::decode(e1);
+  } catch (const std::runtime_error&) {
+    RLMUL_FUZZ_ASSERT(false, "encode() produced an undecodable checkpoint");
+  }
+  RLMUL_FUZZ_ASSERT(c2.encode() == e1,
+                    "checkpoint decode/encode is not a fixpoint");
+  return 0;
+}

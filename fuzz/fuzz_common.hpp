@@ -1,0 +1,62 @@
+#pragma once
+// Shared helpers for the fuzz harnesses. Each harness is one
+// translation unit exporting LLVMFuzzerTestOneInput; it links either
+// the libFuzzer runtime (Clang, -fsanitize=fuzzer) or
+// fuzz/driver_main.cpp (any compiler, corpus replay) — see
+// cmake/Fuzzing.cmake.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+// Invariant check that survives NDEBUG (assert() would vanish in the
+// RelWithDebInfo CI lanes) and aborts so both libFuzzer and the replay
+// driver report the input as a crash.
+#define RLMUL_FUZZ_ASSERT(cond, msg)                                       \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "FUZZ INVARIANT FAILED: %s (%s:%d)\n", (msg),   \
+                   __FILE__, __LINE__);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+namespace rlmul::fuzz {
+
+/// Consumes structured values off the front of the fuzz input; reads
+/// past the end yield zeros (total functions keep the harness focused
+/// on the code under test, not on its own bounds handling).
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+
+  /// Up to `n` raw bytes (fewer near the end of the input).
+  std::string take(std::size_t n) {
+    const std::size_t got = n < size_ - pos_ ? n : size_ - pos_;
+    std::string out(reinterpret_cast<const char*>(data_ + pos_), got);
+    pos_ += got;
+    return out;
+  }
+
+  const std::uint8_t* rest() const { return data_ + pos_; }
+  std::size_t remaining() const { return size_ - pos_; }
+  bool empty() const { return pos_ >= size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace rlmul::fuzz

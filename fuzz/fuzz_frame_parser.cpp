@@ -1,0 +1,90 @@
+// Fuzzes util::FrameParser, the first decoder every byte from a serve
+// connection meets. Invariants checked per input:
+//
+//   * no extracted frame ever exceeds max_frame;
+//   * poisoning is sticky — once next() throws, it throws forever;
+//   * re-chunking the same byte stream (chunk sizes derived from the
+//     input's first byte) yields the identical frame sequence and the
+//     identical poison verdict;
+//   * a healthy parser never buffers more than one whole frame of
+//     unconsumed input once next() is drained.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fuzz_common.hpp"
+#include "util/framing.hpp"
+
+namespace {
+
+constexpr std::size_t kMaxFrame = 4096;
+
+struct ParseOutcome {
+  std::vector<std::string> frames;
+  bool poisoned = false;
+};
+
+ParseOutcome run_chunked(const std::uint8_t* data, std::size_t size,
+                         std::size_t chunk) {
+  ParseOutcome out;
+  rlmul::util::FrameParser parser(kMaxFrame);
+  std::string frame;
+  for (std::size_t pos = 0; pos < size && !out.poisoned; pos += chunk) {
+    const std::size_t n = chunk < size - pos ? chunk : size - pos;
+    try {
+      parser.feed(data + pos, n);
+      while (parser.next(&frame)) {
+        RLMUL_FUZZ_ASSERT(frame.size() <= kMaxFrame,
+                          "frame exceeds max_frame");
+        out.frames.push_back(frame);
+      }
+    } catch (const std::runtime_error&) {
+      out.poisoned = true;
+    }
+  }
+  if (out.poisoned) {
+    // Sticky poison: the parser must keep refusing, not resynchronize.
+    bool threw = false;
+    try {
+      parser.next(&frame);
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    RLMUL_FUZZ_ASSERT(threw, "poisoned parser accepted next()");
+  } else {
+    // Drained parser holds at most one torn frame: 4-byte header plus
+    // an accepted (<= kMaxFrame) declared length, minus nothing.
+    RLMUL_FUZZ_ASSERT(parser.buffered() < 4 + kMaxFrame,
+                      "healthy parser buffers more than one frame");
+  }
+  return out;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  // First byte picks the re-chunking; the rest is the wire stream.
+  const std::size_t chunk = 1 + (data[0] & 0x3F);
+  const std::uint8_t* wire = data + 1;
+  const std::size_t wire_size = size - 1;
+
+  const ParseOutcome one_shot = run_chunked(wire, wire_size, wire_size + 1);
+  const ParseOutcome rechunked = run_chunked(wire, wire_size, chunk);
+
+  RLMUL_FUZZ_ASSERT(one_shot.poisoned == rechunked.poisoned,
+                    "chunking changed the poison verdict");
+  // feed() never throws and next() rejects at the 4-byte header, so
+  // both parses extract exactly the frames preceding the first bad
+  // header — the sequences must match even on poisoned streams.
+  const std::vector<std::string>& a = one_shot.frames;
+  const std::vector<std::string>& b = rechunked.frames;
+  RLMUL_FUZZ_ASSERT(a.size() == b.size(), "chunking changed the frame count");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    RLMUL_FUZZ_ASSERT(a[i] == b[i], "chunking changed a frame payload");
+  }
+  return 0;
+}

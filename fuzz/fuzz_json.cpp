@@ -1,0 +1,36 @@
+// Fuzzes serve::json, the parser behind every protocol request.
+// Invariants:
+//
+//   * malformed input fails with std::runtime_error only — nothing
+//     else escapes the API boundary (sanitizers catch UB underneath);
+//   * accepted input reaches the dump fixpoint: parse(dump(v)) never
+//     throws and dumps to the identical string (deterministic
+//     serialization is what the protocol's golden tests key on).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "fuzz_common.hpp"
+#include "serve/json.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using rlmul::serve::json::Value;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  Value v;
+  try {
+    v = Value::parse(text);
+  } catch (const std::runtime_error&) {
+    return 0;  // rejected cleanly — the only allowed failure mode
+  }
+  const std::string s1 = v.dump();
+  Value v2;
+  try {
+    v2 = Value::parse(s1);
+  } catch (const std::runtime_error&) {
+    RLMUL_FUZZ_ASSERT(false, "dump() produced unparseable JSON");
+  }
+  RLMUL_FUZZ_ASSERT(v2.dump() == s1, "parse/dump is not a fixpoint");
+  return 0;
+}

@@ -1,0 +1,260 @@
+// Deterministic seed-corpus generator: writes the committed corpus
+// under fuzz/corpus/<harness>/ from real protocol, journal and
+// checkpoint traffic (the encoders under test, not hand-hexed bytes),
+// so the seeds track the wire formats as they evolve. File names are
+// the FNV-1a hash of the content — content-addressed, so regeneration
+// is idempotent and diffs are meaningful.
+//
+//   ./rlmul_gen_corpus <repo>/fuzz/corpus
+//
+// Run manually when a format changes; the outputs are committed.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ct/compressor_tree.hpp"
+#include "dsdb/journal.hpp"
+#include "dsdb/store.hpp"
+#include "ppg/ppg.hpp"
+#include "prefix/prefix_graph.hpp"
+#include "search/checkpoint.hpp"
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+#include "util/framing.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using rlmul::serve::json::Value;
+
+std::uint64_t fnv1a(const std::vector<std::uint8_t>& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void write_seed(const fs::path& dir, const std::vector<std::uint8_t>& bytes) {
+  fs::create_directories(dir);
+  char name[32];
+  std::snprintf(name, sizeof(name), "seed-%016llx",
+                static_cast<unsigned long long>(fnv1a(bytes)));
+  std::ofstream os(dir / name, std::ios::binary);
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+}
+
+void write_seed(const fs::path& dir, const std::string& text) {
+  write_seed(dir, std::vector<std::uint8_t>(text.begin(), text.end()));
+}
+
+std::vector<std::uint8_t> bytes_of(std::initializer_list<int> xs) {
+  std::vector<std::uint8_t> out;
+  for (int x : xs) out.push_back(static_cast<std::uint8_t>(x));
+  return out;
+}
+
+void append(std::vector<std::uint8_t>& out,
+            const std::vector<std::uint8_t>& more) {
+  out.insert(out.end(), more.begin(), more.end());
+}
+
+// -- real protocol documents -------------------------------------------------
+
+std::string submit_doc() {
+  rlmul::serve::JobSpec spec;
+  spec.bits = 4;
+  spec.method = "sa";
+  spec.steps = 2;
+  spec.budget = 1;
+  Value req = Value::object();
+  req["op"] = std::string("submit");
+  req["id"] = std::uint64_t{1};
+  req["spec"] = rlmul::serve::to_json(spec);
+  req["subscribe"] = true;
+  return req.dump();
+}
+
+std::string op_doc(const char* op, bool with_job) {
+  Value req = Value::object();
+  req["op"] = std::string(op);
+  if (with_job) req["job"] = std::uint64_t{1};
+  return req.dump();
+}
+
+std::vector<std::uint8_t> framed(std::initializer_list<std::string> docs) {
+  std::vector<std::uint8_t> wire;
+  for (const std::string& doc : docs) rlmul::util::append_frame(wire, doc);
+  return wire;
+}
+
+// -- per-harness corpora -----------------------------------------------------
+
+void gen_frame_parser(const fs::path& dir) {
+  // Leading byte = chunk size selector (see fuzz_frame_parser.cpp).
+  for (int chunk : {0x00, 0x02, 0x3F}) {
+    std::vector<std::uint8_t> seed = bytes_of({chunk});
+    append(seed, framed({op_doc("ping", false), submit_doc()}));
+    write_seed(dir, seed);
+  }
+  // Oversized declared length: poisons at the header.
+  std::vector<std::uint8_t> poison = bytes_of({0x01, 0xFF, 0xFF, 0xFF, 0x7F});
+  poison.push_back(0x41);
+  write_seed(dir, poison);
+  // Torn frame: header promises more than arrives.
+  std::vector<std::uint8_t> torn = bytes_of({0x05, 0x10, 0x00, 0x00, 0x00});
+  torn.push_back(0x7B);
+  write_seed(dir, torn);
+}
+
+void gen_json(const fs::path& dir) {
+  write_seed(dir, submit_doc());
+  write_seed(dir, op_doc("stats", false));
+  write_seed(dir, std::string("{\"a\":[1,2.5,-3e-2,true,false,null]}"));
+  // Numeric edges: huge magnitude, denormal, negative zero, overflow.
+  write_seed(dir, std::string("[1e308,5e-324,-0.0,9007199254740993]"));
+  write_seed(dir, std::string("[1e999]"));
+  write_seed(dir, std::string("\"\\u0041\\\\\\n\\t\\\"\""));
+  // Deep nesting just inside the depth limit.
+  std::string deep;
+  for (int i = 0; i < 63; ++i) deep += '[';
+  deep += "0";
+  for (int i = 0; i < 63; ++i) deep += ']';
+  write_seed(dir, deep);
+  write_seed(dir, std::string("{\"unterminated\":"));
+}
+
+void gen_protocol(const fs::path& dir) {
+  write_seed(dir, framed({op_doc("ping", false), op_doc("stats", false)}));
+  write_seed(dir, framed({submit_doc(), op_doc("status", true),
+                          op_doc("events", true), op_doc("cancel", true)}));
+  write_seed(dir, framed({op_doc("list", false), op_doc("shutdown", false),
+                          op_doc("bogus-op", false)}));
+  write_seed(dir, framed({std::string("not json at all")}));
+  write_seed(dir, framed({std::string("{\"op\":42}")}));
+}
+
+rlmul::dsdb::Record real_record() {
+  rlmul::dsdb::Record rec;
+  rec.spec.bits = 4;
+  rec.targets = {0.0, 1.5};
+  rec.tree.pp = {1, 2, 3, 2, 1};
+  rlmul::synth::SynthesisResult res;
+  res.area_um2 = 10.5;
+  res.delay_ns = 0.7;
+  res.power_mw = 0.01;
+  res.met_target = true;
+  res.num_gates = 42;
+  rec.eval.per_target = {res, res};
+  rec.eval.sum_area = 21.0;
+  rec.eval.sum_delay = 1.4;
+  rec.eval.sum_power = 0.02;
+  return rec;
+}
+
+void gen_dsdb_journal(const fs::path& dir) {
+  // Harness input layout: [k][len][payload]...[tail]; the tail is
+  // appended to the wire verbatim, so real journal frames go there.
+  const std::vector<std::uint8_t> payload =
+      rlmul::dsdb::encode_record(real_record());
+
+  std::vector<std::uint8_t> with_record = bytes_of({0x01, 0x03, 'a', 'b', 'c'});
+  std::vector<std::uint8_t> tail;
+  rlmul::dsdb::append_frame(tail, payload);
+  append(with_record, tail);
+  write_seed(dir, with_record);
+
+  // Corrupt CRC in the tail: replay must stop there, keep the prefix.
+  std::vector<std::uint8_t> bad_crc = bytes_of({0x02, 0x01, 'x', 0x01, 'y'});
+  std::vector<std::uint8_t> frame;
+  rlmul::dsdb::append_frame(frame, payload);
+  frame[5] ^= 0xFF;  // flip a CRC byte
+  append(bad_crc, frame);
+  write_seed(dir, bad_crc);
+
+  // Torn tail frame.
+  std::vector<std::uint8_t> torn = bytes_of({0x01, 0x02, 'h', 'i'});
+  frame.clear();
+  rlmul::dsdb::append_frame(frame, payload);
+  frame.resize(frame.size() / 2);
+  append(torn, frame);
+  write_seed(dir, torn);
+
+  // No committed frames, pure garbage tail.
+  std::vector<std::uint8_t> garbage = bytes_of({0x00});
+  for (int i = 0; i < 64; ++i) {
+    garbage.push_back(static_cast<std::uint8_t>(i * 37 + 11));
+  }
+  write_seed(dir, garbage);
+}
+
+void gen_checkpoint(const fs::path& dir) {
+  rlmul::search::Checkpoint c;
+  c.method = "sa";
+  c.steps_done = 7;
+  c.eda_consumed = 3;
+  c.best_tree.pp = {1, 2, 3, 2, 1};
+  c.best_cost = 0.125;
+  c.trajectory = {1.0, 0.5, 0.25};
+  c.best_trajectory = {1.0, 0.5};
+  c.method_state = {0xDE, 0xAD, 0xBE, 0xEF};
+  c.best_point.ppg = rlmul::ppg::PpgKind::kAnd;
+  c.best_point.tree = c.best_tree;
+  c.best_point.cpa = rlmul::prefix::brent_kung(8);
+  c.has_best_point = true;
+
+  const std::vector<std::uint8_t> full = c.encode();
+  write_seed(dir, full);
+  // Truncations at interesting offsets: header, mid-string, mid-graph.
+  for (std::size_t cut :
+       {std::size_t{4}, std::size_t{12}, full.size() / 2, full.size() - 3}) {
+    write_seed(dir, std::vector<std::uint8_t>(full.begin(),
+                                              full.begin() + cut));
+  }
+  // One corrupted count byte deep in the blob.
+  std::vector<std::uint8_t> corrupt = full;
+  corrupt[full.size() / 3] ^= 0xFF;
+  write_seed(dir, corrupt);
+}
+
+void gen_prefix_legalize(const fs::path& dir) {
+  // Harness layout: [width-1][rows][cell bytes...].
+  for (int width : {8, 16, 32}) {
+    const rlmul::prefix::Matrix m =
+        rlmul::prefix::matrix_of(rlmul::prefix::brent_kung(width));
+    std::vector<std::uint8_t> seed =
+        bytes_of({width - 1, m.rows});
+    for (std::uint8_t cell : m.cells) seed.push_back(cell ? 1 : 0);
+    write_seed(dir, seed);
+  }
+  // Degenerate: width 1, no rows.
+  write_seed(dir, bytes_of({0x00, 0x00}));
+  // Dense random-ish 8-wide matrix.
+  std::vector<std::uint8_t> dense = bytes_of({0x07, 0x06});
+  for (int i = 0; i < 48; ++i) dense.push_back((i * 7 + 3) % 3 == 0);
+  write_seed(dir, dense);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <fuzz/corpus root>\n", argv[0]);
+    return 2;
+  }
+  const fs::path root = argv[1];
+  gen_frame_parser(root / "fuzz_frame_parser");
+  gen_json(root / "fuzz_json");
+  gen_protocol(root / "fuzz_protocol");
+  gen_dsdb_journal(root / "fuzz_dsdb_journal");
+  gen_checkpoint(root / "fuzz_checkpoint");
+  gen_prefix_legalize(root / "fuzz_prefix_legalize");
+  std::printf("corpus written under %s\n", root.c_str());
+  return 0;
+}

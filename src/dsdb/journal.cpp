@@ -59,39 +59,46 @@ std::vector<std::uint8_t> journal_header() {
   return out;
 }
 
-ReplayResult replay_journal(
-    const std::string& path,
+ReplayResult replay_journal_bytes(
+    const std::uint8_t* data, std::size_t size,
     const std::function<void(const std::vector<std::uint8_t>&)>& fn) {
   ReplayResult res;
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    res.missing = true;
-    return res;
-  }
-  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
-                                  std::istreambuf_iterator<char>());
-  if (bytes.size() < kJournalHeaderBytes ||
-      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0 ||
-      get_u32(bytes.data() + sizeof(kMagic)) != kJournalVersion) {
+  if (size < kJournalHeaderBytes ||
+      std::memcmp(data, kMagic, sizeof(kMagic)) != 0 ||
+      get_u32(data + sizeof(kMagic)) != kJournalVersion) {
     res.bad_header = true;
-    res.truncated_tail = !bytes.empty();
+    res.truncated_tail = size != 0;
     return res;
   }
   std::size_t pos = kJournalHeaderBytes;
   std::vector<std::uint8_t> payload;
-  while (pos + 8 <= bytes.size()) {
-    const std::uint32_t len = get_u32(bytes.data() + pos);
-    const std::uint32_t want_crc = get_u32(bytes.data() + pos + 4);
-    if (len > kMaxFrameBytes || pos + 8 + len > bytes.size()) break;
-    if (crc32(bytes.data() + pos + 8, len) != want_crc) break;
-    payload.assign(bytes.data() + pos + 8, bytes.data() + pos + 8 + len);
+  while (pos + 8 <= size) {
+    const std::uint32_t len = get_u32(data + pos);
+    const std::uint32_t want_crc = get_u32(data + pos + 4);
+    if (len > kMaxFrameBytes || pos + 8 + len > size) break;
+    if (crc32(data + pos + 8, len) != want_crc) break;
+    payload.assign(data + pos + 8, data + pos + 8 + len);
     fn(payload);
     pos += 8 + len;
     ++res.records;
   }
   res.valid_bytes = pos;
-  res.truncated_tail = pos < bytes.size();
+  res.truncated_tail = pos < size;
   return res;
+}
+
+ReplayResult replay_journal(
+    const std::string& path,
+    const std::function<void(const std::vector<std::uint8_t>&)>& fn) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ReplayResult res;
+    res.missing = true;
+    return res;
+  }
+  const std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                        std::istreambuf_iterator<char>());
+  return replay_journal_bytes(bytes.data(), bytes.size(), fn);
 }
 
 }  // namespace rlmul::dsdb

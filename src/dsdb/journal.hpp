@@ -57,4 +57,11 @@ ReplayResult replay_journal(
     const std::string& path,
     const std::function<void(const std::vector<std::uint8_t>&)>& fn);
 
+/// Same replay over an in-memory image (the file variant delegates
+/// here). This is the fuzzable core: fuzz_dsdb_journal drives it
+/// without touching the filesystem.
+ReplayResult replay_journal_bytes(
+    const std::uint8_t* data, std::size_t size,
+    const std::function<void(const std::vector<std::uint8_t>&)>& fn);
+
 }  // namespace rlmul::dsdb

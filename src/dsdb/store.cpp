@@ -84,7 +84,7 @@ bool decode_record(const std::vector<std::uint8_t>& payload, Record* out) {
     }
     Record rec;
     rec.spec.bits = r.i32();
-    rec.spec.ppg = static_cast<ppg::PpgKind>(r.u8());
+    if (!ppg::ppg_kind_from_index(r.u8(), &rec.spec.ppg)) return false;
     rec.spec.mac = r.u8() != 0;
     rec.targets = r.f64_vec();
     rec.tree = r.tree();

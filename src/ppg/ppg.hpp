@@ -19,6 +19,7 @@
 // the golden models in sim/.
 
 #include <cstdint>
+#include <iterator>
 #include <vector>
 
 #include "ct/compressor_tree.hpp"
@@ -40,6 +41,16 @@ const char* ppg_kind_name(PpgKind kind);
 /// dimension walks (and the layout of the env's PPG action block).
 inline constexpr PpgKind kAllPpgKinds[] = {
     PpgKind::kAnd, PpgKind::kBooth, PpgKind::kBaughWooley};
+
+/// Validating decode of a serialized PpgKind byte — the only way
+/// untrusted bytes (checkpoints, dsdb records) may become a PpgKind.
+/// Casting an arbitrary byte is well-defined (fixed underlying type)
+/// but produces a value no switch over the enum handles.
+inline bool ppg_kind_from_index(std::uint8_t v, PpgKind* out) {
+  if (v >= std::size(kAllPpgKinds)) return false;
+  *out = kAllPpgKinds[v];
+  return true;
+}
 
 /// Full design point: what the RL state's compressor tree compresses.
 struct MultiplierSpec {

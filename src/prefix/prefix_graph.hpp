@@ -114,8 +114,16 @@ struct Matrix {
   bool operator==(const Matrix&) const = default;
 };
 
-/// The matrix whose legalization rebuilds `g` up to canonical
-/// structure: one cell per live operator at (derived level - 1, hi).
+/// Projects `g` onto the matrix form: one cell per live operator at
+/// (derived level - 1, hi). Lossy for arbitrary graphs — re-levelling
+/// merges rows and operators sharing (level, hi) collide — so
+/// legalize(matrix_of(g)) is only guaranteed canonically equal to `g`
+/// for named constructors (see legalize below). Repeated legalize ∘
+/// matrix_of round trips converge to a canonical fixed point within a
+/// few iterations (completion operators can re-level once more on the
+/// next trip, so one trip is not always enough) — the no-oscillation
+/// property the move-application paths (rl::MultiplierEnv::step,
+/// search::SaMethod) rely on, enforced by fuzz_prefix_legalize.
 Matrix matrix_of(const PrefixGraph& g);
 
 struct Legalized {

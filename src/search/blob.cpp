@@ -45,6 +45,10 @@ void write_int_vec(BlobWriter& w, const std::vector<int>& v) {
 
 std::vector<int> read_int_vec(BlobReader& r) {
   const std::uint64_t n = r.u64();
+  // A corrupt count can't ask for more elements than the blob could
+  // hold (4 bytes each) — reserving it blindly is an allocation bomb;
+  // a short blob still fails cleanly in need() below.
+  if (n > r.remaining() / 4) throw std::runtime_error("blob: bad count");
   std::vector<int> out;
   out.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) out.push_back(r.i32());
@@ -83,7 +87,10 @@ void BlobWriter::rng(const util::Rng::State& st) {
 }
 
 const std::uint8_t* BlobReader::need(std::size_t n) {
-  if (pos_ + n > data_.size()) {
+  // pos_ + n can wrap for a corrupt length near SIZE_MAX, letting the
+  // check pass and str()/bytes() attempt a ~2^64-element allocation
+  // (found by fuzz_checkpoint: std::length_error escaping decode).
+  if (n > data_.size() - pos_) {
     throw std::runtime_error("BlobReader: truncated checkpoint blob");
   }
   const std::uint8_t* p = data_.data() + pos_;
@@ -156,6 +163,9 @@ void BlobReader::tensor_into(nt::Tensor& t) {
 
 std::vector<double> BlobReader::f64_vec() {
   const std::uint64_t n = u64();
+  // 8 bytes per element: a count the blob can't back is corruption,
+  // not a huge reserve() request.
+  if (n > remaining() / 8) throw std::runtime_error("blob: bad count");
   std::vector<double> out;
   out.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) out.push_back(f64());

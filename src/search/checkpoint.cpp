@@ -32,14 +32,24 @@ void write_graph(BlobWriter& w, const prefix::PrefixGraph& g) {
 prefix::PrefixGraph read_graph(BlobReader& r) {
   prefix::PrefixGraph g;
   g.width = r.i32();
-  g.nodes.resize(r.u32());
+  // Counts a torn/corrupt checkpoint can't back (16 resp. 4 bytes per
+  // element) must fail before resize(), not allocate gigabytes.
+  const std::uint32_t num_nodes = r.u32();
+  if (num_nodes > r.remaining() / 16) {
+    throw std::runtime_error("checkpoint: bad node count");
+  }
+  g.nodes.resize(num_nodes);
   for (prefix::Node& n : g.nodes) {
     n.hi = r.i32();
     n.lo = r.i32();
     n.left = r.i32();
     n.right = r.i32();
   }
-  g.outputs.resize(r.u32());
+  const std::uint32_t num_outputs = r.u32();
+  if (num_outputs > r.remaining() / 4) {
+    throw std::runtime_error("checkpoint: bad output count");
+  }
+  g.outputs.resize(num_outputs);
   for (prefix::Ref& ref : g.outputs) ref = r.i32();
   return g;
 }
@@ -84,7 +94,9 @@ Checkpoint Checkpoint::decode(const std::vector<std::uint8_t>& blob) {
   c.best_trajectory = r.f64_vec();
   c.method_state = r.bytes();
   if (version >= 2) {
-    c.best_point.ppg = static_cast<ppg::PpgKind>(r.u8());
+    if (!ppg::ppg_kind_from_index(r.u8(), &c.best_point.ppg)) {
+      throw std::runtime_error("Checkpoint: bad ppg kind");
+    }
     c.best_point.tree = r.tree();
     c.best_point.cpa = read_graph(r);
     c.has_best_point = true;

@@ -90,7 +90,9 @@ inline void save_point_extras(BlobWriter& w, const ppg::DesignPoint& p) {
 }
 
 inline void load_point_extras(BlobReader& r, ppg::DesignPoint& p) {
-  p.ppg = static_cast<ppg::PpgKind>(r.u8());
+  if (!ppg::ppg_kind_from_index(r.u8(), &p.ppg)) {
+    throw std::runtime_error("state: bad ppg kind");
+  }
   p.cpa = load_prefix_graph(r);
 }
 

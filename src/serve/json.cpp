@@ -32,15 +32,17 @@ void append_escaped(std::string& out, const std::string& s) {
 }
 
 void append_number(std::string& out, double v) {
-  if (std::isfinite(v) && v == static_cast<double>(static_cast<long long>(v)) &&
-      std::fabs(v) < 9.007199254740992e15) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan; the protocol never
+    out += "null";          // sends them, but don't emit invalid text.
+    return;
+  }
+  // The magnitude check must come first: casting a double ≥ 2^63 to
+  // long long is UB (caught by fuzz_json under UBSan with input 1e300).
+  if (std::fabs(v) < 9.007199254740992e15 &&
+      v == static_cast<double>(static_cast<long long>(v))) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
     out += buf;
-    return;
-  }
-  if (!std::isfinite(v)) {  // JSON has no inf/nan; the protocol never
-    out += "null";          // sends them, but don't emit invalid text.
     return;
   }
   char buf[40];
@@ -239,6 +241,9 @@ class Parser {
     char* end = nullptr;
     const double v = std::strtod(tok.c_str(), &end);
     if (end == nullptr || *end != '\0') fail("bad number");
+    // "1e999" overflows to inf, which dump() would re-emit as null —
+    // reject it so parse→dump→parse is a fixpoint (fuzz_json invariant).
+    if (!std::isfinite(v)) fail("number out of range");
     return Value(v);
   }
 

@@ -1,0 +1,159 @@
+#include "serve/request_handler.hpp"
+
+#include <exception>
+
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+
+namespace rlmul::serve {
+
+json::Value handle_request(Scheduler& sched, std::uint64_t client_id,
+                           const json::Value& req, const RequestHooks& hooks) {
+  json::Value resp = json::Value::object();
+  const json::Value* opf = req.find("op");
+  if (!opf || !opf->is_string()) {
+    resp["ok"] = false;
+    resp["error"] = "missing op";
+    return resp;
+  }
+  const std::string& op = opf->as_string();
+
+  if (op == "ping") {
+    resp["ok"] = true;
+    resp["pong"] = true;
+    return resp;
+  }
+
+  if (op == "stats" || (op == "status" && !req.find("job"))) {
+    const Scheduler::Stats s = sched.stats();
+    resp["ok"] = true;
+    resp["jobs"] = static_cast<std::uint64_t>(s.jobs);
+    resp["active"] = static_cast<std::uint64_t>(s.active);
+    resp["queued"] = static_cast<std::uint64_t>(s.queued);
+    resp["done"] = static_cast<std::uint64_t>(s.done);
+    resp["failed"] = static_cast<std::uint64_t>(s.failed);
+    resp["cancelled"] = static_cast<std::uint64_t>(s.cancelled);
+    resp["drained"] = static_cast<std::uint64_t>(s.drained);
+    resp["evaluators"] = static_cast<std::uint64_t>(s.evaluators);
+    resp["draining"] = s.draining;
+    if (hooks.connection_count) resp["conns"] = hooks.connection_count();
+    return resp;
+  }
+
+  if (op == "submit") {
+    JobSpec spec;
+    std::string err;
+    if (const json::Value* specf = req.find("spec")) {
+      if (!job_spec_from_json(*specf, &spec, &err)) {
+        resp["ok"] = false;
+        resp["error"] = err;
+        return resp;
+      }
+    }
+    const bool subscribe =
+        req.find("subscribe") && req.find("subscribe")->as_bool();
+    std::uint64_t job_id = 0;
+    std::function<void(std::uint64_t)> on_admit;
+    if (subscribe && hooks.subscribe) {
+      // Runs under the scheduler lock before the job's first event, so
+      // the subscriber sees the stream from seq 0.
+      const auto install = hooks.subscribe;
+      on_admit = [install, client_id](std::uint64_t j) {
+        install(j, client_id);
+      };
+    }
+    const bool ok = sched.submit(spec, client_id, &job_id, &err, on_admit);
+    resp["ok"] = ok;
+    if (ok) {
+      resp["job"] = job_id;
+    } else {
+      resp["error"] = err;
+    }
+    return resp;
+  }
+
+  const json::Value* jobf = req.find("job");
+  const std::uint64_t job_id = jobf ? jobf->as_u64() : 0;
+
+  if (op == "status") {
+    JobStatus st;
+    if (!sched.status(job_id, &st)) {
+      resp["ok"] = false;
+      resp["error"] = "unknown job: " + std::to_string(job_id);
+      return resp;
+    }
+    resp = to_json(st);
+    resp["ok"] = true;
+    return resp;
+  }
+
+  if (op == "list") {
+    json::Value jobs = json::Value::array();
+    for (const JobStatus& st : sched.list()) jobs.push_back(to_json(st));
+    resp["ok"] = true;
+    resp["jobs"] = std::move(jobs);
+    return resp;
+  }
+
+  if (op == "events") {
+    JobStatus st;
+    if (!sched.status(job_id, &st)) {
+      resp["ok"] = false;
+      resp["error"] = "unknown job: " + std::to_string(job_id);
+      return resp;
+    }
+    if (hooks.subscribe) hooks.subscribe(job_id, client_id);
+    // The subscription starts mid-stream; `from_seq` tells the client
+    // which seq its first live event will carry.
+    resp["ok"] = true;
+    resp["from_seq"] = st.events;
+    return resp;
+  }
+
+  if (op == "cancel") {
+    std::string err;
+    const bool ok = sched.cancel(job_id, &err);
+    resp["ok"] = ok;
+    if (!ok) resp["error"] = err;
+    return resp;
+  }
+
+  if (op == "shutdown") {
+    resp["ok"] = true;
+    // The transport buffers the response before it notices the stop
+    // flag, and the post-drain flush window delivers it.
+    if (hooks.shutdown) hooks.shutdown();
+    return resp;
+  }
+
+  resp["ok"] = false;
+  resp["error"] = "unknown op: " + op;
+  return resp;
+}
+
+json::Value handle_frame_payload(Scheduler& sched, std::uint64_t client_id,
+                                 const std::string& payload,
+                                 const RequestHooks& hooks) {
+  json::Value req;
+  try {
+    req = json::Value::parse(payload);
+  } catch (const std::exception& e) {
+    // Correctly framed garbage: reject the request, keep the conn.
+    json::Value resp = json::Value::object();
+    resp["ok"] = false;
+    resp["error"] = std::string("bad json: ") + e.what();
+    return resp;
+  }
+  json::Value resp;
+  try {
+    resp = handle_request(sched, client_id, req, hooks);
+  } catch (const std::exception& e) {
+    resp = json::Value::object();
+    resp["ok"] = false;
+    resp["error"] = e.what();
+  }
+  if (const json::Value* id = req.find("id")) resp["id"] = *id;
+  return resp;
+}
+
+}  // namespace rlmul::serve

@@ -1,0 +1,57 @@
+#pragma once
+// Transport-independent dispatch for the serve wire protocol: one JSON
+// request document in, exactly one JSON response document out. The
+// Server's poll loop and the fuzz/test harnesses share this code path,
+// so the protocol surface that faces untrusted bytes is fuzzed exactly
+// as it ships — there is no "test double" dispatcher that could drift.
+//
+// The dispatcher owns everything that only needs the Scheduler; the
+// few operations that touch transport state (event subscriptions, the
+// live connection count, daemon shutdown) go through RequestHooks so
+// the Server can plug in its conns_ table and a harness can plug in a
+// plain map. All hooks are optional: a null subscribe simply drops the
+// subscription request (the response is unchanged), a null
+// connection_count omits the "conns" stats field, and a null shutdown
+// still answers {"ok":true} — the transport just has nothing to stop.
+//
+// Contract (the fuzz_protocol invariant): handle_frame_payload never
+// throws and always returns a response object carrying an "ok" bool —
+// malformed JSON, unknown ops, scheduler rejections and dispatch-time
+// exceptions all come back as {"ok":false,"error":...}.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "serve/json.hpp"
+
+namespace rlmul::serve {
+
+class Scheduler;
+
+struct RequestHooks {
+  /// Installs (job, client) into the transport's subscription table.
+  /// For submit+subscribe this runs under the scheduler lock before
+  /// the job's first event (seq 0 is never missed); for the "events"
+  /// op it runs unlocked.
+  std::function<void(std::uint64_t job, std::uint64_t client)> subscribe;
+  /// Live transport connections, for the "stats" response.
+  std::function<std::uint64_t()> connection_count;
+  /// The "shutdown" op's trigger (Server::request_shutdown).
+  std::function<void()> shutdown;
+};
+
+/// Dispatches one parsed request. May throw only what json::Value
+/// accessors can throw (nothing today); callers that feed untrusted
+/// bytes should go through handle_frame_payload instead.
+json::Value handle_request(Scheduler& sched, std::uint64_t client_id,
+                           const json::Value& req, const RequestHooks& hooks);
+
+/// One framed payload in, exactly one response out: parses the JSON,
+/// dispatches, echoes the request "id", and converts every failure
+/// (parse error, dispatch exception) into {"ok":false,"error":...}.
+json::Value handle_frame_payload(Scheduler& sched, std::uint64_t client_id,
+                                 const std::string& payload,
+                                 const RequestHooks& hooks);
+
+}  // namespace rlmul::serve

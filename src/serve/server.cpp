@@ -13,12 +13,34 @@ Server::Server(ServerOptions opts)
     : opts_(std::move(opts)),
       pipe_(make_pipe()),
       pipe_write_fd_(pipe_.write_end.get()),
+      hooks_(make_hooks()),
       scheduler_(opts_.scheduler, [this](std::uint64_t job,
                                          const json::Value& ev) {
         on_event(job, ev);
       }) {}
 
 Server::~Server() = default;
+
+RequestHooks Server::make_hooks() {
+  RequestHooks hooks;
+  // For submit+subscribe the dispatcher invokes this under
+  // Scheduler::mu_ (lock order: mu_ -> conns_mu_); for the "events" op
+  // it runs with no scheduler lock held. Both are fine: conns_mu_ is a
+  // leaf here.
+  hooks.subscribe = [this](std::uint64_t job, std::uint64_t client) {
+    LockGuard lock(conns_mu_);
+    std::vector<std::uint64_t>& v = subs_[job];
+    if (std::find(v.begin(), v.end(), client) == v.end()) {
+      v.push_back(client);
+    }
+  };
+  hooks.connection_count = [this]() -> std::uint64_t {
+    LockGuard lock(conns_mu_);
+    return conns_.size();
+  };
+  hooks.shutdown = [this]() { request_shutdown(); };
+  return hooks;
+}
 
 void Server::request_shutdown() {
   stop_.store(true, std::memory_order_release);
@@ -38,7 +60,7 @@ void Server::on_event(std::uint64_t job, const json::Value& ev) {
     if (cit == conns_.end() || cit->second->dead) continue;
     Conn& conn = *cit->second;
     util::append_frame(conn.out, payload);
-    if (conn.out.size() > opts_.max_outbuf_bytes) conn.dead = true;
+    if (conn.buffered_bytes() > opts_.max_outbuf_bytes) conn.dead = true;
     queued = true;
   }
   if (queued) wake(pipe_write_fd_);
@@ -154,7 +176,7 @@ void Server::accept_new() {
     Fd fd = accept_conn(listen_.get());
     if (!fd.valid()) return;
     set_nonblocking(fd.get());
-    auto conn = std::make_unique<Conn>();
+    auto conn = std::make_unique<Conn>(opts_.max_frame_bytes);
     conn->fd = std::move(fd);
     LockGuard lock(conns_mu_);
     conn->id = next_conn_id_++;
@@ -189,160 +211,9 @@ void Server::handle_readable(Conn& conn) {
 }
 
 void Server::handle_frame(Conn& conn, const std::string& payload) {
-  json::Value req;
-  try {
-    req = json::Value::parse(payload);
-  } catch (const std::exception& e) {
-    // Correctly framed garbage: reject the request, keep the conn.
-    json::Value resp = json::Value::object();
-    resp["ok"] = false;
-    resp["error"] = std::string("bad json: ") + e.what();
-    send_json(conn, resp);
-    return;
-  }
-  json::Value resp;
-  try {
-    resp = dispatch(conn, req);
-  } catch (const std::exception& e) {
-    resp = json::Value::object();
-    resp["ok"] = false;
-    resp["error"] = e.what();
-  }
-  if (const json::Value* id = req.find("id")) resp["id"] = *id;
-  send_json(conn, resp);
-}
-
-json::Value Server::dispatch(Conn& conn, const json::Value& req) {
-  json::Value resp = json::Value::object();
-  const json::Value* opf = req.find("op");
-  if (!opf || !opf->is_string()) {
-    resp["ok"] = false;
-    resp["error"] = "missing op";
-    return resp;
-  }
-  const std::string& op = opf->as_string();
-
-  if (op == "ping") {
-    resp["ok"] = true;
-    resp["pong"] = true;
-    return resp;
-  }
-
-  if (op == "stats" || (op == "status" && !req.find("job"))) {
-    const Scheduler::Stats s = scheduler_.stats();
-    resp["ok"] = true;
-    resp["jobs"] = static_cast<std::uint64_t>(s.jobs);
-    resp["active"] = static_cast<std::uint64_t>(s.active);
-    resp["queued"] = static_cast<std::uint64_t>(s.queued);
-    resp["done"] = static_cast<std::uint64_t>(s.done);
-    resp["failed"] = static_cast<std::uint64_t>(s.failed);
-    resp["cancelled"] = static_cast<std::uint64_t>(s.cancelled);
-    resp["drained"] = static_cast<std::uint64_t>(s.drained);
-    resp["evaluators"] = static_cast<std::uint64_t>(s.evaluators);
-    resp["draining"] = s.draining;
-    {
-      LockGuard lock(conns_mu_);
-      resp["conns"] = static_cast<std::uint64_t>(conns_.size());
-    }
-    return resp;
-  }
-
-  if (op == "submit") {
-    JobSpec spec;
-    std::string err;
-    if (const json::Value* specf = req.find("spec")) {
-      if (!job_spec_from_json(*specf, &spec, &err)) {
-        resp["ok"] = false;
-        resp["error"] = err;
-        return resp;
-      }
-    }
-    const bool subscribe =
-        req.find("subscribe") && req.find("subscribe")->as_bool();
-    const std::uint64_t conn_id = conn.id;
-    std::uint64_t job_id = 0;
-    std::function<void(std::uint64_t)> on_admit;
-    if (subscribe) {
-      // Runs under Scheduler::mu_ before the job's first event, so the
-      // subscriber sees the stream from seq 0.
-      on_admit = [this, conn_id](std::uint64_t j) {
-        LockGuard lock(conns_mu_);
-        subs_[j].push_back(conn_id);
-      };
-    }
-    const bool ok = scheduler_.submit(spec, conn_id, &job_id, &err, on_admit);
-    resp["ok"] = ok;
-    if (ok) {
-      resp["job"] = job_id;
-    } else {
-      resp["error"] = err;
-    }
-    return resp;
-  }
-
-  const json::Value* jobf = req.find("job");
-  const std::uint64_t job_id = jobf ? jobf->as_u64() : 0;
-
-  if (op == "status") {
-    JobStatus st;
-    if (!scheduler_.status(job_id, &st)) {
-      resp["ok"] = false;
-      resp["error"] = "unknown job: " + std::to_string(job_id);
-      return resp;
-    }
-    resp = to_json(st);
-    resp["ok"] = true;
-    return resp;
-  }
-
-  if (op == "list") {
-    json::Value jobs = json::Value::array();
-    for (const JobStatus& st : scheduler_.list()) jobs.push_back(to_json(st));
-    resp["ok"] = true;
-    resp["jobs"] = std::move(jobs);
-    return resp;
-  }
-
-  if (op == "events") {
-    JobStatus st;
-    if (!scheduler_.status(job_id, &st)) {
-      resp["ok"] = false;
-      resp["error"] = "unknown job: " + std::to_string(job_id);
-      return resp;
-    }
-    {
-      LockGuard lock(conns_mu_);
-      std::vector<std::uint64_t>& v = subs_[job_id];
-      if (std::find(v.begin(), v.end(), conn.id) == v.end()) {
-        v.push_back(conn.id);
-      }
-    }
-    // The subscription starts mid-stream; `from_seq` tells the client
-    // which seq its first live event will carry.
-    resp["ok"] = true;
-    resp["from_seq"] = st.events;
-    return resp;
-  }
-
-  if (op == "cancel") {
-    std::string err;
-    const bool ok = scheduler_.cancel(job_id, &err);
-    resp["ok"] = ok;
-    if (!ok) resp["error"] = err;
-    return resp;
-  }
-
-  if (op == "shutdown") {
-    resp["ok"] = true;
-    // The response is buffered before the loop notices the flag, and
-    // the post-drain flush window delivers it.
-    request_shutdown();
-    return resp;
-  }
-
-  resp["ok"] = false;
-  resp["error"] = "unknown op: " + op;
-  return resp;
+  // All protocol semantics live in request_handler.cpp — the same code
+  // path the fuzz_protocol harness drives.
+  send_json(conn, handle_frame_payload(scheduler_, conn.id, payload, hooks_));
 }
 
 void Server::send_json(Conn& conn, const json::Value& v) {
@@ -350,7 +221,7 @@ void Server::send_json(Conn& conn, const json::Value& v) {
   {
     LockGuard lock(conns_mu_);
     util::append_frame(conn.out, payload);
-    if (conn.out.size() > opts_.max_outbuf_bytes) {
+    if (conn.buffered_bytes() > opts_.max_outbuf_bytes) {
       conn.dead = true;
       return;
     }

@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "serve/request_handler.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/socket.hpp"
 #include "util/framing.hpp"
@@ -36,8 +37,16 @@ namespace rlmul::serve {
 struct ServerOptions {
   std::string socket_path;
   SchedulerOptions scheduler;
-  /// A connection that falls this far behind on its event stream is
-  /// dropped — the alternative is unbounded daemon memory.
+  /// Largest frame a peer may send (`--max-frame-bytes`); a declared
+  /// length beyond this poisons the connection's parser before any
+  /// payload is buffered, so a hostile client cannot reserve memory by
+  /// announcing a huge frame.
+  std::size_t max_frame_bytes = util::kDefaultMaxFrameBytes;
+  /// Per-connection cap (`--max-outbuf-bytes`) on buffered memory —
+  /// pending output (responses + event frames) plus the parser's
+  /// unconsumed input. A slow-reading subscriber that falls this far
+  /// behind on its event stream is dropped: the alternative is
+  /// unbounded daemon memory held hostage by one client.
   std::size_t max_outbuf_bytes = 64u << 20;
 };
 
@@ -65,6 +74,8 @@ class Server {
 
  private:
   struct Conn {
+    explicit Conn(std::size_t max_frame) : parser(max_frame) {}
+
     std::uint64_t id = 0;
     Fd fd;
     util::FrameParser parser;
@@ -72,13 +83,19 @@ class Server {
     /// loop; written by step threads through the event sink.
     std::vector<std::uint8_t> out;
     bool dead = false;
+
+    /// Everything this connection holds in daemon memory — the
+    /// max_outbuf_bytes accounting unit.
+    std::size_t buffered_bytes() const {
+      return out.size() + parser.buffered();
+    }
   };
 
+  RequestHooks make_hooks();
   void on_event(std::uint64_t job, const json::Value& ev);
   void accept_new();
   void handle_readable(Conn& conn);
   void handle_frame(Conn& conn, const std::string& payload);
-  json::Value dispatch(Conn& conn, const json::Value& req);
   void send_json(Conn& conn, const json::Value& v);
   void flush_conn(Conn& conn);
   void close_conn(std::uint64_t conn_id);
@@ -96,6 +113,10 @@ class Server {
   std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> subs_
       RLMUL_GUARDED_BY(conns_mu_);
   std::uint64_t next_conn_id_ RLMUL_GUARDED_BY(conns_mu_) = 1;
+
+  /// Transport callbacks handed to serve::handle_frame_payload — the
+  /// shared dispatcher in request_handler.cpp does everything else.
+  RequestHooks hooks_;
 
   /// Declared last: its step threads call on_event (touching conns_)
   /// until its destructor joins them, so everything above must outlive

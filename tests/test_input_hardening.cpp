@@ -1,0 +1,307 @@
+// Input-hardening tests pinning the exact behaviors the fuzz harnesses
+// (fuzz/) assert, so fuzz verdicts are crisp: serve::json numeric edge
+// cases, the shared request dispatcher's never-throw contract, the
+// configurable FrameParser limit end to end through ServerOptions, the
+// per-connection buffered-memory cap, and clean rejection of corrupt
+// checkpoint/journal/record bytes (allocation bombs included).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dsdb/journal.hpp"
+#include "dsdb/store.hpp"
+#include "search/blob.hpp"
+#include "search/checkpoint.hpp"
+#include "serve/json.hpp"
+#include "serve/request_handler.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/server.hpp"
+#include "serve/socket.hpp"
+#include "util/framing.hpp"
+
+namespace {
+
+using namespace rlmul;
+using serve::json::Value;
+
+// ---------------------------------------------------------------------
+// serve::json numeric edges
+// ---------------------------------------------------------------------
+
+TEST(JsonHardening, RejectsNanAndInfLiterals) {
+  // JSON has no non-finite numbers; the extensions must not parse.
+  for (const char* text : {"NaN", "nan", "Infinity", "-Infinity", "inf",
+                           "[NaN]", "{\"x\":Infinity}"}) {
+    EXPECT_THROW(Value::parse(text), std::runtime_error) << text;
+  }
+}
+
+TEST(JsonHardening, RejectsExponentOverflow) {
+  // strtod overflows "1e999" to inf; dump() would re-emit that as
+  // null, breaking the parse→dump fixpoint — so parse rejects it.
+  for (const char* text : {"1e999", "-1e999", "1e99999999", "[1e400]"}) {
+    EXPECT_THROW(Value::parse(text), std::runtime_error) << text;
+  }
+}
+
+TEST(JsonHardening, HugeFiniteMagnitudesRoundTrip) {
+  // Regression: append_number used to cast to long long BEFORE the
+  // magnitude check — float-cast-overflow UB on anything >= 2^63
+  // (found by fuzz_json under UBSan; seed corpus carries 1e308).
+  const Value v = Value::parse("[1e300,-1e308,9.2233720368547758e18]");
+  const std::string s1 = v.dump();
+  EXPECT_EQ(Value::parse(s1).dump(), s1);
+}
+
+TEST(JsonHardening, DenormalsRoundTrip) {
+  // %.17g must carry enough digits for subnormals.
+  const Value v = Value::parse("[5e-324,2.2250738585072014e-308]");
+  EXPECT_EQ(v.items()[0].as_double(), 5e-324);
+  const std::string s1 = v.dump();
+  EXPECT_EQ(Value::parse(s1).dump(), s1);
+}
+
+TEST(JsonHardening, NonFiniteValuesDumpAsNull) {
+  // The protocol never sends non-finite numbers, but dump() must not
+  // emit invalid JSON if one leaks in.
+  Value v = Value::object();
+  v["x"] = std::nan("");
+  EXPECT_EQ(v.dump(), "{\"x\":null}");
+}
+
+TEST(JsonHardening, DepthLimitIsEnforced) {
+  std::string deep63, deep65;
+  for (int i = 0; i < 63; ++i) deep63 += '[';
+  deep63 += '0';
+  for (int i = 0; i < 63; ++i) deep63 += ']';
+  for (int i = 0; i < 65; ++i) deep65 += '[';
+  deep65 += '0';
+  for (int i = 0; i < 65; ++i) deep65 += ']';
+  EXPECT_NO_THROW(Value::parse(deep63));
+  EXPECT_THROW(Value::parse(deep65), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// Shared request dispatcher (the code path fuzz_protocol drives)
+// ---------------------------------------------------------------------
+
+serve::Scheduler& test_scheduler() {
+  static serve::Scheduler* sched = [] {
+    serve::SchedulerOptions opts;
+    opts.max_active = 1;
+    opts.max_queue = 2;
+    opts.step_threads = 1;
+    return new serve::Scheduler(opts, [](std::uint64_t, const Value&) {});
+  }();
+  return *sched;
+}
+
+TEST(RequestHandler, MalformedPayloadNeverThrows) {
+  serve::RequestHooks hooks;  // all null: every hook is optional
+  for (const char* payload :
+       {"", "not json", "{\"op\":42}", "{\"op\":\"bogus\"}", "{}",
+        "{\"op\":\"status\",\"job\":\"not-a-number\"}"}) {
+    const Value resp = serve::handle_frame_payload(test_scheduler(), 1,
+                                                   payload, hooks);
+    ASSERT_TRUE(resp.is_object()) << payload;
+    const Value* ok = resp.find("ok");
+    ASSERT_NE(ok, nullptr) << payload;
+    EXPECT_FALSE(ok->as_bool()) << payload;
+    EXPECT_NE(resp.find("error"), nullptr) << payload;
+  }
+}
+
+TEST(RequestHandler, EchoesRequestIdAndAnswersPing) {
+  serve::RequestHooks hooks;
+  const Value resp = serve::handle_frame_payload(
+      test_scheduler(), 1, "{\"id\":7,\"op\":\"ping\"}", hooks);
+  EXPECT_TRUE(resp.find("ok")->as_bool());
+  EXPECT_TRUE(resp.find("pong")->as_bool());
+  ASSERT_NE(resp.find("id"), nullptr);
+  EXPECT_EQ(resp.find("id")->as_u64(), 7u);
+}
+
+TEST(RequestHandler, StatsUsesConnectionCountHook) {
+  serve::RequestHooks hooks;
+  Value resp = serve::handle_frame_payload(test_scheduler(), 1,
+                                           "{\"op\":\"stats\"}", hooks);
+  EXPECT_EQ(resp.find("conns"), nullptr);  // null hook omits the field
+  hooks.connection_count = []() -> std::uint64_t { return 3; };
+  resp = serve::handle_frame_payload(test_scheduler(), 1,
+                                     "{\"op\":\"stats\"}", hooks);
+  ASSERT_NE(resp.find("conns"), nullptr);
+  EXPECT_EQ(resp.find("conns")->as_u64(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// Server limits end to end
+// ---------------------------------------------------------------------
+
+std::string scratch_socket(const std::string& tag) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / ("rlhd_" + tag + ".sock"))
+          .string();
+  std::filesystem::remove(path);
+  return path;
+}
+
+struct ServerRunner {
+  explicit ServerRunner(serve::Server& s)
+      : server(s), thread([&s]() { s.run(); }) {}
+  ~ServerRunner() { join(); }
+  void join() {
+    server.request_shutdown();
+    if (thread.joinable()) thread.join();
+  }
+  serve::Server& server;
+  std::thread thread;
+};
+
+serve::Fd connect_retry(const std::string& sock) {
+  for (int i = 0;; ++i) {
+    try {
+      return serve::connect_unix(sock);
+    } catch (const std::exception&) {
+      if (i >= 200) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+}
+
+void write_all(int fd, const std::vector<std::uint8_t>& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const std::ptrdiff_t n =
+        serve::write_some(fd, bytes.data() + off, bytes.size() - off);
+    if (n > 0) off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Blocks until the peer closes (true) or any payload arrives (false).
+bool peer_closed_without_data(int fd) {
+  char buf[256];
+  const std::ptrdiff_t n = serve::read_some(fd, buf, sizeof(buf));
+  return n == 0;
+}
+
+TEST(ServerLimits, OversizedFrameDropsOnlyThatConnection) {
+  serve::ServerOptions opts;
+  opts.socket_path = scratch_socket("frame");
+  opts.max_frame_bytes = 64;  // the --max-frame-bytes knob
+  opts.scheduler.step_threads = 1;
+  serve::Server server(opts);
+  ServerRunner runner(server);
+
+  {
+    serve::Fd conn = connect_retry(opts.socket_path);
+    std::vector<std::uint8_t> wire;
+    util::append_frame(wire, std::string(100, 'x'));  // declares 100 > 64
+    write_all(conn.get(), wire);
+    EXPECT_TRUE(peer_closed_without_data(conn.get()));
+  }
+  {
+    // The daemon survived and still answers within the limit.
+    serve::Fd conn = connect_retry(opts.socket_path);
+    std::vector<std::uint8_t> wire;
+    util::append_frame(wire, "{\"op\":\"ping\"}");
+    write_all(conn.get(), wire);
+    char buf[256];
+    const std::ptrdiff_t n = serve::read_some(conn.get(), buf, sizeof(buf));
+    ASSERT_GT(n, 0);
+    util::FrameParser parser;
+    parser.feed(buf, static_cast<std::size_t>(n));
+    std::string payload;
+    ASSERT_TRUE(parser.next(&payload));
+    EXPECT_TRUE(Value::parse(payload).find("ok")->as_bool());
+  }
+}
+
+TEST(ServerLimits, OutbufCapDropsUnservableConnection) {
+  serve::ServerOptions opts;
+  opts.socket_path = scratch_socket("outbuf");
+  // Smaller than any response frame: buffering the ping reply already
+  // exceeds the budget, so the server must drop rather than queue.
+  opts.max_outbuf_bytes = 8;
+  opts.scheduler.step_threads = 1;
+  serve::Server server(opts);
+  ServerRunner runner(server);
+
+  serve::Fd conn = connect_retry(opts.socket_path);
+  std::vector<std::uint8_t> wire;
+  util::append_frame(wire, "{\"op\":\"ping\"}");
+  write_all(conn.get(), wire);
+  EXPECT_TRUE(peer_closed_without_data(conn.get()));
+}
+
+// ---------------------------------------------------------------------
+// Corrupt-bytes loaders (the fuzz_checkpoint / fuzz_dsdb_journal paths)
+// ---------------------------------------------------------------------
+
+TEST(LoaderHardening, BlobCountBombsAreRejectedNotAllocated) {
+  // Regression: a corrupt element count used to hit vector::reserve
+  // before any bounds check — a multi-GB allocation from a 16-byte
+  // blob. The clamp must reject counts the blob cannot back.
+  search::BlobWriter w;
+  w.u64(std::uint64_t{1} << 60);  // claims 2^60 doubles
+  search::BlobReader r(w.take());
+  EXPECT_THROW(r.f64_vec(), std::runtime_error);
+}
+
+TEST(LoaderHardening, CheckpointGarbageAndTruncationsThrowRuntimeError) {
+  search::Checkpoint c;
+  c.method = "sa";
+  c.best_tree.pp = {1, 2, 1};
+  c.trajectory = {1.0, 0.5};
+  const std::vector<std::uint8_t> full = c.encode();
+  // Every truncation point must fail cleanly — never UB, never a
+  // foreign exception type (fuzz_checkpoint's contract).
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const std::vector<std::uint8_t> torn(full.begin(),
+                                         full.begin() + cut);
+    EXPECT_THROW(search::Checkpoint::decode(torn), std::runtime_error)
+        << "cut=" << cut;
+  }
+  EXPECT_NO_THROW(search::Checkpoint::decode(full));
+}
+
+TEST(LoaderHardening, RecordRejectsOutOfRangePpgByte) {
+  dsdb::Record rec;
+  rec.spec.bits = 4;
+  rec.tree.pp = {1, 2, 1};
+  std::vector<std::uint8_t> payload = dsdb::encode_record(rec);
+  // Layout: u32 version, i32 bits, then the ppg byte.
+  payload[8] = 0x07;  // no such PpgKind
+  dsdb::Record out;
+  EXPECT_FALSE(dsdb::decode_record(payload, &out));
+}
+
+TEST(LoaderHardening, JournalBytesReplayKeepsCommittedPrefix) {
+  std::vector<std::uint8_t> wire = dsdb::journal_header();
+  const std::vector<std::uint8_t> p1 = {'a', 'b', 'c'};
+  const std::vector<std::uint8_t> p2 = {'d'};
+  dsdb::append_frame(wire, p1);
+  dsdb::append_frame(wire, p2);
+  const std::size_t committed = wire.size();
+  // Torn tail: a frame header promising more than exists.
+  wire.insert(wire.end(), {0xFF, 0x00, 0x00, 0x00, 0x01, 0x02});
+
+  std::vector<std::vector<std::uint8_t>> seen;
+  const dsdb::ReplayResult res = dsdb::replay_journal_bytes(
+      wire.data(), wire.size(),
+      [&seen](const std::vector<std::uint8_t>& p) { seen.push_back(p); });
+  EXPECT_FALSE(res.bad_header);
+  EXPECT_TRUE(res.truncated_tail);
+  EXPECT_EQ(res.valid_bytes, committed);
+  ASSERT_EQ(res.records, 2u);
+  EXPECT_EQ(seen[0], p1);
+  EXPECT_EQ(seen[1], p2);
+}
+
+}  // namespace

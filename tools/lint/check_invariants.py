@@ -59,6 +59,20 @@ Rules (each failure prints `file:line: [rule] message`):
                      own translation unit (include-what-you-use at the
                      API boundary). Needs --compiler; skipped with a
                      notice otherwise.
+  json-confinement   hand-rolled JSON text (escaped-quote keys like
+                     `\"ok\":` inside C++ string literals) appears only
+                     in src/serve/json.* — everything else in src/ and
+                     examples/ builds documents through serve::json
+                     Value, so the one parser/serializer the fuzzer
+                     hammers is the one the product uses. (bench/ is
+                     exempt: its BENCH_*.json emitters are offline
+                     tooling, not protocol surface.)
+  fuzz-registration  fuzz entry points (LLVMFuzzerTestOneInput) live
+                     only under fuzz/, and every fuzz/fuzz_*.cpp
+                     harness must have a non-empty seed corpus at
+                     fuzz/corpus/<name>/ and an rlmul_add_fuzzer(<name>)
+                     registration in fuzz/CMakeLists.txt — a harness
+                     that CI never replays is dead hardening.
 """
 
 import argparse
@@ -316,6 +330,67 @@ def check_netlist_patch(root):
                      "synth::ParentHint instead of mutating netlists")
 
 
+# -- json-confinement ---------------------------------------------------------
+# The signature of hand-assembled JSON in C++ source: an escaped-quote
+# key followed by a colon inside a string literal (`"{\"ok\":true}"`).
+# Matched on the comment-stripped raw line — string stripping would
+# erase exactly the evidence.
+
+JSON_LITERAL_RE = re.compile(r'\\"[A-Za-z_]\w*\\"\s*:')
+JSON_ALLOWED = ("src/serve/json.",)
+
+
+def check_json_confinement(root):
+    for p in source_files(root, subdirs=("src", "examples")):
+        r = rel(root, p)
+        if r.startswith(JSON_ALLOWED):
+            continue
+        for i, line in enumerate(p.read_text().splitlines(), 1):
+            code = line.split("//")[0]
+            if JSON_LITERAL_RE.search(code):
+                fail(r, i, "json-confinement",
+                     "hand-rolled JSON literal outside src/serve/json.*; "
+                     "build the document with serve::json::Value")
+
+
+# -- fuzz-registration --------------------------------------------------------
+
+FUZZ_ENTRY_RE = re.compile(r"\bLLVMFuzzerTestOneInput\b")
+
+
+def check_fuzz_registration(root):
+    for p in source_files(root, subdirs=("src", "examples", "bench")):
+        r = rel(root, p)
+        for i, line in enumerate(p.read_text().splitlines(), 1):
+            code = strip_comments_and_strings(line)
+            if FUZZ_ENTRY_RE.search(code):
+                fail(r, i, "fuzz-registration",
+                     "fuzz entry point outside fuzz/ — harnesses live in "
+                     "fuzz/fuzz_*.cpp only")
+
+    fuzz_dir = root / "fuzz"
+    if not fuzz_dir.is_dir():
+        return
+    cmake = fuzz_dir / "CMakeLists.txt"
+    cmake_text = cmake.read_text() if cmake.exists() else ""
+    for p in sorted(fuzz_dir.glob("fuzz_*.cpp")):
+        name = p.stem
+        r = rel(root, p)
+        if not FUZZ_ENTRY_RE.search(p.read_text()):
+            fail(r, 1, "fuzz-registration",
+                 f"harness `{name}` does not define LLVMFuzzerTestOneInput")
+        if f"rlmul_add_fuzzer({name}" not in cmake_text:
+            fail(r, 1, "fuzz-registration",
+                 f"harness `{name}` is not registered via "
+                 "rlmul_add_fuzzer() in fuzz/CMakeLists.txt")
+        corpus = fuzz_dir / "corpus" / name
+        if not corpus.is_dir() or not any(corpus.iterdir()):
+            fail(r, 1, "fuzz-registration",
+                 f"harness `{name}` has no seed corpus at "
+                 f"fuzz/corpus/{name}/ — commit at least one seed "
+                 "(fuzz/gen_corpus.cpp generates them)")
+
+
 # -- header-standalone --------------------------------------------------------
 
 
@@ -358,6 +433,8 @@ def main():
     check_raw_cpa_kind(root)
     check_raw_socket(root)
     check_netlist_patch(root)
+    check_json_confinement(root)
+    check_fuzz_registration(root)
     if not args.skip_headers:
         check_headers_standalone(root, args.compiler)
 
